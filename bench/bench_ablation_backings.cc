@@ -1,0 +1,65 @@
+// Ablation over the counter storage backings (DESIGN.md's storage
+// polymorphism): with identical filter logic, how do the paper's compact
+// structure (Section 4.4), the serial-scan alternative (Section 4.5) and
+// plain fixed-width counters trade memory for speed? Estimates are
+// identical across backings by construction — only footprint and
+// throughput differ.
+
+#include <vector>
+
+#include "common/harness.h"
+#include "core/spectral_bloom_filter.h"
+#include "util/timer.h"
+
+using sbf::Multiset;
+using sbf::TablePrinter;
+using sbf::Timer;
+
+int main() {
+  constexpr uint64_t kN = 5000;
+  constexpr uint64_t kTotal = 250000;
+  constexpr uint32_t kK = 5;
+  const uint64_t m = static_cast<uint64_t>(kN * kK / 0.7);
+
+  sbf::bench::PrintHeader(
+      "Ablation - counter backings under identical SBF logic",
+      "n = 5000, M = 250000, Zipf 0.8, gamma = 0.7, k = 5; single run");
+
+  const Multiset data = sbf::MakeZipfMultiset(kN, kTotal, 0.8, 0xABC);
+
+  TablePrinter table({"backing", "memory bits", "bits/counter",
+                      "insert ms", "lookup ms", "estimate sum (identical)"});
+  for (sbf::CounterBacking backing :
+       {sbf::CounterBacking::kFixed64, sbf::CounterBacking::kFixed32,
+        sbf::CounterBacking::kCompact, sbf::CounterBacking::kSerialScan}) {
+    sbf::SbfOptions options;
+    options.m = m;
+    options.k = kK;
+    options.seed = 7;
+    options.backing = backing;
+    sbf::SpectralBloomFilter filter(options);
+
+    Timer timer;
+    for (uint64_t key : data.stream) filter.Insert(key);
+    const double insert_ms = timer.ElapsedMillis();
+
+    timer.Restart();
+    uint64_t estimate_sum = 0;
+    for (uint64_t key : data.keys) estimate_sum += filter.Estimate(key);
+    const double lookup_ms = timer.ElapsedMillis();
+
+    table.AddRow({sbf::CounterBackingName(backing),
+                  TablePrinter::FmtInt(filter.MemoryUsageBits()),
+                  TablePrinter::Fmt(
+                      static_cast<double>(filter.MemoryUsageBits()) / m, 1),
+                  TablePrinter::Fmt(insert_ms, 1),
+                  TablePrinter::Fmt(lookup_ms, 1),
+                  TablePrinter::FmtInt(estimate_sum)});
+  }
+  table.Print();
+  std::printf(
+      "\nThe 'estimate sum' column is identical by construction: the "
+      "backings are\nbehaviourally equivalent, trading only bits for "
+      "nanoseconds.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Section 5.2 application: ad-hoc iceberg queries. The SBF engine builds
+// once and answers any threshold; the MULTISCAN-SHARED baseline must know
+// the threshold up front and rescans the data per threshold. We compare
+// result quality, scans over the data, and memory.
+
+#include <set>
+#include <vector>
+
+#include "common/harness.h"
+#include "db/iceberg.h"
+
+using sbf::IcebergEngine;
+using sbf::Multiset;
+using sbf::MultiscanIceberg;
+using sbf::TablePrinter;
+
+int main() {
+  constexpr uint64_t kN = 2000;
+  constexpr uint64_t kTotal = 200000;
+  const Multiset data = sbf::MakeZipfMultiset(kN, kTotal, 1.1, 0x1CEBE6);
+
+  sbf::bench::PrintHeader(
+      "Section 5.2 - ad-hoc iceberg queries: SBF vs MULTISCAN-SHARED",
+      "n = 2000, M = 200000, Zipf 1.1; thresholds changed after the data "
+      "was seen");
+
+  sbf::SbfOptions options;
+  options.m = 12000;
+  options.k = 5;
+  options.seed = 3;
+  options.backing = sbf::CounterBacking::kCompact;
+  IcebergEngine engine(options);
+  size_t engine_scans = 1;  // streaming build: the data is seen once
+  for (uint64_t key : data.stream) engine.Observe(key);
+
+  TablePrinter table({"threshold", "method", "reported", "true heavy",
+                      "false pos", "scans of data", "memory KB"});
+
+  size_t multiscan_scans = 0;
+  for (uint64_t threshold : {500ull, 200ull, 80ull, 30ull}) {
+    size_t truly_heavy = 0;
+    std::set<uint64_t> heavy_keys;
+    for (size_t i = 0; i < data.keys.size(); ++i) {
+      if (data.freqs[i] >= threshold) {
+        ++truly_heavy;
+        heavy_keys.insert(data.keys[i]);
+      }
+    }
+
+    const auto reported = engine.Query(data.keys, threshold);
+    size_t false_pos = 0;
+    for (uint64_t key : reported) false_pos += !heavy_keys.contains(key);
+    table.AddRow({TablePrinter::FmtInt(threshold), "SBF (ad-hoc)",
+                  TablePrinter::FmtInt(reported.size()),
+                  TablePrinter::FmtInt(truly_heavy),
+                  TablePrinter::FmtInt(false_pos),
+                  TablePrinter::FmtInt(engine_scans),
+                  TablePrinter::FmtInt(engine.MemoryUsageBits() / 8192)});
+
+    // The baseline rebuilds its cascade for every new threshold.
+    MultiscanIceberg multiscan(
+        {{.buckets = 1024, .k = 1}, {.buckets = 512, .k = 1}}, threshold,
+        0xA5C + threshold);
+    const auto result = multiscan.Run(data);
+    multiscan_scans += result.scans;
+    table.AddRow({TablePrinter::FmtInt(threshold), "MULTISCAN-SHARED",
+                  TablePrinter::FmtInt(result.heavy_keys.size()),
+                  TablePrinter::FmtInt(truly_heavy),
+                  TablePrinter::FmtInt(0),  // exact after verification scan
+                  TablePrinter::FmtInt(multiscan_scans),
+                  TablePrinter::FmtInt(result.memory_bits / 8192)});
+  }
+  table.Print();
+  std::printf(
+      "\nThe SBF engine answered all four thresholds from one pass over the "
+      "data;\nMULTISCAN re-scanned for every threshold change (cumulative "
+      "scan column).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 1: analytic expected relative error E'(RE_i^z) for data-set items
+// ordered by decreasing frequency, for Zipfian skews z in
+// {0.2, 0.6, 1.0, 1.4, 1.8, 2.0}, n = 10,000 distinct items, k = 5.
+//
+// Reproduces the closed-form curves of Section 2.3 (Equation (1)); the
+// paper-visible properties are (a) each curve rises monotonically with the
+// rank and (b) the curves cross: high skews start lower and end higher.
+
+#include <vector>
+
+#include "common/harness.h"
+#include "core/analysis.h"
+#include "util/table_printer.h"
+
+int main() {
+  constexpr uint64_t kN = 10000;
+  constexpr uint32_t kK = 5;
+  const std::vector<double> skews{0.2, 0.6, 1.0, 1.4, 1.8, 2.0};
+  const std::vector<uint64_t> ranks{1,    500,  1000, 2000, 3000,
+                                    4000, 5000, 6000, 7000, 8000,
+                                    9000, 10000};
+
+  sbf::bench::PrintHeader(
+      "Figure 1 - expected relative error vs item rank (analytic)",
+      "n = 10000 distinct items, k = 5; E'(RE_i^z) of Equation (1)");
+
+  std::vector<std::string> headers{"rank"};
+  for (double z : skews) {
+    headers.push_back("z=" + sbf::TablePrinter::Fmt(z, 1));
+  }
+  sbf::TablePrinter table(headers);
+  for (uint64_t rank : ranks) {
+    std::vector<std::string> row{sbf::TablePrinter::FmtInt(rank)};
+    for (double z : skews) {
+      row.push_back(sbf::TablePrinter::Fmt(
+          sbf::ZipfExpectedRelativeError(rank, kN, kK, z), 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  // The crossover property the paper highlights.
+  const double high_front = sbf::ZipfExpectedRelativeError(100, kN, kK, 1.8);
+  const double low_front = sbf::ZipfExpectedRelativeError(100, kN, kK, 0.2);
+  const double high_back = sbf::ZipfExpectedRelativeError(9999, kN, kK, 1.8);
+  const double low_back = sbf::ZipfExpectedRelativeError(9999, kN, kK, 0.2);
+  std::printf(
+      "\ncrossover check: frequent items  z=1.8 %.4f %s z=0.2 %.4f\n"
+      "                 rare items      z=1.8 %.4f %s z=0.2 %.4f\n",
+      high_front, high_front < low_front ? "<" : ">=", low_front, high_back,
+      high_back > low_back ? ">" : "<=", low_back);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 4: iceberg-query error rates for Zipfian data of several skews
+// against the threshold (as % of the maximal item frequency). Parameters
+// per the paper: k = 5, gamma = 1 (a filter smaller than optimal). The
+// visible shape: error rises for small T, peaks, then falls; the peak
+// moves left as skew grows; the curve never exceeds the Bloom error 0.1.
+//
+// The analytic model (Section 5.2) is printed next to a measured column
+// obtained by streaming the data into an SBF and thresholding.
+
+#include <algorithm>
+#include <vector>
+
+#include "common/harness.h"
+#include "core/analysis.h"
+#include "core/spectral_bloom_filter.h"
+#include "workload/multiset_stream.h"
+
+using sbf::Multiset;
+using sbf::TablePrinter;
+
+int main() {
+  constexpr uint64_t kN = 1000;
+  constexpr uint64_t kTotal = 100000;
+  constexpr uint32_t kK = 5;
+  constexpr double kGamma = 1.0;
+  const uint64_t m = static_cast<uint64_t>(kN * kK / kGamma);
+  const std::vector<double> skews{0.0, 0.4, 0.8, 1.2};
+  const std::vector<int> threshold_pcts{2, 5, 10, 20, 40, 60, 80};
+
+  sbf::bench::PrintHeader(
+      "Figure 4 - iceberg error rate vs threshold (analytic model)",
+      "k = 5, gamma = 1, n = 1000, M = 100000; threshold as % of max "
+      "frequency");
+
+  for (double skew : skews) {
+    const auto pmf = sbf::ZipfFrequencyPmf(kN, kTotal, skew);
+    const uint64_t max_freq = pmf.size() - 1;
+
+    TablePrinter table({"T (% of max)", "T (absolute)", "E model",
+                        "E measured", "Bloom error"});
+    for (int pct : threshold_pcts) {
+      const uint64_t threshold =
+          std::max<uint64_t>(1, max_freq * pct / 100);
+      const double model =
+          sbf::IcebergErrorRate(pmf, kGamma, kK, threshold);
+
+      // Measured: fraction of below-threshold items wrongly reported.
+      double measured_sum = 0.0;
+      for (int run = 0; run < sbf::bench::kRuns; ++run) {
+        const uint64_t seed = 0xF16ull + run * 6029;
+        const Multiset data = sbf::MakeZipfMultiset(kN, kTotal, skew, seed);
+        sbf::SbfOptions options;
+        options.m = m;
+        options.k = kK;
+        options.seed = seed * 3;
+        options.backing = sbf::CounterBacking::kFixed64;
+        sbf::SpectralBloomFilter filter(options);
+        for (uint64_t key : data.stream) filter.Insert(key);
+        size_t false_heavy = 0;
+        for (size_t i = 0; i < data.keys.size(); ++i) {
+          if (data.freqs[i] < threshold &&
+              filter.Estimate(data.keys[i]) >= threshold) {
+            ++false_heavy;
+          }
+        }
+        measured_sum += static_cast<double>(false_heavy) / kN;
+      }
+
+      table.AddRow({TablePrinter::FmtInt(pct),
+                    TablePrinter::FmtInt(threshold),
+                    TablePrinter::Fmt(model, 4),
+                    TablePrinter::Fmt(measured_sum / sbf::bench::kRuns, 4),
+                    TablePrinter::Fmt(sbf::BloomErrorRate(kGamma, kK), 3)});
+    }
+    std::printf("skew z = %.1f (max frequency %llu):\n", skew,
+                static_cast<unsigned long long>(max_freq));
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 6: accuracy of the MS, MI and RM lookup schemes on synthetic
+// Zipfian data (n = 1000 distinct values, M = 100,000 total).
+//
+//  (a) additive error vs gamma = nk/m, k = 5   (gamma 0.12 .. 2)
+//  (b) error ratio vs gamma                     (same sweep)
+//  (c) additive error vs k at fixed gamma = 0.7 (k = 1 .. 6)
+//
+// Paper shape: MI best and most stable; RM between MI and MS; all three
+// degrade as gamma grows; MI improves sharply with k, RM needs k >= 3.
+// RM charges primary + secondary against the same total m (Section 6.1).
+
+#include <vector>
+
+#include "common/harness.h"
+
+using sbf::ErrorStats;
+using sbf::Multiset;
+using sbf::TablePrinter;
+using namespace sbf::bench;
+
+int main() {
+  constexpr uint64_t kN = 1000;
+  constexpr uint64_t kTotal = 100000;
+  constexpr double kSkew = 0.5;
+
+  PrintHeader("Figure 6a/6b - MS/MI/RM accuracy vs gamma",
+              "n = 1000, M = 100000, Zipf 0.5, k = 5; RM splits the same "
+              "total m; averaged over 5 runs");
+
+  const std::vector<double> gammas{0.12, 0.25, 0.4, 0.5, 0.7,
+                                   0.85, 1.0,  1.3, 1.6, 2.0};
+  TablePrinter sweep({"gamma", "m", "E_add MS", "E_add MI", "E_add RM",
+                      "E_ratio MS", "E_ratio MI", "E_ratio RM"});
+  for (double gamma : gammas) {
+    const uint64_t m = static_cast<uint64_t>(kN * 5 / gamma);
+    std::vector<std::string> row{TablePrinter::Fmt(gamma, 2),
+                                 TablePrinter::FmtInt(m)};
+    std::vector<ErrorStats> stats;
+    for (Algorithm algorithm : AllAlgorithms()) {
+      stats.push_back(AverageRuns([&](uint64_t seed) {
+        const Multiset data = sbf::MakeZipfMultiset(kN, kTotal, kSkew, seed);
+        auto filter = MakeFilter(algorithm, m, 5, seed * 3);
+        return MeasureAccuracy(*filter, data);
+      }));
+    }
+    for (const ErrorStats& s : stats) {
+      row.push_back(TablePrinter::Fmt(s.AdditiveError(), 2));
+    }
+    for (const ErrorStats& s : stats) {
+      row.push_back(TablePrinter::Fmt(s.ErrorRatio(), 4));
+    }
+    sweep.AddRow(std::move(row));
+  }
+  sweep.Print();
+
+  PrintHeader("Figure 6c - additive error vs k at gamma = 0.7",
+              "n = 1000, M = 100000, Zipf 0.5; m grows with k to hold gamma");
+  TablePrinter ks({"k", "m", "E_add MS", "E_add MI", "E_add RM"});
+  for (uint32_t k = 1; k <= 6; ++k) {
+    const uint64_t m = static_cast<uint64_t>(kN * k / 0.7);
+    std::vector<std::string> row{TablePrinter::FmtInt(k),
+                                 TablePrinter::FmtInt(m)};
+    for (Algorithm algorithm : AllAlgorithms()) {
+      const ErrorStats stats = AverageRuns([&](uint64_t seed) {
+        const Multiset data = sbf::MakeZipfMultiset(kN, kTotal, kSkew, seed);
+        auto filter = MakeFilter(algorithm, m, k, seed * 3);
+        return MeasureAccuracy(*filter, data);
+      });
+      row.push_back(TablePrinter::Fmt(stats.AdditiveError(), 2));
+    }
+    ks.AddRow(std::move(row));
+  }
+  ks.Print();
+  return 0;
+}

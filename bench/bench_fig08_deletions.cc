@@ -1,0 +1,106 @@
+// Figure 8: MS / RM / MI accuracy across Zipf skews with and without
+// deletion phases (gamma = 0.7, k = 5). Protocol per the paper: a series
+// of insertions interleaved with deletion phases; in each deletion phase
+// 5% of the items are chosen at random and deleted entirely.
+//
+// Paper shape: without deletions MI is best; with deletions MI collapses —
+// its additive error jumps 1-2 orders of magnitude and nearly all of its
+// errors are false negatives, while MS and RM have none.
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/harness.h"
+#include "util/random.h"
+
+using sbf::ErrorStats;
+using sbf::Multiset;
+using sbf::TablePrinter;
+using sbf::Xoshiro256;
+using namespace sbf::bench;
+
+namespace {
+
+// Runs the insert/delete-phase protocol and returns the error stats
+// against the post-deletion ground truth.
+ErrorStats RunWithDeletions(sbf::FrequencyFilter& filter, const Multiset& data,
+                            uint64_t seed) {
+  constexpr int kPhases = 4;
+  std::unordered_map<uint64_t, uint64_t> live;
+  Xoshiro256 rng(seed ^ 0xDE1E7E5);
+
+  const size_t chunk = data.stream.size() / kPhases;
+  for (int phase = 0; phase < kPhases; ++phase) {
+    const size_t begin = phase * chunk;
+    const size_t end =
+        phase == kPhases - 1 ? data.stream.size() : begin + chunk;
+    for (size_t i = begin; i < end; ++i) {
+      filter.Insert(data.stream[i]);
+      ++live[data.stream[i]];
+    }
+    // Delete 5% of the currently present items entirely.
+    std::vector<uint64_t> present;
+    present.reserve(live.size());
+    for (const auto& [key, count] : live) {
+      if (count > 0) present.push_back(key);
+    }
+    rng.Shuffle(present);
+    const size_t victims = present.size() / 20;
+    for (size_t v = 0; v < victims; ++v) {
+      const uint64_t key = present[v];
+      filter.Remove(key, live[key]);
+      live[key] = 0;
+    }
+  }
+
+  ErrorStats stats;
+  for (uint64_t key : data.keys) {
+    stats.Record(filter.Estimate(key), live[key]);
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint64_t kN = 1000;
+  constexpr uint64_t kTotal = 100000;
+  constexpr uint32_t kK = 5;
+  const uint64_t m = static_cast<uint64_t>(kN * kK / 0.7);
+  const std::vector<double> skews{0.0, 0.4, 0.8, 1.2, 1.6, 2.0};
+
+  PrintHeader("Figure 8 - deletions: accuracy vs skew",
+              "gamma = 0.7, k = 5, n = 1000, M = 100000; 4 insert phases, "
+              "5% of items fully deleted per phase; averaged over 5 runs");
+
+  TablePrinter table({"skew", "mode", "E_add MS", "E_add RM", "E_add MI",
+                      "E_ratio MS", "E_ratio RM", "E_ratio MI",
+                      "MI FN share"});
+
+  for (double skew : skews) {
+    for (bool with_deletions : {false, true}) {
+      std::vector<ErrorStats> stats;
+      for (Algorithm algorithm :
+           {Algorithm::kMinimumSelection, Algorithm::kRecurringMinimum,
+            Algorithm::kMinimalIncrease}) {
+        stats.push_back(AverageRuns([&](uint64_t seed) {
+          const Multiset data = sbf::MakeZipfMultiset(kN, kTotal, skew, seed);
+          auto filter = MakeFilter(algorithm, m, kK, seed * 3);
+          if (!with_deletions) return MeasureAccuracy(*filter, data);
+          return RunWithDeletions(*filter, data, seed);
+        }));
+      }
+      table.AddRow({TablePrinter::Fmt(skew, 1),
+                    with_deletions ? "with-del" : "insert-only",
+                    TablePrinter::Fmt(stats[0].AdditiveError(), 2),
+                    TablePrinter::Fmt(stats[1].AdditiveError(), 2),
+                    TablePrinter::Fmt(stats[2].AdditiveError(), 2),
+                    TablePrinter::Fmt(stats[0].ErrorRatio(), 4),
+                    TablePrinter::Fmt(stats[1].ErrorRatio(), 4),
+                    TablePrinter::Fmt(stats[2].ErrorRatio(), 4),
+                    TablePrinter::Fmt(stats[2].FalseNegativeShare(), 3)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 10: storage of the counter encoding methods of Section 4.5 as the
+// average item frequency grows — Elias delta vs two "steps" configurations
+// ({1,2} and {2,3}, plus the {0,0} example), compared against the optimal
+// "log of counters" baseline sum(ceil(log C_i)).
+//
+// Paper shape: near average frequency 1 ("almost set") the steps methods
+// win thanks to their 1-2 bit small-counter codes; as the average
+// frequency grows, Elias overtakes them.
+
+#include <vector>
+
+#include "bitstream/elias.h"
+#include "bitstream/steps_code.h"
+#include "common/harness.h"
+#include "util/bits.h"
+#include "workload/multiset_stream.h"
+
+using sbf::Multiset;
+using sbf::StepsCode;
+using sbf::TablePrinter;
+
+namespace {
+
+// Encoded size of the counter array of an SBF-like vector where the
+// counters hold the given multiset's frequencies hashed k=1 ways (i.e. the
+// frequency histogram itself — the encoding question is independent of the
+// hashing).
+uint64_t LogCounterBits(const std::vector<uint64_t>& counters) {
+  uint64_t bits = 0;
+  for (uint64_t c : counters) bits += sbf::BitWidth(c);
+  return bits;
+}
+
+uint64_t EliasBits(const std::vector<uint64_t>& counters) {
+  uint64_t bits = 0;
+  for (uint64_t c : counters) bits += sbf::EliasDeltaLength(c + 1);
+  return bits;
+}
+
+uint64_t StepsBits(const StepsCode& code,
+                   const std::vector<uint64_t>& counters) {
+  uint64_t bits = 0;
+  for (uint64_t c : counters) bits += code.Length(c);
+  return bits;
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint64_t kM = 100000;  // counters in the array
+  const std::vector<double> avg_freqs{0.5, 1, 2, 5, 10, 25, 50, 100};
+  const StepsCode steps00({0, 0});
+  const StepsCode steps12({1, 2});
+  const StepsCode steps23({2, 3});
+
+  sbf::bench::PrintHeader(
+      "Figure 10 - encoded array size vs average counter value",
+      "m = 100000 counters, Zipf 0.5 multiplicities scaled to the average; "
+      "sizes in bits");
+
+  TablePrinter table({"avg freq", "log counters", "Elias delta",
+                      "steps {0,0}", "steps {1,2}", "steps {2,3}"});
+  for (double avg : avg_freqs) {
+    // Counter values: a Zipfian multiset of n = m/2 distinct keys hashed
+    // into m counters with k = 1 (half the counters stay 0, like a filter
+    // at gamma = 0.5).
+    const uint64_t distinct = kM / 2;
+    const uint64_t total = static_cast<uint64_t>(avg * kM);
+    const Multiset data = sbf::MakeZipfMultiset(
+        distinct, std::max<uint64_t>(total, distinct), 0.5, 42);
+    std::vector<uint64_t> counters(kM, 0);
+    for (size_t i = 0; i < data.keys.size(); ++i) {
+      counters[(data.keys[i] * 0x9E3779B97F4A7C15ull) % kM] += data.freqs[i];
+    }
+
+    table.AddRow({TablePrinter::Fmt(avg, 1),
+                  TablePrinter::FmtInt(LogCounterBits(counters)),
+                  TablePrinter::FmtInt(EliasBits(counters)),
+                  TablePrinter::FmtInt(StepsBits(steps00, counters)),
+                  TablePrinter::FmtInt(StepsBits(steps12, counters)),
+                  TablePrinter::FmtInt(StepsBits(steps23, counters))});
+  }
+  table.Print();
+  return 0;
+}

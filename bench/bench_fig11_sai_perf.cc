@@ -1,0 +1,70 @@
+// Figure 11: string-array index (dynamic compact counter storage)
+// performance over array sizes 1,000 .. 1,000,000:
+//   (i) static build (all zeros), (ii) 10n random increments,
+//   (iii) n lookups — total time and time per action.
+//
+// Paper shape: all three are linear in n; per-action times are flat
+// (O(1) / O(1) amortized), with updates noisier than lookups.
+
+#include <vector>
+
+#include "common/harness.h"
+#include "sai/compact_counter_vector.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using sbf::CompactCounterVector;
+using sbf::TablePrinter;
+using sbf::Timer;
+using sbf::Xoshiro256;
+
+int main() {
+  const std::vector<size_t> sizes{1000,   5000,   10000,  50000,
+                                  100000, 500000, 1000000};
+
+  sbf::bench::PrintHeader(
+      "Figure 11 - dynamic string-array storage performance",
+      "build with zeros; 10n random increments; n lookups; times in ms "
+      "(averaged over 5 runs)");
+
+  TablePrinter table({"n", "build ms", "update ms (10n/10)", "lookup ms",
+                      "build us/op", "update us/op", "lookup us/op",
+                      "rebuilds"});
+  for (size_t n : sizes) {
+    double build_ms = 0, update_ms = 0, lookup_ms = 0;
+    size_t rebuilds = 0;
+    for (int run = 0; run < sbf::bench::kRuns; ++run) {
+      Xoshiro256 rng(0x5A1ull + run * 13);
+      Timer timer;
+      CompactCounterVector counters(n);
+      build_ms += timer.ElapsedMillis();
+
+      timer.Restart();
+      for (size_t i = 0; i < 10 * n; ++i) {
+        counters.Increment(rng.UniformInt(n), 1);
+      }
+      // Divided by 10 so the columns are comparable (the paper does the
+      // same: "dividing the time of stage (ii) by 10").
+      update_ms += timer.ElapsedMillis() / 10.0;
+      rebuilds += counters.rebuild_count();
+
+      timer.Restart();
+      uint64_t sink = 0;
+      for (size_t i = 0; i < n; ++i) sink += counters.Get(i);
+      lookup_ms += timer.ElapsedMillis();
+      if (sink == 0xDEAD) std::printf("!");  // keep the loop alive
+    }
+    build_ms /= sbf::bench::kRuns;
+    update_ms /= sbf::bench::kRuns;
+    lookup_ms /= sbf::bench::kRuns;
+    table.AddRow(
+        {TablePrinter::FmtInt(n), TablePrinter::Fmt(build_ms, 2),
+         TablePrinter::Fmt(update_ms, 2), TablePrinter::Fmt(lookup_ms, 2),
+         TablePrinter::Fmt(build_ms * 1e3 / n, 4),
+         TablePrinter::Fmt(update_ms * 1e3 / n, 4),
+         TablePrinter::Fmt(lookup_ms * 1e3 / n, 4),
+         TablePrinter::FmtInt(rebuilds / sbf::bench::kRuns)});
+  }
+  table.Print();
+  return 0;
+}

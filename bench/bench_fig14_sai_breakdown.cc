@@ -1,0 +1,69 @@
+// Figure 14: breakdown of the string-array index storage into its
+// components — base array, level-1 coarse offsets (C1), level-2 offset
+// vectors (complete vectors + C2), level-3 mini offset vectors, and the
+// lookup table — for the empty array and after 10n random increments.
+//
+// Paper shape: the empty array needs almost no level-3 offset vectors
+// (every chunk fits the lookup table); the filled array pushes a sizable
+// share of chunks past the lookup-table threshold.
+
+#include <vector>
+
+#include "common/harness.h"
+#include "sai/compact_counter_vector.h"
+#include "sai/string_array_index.h"
+#include "util/random.h"
+
+using sbf::CompactCounterVector;
+using sbf::StringArrayIndex;
+using sbf::TablePrinter;
+using sbf::Xoshiro256;
+
+namespace {
+
+void Report(TablePrinter* table, size_t n, double avg_freq,
+            const CompactCounterVector& counters) {
+  std::vector<uint32_t> widths(counters.size());
+  for (size_t i = 0; i < counters.size(); ++i) {
+    widths[i] = counters.WidthOf(i);
+  }
+  StringArrayIndex index(widths);
+  const auto sizes = index.component_sizes();
+  table->AddRow({TablePrinter::FmtInt(n), TablePrinter::Fmt(avg_freq, 0),
+                 TablePrinter::FmtInt(counters.UsedBits()),
+                 TablePrinter::FmtInt(sizes.c1_bits),
+                 TablePrinter::FmtInt(sizes.l2_offset_vector_bits),
+                 TablePrinter::FmtInt(sizes.l3_offset_vector_bits),
+                 TablePrinter::FmtInt(sizes.lookup_table_bits),
+                 TablePrinter::FmtInt(sizes.flags_and_rank_bits),
+                 TablePrinter::FmtInt(index.num_lookup_configs())});
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<size_t> sizes{1000,  5000,   10000, 25000,
+                                  50000, 100000, 250000, 500000};
+
+  sbf::bench::PrintHeader(
+      "Figure 14 - string-array index storage breakdown (bits)",
+      "components for average frequency 0 and 10");
+
+  TablePrinter table({"n", "avg freq", "base array", "C1",
+                      "L2 offset vectors", "L3 offset vectors",
+                      "lookup table", "flags+rank", "LT configs"});
+  for (size_t n : sizes) {
+    CompactCounterVector empty(n);
+    Report(&table, n, 0, empty);
+
+    CompactCounterVector filled(n);
+    Xoshiro256 rng(0xB8EAull + n);
+    for (size_t i = 0; i < 10 * n; ++i) {
+      filled.Increment(rng.UniformInt(n), 1);
+    }
+    filled.ForceRebuild();
+    Report(&table, n, 10, filled);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: hash position
+// generation, bit-vector field access, counter get/increment across all
+// backings, and SBF insert/estimate per policy.
+
+#include <benchmark/benchmark.h>
+
+#include "bitstream/bit_vector.h"
+#include "core/recurring_minimum.h"
+#include "core/spectral_bloom_filter.h"
+#include "hashing/hash_family.h"
+#include "sai/counter_vector.h"
+#include "util/random.h"
+
+namespace sbf {
+namespace {
+
+void BM_HashPositions(benchmark::State& state) {
+  const auto kind = static_cast<HashFamily::Kind>(state.range(0));
+  HashFamily family(5, 1 << 20, 42, kind);
+  uint64_t positions[8];
+  uint64_t key = 0;
+  for (auto _ : state) {
+    family.Positions(++key, positions);
+    benchmark::DoNotOptimize(positions[4]);
+  }
+}
+BENCHMARK(BM_HashPositions)
+    ->Arg(static_cast<int>(HashFamily::Kind::kModuloMultiply))
+    ->Arg(static_cast<int>(HashFamily::Kind::kDoubleMix));
+
+void BM_BitVectorFieldRoundTrip(benchmark::State& state) {
+  const uint32_t width = static_cast<uint32_t>(state.range(0));
+  BitVector bits(1 << 20);
+  Xoshiro256 rng(1);
+  size_t pos = 0;
+  for (auto _ : state) {
+    pos = (pos + 127 * width) % ((1 << 20) - 64);
+    bits.SetBits(pos, width, rng.Next() & LowMask(width));
+    benchmark::DoNotOptimize(bits.GetBits(pos, width));
+  }
+}
+BENCHMARK(BM_BitVectorFieldRoundTrip)->Arg(4)->Arg(13)->Arg(32)->Arg(61);
+
+void BM_CounterIncrement(benchmark::State& state) {
+  const auto backing = static_cast<CounterBacking>(state.range(0));
+  auto counters = MakeCounterVector(backing, 1 << 16);
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    counters->Increment(rng.UniformInt(1 << 16), 1);
+  }
+  state.SetLabel(counters->Name());
+}
+BENCHMARK(BM_CounterIncrement)
+    ->Arg(static_cast<int>(CounterBacking::kFixed64))
+    ->Arg(static_cast<int>(CounterBacking::kCompact))
+    ->Arg(static_cast<int>(CounterBacking::kSerialScan));
+
+void BM_CounterGet(benchmark::State& state) {
+  const auto backing = static_cast<CounterBacking>(state.range(0));
+  auto counters = MakeCounterVector(backing, 1 << 16);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < (1 << 18); ++i) {
+    counters->Increment(rng.UniformInt(1 << 16), 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counters->Get(rng.UniformInt(1 << 16)));
+  }
+  state.SetLabel(counters->Name());
+}
+BENCHMARK(BM_CounterGet)
+    ->Arg(static_cast<int>(CounterBacking::kFixed64))
+    ->Arg(static_cast<int>(CounterBacking::kCompact))
+    ->Arg(static_cast<int>(CounterBacking::kSerialScan));
+
+SbfOptions MicroOptions(SbfPolicy policy, CounterBacking backing) {
+  SbfOptions options;
+  options.m = 1 << 16;
+  options.k = 5;
+  options.policy = policy;
+  options.backing = backing;
+  options.seed = 3;
+  return options;
+}
+
+void BM_SbfInsert(benchmark::State& state) {
+  const auto policy = static_cast<SbfPolicy>(state.range(0));
+  SpectralBloomFilter filter(
+      MicroOptions(policy, CounterBacking::kCompact));
+  Xoshiro256 rng(11);
+  for (auto _ : state) {
+    filter.Insert(rng.UniformInt(1 << 14));
+  }
+  state.SetLabel(filter.Name());
+}
+BENCHMARK(BM_SbfInsert)
+    ->Arg(static_cast<int>(SbfPolicy::kMinimumSelection))
+    ->Arg(static_cast<int>(SbfPolicy::kMinimalIncrease));
+
+void BM_SbfEstimate(benchmark::State& state) {
+  SpectralBloomFilter filter(MicroOptions(SbfPolicy::kMinimumSelection,
+                                          CounterBacking::kCompact));
+  Xoshiro256 rng(13);
+  for (int i = 0; i < (1 << 17); ++i) filter.Insert(rng.UniformInt(1 << 14));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Estimate(rng.UniformInt(1 << 15)));
+  }
+}
+BENCHMARK(BM_SbfEstimate);
+
+void BM_RecurringMinimumInsert(benchmark::State& state) {
+  auto filter = RecurringMinimumSbf::WithTotalBudget(1 << 16, 5, 17);
+  Xoshiro256 rng(17);
+  for (auto _ : state) {
+    filter.Insert(rng.UniformInt(1 << 14));
+  }
+}
+BENCHMARK(BM_RecurringMinimumInsert);
+
+}  // namespace
+}  // namespace sbf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+#ifndef SBF_BENCH_COMMON_HARNESS_H_
+#define SBF_BENCH_COMMON_HARNESS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/frequency_filter.h"
+#include "core/recurring_minimum.h"
+#include "core/spectral_bloom_filter.h"
+#include "core/trapping_rm.h"
+#include "util/metrics.h"
+#include "util/table_printer.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf::bench {
+
+// The paper's experimental protocol (Section 6.1): every reported number
+// is the average over 5 independent runs with different seeds.
+inline constexpr int kRuns = 5;
+
+// The three lookup schemes compared throughout Section 6.
+enum class Algorithm { kMinimumSelection, kMinimalIncrease, kRecurringMinimum };
+
+inline const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kMinimumSelection:
+      return "MS";
+    case Algorithm::kMinimalIncrease:
+      return "MI";
+    case Algorithm::kRecurringMinimum:
+      return "RM";
+  }
+  return "?";
+}
+
+inline std::vector<Algorithm> AllAlgorithms() {
+  return {Algorithm::kMinimumSelection, Algorithm::kMinimalIncrease,
+          Algorithm::kRecurringMinimum};
+}
+
+// Builds a filter with `total_m` counters overall — for RM the budget is
+// split 2:1 between primary and secondary, the paper's fair-comparison
+// setup ("the sizes of the primary and the secondary SBFs together being
+// m", Section 6.1).
+inline std::unique_ptr<FrequencyFilter> MakeFilter(Algorithm algorithm,
+                                                   uint64_t total_m,
+                                                   uint32_t k, uint64_t seed) {
+  switch (algorithm) {
+    case Algorithm::kMinimumSelection:
+    case Algorithm::kMinimalIncrease: {
+      SbfOptions options;
+      options.m = total_m;
+      options.k = k;
+      options.policy = algorithm == Algorithm::kMinimumSelection
+                           ? SbfPolicy::kMinimumSelection
+                           : SbfPolicy::kMinimalIncrease;
+      options.seed = seed;
+      options.backing = CounterBacking::kFixed64;
+      return std::make_unique<SpectralBloomFilter>(options);
+    }
+    case Algorithm::kRecurringMinimum:
+      return std::make_unique<RecurringMinimumSbf>(
+          RecurringMinimumSbf::WithTotalBudget(total_m, k, seed));
+  }
+  return nullptr;
+}
+
+// Inserts the stream and queries every distinct key, returning the error
+// statistics the paper reports (E_add, E_ratio, FN share).
+inline ErrorStats MeasureAccuracy(FrequencyFilter& filter,
+                                  const Multiset& data) {
+  for (uint64_t key : data.stream) filter.Insert(key);
+  ErrorStats stats;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    stats.Record(filter.Estimate(data.keys[i]), data.freqs[i]);
+  }
+  return stats;
+}
+
+// Runs `fn(seed)` kRuns times with distinct seeds and merges the stats.
+inline ErrorStats AverageRuns(
+    const std::function<ErrorStats(uint64_t seed)>& fn) {
+  ErrorStats merged;
+  for (int run = 0; run < kRuns; ++run) {
+    merged.Merge(fn(0x5BF5EEDull + static_cast<uint64_t>(run) * 7919));
+  }
+  return merged;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& setup) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), setup.c_str());
+}
+
+}  // namespace sbf::bench
+
+#endif  // SBF_BENCH_COMMON_HARNESS_H_

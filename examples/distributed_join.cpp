@@ -1,0 +1,59 @@
+// Spectral Bloomjoin (paper Section 5.3): two database sites answer
+//
+//   SELECT customers.id, count(*) FROM customers, orders
+//   WHERE customers.id = orders.customer GROUP BY customers.id
+//   HAVING count(*) >= 50
+//
+// with a single site-to-site message: the orders site serializes its SBF
+// over the join attribute; the customers site multiplies it with its own
+// SBF and scans locally. Compare the network bill against shipping the
+// orders table or running a classic Bloomjoin.
+
+#include <cstdio>
+
+#include "db/bloomjoin.h"
+#include "util/random.h"
+
+int main() {
+  sbf::Relation customers("customers");
+  sbf::Relation orders("orders");
+  for (uint64_t id = 1; id <= 2000; ++id) customers.Add(id, id);
+  sbf::Xoshiro256 rng(2026);
+  for (uint64_t order = 0; order < 100000; ++order) {
+    // 70% of orders reference known customers; the rest are foreign.
+    const uint64_t customer = rng.UniformDouble() < 0.7
+                                  ? rng.UniformInt(2000) + 1
+                                  : 100000 + rng.UniformInt(3000);
+    orders.Add(customer, order);
+  }
+
+  const auto ship_all = sbf::ShipAllJoin(customers, orders);
+  const auto classic = sbf::ClassicBloomjoin(customers, orders, 16000, 5, 7);
+  const auto spectral =
+      sbf::SpectralBloomjoin(customers, orders, 36000, 5, 50, 7);
+  const auto verified =
+      sbf::VerifiedSpectralBloomjoin(customers, orders, 36000, 5, 50, 7);
+
+  auto report = [](const char* name, const sbf::DistributedJoinResult& r) {
+    std::printf(
+        "%-18s %8llu bytes  %u round(s)  %5zu groups  (%llu false, %llu "
+        "missed)\n",
+        name, (unsigned long long)r.network.bytes_sent, r.network.rounds,
+        r.groups.size(), (unsigned long long)r.false_groups,
+        (unsigned long long)r.missed_groups);
+  };
+  report("ship-all", ship_all);
+  report("classic bloomjoin", classic);
+  report("spectral (1 msg)", spectral);
+  report("spectral+verify", verified);
+
+  std::printf(
+      "\nspectral join sent %.1f%% of the ship-all bytes in one round;\n"
+      "errors are one-sided and the verify pass removes them for %.1f%% "
+      "extra traffic.\n",
+      100.0 * spectral.network.bytes_sent / ship_all.network.bytes_sent,
+      100.0 *
+          (verified.network.bytes_sent - spectral.network.bytes_sent) /
+          spectral.network.bytes_sent);
+  return 0;
+}

@@ -1,0 +1,206 @@
+// sbf_tool — a small command-line utility around the library, the kind of
+// artifact a deployment actually ships:
+//
+//   sbf_tool build  <filter-file> [m] [k]   build a filter from stdin keys
+//                                           (one key per line; repeated
+//                                           lines raise the multiplicity)
+//   sbf_tool query  <filter-file> <key>...  estimate multiplicities
+//   sbf_tool heavy  <filter-file> <T> <key>...
+//                                           keys with estimate >= T
+//   sbf_tool merge  <out> <in1> <in2>...    union compatible filters
+//   sbf_tool info   <filter-file>           parameters and fill statistics
+//
+// Run with no arguments for a self-demo that exercises every subcommand in
+// a temp directory (so the example binary stays runnable standalone).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/sbf_algebra.h"
+#include "core/spectral_bloom_filter.h"
+
+namespace {
+
+using sbf::SbfOptions;
+using sbf::SpectralBloomFilter;
+
+bool WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  bytes->assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  return true;
+}
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "sbf_tool: %s\n", message);
+  return 1;
+}
+
+SpectralBloomFilter Load(const std::string& path, bool* ok) {
+  std::vector<uint8_t> bytes;
+  *ok = false;
+  if (!ReadFile(path, &bytes)) {
+    std::fprintf(stderr, "sbf_tool: cannot read %s\n", path.c_str());
+    SbfOptions fallback;
+    fallback.m = 1;
+    fallback.k = 1;
+    return SpectralBloomFilter(fallback);
+  }
+  auto filter = SpectralBloomFilter::Deserialize(bytes);
+  if (!filter.ok()) {
+    std::fprintf(stderr, "sbf_tool: %s: %s\n", path.c_str(),
+                 filter.status().ToString().c_str());
+    SbfOptions fallback;
+    fallback.m = 1;
+    fallback.k = 1;
+    return SpectralBloomFilter(fallback);
+  }
+  *ok = true;
+  return std::move(filter).value();
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 3) return Fail("build needs an output path");
+  SbfOptions options;
+  options.m = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 100000;
+  options.k = argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 5;
+  options.policy = sbf::SbfPolicy::kMinimumSelection;  // mergeable
+  options.backing = sbf::CounterBacking::kCompact;
+  SpectralBloomFilter filter(options);
+
+  char line[4096];
+  uint64_t lines = 0;
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    size_t len = std::strlen(line);
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      line[--len] = '\0';
+    }
+    if (len == 0) continue;
+    filter.InsertBytes(std::string_view(line, len));
+    ++lines;
+  }
+  if (!WriteFile(argv[2], filter.Serialize())) return Fail("write failed");
+  std::printf("built %s: %llu insertions, m=%llu k=%u, %zu bytes on disk\n",
+              argv[2], (unsigned long long)lines,
+              (unsigned long long)filter.m(), filter.k(),
+              filter.Serialize().size());
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 4) return Fail("query needs a filter and at least one key");
+  bool ok = false;
+  const SpectralBloomFilter filter = Load(argv[2], &ok);
+  if (!ok) return 1;
+  for (int i = 3; i < argc; ++i) {
+    std::printf("%s\t%llu\n", argv[i],
+                (unsigned long long)filter.EstimateBytes(argv[i]));
+  }
+  return 0;
+}
+
+int CmdHeavy(int argc, char** argv) {
+  if (argc < 5) return Fail("heavy needs a filter, a threshold and keys");
+  bool ok = false;
+  const SpectralBloomFilter filter = Load(argv[2], &ok);
+  if (!ok) return 1;
+  const uint64_t threshold = std::strtoull(argv[3], nullptr, 10);
+  for (int i = 4; i < argc; ++i) {
+    if (filter.EstimateBytes(argv[i]) >= threshold) {
+      std::printf("%s\n", argv[i]);
+    }
+  }
+  return 0;
+}
+
+int CmdMerge(int argc, char** argv) {
+  if (argc < 5) return Fail("merge needs an output and >= 2 inputs");
+  bool ok = false;
+  SpectralBloomFilter merged = Load(argv[3], &ok);
+  if (!ok) return 1;
+  for (int i = 4; i < argc; ++i) {
+    const SpectralBloomFilter next = Load(argv[i], &ok);
+    if (!ok) return 1;
+    const sbf::Status status = UnionInto(&merged, next);
+    if (!status.ok()) return Fail(status.ToString().c_str());
+  }
+  if (!WriteFile(argv[2], merged.Serialize())) return Fail("write failed");
+  std::printf("merged %d filters into %s (%llu items)\n", argc - 3, argv[2],
+              (unsigned long long)merged.total_items());
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  if (argc < 3) return Fail("info needs a filter path");
+  bool ok = false;
+  const SpectralBloomFilter filter = Load(argv[2], &ok);
+  if (!ok) return 1;
+  uint64_t nonzero = 0;
+  for (uint64_t i = 0; i < filter.m(); ++i) {
+    nonzero += filter.counters().Get(i) > 0;
+  }
+  std::printf("m=%llu k=%u policy=%s items=%llu\n",
+              (unsigned long long)filter.m(), filter.k(),
+              filter.Name().c_str(),
+              (unsigned long long)filter.total_items());
+  std::printf("counters nonzero: %llu (%.1f%%), memory %zu KB\n",
+              (unsigned long long)nonzero, 100.0 * nonzero / filter.m(),
+              filter.MemoryUsageBits() / 8192);
+  return 0;
+}
+
+int SelfDemo(const char* binary) {
+  std::printf("sbf_tool self-demo (run '%s help' for usage)\n\n", binary);
+  const std::string dir = "/tmp/sbf_tool_demo";
+  std::system(("mkdir -p " + dir).c_str());
+
+  // Two "sites" build filters over their own logs, then merge.
+  std::system(("printf 'alice\\nbob\\nalice\\ncarol\\n' | " +
+               std::string(binary) + " build " + dir + "/site1.sbf 4096 4")
+                  .c_str());
+  std::system(("printf 'alice\\ndave\\n' | " + std::string(binary) +
+               " build " + dir + "/site2.sbf 4096 4")
+                  .c_str());
+  std::system((std::string(binary) + " merge " + dir + "/all.sbf " + dir +
+               "/site1.sbf " + dir + "/site2.sbf")
+                  .c_str());
+  std::system((std::string(binary) + " query " + dir +
+               "/all.sbf alice bob carol dave erin")
+                  .c_str());
+  std::system((std::string(binary) + " heavy " + dir +
+               "/all.sbf 2 alice bob carol dave")
+                  .c_str());
+  std::system((std::string(binary) + " info " + dir + "/all.sbf").c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return SelfDemo(argv[0]);
+  if (std::strcmp(argv[1], "build") == 0) return CmdBuild(argc, argv);
+  if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
+  if (std::strcmp(argv[1], "heavy") == 0) return CmdHeavy(argc, argv);
+  if (std::strcmp(argv[1], "merge") == 0) return CmdMerge(argc, argv);
+  if (std::strcmp(argv[1], "info") == 0) return CmdInfo(argc, argv);
+  std::printf(
+      "usage: %s build <out> [m] [k] < keys\n"
+      "       %s query <filter> <key>...\n"
+      "       %s heavy <filter> <threshold> <key>...\n"
+      "       %s merge <out> <in1> <in2>...\n"
+      "       %s info  <filter>\n",
+      argv[0], argv[0], argv[0], argv[0], argv[0]);
+  return std::strcmp(argv[1], "help") == 0 ? 0 : 1;
+}

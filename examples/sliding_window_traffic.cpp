@@ -1,0 +1,87 @@
+// Sliding-window flow tracking (the network-measurement scenario of the
+// paper's introduction, Section 1.1.4): keep per-flow packet counts for
+// the most recent window of traffic only. The Recurring Minimum SBF
+// supports the required deletions without the false negatives that break
+// Minimal Increase here — demonstrated side by side.
+
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "core/recurring_minimum.h"
+#include "core/sliding_window.h"
+#include "core/spectral_bloom_filter.h"
+#include "workload/multiset_stream.h"
+
+namespace {
+
+struct Outcome {
+  size_t false_negatives = 0;
+  size_t overestimates = 0;
+};
+
+Outcome RunWindow(std::unique_ptr<sbf::FrequencyFilter> filter,
+                  const sbf::Multiset& traffic, size_t window_size) {
+  sbf::SlidingWindowFilter window(std::move(filter), window_size);
+  std::unordered_map<uint64_t, uint64_t> live;
+  std::deque<uint64_t> reference;
+  for (uint64_t flow : traffic.stream) {
+    window.Push(flow);
+    reference.push_back(flow);
+    ++live[flow];
+    while (reference.size() > window_size) {
+      --live[reference.front()];
+      reference.pop_front();
+    }
+  }
+  Outcome outcome;
+  for (const auto& [flow, packets] : live) {
+    const uint64_t estimate = window.Estimate(flow);
+    outcome.false_negatives += (estimate < packets);
+    outcome.overestimates += (estimate > packets);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  // 2000 flows, 200k packets, heavy-tailed; window = last 40k packets.
+  const sbf::Multiset traffic = sbf::MakeZipfMultiset(2000, 200000, 1.0, 7);
+  constexpr size_t kWindow = 40000;
+
+  sbf::RecurringMinimumOptions rm_options;
+  rm_options.primary_m = 12000;
+  rm_options.secondary_m = 3000;
+  rm_options.k = 5;
+  rm_options.backing = sbf::CounterBacking::kCompact;
+  // The marker filter B_f pins down which items live in the secondary,
+  // closing the marker-less variant's residual false-negative window
+  // under heavy deletion churn (Section 3.3's refinement).
+  rm_options.use_marker_filter = true;
+  const Outcome rm = RunWindow(
+      std::make_unique<sbf::RecurringMinimumSbf>(rm_options), traffic,
+      kWindow);
+
+  sbf::SbfOptions mi_options;
+  mi_options.m = 15000;
+  mi_options.k = 5;
+  mi_options.policy = sbf::SbfPolicy::kMinimalIncrease;
+  mi_options.backing = sbf::CounterBacking::kCompact;
+  const Outcome mi = RunWindow(
+      std::make_unique<sbf::SpectralBloomFilter>(mi_options), traffic,
+      kWindow);
+
+  std::printf("window = last %zu packets, 2000 flows, equal memory\n\n",
+              kWindow);
+  std::printf("Recurring Minimum: %zu false negatives, %zu overestimates\n",
+              rm.false_negatives, rm.overestimates);
+  std::printf("Minimal Increase : %zu false negatives, %zu overestimates\n",
+              mi.false_negatives, mi.overestimates);
+  std::printf(
+      "\nMI cannot follow the expiring window (Section 3.2); RM keeps the "
+      "one-sided\nguarantee that makes 'flow f sent >= T packets recently' "
+      "trustworthy.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "bitstream/bit_vector.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace sbf {
+
+void BitVector::Resize(size_t num_bits) {
+  const size_t words = CeilDiv(num_bits, 64);
+  words_.resize(words, 0);
+  // Clear any bits beyond the new logical end so PopCount and comparisons
+  // stay exact after a shrink.
+  if (num_bits < num_bits_ && (num_bits & 63) != 0 && !words_.empty()) {
+    words_[num_bits >> 6] &= LowMask(num_bits & 63);
+  }
+  num_bits_ = num_bits;
+}
+
+void BitVector::Clear() { std::fill(words_.begin(), words_.end(), 0ull); }
+
+uint64_t BitVector::GetBits(size_t pos, uint32_t width) const {
+  SBF_DCHECK(width <= 64);
+  if (width == 0) return 0;
+  SBF_DCHECK(pos + width <= num_bits_);
+  const size_t word = pos >> 6;
+  const uint32_t offset = pos & 63;
+  uint64_t value = words_[word] >> offset;
+  if (offset + width > 64) {
+    value |= words_[word + 1] << (64 - offset);
+  }
+  return value & LowMask(width);
+}
+
+void BitVector::SetBits(size_t pos, uint32_t width, uint64_t value) {
+  SBF_DCHECK(width <= 64);
+  if (width == 0) return;
+  SBF_DCHECK(pos + width <= num_bits_);
+  SBF_DCHECK((value & ~LowMask(width)) == 0);
+  const size_t word = pos >> 6;
+  const uint32_t offset = pos & 63;
+  const uint64_t mask = LowMask(width);
+  words_[word] = (words_[word] & ~(mask << offset)) | (value << offset);
+  if (offset + width > 64) {
+    const uint32_t spill = offset + width - 64;
+    const uint64_t hi_mask = LowMask(spill);
+    words_[word + 1] =
+        (words_[word + 1] & ~hi_mask) | (value >> (64 - offset));
+  }
+}
+
+void BitVector::ShiftRangeRight(size_t begin, size_t end, size_t shift) {
+  SBF_DCHECK(begin <= end);
+  SBF_DCHECK(end + shift <= num_bits_);
+  if (shift == 0 || begin == end) return;
+  // Copy backwards in <=64-bit chunks so overlapping ranges are safe.
+  size_t remaining = end - begin;
+  size_t src = end;
+  while (remaining > 0) {
+    const uint32_t chunk = static_cast<uint32_t>(std::min<size_t>(remaining, 64));
+    src -= chunk;
+    const uint64_t v = GetBits(src, chunk);
+    SetBits(src + shift, chunk, v);
+    remaining -= chunk;
+  }
+}
+
+void BitVector::ShiftRangeLeft(size_t begin, size_t end, size_t shift) {
+  SBF_DCHECK(begin <= end);
+  SBF_DCHECK(shift <= begin);
+  if (shift == 0 || begin == end) return;
+  // Copy forwards in <=64-bit chunks so overlapping ranges are safe.
+  size_t src = begin;
+  size_t remaining = end - begin;
+  while (remaining > 0) {
+    const uint32_t chunk = static_cast<uint32_t>(std::min<size_t>(remaining, 64));
+    const uint64_t v = GetBits(src, chunk);
+    SetBits(src - shift, chunk, v);
+    src += chunk;
+    remaining -= chunk;
+  }
+}
+
+void BitVector::CopyFrom(const BitVector& src, size_t src_pos, size_t dst_pos,
+                         size_t len) {
+  SBF_DCHECK(this != &src);
+  SBF_DCHECK(src_pos + len <= src.num_bits_);
+  SBF_DCHECK(dst_pos + len <= num_bits_);
+  while (len > 0) {
+    const uint32_t chunk = static_cast<uint32_t>(std::min<size_t>(len, 64));
+    SetBits(dst_pos, chunk, src.GetBits(src_pos, chunk));
+    src_pos += chunk;
+    dst_pos += chunk;
+    len -= chunk;
+  }
+}
+
+size_t BitVector::PopCount() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+}  // namespace sbf

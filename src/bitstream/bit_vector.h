@@ -1,0 +1,88 @@
+#ifndef SBF_BITSTREAM_BIT_VECTOR_H_
+#define SBF_BITSTREAM_BIT_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace sbf {
+
+// Growable bit array with arbitrary-width bit-field access. This is the
+// base storage for every compact structure in the library: the SBF counter
+// arrays, the string-array index offset vectors, and the encoded streams.
+//
+// Bit order is LSB-first: logical bit i lives in word i/64 at bit i%64, and
+// a field read with GetBits(pos, w) has logical bit `pos` as its least
+// significant bit. All positions are in bits.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t num_bits) { Resize(num_bits); }
+
+  size_t size_bits() const { return num_bits_; }
+  size_t size_words() const { return words_.size(); }
+  // Total allocated storage in bits (whole words).
+  size_t capacity_bits() const { return words_.size() * 64; }
+
+  // Grows or shrinks to `num_bits`; new bits are zero.
+  void Resize(size_t num_bits);
+  // Sets every bit to zero without changing the size.
+  void Clear();
+
+  bool GetBit(size_t pos) const {
+    SBF_DCHECK(pos < num_bits_);
+    return (words_[pos >> 6] >> (pos & 63)) & 1ull;
+  }
+
+  void SetBit(size_t pos, bool value) {
+    SBF_DCHECK(pos < num_bits_);
+    const uint64_t mask = 1ull << (pos & 63);
+    if (value) {
+      words_[pos >> 6] |= mask;
+    } else {
+      words_[pos >> 6] &= ~mask;
+    }
+  }
+
+  // Reads a `width`-bit field starting at `pos` (width 0..64).
+  uint64_t GetBits(size_t pos, uint32_t width) const;
+
+  // Writes the low `width` bits of `value` at `pos` (width 0..64). Bits of
+  // `value` above `width` must be zero.
+  void SetBits(size_t pos, uint32_t width, uint64_t value);
+
+  // Moves the bit range [begin, end) to [begin+shift, end+shift); the
+  // vacated bits keep their previous values (callers overwrite them).
+  // Ranges may overlap. Used when a widening counter pushes its neighbors
+  // toward a slack region (paper Section 4.4).
+  void ShiftRangeRight(size_t begin, size_t end, size_t shift);
+
+  // Moves the bit range [begin, end) to [begin-shift, end-shift).
+  void ShiftRangeLeft(size_t begin, size_t end, size_t shift);
+
+  // Copies `len` bits from `src` starting at `src_pos` into this vector at
+  // `dst_pos`. The vectors must be distinct objects.
+  void CopyFrom(const BitVector& src, size_t src_pos, size_t dst_pos,
+                size_t len);
+
+  // Number of set bits in the whole vector.
+  size_t PopCount() const;
+
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
+
+  bool operator==(const BitVector& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_BITSTREAM_BIT_VECTOR_H_

@@ -1,0 +1,89 @@
+#ifndef SBF_BITSTREAM_BIT_WRITER_H_
+#define SBF_BITSTREAM_BIT_WRITER_H_
+
+#include <cstdint>
+
+#include "bitstream/bit_vector.h"
+
+namespace sbf {
+
+// Append-only cursor over a BitVector, used to build encoded streams
+// (Elias / steps coded counter groups). Grows the underlying vector on
+// demand in word-sized steps.
+class BitWriter {
+ public:
+  explicit BitWriter(BitVector* out) : out_(out), pos_(out->size_bits()) {}
+
+  // Positioned writer: starts writing (overwriting) at `pos`. Used to
+  // re-encode a counter group in place inside its slack-padded region.
+  BitWriter(BitVector* out, size_t pos) : out_(out), pos_(pos) {
+    SBF_DCHECK(pos <= out->size_bits());
+  }
+
+  size_t position() const { return pos_; }
+
+  void WriteBit(bool bit) {
+    EnsureRoom(1);
+    out_->SetBit(pos_++, bit);
+  }
+
+  // Appends the low `width` bits of `value`, LSB first in the stream.
+  void WriteBits(uint64_t value, uint32_t width) {
+    EnsureRoom(width);
+    out_->SetBits(pos_, width, value & LowMask(width));
+    pos_ += width;
+  }
+
+  // Appends `count` zero bits. Writes them explicitly so positioned
+  // (overwriting) writers stay correct.
+  void WriteZeros(uint32_t count) {
+    EnsureRoom(count);
+    uint32_t remaining = count;
+    while (remaining > 0) {
+      const uint32_t chunk = remaining > 64 ? 64 : remaining;
+      out_->SetBits(pos_, chunk, 0);
+      pos_ += chunk;
+      remaining -= chunk;
+    }
+  }
+
+  // Truncates the vector to exactly the written length.
+  void Finish() { out_->Resize(pos_); }
+
+ private:
+  void EnsureRoom(uint32_t bits) {
+    if (pos_ + bits > out_->size_bits()) {
+      out_->Resize(((pos_ + bits) * 2) + 64);
+    }
+  }
+
+  BitVector* out_;
+  size_t pos_;
+};
+
+// Sequential reading cursor over a BitVector.
+class BitReader {
+ public:
+  explicit BitReader(const BitVector* in, size_t pos = 0)
+      : in_(in), pos_(pos) {}
+
+  size_t position() const { return pos_; }
+  void Seek(size_t pos) { pos_ = pos; }
+  bool AtEnd() const { return pos_ >= in_->size_bits(); }
+
+  bool ReadBit() { return in_->GetBit(pos_++); }
+
+  uint64_t ReadBits(uint32_t width) {
+    const uint64_t v = in_->GetBits(pos_, width);
+    pos_ += width;
+    return v;
+  }
+
+ private:
+  const BitVector* in_;
+  size_t pos_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_BITSTREAM_BIT_WRITER_H_

@@ -1,0 +1,41 @@
+#ifndef SBF_BITSTREAM_ELIAS_H_
+#define SBF_BITSTREAM_ELIAS_H_
+
+#include <cstdint>
+
+#include "bitstream/bit_writer.h"
+
+namespace sbf {
+
+// Elias universal codes [Eli75], the prefix-free integer codes the paper
+// uses for compact serial counter storage (Section 4.5).
+//
+// Gamma code of n >= 1: (L-1) zero bits, then the L-bit binary
+// representation of n MSB-first, where L = floor(log2 n) + 1.
+// Length: 2*floor(log2 n) + 1 bits.
+//
+// Delta code of n >= 1: gamma code of L, then the low L-1 bits of n
+// (the leading 1 is implied). Length: floor(log2 n) +
+// 2*floor(log2(floor(log2 n)+1)) + 1 bits — the paper's L2(n).
+//
+// Neither code represents 0; the counter layers encode c as code(c+1), as
+// the paper prescribes ("when encoding n, we actually encode n+1").
+
+// Appends the gamma code of n (n >= 1).
+void EliasGammaEncode(uint64_t n, BitWriter* writer);
+// Decodes one gamma codeword at the reader's position.
+uint64_t EliasGammaDecode(BitReader* reader);
+// Code length in bits without encoding.
+uint32_t EliasGammaLength(uint64_t n);
+
+// Appends the delta code of n (n >= 1).
+void EliasDeltaEncode(uint64_t n, BitWriter* writer);
+// Decodes one delta codeword at the reader's position.
+uint64_t EliasDeltaDecode(BitReader* reader);
+// Code length in bits without encoding; this is the paper's
+// L2(n) = floor(log2 n) + 2*floor(log2(floor(log2 n)+1)) + 1.
+uint32_t EliasDeltaLength(uint64_t n);
+
+}  // namespace sbf
+
+#endif  // SBF_BITSTREAM_ELIAS_H_

@@ -1,0 +1,86 @@
+#include "bitstream/rank_select.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace sbf {
+namespace {
+
+// Position (0-indexed from LSB) of the j-th set bit within a word,
+// 0-indexed. Precondition: popcount(word) > j.
+uint32_t SelectInWord(uint64_t word, uint32_t j) {
+  for (uint32_t i = 0; i < j; ++i) word &= word - 1;  // clear j lowest ones
+  return static_cast<uint32_t>(std::countr_zero(word));
+}
+
+}  // namespace
+
+RankSelect::RankSelect(const BitVector* bits) : bits_(bits) {
+  const size_t num_words = bits_->size_words();
+  const size_t num_supers = num_words / kBlocksPerSuper + 1;
+  superblocks_.resize(num_supers);
+  blocks_.resize(num_words + 1);
+
+  uint64_t total = 0;
+  uint64_t in_super = 0;
+  for (size_t w = 0; w <= num_words; ++w) {
+    if (w % kBlocksPerSuper == 0) {
+      superblocks_[w / kBlocksPerSuper] = total;
+      in_super = 0;
+    }
+    if (w < blocks_.size()) blocks_[w] = static_cast<uint16_t>(in_super);
+    if (w < num_words) {
+      const uint32_t pc = std::popcount(bits_->words()[w]);
+      total += pc;
+      in_super += pc;
+    }
+  }
+  num_ones_ = total;
+}
+
+size_t RankSelect::Rank1(size_t pos) const {
+  SBF_DCHECK(pos <= bits_->size_bits());
+  const size_t word = pos >> 6;
+  size_t r = superblocks_[word / kBlocksPerSuper] + blocks_[word];
+  const uint32_t rem = pos & 63;
+  if (rem != 0) {
+    r += std::popcount(bits_->words()[word] & LowMask(rem));
+  }
+  return r;
+}
+
+size_t RankSelect::Select1(size_t j) const {
+  SBF_DCHECK(j < num_ones_);
+  // Binary search over superblocks for the last one with rank <= j.
+  size_t lo = 0, hi = superblocks_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi + 1) / 2;
+    if (superblocks_[mid] <= j) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  size_t remaining = j - superblocks_[lo];
+
+  // Scan blocks within the superblock.
+  const size_t first_word = lo * kBlocksPerSuper;
+  const size_t end_word =
+      std::min(first_word + kBlocksPerSuper, bits_->size_words());
+  size_t word = first_word;
+  for (size_t w = first_word; w < end_word; ++w) {
+    const uint32_t pc = std::popcount(bits_->words()[w]);
+    if (remaining < pc) {
+      word = w;
+      break;
+    }
+    remaining -= pc;
+    word = w + 1;
+  }
+  SBF_DCHECK(word < bits_->size_words());
+  return word * 64 +
+         SelectInWord(bits_->words()[word], static_cast<uint32_t>(remaining));
+}
+
+}  // namespace sbf

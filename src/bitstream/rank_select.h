@@ -1,0 +1,56 @@
+#ifndef SBF_BITSTREAM_RANK_SELECT_H_
+#define SBF_BITSTREAM_RANK_SELECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/bit_vector.h"
+
+namespace sbf {
+
+// Static rank/select directory over a BitVector snapshot.
+//
+// The paper uses rank to translate subgroup indices into offset-vector
+// slots when lookup-table-handled subgroups are skipped (Section 4.7.1),
+// and notes that the classic select solutions [Jac89, Mun96] solve the
+// static variable-length access problem. Rank answers in O(1) with o(N)
+// extra bits (two-level directory: 512-bit superblocks with absolute
+// counts + 64-bit blocks with 9-bit relative counts); select binary-
+// searches the directory then scans one word, O(log N) worst case.
+class RankSelect {
+ public:
+  RankSelect() = default;
+  // Builds the directory; `bits` must outlive this object.
+  explicit RankSelect(const BitVector* bits);
+
+  // Number of set bits in [0, pos). pos may equal size_bits().
+  size_t Rank1(size_t pos) const;
+  // Number of zero bits in [0, pos).
+  size_t Rank0(size_t pos) const { return pos - Rank1(pos); }
+
+  // Position of the j-th set bit, 0-indexed (Select1(0) = first set bit).
+  // Precondition: j < Rank1(size_bits()).
+  size_t Select1(size_t j) const;
+
+  size_t num_ones() const { return num_ones_; }
+
+  // Directory overhead in bits (excludes the underlying vector).
+  size_t OverheadBits() const {
+    return (superblocks_.size() * sizeof(uint64_t) +
+            blocks_.size() * sizeof(uint16_t)) *
+           8;
+  }
+
+ private:
+  static constexpr size_t kBitsPerBlock = 64;
+  static constexpr size_t kBlocksPerSuper = 8;  // 512 bits per superblock
+
+  const BitVector* bits_ = nullptr;
+  std::vector<uint64_t> superblocks_;  // absolute rank at superblock start
+  std::vector<uint16_t> blocks_;       // rank relative to superblock start
+  size_t num_ones_ = 0;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_BITSTREAM_RANK_SELECT_H_

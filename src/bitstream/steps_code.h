@@ -1,0 +1,48 @@
+#ifndef SBF_BITSTREAM_STEPS_CODE_H_
+#define SBF_BITSTREAM_STEPS_CODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/bit_writer.h"
+
+namespace sbf {
+
+// The paper's "steps" method (Section 4.5): a Huffman-like prefix code that
+// spends very few bits on the small counters that dominate real data sets,
+// escaping to an Elias code for large values.
+//
+// A configuration is a list of step widths [w_1, ..., w_s]. The codeword
+// for value v >= 0 is built step by step: at step j a continuation bit 0
+// means "v lies in this step" and is followed by w_j payload bits encoding
+// v - base_j, where base_j is the total capacity of earlier steps and step
+// j holds 2^{w_j} values. A continuation bit 1 advances to the next step;
+// after the last step, the Elias delta code of (v - base_end + 1) follows.
+//
+// The paper's example "0 -> '0', 1 -> '10', else '11' + Elias" is the
+// configuration {0, 0}. The Figure 10 configurations "1,2" and "2,3" are
+// {1, 2} and {2, 3}.
+class StepsCode {
+ public:
+  explicit StepsCode(std::vector<uint32_t> step_widths);
+
+  const std::vector<uint32_t>& step_widths() const { return step_widths_; }
+
+  // Appends the codeword for `value` (any value >= 0).
+  void Encode(uint64_t value, BitWriter* writer) const;
+
+  // Decodes one codeword at the reader's position.
+  uint64_t Decode(BitReader* reader) const;
+
+  // Codeword length in bits without encoding.
+  uint32_t Length(uint64_t value) const;
+
+ private:
+  std::vector<uint32_t> step_widths_;
+  std::vector<uint64_t> bases_;  // bases_[j] = first value of step j
+  uint64_t escape_base_;         // first value encoded via Elias escape
+};
+
+}  // namespace sbf
+
+#endif  // SBF_BITSTREAM_STEPS_CODE_H_

@@ -1,0 +1,130 @@
+#include "core/analysis.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sbf {
+
+double BloomErrorRate(double gamma, uint32_t k) {
+  SBF_DCHECK(gamma >= 0.0);
+  return std::pow(1.0 - std::exp(-gamma), static_cast<double>(k));
+}
+
+double BloomErrorRateFor(uint64_t n, uint64_t m, uint32_t k) {
+  const double gamma = static_cast<double>(n) * k / static_cast<double>(m);
+  return BloomErrorRate(gamma, k);
+}
+
+double BloomErrorRateExact(uint64_t n, uint64_t m, uint32_t k) {
+  const double p_zero =
+      std::pow(1.0 - 1.0 / static_cast<double>(m),
+               static_cast<double>(k) * static_cast<double>(n));
+  return std::pow(1.0 - p_zero, static_cast<double>(k));
+}
+
+double DoubleStepProbability(uint64_t total_items, uint64_t m, uint32_t k) {
+  const double trials =
+      static_cast<double>(total_items) * static_cast<double>(k);
+  const double q = 1.0 - 1.0 / static_cast<double>(m);
+  const double p_none = std::pow(q, trials);
+  const double p_one = trials * (1.0 / static_cast<double>(m)) *
+                       std::pow(q, trials - 1.0);
+  return 1.0 - p_none - p_one;
+}
+
+double ZipfExpectedRelativeError(uint64_t i, uint64_t n, uint32_t k,
+                                 double z) {
+  SBF_CHECK_MSG(n > k, "need n > k");
+  // S_z = sum_{j=1..n} j^{k-z-1}, computed exactly (Equation (1) keeps the
+  // sum; the closed form in the paper is only an integral bound).
+  const double exponent = static_cast<double>(k) - z - 1.0;
+  double s = 0.0;
+  for (uint64_t j = 1; j <= n; ++j) {
+    s += std::pow(static_cast<double>(j), exponent);
+  }
+  // k / (n-k)^k computed in log space to avoid overflow for large n, k.
+  const double log_coeff =
+      std::log(static_cast<double>(k)) -
+      static_cast<double>(k) * std::log(static_cast<double>(n - k));
+  return std::pow(static_cast<double>(i), z) * std::exp(log_coeff) * s;
+}
+
+double ZipfMeanRelativeErrorBound(uint64_t n, uint32_t k, double z) {
+  SBF_CHECK_MSG(n > k, "need n > k");
+  SBF_CHECK_MSG(z < static_cast<double>(k), "bound requires z < k");
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  const double log_value = std::log(dk) + (dk + 1.0) * std::log(dn + 1.0) -
+                           std::log(dn) - std::log(dk - z) -
+                           std::log(z + 1.0) - dk * std::log(dn - dk);
+  return std::exp(log_value);
+}
+
+double ZipfOptimalSkew(uint32_t k) {
+  // Equation (2) is proportional to 1 / ((k - z)(z + 1)), whose maximizing
+  // denominator sits at z = (k-1)/2. (The paper prints z_min = (k+1)/2,
+  // which does not extremize its own expression — an apparent typo; the
+  // derivative of (k-z)(z+1) vanishes at (k-1)/2.)
+  return (static_cast<double>(k) - 1.0) / 2.0;
+}
+
+double ZipfRelativeErrorTailBound(uint64_t i, uint64_t n, uint32_t k, double z,
+                                  double threshold) {
+  SBF_CHECK_MSG(n > k, "need n > k");
+  SBF_CHECK_MSG(threshold > 0.0 && z > 0.0, "need T > 0, z > 0");
+  const double base = static_cast<double>(i) /
+                      (static_cast<double>(n - k) *
+                       std::pow(threshold, 1.0 / z));
+  return static_cast<double>(k) * std::pow(base, static_cast<double>(k));
+}
+
+double IcebergErrorRate(const std::vector<double>& d, double gamma, uint32_t k,
+                        uint64_t threshold) {
+  if (threshold == 0) return 0.0;
+  // Suffix sums D_f = sum_{i >= T-f} d[i].
+  std::vector<double> suffix(d.size() + 1, 0.0);
+  for (size_t i = d.size(); i-- > 0;) {
+    suffix[i] = suffix[i + 1] + d[i];
+  }
+  auto suffix_at = [&](uint64_t from) {
+    return from >= suffix.size() ? 0.0 : suffix[from];
+  };
+
+  double total = 0.0;
+  const uint64_t upper = std::min<uint64_t>(threshold, d.size());
+  for (uint64_t f = 0; f < upper; ++f) {
+    const double heavy_fraction = suffix_at(threshold - f);
+    const double error =
+        std::pow(1.0 - std::exp(-gamma * heavy_fraction),
+                 static_cast<double>(k));
+    total += d[f] * error;
+  }
+  return total;
+}
+
+std::vector<double> ZipfFrequencyPmf(uint64_t n, uint64_t total, double z) {
+  SBF_CHECK_MSG(n >= 1, "need n >= 1");
+  // Normalization constant of p_i = c / i^z.
+  double harmonic = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    harmonic += std::pow(static_cast<double>(i), -z);
+  }
+  const double c = 1.0 / harmonic;
+
+  // Expected frequency of rank i, rounded to the nearest integer; build
+  // the histogram of frequencies.
+  uint64_t max_freq = 0;
+  std::vector<uint64_t> freqs(n);
+  for (uint64_t i = 1; i <= n; ++i) {
+    const double expected =
+        static_cast<double>(total) * c / std::pow(static_cast<double>(i), z);
+    freqs[i - 1] = static_cast<uint64_t>(std::llround(expected));
+    max_freq = std::max(max_freq, freqs[i - 1]);
+  }
+  std::vector<double> pmf(max_freq + 1, 0.0);
+  for (uint64_t f : freqs) pmf[f] += 1.0 / static_cast<double>(n);
+  return pmf;
+}
+
+}  // namespace sbf

@@ -1,0 +1,62 @@
+#ifndef SBF_CORE_ANALYSIS_H_
+#define SBF_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sbf {
+
+// Closed-form error models from the paper, used to print analytic curves
+// (Figures 1 and 4) and paper-vs-measured comparisons.
+
+// The classic Bloom error E_b ~ (1 - e^{-gamma})^k, gamma = nk/m
+// (Section 2.1).
+double BloomErrorRate(double gamma, uint32_t k);
+double BloomErrorRateFor(uint64_t n, uint64_t m, uint32_t k);
+
+// Exact form E_b = (1 - (1 - 1/m)^{kn})^k.
+double BloomErrorRateExact(uint64_t n, uint64_t m, uint32_t k);
+
+// Probability that a counter is stepped over by at least two items
+// (Section 2.3's E'): 1 - (1-1/m)^{Nk} - Nk(1/m)(1-1/m)^{Nk-1}.
+double DoubleStepProbability(uint64_t total_items, uint64_t m, uint32_t k);
+
+// Expected relative error of the i-th most frequent item (1-indexed) under
+// a Zipfian distribution of skew z with n distinct items and k hash
+// functions, *given* a Bloom error occurred — the paper's Equation (1):
+//
+//   E(RE_i^z) < i^z * k / (n-k)^k * sum_{j} j^{k-z-1}
+//
+// This is the curve family of Figure 1.
+double ZipfExpectedRelativeError(uint64_t i, uint64_t n, uint32_t k, double z);
+
+// Mean expected relative error over all items (Equation (2)):
+//   E(RE^z) < k (n+1)^{k+1} / (n (k-z) (z+1) (n-k)^k),  valid for z < k.
+double ZipfMeanRelativeErrorBound(uint64_t n, uint32_t k, double z);
+// Skew minimizing Equation (2): (k-1)/2 (the paper prints (k+1)/2, which
+// does not extremize its own formula; see the .cc note).
+double ZipfOptimalSkew(uint32_t k);
+
+// Tail bound P(RE_i > T) <= k (i / ((n-k) T^{1/z}))^k (Section 2.3).
+double ZipfRelativeErrorTailBound(uint64_t i, uint64_t n, uint32_t k, double z,
+                                  double threshold);
+
+// Iceberg-query error model (Section 5.2): for a frequency distribution
+// where `d[f]` is the fraction of distinct items having frequency f
+// (0 <= f < d.size()), the expected rate of items wrongly reported above
+// threshold T is
+//
+//   E = sum_{f=0}^{T-1} d[f] * (1 - e^{-(kn/m) * D_f})^k,
+//   D_f = sum_{i >= T-f} d[i],
+//
+// the Figure 4 curve.
+double IcebergErrorRate(const std::vector<double>& d, double gamma, uint32_t k,
+                        uint64_t threshold);
+
+// Frequency histogram d(f) of a Zipfian multiset: n distinct items, total
+// M occurrences, skew z. d[f] = fraction of items with frequency exactly f.
+std::vector<double> ZipfFrequencyPmf(uint64_t n, uint64_t total, double z);
+
+}  // namespace sbf
+
+#endif  // SBF_CORE_ANALYSIS_H_

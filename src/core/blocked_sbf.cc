@@ -1,0 +1,79 @@
+#include "core/blocked_sbf.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace sbf {
+namespace {
+
+constexpr uint32_t kMaxK = 64;
+
+uint64_t BlockAlpha(uint64_t seed) {
+  uint64_t sm = seed ^ 0xB10CEDull;
+  return SplitMix64(sm);
+}
+
+}  // namespace
+
+BlockedSbf::BlockedSbf(BlockedSbfOptions options)
+    : options_(options),
+      num_blocks_(CeilDiv(options.m, std::max<uint64_t>(options.block_size, 1))),
+      block_hash_(BlockAlpha(options.seed), num_blocks_),
+      within_block_(options.k, std::max<uint64_t>(options.block_size, 1),
+                    options.seed ^ 0x17735Bull, options.hash_kind),
+      counters_(MakeCounterVector(options.backing, options.m)) {
+  SBF_CHECK_MSG(options_.m >= 1, "blocked SBF needs m >= 1");
+  SBF_CHECK_MSG(options_.block_size >= 1 && options_.block_size <= options_.m,
+                "block size must be in [1, m]");
+  SBF_CHECK_MSG(options_.m % options_.block_size == 0,
+                "m must be a multiple of block_size");
+  SBF_CHECK_MSG(options_.k >= 1 && options_.k <= kMaxK, "need 1 <= k <= 64");
+}
+
+void BlockedSbf::Positions(uint64_t key, uint64_t* out) const {
+  const uint64_t base = BlockOf(key) * options_.block_size;
+  within_block_.Positions(key, out);
+  for (uint32_t i = 0; i < options_.k; ++i) out[i] += base;
+}
+
+void BlockedSbf::Insert(uint64_t key, uint64_t count) {
+  uint64_t positions[kMaxK];
+  Positions(key, positions);
+  for (uint32_t i = 0; i < options_.k; ++i) {
+    counters_->Increment(positions[i], count);
+  }
+}
+
+void BlockedSbf::Remove(uint64_t key, uint64_t count) {
+  uint64_t positions[kMaxK];
+  Positions(key, positions);
+  for (uint32_t i = 0; i < options_.k; ++i) {
+    counters_->Decrement(positions[i], count);
+  }
+}
+
+uint64_t BlockedSbf::Estimate(uint64_t key) const {
+  uint64_t positions[kMaxK];
+  Positions(key, positions);
+  uint64_t min_value = counters_->Get(positions[0]);
+  for (uint32_t i = 1; i < options_.k; ++i) {
+    min_value = std::min(min_value, counters_->Get(positions[i]));
+    if (min_value == 0) break;
+  }
+  return min_value;
+}
+
+uint64_t BlockedSbf::BlockLoad(uint64_t b) const {
+  SBF_DCHECK(b < num_blocks_);
+  uint64_t load = 0;
+  const uint64_t base = b * options_.block_size;
+  for (uint64_t i = 0; i < options_.block_size; ++i) {
+    load += counters_->Get(base + i);
+  }
+  return load;
+}
+
+}  // namespace sbf

@@ -1,0 +1,133 @@
+#include "core/bloom_filter.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace sbf {
+namespace {
+
+constexpr uint32_t kMaxK = 64;
+constexpr uint32_t kWireMagic = 0x53424621;  // "SBF!"
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(uint64_t m, uint32_t k, uint64_t seed,
+                         HashFamily::Kind kind)
+    : m_(m), hash_(k, m, seed, kind), bits_(m) {
+  SBF_CHECK_MSG(m >= 1, "Bloom filter needs m >= 1");
+  SBF_CHECK_MSG(k >= 1 && k <= kMaxK, "Bloom filter needs 1 <= k <= 64");
+}
+
+uint32_t BloomFilter::OptimalK(uint64_t m, uint64_t n) {
+  if (n == 0) return 1;
+  const double k = std::log(2.0) * static_cast<double>(m) /
+                   static_cast<double>(n);
+  const auto rounded = static_cast<uint32_t>(std::lround(k));
+  return std::max(1u, std::min(rounded, kMaxK));
+}
+
+BloomFilter BloomFilter::WithBitsPerKey(uint64_t n, double bits_per_key,
+                                        uint64_t seed) {
+  const auto m = static_cast<uint64_t>(
+      std::ceil(bits_per_key * static_cast<double>(std::max<uint64_t>(n, 1))));
+  return BloomFilter(std::max<uint64_t>(m, 1), OptimalK(m, n), seed);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  uint64_t positions[kMaxK];
+  hash_.Positions(key, positions);
+  for (uint32_t i = 0; i < hash_.k(); ++i) bits_.SetBit(positions[i], true);
+  ++num_added_;
+}
+
+bool BloomFilter::Contains(uint64_t key) const {
+  uint64_t positions[kMaxK];
+  hash_.Positions(key, positions);
+  for (uint32_t i = 0; i < hash_.k(); ++i) {
+    if (!bits_.GetBit(positions[i])) return false;
+  }
+  return true;
+}
+
+double BloomFilter::FillRatio() const {
+  return static_cast<double>(bits_.PopCount()) / static_cast<double>(m_);
+}
+
+double BloomFilter::TheoreticalFpRate(uint64_t m, uint32_t k, uint64_t n) {
+  if (n == 0) return 0.0;
+  const double gamma = static_cast<double>(k) * static_cast<double>(n) /
+                       static_cast<double>(m);
+  return std::pow(1.0 - std::exp(-gamma), k);
+}
+
+Status BloomFilter::UnionWith(const BloomFilter& other) {
+  if (!hash_.Compatible(other.hash_)) {
+    return Status::FailedPrecondition(
+        "Bloom filter union requires identical (m, k, seed, kind)");
+  }
+  for (size_t w = 0; w < bits_.size_words(); ++w) {
+    bits_.mutable_words()[w] |= other.bits_.words()[w];
+  }
+  num_added_ += other.num_added_;
+  return Status::Ok();
+}
+
+std::vector<uint8_t> BloomFilter::Serialize() const {
+  std::vector<uint8_t> out;
+  AppendU64(&out, kWireMagic);
+  AppendU64(&out, m_);
+  AppendU64(&out, hash_.k());
+  AppendU64(&out, hash_.seed());
+  AppendU64(&out, hash_.kind() == HashFamily::Kind::kModuloMultiply ? 0 : 1);
+  AppendU64(&out, num_added_);
+  for (size_t w = 0; w < bits_.size_words(); ++w) {
+    AppendU64(&out, bits_.words()[w]);
+  }
+  return out;
+}
+
+StatusOr<BloomFilter> BloomFilter::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  constexpr size_t kHeader = 6 * 8;
+  if (bytes.size() < kHeader) {
+    return Status::DataLoss("Bloom filter message truncated");
+  }
+  const uint8_t* p = bytes.data();
+  if (ReadU64(p) != kWireMagic) {
+    return Status::DataLoss("bad Bloom filter magic");
+  }
+  const uint64_t m = ReadU64(p + 8);
+  const uint64_t k = ReadU64(p + 16);
+  const uint64_t seed = ReadU64(p + 24);
+  const uint64_t kind = ReadU64(p + 32);
+  const uint64_t count = ReadU64(p + 40);
+  if (m < 1 || k < 1 || k > kMaxK || kind > 1) {
+    return Status::DataLoss("bad Bloom filter header");
+  }
+  // Validate the payload size before allocating m bits, so a corrupted
+  // header cannot trigger a huge allocation.
+  const size_t words = CeilDiv(m, 64);
+  if (bytes.size() != kHeader + words * 8) {
+    return Status::DataLoss("Bloom filter payload size mismatch");
+  }
+  BloomFilter filter(m, static_cast<uint32_t>(k), seed,
+                     kind == 0 ? HashFamily::Kind::kModuloMultiply
+                               : HashFamily::Kind::kDoubleMix);
+  for (size_t w = 0; w < words; ++w) {
+    filter.bits_.mutable_words()[w] = ReadU64(p + kHeader + w * 8);
+  }
+  filter.num_added_ = count;
+  return filter;
+}
+
+}  // namespace sbf

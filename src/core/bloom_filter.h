@@ -1,0 +1,78 @@
+#ifndef SBF_CORE_BLOOM_FILTER_H_
+#define SBF_CORE_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bitstream/bit_vector.h"
+#include "hashing/hash_family.h"
+#include "util/status.h"
+
+namespace sbf {
+
+// The classic Bloom filter [Blo70] (paper Section 2.1): a bit vector of m
+// bits and k hash functions supporting approximate membership with
+// one-sided (false-positive) error
+//
+//   E_b = (1 - (1 - 1/m)^{kn})^k  ~  (1 - e^{-kn/m})^k,
+//
+// minimized at k = ln 2 * m/n. Used standalone as the baseline structure,
+// and inside the Recurring Minimum algorithm as the marker filter B_f.
+class BloomFilter {
+ public:
+  BloomFilter(uint64_t m, uint32_t k, uint64_t seed = 0,
+              HashFamily::Kind kind = HashFamily::Kind::kModuloMultiply);
+
+  // The error-optimal number of hash functions for m bits and n keys:
+  // round(ln 2 * m / n), at least 1.
+  static uint32_t OptimalK(uint64_t m, uint64_t n);
+
+  // Builds a filter sized for `n` keys at `bits_per_key` bits each with the
+  // optimal k.
+  static BloomFilter WithBitsPerKey(uint64_t n, double bits_per_key,
+                                    uint64_t seed = 0);
+
+  void Add(uint64_t key);
+  void AddBytes(std::string_view key) { Add(Fingerprint64(key)); }
+
+  // True if `key` may be in the set; false means certainly absent.
+  bool Contains(uint64_t key) const;
+  bool ContainsBytes(std::string_view key) const {
+    return Contains(Fingerprint64(key));
+  }
+
+  uint64_t m() const { return m_; }
+  uint32_t k() const { return hash_.k(); }
+  size_t num_added() const { return num_added_; }
+  const HashFamily& hash() const { return hash_; }
+
+  // Fraction of bits currently set.
+  double FillRatio() const;
+  // Analytic false-positive rate after n insertions: (1 - e^{-kn/m})^k.
+  static double TheoreticalFpRate(uint64_t m, uint32_t k, uint64_t n);
+  // Analytic FP rate at the current load.
+  double ExpectedFpRate() const { return TheoreticalFpRate(m_, k(), num_added_); }
+
+  // Bitwise union with a filter built with compatible parameters; the
+  // result represents the union of the two key sets.
+  Status UnionWith(const BloomFilter& other);
+
+  // Wire format: header (m, k, seed, kind, count) + bit array. The paper
+  // stresses that distributed applications ship filters as messages
+  // (Section 4.7.1); serialization round-trips exactly.
+  std::vector<uint8_t> Serialize() const;
+  static StatusOr<BloomFilter> Deserialize(const std::vector<uint8_t>& bytes);
+
+  size_t MemoryUsageBits() const { return bits_.capacity_bits(); }
+
+ private:
+  uint64_t m_;
+  HashFamily hash_;
+  BitVector bits_;
+  size_t num_added_ = 0;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_CORE_BLOOM_FILTER_H_

@@ -1,0 +1,48 @@
+#include "core/counting_bloom_filter.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sbf {
+namespace {
+constexpr uint32_t kMaxK = 64;
+}  // namespace
+
+CountingBloomFilter::CountingBloomFilter(uint64_t m, uint32_t k,
+                                         uint32_t counter_bits, uint64_t seed,
+                                         HashFamily::Kind kind)
+    : m_(m),
+      hash_(k, m, seed, kind),
+      counters_(m, counter_bits, /*sticky_saturation=*/true) {
+  SBF_CHECK_MSG(k >= 1 && k <= kMaxK, "counting BF needs 1 <= k <= 64");
+}
+
+void CountingBloomFilter::Insert(uint64_t key, uint64_t count) {
+  uint64_t positions[kMaxK];
+  hash_.Positions(key, positions);
+  for (uint32_t i = 0; i < hash_.k(); ++i) {
+    counters_.Increment(positions[i], count);
+  }
+}
+
+void CountingBloomFilter::Remove(uint64_t key, uint64_t count) {
+  uint64_t positions[kMaxK];
+  hash_.Positions(key, positions);
+  for (uint32_t i = 0; i < hash_.k(); ++i) {
+    // Saturated counters stay put (sticky); others must hold the count.
+    counters_.Decrement(positions[i], count);
+  }
+}
+
+uint64_t CountingBloomFilter::Estimate(uint64_t key) const {
+  uint64_t positions[kMaxK];
+  hash_.Positions(key, positions);
+  uint64_t min_value = counters_.Get(positions[0]);
+  for (uint32_t i = 1; i < hash_.k(); ++i) {
+    min_value = std::min(min_value, counters_.Get(positions[i]));
+  }
+  return min_value;
+}
+
+}  // namespace sbf

@@ -1,0 +1,57 @@
+#ifndef SBF_CORE_COUNTING_BLOOM_FILTER_H_
+#define SBF_CORE_COUNTING_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/frequency_filter.h"
+#include "hashing/hash_family.h"
+#include "sai/fixed_counter_vector.h"
+
+namespace sbf {
+
+// The counting Bloom filter of Fan, Cao, Almeida & Broder [FCAB98]
+// (paper Section 1.1.3): each bit of the classic filter is replaced by a
+// small fixed-width counter (4 bits in the original, enough for sets by a
+// probabilistic urn argument) so that deletions become possible.
+//
+// This is the baseline the SBF improves on: with 4-bit saturating counters
+// it supports set membership with deletions, but it cannot represent the
+// multiplicities of a multi-set — "items may easily appear hundreds and
+// thousands of times" — because counters clamp at 15 and saturated
+// counters become sticky (never decremented) to preserve one-sided error.
+class CountingBloomFilter final : public FrequencyFilter {
+ public:
+  CountingBloomFilter(uint64_t m, uint32_t k, uint32_t counter_bits = 4,
+                      uint64_t seed = 0,
+                      HashFamily::Kind kind = HashFamily::Kind::kModuloMultiply);
+
+  void Insert(uint64_t key, uint64_t count = 1) override;
+  void Remove(uint64_t key, uint64_t count = 1) override;
+
+  // Minimum of the key's counters — an upper bound on its multiplicity
+  // *clamped to the counter range*, which is why this structure is a
+  // membership filter, not a spectral one.
+  uint64_t Estimate(uint64_t key) const override;
+
+  size_t MemoryUsageBits() const override {
+    return counters_.MemoryUsageBits();
+  }
+  std::string Name() const override { return "CBF"; }
+
+  uint64_t m() const { return m_; }
+  uint32_t k() const { return hash_.k(); }
+  const HashFamily& hash() const { return hash_; }
+  uint64_t max_count() const { return counters_.max_value(); }
+  // Counters pinned at the maximum (candidates for overestimation).
+  size_t SaturatedCount() const { return counters_.SaturatedCount(); }
+
+ private:
+  uint64_t m_;
+  HashFamily hash_;
+  FixedWidthCounterVector counters_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_CORE_COUNTING_BLOOM_FILTER_H_

@@ -1,0 +1,44 @@
+#ifndef SBF_CORE_ESTIMATORS_H_
+#define SBF_CORE_ESTIMATORS_H_
+
+#include <cstdint>
+
+#include "core/spectral_bloom_filter.h"
+
+namespace sbf {
+
+// Alternative estimators over an SBF's counters (paper Section 3.1).
+
+// The unbiased probabilistic estimator (Lemma 3):
+//
+//   f_bar(x) = (v_bar_x - kN/m) / (1 - k/m)
+//
+// where v_bar_x is the mean of x's k counters and N the total number of
+// items in the filter. E[f_bar(x)] = f_x, but the variance is high and the
+// estimate can be negative or below the true count (false negatives) —
+// useful for aggregates, poor for individual queries, exactly as the
+// paper's discussion concludes.
+double UnbiasedEstimate(const SpectralBloomFilter& filter, uint64_t key);
+
+// UnbiasedEstimate clamped to [0, MinimumSelection estimate]: never worse
+// than the one-sided bounds that are certain.
+double ClampedUnbiasedEstimate(const SpectralBloomFilter& filter,
+                               uint64_t key);
+
+// Variance-boosted estimator (Section 3.1.1): partitions the k counters
+// into `groups` groups, averages (bias-corrected) within each group, and
+// returns the median of the group means [AMS99]. `groups` must be >= 1;
+// counters are split as evenly as possible. With groups == 1 this is
+// UnbiasedEstimate.
+double BoostedUnbiasedEstimate(const SpectralBloomFilter& filter,
+                               uint64_t key, uint32_t groups);
+
+// The hybrid suggested in Section 3.1's discussion: trust the minimum when
+// the item has a recurring minimum (probably accurate) and fall back to
+// the clamped unbiased estimator only in suspected-error cases.
+double HybridRmUnbiasedEstimate(const SpectralBloomFilter& filter,
+                                uint64_t key);
+
+}  // namespace sbf
+
+#endif  // SBF_CORE_ESTIMATORS_H_

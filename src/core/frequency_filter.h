@@ -1,0 +1,47 @@
+#ifndef SBF_CORE_FREQUENCY_FILTER_H_
+#define SBF_CORE_FREQUENCY_FILTER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sbf {
+
+// Common interface of every multiplicity-estimating filter in the library
+// (SBF under Minimum Selection / Minimal Increase, Recurring Minimum,
+// Trapping Recurring Minimum). Lets the experiment harness and the
+// sliding-window wrapper treat the paper's algorithms uniformly.
+//
+// All estimates are one-sided upper bounds under insert-only workloads:
+// Estimate(x) >= f_x. Minimal Increase loses this guarantee once Remove is
+// used (the false negatives the paper's Figure 8 demonstrates).
+class FrequencyFilter {
+ public:
+  virtual ~FrequencyFilter() = default;
+
+  // Records `count` additional occurrences of `key`.
+  virtual void Insert(uint64_t key, uint64_t count = 1) = 0;
+
+  // Removes `count` occurrences of `key`. Callers must only remove
+  // occurrences previously inserted (the sliding-window contract: data
+  // leaving the window is available for deletion).
+  virtual void Remove(uint64_t key, uint64_t count = 1) = 0;
+
+  // Estimated multiplicity of `key`.
+  virtual uint64_t Estimate(uint64_t key) const = 0;
+
+  // Spectral membership test: is f_key >= threshold (with the filter's
+  // one-sided error)? Threshold 1 is plain Bloom membership.
+  bool Contains(uint64_t key, uint64_t threshold = 1) const {
+    return Estimate(key) >= threshold;
+  }
+
+  // Total memory footprint in bits, including all auxiliary structures.
+  virtual size_t MemoryUsageBits() const = 0;
+
+  // Algorithm name for experiment tables ("MS", "MI", "RM", ...).
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_CORE_FREQUENCY_FILTER_H_

@@ -1,0 +1,133 @@
+#include "core/recurring_minimum.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sbf {
+namespace {
+
+SbfOptions PrimaryOptions(const RecurringMinimumOptions& options) {
+  SbfOptions sbf;
+  sbf.m = options.primary_m;
+  sbf.k = options.k;
+  sbf.policy = SbfPolicy::kMinimumSelection;
+  sbf.backing = options.backing;
+  sbf.seed = options.seed;
+  sbf.hash_kind = options.hash_kind;
+  return sbf;
+}
+
+SbfOptions SecondaryOptions(const RecurringMinimumOptions& options) {
+  SbfOptions sbf = PrimaryOptions(options);
+  sbf.m = options.secondary_m;
+  // A distinct seed: the secondary must use independent hash functions so
+  // its Bloom errors are uncorrelated with the primary's.
+  sbf.seed = options.seed ^ 0x5EC07DA21ULL;
+  return sbf;
+}
+
+}  // namespace
+
+RecurringMinimumSbf::RecurringMinimumSbf(RecurringMinimumOptions options)
+    : options_(options),
+      primary_(PrimaryOptions(options)),
+      secondary_(SecondaryOptions(options)) {
+  SBF_CHECK_MSG(options.primary_m >= 1 && options.secondary_m >= 1,
+                "RM needs primary_m and secondary_m >= 1");
+  if (options.use_marker_filter) {
+    marker_.emplace(options.primary_m, options.k, options.seed ^ 0xB100F11,
+                    options.hash_kind);
+  }
+}
+
+RecurringMinimumSbf RecurringMinimumSbf::WithTotalBudget(uint64_t total_m,
+                                                         uint32_t k,
+                                                         uint64_t seed) {
+  RecurringMinimumOptions options;
+  // 4:1 split: sweeping the share empirically minimizes the shared-budget
+  // error around primary = 80% (the secondary only needs room for the
+  // minority of single-minimum items).
+  options.primary_m = std::max<uint64_t>(1, total_m * 4 / 5);
+  options.secondary_m = std::max<uint64_t>(1, total_m - options.primary_m);
+  options.k = k;
+  options.seed = seed;
+  return RecurringMinimumSbf(options);
+}
+
+bool RecurringMinimumSbf::MarkedInSecondary(uint64_t key) const {
+  return marker_.has_value() && marker_->Contains(key);
+}
+
+void RecurringMinimumSbf::Insert(uint64_t key, uint64_t count) {
+  primary_.Insert(key, count);
+
+  // An item already tracked in the secondary keeps receiving every insert
+  // there ("we perform insertions both to the primary and secondary SBF",
+  // Section 3.3), so its secondary value never lags behind later
+  // occurrences. The membership test is the marker filter when enabled,
+  // the secondary's own lookup otherwise (a spurious secondary hit merely
+  // routes extra inserts there, absorbed by the min-clamped lookup — but
+  // it can skip the initialization below, the marker-less variant's small
+  // residual false-negative window under heavy deletion churn; enable the
+  // marker filter for the strict no-false-negative configuration).
+  if (MarkedInSecondary(key) || secondary_.Estimate(key) > 0) {
+    secondary_.Insert(key, count);
+    return;
+  }
+  // Recurring minimum: no suspected error, the primary alone suffices.
+  if (primary_.HasRecurringMinimum(key)) return;
+  // First move: add the item to the secondary "with an initial value that
+  // equals its minimal value from the primary SBF" — a plain SBF insert of
+  // weight m_x. The additive form (rather than raising counters to m_x)
+  // leaves a concrete deposit on every counter, so later deletions of this
+  // item can never dig into co-located items' counts; the cost is only a
+  // benign extra overestimate for sharers.
+  const uint64_t primary_min = primary_.Estimate(key);
+  if (primary_min > 0) secondary_.Insert(key, primary_min);
+  ++moved_to_secondary_;
+  if (marker_.has_value()) marker_->Add(key);
+}
+
+void RecurringMinimumSbf::Remove(uint64_t key, uint64_t count) {
+  primary_.Remove(key, count);
+  // Reverse of insert ("if it has a single minimum, or if it exists in
+  // B_f, decrease its counters in the secondary SBF, unless at least one
+  // of them is 0"): skipping the recurring-minimum case protects moved
+  // items' counters from unpaired decrements by never-moved keys — at
+  // worst the secondary retains a benign overestimate. Positions can
+  // repeat (two hash functions may agree), so each counter must cover
+  // count times its multiplicity among the k positions.
+  if (primary_.HasRecurringMinimum(key) && !MarkedInSecondary(key)) return;
+  const auto positions = secondary_.hash().Positions(key);
+  bool can_absorb = true;
+  for (size_t i = 0; i < positions.size() && can_absorb; ++i) {
+    uint64_t multiplicity = 0;
+    for (uint64_t p : positions) multiplicity += (p == positions[i]);
+    can_absorb =
+        secondary_.counters().Get(positions[i]) >= count * multiplicity;
+  }
+  if (can_absorb) secondary_.Remove(key, count);
+}
+
+uint64_t RecurringMinimumSbf::Estimate(uint64_t key) const {
+  const uint64_t primary_min = primary_.Estimate(key);
+  if (!MarkedInSecondary(key) && primary_.HasRecurringMinimum(key)) {
+    return primary_min;
+  }
+  // The secondary refines the estimate for suspected-error items; the
+  // primary minimum is always a valid upper bound, so never exceed it.
+  const uint64_t secondary_estimate = secondary_.Estimate(key);
+  if (secondary_estimate > 0) {
+    return std::min(primary_min, secondary_estimate);
+  }
+  return primary_min;
+}
+
+size_t RecurringMinimumSbf::MemoryUsageBits() const {
+  size_t bits = primary_.MemoryUsageBits() + secondary_.MemoryUsageBits();
+  if (marker_.has_value()) bits += marker_->MemoryUsageBits();
+  return bits;
+}
+
+}  // namespace sbf

@@ -1,0 +1,91 @@
+#ifndef SBF_CORE_RECURRING_MINIMUM_H_
+#define SBF_CORE_RECURRING_MINIMUM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/bloom_filter.h"
+#include "core/frequency_filter.h"
+#include "core/spectral_bloom_filter.h"
+
+namespace sbf {
+
+// Configuration of the Recurring Minimum filter. The paper's experiments
+// use a secondary SBF of half the primary size (Table 1) and, for fair
+// method comparisons, charge both SBFs against one total budget
+// (Section 6.1: "the RM algorithm used m as an overall storage size").
+struct RecurringMinimumOptions {
+  uint64_t primary_m = 0;    // counters in the primary SBF (required)
+  uint64_t secondary_m = 0;  // counters in the secondary SBF (required)
+  uint32_t k = 5;
+  CounterBacking backing = CounterBacking::kCompact;
+  uint64_t seed = 0;
+  HashFamily::Kind hash_kind = HashFamily::Kind::kModuloMultiply;
+  // Enables the marker Bloom filter B_f refinement (Section 3.3): a plain
+  // Bloom filter of primary_m bits recording the items that were moved to
+  // the secondary SBF, consulted first on insert and lookup.
+  bool use_marker_filter = false;
+};
+
+// The Recurring Minimum algorithm (paper Section 3.3).
+//
+// Observation: an item suffering a Bloom error rarely has a *recurring*
+// minimum among its k counters. Items with a single minimum — the
+// suspected-error minority (~20% of items at gamma = 0.7) — are tracked in
+// a smaller secondary SBF with far better parameters, shrinking the
+// overall error by an order of magnitude (Table 1: 18x at gamma = 0.7)
+// while, unlike Minimal Increase, still supporting deletions and updates.
+class RecurringMinimumSbf final : public FrequencyFilter {
+ public:
+  explicit RecurringMinimumSbf(RecurringMinimumOptions options);
+
+  // Splits a total budget of `total_m` counters between primary and
+  // secondary (the fair-comparison configuration of Section 6.1, where
+  // both SBFs charge against one total). The 4:1 split empirically
+  // minimizes the overall error of this implementation.
+  static RecurringMinimumSbf WithTotalBudget(uint64_t total_m, uint32_t k,
+                                             uint64_t seed = 0);
+
+  // --- FrequencyFilter ---------------------------------------------------
+
+  // Insert: bump the primary; if the item now has a single minimum, track
+  // it in the secondary SBF (first move initializes the secondary counters
+  // up to the primary minimum).
+  void Insert(uint64_t key, uint64_t count = 1) override;
+
+  // Delete: reverse of insert — decrease primary; if the item has a single
+  // minimum (or is marked in B_f), decrease the secondary too unless one
+  // of its counters there is already 0.
+  void Remove(uint64_t key, uint64_t count = 1) override;
+
+  // Lookup: recurring minimum in the primary -> primary minimum;
+  // otherwise the secondary's estimate if it knows the item (> 0), else
+  // the primary minimum.
+  uint64_t Estimate(uint64_t key) const override;
+
+  size_t MemoryUsageBits() const override;
+  std::string Name() const override { return "RM"; }
+
+  // --- introspection -----------------------------------------------------
+
+  const SpectralBloomFilter& primary() const { return primary_; }
+  const SpectralBloomFilter& secondary() const { return secondary_; }
+  const std::optional<BloomFilter>& marker() const { return marker_; }
+  // Items currently routed through the secondary SBF (move events).
+  size_t moved_to_secondary() const { return moved_to_secondary_; }
+
+ private:
+  bool MarkedInSecondary(uint64_t key) const;
+
+  RecurringMinimumOptions options_;
+  SpectralBloomFilter primary_;
+  SpectralBloomFilter secondary_;
+  std::optional<BloomFilter> marker_;
+  size_t moved_to_secondary_ = 0;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_CORE_RECURRING_MINIMUM_H_

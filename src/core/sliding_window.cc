@@ -1,0 +1,23 @@
+#include "core/sliding_window.h"
+
+#include "util/check.h"
+
+namespace sbf {
+
+SlidingWindowFilter::SlidingWindowFilter(
+    std::unique_ptr<FrequencyFilter> filter, size_t window_size)
+    : filter_(std::move(filter)), window_size_(window_size) {
+  SBF_CHECK_MSG(filter_ != nullptr, "sliding window needs a filter");
+  SBF_CHECK_MSG(window_size_ >= 1, "window size must be >= 1");
+}
+
+void SlidingWindowFilter::Push(uint64_t key) {
+  filter_->Insert(key);
+  window_.push_back(key);
+  while (window_.size() > window_size_) {
+    filter_->Remove(window_.front());
+    window_.pop_front();
+  }
+}
+
+}  // namespace sbf

@@ -1,0 +1,272 @@
+#include "core/spectral_bloom_filter.h"
+
+#include <algorithm>
+
+#include "bitstream/bit_vector.h"
+#include "bitstream/bit_writer.h"
+#include "bitstream/elias.h"
+#include "util/check.h"
+
+namespace sbf {
+namespace {
+
+constexpr uint32_t kMaxK = 64;
+constexpr uint32_t kWireMagic = 0x53424632;  // "SBF2"
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// Elias-delta decode that rejects malformed codewords (lengths no valid
+// encoder emits) instead of over-reading — deserialization must be safe
+// on corrupted network input.
+bool BoundedDeltaDecode(BitReader* reader, uint64_t* out) {
+  uint32_t zeros = 0;
+  while (!reader->ReadBit()) {
+    if (++zeros > 6) return false;  // gamma(len) with len <= 64 uses <= 6
+  }
+  uint64_t len = 1;
+  for (uint32_t i = 0; i < zeros; ++i) {
+    len = (len << 1) | static_cast<uint64_t>(reader->ReadBit());
+  }
+  if (len > 64) return false;
+  uint64_t value = 1;
+  for (uint64_t i = 1; i < len; ++i) {
+    value = (value << 1) | static_cast<uint64_t>(reader->ReadBit());
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+SpectralBloomFilter::SpectralBloomFilter(SbfOptions options)
+    : options_(options),
+      hash_(options.k, options.m, options.seed, options.hash_kind),
+      counters_(MakeCounterVector(options.backing, options.m)) {
+  SBF_CHECK_MSG(options_.m >= 1, "SBF needs m >= 1");
+  SBF_CHECK_MSG(options_.k >= 1 && options_.k <= kMaxK,
+                "SBF needs 1 <= k <= 64");
+}
+
+SpectralBloomFilter::SpectralBloomFilter(uint64_t m, uint32_t k)
+    : SpectralBloomFilter([&] {
+        SbfOptions options;
+        options.m = m;
+        options.k = k;
+        return options;
+      }()) {}
+
+SpectralBloomFilter::SpectralBloomFilter(const SpectralBloomFilter& other)
+    : options_(other.options_),
+      hash_(other.hash_),
+      counters_(other.counters_->Clone()),
+      total_items_(other.total_items_) {}
+
+SpectralBloomFilter& SpectralBloomFilter::operator=(
+    const SpectralBloomFilter& other) {
+  if (this == &other) return *this;
+  options_ = other.options_;
+  hash_ = other.hash_;
+  counters_ = other.counters_->Clone();
+  total_items_ = other.total_items_;
+  return *this;
+}
+
+void SpectralBloomFilter::Insert(uint64_t key, uint64_t count) {
+  SBF_DCHECK(count > 0);
+  uint64_t positions[kMaxK];
+  hash_.Positions(key, positions);
+  const uint32_t k = options_.k;
+
+  if (options_.policy == SbfPolicy::kMinimumSelection) {
+    for (uint32_t i = 0; i < k; ++i) counters_->Increment(positions[i], count);
+  } else {
+    // Minimal Increase, batch form (Section 3.2): raise the minimal
+    // counter(s) by `count` and lift every other counter to at least
+    // m_x + count. Equivalent to `count` iterative single insertions.
+    uint64_t values[kMaxK];
+    uint64_t min_value = ~0ull;
+    for (uint32_t i = 0; i < k; ++i) {
+      values[i] = counters_->Get(positions[i]);
+      min_value = std::min(min_value, values[i]);
+    }
+    const uint64_t target = min_value + count;
+    for (uint32_t i = 0; i < k; ++i) {
+      if (values[i] < target) counters_->Set(positions[i], target);
+    }
+  }
+  total_items_ += count;
+}
+
+void SpectralBloomFilter::Remove(uint64_t key, uint64_t count) {
+  SBF_DCHECK(count > 0);
+  uint64_t positions[kMaxK];
+  hash_.Positions(key, positions);
+  const uint32_t k = options_.k;
+
+  if (options_.policy == SbfPolicy::kMinimumSelection) {
+    // Counters of genuinely inserted data never underflow under MS;
+    // Decrement checks that invariant.
+    for (uint32_t i = 0; i < k; ++i) counters_->Decrement(positions[i], count);
+  } else {
+    // Under Minimal Increase counters may hold less than the number of
+    // deletions of the keys mapped onto them; clamping at zero is what
+    // makes deletions unsound for MI (false negatives, Figure 8).
+    for (uint32_t i = 0; i < k; ++i) {
+      const uint64_t v = counters_->Get(positions[i]);
+      counters_->Set(positions[i], v >= count ? v - count : 0);
+    }
+  }
+  total_items_ -= std::min(total_items_, count);
+}
+
+uint64_t SpectralBloomFilter::Estimate(uint64_t key) const {
+  uint64_t positions[kMaxK];
+  hash_.Positions(key, positions);
+  uint64_t min_value = counters_->Get(positions[0]);
+  for (uint32_t i = 1; i < options_.k; ++i) {
+    min_value = std::min(min_value, counters_->Get(positions[i]));
+    if (min_value == 0) break;
+  }
+  return min_value;
+}
+
+size_t SpectralBloomFilter::MemoryUsageBits() const {
+  return counters_->MemoryUsageBits();
+}
+
+std::string SpectralBloomFilter::Name() const {
+  return options_.policy == SbfPolicy::kMinimumSelection ? "MS" : "MI";
+}
+
+std::vector<uint64_t> SpectralBloomFilter::CounterValues(uint64_t key) const {
+  uint64_t positions[kMaxK];
+  hash_.Positions(key, positions);
+  std::vector<uint64_t> values(options_.k);
+  for (uint32_t i = 0; i < options_.k; ++i) {
+    values[i] = counters_->Get(positions[i]);
+  }
+  return values;
+}
+
+bool SpectralBloomFilter::HasRecurringMinimum(uint64_t key) const {
+  uint64_t positions[kMaxK];
+  hash_.Positions(key, positions);
+  uint64_t min_value = ~0ull;
+  uint32_t min_count = 0;
+  for (uint32_t i = 0; i < options_.k; ++i) {
+    const uint64_t v = counters_->Get(positions[i]);
+    if (v < min_value) {
+      min_value = v;
+      min_count = 1;
+    } else if (v == min_value) {
+      ++min_count;
+    }
+  }
+  return min_count >= 2;
+}
+
+SpectralBloomFilter SpectralBloomFilter::CloneEmpty() const {
+  return SpectralBloomFilter(options_);
+}
+
+std::vector<uint8_t> SpectralBloomFilter::Serialize() const {
+  BitVector payload;
+  BitWriter writer(&payload);
+  for (uint64_t i = 0; i < options_.m; ++i) {
+    EliasDeltaEncode(counters_->Get(i) + 1, &writer);
+  }
+  writer.Finish();
+
+  std::vector<uint8_t> out;
+  AppendU64(&out, kWireMagic);
+  AppendU64(&out, options_.m);
+  AppendU64(&out, options_.k);
+  AppendU64(&out, options_.seed);
+  AppendU64(&out,
+            options_.hash_kind == HashFamily::Kind::kModuloMultiply ? 0 : 1);
+  AppendU64(&out, options_.policy == SbfPolicy::kMinimumSelection ? 0 : 1);
+  AppendU64(&out, static_cast<uint64_t>(options_.backing));
+  AppendU64(&out, total_items_);
+  AppendU64(&out, payload.size_bits());
+  for (size_t w = 0; w < payload.size_words(); ++w) {
+    AppendU64(&out, payload.words()[w]);
+  }
+  return out;
+}
+
+StatusOr<SpectralBloomFilter> SpectralBloomFilter::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  constexpr size_t kHeader = 9 * 8;
+  if (bytes.size() < kHeader) return Status::DataLoss("SBF message truncated");
+  const uint8_t* p = bytes.data();
+  if (ReadU64(p) != kWireMagic) return Status::DataLoss("bad SBF magic");
+
+  SbfOptions options;
+  options.m = ReadU64(p + 8);
+  const uint64_t k = ReadU64(p + 16);
+  options.seed = ReadU64(p + 24);
+  const uint64_t kind = ReadU64(p + 32);
+  const uint64_t policy = ReadU64(p + 40);
+  const uint64_t backing = ReadU64(p + 48);
+  const uint64_t total_items = ReadU64(p + 56);
+  const uint64_t payload_bits = ReadU64(p + 64);
+  if (options.m < 1 || k < 1 || k > kMaxK || kind > 1 || policy > 1 ||
+      backing > static_cast<uint64_t>(CounterBacking::kSerialScan)) {
+    return Status::DataLoss("bad SBF header");
+  }
+  options.k = static_cast<uint32_t>(k);
+  options.hash_kind = kind == 0 ? HashFamily::Kind::kModuloMultiply
+                                : HashFamily::Kind::kDoubleMix;
+  options.policy =
+      policy == 0 ? SbfPolicy::kMinimumSelection : SbfPolicy::kMinimalIncrease;
+  options.backing = static_cast<CounterBacking>(backing);
+
+  const size_t payload_words = CeilDiv(payload_bits, 64);
+  if (bytes.size() != kHeader + payload_words * 8) {
+    return Status::DataLoss("SBF payload size mismatch");
+  }
+  // Every counter costs at least one bit, so m cannot exceed the payload;
+  // this also bounds the allocation below against corrupted headers.
+  if (options.m > payload_bits) {
+    return Status::DataLoss("SBF header m inconsistent with payload");
+  }
+  // Guard words of all-ones after the payload: a corrupted codeword that
+  // runs past the end terminates immediately (a 1-bit is a complete gamma
+  // prefix) instead of reading out of bounds, and the overrun is then
+  // detected by the position checks below.
+  BitVector payload(payload_words * 64 + 128);
+  for (size_t w = 0; w < payload_words; ++w) {
+    payload.mutable_words()[w] = ReadU64(p + kHeader + w * 8);
+  }
+  payload.mutable_words()[payload_words] = ~0ull;
+  payload.mutable_words()[payload_words + 1] = ~0ull;
+
+  SpectralBloomFilter filter(options);
+  BitReader reader(&payload);
+  for (uint64_t i = 0; i < options.m; ++i) {
+    if (reader.position() >= payload_bits) {
+      return Status::DataLoss("SBF counter stream truncated");
+    }
+    uint64_t value = 0;
+    if (!BoundedDeltaDecode(&reader, &value) ||
+        reader.position() > payload_bits) {
+      return Status::DataLoss("SBF counter stream corrupted");
+    }
+    filter.counters_->Set(i, value - 1);
+  }
+  if (reader.position() != payload_bits) {
+    return Status::DataLoss("SBF counter stream has trailing garbage");
+  }
+  filter.total_items_ = total_items;
+  return filter;
+}
+
+}  // namespace sbf

@@ -1,0 +1,128 @@
+#ifndef SBF_CORE_SPECTRAL_BLOOM_FILTER_H_
+#define SBF_CORE_SPECTRAL_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/frequency_filter.h"
+#include "hashing/hash_family.h"
+#include "sai/counter_vector.h"
+#include "util/status.h"
+
+namespace sbf {
+
+// Insert/lookup heuristic of a SpectralBloomFilter.
+enum class SbfPolicy {
+  // Minimum Selection (paper Section 2.2): every insert increments all k
+  // counters; the estimate is the minimal counter m_x. Error probability
+  // equals the classic Bloom error; supports deletions and updates.
+  kMinimumSelection,
+  // Minimal Increase (Section 3.2): an insert only raises counters that
+  // equal the current minimum — the fewest increments that preserve
+  // m_x >= f_x. Substantially more accurate (error cut by ~k for uniform
+  // data, Claim 5), but deletions introduce false negatives.
+  kMinimalIncrease,
+};
+
+// Configuration of a SpectralBloomFilter.
+struct SbfOptions {
+  uint64_t m = 0;  // number of counters (required)
+  uint32_t k = 5;  // number of hash functions
+  SbfPolicy policy = SbfPolicy::kMinimumSelection;
+  // Counter storage. kCompact is the paper's N + o(N) + O(m) structure;
+  // kFixed64 trades memory for raw speed.
+  CounterBacking backing = CounterBacking::kCompact;
+  uint64_t seed = 0;
+  HashFamily::Kind hash_kind = HashFamily::Kind::kModuloMultiply;
+};
+
+// The Spectral Bloom Filter (paper Section 2.2): a Bloom filter whose bit
+// vector is replaced by a vector of m counters C, supporting multiplicity
+// estimates over dynamic multi-sets.
+//
+// For every key x, Estimate(x) >= f_x, and Estimate(x) != f_x happens with
+// probability at most E_b ~ (1 - e^{-kn/m})^k (Claim 1) — one-sided errors
+// only, so threshold queries f_x >= T produce false positives but never
+// false negatives (under Minimum Selection, or Minimal Increase without
+// deletions).
+class SpectralBloomFilter final : public FrequencyFilter {
+ public:
+  explicit SpectralBloomFilter(SbfOptions options);
+  // Convenience: m counters, k hashes, default policy/backing.
+  SpectralBloomFilter(uint64_t m, uint32_t k);
+
+  SpectralBloomFilter(const SpectralBloomFilter& other);
+  SpectralBloomFilter& operator=(const SpectralBloomFilter& other);
+  SpectralBloomFilter(SpectralBloomFilter&&) = default;
+  SpectralBloomFilter& operator=(SpectralBloomFilter&&) = default;
+
+  // --- FrequencyFilter ---------------------------------------------------
+
+  void Insert(uint64_t key, uint64_t count = 1) override;
+  // Deletes `count` previously inserted occurrences by decrementing the
+  // key's counters. Under Minimal Increase this may create false negatives
+  // (counters clamp at zero) — the paper's Section 3.2 caveat, reproduced
+  // deliberately so the Figure 8/9 experiments can demonstrate it.
+  void Remove(uint64_t key, uint64_t count = 1) override;
+  // The Minimum Selection estimate m_x (minimal counter).
+  uint64_t Estimate(uint64_t key) const override;
+  size_t MemoryUsageBits() const override;
+  std::string Name() const override;
+
+  // Convenience wrappers for string keys.
+  void InsertBytes(std::string_view key, uint64_t count = 1) {
+    Insert(Fingerprint64(key), count);
+  }
+  uint64_t EstimateBytes(std::string_view key) const {
+    return Estimate(Fingerprint64(key));
+  }
+
+  // --- introspection -----------------------------------------------------
+
+  uint64_t m() const { return options_.m; }
+  uint32_t k() const { return options_.k; }
+  const SbfOptions& options() const { return options_; }
+  const HashFamily& hash() const { return hash_; }
+  const CounterVector& counters() const { return *counters_; }
+  CounterVector& mutable_counters() { return *counters_; }
+
+  // Net number of item occurrences currently represented (inserts minus
+  // removes); the N of the unbiased estimator (Section 3.1).
+  uint64_t total_items() const { return total_items_; }
+  void set_total_items(uint64_t n) { total_items_ = n; }
+
+  // Values of the key's k counters, in hash order (the paper's v_x).
+  std::vector<uint64_t> CounterValues(uint64_t key) const;
+  // True if the minimal counter value occurs in two or more of the key's
+  // counters — the Recurring Minimum predicate R_x (Section 3.3).
+  bool HasRecurringMinimum(uint64_t key) const;
+
+  // A fresh, empty filter with identical parameters (same hash functions).
+  SpectralBloomFilter CloneEmpty() const;
+
+  // Gamma = nk/m for a given number of distinct keys n.
+  double Gamma(uint64_t n_distinct) const {
+    return static_cast<double>(n_distinct) * k() / static_cast<double>(m());
+  }
+
+  // --- serialization -----------------------------------------------------
+
+  // Wire format: header + Elias-delta coded counters (size ~ N bits, the
+  // compact message the distributed applications of Section 5 exchange).
+  std::vector<uint8_t> Serialize() const;
+  static StatusOr<SpectralBloomFilter> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
+ private:
+  SbfOptions options_;
+  HashFamily hash_;
+  std::unique_ptr<CounterVector> counters_;
+  uint64_t total_items_ = 0;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_CORE_SPECTRAL_BLOOM_FILTER_H_

@@ -1,0 +1,161 @@
+#include "core/trapping_rm.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sbf {
+namespace {
+
+constexpr uint32_t kMaxK = 64;
+
+SbfOptions MakeSbfOptions(const RecurringMinimumOptions& options, uint64_t m,
+                          uint64_t seed) {
+  SbfOptions sbf;
+  sbf.m = m;
+  sbf.k = options.k;
+  sbf.policy = SbfPolicy::kMinimumSelection;
+  sbf.backing = options.backing;
+  sbf.seed = seed;
+  sbf.hash_kind = options.hash_kind;
+  return sbf;
+}
+
+}  // namespace
+
+TrappingRmSbf::TrappingRmSbf(RecurringMinimumOptions options)
+    : options_(options),
+      primary_(MakeSbfOptions(options, options.primary_m, options.seed)),
+      secondary_(MakeSbfOptions(options, options.secondary_m,
+                                options.seed ^ 0x5EC07DA21ULL)),
+      traps_(options.primary_m) {
+  SBF_CHECK_MSG(options.primary_m >= 1 && options.secondary_m >= 1,
+                "TRM needs primary_m and secondary_m >= 1");
+}
+
+void TrappingRmSbf::FireTrapsHitBy(uint64_t key, const uint64_t* positions) {
+  for (uint32_t i = 0; i < options_.k; ++i) {
+    const uint64_t position = positions[i];
+    if (!traps_.GetBit(position)) continue;
+    const auto owner = trap_owner_.find(position);
+    if (owner == trap_owner_.end() || owner->second == key) continue;
+
+    // A different item stepped on the trap: its frequency contaminated the
+    // value the trapped item transferred to the secondary SBF. Compensate
+    // by reducing the trapped item's secondary counters by the stepping
+    // item's estimated frequency — but never below the trapped item's
+    // *current primary minimum*, a certain upper bound on its count: only
+    // provable excess is removed, so the compensation can never create a
+    // false negative (the paper's literal rule can over-correct when the
+    // stepping item grew after the transfer).
+    const uint64_t trapped_key = owner->second;
+    const uint64_t stepping_estimate = primary_.Estimate(key);
+    const uint64_t trapped_primary_min = primary_.Estimate(trapped_key);
+    uint64_t secondary_positions[kMaxK];
+    secondary_.hash().Positions(trapped_key, secondary_positions);
+    uint64_t secondary_min = ~0ull;
+    for (uint32_t j = 0; j < options_.k; ++j) {
+      secondary_min = std::min(
+          secondary_min, secondary_.counters().Get(secondary_positions[j]));
+    }
+    const uint64_t provable_excess = secondary_min > trapped_primary_min
+                                         ? secondary_min - trapped_primary_min
+                                         : 0;
+    const uint64_t reduce = std::min(stepping_estimate, provable_excess);
+    if (reduce > 0) {
+      for (uint32_t j = 0; j < options_.k; ++j) {
+        // Clamp per position: duplicate hash positions would otherwise be
+        // decremented twice.
+        const uint64_t current =
+            secondary_.counters().Get(secondary_positions[j]);
+        const uint64_t delta = std::min(current, reduce);
+        if (delta > 0) {
+          secondary_.mutable_counters().Decrement(secondary_positions[j],
+                                                  delta);
+        }
+      }
+    }
+    traps_.SetBit(position, false);
+    trap_owner_.erase(owner);
+    ++traps_fired_;
+  }
+}
+
+void TrappingRmSbf::MoveToSecondary(uint64_t key,
+                                    const uint64_t* primary_positions) {
+  const uint64_t primary_min = primary_.Estimate(key);
+  uint64_t secondary_positions[kMaxK];
+  secondary_.hash().Positions(key, secondary_positions);
+  for (uint32_t i = 0; i < options_.k; ++i) {
+    const uint64_t value = secondary_.counters().Get(secondary_positions[i]);
+    if (value < primary_min) {
+      secondary_.mutable_counters().Set(secondary_positions[i], primary_min);
+    }
+  }
+  secondary_.set_total_items(secondary_.total_items() + primary_min);
+
+  // Arm the trap on the single minimal primary counter.
+  uint64_t min_value = ~0ull;
+  uint64_t min_position = primary_positions[0];
+  for (uint32_t i = 0; i < options_.k; ++i) {
+    const uint64_t value = primary_.counters().Get(primary_positions[i]);
+    if (value < min_value) {
+      min_value = value;
+      min_position = primary_positions[i];
+    }
+  }
+  traps_.SetBit(min_position, true);
+  trap_owner_[min_position] = key;
+}
+
+void TrappingRmSbf::Insert(uint64_t key, uint64_t count) {
+  uint64_t positions[kMaxK];
+  primary_.hash().Positions(key, positions);
+  primary_.Insert(key, count);
+  FireTrapsHitBy(key, positions);
+  // Tracked items receive every insert in the secondary as well (see
+  // RecurringMinimumSbf::Insert).
+  if (secondary_.Estimate(key) > 0) {
+    secondary_.Insert(key, count);
+    return;
+  }
+  if (primary_.HasRecurringMinimum(key)) return;
+  MoveToSecondary(key, positions);
+}
+
+void TrappingRmSbf::Remove(uint64_t key, uint64_t count) {
+  primary_.Remove(key, count);
+  // See RecurringMinimumSbf::Remove — the absorption check accounts for
+  // repeated positions.
+  uint64_t positions[kMaxK];
+  secondary_.hash().Positions(key, positions);
+  bool can_absorb = true;
+  for (uint32_t i = 0; i < options_.k && can_absorb; ++i) {
+    uint64_t multiplicity = 0;
+    for (uint32_t j = 0; j < options_.k; ++j) {
+      multiplicity += (positions[j] == positions[i]);
+    }
+    can_absorb =
+        secondary_.counters().Get(positions[i]) >= count * multiplicity;
+  }
+  if (can_absorb) secondary_.Remove(key, count);
+}
+
+uint64_t TrappingRmSbf::Estimate(uint64_t key) const {
+  const uint64_t primary_min = primary_.Estimate(key);
+  if (primary_.HasRecurringMinimum(key)) return primary_min;
+  const uint64_t secondary_estimate = secondary_.Estimate(key);
+  if (secondary_estimate > 0) {
+    return std::min(primary_min, secondary_estimate);
+  }
+  return primary_min;
+}
+
+size_t TrappingRmSbf::MemoryUsageBits() const {
+  // Traps are one bit per primary counter; the owner table L costs two
+  // 64-bit words per armed trap.
+  return primary_.MemoryUsageBits() + secondary_.MemoryUsageBits() +
+         traps_.capacity_bits() + trap_owner_.size() * 128;
+}
+
+}  // namespace sbf

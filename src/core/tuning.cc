@@ -1,0 +1,79 @@
+#include "core/tuning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/analysis.h"
+#include "util/check.h"
+
+namespace sbf {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+}  // namespace
+
+SbfSizing SizeForError(uint64_t n_distinct, double target_error) {
+  SBF_CHECK_MSG(n_distinct >= 1, "need n >= 1");
+  SBF_CHECK_MSG(target_error > 0.0 && target_error < 1.0,
+                "target error must be in (0, 1)");
+  // At the optimal point the error is (1/2)^k = 0.6185^{m/n}:
+  //   m/n = ln(e) / ln(0.6185) = -ln(e) / (ln 2)^2.
+  const double bits_per_key = -std::log(target_error) / (kLn2 * kLn2);
+  SbfSizing sizing;
+  sizing.m = static_cast<uint64_t>(
+      std::ceil(bits_per_key * static_cast<double>(n_distinct)));
+  sizing.m = std::max<uint64_t>(sizing.m, 1);
+  sizing.k = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::lround(kLn2 * bits_per_key)));
+  sizing.gamma =
+      static_cast<double>(n_distinct) * sizing.k / static_cast<double>(sizing.m);
+  sizing.expected_error = BloomErrorRate(sizing.gamma, sizing.k);
+  return sizing;
+}
+
+SbfSizing SizeForBudget(uint64_t n_distinct, uint64_t m) {
+  SBF_CHECK_MSG(n_distinct >= 1 && m >= 1, "need n, m >= 1");
+  SbfSizing best;
+  best.m = m;
+  best.expected_error = 1.0;
+  // Evaluate the model around the analytic optimum and pick the best
+  // integer k (the curve is flat near the optimum, so +-2 suffices; we
+  // sweep a wider band for robustness at tiny m/n).
+  const double optimal_k =
+      kLn2 * static_cast<double>(m) / static_cast<double>(n_distinct);
+  const uint32_t lo =
+      static_cast<uint32_t>(std::max(1.0, std::floor(optimal_k) - 3));
+  const uint32_t hi =
+      static_cast<uint32_t>(std::max(2.0, std::ceil(optimal_k) + 3));
+  for (uint32_t k = lo; k <= std::min(hi, 64u); ++k) {
+    const double gamma =
+        static_cast<double>(n_distinct) * k / static_cast<double>(m);
+    const double error = BloomErrorRate(gamma, k);
+    if (error < best.expected_error) {
+      best.k = k;
+      best.gamma = gamma;
+      best.expected_error = error;
+    }
+  }
+  return best;
+}
+
+SbfOptions RecommendOptions(uint64_t n_distinct, double target_error,
+                            SbfPolicy policy) {
+  const SbfSizing sizing = SizeForError(n_distinct, target_error);
+  SbfOptions options;
+  options.m = sizing.m;
+  options.k = sizing.k;
+  options.policy = policy;
+  options.backing = CounterBacking::kCompact;
+  return options;
+}
+
+double ExpectedErrorRate(const SbfOptions& options, uint64_t n_distinct) {
+  const double gamma = static_cast<double>(n_distinct) * options.k /
+                       static_cast<double>(options.m);
+  return BloomErrorRate(gamma, options.k);
+}
+
+}  // namespace sbf

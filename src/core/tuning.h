@@ -1,0 +1,44 @@
+#ifndef SBF_CORE_TUNING_H_
+#define SBF_CORE_TUNING_H_
+
+#include <cstdint>
+
+#include "core/spectral_bloom_filter.h"
+
+namespace sbf {
+
+// Parameter sizing helpers built on the Section 2.1 error model:
+//
+//   E_b ~ (1 - e^{-nk/m})^k,  minimized at k = ln 2 * m / n,
+//
+// so adopters can say "n keys, 1% error" instead of picking m and k by
+// hand.
+
+struct SbfSizing {
+  uint64_t m = 0;
+  uint32_t k = 0;
+  // The error rate the model predicts for this sizing.
+  double expected_error = 0.0;
+  double gamma = 0.0;  // nk/m
+};
+
+// Smallest (m, k) achieving `target_error` for n distinct keys at the
+// optimal operating point (m = -n ln e / (ln 2)^2, k = ln 2 * m / n).
+SbfSizing SizeForError(uint64_t n_distinct, double target_error);
+
+// Best k (and resulting expected error) for a fixed memory budget of m
+// counters and n distinct keys.
+SbfSizing SizeForBudget(uint64_t n_distinct, uint64_t m);
+
+// Ready-to-use options for `n` distinct keys at `target_error`, with the
+// given policy; counters use the compact backing.
+SbfOptions RecommendOptions(uint64_t n_distinct, double target_error,
+                            SbfPolicy policy = SbfPolicy::kMinimumSelection);
+
+// Expected estimate-error probability of an existing configuration after
+// n distinct keys have been inserted.
+double ExpectedErrorRate(const SbfOptions& options, uint64_t n_distinct);
+
+}  // namespace sbf
+
+#endif  // SBF_CORE_TUNING_H_

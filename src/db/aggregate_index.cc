@@ -1,0 +1,24 @@
+#include "db/aggregate_index.h"
+
+namespace sbf {
+
+AggregateIndex::AggregateIndex(SbfOptions options)
+    : counts_(options), sums_(options) {}
+
+void AggregateIndex::Insert(uint64_t key, uint64_t weight) {
+  counts_.Insert(key, 1);
+  if (weight > 0) sums_.Insert(key, weight);
+}
+
+void AggregateIndex::Remove(uint64_t key, uint64_t weight) {
+  counts_.Remove(key, 1);
+  if (weight > 0) sums_.Remove(key, weight);
+}
+
+double AggregateIndex::Avg(uint64_t key) const {
+  const uint64_t count = Count(key);
+  if (count == 0) return 0.0;
+  return static_cast<double>(Sum(key)) / static_cast<double>(count);
+}
+
+}  // namespace sbf

@@ -1,0 +1,50 @@
+#ifndef SBF_DB_AGGREGATE_INDEX_H_
+#define SBF_DB_AGGREGATE_INDEX_H_
+
+#include <cstdint>
+
+#include "core/spectral_bloom_filter.h"
+
+namespace sbf {
+
+// A fast approximate aggregate index over an attribute (paper Section 5.1):
+//
+//   SELECT count(a1) FROM R WHERE a1 = v     -> Count(v)
+//   SELECT sum(x)    FROM R WHERE a1 = v     -> Sum(v)
+//   SELECT avg(x)    FROM R WHERE a1 = v     -> Avg(v)
+//
+// The index is a pair of SBFs sharing hash functions: one counts
+// occurrences of each attribute value, the other accumulates the weights
+// (the aggregated measure) per value. Both estimates are one-sided upper
+// bounds with error probability E_SBF — "a histogram where each item has
+// its own bucket".
+class AggregateIndex {
+ public:
+  explicit AggregateIndex(SbfOptions options);
+
+  // Records a row with attribute value `key` carrying measure `weight`.
+  void Insert(uint64_t key, uint64_t weight = 1);
+  // Deletes a previously inserted row.
+  void Remove(uint64_t key, uint64_t weight = 1);
+
+  // Estimated COUNT(*) WHERE a = key.
+  uint64_t Count(uint64_t key) const { return counts_.Estimate(key); }
+  // Estimated SUM(weight) WHERE a = key.
+  uint64_t Sum(uint64_t key) const { return sums_.Estimate(key); }
+  // Estimated AVG(weight) WHERE a = key (0 when the value is absent).
+  double Avg(uint64_t key) const;
+
+  size_t MemoryUsageBits() const {
+    return counts_.MemoryUsageBits() + sums_.MemoryUsageBits();
+  }
+  const SpectralBloomFilter& count_filter() const { return counts_; }
+  const SpectralBloomFilter& sum_filter() const { return sums_; }
+
+ private:
+  SpectralBloomFilter counts_;
+  SpectralBloomFilter sums_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_DB_AGGREGATE_INDEX_H_

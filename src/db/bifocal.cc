@@ -1,0 +1,76 @@
+#include "db/bifocal.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace sbf {
+
+BifocalResult BifocalEstimateJoinSize(const Relation& r, const Relation& s,
+                                      size_t sample_size, uint64_t seed,
+                                      const MultiplicityFn& mult_s) {
+  SBF_CHECK_MSG(sample_size >= 1, "bifocal needs a sample size >= 1");
+  SBF_CHECK_MSG(r.size() >= 1, "bifocal needs a non-empty R");
+
+  BifocalResult result;
+  result.exact = r.ExactJoinSize(s);
+  result.sample_size = sample_size;
+
+  const auto r_freqs = r.FrequencyMap();
+  const double dense_threshold =
+      static_cast<double>(r.size()) / static_cast<double>(sample_size);
+
+  // Dense-any component: dense values are at most sample_size many, so
+  // enumerate them exactly and look up their S-multiplicity via the oracle.
+  for (const auto& [value, count] : r_freqs) {
+    if (static_cast<double>(count) >= dense_threshold) {
+      ++result.dense_values;
+      result.dense_component += static_cast<double>(count) *
+                                static_cast<double>(mult_s(value));
+    }
+  }
+
+  // Sparse-any component: uniform sample of R's tuples with replacement;
+  // each sampled sparse value contributes mult_S(v), scaled by |R|/sample.
+  Xoshiro256 rng(seed);
+  double sparse_sum = 0.0;
+  for (size_t i = 0; i < sample_size; ++i) {
+    const Tuple& t = r.tuples()[rng.UniformInt(r.size())];
+    const uint64_t count = r_freqs.at(t.attribute);
+    if (static_cast<double>(count) < dense_threshold) {
+      sparse_sum += static_cast<double>(mult_s(t.attribute));
+    }
+  }
+  result.sparse_component = sparse_sum * static_cast<double>(r.size()) /
+                            static_cast<double>(sample_size);
+
+  result.estimate = result.dense_component + result.sparse_component;
+  return result;
+}
+
+BifocalResult BifocalEstimateWithSbf(const Relation& r, const Relation& s,
+                                     size_t sample_size, uint64_t m,
+                                     uint32_t k, uint64_t seed) {
+  SbfOptions options;
+  options.m = m;
+  options.k = k;
+  options.seed = seed;
+  SpectralBloomFilter filter(options);
+  for (const Tuple& t : s.tuples()) filter.Insert(t.attribute);
+  return BifocalEstimateJoinSize(
+      r, s, sample_size, seed ^ 0xB1F0CA1ull,
+      [&filter](uint64_t key) { return filter.Estimate(key); });
+}
+
+BifocalResult BifocalEstimateExactIndex(const Relation& r, const Relation& s,
+                                        size_t sample_size, uint64_t seed) {
+  const auto s_freqs = s.FrequencyMap();
+  return BifocalEstimateJoinSize(
+      r, s, sample_size, seed ^ 0xB1F0CA1ull, [&s_freqs](uint64_t key) {
+        const auto it = s_freqs.find(key);
+        return it == s_freqs.end() ? 0ull : it->second;
+      });
+}
+
+}  // namespace sbf

@@ -1,0 +1,51 @@
+#ifndef SBF_DB_BIFOCAL_H_
+#define SBF_DB_BIFOCAL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/spectral_bloom_filter.h"
+#include "db/relation.h"
+
+namespace sbf {
+
+// Bifocal sampling join-size estimation [GGMS96] with the SBF standing in
+// for the t-index (paper Section 5.4).
+//
+// The estimator splits R's values into *dense* (multiplicity >= |R| /
+// sample_size) and *sparse*. The sparse-any component is estimated from a
+// uniform sample of R, looking up each sampled value's multiplicity in S
+// through a t-index — here, an SBF over S.a, so the lookup is approximate
+// but one-sided. The dense-any component enumerates the (few) dense values
+// exactly. Because SBF errors are one-sided and bounded in expectation,
+// the estimate satisfies A_s <= E(A_hat_s) <= A_s (1 + gamma).
+struct BifocalResult {
+  double estimate = 0.0;      // estimated |R join S|
+  uint64_t exact = 0;         // true join size
+  double dense_component = 0.0;
+  double sparse_component = 0.0;
+  size_t dense_values = 0;    // values classified dense in R
+  size_t sample_size = 0;
+};
+
+// Multiplicity oracle for S.a: exact (hash index) or approximate (SBF).
+using MultiplicityFn = std::function<uint64_t(uint64_t key)>;
+
+// Core estimator with a pluggable oracle.
+BifocalResult BifocalEstimateJoinSize(const Relation& r, const Relation& s,
+                                      size_t sample_size, uint64_t seed,
+                                      const MultiplicityFn& mult_s);
+
+// Convenience: oracle backed by an SBF built over S.a with the given
+// parameters (the paper's substitution).
+BifocalResult BifocalEstimateWithSbf(const Relation& r, const Relation& s,
+                                     size_t sample_size, uint64_t m,
+                                     uint32_t k, uint64_t seed = 0);
+
+// Convenience: exact oracle (the expensive t-index the SBF replaces).
+BifocalResult BifocalEstimateExactIndex(const Relation& r, const Relation& s,
+                                        size_t sample_size, uint64_t seed = 0);
+
+}  // namespace sbf
+
+#endif  // SBF_DB_BIFOCAL_H_

@@ -1,0 +1,225 @@
+#include "db/bloomjoin.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/bloom_filter.h"
+#include "core/sbf_algebra.h"
+#include "util/check.h"
+
+namespace sbf {
+namespace {
+
+// Validates `result.groups` against the exact join and fills the error
+// accounting fields. A reported group is false if the value contributes no
+// tuples to the true join (or, with a threshold, falls below it).
+void Validate(const Relation& r, const Relation& s, uint64_t threshold,
+              DistributedJoinResult* result) {
+  const auto r_freqs = r.FrequencyMap();
+  const auto s_freqs = s.FrequencyMap();
+
+  std::unordered_map<uint64_t, uint64_t> exact_groups;
+  uint64_t exact_tuples = 0;
+  for (const auto& [value, count] : r_freqs) {
+    const auto it = s_freqs.find(value);
+    if (it == s_freqs.end()) continue;
+    const uint64_t join_count = count * it->second;
+    exact_tuples += join_count;
+    if (join_count >= std::max<uint64_t>(threshold, 1)) {
+      exact_groups.emplace(value, join_count);
+    }
+  }
+  result->exact_tuples = exact_tuples;
+
+  std::unordered_set<uint64_t> reported;
+  for (const JoinGroup& group : result->groups) {
+    reported.insert(group.attribute);
+    if (!exact_groups.contains(group.attribute)) ++result->false_groups;
+  }
+  for (const auto& [value, count] : exact_groups) {
+    if (!reported.contains(value)) ++result->missed_groups;
+  }
+}
+
+SpectralBloomFilter BuildSbf(const Relation& relation, uint64_t m, uint32_t k,
+                             uint64_t seed) {
+  SbfOptions options;
+  options.m = m;
+  options.k = k;
+  options.seed = seed;
+  SpectralBloomFilter filter(options);
+  for (const Tuple& t : relation.tuples()) filter.Insert(t.attribute);
+  return filter;
+}
+
+}  // namespace
+
+DistributedJoinResult ShipAllJoin(const Relation& r, const Relation& s) {
+  DistributedJoinResult result;
+  result.network.bytes_sent = s.ShipAllBytes();
+  result.network.rounds = 1;
+
+  const auto s_freqs = s.FrequencyMap();
+  std::unordered_map<uint64_t, uint64_t> groups;
+  for (const Tuple& t : r.tuples()) {
+    const auto it = s_freqs.find(t.attribute);
+    if (it != s_freqs.end()) groups[t.attribute] += it->second;
+  }
+  for (const auto& [value, count] : groups) {
+    result.groups.push_back(JoinGroup{value, count});
+    result.result_tuples += count;
+  }
+  Validate(r, s, 0, &result);
+  return result;
+}
+
+DistributedJoinResult ClassicBloomjoin(const Relation& r, const Relation& s,
+                                       uint64_t filter_bits, uint32_t k,
+                                       uint64_t seed) {
+  DistributedJoinResult result;
+
+  // Round 1: R -> S, the Bloom filter over R.a.
+  BloomFilter filter(filter_bits, k, seed);
+  for (const Tuple& t : r.tuples()) filter.Add(t.attribute);
+  result.network.bytes_sent += filter.Serialize().size();
+  result.network.rounds = 1;
+
+  // S scans and ships only tuples passing the filter.
+  std::vector<Tuple> shipped;
+  for (const Tuple& t : s.tuples()) {
+    if (filter.Contains(t.attribute)) shipped.push_back(t);
+  }
+  result.network.bytes_sent += shipped.size() * sizeof(Tuple);
+  result.network.rounds = 2;
+
+  // R completes the join locally — exact despite filter false positives,
+  // because non-matching shipped tuples simply join with nothing.
+  const auto r_freqs = r.FrequencyMap();
+  std::unordered_map<uint64_t, uint64_t> groups;
+  for (const Tuple& t : shipped) {
+    const auto it = r_freqs.find(t.attribute);
+    if (it != r_freqs.end()) groups[t.attribute] += it->second;
+  }
+  for (const auto& [value, count] : groups) {
+    result.groups.push_back(JoinGroup{value, count});
+    result.result_tuples += count;
+  }
+  Validate(r, s, 0, &result);
+  return result;
+}
+
+DistributedJoinResult SpectralBloomjoin(const Relation& r, const Relation& s,
+                                        uint64_t m, uint32_t k,
+                                        uint64_t threshold, uint64_t seed) {
+  DistributedJoinResult result;
+
+  // Round 1 (the only one): S -> R, S's serialized SBF.
+  SpectralBloomFilter s_filter = BuildSbf(s, m, k, seed);
+  const std::vector<uint8_t> message = s_filter.Serialize();
+  result.network.bytes_sent += message.size();
+  result.network.rounds = 1;
+
+  auto received = SpectralBloomFilter::Deserialize(message);
+  SBF_CHECK(received.ok());
+
+  // R multiplies the SBFs and scans its side once; values are unique per
+  // group because the scan deduplicates via the frequency map.
+  SpectralBloomFilter r_filter = BuildSbf(r, m, k, seed);
+  auto product = Multiply(r_filter, received.value());
+  SBF_CHECK(product.ok());
+
+  const auto r_freqs = r.FrequencyMap();
+  for (const auto& [value, r_count] : r_freqs) {
+    const uint64_t estimate = product.value().Estimate(value);
+    if (estimate >= std::max<uint64_t>(threshold, 1)) {
+      result.groups.push_back(JoinGroup{value, estimate});
+      result.result_tuples += estimate;
+    }
+  }
+  Validate(r, s, threshold, &result);
+  return result;
+}
+
+DistributedJoinResult SpectralBloomjoinEquals(const Relation& r,
+                                              const Relation& s, uint64_t m,
+                                              uint32_t k, uint64_t threshold,
+                                              uint64_t seed) {
+  DistributedJoinResult result;
+
+  SpectralBloomFilter s_filter = BuildSbf(s, m, k, seed);
+  const std::vector<uint8_t> message = s_filter.Serialize();
+  result.network.bytes_sent += message.size();
+  result.network.rounds = 1;
+
+  auto received = SpectralBloomFilter::Deserialize(message);
+  SBF_CHECK(received.ok());
+  SpectralBloomFilter r_filter = BuildSbf(r, m, k, seed);
+  auto product = Multiply(r_filter, received.value());
+  SBF_CHECK(product.ok());
+
+  const auto r_freqs = r.FrequencyMap();
+  for (const auto& [value, r_count] : r_freqs) {
+    const uint64_t estimate = product.value().Estimate(value);
+    if (estimate == threshold && threshold > 0) {
+      result.groups.push_back(JoinGroup{value, estimate});
+      result.result_tuples += estimate;
+    }
+  }
+
+  // Validation against exact equality groups.
+  const auto s_freqs = s.FrequencyMap();
+  std::unordered_map<uint64_t, uint64_t> exact_groups;
+  for (const auto& [value, count] : r_freqs) {
+    const auto it = s_freqs.find(value);
+    if (it == s_freqs.end()) continue;
+    const uint64_t join_count = count * it->second;
+    result.exact_tuples += join_count;
+    if (join_count == threshold) exact_groups.emplace(value, join_count);
+  }
+  std::unordered_set<uint64_t> reported;
+  for (const JoinGroup& group : result.groups) {
+    reported.insert(group.attribute);
+    if (!exact_groups.contains(group.attribute)) ++result.false_groups;
+  }
+  for (const auto& [value, count] : exact_groups) {
+    if (!reported.contains(value)) ++result.missed_groups;
+  }
+  return result;
+}
+
+DistributedJoinResult VerifiedSpectralBloomjoin(const Relation& r,
+                                                const Relation& s, uint64_t m,
+                                                uint32_t k, uint64_t threshold,
+                                                uint64_t seed) {
+  DistributedJoinResult candidate_pass =
+      SpectralBloomjoin(r, s, m, k, threshold, seed);
+
+  DistributedJoinResult result;
+  result.network = candidate_pass.network;
+
+  // Round 2: R -> S, candidate values (8 bytes each).
+  result.network.bytes_sent += candidate_pass.groups.size() * sizeof(uint64_t);
+  result.network.rounds = 2;
+
+  // Round 3: S -> R, exact counts for the candidates (16 bytes each).
+  const auto s_freqs = s.FrequencyMap();
+  const auto r_freqs = r.FrequencyMap();
+  result.network.bytes_sent +=
+      candidate_pass.groups.size() * (2 * sizeof(uint64_t));
+  result.network.rounds = 3;
+
+  for (const JoinGroup& candidate : candidate_pass.groups) {
+    const auto s_it = s_freqs.find(candidate.attribute);
+    const auto r_it = r_freqs.find(candidate.attribute);
+    if (s_it == s_freqs.end() || r_it == r_freqs.end()) continue;
+    const uint64_t exact = s_it->second * r_it->second;
+    if (exact >= std::max<uint64_t>(threshold, 1)) {
+      result.groups.push_back(JoinGroup{candidate.attribute, exact});
+      result.result_tuples += exact;
+    }
+  }
+  Validate(r, s, threshold, &result);
+  return result;
+}
+
+}  // namespace sbf

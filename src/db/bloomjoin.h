@@ -1,0 +1,86 @@
+#ifndef SBF_DB_BLOOMJOIN_H_
+#define SBF_DB_BLOOMJOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spectral_bloom_filter.h"
+#include "db/relation.h"
+
+namespace sbf {
+
+// Two-site distributed join simulation (paper Section 5.3). Relations R
+// and S live on different "sites"; every message between sites is metered
+// in bytes and communication rounds — the costs Bloomjoins exist to save.
+
+struct NetworkStats {
+  uint64_t bytes_sent = 0;
+  uint32_t rounds = 0;  // one round = one site-to-site message
+};
+
+struct JoinGroup {
+  uint64_t attribute = 0;
+  uint64_t count = 0;  // number of join result tuples for this value
+};
+
+struct DistributedJoinResult {
+  std::vector<JoinGroup> groups;  // per-value result counts
+  uint64_t result_tuples = 0;     // total join cardinality reported
+  NetworkStats network;
+  // Validation against the exact join (computed with full knowledge):
+  uint64_t exact_tuples = 0;
+  uint64_t false_groups = 0;    // reported groups that aren't in the join
+  uint64_t missed_groups = 0;   // true groups the method failed to report
+};
+
+// Naive baseline: S ships every tuple to R's site; exact result, maximal
+// network usage, one round.
+DistributedJoinResult ShipAllJoin(const Relation& r, const Relation& s);
+
+// Classic Bloomjoin [ML86]: R sends a Bloom filter over R.a to S's site
+// (round 1); S ships back only tuples passing the filter (round 2); R
+// completes the join locally. Exact result; bytes saved by filtering.
+DistributedJoinResult ClassicBloomjoin(const Relation& r, const Relation& s,
+                                       uint64_t filter_bits, uint32_t k,
+                                       uint64_t seed = 0);
+
+// Spectral Bloomjoin, aggregate form (Section 5.3):
+//
+//   SELECT R.a, count(*) FROM R, S WHERE R.a = S.a GROUP BY R.a
+//   [HAVING count(*) >= threshold]
+//
+// S serializes its SBF over S.a and sends it to R (the single message of
+// the shortened scheme). R multiplies it with its own SBF, scans R once,
+// and reports each value whose product estimate passes `threshold`
+// (threshold 0 = no HAVING clause). Errors are one-sided false positives
+// from the SBF product, quantified against the exact join in the result.
+DistributedJoinResult SpectralBloomjoin(const Relation& r, const Relation& s,
+                                        uint64_t m, uint32_t k,
+                                        uint64_t threshold, uint64_t seed = 0);
+
+// Spectral Bloomjoin with the "=" operator (Section 5.3):
+//
+//   ... HAVING count(*) = threshold
+//
+// Unlike ">=", equality tests against an overestimate can miss true
+// groups (the estimate overshot the exact count), so errors are
+// two-sided: recall is 1 - E_SBF and false alarms remain possible. Same
+// single-message scheme as SpectralBloomjoin.
+DistributedJoinResult SpectralBloomjoinEquals(const Relation& r,
+                                              const Relation& s, uint64_t m,
+                                              uint32_t k, uint64_t threshold,
+                                              uint64_t seed = 0);
+
+// Spectral Bloomjoin with result verification (the paper's note that
+// one-sided errors "can be eliminated by retrieving the accurate
+// frequencies for the items in the result set"): after the SBF pass, R
+// sends the candidate values to S (round 2), S returns exact counts
+// (round 3). Exact result; extra bytes proportional to the candidate set.
+DistributedJoinResult VerifiedSpectralBloomjoin(const Relation& r,
+                                                const Relation& s, uint64_t m,
+                                                uint32_t k, uint64_t threshold,
+                                                uint64_t seed = 0);
+
+}  // namespace sbf
+
+#endif  // SBF_DB_BLOOMJOIN_H_

@@ -1,0 +1,100 @@
+#include "db/iceberg.h"
+
+#include <unordered_map>
+
+#include "hashing/hash_family.h"
+#include "util/check.h"
+
+namespace sbf {
+
+IcebergEngine::IcebergEngine(SbfOptions options)
+    : filter_(std::move(options)) {}
+
+bool IcebergEngine::Observe(uint64_t key, uint64_t trigger_threshold) {
+  filter_.Insert(key);
+  if (trigger_threshold == 0) return false;
+  return filter_.Estimate(key) >= trigger_threshold;
+}
+
+std::vector<uint64_t> IcebergEngine::Query(
+    const std::vector<uint64_t>& candidates, uint64_t threshold) const {
+  std::vector<uint64_t> heavy;
+  for (uint64_t key : candidates) {
+    if (filter_.Estimate(key) >= threshold) heavy.push_back(key);
+  }
+  return heavy;
+}
+
+MultiscanIceberg::MultiscanIceberg(std::vector<Stage> stages,
+                                   uint64_t threshold, uint64_t seed)
+    : stages_(std::move(stages)), threshold_(threshold), seed_(seed) {
+  SBF_CHECK_MSG(!stages_.empty(), "multiscan needs at least one stage");
+  SBF_CHECK_MSG(threshold_ >= 1, "multiscan threshold must be >= 1");
+  for (const Stage& stage : stages_) {
+    SBF_CHECK_MSG(stage.buckets >= 1 && stage.k >= 1, "bad stage config");
+  }
+}
+
+MultiscanIceberg::Result MultiscanIceberg::Run(const Multiset& data) {
+  Result result;
+
+  // One lossy counting filter per stage. Stage j counts only occurrences
+  // of items whose buckets in every earlier stage are already heavy —
+  // the shared progressive filtering of MULTISCAN-SHARED.
+  std::vector<HashFamily> hashes;
+  std::vector<FixedWidthCounterVector> filters;
+  hashes.reserve(stages_.size());
+  filters.reserve(stages_.size());
+  for (size_t j = 0; j < stages_.size(); ++j) {
+    hashes.emplace_back(stages_[j].k, stages_[j].buckets,
+                        seed_ + 0x9E3779B9ull * (j + 1));
+    filters.emplace_back(stages_[j].buckets, 32);
+    result.memory_bits += filters.back().MemoryUsageBits();
+  }
+
+  auto passes_stage = [&](size_t j, uint64_t key) {
+    uint64_t positions[64];
+    hashes[j].Positions(key, positions);
+    for (uint32_t i = 0; i < stages_[j].k; ++i) {
+      if (filters[j].Get(positions[i]) < threshold_) return false;
+    }
+    return true;
+  };
+
+  for (size_t j = 0; j < stages_.size(); ++j) {
+    ++result.scans;
+    for (uint64_t key : data.stream) {
+      bool passed = true;
+      for (size_t prev = 0; prev < j && passed; ++prev) {
+        passed = passes_stage(prev, key);
+      }
+      if (!passed) continue;
+      uint64_t positions[64];
+      hashes[j].Positions(key, positions);
+      for (uint32_t i = 0; i < stages_[j].k; ++i) {
+        filters[j].Increment(positions[i]);
+      }
+    }
+  }
+
+  // Verification scan: exact counts for the surviving candidates only.
+  ++result.scans;
+  std::unordered_map<uint64_t, uint64_t> exact;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    const uint64_t key = data.keys[i];
+    bool candidate = true;
+    for (size_t j = 0; j < stages_.size() && candidate; ++j) {
+      candidate = passes_stage(j, key);
+    }
+    if (!candidate) continue;
+    ++result.candidates;
+    if (data.freqs[i] >= threshold_) {
+      result.heavy_keys.push_back(key);
+    } else {
+      ++result.false_candidates;
+    }
+  }
+  return result;
+}
+
+}  // namespace sbf

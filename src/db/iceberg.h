@@ -1,0 +1,77 @@
+#ifndef SBF_DB_ICEBERG_H_
+#define SBF_DB_ICEBERG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spectral_bloom_filter.h"
+#include "sai/fixed_counter_vector.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+
+// Ad-hoc iceberg queries over an SBF (paper Section 5.2): the filter is
+// built once while the data streams by; the threshold is supplied only at
+// query time and can change between queries with no rescan — the ability
+// the preprocessing-based methods [FSGM+98, MM02] lack.
+class IcebergEngine {
+ public:
+  explicit IcebergEngine(SbfOptions options);
+
+  // Stream one occurrence. Returns true if this occurrence pushed the
+  // item's estimate to at least `trigger_threshold` (the paper's "alert
+  // once an item with a high count is encountered" trigger); pass 0 for
+  // no trigger.
+  bool Observe(uint64_t key, uint64_t trigger_threshold = 0);
+
+  // Ad-hoc query: candidates whose estimated frequency is >= threshold.
+  // One-sided: every true heavy item is reported (no false negatives).
+  std::vector<uint64_t> Query(const std::vector<uint64_t>& candidates,
+                              uint64_t threshold) const;
+
+  uint64_t Estimate(uint64_t key) const { return filter_.Estimate(key); }
+  const SpectralBloomFilter& filter() const { return filter_; }
+  size_t MemoryUsageBits() const { return filter_.MemoryUsageBits(); }
+
+ private:
+  SpectralBloomFilter filter_;
+};
+
+// The MULTISCAN-SHARED baseline in the style of [FSGM+98] (paper
+// Section 5.2's comparison point): progressive filtering with a cascade of
+// small lossy counter arrays, each stage only counting items that passed
+// all earlier stages. The threshold must be known while scanning; changing
+// it requires rebuilding from scratch — measured by the benchmark.
+class MultiscanIceberg {
+ public:
+  struct Stage {
+    size_t buckets = 0;
+    uint32_t k = 1;  // hash probes per stage filter
+  };
+
+  MultiscanIceberg(std::vector<Stage> stages, uint64_t threshold,
+                   uint64_t seed = 0);
+
+  struct Result {
+    std::vector<uint64_t> heavy_keys;  // exact result after the final scan
+    size_t candidates = 0;             // keys surviving all filter stages
+    size_t false_candidates = 0;       // candidates removed by verification
+    size_t scans = 0;                  // passes over the data
+    size_t memory_bits = 0;            // all stage filters
+  };
+
+  // Runs the full multiscan pipeline over the multiset (one scan per
+  // stage plus one verification scan).
+  Result Run(const Multiset& data);
+
+  uint64_t threshold() const { return threshold_; }
+
+ private:
+  std::vector<Stage> stages_;
+  uint64_t threshold_;
+  uint64_t seed_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_DB_ICEBERG_H_

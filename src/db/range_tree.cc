@@ -1,0 +1,63 @@
+#include "db/range_tree.h"
+
+#include <bit>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace sbf {
+
+RangeTreeSbf::RangeTreeSbf(uint64_t domain_size, SbfOptions options)
+    : domain_size_(std::bit_ceil(std::max<uint64_t>(domain_size, 2))),
+      levels_(FloorLog2(domain_size_)),
+      filter_(options) {
+  SBF_CHECK_MSG(domain_size_ <= (1ull << 32),
+                "range tree supports domains up to 2^32 values");
+}
+
+void RangeTreeSbf::Insert(uint64_t value, uint64_t count) {
+  SBF_CHECK_MSG(value < domain_size_, "value outside the tree domain");
+  // One insert per tree level: the leaf plus every enclosing dyadic range
+  // up to the root.
+  for (uint32_t level = 0; level <= levels_; ++level) {
+    filter_.Insert(NodeKey(level, value >> level), count);
+  }
+}
+
+void RangeTreeSbf::Remove(uint64_t value, uint64_t count) {
+  SBF_CHECK_MSG(value < domain_size_, "value outside the tree domain");
+  for (uint32_t level = 0; level <= levels_; ++level) {
+    filter_.Remove(NodeKey(level, value >> level), count);
+  }
+}
+
+uint64_t RangeTreeSbf::EstimatePoint(uint64_t value) const {
+  SBF_CHECK_MSG(value < domain_size_, "value outside the tree domain");
+  return filter_.Estimate(NodeKey(0, value));
+}
+
+RangeTreeSbf::RangeEstimate RangeTreeSbf::EstimateRange(uint64_t lo,
+                                                        uint64_t hi) const {
+  SBF_CHECK_MSG(lo <= hi && hi <= domain_size_, "bad range");
+  RangeEstimate estimate;
+  // Canonical dyadic decomposition: at most two nodes per level.
+  uint32_t level = 0;
+  while (lo < hi) {
+    if (lo & 1) {
+      estimate.count += filter_.Estimate(NodeKey(level, lo));
+      ++estimate.probes;
+      ++lo;
+    }
+    if (hi & 1) {
+      --hi;
+      estimate.count += filter_.Estimate(NodeKey(level, hi));
+      ++estimate.probes;
+    }
+    lo >>= 1;
+    hi >>= 1;
+    ++level;
+  }
+  return estimate;
+}
+
+}  // namespace sbf

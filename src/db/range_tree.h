@@ -1,0 +1,60 @@
+#ifndef SBF_DB_RANGE_TREE_H_
+#define SBF_DB_RANGE_TREE_H_
+
+#include <cstdint>
+
+#include "core/spectral_bloom_filter.h"
+
+namespace sbf {
+
+// Range Tree Hashing (paper Section 5.5, Theorem 11): range-count queries
+// over an SBF by hashing, alongside each value, one synthetic item per
+// dyadic range containing it. Inserting a value touches log r tree nodes;
+// a range query [lo, hi) decomposes into at most 2*log|Q| canonical nodes,
+// each answered by a single SBF lookup. Point queries remain a single
+// lookup. Every estimate keeps the SBF's one-sided error guarantee, the
+// property histograms cannot give.
+class RangeTreeSbf {
+ public:
+  struct RangeEstimate {
+    uint64_t count = 0;   // estimated number of values in the range
+    uint32_t probes = 0;  // SBF lookups performed (<= 2*log|Q| + O(1))
+  };
+
+  // Supports values in [0, domain_size); domain_size is rounded up to a
+  // power of two. `options.m` sizes the underlying SBF, which must absorb
+  // up to n*log r distinct items (Claim 12) — size it accordingly.
+  RangeTreeSbf(uint64_t domain_size, SbfOptions options);
+
+  // Number of tree levels (log r), i.e. inserts per value.
+  uint32_t levels() const { return levels_; }
+  uint64_t domain_size() const { return domain_size_; }
+
+  void Insert(uint64_t value, uint64_t count = 1);
+  void Remove(uint64_t value, uint64_t count = 1);
+
+  // Exact-value multiplicity estimate (one SBF lookup).
+  uint64_t EstimatePoint(uint64_t value) const;
+
+  // Estimated number of values in the half-open range [lo, hi).
+  RangeEstimate EstimateRange(uint64_t lo, uint64_t hi) const;
+
+  size_t MemoryUsageBits() const { return filter_.MemoryUsageBits(); }
+  const SpectralBloomFilter& filter() const { return filter_; }
+
+ private:
+  // Synthetic key of the dyadic node at `level` covering index `index`
+  // (level 0 = leaves). Disjoint from raw value keys via a high tag.
+  static uint64_t NodeKey(uint32_t level, uint64_t index) {
+    return (0x52A06EULL << 40) ^ (static_cast<uint64_t>(level) << 33) ^
+           index;
+  }
+
+  uint64_t domain_size_;  // power of two
+  uint32_t levels_;       // log2(domain_size_)
+  SpectralBloomFilter filter_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_DB_RANGE_TREE_H_

@@ -1,0 +1,34 @@
+#include "db/relation.h"
+
+namespace sbf {
+
+std::unordered_map<uint64_t, uint64_t> Relation::FrequencyMap() const {
+  std::unordered_map<uint64_t, uint64_t> freqs;
+  freqs.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) ++freqs[t.attribute];
+  return freqs;
+}
+
+std::vector<uint64_t> Relation::DistinctValues() const {
+  std::unordered_map<uint64_t, bool> seen;
+  seen.reserve(tuples_.size());
+  std::vector<uint64_t> values;
+  for (const Tuple& t : tuples_) {
+    auto [it, inserted] = seen.emplace(t.attribute, true);
+    if (inserted) values.push_back(t.attribute);
+  }
+  return values;
+}
+
+uint64_t Relation::ExactJoinSize(const Relation& other) const {
+  const auto mine = FrequencyMap();
+  const auto theirs = other.FrequencyMap();
+  uint64_t total = 0;
+  for (const auto& [value, count] : mine) {
+    const auto it = theirs.find(value);
+    if (it != theirs.end()) total += count * it->second;
+  }
+  return total;
+}
+
+}  // namespace sbf

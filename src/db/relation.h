@@ -1,0 +1,58 @@
+#ifndef SBF_DB_RELATION_H_
+#define SBF_DB_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sbf {
+
+// A tuple of the minimal relational substrate: a join-attribute value and
+// an opaque payload (row id / rest-of-tuple stand-in). Shipping one tuple
+// across the simulated network costs sizeof(Tuple) bytes.
+struct Tuple {
+  uint64_t attribute = 0;
+  uint64_t payload = 0;
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+};
+
+// Minimal single-attribute relation used by the Section 5 applications
+// (Bloomjoins, iceberg queries, bifocal sampling). Rows are appended;
+// scans are sequential, matching the streaming/scan cost model of the
+// paper's distributed-query discussion.
+class Relation {
+ public:
+  explicit Relation(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return tuples_.size(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  void Add(uint64_t attribute, uint64_t payload = 0) {
+    tuples_.push_back(Tuple{attribute, payload});
+  }
+
+  // Exact frequency of every attribute value — ground truth for the
+  // experiments (a full scan; the SBF is the cheap substitute).
+  std::unordered_map<uint64_t, uint64_t> FrequencyMap() const;
+
+  // Distinct attribute values, in first-seen order.
+  std::vector<uint64_t> DistinctValues() const;
+
+  // Exact size of the equi-join with `other` on the attribute:
+  // sum_v f_this(v) * f_other(v).
+  uint64_t ExactJoinSize(const Relation& other) const;
+
+  // Bytes to ship the whole relation (the naive no-filter baseline).
+  uint64_t ShipAllBytes() const { return tuples_.size() * sizeof(Tuple); }
+
+ private:
+  std::string name_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_DB_RELATION_H_

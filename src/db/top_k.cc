@@ -1,0 +1,58 @@
+#include "db/top_k.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sbf {
+
+TopKTracker::TopKTracker(size_t capacity, SbfOptions options)
+    : capacity_(capacity), filter_(std::move(options)) {
+  SBF_CHECK_MSG(capacity_ >= 1, "top-k tracker needs capacity >= 1");
+  candidates_.reserve(capacity_ + 1);
+}
+
+void TopKTracker::Observe(uint64_t key, uint64_t count) {
+  filter_.Insert(key, count);
+  const uint64_t estimate = filter_.Estimate(key);
+
+  const auto it = candidates_.find(key);
+  if (it != candidates_.end()) {
+    it->second = estimate;
+    return;
+  }
+  if (candidates_.size() < capacity_) {
+    candidates_.emplace(key, estimate);
+    return;
+  }
+  // Replace the weakest candidate if this key now outgrows it.
+  auto weakest = candidates_.begin();
+  for (auto c = candidates_.begin(); c != candidates_.end(); ++c) {
+    if (c->second < weakest->second) weakest = c;
+  }
+  if (estimate > weakest->second) {
+    candidates_.erase(weakest);
+    candidates_.emplace(key, estimate);
+  }
+}
+
+std::vector<TopKTracker::Entry> TopKTracker::Top() const {
+  std::vector<Entry> entries;
+  entries.reserve(candidates_.size());
+  for (const auto& [key, estimate] : candidates_) {
+    entries.push_back(Entry{key, estimate});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.estimate != b.estimate ? a.estimate > b.estimate
+                                              : a.key < b.key;
+            });
+  return entries;
+}
+
+size_t TopKTracker::MemoryUsageBits() const {
+  // SBF plus two 64-bit words per candidate.
+  return filter_.MemoryUsageBits() + candidates_.size() * 128;
+}
+
+}  // namespace sbf

@@ -1,0 +1,55 @@
+#ifndef SBF_DB_TOP_K_H_
+#define SBF_DB_TOP_K_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/spectral_bloom_filter.h"
+
+namespace sbf {
+
+// Hot-list tracking over a stream (the paper's Section 1.1.2 application:
+// "Bloom Filters in conjunction with hot list techniques [GM98] to
+// efficiently identify popular search queries"): the SBF supplies
+// approximate counts for *every* key in bounded memory, and a small exact
+// candidate set keeps the current top contenders.
+//
+// Because SBF estimates are one-sided (never below the true count), a key
+// whose true frequency belongs in the top k always has an estimate large
+// enough to enter the candidate set once it outgrows the weakest
+// candidate — the tracker can over-admit (false candidates from
+// overestimates) but does not structurally miss heavy keys that keep
+// arriving.
+class TopKTracker {
+ public:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t estimate = 0;
+  };
+
+  // Tracks the top `capacity` keys; `options` sizes the backing SBF.
+  TopKTracker(size_t capacity, SbfOptions options);
+
+  // Records `count` occurrences of `key` and updates the candidate set.
+  void Observe(uint64_t key, uint64_t count = 1);
+
+  // Current candidates, most frequent first.
+  std::vector<Entry> Top() const;
+
+  // Estimated multiplicity of any key (not just candidates).
+  uint64_t Estimate(uint64_t key) const { return filter_.Estimate(key); }
+
+  size_t capacity() const { return capacity_; }
+  size_t MemoryUsageBits() const;
+
+ private:
+  size_t capacity_;
+  SpectralBloomFilter filter_;
+  // key -> latest estimate; kept at most `capacity_` entries.
+  std::unordered_map<uint64_t, uint64_t> candidates_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_DB_TOP_K_H_

@@ -1,0 +1,101 @@
+#include "hashing/hash.h"
+
+#include <bit>
+#include <cstring>
+
+namespace sbf {
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ull;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ull;
+constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ull;
+constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ull;
+
+uint64_t Load64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = std::rotl(acc, 31);
+  return acc * kPrime1;
+}
+
+uint64_t MergeRound(uint64_t acc, uint64_t val) {
+  acc ^= Round(0, val);
+  return acc * kPrime1 + kPrime4;
+}
+
+}  // namespace
+
+uint64_t Mix64(uint64_t v) {
+  v ^= v >> 33;
+  v *= 0xFF51AFD7ED558CCDull;
+  v ^= v >> 33;
+  v *= 0xC4CEB9FE1A85EC53ull;
+  v ^= v >> 33;
+  return v;
+}
+
+uint64_t Fingerprint64(std::string_view bytes, uint64_t seed) {
+  const char* p = bytes.data();
+  const char* end = p + bytes.size();
+  uint64_t h;
+
+  if (bytes.size() >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = Round(v1, Load64(p));
+      v2 = Round(v2, Load64(p + 8));
+      v3 = Round(v3, Load64(p + 16));
+      v4 = Round(v4, Load64(p + 24));
+      p += 32;
+    } while (p + 32 <= end);
+    h = std::rotl(v1, 1) + std::rotl(v2, 7) + std::rotl(v3, 12) +
+        std::rotl(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += bytes.size();
+  while (p + 8 <= end) {
+    h ^= Round(0, Load64(p));
+    h = std::rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Load32(p)) * kPrime1;
+    h = std::rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*p)) * kPrime5;
+    h = std::rotl(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace sbf

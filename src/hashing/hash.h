@@ -1,0 +1,46 @@
+#ifndef SBF_HASHING_HASH_H_
+#define SBF_HASHING_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sbf {
+
+// 64-bit finalizing mixer (Murmur3 fmix64 variant). Bijective, so distinct
+// keys never collide at this stage.
+uint64_t Mix64(uint64_t v);
+
+// Hashes an arbitrary byte string to a 64-bit fingerprint
+// (xxHash64-inspired construction, dependency-free). Used to map string
+// keys into the integer universe U that the filter hash families consume.
+uint64_t Fingerprint64(std::string_view bytes, uint64_t seed = 0);
+
+// The paper's modulo/multiply hash (Section 6.1): given a value v, its hash
+// is H(v) = ceil(m * (alpha * v mod 1)) for alpha drawn uniformly at random
+// from [0,1). We represent alpha in 64-bit fixed point (alpha = a / 2^64),
+// so (alpha * v mod 1) is the low 64 bits of a*v re-read as a fraction and
+// the final range reduction is a 128-bit multiply-shift.
+class ModuloMultiplyHash {
+ public:
+  // `alpha_fixed` is the fixed-point numerator a (must be odd for full
+  // period; the factory below guarantees this).
+  ModuloMultiplyHash(uint64_t alpha_fixed, uint64_t range)
+      : alpha_(alpha_fixed | 1ull), range_(range) {}
+
+  uint64_t range() const { return range_; }
+
+  uint64_t operator()(uint64_t v) const {
+    const uint64_t frac = alpha_ * v;  // a*v mod 2^64 == (alpha*v mod 1)<<64
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(frac) * range_) >> 64);
+  }
+
+ private:
+  uint64_t alpha_;
+  uint64_t range_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_HASHING_HASH_H_

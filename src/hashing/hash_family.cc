@@ -1,0 +1,68 @@
+#include "hashing/hash_family.h"
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace sbf {
+
+HashFamily::HashFamily(uint32_t k, uint64_t m, uint64_t seed, Kind kind)
+    : k_(k), m_(m), seed_(seed), kind_(kind) {
+  SBF_CHECK_MSG(k >= 1, "hash family needs k >= 1");
+  SBF_CHECK_MSG(m >= 1, "hash family needs m >= 1");
+  uint64_t sm = seed ^ 0xA0761D6478BD642Full;
+  if (kind_ == Kind::kModuloMultiply) {
+    mm_.reserve(k_);
+    for (uint32_t i = 0; i < k_; ++i) {
+      mm_.emplace_back(SplitMix64(sm), m_);
+    }
+  } else {
+    mix_seed1_ = SplitMix64(sm);
+    mix_seed2_ = SplitMix64(sm);
+  }
+}
+
+bool HashFamily::Compatible(const HashFamily& other) const {
+  return k_ == other.k_ && m_ == other.m_ && seed_ == other.seed_ &&
+         kind_ == other.kind_;
+}
+
+uint64_t HashFamily::Position(uint64_t key, uint32_t i) const {
+  SBF_DCHECK(i < k_);
+  if (kind_ == Kind::kModuloMultiply) {
+    // Keys are mixed first so that structured inputs (0,1,2,...) exercise
+    // the full 64-bit domain, matching the random-value assumption in the
+    // paper's analysis. The golden-ratio offset keeps key == seed (whose
+    // XOR is 0, a fixed point of Mix64) from degenerating.
+    return mm_[i](Mix64((key ^ seed_) + 0x9E3779B97F4A7C15ull));
+  }
+  const uint64_t g1 = Mix64((key ^ mix_seed1_) + 0x9E3779B97F4A7C15ull);
+  const uint64_t g2 = Mix64((key ^ mix_seed2_) + 0x9E3779B97F4A7C15ull) | 1ull;
+  // 128-bit product so i*g2 cannot wrap; matches the batch Positions path.
+  const uint64_t step = (static_cast<__uint128_t>(i) * (g2 % m_)) % m_;
+  return (g1 % m_ + step) % m_;
+}
+
+void HashFamily::Positions(uint64_t key, uint64_t* out) const {
+  if (kind_ == Kind::kModuloMultiply) {
+    const uint64_t mixed = Mix64((key ^ seed_) + 0x9E3779B97F4A7C15ull);
+    for (uint32_t i = 0; i < k_; ++i) out[i] = mm_[i](mixed);
+    return;
+  }
+  const uint64_t g1 = Mix64((key ^ mix_seed1_) + 0x9E3779B97F4A7C15ull);
+  const uint64_t g2 = Mix64((key ^ mix_seed2_) + 0x9E3779B97F4A7C15ull) | 1ull;
+  uint64_t h = g1 % m_;
+  const uint64_t step = g2 % m_;
+  for (uint32_t i = 0; i < k_; ++i) {
+    out[i] = h;
+    h += step;
+    if (h >= m_) h -= m_;
+  }
+}
+
+std::vector<uint64_t> HashFamily::Positions(uint64_t key) const {
+  std::vector<uint64_t> out(k_);
+  Positions(key, out.data());
+  return out;
+}
+
+}  // namespace sbf

@@ -1,0 +1,63 @@
+#ifndef SBF_HASHING_HASH_FAMILY_H_
+#define SBF_HASHING_HASH_FAMILY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "hashing/hash.h"
+
+namespace sbf {
+
+// A seedable family of k hash functions h_1..h_k mapping 64-bit keys into
+// {0..m-1}. Two filters built with the same (k, m, seed, kind) use
+// identical functions — the precondition for SBF union and multiplication
+// (Section 2.2) and for shipping filters between "sites" in Bloomjoins.
+//
+// Two constructions are provided:
+//  * kModuloMultiply — the paper's experimental setup (Section 6.1):
+//    H_i(v) = floor(m * (alpha_i * v mod 1)), alpha_i random in [0,1).
+//  * kDoubleMix — Kirsch–Mitzenmacher double hashing over two independent
+//    64-bit mixers: h_i = (g1 + i*g2) mod m. One multiply cheaper per probe
+//    and with provably Bloom-equivalent behaviour.
+class HashFamily {
+ public:
+  enum class Kind { kModuloMultiply, kDoubleMix };
+
+  HashFamily(uint32_t k, uint64_t m, uint64_t seed,
+             Kind kind = Kind::kModuloMultiply);
+
+  uint32_t k() const { return k_; }
+  uint64_t m() const { return m_; }
+  uint64_t seed() const { return seed_; }
+  Kind kind() const { return kind_; }
+
+  // True iff `other` produces identical positions for every key.
+  bool Compatible(const HashFamily& other) const;
+
+  // Returns h_i(key), 0 <= i < k.
+  uint64_t Position(uint64_t key, uint32_t i) const;
+
+  // Fills `out[0..k)` with the k positions for `key`. `out` must have room
+  // for k entries. The common fast path for filter operations.
+  void Positions(uint64_t key, uint64_t* out) const;
+  std::vector<uint64_t> Positions(uint64_t key) const;
+
+  // Convenience for string keys: fingerprints then hashes.
+  void PositionsForBytes(std::string_view key, uint64_t* out) const {
+    Positions(Fingerprint64(key), out);
+  }
+
+ private:
+  uint32_t k_;
+  uint64_t m_;
+  uint64_t seed_;
+  Kind kind_;
+  std::vector<ModuloMultiplyHash> mm_;  // kModuloMultiply only
+  uint64_t mix_seed1_ = 0;              // kDoubleMix only
+  uint64_t mix_seed2_ = 0;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_HASHING_HASH_FAMILY_H_

@@ -1,0 +1,166 @@
+#include "sai/compact_counter_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace sbf {
+namespace {
+
+size_t SlackBitsPerGroup(const CompactCounterVector::Options& options) {
+  const double per_group =
+      options.slack_per_counter * static_cast<double>(options.group_size);
+  // At least 64 bits so that any single counter widening (at most 63 bits)
+  // fits into a freshly refreshed group.
+  return std::max<size_t>(64, static_cast<size_t>(std::ceil(per_group)));
+}
+
+}  // namespace
+
+CompactCounterVector::CompactCounterVector(size_t m, Options options)
+    : m_(m), options_(options) {
+  SBF_CHECK_MSG(m >= 1, "counter vector needs m >= 1");
+  SBF_CHECK_MSG(options_.group_size >= 1, "group size must be >= 1");
+  SBF_CHECK_MSG(options_.slack_per_counter >= 0.0, "negative slack");
+  num_groups_ = CeilDiv(m_, options_.group_size);
+  widths_.assign(m_, 1);
+  LayoutFromValues(std::vector<uint64_t>(m_, 0));
+}
+
+size_t CompactCounterVector::NumItemsInGroup(size_t g) const {
+  const size_t begin = g * options_.group_size;
+  return std::min(options_.group_size, m_ - begin);
+}
+
+size_t CompactCounterVector::PositionOf(size_t i) const {
+  const size_t g = i / options_.group_size;
+  size_t pos = group_start_[g];
+  for (size_t j = g * options_.group_size; j < i; ++j) pos += widths_[j];
+  return pos;
+}
+
+uint64_t CompactCounterVector::Get(size_t i) const {
+  SBF_DCHECK(i < m_);
+  return bits_.GetBits(PositionOf(i), widths_[i]);
+}
+
+void CompactCounterVector::Set(size_t i, uint64_t value) {
+  SBF_DCHECK(i < m_);
+  const uint32_t new_width = BitWidth(value);
+  uint32_t width = widths_[i];
+  if (new_width <= width) {
+    // In-place write; the counter keeps its current (possibly wider) field.
+    bits_.SetBits(PositionOf(i), width, value);
+    return;
+  }
+
+  const size_t g = i / options_.group_size;
+  const uint32_t grow = new_width - width;
+  if (FreeBits(g) < grow && !BorrowSlack(g, grow - FreeBits(g))) {
+    Rebuild();
+    Set(i, value);  // widths were tightened; redo with fresh slack
+    return;
+  }
+  // Push this group's tail (counters after i) into the group slack.
+  const size_t pos = PositionOf(i);
+  const size_t tail_end = group_start_[g] + used_[g];
+  bits_.ShiftRangeRight(pos + width, tail_end, grow);
+  pushed_bits_ += tail_end - (pos + width);
+  widths_[i] = static_cast<uint8_t>(new_width);
+  used_[g] += grow;
+  bits_.SetBits(pos, new_width, value);
+}
+
+bool CompactCounterVector::BorrowSlack(size_t g, size_t need) {
+  while (need > 0) {
+    // Nearest following group with free slack.
+    size_t h = g + 1;
+    while (h < num_groups_ && FreeBits(h) == 0) ++h;
+    if (h >= num_groups_) return false;
+    const size_t take = std::min(FreeBits(h), need);
+    // Shift groups g+1..h right by `take`; group g's region grows, group
+    // h's slack shrinks, groups in between move wholesale.
+    const size_t span_begin = group_start_[g + 1];
+    const size_t span_end = group_start_[h] + used_[h];
+    bits_.ShiftRangeRight(span_begin, span_end, take);
+    pushed_bits_ += span_end - span_begin;
+    for (size_t j = g + 1; j <= h; ++j) group_start_[j] += take;
+    need -= take;
+  }
+  return true;
+}
+
+void CompactCounterVector::Rebuild() {
+  std::vector<uint64_t> values(m_);
+  for (size_t i = 0; i < m_; ++i) values[i] = Get(i);
+  for (size_t i = 0; i < m_; ++i) {
+    widths_[i] = static_cast<uint8_t>(BitWidth(values[i]));
+  }
+  LayoutFromValues(values);
+  ++rebuilds_;
+}
+
+void CompactCounterVector::LayoutFromValues(
+    const std::vector<uint64_t>& values) {
+  const size_t slack = SlackBitsPerGroup(options_);
+  group_start_.assign(num_groups_ + 1, 0);
+  used_.assign(num_groups_, 0);
+  for (size_t g = 0; g < num_groups_; ++g) {
+    const size_t begin = g * options_.group_size;
+    const size_t end = begin + NumItemsInGroup(g);
+    size_t payload = 0;
+    for (size_t i = begin; i < end; ++i) payload += widths_[i];
+    used_[g] = static_cast<uint32_t>(payload);
+    group_start_[g + 1] = group_start_[g] + payload + slack;
+  }
+  bits_ = BitVector(group_start_[num_groups_]);
+  size_t pos = 0;
+  for (size_t g = 0; g < num_groups_; ++g) {
+    pos = group_start_[g];
+    const size_t begin = g * options_.group_size;
+    const size_t end = begin + NumItemsInGroup(g);
+    for (size_t i = begin; i < end; ++i) {
+      bits_.SetBits(pos, widths_[i], values[i]);
+      pos += widths_[i];
+    }
+  }
+}
+
+void CompactCounterVector::Increment(size_t i, uint64_t delta) {
+  SBF_DCHECK(i < m_);
+  const uint32_t width = widths_[i];
+  const size_t pos = PositionOf(i);
+  const uint64_t value = bits_.GetBits(pos, width) + delta;
+  if (BitWidth(value) <= width) {
+    bits_.SetBits(pos, width, value);
+    return;
+  }
+  Set(i, value);  // widening path
+}
+
+void CompactCounterVector::Reset() {
+  widths_.assign(m_, 1);
+  LayoutFromValues(std::vector<uint64_t>(m_, 0));
+}
+
+size_t CompactCounterVector::UsedBits() const {
+  size_t total = 0;
+  for (uint8_t w : widths_) total += w;
+  return total;
+}
+
+size_t CompactCounterVector::OverheadBits() const {
+  return group_start_.size() * 64 + used_.size() * 32 + widths_.size() * 8;
+}
+
+size_t CompactCounterVector::MemoryUsageBits() const {
+  return bits_.capacity_bits() + OverheadBits();
+}
+
+std::unique_ptr<CounterVector> CompactCounterVector::Clone() const {
+  return std::make_unique<CompactCounterVector>(*this);
+}
+
+}  // namespace sbf

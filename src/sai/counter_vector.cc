@@ -1,0 +1,52 @@
+#include "sai/counter_vector.h"
+
+#include "sai/compact_counter_vector.h"
+#include "sai/fixed_counter_vector.h"
+#include "sai/serial_scan_counter_vector.h"
+#include "util/check.h"
+
+namespace sbf {
+
+void CounterVector::Decrement(size_t i, uint64_t delta) {
+  const uint64_t v = Get(i);
+  SBF_CHECK_MSG(v >= delta, "counter underflow");
+  Set(i, v - delta);
+}
+
+uint64_t CounterVector::Total() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < size(); ++i) total += Get(i);
+  return total;
+}
+
+std::unique_ptr<CounterVector> MakeCounterVector(CounterBacking backing,
+                                                 size_t m) {
+  switch (backing) {
+    case CounterBacking::kFixed64:
+      return std::make_unique<FixedWidthCounterVector>(m, 64);
+    case CounterBacking::kFixed32:
+      return std::make_unique<FixedWidthCounterVector>(m, 32);
+    case CounterBacking::kCompact:
+      return std::make_unique<CompactCounterVector>(m);
+    case CounterBacking::kSerialScan:
+      return std::make_unique<SerialScanCounterVector>(m);
+  }
+  SBF_CHECK_MSG(false, "unknown counter backing");
+  return nullptr;
+}
+
+const char* CounterBackingName(CounterBacking backing) {
+  switch (backing) {
+    case CounterBacking::kFixed64:
+      return "fixed64";
+    case CounterBacking::kFixed32:
+      return "fixed32";
+    case CounterBacking::kCompact:
+      return "compact";
+    case CounterBacking::kSerialScan:
+      return "serial-scan";
+  }
+  return "unknown";
+}
+
+}  // namespace sbf

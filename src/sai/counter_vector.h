@@ -1,0 +1,83 @@
+#ifndef SBF_SAI_COUNTER_VECTOR_H_
+#define SBF_SAI_COUNTER_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sbf {
+
+// Abstract array of m non-negative counters — the storage substrate of the
+// Spectral Bloom Filter. Implementations trade compactness for speed:
+//
+//  * FixedWidthCounterVector  — packed w-bit counters (plain or saturating;
+//                               the 4-bit variant is the FCAB98 counting
+//                               Bloom filter's storage, the 32/64-bit
+//                               variant the "straightforward" baseline the
+//                               paper rules out as wasteful).
+//  * CompactCounterVector     — the paper's dynamic scheme (Section 4.4):
+//                               each counter in ~ceil(log C_i) bits, slack
+//                               bits for growth, push-to-slack expansion,
+//                               amortized O(1) updates.
+//  * SerialScanCounterVector  — the paper's compact alternative
+//                               (Section 4.5): Elias/steps-coded groups
+//                               with coarse offsets and O(log log N) serial
+//                               scan lookups.
+class CounterVector {
+ public:
+  virtual ~CounterVector() = default;
+
+  // Number of counters (the SBF's m).
+  virtual size_t size() const = 0;
+
+  // Value of counter i.
+  virtual uint64_t Get(size_t i) const = 0;
+
+  // Sets counter i to `value`.
+  virtual void Set(size_t i, uint64_t value) = 0;
+
+  // Adds `delta` to counter i. Overridable for backings with a cheaper
+  // in-place path.
+  virtual void Increment(size_t i, uint64_t delta = 1) {
+    Set(i, Get(i) + delta);
+  }
+
+  // Subtracts `delta` from counter i; the counter must hold at least
+  // `delta` (the SBF only deletes items it inserted).
+  virtual void Decrement(size_t i, uint64_t delta = 1);
+
+  // Sets every counter to zero.
+  virtual void Reset() = 0;
+
+  // Total memory footprint in bits, including index/overhead structures.
+  // This is what the storage experiments (Figures 13-15) report.
+  virtual size_t MemoryUsageBits() const = 0;
+
+  // Deep copy preserving the concrete backing.
+  virtual std::unique_ptr<CounterVector> Clone() const = 0;
+
+  // Short implementation name for benchmark tables.
+  virtual std::string Name() const = 0;
+
+  // Sum of all counters (k*M for an SBF under Minimum Selection).
+  uint64_t Total() const;
+};
+
+// Backing selector used by filter configuration structs.
+enum class CounterBacking {
+  kFixed64,     // 64-bit packed counters, fastest, largest
+  kFixed32,     // 32-bit packed counters
+  kCompact,     // CompactCounterVector (the paper's dynamic structure)
+  kSerialScan,  // SerialScanCounterVector (Section 4.5 alternative)
+};
+
+// Constructs a zeroed counter vector of m counters with the given backing.
+std::unique_ptr<CounterVector> MakeCounterVector(CounterBacking backing,
+                                                 size_t m);
+
+const char* CounterBackingName(CounterBacking backing);
+
+}  // namespace sbf
+
+#endif  // SBF_SAI_COUNTER_VECTOR_H_

@@ -1,0 +1,68 @@
+#include "sai/fixed_counter_vector.h"
+
+#include "util/check.h"
+
+namespace sbf {
+
+FixedWidthCounterVector::FixedWidthCounterVector(size_t m, uint32_t width_bits,
+                                                 bool sticky_saturation)
+    : m_(m),
+      width_(width_bits),
+      max_value_(LowMask(width_bits)),
+      sticky_(sticky_saturation),
+      bits_(m * width_bits) {
+  SBF_CHECK_MSG(width_bits >= 1 && width_bits <= 64,
+                "counter width must be in [1, 64]");
+}
+
+uint64_t FixedWidthCounterVector::Get(size_t i) const {
+  SBF_DCHECK(i < m_);
+  return bits_.GetBits(i * width_, width_);
+}
+
+void FixedWidthCounterVector::Set(size_t i, uint64_t value) {
+  SBF_DCHECK(i < m_);
+  SBF_CHECK_MSG(value <= max_value_, "counter overflow in fixed-width vector");
+  bits_.SetBits(i * width_, width_, value);
+}
+
+void FixedWidthCounterVector::Increment(size_t i, uint64_t delta) {
+  const uint64_t v = Get(i);
+  if (sticky_) {
+    const uint64_t headroom = max_value_ - v;
+    Set(i, delta >= headroom ? max_value_ : v + delta);
+    return;
+  }
+  Set(i, v + delta);
+}
+
+void FixedWidthCounterVector::Decrement(size_t i, uint64_t delta) {
+  const uint64_t v = Get(i);
+  if (sticky_ && v == max_value_) return;  // stuck counter, never decremented
+  SBF_CHECK_MSG(v >= delta, "counter underflow in fixed-width vector");
+  Set(i, v - delta);
+}
+
+void FixedWidthCounterVector::Reset() { bits_.Clear(); }
+
+size_t FixedWidthCounterVector::MemoryUsageBits() const {
+  return bits_.capacity_bits();
+}
+
+std::unique_ptr<CounterVector> FixedWidthCounterVector::Clone() const {
+  return std::make_unique<FixedWidthCounterVector>(*this);
+}
+
+std::string FixedWidthCounterVector::Name() const {
+  return "fixed" + std::to_string(width_) + (sticky_ ? "-saturating" : "");
+}
+
+size_t FixedWidthCounterVector::SaturatedCount() const {
+  size_t count = 0;
+  for (size_t i = 0; i < m_; ++i) {
+    if (Get(i) == max_value_) ++count;
+  }
+  return count;
+}
+
+}  // namespace sbf

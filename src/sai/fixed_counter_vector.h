@@ -1,0 +1,51 @@
+#ifndef SBF_SAI_FIXED_COUNTER_VECTOR_H_
+#define SBF_SAI_FIXED_COUNTER_VECTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "bitstream/bit_vector.h"
+#include "sai/counter_vector.h"
+
+namespace sbf {
+
+// Packed fixed-width counters: counter i lives in bits [i*w, (i+1)*w).
+//
+// With `sticky_saturation` enabled the vector implements the classic
+// counting-Bloom-filter overflow policy [FCAB98]: increments clamp at the
+// maximum representable value and a saturated counter is never decremented
+// (a stuck counter can overestimate but never causes a false negative).
+class FixedWidthCounterVector final : public CounterVector {
+ public:
+  FixedWidthCounterVector(size_t m, uint32_t width_bits,
+                          bool sticky_saturation = false);
+
+  size_t size() const override { return m_; }
+  uint64_t Get(size_t i) const override;
+  void Set(size_t i, uint64_t value) override;
+  void Increment(size_t i, uint64_t delta = 1) override;
+  void Decrement(size_t i, uint64_t delta = 1) override;
+  void Reset() override;
+  size_t MemoryUsageBits() const override;
+  std::unique_ptr<CounterVector> Clone() const override;
+  std::string Name() const override;
+
+  uint32_t width_bits() const { return width_; }
+  uint64_t max_value() const { return max_value_; }
+  bool sticky_saturation() const { return sticky_; }
+
+  // Number of counters currently pinned at max_value(); nonzero only with
+  // saturation enabled. Exposed so tests can observe overflow behaviour.
+  size_t SaturatedCount() const;
+
+ private:
+  size_t m_;
+  uint32_t width_;
+  uint64_t max_value_;
+  bool sticky_;
+  BitVector bits_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_SAI_FIXED_COUNTER_VECTOR_H_

@@ -1,0 +1,34 @@
+#include "sai/select_index.h"
+
+#include "util/check.h"
+
+namespace sbf {
+
+SelectIndex::SelectIndex(const std::vector<uint32_t>& lengths)
+    : m_(lengths.size()) {
+  SBF_CHECK_MSG(m_ >= 1, "select index needs at least one string");
+  total_bits_ = 0;
+  for (uint32_t len : lengths) {
+    // The select reduction needs one distinct marker position per string,
+    // so every string must occupy at least one bit (true for SBF counter
+    // fields, whose width is >= 1).
+    SBF_CHECK_MSG(len >= 1, "select index requires positive lengths");
+    total_bits_ += len;
+  }
+
+  markers_ = BitVector(total_bits_);
+  size_t offset = 0;
+  for (uint32_t len : lengths) {
+    markers_.SetBit(offset, true);
+    offset += len;
+  }
+  select_ = RankSelect(&markers_);
+}
+
+size_t SelectIndex::Offset(size_t i) const {
+  SBF_DCHECK(i <= m_);
+  if (i == m_) return total_bits_;
+  return select_.Select1(i);
+}
+
+}  // namespace sbf

@@ -1,0 +1,53 @@
+#ifndef SBF_SAI_SELECT_INDEX_H_
+#define SBF_SAI_SELECT_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/bit_vector.h"
+#include "bitstream/rank_select.h"
+
+namespace sbf {
+
+// The classic reduction of the variable-length access problem to `select`
+// (paper Section 4.2): build a marker bit vector V of N bits with a 1 at
+// the first bit of every string; the offset of string i is then
+// select(V, i). This is the "known solution" [Jac89, Mun96] the
+// string-array index competes with — simple and static, but it spends a
+// full N-bit shadow vector (plus the select directory) where the
+// string-array index spends o(N) + O(m), and it cannot absorb updates.
+//
+// Included as the baseline for the index-structure comparison
+// (bench_ablation_indexes) and as a second implementation to
+// differential-test StringArrayIndex against.
+class SelectIndex {
+ public:
+  // Builds the marker vector and select directory. O(N + m) time.
+  explicit SelectIndex(const std::vector<uint32_t>& lengths);
+
+  SelectIndex(const SelectIndex&) = delete;
+  SelectIndex& operator=(const SelectIndex&) = delete;
+
+  size_t num_strings() const { return m_; }
+  size_t total_bits() const { return total_bits_; }
+
+  // Bit offset of string i; Offset(m) == N.
+  size_t Offset(size_t i) const;
+
+  // Index overhead in bits: the marker vector plus the rank/select
+  // directory (the base strings are not included, as in
+  // StringArrayIndex::IndexBits).
+  size_t IndexBits() const {
+    return markers_.capacity_bits() + select_.OverheadBits();
+  }
+
+ private:
+  size_t m_;
+  size_t total_bits_;
+  BitVector markers_;
+  RankSelect select_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_SAI_SELECT_INDEX_H_

@@ -1,0 +1,147 @@
+#include "sai/serial_scan_counter_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bitstream/bit_writer.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace sbf {
+namespace {
+
+constexpr size_t kMaxGroupSize = 256;
+
+}  // namespace
+
+SerialScanCounterVector::SerialScanCounterVector(size_t m, Options options)
+    : m_(m), options_(std::move(options)), code_(options_.step_widths) {
+  SBF_CHECK_MSG(m >= 1, "counter vector needs m >= 1");
+  SBF_CHECK_MSG(
+      options_.group_size >= 1 && options_.group_size <= kMaxGroupSize,
+      "group size out of range");
+  num_groups_ = CeilDiv(m_, options_.group_size);
+  Rebuild(std::vector<uint64_t>(m_, 0));
+  rebuilds_ = 0;  // the constructor's initial layout is not a refresh event
+}
+
+size_t SerialScanCounterVector::NumItemsInGroup(size_t g) const {
+  const size_t begin = g * options_.group_size;
+  return std::min(options_.group_size, m_ - begin);
+}
+
+void SerialScanCounterVector::DecodeGroup(size_t g, uint64_t* out) const {
+  BitReader reader(&bits_, group_start_[g]);
+  const size_t count = NumItemsInGroup(g);
+  for (size_t j = 0; j < count; ++j) out[j] = code_.Decode(&reader);
+}
+
+uint64_t SerialScanCounterVector::Get(size_t i) const {
+  SBF_DCHECK(i < m_);
+  const size_t g = i / options_.group_size;
+  BitReader reader(&bits_, group_start_[g]);
+  uint64_t value = 0;
+  for (size_t j = g * options_.group_size; j <= i; ++j) {
+    value = code_.Decode(&reader);
+  }
+  return value;
+}
+
+size_t SerialScanCounterVector::EncodedSize(const uint64_t* values,
+                                            size_t count) const {
+  size_t bits = 0;
+  for (size_t j = 0; j < count; ++j) bits += code_.Length(values[j]);
+  return bits;
+}
+
+void SerialScanCounterVector::EncodeGroupAt(size_t g, const uint64_t* values,
+                                            size_t count) {
+  BitWriter writer(&bits_, group_start_[g]);
+  for (size_t j = 0; j < count; ++j) code_.Encode(values[j], &writer);
+  used_[g] = static_cast<uint32_t>(writer.position() - group_start_[g]);
+}
+
+void SerialScanCounterVector::Set(size_t i, uint64_t value) {
+  SBF_DCHECK(i < m_);
+  const size_t g = i / options_.group_size;
+  const size_t count = NumItemsInGroup(g);
+  uint64_t group_values[kMaxGroupSize];
+  DecodeGroup(g, group_values);
+  group_values[i - g * options_.group_size] = value;
+
+  const size_t new_bits = EncodedSize(group_values, count);
+  if (new_bits > RegionBits(g)) {
+    if (!BorrowSlack(g, new_bits - RegionBits(g))) {
+      std::vector<uint64_t> all(m_);
+      for (size_t j = 0; j < m_; ++j) all[j] = Get(j);
+      all[i] = value;
+      Rebuild(std::move(all));
+      ++rebuilds_;
+      return;
+    }
+  }
+  EncodeGroupAt(g, group_values, count);
+}
+
+bool SerialScanCounterVector::BorrowSlack(size_t g, size_t need) {
+  while (need > 0) {
+    size_t h = g + 1;
+    while (h < num_groups_ && FreeBits(h) == 0) ++h;
+    if (h >= num_groups_) return false;
+    const size_t take = std::min(FreeBits(h), need);
+    const size_t span_begin = group_start_[g + 1];
+    const size_t span_end = group_start_[h] + used_[h];
+    bits_.ShiftRangeRight(span_begin, span_end, take);
+    for (size_t j = g + 1; j <= h; ++j) group_start_[j] += take;
+    need -= take;
+  }
+  return true;
+}
+
+void SerialScanCounterVector::Rebuild(std::vector<uint64_t> values) {
+  const double per_group =
+      options_.slack_per_counter * static_cast<double>(options_.group_size);
+  // At least 64 bits of slack per group so a single small-to-large counter
+  // jump fits without an immediate second refresh.
+  const size_t slack =
+      std::max<size_t>(64, static_cast<size_t>(std::ceil(per_group)));
+
+  group_start_.assign(num_groups_ + 1, 0);
+  used_.assign(num_groups_, 0);
+  for (size_t g = 0; g < num_groups_; ++g) {
+    const size_t begin = g * options_.group_size;
+    const size_t payload = EncodedSize(values.data() + begin,
+                                       NumItemsInGroup(g));
+    used_[g] = static_cast<uint32_t>(payload);
+    group_start_[g + 1] = group_start_[g] + payload + slack;
+  }
+  bits_ = BitVector(group_start_[num_groups_]);
+  for (size_t g = 0; g < num_groups_; ++g) {
+    EncodeGroupAt(g, values.data() + g * options_.group_size,
+                  NumItemsInGroup(g));
+  }
+}
+
+void SerialScanCounterVector::Reset() {
+  Rebuild(std::vector<uint64_t>(m_, 0));
+}
+
+size_t SerialScanCounterVector::EncodedBits() const {
+  size_t total = 0;
+  for (uint32_t u : used_) total += u;
+  return total;
+}
+
+size_t SerialScanCounterVector::OverheadBits() const {
+  return group_start_.size() * 64 + used_.size() * 32;
+}
+
+size_t SerialScanCounterVector::MemoryUsageBits() const {
+  return bits_.capacity_bits() + OverheadBits();
+}
+
+std::unique_ptr<CounterVector> SerialScanCounterVector::Clone() const {
+  return std::make_unique<SerialScanCounterVector>(*this);
+}
+
+}  // namespace sbf

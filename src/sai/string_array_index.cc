@@ -1,0 +1,230 @@
+#include "sai/string_array_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace sbf {
+namespace {
+
+size_t Cube(size_t x) { return x * x * x; }
+
+// Packs `count` values of `width` bits each into `out` starting at slot
+// `slot` (slots are width-bit fields).
+void PackAt(BitVector* out, size_t slot, uint32_t width, uint64_t value) {
+  out->SetBits(slot * width, width, value);
+}
+
+uint64_t UnpackAt(const BitVector& in, size_t slot, uint32_t width) {
+  return in.GetBits(slot * width, width);
+}
+
+}  // namespace
+
+StringArrayIndex::StringArrayIndex(const std::vector<uint32_t>& lengths,
+                                   Options options)
+    : m_(lengths.size()) {
+  SBF_CHECK_MSG(m_ >= 1, "string-array index needs at least one string");
+  total_bits_ = 0;
+  for (uint32_t len : lengths) total_bits_ += len;
+
+  const size_t log_n = std::max<size_t>(2, FloorLog2(std::max<uint64_t>(
+                                               total_bits_, 4)));
+  b1_ = options.l1_group_items != 0 ? options.l1_group_items : log_n;
+  b1_ = std::max<size_t>(2, b1_);
+  b2_ = options.l2_chunk_items != 0 ? options.l2_chunk_items
+                                    : std::max<size_t>(2, FloorLog2(b1_));
+  b2_ = std::max<size_t>(2, std::min(b2_, b1_));
+  chunks_per_group_ = CeilDiv(b1_, b2_);
+  t1_ = options.l1_threshold_bits != 0 ? options.l1_threshold_bits
+                                       : Cube(log_n);
+  const size_t log_log_n = std::max<size_t>(2, FloorLog2(log_n));
+  t0_ = options.lookup_threshold_bits != 0 ? options.lookup_threshold_bits
+                                           : Cube(log_log_n);
+  t0_ = std::min(t0_, t1_);
+
+  w_abs_ = std::max(1u, CeilLog2(total_bits_ + 1));
+  w_rel_ = std::max(1u, CeilLog2(t1_ + 1));
+  w_cfg_ = std::max(1u, CeilLog2(t0_ + 1));
+
+  const size_t num_groups = CeilDiv(m_, b1_);
+  c1_ = BitVector(num_groups * w_abs_);
+  group_flags_ = BitVector(num_groups);
+
+  // --- Pass 1: classify groups and chunks, collect lookup configs. ------
+  struct ChunkRef {
+    bool offset_vector;   // true -> mini offset vector, false -> lookup
+    uint32_t config_id;   // valid when !offset_vector
+  };
+  std::vector<bool> group_complete(num_groups);
+  std::vector<ChunkRef> chunk_refs;  // chunks of non-complete groups only
+  std::map<std::vector<uint32_t>, uint32_t> config_ids;
+  std::vector<std::vector<uint32_t>> config_rows;
+
+  size_t num_complete_groups = 0;
+  size_t offset = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    const size_t begin = g * b1_;
+    const size_t end = std::min(begin + b1_, m_);
+    PackAt(&c1_, g, w_abs_, offset);
+
+    size_t group_bits = 0;
+    for (size_t i = begin; i < end; ++i) group_bits += lengths[i];
+
+    const bool complete = group_bits > t1_;
+    group_complete[g] = complete;
+    group_flags_.SetBit(g, complete);
+    if (complete) {
+      ++num_complete_groups;
+    } else {
+      for (size_t c = 0; c < chunks_per_group_; ++c) {
+        const size_t cbegin = begin + c * b2_;
+        const size_t cend = std::min(cbegin + b2_, end);
+        size_t chunk_bits = 0;
+        for (size_t i = cbegin; i < cend && i < m_; ++i) {
+          chunk_bits += lengths[i];
+        }
+        ChunkRef ref;
+        ref.offset_vector = chunk_bits > t0_;
+        ref.config_id = 0;
+        if (!ref.offset_vector) {
+          // The configuration is the tuple of lengths in the chunk,
+          // zero-padded to b2_ (the paper's L(S'') descriptor).
+          std::vector<uint32_t> config(b2_, 0);
+          for (size_t i = cbegin; i < cend && i < m_; ++i) {
+            config[i - cbegin] = lengths[i];
+          }
+          auto [it, inserted] = config_ids.emplace(
+              config, static_cast<uint32_t>(config_rows.size()));
+          if (inserted) config_rows.push_back(config);
+          ref.config_id = it->second;
+        }
+        chunk_refs.push_back(ref);
+      }
+    }
+    offset += group_bits;
+  }
+  SBF_CHECK(offset == total_bits_);
+  num_configs_ = config_rows.size();
+  w_id_ = std::max(1u, CeilLog2(num_configs_ + 1));
+
+  // --- Allocate the packed structures now that counts are known. --------
+  const size_t num_plain_groups = num_groups - num_complete_groups;
+  complete_ = BitVector(num_complete_groups * b1_ * w_abs_);
+  c2_ = BitVector(num_plain_groups * chunks_per_group_ * w_rel_);
+  chunk_flags_ = BitVector(chunk_refs.size());
+  size_t num_ov_chunks = 0;
+  for (size_t c = 0; c < chunk_refs.size(); ++c) {
+    chunk_flags_.SetBit(c, chunk_refs[c].offset_vector);
+    if (chunk_refs[c].offset_vector) ++num_ov_chunks;
+  }
+  l3_ = BitVector(num_ov_chunks * b2_ * w_rel_);
+  lt_ids_ = BitVector((chunk_refs.size() - num_ov_chunks) * w_id_);
+  configs_ = BitVector(num_configs_ * b2_ * w_cfg_);
+
+  for (size_t id = 0; id < num_configs_; ++id) {
+    // Row entry j = offset of item j relative to the chunk start.
+    size_t rel = 0;
+    for (size_t j = 0; j < b2_; ++j) {
+      PackAt(&configs_, id * b2_ + j, w_cfg_, rel);
+      rel += config_rows[id][j];
+    }
+  }
+
+  // --- Pass 2: fill offset vectors. --------------------------------------
+  size_t complete_slot = 0;  // complete-group ordinal
+  size_t plain_slot = 0;     // non-complete-group ordinal
+  size_t ov_slot = 0;        // offset-vector chunk ordinal
+  size_t lt_slot = 0;        // lookup-table chunk ordinal
+  size_t chunk_counter = 0;
+  offset = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    const size_t begin = g * b1_;
+    const size_t end = std::min(begin + b1_, m_);
+    if (group_complete[g]) {
+      size_t item_offset = offset;
+      for (size_t i = begin; i < end; ++i) {
+        PackAt(&complete_, complete_slot * b1_ + (i - begin), w_abs_,
+               item_offset);
+        item_offset += lengths[i];
+      }
+      offset = item_offset;
+      ++complete_slot;
+      continue;
+    }
+    const size_t group_base = offset;
+    size_t item_offset = offset;
+    size_t i = begin;
+    for (size_t c = 0; c < chunks_per_group_; ++c) {
+      PackAt(&c2_, plain_slot * chunks_per_group_ + c, w_rel_,
+             item_offset - group_base);
+      const size_t chunk_base = item_offset;
+      const ChunkRef& ref = chunk_refs[chunk_counter++];
+      const size_t cend = std::min(begin + (c + 1) * b2_, end);
+      if (ref.offset_vector) {
+        for (size_t j = 0; i < cend; ++i, ++j) {
+          PackAt(&l3_, ov_slot * b2_ + j, w_rel_, item_offset - chunk_base);
+          item_offset += lengths[i];
+        }
+        ++ov_slot;
+      } else {
+        PackAt(&lt_ids_, lt_slot, w_id_, ref.config_id);
+        ++lt_slot;
+        for (; i < cend; ++i) item_offset += lengths[i];
+      }
+    }
+    offset = item_offset;
+    ++plain_slot;
+  }
+  SBF_CHECK(offset == total_bits_);
+
+  group_rank_ = RankSelect(&group_flags_);
+  chunk_rank_ = RankSelect(&chunk_flags_);
+}
+
+size_t StringArrayIndex::Offset(size_t i) const {
+  SBF_DCHECK(i <= m_);
+  if (i == m_) return total_bits_;
+  const size_t g = i / b1_;
+  const size_t base = UnpackAt(c1_, g, w_abs_);
+  const size_t r = i % b1_;
+  if (r == 0) return base;
+
+  if (group_flags_.GetBit(g)) {
+    const size_t slot = group_rank_.Rank1(g);
+    return UnpackAt(complete_, slot * b1_ + r, w_abs_);
+  }
+
+  const size_t plain_slot = g - group_rank_.Rank1(g);
+  const size_t c = r / b2_;
+  const size_t j = r % b2_;
+  const size_t chunk_base =
+      base + UnpackAt(c2_, plain_slot * chunks_per_group_ + c, w_rel_);
+  if (j == 0) return chunk_base;
+
+  const size_t chunk_index = plain_slot * chunks_per_group_ + c;
+  if (chunk_flags_.GetBit(chunk_index)) {
+    const size_t slot = chunk_rank_.Rank1(chunk_index);
+    return chunk_base + UnpackAt(l3_, slot * b2_ + j, w_rel_);
+  }
+  const size_t lt_slot = chunk_index - chunk_rank_.Rank1(chunk_index);
+  const size_t id = UnpackAt(lt_ids_, lt_slot, w_id_);
+  return chunk_base + UnpackAt(configs_, id * b2_ + j, w_cfg_);
+}
+
+StringArrayIndex::ComponentSizes StringArrayIndex::component_sizes() const {
+  ComponentSizes sizes;
+  sizes.c1_bits = c1_.size_bits();
+  sizes.l2_offset_vector_bits = complete_.size_bits() + c2_.size_bits();
+  sizes.l3_offset_vector_bits = l3_.size_bits();
+  sizes.lookup_table_bits = lt_ids_.size_bits() + configs_.size_bits();
+  sizes.flags_and_rank_bits = group_flags_.size_bits() +
+                              chunk_flags_.size_bits() +
+                              group_rank_.OverheadBits() +
+                              chunk_rank_.OverheadBits();
+  return sizes;
+}
+
+}  // namespace sbf

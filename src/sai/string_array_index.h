@@ -1,0 +1,123 @@
+#ifndef SBF_SAI_STRING_ARRAY_INDEX_H_
+#define SBF_SAI_STRING_ARRAY_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/bit_vector.h"
+#include "bitstream/rank_select.h"
+
+namespace sbf {
+
+// The String-Array Index (paper Section 4.3): a static index over an array
+// of m variable-length bit strings concatenated into N bits, answering
+// "where does string i start?" in O(1) time using o(N) + O(m) extra bits.
+//
+// Faithful three-level construction:
+//
+//  Level 1  A coarse offset array C1 holds the absolute offset of every
+//           log N-th string (width ceil(log N) bits per entry).
+//  Level 2  A level-1 group larger than log^3 N bits gets a complete
+//           offset vector (absolute per-item offsets); smaller groups get
+//           a level-2 coarse array C2 of chunk offsets relative to the
+//           group start, chunks holding log log N items each.
+//  Level 3  A chunk larger than (log log N)^3 bits gets a mini offset
+//           vector of per-item offsets relative to the chunk start;
+//           smaller chunks are resolved through a shared lookup table
+//           keyed by the chunk's length configuration L(S'') — each chunk
+//           stores only a configuration id, and each distinct
+//           configuration stores its prefix-offset row once. (The paper
+//           precomputes all configurations; we materialize exactly the
+//           configurations that occur, which Section 4.7 endorses as the
+//           practical variant.)
+//
+// Flag bit-vectors plus rank directories map groups/chunks to their slot
+// in the packed vector-of-offset-vectors, exactly the rank-based
+// translation of Section 4.7.1.
+//
+// The structure is static: build it over a frozen array (e.g. a refreshed
+// SBF base array); the dynamic path is CompactCounterVector.
+class StringArrayIndex {
+ public:
+  struct Options {
+    // All zero values mean "derive from N as in the paper".
+    size_t l1_group_items = 0;       // default: floor(log2 N)
+    size_t l2_chunk_items = 0;       // default: floor(log2(l1_group_items))
+    size_t l1_threshold_bits = 0;    // default: (log2 N)^3
+    size_t lookup_threshold_bits = 0;  // default: (log2 log2 N)^3
+  };
+
+  struct ComponentSizes {
+    size_t c1_bits = 0;              // level-1 coarse offsets
+    size_t l2_offset_vector_bits = 0;  // complete vectors + C2 coarse arrays
+    size_t l3_offset_vector_bits = 0;  // chunk mini offset vectors
+    size_t lookup_table_bits = 0;    // config rows + per-chunk config ids
+    size_t flags_and_rank_bits = 0;  // flag vectors + rank directories
+
+    size_t TotalBits() const {
+      return c1_bits + l2_offset_vector_bits + l3_offset_vector_bits +
+             lookup_table_bits + flags_and_rank_bits;
+    }
+  };
+
+  // Builds the index for strings with the given bit lengths. O(m) time.
+  explicit StringArrayIndex(const std::vector<uint32_t>& lengths)
+      : StringArrayIndex(lengths, Options()) {}
+  StringArrayIndex(const std::vector<uint32_t>& lengths, Options options);
+
+  StringArrayIndex(const StringArrayIndex&) = delete;
+  StringArrayIndex& operator=(const StringArrayIndex&) = delete;
+
+  size_t num_strings() const { return m_; }
+  // Total payload bits N of the indexed string array.
+  size_t total_bits() const { return total_bits_; }
+
+  // Bit offset of string i within the concatenated array; Offset(m) == N.
+  size_t Offset(size_t i) const;
+
+  // Reads string i (must be at most 64 bits long) out of `data`, which
+  // must be the concatenated string array this index was built for.
+  uint64_t Read(const BitVector& data, size_t i) const {
+    const size_t begin = Offset(i);
+    return data.GetBits(begin, static_cast<uint32_t>(Offset(i + 1) - begin));
+  }
+
+  // Index overhead in bits (everything except the string payload).
+  size_t IndexBits() const { return component_sizes().TotalBits(); }
+  ComponentSizes component_sizes() const;
+
+  // Number of distinct lookup-table configurations materialized.
+  size_t num_lookup_configs() const { return num_configs_; }
+  // Effective parameters (after clamping), exposed for tests.
+  size_t l1_group_items() const { return b1_; }
+  size_t l2_chunk_items() const { return b2_; }
+
+ private:
+  size_t m_;
+  size_t total_bits_;
+  size_t b1_;               // items per level-1 group
+  size_t b2_;               // items per level-2 chunk
+  size_t chunks_per_group_;
+  size_t t1_;               // complete-offset-vector threshold (bits)
+  size_t t0_;               // lookup-table threshold (bits)
+  uint32_t w_abs_;          // width of absolute offsets
+  uint32_t w_rel_;          // width of group-relative offsets
+  uint32_t w_cfg_;          // width of in-chunk (config) offsets
+  uint32_t w_id_;           // width of a config id
+
+  BitVector c1_;            // group offsets, packed w_abs_
+  BitVector group_flags_;   // 1 = group has a complete offset vector
+  RankSelect group_rank_;
+  BitVector complete_;      // complete vectors, stride b1_*w_abs_
+  BitVector c2_;            // chunk offsets, stride chunks_per_group_*w_rel_
+  BitVector chunk_flags_;   // over chunks of non-complete groups
+  RankSelect chunk_rank_;
+  BitVector l3_;            // mini offset vectors, stride b2_*w_rel_
+  BitVector lt_ids_;        // config ids for lookup-table chunks
+  BitVector configs_;       // config rows, stride b2_*w_cfg_
+  size_t num_configs_ = 0;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_SAI_STRING_ARRAY_INDEX_H_

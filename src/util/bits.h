@@ -1,0 +1,37 @@
+#ifndef SBF_UTIL_BITS_H_
+#define SBF_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace sbf {
+
+// Number of bits needed to store `v` in plain binary; BitWidth(0) == 1 so
+// that every counter occupies at least one bit (the paper stores counter
+// C_i in ceil(log C_i) bits and represents zero/one counters in one bit).
+inline uint32_t BitWidth(uint64_t v) {
+  return v == 0 ? 1u : static_cast<uint32_t>(std::bit_width(v));
+}
+
+// ceil(log2(v)) for v >= 1; CeilLog2(1) == 0.
+inline uint32_t CeilLog2(uint64_t v) {
+  if (v <= 1) return 0;
+  return static_cast<uint32_t>(std::bit_width(v - 1));
+}
+
+// floor(log2(v)) for v >= 1.
+inline uint32_t FloorLog2(uint64_t v) {
+  return static_cast<uint32_t>(std::bit_width(v)) - 1;
+}
+
+// Low `n` bits set; n may be 0..64.
+inline uint64_t LowMask(uint32_t n) {
+  return n >= 64 ? ~0ull : ((1ull << n) - 1);
+}
+
+// Ceiling division for unsigned operands.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace sbf
+
+#endif  // SBF_UTIL_BITS_H_

@@ -1,0 +1,40 @@
+#ifndef SBF_UTIL_CHECK_H_
+#define SBF_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Precondition / invariant checking macros.
+//
+// libsbf does not use exceptions (data-structure operations cannot fail
+// recoverably); violated preconditions are programming errors and abort
+// with a source location. SBF_DCHECK compiles away in release builds and
+// is used on hot paths.
+
+#define SBF_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SBF_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define SBF_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SBF_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define SBF_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define SBF_DCHECK(cond) SBF_CHECK(cond)
+#endif
+
+#endif  // SBF_UTIL_CHECK_H_

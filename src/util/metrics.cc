@@ -1,0 +1,72 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbf {
+
+void ErrorStats::Record(uint64_t estimate, uint64_t truth) {
+  ++num_queries_;
+  if (estimate != truth) {
+    ++num_errors_;
+    if (estimate < truth) ++num_false_negatives_;
+  }
+  const double diff =
+      static_cast<double>(estimate) - static_cast<double>(truth);
+  sum_squared_error_ += diff * diff;
+  sum_signed_error_ += diff;
+}
+
+double ErrorStats::AdditiveError() const {
+  if (num_queries_ == 0) return 0.0;
+  return std::sqrt(sum_squared_error_ / static_cast<double>(num_queries_));
+}
+
+double ErrorStats::ErrorRatio() const {
+  if (num_queries_ == 0) return 0.0;
+  return static_cast<double>(num_errors_) / static_cast<double>(num_queries_);
+}
+
+double ErrorStats::FalseNegativeShare() const {
+  if (num_errors_ == 0) return 0.0;
+  return static_cast<double>(num_false_negatives_) /
+         static_cast<double>(num_errors_);
+}
+
+double ErrorStats::MeanSignedError() const {
+  if (num_queries_ == 0) return 0.0;
+  return sum_signed_error_ / static_cast<double>(num_queries_);
+}
+
+void ErrorStats::Merge(const ErrorStats& other) {
+  num_queries_ += other.num_queries_;
+  num_errors_ += other.num_errors_;
+  num_false_negatives_ += other.num_false_negatives_;
+  sum_squared_error_ += other.sum_squared_error_;
+  sum_signed_error_ += other.sum_signed_error_;
+}
+
+void Aggregate::Add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++count_;
+}
+
+double Aggregate::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double MeanOverRuns(int runs, uint64_t base_seed, double (*fn)(uint64_t)) {
+  double sum = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    sum += fn(base_seed + static_cast<uint64_t>(r) * 0x9E3779B9ull);
+  }
+  return runs == 0 ? 0.0 : sum / runs;
+}
+
+}  // namespace sbf

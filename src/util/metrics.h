@@ -1,0 +1,70 @@
+#ifndef SBF_UTIL_METRICS_H_
+#define SBF_UTIL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbf {
+
+// Accumulates the two error metrics of the paper's Section 6.1 plus the
+// false-negative breakdown used in Figure 8:
+//
+//   E_add   = sqrt( sum_i (fhat_i - f_i)^2 / n )   "mean squared additive error"
+//   E_ratio = (# queries with fhat_i != f_i) / n   "error ratio"
+//
+// A false negative is an estimate strictly below the true frequency
+// (possible only for Minimal Increase under deletions).
+class ErrorStats {
+ public:
+  // Records a single query outcome: estimated vs true frequency.
+  void Record(uint64_t estimate, uint64_t truth);
+
+  size_t num_queries() const { return num_queries_; }
+  size_t num_errors() const { return num_errors_; }
+  size_t num_false_negatives() const { return num_false_negatives_; }
+
+  // Root mean squared additive error over all recorded queries.
+  double AdditiveError() const;
+  // Fraction of queries that returned a wrong estimate.
+  double ErrorRatio() const;
+  // Fraction of *errors* that are false negatives (0 if no errors).
+  double FalseNegativeShare() const;
+  // Mean signed error (estimate - truth), useful for bias analysis.
+  double MeanSignedError() const;
+
+  // Merges another accumulator into this one (for averaging across runs).
+  void Merge(const ErrorStats& other);
+
+ private:
+  size_t num_queries_ = 0;
+  size_t num_errors_ = 0;
+  size_t num_false_negatives_ = 0;
+  double sum_squared_error_ = 0.0;
+  double sum_signed_error_ = 0.0;
+};
+
+// Simple running mean/min/max helper for benchmark aggregation.
+class Aggregate {
+ public:
+  void Add(double v);
+  double mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  size_t count() const { return count_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Averages a metric over `runs` invocations of `fn(seed)`; used by the
+// benchmark harness to reproduce the paper's "average over 5 independent
+// experiments" protocol.
+double MeanOverRuns(int runs, uint64_t base_seed, double (*fn)(uint64_t));
+
+}  // namespace sbf
+
+#endif  // SBF_UTIL_METRICS_H_

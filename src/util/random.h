@@ -1,0 +1,51 @@
+#ifndef SBF_UTIL_RANDOM_H_
+#define SBF_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbf {
+
+// xoshiro256** PRNG (Blackman & Vigna). Deterministic, fast, and seedable so
+// that every experiment in the benchmark suite is reproducible; all
+// randomness in libsbf flows through this generator.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  uint64_t Next();
+  uint64_t operator()() { return Next(); }
+
+  // Uniform integer in [0, bound); bound must be > 0. Uses Lemire's
+  // multiply-shift rejection method (unbiased).
+  uint64_t UniformInt(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+// SplitMix64 step, used for seeding and as a general-purpose 64-bit mixer.
+uint64_t SplitMix64(uint64_t& state);
+
+}  // namespace sbf
+
+#endif  // SBF_UTIL_RANDOM_H_

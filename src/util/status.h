@@ -1,0 +1,92 @@
+#ifndef SBF_UTIL_STATUS_H_
+#define SBF_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sbf {
+
+// Lightweight status object for recoverable failures (deserialization,
+// incompatible-parameter algebra). Modeled on absl::Status but
+// dependency-free.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kOutOfRange = 2,
+    kFailedPrecondition = 3,
+    kDataLoss = 4,
+    kUnimplemented = 5,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering, e.g. "INVALID_ARGUMENT: mismatched k".
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+// Value-or-status result. `value()` aborts if not ok; callers check `ok()`.
+// T need not be default-constructible.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SBF_CHECK_MSG(!status_.ok(), "StatusOr(Status) requires a non-OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SBF_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& value() & {
+    SBF_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    SBF_CHECK_MSG(ok(), status_.message().c_str());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_UTIL_STATUS_H_

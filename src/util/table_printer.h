@@ -1,0 +1,36 @@
+#ifndef SBF_UTIL_TABLE_PRINTER_H_
+#define SBF_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace sbf {
+
+// Fixed-width ASCII table printer used by the benchmark harness so that
+// every experiment prints rows in the same layout as the paper's tables.
+//
+//   TablePrinter t({"gamma", "E_b", "E_RM", "gain"});
+//   t.AddRow({"0.7", "0.032", "0.0017", "18.48"});
+//   t.Print();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders header + separator + rows to stdout.
+  void Print() const;
+  std::string ToString() const;
+
+  // Convenience formatting helpers.
+  static std::string Fmt(double v, int precision = 4);
+  static std::string FmtSci(double v, int precision = 3);
+  static std::string FmtInt(uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sbf
+
+#endif  // SBF_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Header-only; this translation unit exists so the target has a symbol and
+// the header stays in the build graph for IWYU checks.

@@ -1,0 +1,75 @@
+#include "workload/forest_cover.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace sbf {
+namespace {
+
+// Density of a normal mixture mimicking the elevation histogram: the real
+// attribute concentrates around mid elevations with a secondary shoulder.
+double MixtureDensity(double x) {
+  auto normal = [](double x, double mu, double sigma) {
+    const double t = (x - mu) / sigma;
+    return std::exp(-0.5 * t * t) / sigma;
+  };
+  return 0.50 * normal(x, 0.52, 0.04) + 0.30 * normal(x, 0.40, 0.10) +
+         0.20 * normal(x, 0.72, 0.10);
+}
+
+}  // namespace
+
+Multiset MakeForestCoverElevation(const ForestCoverOptions& options) {
+  SBF_CHECK_MSG(options.num_distinct >= 2, "need >= 2 distinct values");
+  SBF_CHECK_MSG(options.num_records >= options.num_distinct,
+                "need records >= distinct values");
+  const uint64_t n = options.num_distinct;
+
+  // Deterministic expected frequencies from the mixture density, scaled to
+  // the record count; every value appears at least once, like real
+  // attribute domains do.
+  std::vector<double> density(n);
+  double density_sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const double x = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    density[i] = MixtureDensity(x);
+    density_sum += density[i];
+  }
+  std::vector<uint64_t> freqs(n);
+  uint64_t assigned = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    freqs[i] = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(
+               static_cast<double>(options.num_records) * density[i] /
+               density_sum)));
+    assigned += freqs[i];
+  }
+  // Settle rounding drift on the modal value.
+  size_t mode = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (freqs[i] > freqs[mode]) mode = i;
+  }
+  if (assigned > options.num_records) {
+    const uint64_t excess = assigned - options.num_records;
+    SBF_CHECK(freqs[mode] > excess);
+    freqs[mode] -= excess;
+  } else {
+    freqs[mode] += options.num_records - assigned;
+  }
+
+  // Keys are plausible elevation values in meters (the UCI attribute spans
+  // roughly 1,859-3,858 m over 1,978 distinct readings).
+  std::vector<uint64_t> keys(n);
+  for (uint64_t i = 0; i < n; ++i) keys[i] = 1859 + i;
+  return MultisetFromFrequencies(std::move(keys), std::move(freqs),
+                                 options.seed);
+}
+
+Multiset MakeForestCoverElevation() {
+  return MakeForestCoverElevation(ForestCoverOptions{});
+}
+
+}  // namespace sbf

@@ -1,0 +1,58 @@
+#include "workload/multiset_stream.h"
+
+#include <numeric>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "workload/zipf.h"
+
+namespace sbf {
+
+Multiset MultisetFromFrequencies(std::vector<uint64_t> keys,
+                                 std::vector<uint64_t> freqs, uint64_t seed) {
+  SBF_CHECK_MSG(keys.size() == freqs.size(), "keys/freqs size mismatch");
+  Multiset multiset;
+  multiset.keys = std::move(keys);
+  multiset.freqs = std::move(freqs);
+
+  uint64_t total = 0;
+  for (uint64_t f : multiset.freqs) total += f;
+  multiset.stream.reserve(total);
+  for (size_t i = 0; i < multiset.keys.size(); ++i) {
+    for (uint64_t c = 0; c < multiset.freqs[i]; ++c) {
+      multiset.stream.push_back(multiset.keys[i]);
+    }
+  }
+  Xoshiro256 rng(seed);
+  rng.Shuffle(multiset.stream);
+  return multiset;
+}
+
+Multiset MultisetFromFrequencies(std::vector<uint64_t> freqs, uint64_t seed) {
+  std::vector<uint64_t> keys(freqs.size());
+  std::iota(keys.begin(), keys.end(), 1);
+  return MultisetFromFrequencies(std::move(keys), std::move(freqs), seed);
+}
+
+Multiset MakeZipfMultiset(uint64_t n, uint64_t total, double skew,
+                          uint64_t seed) {
+  ZipfDistribution zipf(n, skew);
+  return MultisetFromFrequencies(zipf.ExpectedFrequencies(total), seed);
+}
+
+Multiset MakeUniformMultiset(uint64_t n, uint64_t total, uint64_t seed) {
+  SBF_CHECK_MSG(n >= 1 && total >= n, "need total >= n >= 1");
+  std::vector<uint64_t> freqs(n, total / n);
+  for (uint64_t i = 0; i < total % n; ++i) ++freqs[i];
+  return MultisetFromFrequencies(std::move(freqs), seed);
+}
+
+std::vector<uint64_t> MakePalindromeStream(uint64_t n) {
+  std::vector<uint64_t> stream;
+  stream.reserve(2 * n);
+  for (uint64_t i = 1; i <= n; ++i) stream.push_back(i);
+  for (uint64_t i = n; i >= 1; --i) stream.push_back(i);
+  return stream;
+}
+
+}  // namespace sbf

@@ -1,0 +1,63 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sbf {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double skew)
+    : n_(n), skew_(skew) {
+  SBF_CHECK_MSG(n >= 1, "Zipf needs n >= 1");
+  SBF_CHECK_MSG(skew >= 0.0, "Zipf skew must be >= 0");
+  cdf_.resize(n_);
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    sum += std::pow(static_cast<double>(i), -skew_);
+    cdf_[i - 1] = sum;
+  }
+  for (double& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;
+}
+
+double ZipfDistribution::Probability(uint64_t rank) const {
+  SBF_DCHECK(rank >= 1 && rank <= n_);
+  if (rank == 1) return cdf_[0];
+  return cdf_[rank - 1] - cdf_[rank - 2];
+}
+
+uint64_t ZipfDistribution::Sample(Xoshiro256& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+std::vector<uint64_t> ZipfDistribution::ExpectedFrequencies(
+    uint64_t total) const {
+  SBF_CHECK_MSG(total >= n_, "need total >= n so every rank appears");
+  std::vector<uint64_t> freqs(n_);
+  uint64_t assigned = 0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    const uint64_t f = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::llround(static_cast<double>(total) * Probability(i))));
+    freqs[i - 1] = f;
+    assigned += f;
+  }
+  // Fix rounding drift on the most frequent item (largest absolute count,
+  // smallest relative distortion).
+  if (assigned > total) {
+    uint64_t excess = assigned - total;
+    for (uint64_t i = 0; i < n_ && excess > 0; ++i) {
+      const uint64_t cut = std::min(excess, freqs[i] - 1);
+      freqs[i] -= cut;
+      excess -= cut;
+    }
+  } else if (assigned < total) {
+    freqs[0] += total - assigned;
+  }
+  return freqs;
+}
+
+}  // namespace sbf

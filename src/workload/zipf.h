@@ -1,0 +1,42 @@
+#ifndef SBF_WORKLOAD_ZIPF_H_
+#define SBF_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sbf {
+
+// Zipfian distribution over ranks 1..n (paper Section 2.3): the i-th most
+// frequent item has probability p_i = c / i^z, with z the skew (z = 0 is
+// uniform). Real data sets are commonly well described by such a law
+// [Zip49], which is why every accuracy experiment in the paper sweeps z.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double skew);
+
+  uint64_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+  // Probability of rank i (1-indexed).
+  double Probability(uint64_t rank) const;
+
+  // Samples a rank in [1, n] (inverse-CDF with binary search, O(log n)).
+  uint64_t Sample(Xoshiro256& rng) const;
+
+  // Expected frequencies for a multiset of `total` occurrences: frequency
+  // of rank i is round(total * p_i), clamped so that every rank appears at
+  // least once and the grand total is exactly `total`. This deterministic
+  // profile is what the paper's experiments hash (exact ground truth).
+  std::vector<uint64_t> ExpectedFrequencies(uint64_t total) const;
+
+ private:
+  uint64_t n_;
+  double skew_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1)
+};
+
+}  // namespace sbf
+
+#endif  // SBF_WORKLOAD_ZIPF_H_

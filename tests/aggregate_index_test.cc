@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "db/aggregate_index.h"
+#include "util/random.h"
+
+namespace sbf {
+namespace {
+
+SbfOptions MakeOptions(uint64_t m, uint32_t k, uint64_t seed) {
+  SbfOptions options;
+  options.m = m;
+  options.k = k;
+  options.seed = seed;
+  options.backing = CounterBacking::kFixed64;
+  return options;
+}
+
+TEST(AggregateIndexTest, CountSumAvgExactUnderLightLoad) {
+  AggregateIndex index(MakeOptions(50000, 5, 1));
+  // Value 10: rows with weights 5, 7, 9.
+  index.Insert(10, 5);
+  index.Insert(10, 7);
+  index.Insert(10, 9);
+  EXPECT_EQ(index.Count(10), 3u);
+  EXPECT_EQ(index.Sum(10), 21u);
+  EXPECT_DOUBLE_EQ(index.Avg(10), 7.0);
+  EXPECT_EQ(index.Count(11), 0u);
+  EXPECT_DOUBLE_EQ(index.Avg(11), 0.0);
+}
+
+TEST(AggregateIndexTest, EstimatesAreUpperBounds) {
+  AggregateIndex index(MakeOptions(3000, 5, 3));
+  Xoshiro256 rng(5);
+  std::unordered_map<uint64_t, uint64_t> counts, sums;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.UniformInt(400);
+    const uint64_t weight = rng.UniformInt(10) + 1;
+    index.Insert(key, weight);
+    ++counts[key];
+    sums[key] += weight;
+  }
+  for (const auto& [key, count] : counts) {
+    ASSERT_GE(index.Count(key), count);
+    ASSERT_GE(index.Sum(key), sums[key]);
+  }
+}
+
+TEST(AggregateIndexTest, DeletesReverseInserts) {
+  AggregateIndex index(MakeOptions(20000, 5, 7));
+  index.Insert(5, 100);
+  index.Insert(5, 50);
+  index.Remove(5, 100);
+  EXPECT_EQ(index.Count(5), 1u);
+  EXPECT_EQ(index.Sum(5), 50u);
+}
+
+TEST(AggregateIndexTest, ZeroWeightRowsCountButDontSum) {
+  AggregateIndex index(MakeOptions(10000, 5, 9));
+  index.Insert(3, 0);
+  index.Insert(3, 0);
+  EXPECT_EQ(index.Count(3), 2u);
+  EXPECT_EQ(index.Sum(3), 0u);
+  EXPECT_DOUBLE_EQ(index.Avg(3), 0.0);
+}
+
+TEST(AggregateIndexTest, ErrorRatioSmallAtModerateLoad) {
+  AggregateIndex index(MakeOptions(8000, 5, 11));  // gamma = 0.25
+  Xoshiro256 rng(13);
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t key = rng.UniformInt(400);
+    index.Insert(key, 1);
+    ++counts[key];
+  }
+  size_t errors = 0;
+  for (const auto& [key, count] : counts) {
+    errors += (index.Count(key) != count);
+  }
+  EXPECT_LT(static_cast<double>(errors) / counts.size(), 0.02);
+}
+
+}  // namespace
+}  // namespace sbf

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.h"
+
+namespace sbf {
+namespace {
+
+TEST(BloomErrorTest, PaperOptimalCase) {
+  // gamma = ln 2, k = m/n * ln2: error = 0.5^k. For k = 5 at gamma ~ 0.7,
+  // the paper quotes E_b ~ 0.032 (Table 1's gamma = 0.7 row).
+  EXPECT_NEAR(BloomErrorRate(0.7, 5), 0.032, 0.003);
+}
+
+TEST(BloomErrorTest, Table1Gammas) {
+  // Table 1 column E_b: gamma 1 -> 0.101, 0.83 -> 0.057, 0.5 -> 0.009.
+  EXPECT_NEAR(BloomErrorRate(1.0, 5), 0.101, 0.005);
+  EXPECT_NEAR(BloomErrorRate(0.83, 5), 0.057, 0.004);
+  EXPECT_NEAR(BloomErrorRate(0.5, 5), 0.009, 0.002);
+}
+
+TEST(BloomErrorTest, ExactApproachesAsymptotic) {
+  const double exact = BloomErrorRateExact(1000, 8000, 5);
+  const double asymptotic = BloomErrorRateFor(1000, 8000, 5);
+  EXPECT_NEAR(exact, asymptotic, asymptotic * 0.05);
+}
+
+TEST(BloomErrorTest, MonotoneInLoad) {
+  EXPECT_LT(BloomErrorRate(0.2, 5), BloomErrorRate(0.5, 5));
+  EXPECT_LT(BloomErrorRate(0.5, 5), BloomErrorRate(1.0, 5));
+}
+
+TEST(DoubleStepTest, SmallAtPaperParameters) {
+  // Section 2.3: E' * (1 - e^-gamma)^{k-1} < 1% at gamma 0.7, k = 5.
+  const uint64_t m = 10000;
+  const uint64_t n = 1400;  // gamma = 0.7
+  const double e_prime = DoubleStepProbability(n, m, 5);
+  const double prob = e_prime * std::pow(1 - std::exp(-0.7), 4);
+  EXPECT_LT(prob, 0.0105);
+}
+
+TEST(ZipfRelativeErrorTest, RisesWithRank) {
+  // Figure 1: the expected relative error rises monotonically as items get
+  // less frequent.
+  const double front = ZipfExpectedRelativeError(10, 10000, 5, 1.0);
+  const double middle = ZipfExpectedRelativeError(5000, 10000, 5, 1.0);
+  const double back = ZipfExpectedRelativeError(9999, 10000, 5, 1.0);
+  EXPECT_LT(front, middle);
+  EXPECT_LT(middle, back);
+}
+
+TEST(ZipfRelativeErrorTest, SkewCrossoverExists) {
+  // Figure 1: high skews have smaller error for frequent items but larger
+  // for rare items.
+  const double high_skew_front = ZipfExpectedRelativeError(10, 10000, 5, 1.8);
+  const double low_skew_front = ZipfExpectedRelativeError(10, 10000, 5, 0.2);
+  EXPECT_LT(high_skew_front, low_skew_front);
+
+  const double high_skew_back = ZipfExpectedRelativeError(9999, 10000, 5, 1.8);
+  const double low_skew_back = ZipfExpectedRelativeError(9999, 10000, 5, 0.2);
+  EXPECT_GT(high_skew_back, low_skew_back);
+}
+
+TEST(ZipfMeanRelativeErrorTest, MinimizedNearOptimalSkew) {
+  // Equation (2) ~ 1/((k-z)(z+1)) is minimized at z = (k-1)/2 = 2 for
+  // k = 5 (the paper prints (k+1)/2; see ZipfOptimalSkew).
+  EXPECT_DOUBLE_EQ(ZipfOptimalSkew(5), 2.0);
+  const double at_min = ZipfMeanRelativeErrorBound(10000, 5, 2.0);
+  EXPECT_LT(at_min, ZipfMeanRelativeErrorBound(10000, 5, 1.0));
+  EXPECT_LT(at_min, ZipfMeanRelativeErrorBound(10000, 5, 3.5));
+}
+
+TEST(ZipfTailBoundTest, PaperWorkedExample) {
+  // Section 2.3: n = 1000, k = 5, z = 1, T = 0.5 ->
+  // P(RE_i > 0.5) <= 5 (i / 497.5)^5, exceeding 1 for i > 360.
+  const double at_100 = ZipfRelativeErrorTailBound(100, 1000, 5, 1.0, 0.5);
+  EXPECT_NEAR(at_100, 5.0 * std::pow(100.0 / 497.5, 5.0), 1e-9);
+  EXPECT_LT(at_100, 1.0);
+  EXPECT_GT(ZipfRelativeErrorTailBound(400, 1000, 5, 1.0, 0.5), 1.0);
+  EXPECT_LT(ZipfRelativeErrorTailBound(350, 1000, 5, 1.0, 0.5), 1.1);
+}
+
+TEST(IcebergErrorTest, ZeroThresholdZeroError) {
+  const auto pmf = ZipfFrequencyPmf(1000, 100000, 1.0);
+  EXPECT_DOUBLE_EQ(IcebergErrorRate(pmf, 1.0, 5, 0), 0.0);
+}
+
+TEST(IcebergErrorTest, BelowPlainBloomError) {
+  // Figure 4's observation: iceberg error never exceeds the Bloom error for
+  // the same parameters (it is a subset of Bloom error events).
+  const auto pmf = ZipfFrequencyPmf(1000, 100000, 0.8);
+  const double bloom = BloomErrorRate(1.0, 5);
+  for (uint64_t threshold : {2ull, 10ull, 50ull, 200ull}) {
+    EXPECT_LE(IcebergErrorRate(pmf, 1.0, 5, threshold), bloom) << threshold;
+  }
+}
+
+TEST(IcebergErrorTest, RiseThenFallAcrossThresholds) {
+  // Figure 4's shape for skewed data: error rises for small T, reaches a
+  // maximum, then falls as T grows.
+  const auto pmf = ZipfFrequencyPmf(1000, 100000, 1.0);
+  const double t_small = IcebergErrorRate(pmf, 1.0, 5, 2);
+  double max_error = 0.0;
+  for (uint64_t t = 2; t < 500; ++t) {
+    max_error = std::max(max_error, IcebergErrorRate(pmf, 1.0, 5, t));
+  }
+  const double t_large = IcebergErrorRate(pmf, 1.0, 5, 2000);
+  EXPECT_GT(max_error, t_small);
+  EXPECT_GT(max_error, t_large);
+}
+
+TEST(ZipfPmfTest, SumsToOne) {
+  const auto pmf = ZipfFrequencyPmf(500, 20000, 1.0);
+  double sum = 0.0;
+  for (double p : pmf) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfPmfTest, UniformDataConcentrates) {
+  const auto pmf = ZipfFrequencyPmf(100, 10000, 0.0);
+  // Every item has frequency ~100.
+  EXPECT_NEAR(pmf[100], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sbf

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "db/bifocal.h"
+#include "util/random.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+// R and S share a Zipfian value domain so the join has meaningful size.
+void FillRelations(Relation* r, Relation* s, uint64_t seed) {
+  const Multiset r_data = MakeZipfMultiset(300, 12000, 1.0, seed);
+  const Multiset s_data = MakeZipfMultiset(300, 15000, 0.8, seed + 1);
+  for (uint64_t key : r_data.stream) r->Add(key);
+  for (uint64_t key : s_data.stream) s->Add(key);
+}
+
+TEST(BifocalTest, ExactOracleEstimateIsClose) {
+  Relation r("R"), s("S");
+  FillRelations(&r, &s, 3);
+  const auto result = BifocalEstimateExactIndex(r, s, 2000, 5);
+  EXPECT_GT(result.exact, 0u);
+  // Sampling estimator: within 35% of truth at this sample size.
+  EXPECT_NEAR(result.estimate, static_cast<double>(result.exact),
+              0.35 * static_cast<double>(result.exact));
+}
+
+TEST(BifocalTest, SbfOracleCloseToExactOracle) {
+  Relation r("R"), s("S");
+  FillRelations(&r, &s, 7);
+  const auto exact_oracle = BifocalEstimateExactIndex(r, s, 2000, 9);
+  const auto sbf_oracle = BifocalEstimateWithSbf(r, s, 2000, 4000, 5, 9);
+  // Same sample (same seed): the only difference is SBF lookup error,
+  // which is one-sided and small -> estimate >= exact-oracle estimate but
+  // within (1 + gamma)-ish of it.
+  EXPECT_GE(sbf_oracle.estimate, exact_oracle.estimate * 0.999);
+  EXPECT_LE(sbf_oracle.estimate, exact_oracle.estimate * 1.5);
+}
+
+TEST(BifocalTest, DenseValuesAreFew) {
+  Relation r("R"), s("S");
+  FillRelations(&r, &s, 11);
+  const auto result = BifocalEstimateExactIndex(r, s, 500, 13);
+  // Dense = multiplicity >= |R|/sample = 24: only the head of the Zipf.
+  EXPECT_LT(result.dense_values, 150u);
+  EXPECT_GT(result.dense_values, 0u);
+}
+
+TEST(BifocalTest, ComponentsSumToEstimate) {
+  Relation r("R"), s("S");
+  FillRelations(&r, &s, 17);
+  const auto result = BifocalEstimateExactIndex(r, s, 1000, 19);
+  EXPECT_DOUBLE_EQ(result.estimate,
+                   result.dense_component + result.sparse_component);
+}
+
+TEST(BifocalTest, DisjointRelationsEstimateNearZero) {
+  Relation r("R"), s("S");
+  for (uint64_t key = 1; key <= 1000; ++key) r.Add(key);
+  for (uint64_t key = 100001; key <= 101000; ++key) s.Add(key);
+  const auto result = BifocalEstimateWithSbf(r, s, 500, 8000, 5, 21);
+  EXPECT_EQ(result.exact, 0u);
+  // SBF false positives can contribute a sliver, no more.
+  EXPECT_LT(result.estimate, 100.0);
+}
+
+TEST(BifocalTest, OneToManyJoin) {
+  // R unique keys, S references them many times: classic foreign-key join.
+  Relation r("R"), s("S");
+  for (uint64_t key = 1; key <= 500; ++key) r.Add(key);
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 20000; ++i) s.Add(rng.UniformInt(500) + 1);
+  const auto result = BifocalEstimateExactIndex(r, s, 400, 25);
+  EXPECT_NEAR(result.estimate, static_cast<double>(result.exact),
+              0.35 * static_cast<double>(result.exact));
+}
+
+}  // namespace
+}  // namespace sbf

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/blocked_sbf.h"
+#include "core/spectral_bloom_filter.h"
+#include "util/metrics.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+BlockedSbfOptions MakeOptions(uint64_t m, uint64_t block_size, uint32_t k,
+                              uint64_t seed = 1) {
+  BlockedSbfOptions options;
+  options.m = m;
+  options.block_size = block_size;
+  options.k = k;
+  options.seed = seed;
+  options.backing = CounterBacking::kFixed64;
+  return options;
+}
+
+TEST(BlockedSbfTest, EstimateIsUpperBound) {
+  BlockedSbf filter(MakeOptions(4096, 256, 5, 3));
+  const Multiset data = MakeZipfMultiset(400, 10000, 0.8, 5);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    ASSERT_GE(filter.Estimate(data.keys[i]), data.freqs[i]) << i;
+  }
+}
+
+TEST(BlockedSbfTest, ExactUnderLightLoad) {
+  BlockedSbf filter(MakeOptions(1 << 17, 1 << 10, 5, 7));
+  for (uint64_t key = 1; key <= 50; ++key) filter.Insert(key, key);
+  for (uint64_t key = 1; key <= 50; ++key) {
+    ASSERT_EQ(filter.Estimate(key), key);
+  }
+}
+
+TEST(BlockedSbfTest, DeletionsAreExactInverses) {
+  BlockedSbf filter(MakeOptions(4096, 512, 4, 9));
+  const Multiset data = MakeZipfMultiset(200, 4000, 0.5, 11);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  for (uint64_t key : data.stream) filter.Remove(key);
+  for (uint64_t key : data.keys) {
+    EXPECT_EQ(filter.Estimate(key), 0u) << key;
+  }
+}
+
+TEST(BlockedSbfTest, AllProbesStayWithinOneBlock) {
+  // The locality property the structure exists for: inserting a key
+  // changes counters in exactly one block.
+  constexpr uint64_t kBlock = 128;
+  BlockedSbf filter(MakeOptions(4096, kBlock, 5, 13));
+  for (uint64_t key = 0; key < 500; ++key) {
+    BlockedSbf probe(MakeOptions(4096, kBlock, 5, 13));
+    probe.Insert(key, 3);
+    const uint64_t expected_block = probe.BlockOf(key);
+    for (uint64_t b = 0; b < probe.num_blocks(); ++b) {
+      if (b == expected_block) {
+        ASSERT_GT(probe.BlockLoad(b), 0u) << key;
+      } else {
+        ASSERT_EQ(probe.BlockLoad(b), 0u) << key << " block " << b;
+      }
+    }
+    if (key >= 20) break;  // 20 keys suffice; the loop body is O(m)
+  }
+}
+
+TEST(BlockedSbfTest, BlockLoadsRoughlyBalanced) {
+  BlockedSbf filter(MakeOptions(8192, 512, 5, 17));
+  const Multiset data = MakeUniformMultiset(1000, 20000, 19);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  const uint64_t total = 20000 * 5;
+  const double expected = static_cast<double>(total) / filter.num_blocks();
+  for (uint64_t b = 0; b < filter.num_blocks(); ++b) {
+    EXPECT_NEAR(filter.BlockLoad(b), expected, expected * 0.5) << b;
+  }
+}
+
+TEST(BlockedSbfTest, RejectsIndivisibleBlockSize) {
+  EXPECT_DEATH(BlockedSbf(MakeOptions(1000, 300, 5)), "multiple");
+}
+
+class BlockSizeAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BlockSizeAccuracyTest, AccuracyDegradesGracefully) {
+  // [MW94]'s claim, inherited by Section 2.2: for large enough blocks the
+  // segmentation penalty is negligible. We assert the blocked filter's
+  // error ratio stays within a modest factor of the unsegmented SBF.
+  const uint64_t block_size = GetParam();
+  constexpr uint64_t kM = 8192;
+  constexpr uint32_t kK = 5;
+
+  ErrorStats blocked_stats, flat_stats;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const Multiset data = MakeZipfMultiset(1000, 30000, 0.5, seed * 101);
+    BlockedSbf blocked(MakeOptions(kM, block_size, kK, seed));
+    SbfOptions flat_options;
+    flat_options.m = kM;
+    flat_options.k = kK;
+    flat_options.seed = seed;
+    flat_options.backing = CounterBacking::kFixed64;
+    SpectralBloomFilter flat(flat_options);
+    for (uint64_t key : data.stream) {
+      blocked.Insert(key);
+      flat.Insert(key);
+    }
+    for (size_t i = 0; i < data.keys.size(); ++i) {
+      blocked_stats.Record(blocked.Estimate(data.keys[i]), data.freqs[i]);
+      flat_stats.Record(flat.Estimate(data.keys[i]), data.freqs[i]);
+    }
+  }
+  EXPECT_EQ(blocked_stats.num_false_negatives(), 0u);
+  EXPECT_LE(blocked_stats.ErrorRatio(),
+            std::max(0.02, 4.0 * flat_stats.ErrorRatio()))
+      << "block size " << block_size;
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, BlockSizeAccuracyTest,
+                         ::testing::Values(256, 512, 1024, 2048, 4096));
+
+}  // namespace
+}  // namespace sbf

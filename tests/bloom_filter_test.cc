@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bloom_filter.h"
+#include "util/random.h"
+
+namespace sbf {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(10000, 5, 1);
+  for (uint64_t key = 0; key < 1000; ++key) filter.Add(key);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    ASSERT_TRUE(filter.Contains(key)) << key;
+  }
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter filter(1000, 5);
+  for (uint64_t key = 0; key < 100; ++key) EXPECT_FALSE(filter.Contains(key));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTheory) {
+  // m = 8n, optimal k -> ~2% FP rate (the paper's c = 8 example).
+  constexpr uint64_t kN = 5000;
+  constexpr uint64_t kM = 8 * kN;
+  const uint32_t k = BloomFilter::OptimalK(kM, kN);
+  BloomFilter filter(kM, k, 7);
+  for (uint64_t key = 0; key < kN; ++key) filter.Add(key);
+
+  size_t false_positives = 0;
+  constexpr size_t kProbes = 50000;
+  for (uint64_t key = kN; key < kN + kProbes; ++key) {
+    false_positives += filter.Contains(key);
+  }
+  const double observed =
+      static_cast<double>(false_positives) / static_cast<double>(kProbes);
+  const double expected = filter.ExpectedFpRate();
+  EXPECT_NEAR(observed, expected, expected);  // within 2x of theory
+  EXPECT_LT(observed, 0.05);
+}
+
+TEST(BloomFilterTest, OptimalKFormula) {
+  // k = ln 2 * m/n; for m/n = 8 -> 5.5 -> 6 (rounds).
+  EXPECT_EQ(BloomFilter::OptimalK(8000, 1000), 6u);
+  EXPECT_EQ(BloomFilter::OptimalK(1000, 1000), 1u);
+  EXPECT_EQ(BloomFilter::OptimalK(1000, 0), 1u);
+  EXPECT_EQ(BloomFilter::OptimalK(10000, 693), 10u);
+}
+
+TEST(BloomFilterTest, WithBitsPerKeyBuildsReasonableFilter) {
+  BloomFilter filter = BloomFilter::WithBitsPerKey(1000, 10.0);
+  EXPECT_EQ(filter.m(), 10000u);
+  EXPECT_EQ(filter.k(), 7u);  // ln2*10 = 6.93
+}
+
+TEST(BloomFilterTest, FillRatioNearHalfAtOptimal) {
+  constexpr uint64_t kN = 2000;
+  BloomFilter filter = BloomFilter::WithBitsPerKey(kN, 9.6);
+  for (uint64_t key = 0; key < kN; ++key) filter.Add(key);
+  EXPECT_NEAR(filter.FillRatio(), 0.5, 0.05);
+}
+
+TEST(BloomFilterTest, TheoreticalFpRateMatchesPaperExample) {
+  // Optimal configuration: error = (0.6185)^{m/n}.
+  const double rate = BloomFilter::TheoreticalFpRate(8000, 6, 1000);
+  EXPECT_NEAR(rate, std::pow(0.6185, 8.0), 0.01);
+}
+
+TEST(BloomFilterTest, UnionRepresentsSetUnion) {
+  BloomFilter a(4000, 4, 3), b(4000, 4, 3);
+  for (uint64_t key = 0; key < 100; ++key) a.Add(key);
+  for (uint64_t key = 100; key < 200; ++key) b.Add(key);
+  ASSERT_TRUE(a.UnionWith(b).ok());
+  for (uint64_t key = 0; key < 200; ++key) EXPECT_TRUE(a.Contains(key));
+  EXPECT_EQ(a.num_added(), 200u);
+}
+
+TEST(BloomFilterTest, UnionRejectsIncompatibleFilters) {
+  BloomFilter a(4000, 4, 3);
+  BloomFilter b(4000, 4, 4);  // different seed
+  EXPECT_FALSE(a.UnionWith(b).ok());
+  BloomFilter c(4001, 4, 3);  // different m
+  EXPECT_FALSE(a.UnionWith(c).ok());
+}
+
+TEST(BloomFilterTest, SerializeRoundTrip) {
+  BloomFilter filter(1234, 3, 99, HashFamily::Kind::kDoubleMix);
+  for (uint64_t key = 0; key < 500; key += 3) filter.Add(key);
+  const auto bytes = filter.Serialize();
+
+  auto restored = BloomFilter::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().m(), 1234u);
+  EXPECT_EQ(restored.value().k(), 3u);
+  EXPECT_EQ(restored.value().num_added(), filter.num_added());
+  for (uint64_t key = 0; key < 600; ++key) {
+    ASSERT_EQ(restored.value().Contains(key), filter.Contains(key)) << key;
+  }
+}
+
+TEST(BloomFilterTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(BloomFilter::Deserialize({}).ok());
+  EXPECT_FALSE(BloomFilter::Deserialize(std::vector<uint8_t>(48, 0)).ok());
+  auto bytes = BloomFilter(64, 2).Serialize();
+  bytes.pop_back();
+  EXPECT_FALSE(BloomFilter::Deserialize(bytes).ok());
+}
+
+TEST(BloomFilterTest, StringKeys) {
+  BloomFilter filter(1000, 4);
+  filter.AddBytes("alpha");
+  filter.AddBytes("beta");
+  EXPECT_TRUE(filter.ContainsBytes("alpha"));
+  EXPECT_TRUE(filter.ContainsBytes("beta"));
+  EXPECT_FALSE(filter.ContainsBytes("gamma"));
+}
+
+TEST(BloomFilterTest, MembershipEquivalentToSbfThresholdOne) {
+  // The paper's Claim 1 corollary: an SBF queried with threshold 1 gives
+  // identical functionality to a Bloom filter (checked in sbf_test too;
+  // here we just confirm the Bloom filter's one-sidedness at scale).
+  Xoshiro256 rng(5);
+  BloomFilter filter(20000, 5, 11);
+  std::vector<uint64_t> members;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t key = rng.Next();
+    members.push_back(key);
+    filter.Add(key);
+  }
+  for (uint64_t key : members) ASSERT_TRUE(filter.Contains(key));
+}
+
+}  // namespace
+}  // namespace sbf

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "db/bloomjoin.h"
+#include "db/relation.h"
+#include "util/random.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+// Builds the one-to-many join scenario of Section 5.3: R holds unique
+// customer ids (the "one" side), S holds orders referencing a subset of
+// them with repetition plus ids unknown to R.
+struct JoinScenario {
+  Relation r{"R"};
+  Relation s{"S"};
+};
+
+JoinScenario MakeScenario(uint64_t r_keys, uint64_t s_tuples,
+                          double match_fraction, uint64_t seed) {
+  JoinScenario scenario;
+  for (uint64_t key = 1; key <= r_keys; ++key) scenario.r.Add(key, key);
+  Xoshiro256 rng(seed);
+  for (uint64_t i = 0; i < s_tuples; ++i) {
+    if (rng.UniformDouble() < match_fraction) {
+      scenario.s.Add(rng.UniformInt(r_keys) + 1, i);
+    } else {
+      scenario.s.Add(r_keys + 1 + rng.UniformInt(r_keys * 10), i);
+    }
+  }
+  return scenario;
+}
+
+TEST(RelationTest, FrequencyMapAndJoinSize) {
+  Relation r("R"), s("S");
+  r.Add(1);
+  r.Add(1);
+  r.Add(2);
+  s.Add(1);
+  s.Add(2);
+  s.Add(2);
+  s.Add(3);
+  EXPECT_EQ(r.FrequencyMap().at(1), 2u);
+  EXPECT_EQ(r.ExactJoinSize(s), 2 * 1 + 1 * 2u);
+  EXPECT_EQ(r.DistinctValues().size(), 2u);
+  EXPECT_EQ(s.ShipAllBytes(), 4 * sizeof(Tuple));
+}
+
+TEST(BloomjoinTest, ShipAllIsExact) {
+  const auto scenario = MakeScenario(200, 2000, 0.3, 1);
+  const auto result = ShipAllJoin(scenario.r, scenario.s);
+  EXPECT_EQ(result.result_tuples, result.exact_tuples);
+  EXPECT_EQ(result.false_groups, 0u);
+  EXPECT_EQ(result.missed_groups, 0u);
+  EXPECT_EQ(result.network.rounds, 1u);
+}
+
+TEST(BloomjoinTest, ClassicBloomjoinExactWithFewerBytes) {
+  const auto scenario = MakeScenario(500, 10000, 0.2, 3);
+  const auto ship_all = ShipAllJoin(scenario.r, scenario.s);
+  const auto bloomjoin =
+      ClassicBloomjoin(scenario.r, scenario.s, 8 * 500, 5, 7);
+
+  EXPECT_EQ(bloomjoin.result_tuples, bloomjoin.exact_tuples);
+  EXPECT_EQ(bloomjoin.false_groups, 0u);
+  EXPECT_EQ(bloomjoin.missed_groups, 0u);
+  EXPECT_EQ(bloomjoin.network.rounds, 2u);
+  // 80% of S doesn't match: the filter should save a lot of traffic.
+  EXPECT_LT(bloomjoin.network.bytes_sent, ship_all.network.bytes_sent / 2);
+}
+
+TEST(BloomjoinTest, SpectralBloomjoinOneRoundNoMissedGroups) {
+  const auto scenario = MakeScenario(300, 5000, 0.5, 5);
+  const auto result = SpectralBloomjoin(scenario.r, scenario.s, 3000, 5, 0, 9);
+  EXPECT_EQ(result.network.rounds, 1u);
+  // One-sided SBF errors: every true group reported, counts upper-bounded.
+  EXPECT_EQ(result.missed_groups, 0u);
+  EXPECT_GE(result.result_tuples, result.exact_tuples);
+}
+
+TEST(BloomjoinTest, SpectralBloomjoinWithHavingThreshold) {
+  const auto scenario = MakeScenario(300, 8000, 0.6, 7);
+  const auto result =
+      SpectralBloomjoin(scenario.r, scenario.s, 4000, 5, 10, 11);
+  // HAVING count >= 10: still no false negatives.
+  EXPECT_EQ(result.missed_groups, 0u);
+}
+
+TEST(BloomjoinTest, SpectralUsesLessTrafficThanClassicOnAggregates) {
+  // For the GROUP BY query the classic scheme must ship matched tuples
+  // back; the spectral scheme ships one SBF. With a large S the SBF wins.
+  const auto scenario = MakeScenario(500, 40000, 0.8, 13);
+  const auto classic =
+      ClassicBloomjoin(scenario.r, scenario.s, 8 * 500, 5, 15);
+  const auto spectral =
+      SpectralBloomjoin(scenario.r, scenario.s, 4000, 5, 0, 15);
+  EXPECT_LT(spectral.network.bytes_sent, classic.network.bytes_sent);
+  EXPECT_LT(spectral.network.rounds, classic.network.rounds);
+}
+
+TEST(BloomjoinTest, VerifiedSpectralBloomjoinIsExact) {
+  const auto scenario = MakeScenario(400, 6000, 0.4, 17);
+  const auto result =
+      VerifiedSpectralBloomjoin(scenario.r, scenario.s, 3000, 5, 5, 19);
+  EXPECT_EQ(result.false_groups, 0u);
+  EXPECT_EQ(result.missed_groups, 0u);
+  EXPECT_EQ(result.network.rounds, 3u);
+  for (const JoinGroup& group : result.groups) {
+    EXPECT_GE(group.count, 5u);
+  }
+}
+
+TEST(BloomjoinTest, EqualityOperatorHasBoundedTwoSidedErrors) {
+  // HAVING count(*) = T: recall 1 - E_SBF (overestimated groups are
+  // missed), small false-alarm fraction.
+  Relation r("R"), s("S");
+  for (uint64_t key = 1; key <= 400; ++key) r.Add(key);
+  // Key i appears i%7+1 times in S: join count per key = i%7+1.
+  for (uint64_t key = 1; key <= 400; ++key) {
+    for (uint64_t c = 0; c <= key % 7; ++c) s.Add(key, c);
+  }
+  const auto result = SpectralBloomjoinEquals(r, s, 8000, 5, 4, 23);
+  size_t exact_groups = 0;
+  for (uint64_t key = 1; key <= 400; ++key) exact_groups += (key % 7 == 3);
+  // Recall: misses only where the product overestimated — a small slice.
+  EXPECT_LE(result.missed_groups, exact_groups / 10 + 2);
+  // Precision: false alarms only where an estimate landed exactly on T.
+  EXPECT_LE(result.false_groups, 10u);
+  EXPECT_EQ(result.network.rounds, 1u);
+}
+
+TEST(BloomjoinTest, EmptyIntersectionYieldsNoGroups) {
+  Relation r("R"), s("S");
+  for (uint64_t key = 1; key <= 100; ++key) r.Add(key);
+  for (uint64_t key = 10001; key <= 10100; ++key) s.Add(key);
+  const auto result = SpectralBloomjoin(r, s, 4000, 5, 0, 21);
+  EXPECT_EQ(result.exact_tuples, 0u);
+  // SBF false positives may leak a stray group, but not many.
+  EXPECT_LE(result.groups.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sbf

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/counting_bloom_filter.h"
+#include "util/random.h"
+
+namespace sbf {
+namespace {
+
+TEST(CountingBloomFilterTest, MembershipAfterInsert) {
+  CountingBloomFilter filter(10000, 5);
+  for (uint64_t key = 0; key < 500; ++key) filter.Insert(key);
+  for (uint64_t key = 0; key < 500; ++key) {
+    ASSERT_TRUE(filter.Contains(key)) << key;
+  }
+}
+
+TEST(CountingBloomFilterTest, DeletionRemovesMembership) {
+  CountingBloomFilter filter(10000, 5, 4, 3);
+  filter.Insert(42);
+  EXPECT_TRUE(filter.Contains(42));
+  filter.Remove(42);
+  EXPECT_FALSE(filter.Contains(42));
+}
+
+TEST(CountingBloomFilterTest, DeletionKeepsOtherKeys) {
+  CountingBloomFilter filter(10000, 4, 4, 1);
+  for (uint64_t key = 0; key < 300; ++key) filter.Insert(key);
+  for (uint64_t key = 0; key < 300; key += 2) filter.Remove(key);
+  for (uint64_t key = 1; key < 300; key += 2) {
+    ASSERT_TRUE(filter.Contains(key)) << key;
+  }
+}
+
+TEST(CountingBloomFilterTest, FourBitCountersSaturate) {
+  CountingBloomFilter filter(100, 2);
+  EXPECT_EQ(filter.max_count(), 15u);
+  filter.Insert(7, 100);  // way past 15
+  EXPECT_EQ(filter.Estimate(7), 15u);
+  EXPECT_GT(filter.SaturatedCount(), 0u);
+}
+
+TEST(CountingBloomFilterTest, SaturatedCountersSurviveDeletes) {
+  // The sticky policy: a saturated counter is never decremented, so
+  // deleting cannot create false negatives for other keys.
+  CountingBloomFilter filter(64, 1, 4, 9);
+  filter.Insert(1, 15);
+  filter.Insert(2, 15);  // may share the counter; both saturate
+  filter.Remove(1, 15);
+  // Key 2 must still be present (upper-bound property preserved).
+  EXPECT_TRUE(filter.Contains(2));
+}
+
+TEST(CountingBloomFilterTest, CannotRepresentLargeMultiplicities) {
+  // The paper's core criticism: multiplicities clamp at 15, useless for
+  // multi-sets where items appear thousands of times.
+  CountingBloomFilter filter(10000, 5);
+  filter.Insert(99, 5000);
+  EXPECT_EQ(filter.Estimate(99), 15u);
+}
+
+TEST(CountingBloomFilterTest, MemoryIsFourBitsPerCounter) {
+  CountingBloomFilter filter(1000, 5);
+  EXPECT_LE(filter.MemoryUsageBits(), 4 * 1000 + 64u);
+}
+
+TEST(CountingBloomFilterTest, MultisetInsertRemoveStress) {
+  CountingBloomFilter filter(5000, 3, 4, 17);
+  Xoshiro256 rng(2);
+  std::vector<uint64_t> counts(100, 0);
+  for (int iter = 0; iter < 3000; ++iter) {
+    const uint64_t key = rng.UniformInt(100);
+    if ((rng.Next() & 1) || counts[key] == 0) {
+      filter.Insert(key);
+      ++counts[key];
+    } else {
+      filter.Remove(key);
+      --counts[key];
+    }
+  }
+  // No false negatives: every key with a positive count must be present.
+  for (uint64_t key = 0; key < 100; ++key) {
+    if (counts[key] > 0) {
+      ASSERT_TRUE(filter.Contains(key)) << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbf

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/estimators.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+SpectralBloomFilter MakeLoadedFilter(uint64_t m, uint32_t k, uint64_t seed,
+                                     const Multiset& data) {
+  SbfOptions options;
+  options.m = m;
+  options.k = k;
+  options.seed = seed;
+  options.backing = CounterBacking::kFixed64;
+  SpectralBloomFilter filter(options);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  return filter;
+}
+
+TEST(UnbiasedEstimatorTest, MeanErrorNearZeroAcrossKeys) {
+  // The estimator is unbiased: averaged over many keys, the signed error
+  // should be near zero even on a heavily loaded filter where the Minimum
+  // Selection estimate is systematically high.
+  const Multiset data = MakeZipfMultiset(2000, 60000, 0.5, 3);
+  const auto filter = MakeLoadedFilter(4000, 5, 7, data);
+
+  double signed_error_sum = 0.0;
+  double ms_error_sum = 0.0;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    signed_error_sum += UnbiasedEstimate(filter, data.keys[i]) -
+                        static_cast<double>(data.freqs[i]);
+    ms_error_sum += static_cast<double>(filter.Estimate(data.keys[i])) -
+                    static_cast<double>(data.freqs[i]);
+  }
+  const double n = static_cast<double>(data.keys.size());
+  EXPECT_LT(std::abs(signed_error_sum / n), 2.5);
+  EXPECT_GT(ms_error_sum / n, signed_error_sum / n);
+}
+
+TEST(UnbiasedEstimatorTest, ExactFilterStaysNearTruth) {
+  const Multiset data = MakeZipfMultiset(50, 500, 0.5, 5);
+  const auto filter = MakeLoadedFilter(50000, 5, 9, data);
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    EXPECT_NEAR(UnbiasedEstimate(filter, data.keys[i]),
+                static_cast<double>(data.freqs[i]), 1.0);
+  }
+}
+
+TEST(UnbiasedEstimatorTest, CanProduceFalseNegatives) {
+  // The paper's criticism: items without Bloom error get an unneeded
+  // correction, dipping below their true count.
+  const Multiset data = MakeZipfMultiset(1000, 50000, 1.0, 7);
+  const auto filter = MakeLoadedFilter(2000, 5, 11, data);
+  size_t below_truth = 0;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    if (UnbiasedEstimate(filter, data.keys[i]) <
+        static_cast<double>(data.freqs[i])) {
+      ++below_truth;
+    }
+  }
+  EXPECT_GT(below_truth, 0u);
+}
+
+TEST(ClampedUnbiasedTest, StaysWithinCertainBounds) {
+  const Multiset data = MakeZipfMultiset(800, 30000, 0.8, 9);
+  const auto filter = MakeLoadedFilter(1500, 5, 13, data);
+  for (size_t i = 0; i < data.keys.size(); i += 7) {
+    const double clamped = ClampedUnbiasedEstimate(filter, data.keys[i]);
+    EXPECT_GE(clamped, 0.0);
+    EXPECT_LE(clamped, static_cast<double>(filter.Estimate(data.keys[i])));
+  }
+}
+
+TEST(BoostedEstimatorTest, SingleGroupEqualsUnbiased) {
+  const Multiset data = MakeZipfMultiset(300, 9000, 0.5, 15);
+  const auto filter = MakeLoadedFilter(1000, 6, 17, data);
+  for (uint64_t key = 1; key <= 50; ++key) {
+    EXPECT_DOUBLE_EQ(BoostedUnbiasedEstimate(filter, key, 1),
+                     UnbiasedEstimate(filter, key));
+  }
+}
+
+TEST(BoostedEstimatorTest, MedianOfGroupsIsFinite) {
+  const Multiset data = MakeZipfMultiset(300, 9000, 0.5, 19);
+  const auto filter = MakeLoadedFilter(1000, 6, 21, data);
+  for (uint32_t groups : {2u, 3u, 6u, 10u}) {
+    const double estimate = BoostedUnbiasedEstimate(filter, 5, groups);
+    EXPECT_TRUE(std::isfinite(estimate));
+  }
+}
+
+TEST(HybridEstimatorTest, RecurringMinimumKeysUseMinimum) {
+  SbfOptions options;
+  options.m = 10000;
+  options.k = 5;
+  options.backing = CounterBacking::kFixed64;
+  SpectralBloomFilter filter(options);
+  filter.Insert(42, 17);  // alone: recurring minimum, exact min
+  EXPECT_DOUBLE_EQ(HybridRmUnbiasedEstimate(filter, 42), 17.0);
+}
+
+TEST(HybridEstimatorTest, NoWorseRmsThanPureUnbiased) {
+  const Multiset data = MakeZipfMultiset(1000, 40000, 0.6, 23);
+  const auto filter = MakeLoadedFilter(2500, 5, 25, data);
+  double hybrid_sq = 0.0, unbiased_sq = 0.0;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    const double truth = static_cast<double>(data.freqs[i]);
+    const double h = HybridRmUnbiasedEstimate(filter, data.keys[i]) - truth;
+    const double u = UnbiasedEstimate(filter, data.keys[i]) - truth;
+    hybrid_sq += h * h;
+    unbiased_sq += u * u;
+  }
+  EXPECT_LE(hybrid_sq, unbiased_sq);
+}
+
+}  // namespace
+}  // namespace sbf

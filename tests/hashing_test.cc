@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "hashing/hash.h"
+#include "hashing/hash_family.h"
+
+namespace sbf {
+namespace {
+
+TEST(Mix64Test, Deterministic) { EXPECT_EQ(Mix64(123), Mix64(123)); }
+
+TEST(Mix64Test, InjectiveOnSample) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64Test, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip ~32 output bits.
+  for (uint64_t bit = 0; bit < 64; bit += 7) {
+    const uint64_t diff = Mix64(0x12345678) ^ Mix64(0x12345678 ^ (1ull << bit));
+    const int flipped = __builtin_popcountll(diff);
+    EXPECT_GT(flipped, 10) << "bit " << bit;
+    EXPECT_LT(flipped, 54) << "bit " << bit;
+  }
+}
+
+TEST(Fingerprint64Test, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(Fingerprint64("hello"), Fingerprint64("hello"));
+  EXPECT_NE(Fingerprint64("hello"), Fingerprint64("hello", 1));
+  EXPECT_NE(Fingerprint64("hello"), Fingerprint64("hellp"));
+}
+
+TEST(Fingerprint64Test, HandlesAllLengthClasses) {
+  // Exercises the <4, <8, <32 and >=32 byte paths.
+  std::set<uint64_t> outputs;
+  std::string s;
+  for (int len = 0; len <= 100; ++len) {
+    outputs.insert(Fingerprint64(s));
+    s.push_back(static_cast<char>('a' + len % 26));
+  }
+  EXPECT_EQ(outputs.size(), 101u);
+}
+
+TEST(ModuloMultiplyHashTest, StaysInRange) {
+  ModuloMultiplyHash h(0x9E3779B97F4A7C15ull, 1000);
+  for (uint64_t v = 0; v < 100000; v += 17) {
+    EXPECT_LT(h(v), 1000u);
+  }
+}
+
+TEST(ModuloMultiplyHashTest, SpreadsValues) {
+  ModuloMultiplyHash h(0x9E3779B97F4A7C15ull, 97);
+  std::vector<int> counts(97, 0);
+  for (uint64_t v = 1; v <= 97000; ++v) ++counts[h(Mix64(v))];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 250);
+}
+
+class HashFamilyKindTest : public ::testing::TestWithParam<HashFamily::Kind> {};
+
+TEST_P(HashFamilyKindTest, PositionsWithinRange) {
+  HashFamily family(5, 1237, 42, GetParam());
+  for (uint64_t key = 0; key < 2000; ++key) {
+    for (uint64_t p : family.Positions(key)) EXPECT_LT(p, 1237u);
+  }
+}
+
+TEST_P(HashFamilyKindTest, PositionsMatchPositionAccessor) {
+  HashFamily family(7, 509, 9, GetParam());
+  for (uint64_t key = 0; key < 200; ++key) {
+    const auto positions = family.Positions(key);
+    for (uint32_t i = 0; i < 7; ++i) {
+      EXPECT_EQ(positions[i], family.Position(key, i));
+    }
+  }
+}
+
+TEST_P(HashFamilyKindTest, DeterministicAcrossInstances) {
+  HashFamily a(5, 1000, 77, GetParam());
+  HashFamily b(5, 1000, 77, GetParam());
+  for (uint64_t key = 0; key < 500; ++key) {
+    EXPECT_EQ(a.Positions(key), b.Positions(key));
+  }
+}
+
+TEST_P(HashFamilyKindTest, SeedChangesPositions) {
+  HashFamily a(5, 100000, 1, GetParam());
+  HashFamily b(5, 100000, 2, GetParam());
+  int identical = 0;
+  for (uint64_t key = 0; key < 100; ++key) {
+    identical += (a.Positions(key) == b.Positions(key));
+  }
+  EXPECT_LT(identical, 3);
+}
+
+TEST_P(HashFamilyKindTest, RoughlyUniformLoad) {
+  constexpr uint64_t kM = 128;
+  constexpr uint64_t kKeys = 64000;
+  HashFamily family(1, kM, 5, GetParam());
+  std::vector<int> counts(kM, 0);
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    ++counts[family.Position(key, 0)];
+  }
+  const double expected = static_cast<double>(kKeys) / kM;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HashFamilyKindTest,
+                         ::testing::Values(HashFamily::Kind::kModuloMultiply,
+                                           HashFamily::Kind::kDoubleMix),
+                         [](const auto& info) {
+                           return info.param ==
+                                          HashFamily::Kind::kModuloMultiply
+                                      ? "ModuloMultiply"
+                                      : "DoubleMix";
+                         });
+
+TEST(HashFamilyTest, CompatibilityRequiresAllParams) {
+  HashFamily base(5, 100, 7);
+  EXPECT_TRUE(base.Compatible(HashFamily(5, 100, 7)));
+  EXPECT_FALSE(base.Compatible(HashFamily(4, 100, 7)));
+  EXPECT_FALSE(base.Compatible(HashFamily(5, 101, 7)));
+  EXPECT_FALSE(base.Compatible(HashFamily(5, 100, 8)));
+  EXPECT_FALSE(base.Compatible(
+      HashFamily(5, 100, 7, HashFamily::Kind::kDoubleMix)));
+}
+
+TEST(HashFamilyTest, DifferentFunctionsWithinFamily) {
+  HashFamily family(5, 1000000, 3);
+  // With m = 10^6, the 5 functions should almost never coincide.
+  int collisions = 0;
+  for (uint64_t key = 0; key < 200; ++key) {
+    const auto p = family.Positions(key);
+    for (int i = 0; i < 5; ++i) {
+      for (int j = i + 1; j < 5; ++j) collisions += (p[i] == p[j]);
+    }
+  }
+  EXPECT_LT(collisions, 4);
+}
+
+TEST(HashFamilyTest, BytesKeyRoute) {
+  HashFamily family(3, 997, 0);
+  uint64_t direct[3];
+  family.Positions(Fingerprint64("spectral"), direct);
+  uint64_t via_bytes[3];
+  family.PositionsForBytes("spectral", via_bytes);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(direct[i], via_bytes[i]);
+}
+
+}  // namespace
+}  // namespace sbf

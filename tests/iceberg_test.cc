@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "db/iceberg.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+SbfOptions MakeOptions(uint64_t m, uint32_t k, uint64_t seed) {
+  SbfOptions options;
+  options.m = m;
+  options.k = k;
+  options.seed = seed;
+  options.backing = CounterBacking::kFixed64;
+  return options;
+}
+
+TEST(IcebergEngineTest, NoFalseNegativesAtAnyThreshold) {
+  IcebergEngine engine(MakeOptions(4000, 5, 1));
+  const Multiset data = MakeZipfMultiset(500, 20000, 1.0, 3);
+  for (uint64_t key : data.stream) engine.Observe(key);
+
+  for (uint64_t threshold : {2ull, 10ull, 100ull, 1000ull}) {
+    const auto heavy = engine.Query(data.keys, threshold);
+    const std::set<uint64_t> heavy_set(heavy.begin(), heavy.end());
+    for (size_t i = 0; i < data.keys.size(); ++i) {
+      if (data.freqs[i] >= threshold) {
+        ASSERT_TRUE(heavy_set.contains(data.keys[i]))
+            << "threshold " << threshold;
+      }
+    }
+  }
+}
+
+TEST(IcebergEngineTest, AdHocThresholdNeedsNoRescan) {
+  // The defining feature: the same engine answers for any threshold.
+  IcebergEngine engine(MakeOptions(3000, 5, 5));
+  const Multiset data = MakeZipfMultiset(300, 10000, 1.2, 7);
+  for (uint64_t key : data.stream) engine.Observe(key);
+
+  const auto at_100 = engine.Query(data.keys, 100);
+  const auto at_10 = engine.Query(data.keys, 10);
+  EXPECT_LT(at_100.size(), at_10.size());
+  // Monotonicity: everything heavy at 100 is heavy at 10.
+  const std::set<uint64_t> at_10_set(at_10.begin(), at_10.end());
+  for (uint64_t key : at_100) EXPECT_TRUE(at_10_set.contains(key));
+}
+
+TEST(IcebergEngineTest, FalsePositiveRateIsSmall) {
+  IcebergEngine engine(MakeOptions(5000, 5, 9));  // gamma = 0.5
+  const Multiset data = MakeZipfMultiset(500, 30000, 1.0, 11);
+  for (uint64_t key : data.stream) engine.Observe(key);
+
+  const uint64_t threshold = 60;
+  const auto reported = engine.Query(data.keys, threshold);
+  size_t truly_heavy = 0;
+  for (uint64_t f : data.freqs) truly_heavy += (f >= threshold);
+  // Figure 4: iceberg errors are a small subset of Bloom errors.
+  EXPECT_LE(reported.size(), truly_heavy + data.keys.size() / 20);
+  EXPECT_GE(reported.size(), truly_heavy);
+}
+
+TEST(IcebergEngineTest, StreamingTriggerFires) {
+  IcebergEngine engine(MakeOptions(10000, 5, 13));
+  bool fired = false;
+  for (int i = 0; i < 50; ++i) {
+    fired = engine.Observe(42, /*trigger_threshold=*/20);
+    if (i < 19) {
+      ASSERT_FALSE(fired) << i;
+    }
+  }
+  EXPECT_TRUE(fired);
+  // No trigger threshold -> never fires.
+  EXPECT_FALSE(engine.Observe(42, 0));
+}
+
+TEST(MultiscanIcebergTest, ExactResultAfterVerification) {
+  const Multiset data = MakeZipfMultiset(400, 20000, 1.1, 15);
+  MultiscanIceberg multiscan({{.buckets = 512, .k = 1},
+                              {.buckets = 256, .k = 1}},
+                             /*threshold=*/50, 17);
+  const auto result = multiscan.Run(data);
+
+  std::set<uint64_t> expected;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    if (data.freqs[i] >= 50) expected.insert(data.keys[i]);
+  }
+  const std::set<uint64_t> reported(result.heavy_keys.begin(),
+                                    result.heavy_keys.end());
+  EXPECT_EQ(reported, expected);
+  EXPECT_EQ(result.scans, 3u);  // 2 filter stages + verification
+  EXPECT_EQ(result.candidates, reported.size() + result.false_candidates);
+}
+
+TEST(MultiscanIcebergTest, SecondStageShrinksCandidates) {
+  const Multiset data = MakeZipfMultiset(600, 30000, 1.0, 19);
+  MultiscanIceberg one_stage({{.buckets = 256, .k = 1}}, 50, 21);
+  MultiscanIceberg two_stage(
+      {{.buckets = 256, .k = 1}, {.buckets = 128, .k = 1}}, 50, 21);
+  const auto first = one_stage.Run(data);
+  const auto second = two_stage.Run(data);
+  EXPECT_LE(second.candidates, first.candidates);
+  EXPECT_EQ(
+      std::set<uint64_t>(first.heavy_keys.begin(), first.heavy_keys.end()),
+      std::set<uint64_t>(second.heavy_keys.begin(), second.heavy_keys.end()));
+}
+
+TEST(MultiscanIcebergTest, ThresholdChangeRequiresNewRun) {
+  // Structural contrast with the SBF engine: a new threshold means new
+  // filters and new scans (the scans counter proves the cost).
+  const Multiset data = MakeZipfMultiset(200, 8000, 1.0, 23);
+  MultiscanIceberg at_50({{.buckets = 256, .k = 1}}, 50, 25);
+  MultiscanIceberg at_20({{.buckets = 256, .k = 1}}, 20, 25);
+  const auto first = at_50.Run(data);
+  const auto second = at_20.Run(data);
+  EXPECT_EQ(first.scans + second.scans, 4u);
+  EXPECT_GE(second.heavy_keys.size(), first.heavy_keys.size());
+}
+
+}  // namespace
+}  // namespace sbf

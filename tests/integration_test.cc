@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/recurring_minimum.h"
+#include "core/sbf_algebra.h"
+#include "core/sliding_window.h"
+#include "core/spectral_bloom_filter.h"
+#include "db/bloomjoin.h"
+#include "db/iceberg.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "workload/forest_cover.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+SbfOptions MakeOptions(uint64_t m, uint32_t k, uint64_t seed,
+                       CounterBacking backing) {
+  SbfOptions options;
+  options.m = m;
+  options.k = k;
+  options.seed = seed;
+  options.backing = backing;
+  return options;
+}
+
+// The compact storage must be a perfect drop-in: identical estimates to
+// the fixed-width backing under arbitrary mixed workloads.
+TEST(IntegrationTest, CompactBackingBehaviourallyIdenticalToFixed) {
+  SpectralBloomFilter fixed(
+      MakeOptions(1500, 5, 42, CounterBacking::kFixed64));
+  SpectralBloomFilter compact(
+      MakeOptions(1500, 5, 42, CounterBacking::kCompact));
+  SpectralBloomFilter serial(
+      MakeOptions(1500, 5, 42, CounterBacking::kSerialScan));
+
+  Xoshiro256 rng(1);
+  std::unordered_map<uint64_t, uint64_t> live;
+  for (int iter = 0; iter < 30000; ++iter) {
+    const uint64_t key = rng.UniformInt(500);
+    const bool remove = (rng.Next() % 4 == 0) && live[key] > 0;
+    if (remove) {
+      fixed.Remove(key);
+      compact.Remove(key);
+      serial.Remove(key);
+      --live[key];
+    } else {
+      fixed.Insert(key);
+      compact.Insert(key);
+      serial.Insert(key);
+      ++live[key];
+    }
+  }
+  for (uint64_t key = 0; key < 600; ++key) {
+    const uint64_t expected = fixed.Estimate(key);
+    ASSERT_EQ(compact.Estimate(key), expected) << key;
+    ASSERT_EQ(serial.Estimate(key), expected) << key;
+  }
+}
+
+// Distributed pipeline: four sites build partial SBFs over partitions of
+// one relation, serialize them, a coordinator deserializes + unions, and
+// iceberg-queries the union.
+TEST(IntegrationTest, DistributedUnionThenIcebergQuery) {
+  const Multiset data = MakeZipfMultiset(400, 20000, 1.0, 5);
+  const auto options = MakeOptions(4000, 5, 7, CounterBacking::kCompact);
+
+  std::vector<std::vector<uint8_t>> messages;
+  for (int site = 0; site < 4; ++site) {
+    SpectralBloomFilter filter(options);
+    for (size_t i = site; i < data.stream.size(); i += 4) {
+      filter.Insert(data.stream[i]);
+    }
+    messages.push_back(filter.Serialize());
+  }
+
+  SpectralBloomFilter coordinator(options);
+  for (const auto& message : messages) {
+    auto site_filter = SpectralBloomFilter::Deserialize(message);
+    ASSERT_TRUE(site_filter.ok());
+    ASSERT_TRUE(UnionInto(&coordinator, site_filter.value()).ok());
+  }
+  EXPECT_EQ(coordinator.total_items(), data.total());
+
+  const uint64_t threshold = 100;
+  size_t missed = 0;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    if (data.freqs[i] >= threshold &&
+        !coordinator.Contains(data.keys[i], threshold)) {
+      ++missed;
+    }
+  }
+  EXPECT_EQ(missed, 0u);
+}
+
+// Streaming monitoring stack: a sliding window over an RM filter feeding
+// threshold triggers, on the Forest-Cover-like workload.
+TEST(IntegrationTest, SlidingWindowMonitoringOnForestCover) {
+  ForestCoverOptions fc_options;
+  fc_options.num_records = 30000;
+  fc_options.num_distinct = 500;
+  const Multiset data = MakeForestCoverElevation(fc_options);
+
+  RecurringMinimumOptions rm_options;
+  rm_options.primary_m = 4000;
+  rm_options.secondary_m = 2000;
+  rm_options.k = 5;
+  rm_options.seed = 11;
+  rm_options.backing = CounterBacking::kCompact;
+  SlidingWindowFilter window(std::make_unique<RecurringMinimumSbf>(rm_options),
+                             5000);
+
+  for (uint64_t key : data.stream) window.Push(key);
+  EXPECT_EQ(window.current_fill(), 5000u);
+
+  // Ground truth over the final window.
+  std::unordered_map<uint64_t, uint64_t> live;
+  for (size_t i = data.stream.size() - 5000; i < data.stream.size(); ++i) {
+    ++live[data.stream[i]];
+  }
+  size_t false_negatives = 0;
+  for (const auto& [key, count] : live) {
+    if (window.Estimate(key) < count) ++false_negatives;
+  }
+  EXPECT_LE(false_negatives, live.size() / 20);
+}
+
+// Spectral Bloomjoin feeding a per-group HAVING filter, end to end, with
+// serialization crossing the simulated network.
+TEST(IntegrationTest, JoinPipelineAccuracy) {
+  Relation customers("customers"), orders("orders");
+  for (uint64_t id = 1; id <= 400; ++id) customers.Add(id, id);
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 12000; ++i) {
+    orders.Add(rng.UniformInt(400) + 1, i);
+  }
+  const auto result = SpectralBloomjoin(customers, orders, 4000, 5, 25, 17);
+  EXPECT_EQ(result.missed_groups, 0u);
+  const auto verified =
+      VerifiedSpectralBloomjoin(customers, orders, 4000, 5, 25, 17);
+  EXPECT_EQ(verified.false_groups, 0u);
+  EXPECT_EQ(verified.missed_groups, 0u);
+  EXPECT_GE(result.result_tuples, verified.result_tuples);
+}
+
+// Error-metric plumbing mirrors the Figure 6 measurement loop.
+TEST(IntegrationTest, Figure6MeasurementLoopSmoke) {
+  const Multiset data = MakeZipfMultiset(1000, 100000, 0.5, 19);
+  SpectralBloomFilter ms(
+      MakeOptions(1000 * 5 * 10 / 7, 5, 21, CounterBacking::kCompact));
+  for (uint64_t key : data.stream) ms.Insert(key);
+
+  ErrorStats stats;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    stats.Record(ms.Estimate(data.keys[i]), data.freqs[i]);
+  }
+  // gamma = 0.7: error ratio should be in the vicinity of E_b ~ 3%.
+  EXPECT_LT(stats.ErrorRatio(), 0.10);
+  EXPECT_EQ(stats.num_false_negatives(), 0u);
+}
+
+}  // namespace
+}  // namespace sbf

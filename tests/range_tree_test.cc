@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "db/range_tree.h"
+#include "util/random.h"
+
+namespace sbf {
+namespace {
+
+SbfOptions MakeOptions(uint64_t m, uint32_t k, uint64_t seed) {
+  SbfOptions options;
+  options.m = m;
+  options.k = k;
+  options.seed = seed;
+  options.backing = CounterBacking::kFixed64;
+  return options;
+}
+
+TEST(RangeTreeTest, DomainRoundsToPowerOfTwo) {
+  RangeTreeSbf tree(1000, MakeOptions(100000, 5, 1));
+  EXPECT_EQ(tree.domain_size(), 1024u);
+  EXPECT_EQ(tree.levels(), 10u);
+}
+
+TEST(RangeTreeTest, PointQueriesExactUnderLightLoad) {
+  RangeTreeSbf tree(256, MakeOptions(200000, 5, 3));
+  for (uint64_t v = 0; v < 50; ++v) tree.Insert(v, v + 1);
+  for (uint64_t v = 0; v < 50; ++v) {
+    ASSERT_EQ(tree.EstimatePoint(v), v + 1) << v;
+  }
+  EXPECT_EQ(tree.EstimatePoint(200), 0u);
+}
+
+TEST(RangeTreeTest, RangeCountsMatchExactOnLightLoad) {
+  RangeTreeSbf tree(512, MakeOptions(400000, 5, 5));
+  std::vector<uint64_t> counts(512, 0);
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.UniformInt(512);
+    tree.Insert(v);
+    ++counts[v];
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint64_t lo = rng.UniformInt(512);
+    const uint64_t hi = lo + rng.UniformInt(512 - lo) + 1;
+    uint64_t exact = 0;
+    for (uint64_t v = lo; v < hi; ++v) exact += counts[v];
+    const auto estimate = tree.EstimateRange(lo, hi);
+    ASSERT_EQ(estimate.count, exact) << "[" << lo << "," << hi << ")";
+  }
+}
+
+TEST(RangeTreeTest, EstimatesAreUpperBoundsUnderLoad) {
+  // Smaller SBF: collisions happen, but errors stay one-sided.
+  RangeTreeSbf tree(1024, MakeOptions(30000, 5, 9));
+  std::vector<uint64_t> counts(1024, 0);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.UniformInt(1024);
+    tree.Insert(v);
+    ++counts[v];
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    const uint64_t lo = rng.UniformInt(1024);
+    const uint64_t hi = lo + rng.UniformInt(1024 - lo) + 1;
+    uint64_t exact = 0;
+    for (uint64_t v = lo; v < hi; ++v) exact += counts[v];
+    ASSERT_GE(tree.EstimateRange(lo, hi).count, exact);
+  }
+}
+
+TEST(RangeTreeTest, ProbeCountBoundedByTheorem11) {
+  RangeTreeSbf tree(4096, MakeOptions(100000, 3, 13));
+  Xoshiro256 rng(15);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t lo = rng.UniformInt(4096);
+    const uint64_t hi = lo + rng.UniformInt(4096 - lo) + 1;
+    const auto estimate = tree.EstimateRange(lo, hi);
+    const double width = static_cast<double>(hi - lo);
+    const uint32_t bound =
+        2 * static_cast<uint32_t>(std::ceil(std::log2(width + 1))) + 2;
+    ASSERT_LE(estimate.probes, bound) << "[" << lo << "," << hi << ")";
+  }
+}
+
+TEST(RangeTreeTest, FullDomainRangeEqualsTotal) {
+  RangeTreeSbf tree(128, MakeOptions(100000, 5, 17));
+  for (uint64_t v = 0; v < 128; v += 3) tree.Insert(v, 2);
+  const auto estimate = tree.EstimateRange(0, 128);
+  EXPECT_EQ(estimate.count, 2u * 43);
+  EXPECT_LE(estimate.probes, 2u);  // root or two half-roots
+}
+
+TEST(RangeTreeTest, EmptyRange) {
+  RangeTreeSbf tree(64, MakeOptions(10000, 5, 19));
+  tree.Insert(5);
+  const auto estimate = tree.EstimateRange(10, 10);
+  EXPECT_EQ(estimate.count, 0u);
+  EXPECT_EQ(estimate.probes, 0u);
+}
+
+TEST(RangeTreeTest, RemoveSupportsSlidingData) {
+  RangeTreeSbf tree(256, MakeOptions(100000, 5, 21));
+  tree.Insert(10, 5);
+  tree.Insert(20, 3);
+  tree.Remove(10, 5);
+  EXPECT_EQ(tree.EstimatePoint(10), 0u);
+  EXPECT_EQ(tree.EstimateRange(0, 256).count, 3u);
+}
+
+TEST(RangeTreeTest, SqlStyleOpenInterval) {
+  // SELECT count(a) WHERE a > 10 AND a < 20  ->  [11, 20).
+  RangeTreeSbf tree(64, MakeOptions(50000, 5, 23));
+  for (uint64_t v = 5; v <= 25; ++v) tree.Insert(v);
+  EXPECT_EQ(tree.EstimateRange(11, 20).count, 9u);
+}
+
+}  // namespace
+}  // namespace sbf

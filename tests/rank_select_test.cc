@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitstream/rank_select.h"
+#include "util/random.h"
+
+namespace sbf {
+namespace {
+
+// Reference implementations.
+size_t NaiveRank1(const BitVector& bits, size_t pos) {
+  size_t count = 0;
+  for (size_t i = 0; i < pos; ++i) count += bits.GetBit(i);
+  return count;
+}
+
+size_t NaiveSelect1(const BitVector& bits, size_t j) {
+  size_t seen = 0;
+  for (size_t i = 0; i < bits.size_bits(); ++i) {
+    if (bits.GetBit(i) && seen++ == j) return i;
+  }
+  return ~0ull;
+}
+
+TEST(RankSelectTest, EmptyVector) {
+  BitVector bits(100);
+  RankSelect rs(&bits);
+  EXPECT_EQ(rs.num_ones(), 0u);
+  EXPECT_EQ(rs.Rank1(0), 0u);
+  EXPECT_EQ(rs.Rank1(100), 0u);
+  EXPECT_EQ(rs.Rank0(100), 100u);
+}
+
+TEST(RankSelectTest, AllOnes) {
+  BitVector bits(777);
+  for (size_t i = 0; i < 777; ++i) bits.SetBit(i, true);
+  RankSelect rs(&bits);
+  EXPECT_EQ(rs.num_ones(), 777u);
+  for (size_t i : {0ul, 1ul, 63ul, 64ul, 511ul, 512ul, 777ul}) {
+    EXPECT_EQ(rs.Rank1(i), i);
+  }
+  for (size_t j : {0ul, 100ul, 511ul, 512ul, 776ul}) {
+    EXPECT_EQ(rs.Select1(j), j);
+  }
+}
+
+TEST(RankSelectTest, SingleBitPositions) {
+  for (size_t pos : {0ul, 1ul, 63ul, 64ul, 65ul, 500ul, 511ul, 512ul, 1000ul}) {
+    BitVector bits(1024);
+    bits.SetBit(pos, true);
+    RankSelect rs(&bits);
+    EXPECT_EQ(rs.num_ones(), 1u);
+    EXPECT_EQ(rs.Select1(0), pos);
+    EXPECT_EQ(rs.Rank1(pos), 0u);
+    EXPECT_EQ(rs.Rank1(pos + 1), 1u);
+  }
+}
+
+class RankSelectDensityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RankSelectDensityTest, MatchesNaiveOnRandomVectors) {
+  const double density = GetParam();
+  constexpr size_t kBits = 5000;
+  BitVector bits(kBits);
+  Xoshiro256 rng(static_cast<uint64_t>(density * 1000) + 7);
+  for (size_t i = 0; i < kBits; ++i) {
+    bits.SetBit(i, rng.UniformDouble() < density);
+  }
+  RankSelect rs(&bits);
+
+  // Rank at a grid of positions.
+  for (size_t pos = 0; pos <= kBits; pos += 97) {
+    ASSERT_EQ(rs.Rank1(pos), NaiveRank1(bits, pos)) << pos;
+  }
+  // Select of every ~17th one.
+  for (size_t j = 0; j < rs.num_ones(); j += 17) {
+    ASSERT_EQ(rs.Select1(j), NaiveSelect1(bits, j)) << j;
+  }
+  // Rank/select inverse property.
+  for (size_t j = 0; j < rs.num_ones(); j += 131) {
+    const size_t pos = rs.Select1(j);
+    ASSERT_TRUE(bits.GetBit(pos));
+    ASSERT_EQ(rs.Rank1(pos), j);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RankSelectDensityTest,
+                         ::testing::Values(0.01, 0.1, 0.5, 0.9, 0.99));
+
+TEST(RankSelectTest, OverheadIsSublinear) {
+  BitVector bits(1 << 16);
+  RankSelect rs(&bits);
+  // Directory should be far below the vector size (o(N) in practice).
+  EXPECT_LT(rs.OverheadBits(), bits.size_bits());
+}
+
+TEST(RankSelectTest, LastBitSelect) {
+  BitVector bits(640);
+  bits.SetBit(639, true);
+  bits.SetBit(0, true);
+  RankSelect rs(&bits);
+  EXPECT_EQ(rs.Select1(0), 0u);
+  EXPECT_EQ(rs.Select1(1), 639u);
+}
+
+}  // namespace
+}  // namespace sbf

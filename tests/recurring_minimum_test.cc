@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "core/recurring_minimum.h"
+#include "core/spectral_bloom_filter.h"
+#include "util/metrics.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+RecurringMinimumOptions MakeOptions(uint64_t primary_m, uint64_t secondary_m,
+                                    uint32_t k, uint64_t seed = 1,
+                                    bool marker = false) {
+  RecurringMinimumOptions options;
+  options.primary_m = primary_m;
+  options.secondary_m = secondary_m;
+  options.k = k;
+  options.seed = seed;
+  options.use_marker_filter = marker;
+  options.backing = CounterBacking::kFixed64;
+  return options;
+}
+
+class RmMarkerTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RmMarkerTest, EstimateIsUpperBound) {
+  RecurringMinimumSbf filter(MakeOptions(2000, 1000, 5, 3, GetParam()));
+  const Multiset data = MakeZipfMultiset(400, 10000, 0.5, 7);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  // Late detection of single-minimum events can in rare cases underestimate
+  // (the gap Section 3.3.1's trapping refinement targets); the paper's
+  // experiments observe no false negatives, so we allow at most a sliver.
+  size_t false_negatives = 0;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    if (filter.Estimate(data.keys[i]) < data.freqs[i]) ++false_negatives;
+  }
+  EXPECT_LE(false_negatives, data.keys.size() / 20);
+}
+
+TEST_P(RmMarkerTest, ExactUnderLightLoad) {
+  RecurringMinimumSbf filter(MakeOptions(50000, 25000, 5, 5, GetParam()));
+  for (uint64_t key = 1; key <= 40; ++key) filter.Insert(key, key * 2);
+  for (uint64_t key = 1; key <= 40; ++key) {
+    ASSERT_EQ(filter.Estimate(key), key * 2);
+  }
+}
+
+TEST_P(RmMarkerTest, DeletionsSupportedWithoutFalseNegatives) {
+  RecurringMinimumSbf filter(MakeOptions(1500, 750, 5, 9, GetParam()));
+  const Multiset data = MakeZipfMultiset(300, 8000, 0.5, 11);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  // Delete 40% of each key's occurrences.
+  std::vector<uint64_t> remaining(data.keys.size());
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    const uint64_t cut = data.freqs[i] * 2 / 5;
+    filter.Remove(data.keys[i], cut);
+    remaining[i] = data.freqs[i] - cut;
+  }
+  size_t false_negatives = 0;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    if (filter.Estimate(data.keys[i]) < remaining[i]) ++false_negatives;
+  }
+  EXPECT_LE(false_negatives, data.keys.size() / 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(MarkerOnOff, RmMarkerTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "WithMarker" : "NoMarker";
+                         });
+
+TEST(RecurringMinimumTest, Table1SettingBeatsMinimumSelection) {
+  // The Table 1 setting: primary at gamma = 0.7 (n = 1000, k = 5,
+  // m = 7143), secondary of half that size. RM's error ratio must come in
+  // clearly under the primary-only Minimum Selection error. (Table 1's 18x
+  // is the paper's *model* gain, which ignores late-detection inflation;
+  // the measured gain in its Figure 6 — and here — is in the 2-3x range.)
+  ErrorStats ms_stats, rm_stats;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const Multiset data = MakeZipfMultiset(1000, 50000, 0.5, seed * 13);
+
+    SbfOptions ms_options;
+    ms_options.m = 7143;
+    ms_options.k = 5;
+    ms_options.seed = seed * 31;
+    ms_options.backing = CounterBacking::kFixed64;
+    SpectralBloomFilter ms(ms_options);
+
+    RecurringMinimumOptions rm_options;
+    rm_options.primary_m = 7143;
+    rm_options.secondary_m = 3571;
+    rm_options.k = 5;
+    rm_options.seed = seed * 31;
+    rm_options.backing = CounterBacking::kFixed64;
+    RecurringMinimumSbf rm(rm_options);
+
+    for (uint64_t key : data.stream) {
+      ms.Insert(key);
+      rm.Insert(key);
+    }
+    for (size_t i = 0; i < data.keys.size(); ++i) {
+      ms_stats.Record(ms.Estimate(data.keys[i]), data.freqs[i]);
+      rm_stats.Record(rm.Estimate(data.keys[i]), data.freqs[i]);
+    }
+  }
+  EXPECT_LT(rm_stats.ErrorRatio() * 1.5, ms_stats.ErrorRatio());
+  // And no false negatives under insert-only workloads.
+  EXPECT_EQ(rm_stats.num_false_negatives(), 0u);
+}
+
+TEST(RecurringMinimumTest, EqualTotalBudgetStaysCompetitive) {
+  // At the same overall memory (primary 4/5, secondary 1/5) the primary
+  // runs at 1.25x the gamma of the equivalent MS filter; RM must claw back
+  // most of that handicap — within 3x of MS, and better than its own
+  // primary minimum alone. (In our implementation RM does not actually
+  // overtake equal-budget MS — see EXPERIMENTS.md; its value is deletion
+  // support at near-MS accuracy, unlike MI.)
+  const Multiset data = MakeZipfMultiset(1000, 50000, 0.5, 13);
+  SbfOptions ms_options;
+  ms_options.m = 5000;
+  ms_options.k = 5;
+  ms_options.seed = 31;
+  ms_options.backing = CounterBacking::kFixed64;
+  SpectralBloomFilter ms(ms_options);
+  RecurringMinimumSbf rm = RecurringMinimumSbf::WithTotalBudget(5000, 5, 31);
+  for (uint64_t key : data.stream) {
+    ms.Insert(key);
+    rm.Insert(key);
+  }
+  ErrorStats ms_stats, rm_stats, primary_stats;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    ms_stats.Record(ms.Estimate(data.keys[i]), data.freqs[i]);
+    rm_stats.Record(rm.Estimate(data.keys[i]), data.freqs[i]);
+    primary_stats.Record(rm.primary().Estimate(data.keys[i]), data.freqs[i]);
+  }
+  EXPECT_LT(rm_stats.ErrorRatio(), 3.0 * ms_stats.ErrorRatio());
+  EXPECT_LT(rm_stats.ErrorRatio(), primary_stats.ErrorRatio());
+}
+
+TEST(RecurringMinimumTest, MovesOnlySingleMinimumItems) {
+  RecurringMinimumSbf filter(MakeOptions(4000, 2000, 5, 17));
+  // A lone item always has a recurring minimum -> never moved.
+  filter.Insert(123, 50);
+  EXPECT_EQ(filter.moved_to_secondary(), 0u);
+}
+
+TEST(RecurringMinimumTest, SecondaryTracksSuspectedErrors) {
+  RecurringMinimumSbf filter(MakeOptions(300, 150, 5, 19));
+  const Multiset data = MakeZipfMultiset(400, 8000, 0.5, 23);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  // At gamma ~ 6.7 many items have single minima; some must move.
+  EXPECT_GT(filter.moved_to_secondary(), 0u);
+}
+
+TEST(RecurringMinimumTest, WithTotalBudgetSplitsFourToOne) {
+  auto filter = RecurringMinimumSbf::WithTotalBudget(1500, 5);
+  EXPECT_EQ(filter.primary().m(), 1200u);
+  EXPECT_EQ(filter.secondary().m(), 300u);
+}
+
+TEST(RecurringMinimumTest, MarkerFilterAddsMemory) {
+  RecurringMinimumSbf plain(MakeOptions(1000, 500, 5, 1, false));
+  RecurringMinimumSbf marked(MakeOptions(1000, 500, 5, 1, true));
+  EXPECT_GT(marked.MemoryUsageBits(), plain.MemoryUsageBits());
+  EXPECT_TRUE(marked.marker().has_value());
+  EXPECT_FALSE(plain.marker().has_value());
+}
+
+TEST(RecurringMinimumTest, UpdateViaRemoveInsert) {
+  // Updates = delete + insert (Section 2.2); estimates stay one-sided.
+  RecurringMinimumSbf filter(MakeOptions(2000, 1000, 5, 29));
+  filter.Insert(7, 10);
+  filter.Remove(7, 10);
+  filter.Insert(7, 25);
+  EXPECT_GE(filter.Estimate(7), 25u);
+}
+
+TEST(RecurringMinimumTest, SlidingDeletionStress) {
+  RecurringMinimumSbf filter(MakeOptions(1000, 500, 4, 37));
+  const Multiset data = MakeZipfMultiset(200, 6000, 1.0, 41);
+  std::vector<uint64_t> live(data.keys.size(), 0);
+  size_t cursor = 0;
+  std::vector<size_t> key_index(1000);
+  for (size_t i = 0; i < data.keys.size(); ++i) key_index[data.keys[i]] = i;
+
+  // Insert the stream with a lag-2000 deletion window.
+  for (; cursor < data.stream.size(); ++cursor) {
+    filter.Insert(data.stream[cursor]);
+    ++live[key_index[data.stream[cursor]]];
+    if (cursor >= 2000) {
+      const uint64_t old = data.stream[cursor - 2000];
+      filter.Remove(old);
+      --live[key_index[old]];
+    }
+  }
+  size_t false_negatives = 0;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    if (filter.Estimate(data.keys[i]) < live[i]) ++false_negatives;
+  }
+  // Heavy churn amplifies the late-detection window of the marker-less
+  // algorithm; the bound is loose on purpose.
+  EXPECT_LE(false_negatives, data.keys.size() / 10);
+}
+
+}  // namespace
+}  // namespace sbf

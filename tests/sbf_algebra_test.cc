@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/sbf_algebra.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+SbfOptions MakeOptions(uint64_t m, uint32_t k, uint64_t seed) {
+  SbfOptions options;
+  options.m = m;
+  options.k = k;
+  options.seed = seed;
+  options.backing = CounterBacking::kFixed64;
+  return options;
+}
+
+TEST(UnionTest, EquivalentToInsertingBothStreams) {
+  const auto options = MakeOptions(3000, 5, 3);
+  SpectralBloomFilter a(options), b(options), reference(options);
+  const Multiset left = MakeZipfMultiset(200, 4000, 0.7, 5);
+  const Multiset right = MakeZipfMultiset(300, 6000, 0.4, 7);
+  for (uint64_t key : left.stream) {
+    a.Insert(key);
+    reference.Insert(key);
+  }
+  for (uint64_t key : right.stream) {
+    b.Insert(key);
+    reference.Insert(key);
+  }
+  ASSERT_TRUE(UnionInto(&a, b).ok());
+  for (uint64_t i = 0; i < a.m(); ++i) {
+    ASSERT_EQ(a.counters().Get(i), reference.counters().Get(i)) << i;
+  }
+  EXPECT_EQ(a.total_items(), reference.total_items());
+}
+
+TEST(UnionTest, PartitionedRelationMergesExactly) {
+  // The distributed scenario: a relation partitioned over 4 sites, each
+  // builds an SBF; the union answers queries over the whole relation.
+  const auto options = MakeOptions(5000, 4, 11);
+  const Multiset data = MakeZipfMultiset(300, 8000, 1.0, 13);
+  SpectralBloomFilter merged(options);
+  std::vector<SpectralBloomFilter> sites(4, SpectralBloomFilter(options));
+  for (size_t i = 0; i < data.stream.size(); ++i) {
+    sites[i % 4].Insert(data.stream[i]);
+  }
+  for (const auto& site : sites) {
+    ASSERT_TRUE(UnionInto(&merged, site).ok());
+  }
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    ASSERT_GE(merged.Estimate(data.keys[i]), data.freqs[i]);
+  }
+}
+
+TEST(UnionTest, RejectsIncompatibleFilters) {
+  SpectralBloomFilter a(MakeOptions(1000, 5, 1));
+  SpectralBloomFilter b(MakeOptions(1000, 5, 2));  // different seed
+  EXPECT_FALSE(UnionInto(&a, b).ok());
+  SpectralBloomFilter c(MakeOptions(1001, 5, 1));  // different m
+  EXPECT_FALSE(UnionInto(&a, c).ok());
+  SpectralBloomFilter d(MakeOptions(1000, 4, 1));  // different k
+  EXPECT_FALSE(UnionInto(&a, d).ok());
+}
+
+TEST(MultiplyTest, UpperBoundsJoinProducts) {
+  const auto options = MakeOptions(4000, 5, 17);
+  SpectralBloomFilter a(options), b(options);
+  // Keys 1..100 in both sides with different multiplicities.
+  for (uint64_t key = 1; key <= 100; ++key) {
+    a.Insert(key, key % 7 + 1);
+    b.Insert(key, key % 5 + 1);
+  }
+  // Keys 200..250 only in a.
+  for (uint64_t key = 200; key <= 250; ++key) a.Insert(key, 3);
+
+  auto product = Multiply(a, b);
+  ASSERT_TRUE(product.ok());
+  for (uint64_t key = 1; key <= 100; ++key) {
+    const uint64_t expected = (key % 7 + 1) * (key % 5 + 1);
+    ASSERT_GE(product.value().Estimate(key), expected) << key;
+  }
+}
+
+TEST(MultiplyTest, DisjointSetsYieldZeroAlmostEverywhere) {
+  const auto options = MakeOptions(20000, 5, 19);
+  SpectralBloomFilter a(options), b(options);
+  for (uint64_t key = 0; key < 500; ++key) a.Insert(key);
+  for (uint64_t key = 10000; key < 10500; ++key) b.Insert(key);
+  auto product = Multiply(a, b);
+  ASSERT_TRUE(product.ok());
+  size_t nonzero = 0;
+  for (uint64_t key = 0; key < 500; ++key) {
+    nonzero += (product.value().Estimate(key) > 0);
+  }
+  EXPECT_LT(nonzero, 5u);
+}
+
+TEST(MultiplyTest, RejectsIncompatibleFilters) {
+  SpectralBloomFilter a(MakeOptions(1000, 5, 1));
+  SpectralBloomFilter b(MakeOptions(2000, 5, 1));
+  EXPECT_FALSE(Multiply(a, b).ok());
+}
+
+TEST(MultiplyTest, ExactOnLightLoad) {
+  const auto options = MakeOptions(100000, 5, 23);
+  SpectralBloomFilter a(options), b(options);
+  a.Insert(7, 6);
+  b.Insert(7, 9);
+  a.Insert(8, 2);  // not in b
+  auto product = Multiply(a, b);
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product.value().Estimate(7), 54u);
+  EXPECT_EQ(product.value().Estimate(8), 0u);
+}
+
+TEST(FilterByThresholdTest, OneSidedSelection) {
+  const auto options = MakeOptions(3000, 5, 29);
+  SpectralBloomFilter filter(options);
+  const Multiset data = MakeZipfMultiset(400, 10000, 1.0, 31);
+  for (uint64_t key : data.stream) filter.Insert(key);
+
+  const uint64_t threshold = 50;
+  const auto passing = FilterByThreshold(filter, data.keys, threshold);
+
+  // Every truly heavy key must appear.
+  std::set<uint64_t> passing_set(passing.begin(), passing.end());
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    if (data.freqs[i] >= threshold) {
+      ASSERT_TRUE(passing_set.contains(data.keys[i])) << data.keys[i];
+    }
+  }
+  // And the set should not be wildly larger than the true heavy set.
+  size_t truly_heavy = 0;
+  for (uint64_t f : data.freqs) truly_heavy += (f >= threshold);
+  EXPECT_LE(passing.size(), truly_heavy + data.keys.size() / 10);
+}
+
+}  // namespace
+}  // namespace sbf

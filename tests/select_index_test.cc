@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sai/select_index.h"
+#include "sai/string_array_index.h"
+#include "util/random.h"
+
+namespace sbf {
+namespace {
+
+TEST(SelectIndexTest, SingleString) {
+  SelectIndex index(std::vector<uint32_t>{9});
+  EXPECT_EQ(index.Offset(0), 0u);
+  EXPECT_EQ(index.Offset(1), 9u);
+}
+
+TEST(SelectIndexTest, UniformLengths) {
+  std::vector<uint32_t> lengths(500, 4);
+  SelectIndex index(lengths);
+  for (size_t i = 0; i <= 500; ++i) {
+    ASSERT_EQ(index.Offset(i), i * 4) << i;
+  }
+}
+
+TEST(SelectIndexTest, RejectsZeroLengths) {
+  EXPECT_DEATH(SelectIndex(std::vector<uint32_t>{3, 0, 5}), "positive");
+}
+
+class SelectIndexRandomTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SelectIndexRandomTest, MatchesPrefixSums) {
+  Xoshiro256 rng(GetParam() * 7 + 3);
+  std::vector<uint32_t> lengths(4000);
+  for (auto& len : lengths) {
+    len = 1 + static_cast<uint32_t>(rng.UniformInt(GetParam()));
+  }
+  SelectIndex index(lengths);
+  size_t expected = 0;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    ASSERT_EQ(index.Offset(i), expected) << i;
+    expected += lengths[i];
+  }
+  EXPECT_EQ(index.Offset(lengths.size()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxLengths, SelectIndexRandomTest,
+                         ::testing::Values(1, 4, 16, 64, 300));
+
+TEST(SelectIndexTest, AgreesWithStringArrayIndex) {
+  // The two static structures implement the same function — differential
+  // check over a skewed length distribution.
+  Xoshiro256 rng(99);
+  std::vector<uint32_t> lengths(10000);
+  for (auto& len : lengths) {
+    len = rng.UniformInt(100) < 90 ? 1 + rng.UniformInt(4)
+                                   : 10 + rng.UniformInt(54);
+  }
+  SelectIndex select(lengths);
+  StringArrayIndex sai(lengths);
+  for (size_t i = 0; i <= lengths.size(); i += 13) {
+    ASSERT_EQ(select.Offset(i), sai.Offset(i)) << i;
+  }
+}
+
+TEST(SelectIndexTest, IndexBitsCoverMarkerVector) {
+  std::vector<uint32_t> lengths(1000, 8);
+  SelectIndex index(lengths);
+  // The marker vector alone is N bits — the structural cost the
+  // string-array index avoids.
+  EXPECT_GE(index.IndexBits(), index.total_bits());
+}
+
+}  // namespace
+}  // namespace sbf

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/recurring_minimum.h"
+#include "core/sliding_window.h"
+#include "core/spectral_bloom_filter.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+std::unique_ptr<FrequencyFilter> MakeSbf(SbfPolicy policy, uint64_t m,
+                                         uint32_t k, uint64_t seed) {
+  SbfOptions options;
+  options.m = m;
+  options.k = k;
+  options.policy = policy;
+  options.seed = seed;
+  options.backing = CounterBacking::kFixed64;
+  return std::make_unique<SpectralBloomFilter>(options);
+}
+
+TEST(SlidingWindowTest, TracksOnlyWindowContents) {
+  SlidingWindowFilter window(
+      MakeSbf(SbfPolicy::kMinimumSelection, 100000, 5, 1), 10);
+  for (uint64_t key = 1; key <= 30; ++key) window.Push(key);
+  // Window holds keys 21..30.
+  for (uint64_t key = 21; key <= 30; ++key) {
+    EXPECT_EQ(window.Estimate(key), 1u) << key;
+  }
+  for (uint64_t key = 1; key <= 20; ++key) {
+    EXPECT_EQ(window.Estimate(key), 0u) << key;
+  }
+  EXPECT_EQ(window.current_fill(), 10u);
+}
+
+TEST(SlidingWindowTest, RepeatedKeysCountedWithinWindow) {
+  SlidingWindowFilter window(
+      MakeSbf(SbfPolicy::kMinimumSelection, 100000, 5, 2), 6);
+  for (int round = 0; round < 4; ++round) {
+    window.Push(7);
+    window.Push(8);
+    window.Push(9);
+  }
+  // Window = last 6 pushes = two full rounds of {7, 8, 9}.
+  EXPECT_EQ(window.Estimate(7), 2u);
+  EXPECT_EQ(window.Estimate(8), 2u);
+  EXPECT_EQ(window.Estimate(9), 2u);
+}
+
+TEST(SlidingWindowTest, MsWindowHasNoFalseNegativesOnStream) {
+  // The Figure 9 scenario at small scale: window = M/5.
+  const Multiset data = MakeZipfMultiset(150, 5000, 1.0, 5);
+  const size_t window_size = data.stream.size() / 5;
+  SlidingWindowFilter window(
+      MakeSbf(SbfPolicy::kMinimumSelection, 2000, 5, 3), window_size);
+
+  std::unordered_map<uint64_t, uint64_t> live;
+  std::deque<uint64_t> reference;
+  for (uint64_t key : data.stream) {
+    window.Push(key);
+    reference.push_back(key);
+    ++live[key];
+    while (reference.size() > window_size) {
+      --live[reference.front()];
+      reference.pop_front();
+    }
+  }
+  for (const auto& [key, count] : live) {
+    ASSERT_GE(window.Estimate(key), count) << key;
+  }
+}
+
+TEST(SlidingWindowTest, MiWindowProducesFalseNegatives) {
+  // The paper's point: Minimal Increase + deletions = false negatives.
+  const Multiset data = MakeZipfMultiset(150, 8000, 0.8, 7);
+  const size_t window_size = data.stream.size() / 5;
+  SlidingWindowFilter window(
+      MakeSbf(SbfPolicy::kMinimalIncrease, 800, 5, 5), window_size);
+
+  std::unordered_map<uint64_t, uint64_t> live;
+  std::deque<uint64_t> reference;
+  for (uint64_t key : data.stream) {
+    window.Push(key);
+    reference.push_back(key);
+    ++live[key];
+    while (reference.size() > window_size) {
+      --live[reference.front()];
+      reference.pop_front();
+    }
+  }
+  size_t false_negatives = 0;
+  for (const auto& [key, count] : live) {
+    if (window.Estimate(key) < count) ++false_negatives;
+  }
+  EXPECT_GT(false_negatives, 0u);
+}
+
+TEST(SlidingWindowTest, RmFilterWorksInWindow) {
+  RecurringMinimumOptions options;
+  options.primary_m = 2000;
+  options.secondary_m = 1000;
+  options.k = 5;
+  options.seed = 9;
+  options.backing = CounterBacking::kFixed64;
+  SlidingWindowFilter window(std::make_unique<RecurringMinimumSbf>(options),
+                             500);
+  const Multiset data = MakeZipfMultiset(100, 3000, 0.5, 11);
+  for (uint64_t key : data.stream) window.Push(key);
+  EXPECT_EQ(window.current_fill(), 500u);
+  EXPECT_EQ(window.Name(), "RM-window");
+}
+
+TEST(SlidingWindowTest, WindowOfOne) {
+  SlidingWindowFilter window(
+      MakeSbf(SbfPolicy::kMinimumSelection, 1000, 3, 13), 1);
+  window.Push(5);
+  window.Push(6);
+  EXPECT_EQ(window.Estimate(5), 0u);
+  EXPECT_EQ(window.Estimate(6), 1u);
+}
+
+}  // namespace
+}  // namespace sbf

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "bitstream/bit_vector.h"
+#include "bitstream/bit_writer.h"
+#include "sai/string_array_index.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace sbf {
+namespace {
+
+std::vector<size_t> PrefixOffsets(const std::vector<uint32_t>& lengths) {
+  std::vector<size_t> offsets(lengths.size() + 1, 0);
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    offsets[i + 1] = offsets[i] + lengths[i];
+  }
+  return offsets;
+}
+
+void ExpectAllOffsetsMatch(const StringArrayIndex& index,
+                           const std::vector<uint32_t>& lengths) {
+  const auto expected = PrefixOffsets(lengths);
+  for (size_t i = 0; i <= lengths.size(); ++i) {
+    ASSERT_EQ(index.Offset(i), expected[i]) << "string " << i;
+  }
+}
+
+TEST(StringArrayIndexTest, SingleString) {
+  std::vector<uint32_t> lengths{13};
+  StringArrayIndex index(lengths);
+  EXPECT_EQ(index.num_strings(), 1u);
+  EXPECT_EQ(index.total_bits(), 13u);
+  EXPECT_EQ(index.Offset(0), 0u);
+  EXPECT_EQ(index.Offset(1), 13u);
+}
+
+TEST(StringArrayIndexTest, UniformLengths) {
+  std::vector<uint32_t> lengths(1000, 7);
+  StringArrayIndex index(lengths);
+  ExpectAllOffsetsMatch(index, lengths);
+}
+
+TEST(StringArrayIndexTest, ZeroLengthStringsAllowed) {
+  std::vector<uint32_t> lengths{0, 5, 0, 0, 9, 0};
+  StringArrayIndex index(lengths);
+  ExpectAllOffsetsMatch(index, lengths);
+}
+
+class SaiRandomTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SaiRandomTest, RandomLengthsMatchPrefixSums) {
+  const uint32_t max_length = GetParam();
+  Xoshiro256 rng(max_length * 13 + 1);
+  std::vector<uint32_t> lengths(5000);
+  for (auto& len : lengths) {
+    len = static_cast<uint32_t>(rng.UniformInt(max_length + 1));
+  }
+  StringArrayIndex index(lengths);
+  ExpectAllOffsetsMatch(index, lengths);
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxLengths, SaiRandomTest,
+                         ::testing::Values(1, 3, 8, 20, 64, 200));
+
+TEST(StringArrayIndexTest, SkewedLengthsExerciseAllLevels) {
+  // Mostly tiny strings (lookup-table chunks), occasional huge ones
+  // (offset-vector chunks and complete-offset-vector groups).
+  Xoshiro256 rng(42);
+  std::vector<uint32_t> lengths(20000);
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    const uint64_t r = rng.UniformInt(1000);
+    if (r < 960) {
+      lengths[i] = 1 + static_cast<uint32_t>(rng.UniformInt(4));
+    } else if (r < 995) {
+      lengths[i] = 32 + static_cast<uint32_t>(rng.UniformInt(100));
+    } else {
+      lengths[i] = 2000 + static_cast<uint32_t>(rng.UniformInt(3000));
+    }
+  }
+  StringArrayIndex index(lengths);
+  ExpectAllOffsetsMatch(index, lengths);
+
+  const auto sizes = index.component_sizes();
+  EXPECT_GT(sizes.c1_bits, 0u);
+  EXPECT_GT(sizes.lookup_table_bits, 0u);
+  EXPECT_GT(index.num_lookup_configs(), 0u);
+}
+
+TEST(StringArrayIndexTest, ForcedCompleteOffsetVectors) {
+  // A tiny threshold pushes every group onto the complete-vector path.
+  StringArrayIndex::Options options;
+  options.l1_threshold_bits = 1;
+  Xoshiro256 rng(5);
+  std::vector<uint32_t> lengths(500);
+  for (auto& len : lengths) len = 1 + rng.UniformInt(30);
+  StringArrayIndex index(lengths, options);
+  ExpectAllOffsetsMatch(index, lengths);
+  EXPECT_GT(index.component_sizes().l2_offset_vector_bits, 0u);
+}
+
+TEST(StringArrayIndexTest, ForcedMiniOffsetVectors) {
+  // Lookup threshold 1 forces every chunk onto the mini-offset-vector path.
+  StringArrayIndex::Options options;
+  options.lookup_threshold_bits = 1;
+  Xoshiro256 rng(6);
+  std::vector<uint32_t> lengths(800);
+  for (auto& len : lengths) len = 1 + rng.UniformInt(10);
+  StringArrayIndex index(lengths, options);
+  ExpectAllOffsetsMatch(index, lengths);
+  EXPECT_GT(index.component_sizes().l3_offset_vector_bits, 0u);
+}
+
+TEST(StringArrayIndexTest, CustomGroupAndChunkSizes) {
+  StringArrayIndex::Options options;
+  options.l1_group_items = 7;
+  options.l2_chunk_items = 3;
+  Xoshiro256 rng(8);
+  std::vector<uint32_t> lengths(321);
+  for (auto& len : lengths) len = rng.UniformInt(16);
+  StringArrayIndex index(lengths, options);
+  EXPECT_EQ(index.l1_group_items(), 7u);
+  EXPECT_EQ(index.l2_chunk_items(), 3u);
+  ExpectAllOffsetsMatch(index, lengths);
+}
+
+TEST(StringArrayIndexTest, ReadRecoversStoredValues) {
+  // Encode values in BitWidth(v) bits and read them back via the index.
+  Xoshiro256 rng(11);
+  std::vector<uint64_t> values(3000);
+  std::vector<uint32_t> lengths(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = rng.Next() >> (rng.UniformInt(56) + 8);
+    lengths[i] = BitWidth(values[i]);
+  }
+  BitVector data;
+  BitWriter writer(&data);
+  for (size_t i = 0; i < values.size(); ++i) {
+    writer.WriteBits(values[i], lengths[i]);
+  }
+  writer.Finish();
+
+  StringArrayIndex index(lengths);
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(index.Read(data, i), values[i]) << i;
+  }
+}
+
+TEST(StringArrayIndexTest, IndexOverheadSublinearForLargeArrays) {
+  // o(N) + O(m): for strings averaging ~12 bits, the index should cost
+  // well below the payload.
+  Xoshiro256 rng(17);
+  std::vector<uint32_t> lengths(200000);
+  for (auto& len : lengths) len = 8 + rng.UniformInt(9);
+  StringArrayIndex index(lengths);
+  EXPECT_LT(index.IndexBits(), index.total_bits());
+}
+
+TEST(StringArrayIndexTest, LookupTableSharedAcrossChunks) {
+  // Identical length patterns must share one config row.
+  std::vector<uint32_t> lengths(4096, 3);  // all chunks identical
+  StringArrayIndex index(lengths);
+  // Full chunks, the partial tail chunk, and the all-empty padding chunks
+  // of the last group share three configuration rows in total.
+  EXPECT_LE(index.num_lookup_configs(), 3u);
+}
+
+TEST(StringArrayIndexTest, ComponentSizesSumToIndexBits) {
+  Xoshiro256 rng(23);
+  std::vector<uint32_t> lengths(10000);
+  for (auto& len : lengths) len = 1 + rng.UniformInt(12);
+  StringArrayIndex index(lengths);
+  const auto sizes = index.component_sizes();
+  EXPECT_EQ(sizes.TotalBits(), index.IndexBits());
+  EXPECT_EQ(sizes.c1_bits + sizes.l2_offset_vector_bits +
+                sizes.l3_offset_vector_bits + sizes.lookup_table_bits +
+                sizes.flags_and_rank_bits,
+            sizes.TotalBits());
+}
+
+}  // namespace
+}  // namespace sbf

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "db/top_k.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+SbfOptions MakeOptions(uint64_t m, uint32_t k, uint64_t seed) {
+  SbfOptions options;
+  options.m = m;
+  options.k = k;
+  options.seed = seed;
+  options.backing = CounterBacking::kFixed64;
+  return options;
+}
+
+TEST(TopKTest, TracksExactTopOnLightLoad) {
+  TopKTracker tracker(3, MakeOptions(50000, 5, 1));
+  for (uint64_t key = 1; key <= 20; ++key) {
+    tracker.Observe(key, key);  // key k appears k times
+  }
+  const auto top = tracker.Top();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 20u);
+  EXPECT_EQ(top[0].estimate, 20u);
+  EXPECT_EQ(top[1].key, 19u);
+  EXPECT_EQ(top[2].key, 18u);
+}
+
+TEST(TopKTest, HeavyStreamRecall) {
+  // Zipfian stream: the true top-10 keys are ranks 1..10; the tracker
+  // must recover at least 9 of them (an overestimated medium key can in
+  // principle displace the tail of the list).
+  const Multiset data = MakeZipfMultiset(2000, 100000, 1.0, 5);
+  TopKTracker tracker(10, MakeOptions(15000, 5, 3));
+  for (uint64_t key : data.stream) tracker.Observe(key);
+
+  std::set<uint64_t> true_top;
+  for (uint64_t rank = 1; rank <= 10; ++rank) true_top.insert(rank);
+  size_t hits = 0;
+  for (const auto& entry : tracker.Top()) hits += true_top.contains(entry.key);
+  EXPECT_GE(hits, 9u);
+}
+
+TEST(TopKTest, EstimatesUpperBoundTruth) {
+  const Multiset data = MakeZipfMultiset(500, 20000, 0.8, 7);
+  TopKTracker tracker(20, MakeOptions(4000, 5, 9));
+  for (uint64_t key : data.stream) tracker.Observe(key);
+  for (const auto& entry : tracker.Top()) {
+    // Every candidate's estimate is at least its true frequency.
+    const auto it =
+        std::find(data.keys.begin(), data.keys.end(), entry.key);
+    ASSERT_NE(it, data.keys.end());
+    EXPECT_GE(entry.estimate, data.freqs[it - data.keys.begin()]);
+  }
+}
+
+TEST(TopKTest, CapacityOneTracksTheMaximum) {
+  TopKTracker tracker(1, MakeOptions(10000, 5, 11));
+  tracker.Observe(7, 100);
+  tracker.Observe(8, 50);
+  tracker.Observe(9, 200);
+  const auto top = tracker.Top();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, 9u);
+}
+
+TEST(TopKTest, RepeatedObservationsUpdateInPlace) {
+  TopKTracker tracker(2, MakeOptions(10000, 5, 13));
+  for (int i = 0; i < 10; ++i) tracker.Observe(5);
+  const auto top = tracker.Top();
+  ASSERT_EQ(top.size(), 1u);  // one distinct key, not ten entries
+  EXPECT_EQ(top[0].estimate, 10u);
+}
+
+TEST(TopKTest, MemoryBoundedByCapacity) {
+  TopKTracker tracker(5, MakeOptions(1000, 5, 15));
+  for (uint64_t key = 0; key < 10000; ++key) tracker.Observe(key);
+  EXPECT_LE(tracker.Top().size(), 5u);
+  EXPECT_LE(tracker.MemoryUsageBits(),
+            SpectralBloomFilter(MakeOptions(1000, 5, 15)).MemoryUsageBits() +
+                5 * 128);
+}
+
+}  // namespace
+}  // namespace sbf

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/spectral_bloom_filter.h"
+#include "core/tuning.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+TEST(TuningTest, SizeForErrorHitsTarget) {
+  for (double target : {0.1, 0.02, 0.01, 0.001}) {
+    const SbfSizing sizing = SizeForError(10000, target);
+    // The model error of the recommendation is at or below the target
+    // (within rounding slack on k).
+    EXPECT_LE(sizing.expected_error, target * 1.4) << target;
+    EXPECT_GE(sizing.m, 10000u);
+    EXPECT_GE(sizing.k, 1u);
+  }
+}
+
+TEST(TuningTest, PaperExampleEightBitsPerKey) {
+  // The paper's c = 8 example: m = 8n gives slightly over 2% error.
+  const SbfSizing sizing = SizeForBudget(1000, 8000);
+  EXPECT_NEAR(sizing.expected_error, 0.0216, 0.005);
+  EXPECT_EQ(sizing.k, 6u);  // ln2 * 8 = 5.5 -> 5 or 6 (6 is optimal)
+}
+
+TEST(TuningTest, SizeForBudgetPicksBestK) {
+  const SbfSizing sizing = SizeForBudget(1000, 7143);  // gamma 0.7 at k=5
+  // Neighboring k values must not beat the chosen one.
+  for (uint32_t k = 1; k <= 12; ++k) {
+    const double gamma = 1000.0 * k / 7143.0;
+    EXPECT_LE(sizing.expected_error, BloomErrorRate(gamma, k) + 1e-12) << k;
+  }
+}
+
+TEST(TuningTest, RecommendedOptionsMeetTargetEmpirically) {
+  const SbfOptions options = RecommendOptions(1000, 0.02);
+  SpectralBloomFilter filter(options);
+  const Multiset data = MakeZipfMultiset(1000, 50000, 0.8, 7);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  size_t errors = 0;
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    errors += filter.Estimate(data.keys[i]) != data.freqs[i];
+  }
+  // Allow 2.5x the target for sampling noise on a single run.
+  EXPECT_LE(static_cast<double>(errors) / 1000.0, 0.05);
+}
+
+TEST(TuningTest, ExpectedErrorRateMatchesAnalysis) {
+  SbfOptions options;
+  options.m = 5000;
+  options.k = 5;
+  EXPECT_DOUBLE_EQ(ExpectedErrorRate(options, 1000),
+                   BloomErrorRate(1.0, 5));
+}
+
+TEST(TuningTest, MoreMemoryNeverHurts) {
+  const SbfSizing small = SizeForBudget(1000, 4000);
+  const SbfSizing large = SizeForBudget(1000, 16000);
+  EXPECT_LT(large.expected_error, small.expected_error);
+}
+
+}  // namespace
+}  // namespace sbf

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bits.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace sbf {
+namespace {
+
+// --- bits -----------------------------------------------------------------
+
+TEST(BitsTest, BitWidthOfZeroIsOne) { EXPECT_EQ(BitWidth(0), 1u); }
+
+TEST(BitsTest, BitWidthMatchesDefinition) {
+  EXPECT_EQ(BitWidth(1), 1u);
+  EXPECT_EQ(BitWidth(2), 2u);
+  EXPECT_EQ(BitWidth(3), 2u);
+  EXPECT_EQ(BitWidth(4), 3u);
+  EXPECT_EQ(BitWidth(255), 8u);
+  EXPECT_EQ(BitWidth(256), 9u);
+  EXPECT_EQ(BitWidth(~0ull), 64u);
+}
+
+TEST(BitsTest, BitWidthCoversValue) {
+  for (uint64_t v : {0ull, 1ull, 7ull, 1000ull, 123456789ull, ~0ull >> 1}) {
+    const uint32_t w = BitWidth(v);
+    EXPECT_LE(v, LowMask(w)) << v;
+    if (w > 1) {
+      EXPECT_GT(v, LowMask(w - 1)) << v;
+    }
+  }
+}
+
+TEST(BitsTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(4), 2u);
+  EXPECT_EQ(CeilLog2(5), 3u);
+  EXPECT_EQ(CeilLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+}
+
+TEST(BitsTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(4), 2u);
+  EXPECT_EQ(FloorLog2(1023), 9u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+}
+
+TEST(BitsTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0ull);
+  EXPECT_EQ(LowMask(1), 1ull);
+  EXPECT_EQ(LowMask(8), 255ull);
+  EXPECT_EQ(LowMask(64), ~0ull);
+}
+
+TEST(BitsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 7), 0ull);
+  EXPECT_EQ(CeilDiv(1, 7), 1ull);
+  EXPECT_EQ(CeilDiv(7, 7), 1ull);
+  EXPECT_EQ(CeilDiv(8, 7), 2ull);
+}
+
+// --- random ----------------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, UniformIntWithinBound) {
+  Xoshiro256 rng(7);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTest, UniformIntRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.UniformInt(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RandomTest, UniformDoubleRange) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Xoshiro256 rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RandomTest, ShuffleActuallyPermutes) {
+  Xoshiro256 rng(19);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  rng.Shuffle(v);
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) moved += (v[i] != i);
+  EXPECT_GT(moved, 50);
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(ErrorStatsTest, NoErrors) {
+  ErrorStats stats;
+  stats.Record(5, 5);
+  stats.Record(0, 0);
+  EXPECT_EQ(stats.num_queries(), 2u);
+  EXPECT_EQ(stats.num_errors(), 0u);
+  EXPECT_DOUBLE_EQ(stats.ErrorRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.AdditiveError(), 0.0);
+}
+
+TEST(ErrorStatsTest, AdditiveErrorIsRms) {
+  ErrorStats stats;
+  stats.Record(8, 5);   // +3
+  stats.Record(5, 9);   // -4
+  EXPECT_EQ(stats.num_errors(), 2u);
+  EXPECT_EQ(stats.num_false_negatives(), 1u);
+  EXPECT_DOUBLE_EQ(stats.AdditiveError(), std::sqrt((9.0 + 16.0) / 2.0));
+  EXPECT_DOUBLE_EQ(stats.FalseNegativeShare(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.MeanSignedError(), -0.5);
+}
+
+TEST(ErrorStatsTest, MergeCombines) {
+  ErrorStats a, b;
+  a.Record(2, 1);
+  b.Record(3, 3);
+  b.Record(0, 4);
+  a.Merge(b);
+  EXPECT_EQ(a.num_queries(), 3u);
+  EXPECT_EQ(a.num_errors(), 2u);
+  EXPECT_EQ(a.num_false_negatives(), 1u);
+}
+
+TEST(AggregateTest, TracksMinMeanMax) {
+  Aggregate agg;
+  agg.Add(1.0);
+  agg.Add(5.0);
+  agg.Add(3.0);
+  EXPECT_DOUBLE_EQ(agg.min(), 1.0);
+  EXPECT_DOUBLE_EQ(agg.max(), 5.0);
+  EXPECT_DOUBLE_EQ(agg.mean(), 3.0);
+  EXPECT_EQ(agg.count(), 3u);
+}
+
+// --- status ----------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsStatus) {
+  StatusOr<int> result(Status::OutOfRange("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kOutOfRange);
+}
+
+// --- table printer ----------------------------------------------------------
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t({"a", "long_header"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"333", "4"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| a   | long_header |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 | 4           |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FmtInt(12345), "12345");
+  EXPECT_EQ(TablePrinter::FmtSci(0.000123, 2), "1.23e-04");
+}
+
+}  // namespace
+}  // namespace sbf

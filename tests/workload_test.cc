@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/random.h"
+#include "workload/forest_cover.h"
+#include "workload/multiset_stream.h"
+#include "workload/zipf.h"
+
+namespace sbf {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  for (double skew : {0.0, 0.5, 1.0, 2.0}) {
+    ZipfDistribution zipf(500, skew);
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= 500; ++i) sum += zipf.Probability(i);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << skew;
+  }
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  ZipfDistribution zipf(100, 0.0);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_NEAR(zipf.Probability(i), 0.01, 1e-9);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesDecreaseWithRank) {
+  ZipfDistribution zipf(1000, 1.0);
+  for (uint64_t i = 2; i <= 1000; i *= 2) {
+    EXPECT_GT(zipf.Probability(i / 2 + (i == 2 ? 0 : 0)), zipf.Probability(i));
+  }
+}
+
+TEST(ZipfTest, SkewOneHalvesProbabilityPerDoubling) {
+  ZipfDistribution zipf(1024, 1.0);
+  EXPECT_NEAR(zipf.Probability(1) / zipf.Probability(2), 2.0, 1e-9);
+  EXPECT_NEAR(zipf.Probability(10) / zipf.Probability(20), 2.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplingMatchesPmf) {
+  ZipfDistribution zipf(50, 1.0);
+  Xoshiro256 rng(3);
+  std::vector<int> counts(51, 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(rng)];
+  for (uint64_t rank = 1; rank <= 50; rank += 7) {
+    const double expected = zipf.Probability(rank) * kSamples;
+    EXPECT_NEAR(counts[rank], expected, expected * 0.15 + 30) << rank;
+  }
+}
+
+TEST(ZipfTest, ExpectedFrequenciesSumExactly) {
+  for (double skew : {0.0, 0.5, 1.0, 1.8}) {
+    ZipfDistribution zipf(1000, skew);
+    const auto freqs = zipf.ExpectedFrequencies(100000);
+    ASSERT_EQ(freqs.size(), 1000u);
+    EXPECT_EQ(std::accumulate(freqs.begin(), freqs.end(), 0ull), 100000ull);
+    for (uint64_t f : freqs) EXPECT_GE(f, 1u);
+    // Frequencies are non-increasing by rank.
+    for (size_t i = 1; i < freqs.size(); ++i) {
+      ASSERT_LE(freqs[i], freqs[i - 1] + 1) << i;  // +1 tolerates rounding
+    }
+  }
+}
+
+TEST(MultisetTest, StreamMatchesFrequencies) {
+  const Multiset data = MakeZipfMultiset(200, 5000, 1.0, 7);
+  EXPECT_EQ(data.total(), 5000u);
+  EXPECT_EQ(data.num_distinct(), 200u);
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (uint64_t key : data.stream) ++counts[key];
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    ASSERT_EQ(counts[data.keys[i]], data.freqs[i]) << i;
+  }
+}
+
+TEST(MultisetTest, StreamIsShuffled) {
+  const Multiset data = MakeZipfMultiset(100, 3000, 0.0, 9);
+  // The most frequent key's occurrences must not be contiguous.
+  size_t longest_run = 1, run = 1;
+  for (size_t i = 1; i < data.stream.size(); ++i) {
+    run = (data.stream[i] == data.stream[i - 1]) ? run + 1 : 1;
+    longest_run = std::max(longest_run, run);
+  }
+  EXPECT_LT(longest_run, 10u);
+}
+
+TEST(MultisetTest, SeedsChangeOrderNotContent) {
+  const Multiset a = MakeZipfMultiset(50, 1000, 0.5, 1);
+  const Multiset b = MakeZipfMultiset(50, 1000, 0.5, 2);
+  EXPECT_EQ(a.freqs, b.freqs);
+  EXPECT_NE(a.stream, b.stream);
+}
+
+TEST(MultisetTest, UniformSplitsEvenly) {
+  const Multiset data = MakeUniformMultiset(100, 1005, 3);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(data.freqs[i], 11u);
+  for (size_t i = 5; i < 100; ++i) EXPECT_EQ(data.freqs[i], 10u);
+}
+
+TEST(MultisetTest, CustomKeys) {
+  const Multiset data =
+      MultisetFromFrequencies({100, 200, 300}, {5, 1, 2}, 11);
+  EXPECT_EQ(data.total(), 8u);
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (uint64_t key : data.stream) ++counts[key];
+  EXPECT_EQ(counts[100], 5u);
+  EXPECT_EQ(counts[200], 1u);
+  EXPECT_EQ(counts[300], 2u);
+}
+
+TEST(PalindromeTest, ShapeAndCounts) {
+  const auto stream = MakePalindromeStream(5);
+  const std::vector<uint64_t> expected{1, 2, 3, 4, 5, 5, 4, 3, 2, 1};
+  EXPECT_EQ(stream, expected);
+}
+
+TEST(ForestCoverTest, MatchesPaperScale) {
+  const Multiset data = MakeForestCoverElevation();
+  EXPECT_EQ(data.total(), 581012u);
+  EXPECT_EQ(data.num_distinct(), 1978u);
+}
+
+TEST(ForestCoverTest, UnimodalModerateSkewProfile) {
+  const Multiset data = MakeForestCoverElevation();
+  const uint64_t max_freq = *std::max_element(data.freqs.begin(),
+                                              data.freqs.end());
+  const uint64_t min_freq = *std::min_element(data.freqs.begin(),
+                                              data.freqs.end());
+  // Figure 7a: peak frequency in the 1500-2000 region, long low tails.
+  EXPECT_GT(max_freq, 1000u);
+  EXPECT_LT(max_freq, 2500u);
+  EXPECT_GE(min_freq, 1u);
+}
+
+TEST(ForestCoverTest, DeterministicForSameSeed) {
+  const Multiset a = MakeForestCoverElevation();
+  const Multiset b = MakeForestCoverElevation();
+  EXPECT_EQ(a.freqs, b.freqs);
+  EXPECT_EQ(a.stream, b.stream);
+}
+
+TEST(ForestCoverTest, CustomScale) {
+  ForestCoverOptions options;
+  options.num_records = 10000;
+  options.num_distinct = 100;
+  const Multiset data = MakeForestCoverElevation(options);
+  EXPECT_EQ(data.total(), 10000u);
+  EXPECT_EQ(data.num_distinct(), 100u);
+}
+
+}  // namespace
+}  // namespace sbf
