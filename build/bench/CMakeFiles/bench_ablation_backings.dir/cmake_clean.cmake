@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backings.dir/bench_ablation_backings.cc.o"
+  "CMakeFiles/bench_ablation_backings.dir/bench_ablation_backings.cc.o.d"
+  "bench_ablation_backings"
+  "bench_ablation_backings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_blocked.dir/bench_ablation_blocked.cc.o"
+  "CMakeFiles/bench_ablation_blocked.dir/bench_ablation_blocked.cc.o.d"
+  "bench_ablation_blocked"
+  "bench_ablation_blocked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

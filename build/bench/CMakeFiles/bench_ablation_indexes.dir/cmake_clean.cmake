@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_indexes.dir/bench_ablation_indexes.cc.o"
+  "CMakeFiles/bench_ablation_indexes.dir/bench_ablation_indexes.cc.o.d"
+  "bench_ablation_indexes"
+  "bench_ablation_indexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_bloomjoin.dir/bench_app_bloomjoin.cc.o"
+  "CMakeFiles/bench_app_bloomjoin.dir/bench_app_bloomjoin.cc.o.d"
+  "bench_app_bloomjoin"
+  "bench_app_bloomjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_bloomjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_iceberg.dir/bench_app_iceberg.cc.o"
+  "CMakeFiles/bench_app_iceberg.dir/bench_app_iceberg.cc.o.d"
+  "bench_app_iceberg"
+  "bench_app_iceberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_iceberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_range_tree.dir/bench_app_range_tree.cc.o"
+  "CMakeFiles/bench_app_range_tree.dir/bench_app_range_tree.cc.o.d"
+  "bench_app_range_tree"
+  "bench_app_range_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_range_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

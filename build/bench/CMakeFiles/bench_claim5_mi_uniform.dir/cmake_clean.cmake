@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim5_mi_uniform.dir/bench_claim5_mi_uniform.cc.o"
+  "CMakeFiles/bench_claim5_mi_uniform.dir/bench_claim5_mi_uniform.cc.o.d"
+  "bench_claim5_mi_uniform"
+  "bench_claim5_mi_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim5_mi_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_forest_cover.dir/bench_fig07_forest_cover.cc.o"
+  "CMakeFiles/bench_fig07_forest_cover.dir/bench_fig07_forest_cover.cc.o.d"
+  "bench_fig07_forest_cover"
+  "bench_fig07_forest_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_forest_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

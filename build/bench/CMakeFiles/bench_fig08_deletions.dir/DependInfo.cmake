@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig08_deletions.cc" "bench/CMakeFiles/bench_fig08_deletions.dir/bench_fig08_deletions.cc.o" "gcc" "bench/CMakeFiles/bench_fig08_deletions.dir/bench_fig08_deletions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sbf_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_sai.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

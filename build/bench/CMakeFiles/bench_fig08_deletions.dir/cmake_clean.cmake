@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_deletions.dir/bench_fig08_deletions.cc.o"
+  "CMakeFiles/bench_fig08_deletions.dir/bench_fig08_deletions.cc.o.d"
+  "bench_fig08_deletions"
+  "bench_fig08_deletions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_deletions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_sliding_window.dir/bench_fig09_sliding_window.cc.o"
+  "CMakeFiles/bench_fig09_sliding_window.dir/bench_fig09_sliding_window.cc.o.d"
+  "bench_fig09_sliding_window"
+  "bench_fig09_sliding_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_sliding_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

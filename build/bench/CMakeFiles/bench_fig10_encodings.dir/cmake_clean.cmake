@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_encodings.dir/bench_fig10_encodings.cc.o"
+  "CMakeFiles/bench_fig10_encodings.dir/bench_fig10_encodings.cc.o.d"
+  "bench_fig10_encodings"
+  "bench_fig10_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_sai_perf.dir/bench_fig11_sai_perf.cc.o"
+  "CMakeFiles/bench_fig11_sai_perf.dir/bench_fig11_sai_perf.cc.o.d"
+  "bench_fig11_sai_perf"
+  "bench_fig11_sai_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_sai_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

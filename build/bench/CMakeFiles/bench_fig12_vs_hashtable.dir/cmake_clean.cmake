@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_vs_hashtable.dir/bench_fig12_vs_hashtable.cc.o"
+  "CMakeFiles/bench_fig12_vs_hashtable.dir/bench_fig12_vs_hashtable.cc.o.d"
+  "bench_fig12_vs_hashtable"
+  "bench_fig12_vs_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_vs_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rm_error.dir/bench_table1_rm_error.cc.o"
+  "CMakeFiles/bench_table1_rm_error.dir/bench_table1_rm_error.cc.o.d"
+  "bench_table1_rm_error"
+  "bench_table1_rm_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rm_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_memory_tradeoff.dir/bench_table2_memory_tradeoff.cc.o"
+  "CMakeFiles/bench_table2_memory_tradeoff.dir/bench_table2_memory_tradeoff.cc.o.d"
+  "bench_table2_memory_tradeoff"
+  "bench_table2_memory_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_memory_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_join.dir/distributed_join.cpp.o"
+  "CMakeFiles/distributed_join.dir/distributed_join.cpp.o.d"
+  "distributed_join"
+  "distributed_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

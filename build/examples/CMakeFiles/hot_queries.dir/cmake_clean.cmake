@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_queries.dir/hot_queries.cpp.o"
+  "CMakeFiles/hot_queries.dir/hot_queries.cpp.o.d"
+  "hot_queries"
+  "hot_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_monitoring.dir/iceberg_monitoring.cpp.o"
+  "CMakeFiles/iceberg_monitoring.dir/iceberg_monitoring.cpp.o.d"
+  "iceberg_monitoring"
+  "iceberg_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

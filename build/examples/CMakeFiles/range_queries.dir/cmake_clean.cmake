@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_queries.dir/range_queries.cpp.o"
+  "CMakeFiles/range_queries.dir/range_queries.cpp.o.d"
+  "range_queries"
+  "range_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

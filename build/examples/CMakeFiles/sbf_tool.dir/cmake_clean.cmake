@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_tool.dir/sbf_tool.cpp.o"
+  "CMakeFiles/sbf_tool.dir/sbf_tool.cpp.o.d"
+  "sbf_tool"
+  "sbf_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

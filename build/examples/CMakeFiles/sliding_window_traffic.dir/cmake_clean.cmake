@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_window_traffic.dir/sliding_window_traffic.cpp.o"
+  "CMakeFiles/sliding_window_traffic.dir/sliding_window_traffic.cpp.o.d"
+  "sliding_window_traffic"
+  "sliding_window_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_window_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

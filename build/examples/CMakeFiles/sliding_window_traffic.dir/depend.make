@@ -1,0 +1,2 @@
+# Empty dependencies file for sliding_window_traffic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_cache.dir/summary_cache.cpp.o"
+  "CMakeFiles/summary_cache.dir/summary_cache.cpp.o.d"
+  "summary_cache"
+  "summary_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

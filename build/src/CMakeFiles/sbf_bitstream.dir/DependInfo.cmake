@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/bit_vector.cc" "src/CMakeFiles/sbf_bitstream.dir/bitstream/bit_vector.cc.o" "gcc" "src/CMakeFiles/sbf_bitstream.dir/bitstream/bit_vector.cc.o.d"
+  "/root/repo/src/bitstream/elias.cc" "src/CMakeFiles/sbf_bitstream.dir/bitstream/elias.cc.o" "gcc" "src/CMakeFiles/sbf_bitstream.dir/bitstream/elias.cc.o.d"
+  "/root/repo/src/bitstream/rank_select.cc" "src/CMakeFiles/sbf_bitstream.dir/bitstream/rank_select.cc.o" "gcc" "src/CMakeFiles/sbf_bitstream.dir/bitstream/rank_select.cc.o.d"
+  "/root/repo/src/bitstream/steps_code.cc" "src/CMakeFiles/sbf_bitstream.dir/bitstream/steps_code.cc.o" "gcc" "src/CMakeFiles/sbf_bitstream.dir/bitstream/steps_code.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_bitstream.dir/bitstream/bit_vector.cc.o"
+  "CMakeFiles/sbf_bitstream.dir/bitstream/bit_vector.cc.o.d"
+  "CMakeFiles/sbf_bitstream.dir/bitstream/elias.cc.o"
+  "CMakeFiles/sbf_bitstream.dir/bitstream/elias.cc.o.d"
+  "CMakeFiles/sbf_bitstream.dir/bitstream/rank_select.cc.o"
+  "CMakeFiles/sbf_bitstream.dir/bitstream/rank_select.cc.o.d"
+  "CMakeFiles/sbf_bitstream.dir/bitstream/steps_code.cc.o"
+  "CMakeFiles/sbf_bitstream.dir/bitstream/steps_code.cc.o.d"
+  "libsbf_bitstream.a"
+  "libsbf_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

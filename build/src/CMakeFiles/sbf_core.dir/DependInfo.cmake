@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/CMakeFiles/sbf_core.dir/core/analysis.cc.o" "gcc" "src/CMakeFiles/sbf_core.dir/core/analysis.cc.o.d"
+  "/root/repo/src/core/blocked_sbf.cc" "src/CMakeFiles/sbf_core.dir/core/blocked_sbf.cc.o" "gcc" "src/CMakeFiles/sbf_core.dir/core/blocked_sbf.cc.o.d"
+  "/root/repo/src/core/bloom_filter.cc" "src/CMakeFiles/sbf_core.dir/core/bloom_filter.cc.o" "gcc" "src/CMakeFiles/sbf_core.dir/core/bloom_filter.cc.o.d"
+  "/root/repo/src/core/counting_bloom_filter.cc" "src/CMakeFiles/sbf_core.dir/core/counting_bloom_filter.cc.o" "gcc" "src/CMakeFiles/sbf_core.dir/core/counting_bloom_filter.cc.o.d"
+  "/root/repo/src/core/estimators.cc" "src/CMakeFiles/sbf_core.dir/core/estimators.cc.o" "gcc" "src/CMakeFiles/sbf_core.dir/core/estimators.cc.o.d"
+  "/root/repo/src/core/recurring_minimum.cc" "src/CMakeFiles/sbf_core.dir/core/recurring_minimum.cc.o" "gcc" "src/CMakeFiles/sbf_core.dir/core/recurring_minimum.cc.o.d"
+  "/root/repo/src/core/sbf_algebra.cc" "src/CMakeFiles/sbf_core.dir/core/sbf_algebra.cc.o" "gcc" "src/CMakeFiles/sbf_core.dir/core/sbf_algebra.cc.o.d"
+  "/root/repo/src/core/sliding_window.cc" "src/CMakeFiles/sbf_core.dir/core/sliding_window.cc.o" "gcc" "src/CMakeFiles/sbf_core.dir/core/sliding_window.cc.o.d"
+  "/root/repo/src/core/spectral_bloom_filter.cc" "src/CMakeFiles/sbf_core.dir/core/spectral_bloom_filter.cc.o" "gcc" "src/CMakeFiles/sbf_core.dir/core/spectral_bloom_filter.cc.o.d"
+  "/root/repo/src/core/trapping_rm.cc" "src/CMakeFiles/sbf_core.dir/core/trapping_rm.cc.o" "gcc" "src/CMakeFiles/sbf_core.dir/core/trapping_rm.cc.o.d"
+  "/root/repo/src/core/tuning.cc" "src/CMakeFiles/sbf_core.dir/core/tuning.cc.o" "gcc" "src/CMakeFiles/sbf_core.dir/core/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sbf_sai.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

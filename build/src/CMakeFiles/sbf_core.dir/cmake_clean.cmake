@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_core.dir/core/analysis.cc.o"
+  "CMakeFiles/sbf_core.dir/core/analysis.cc.o.d"
+  "CMakeFiles/sbf_core.dir/core/blocked_sbf.cc.o"
+  "CMakeFiles/sbf_core.dir/core/blocked_sbf.cc.o.d"
+  "CMakeFiles/sbf_core.dir/core/bloom_filter.cc.o"
+  "CMakeFiles/sbf_core.dir/core/bloom_filter.cc.o.d"
+  "CMakeFiles/sbf_core.dir/core/counting_bloom_filter.cc.o"
+  "CMakeFiles/sbf_core.dir/core/counting_bloom_filter.cc.o.d"
+  "CMakeFiles/sbf_core.dir/core/estimators.cc.o"
+  "CMakeFiles/sbf_core.dir/core/estimators.cc.o.d"
+  "CMakeFiles/sbf_core.dir/core/recurring_minimum.cc.o"
+  "CMakeFiles/sbf_core.dir/core/recurring_minimum.cc.o.d"
+  "CMakeFiles/sbf_core.dir/core/sbf_algebra.cc.o"
+  "CMakeFiles/sbf_core.dir/core/sbf_algebra.cc.o.d"
+  "CMakeFiles/sbf_core.dir/core/sliding_window.cc.o"
+  "CMakeFiles/sbf_core.dir/core/sliding_window.cc.o.d"
+  "CMakeFiles/sbf_core.dir/core/spectral_bloom_filter.cc.o"
+  "CMakeFiles/sbf_core.dir/core/spectral_bloom_filter.cc.o.d"
+  "CMakeFiles/sbf_core.dir/core/trapping_rm.cc.o"
+  "CMakeFiles/sbf_core.dir/core/trapping_rm.cc.o.d"
+  "CMakeFiles/sbf_core.dir/core/tuning.cc.o"
+  "CMakeFiles/sbf_core.dir/core/tuning.cc.o.d"
+  "libsbf_core.a"
+  "libsbf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

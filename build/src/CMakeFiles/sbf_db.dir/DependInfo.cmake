@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/aggregate_index.cc" "src/CMakeFiles/sbf_db.dir/db/aggregate_index.cc.o" "gcc" "src/CMakeFiles/sbf_db.dir/db/aggregate_index.cc.o.d"
+  "/root/repo/src/db/bifocal.cc" "src/CMakeFiles/sbf_db.dir/db/bifocal.cc.o" "gcc" "src/CMakeFiles/sbf_db.dir/db/bifocal.cc.o.d"
+  "/root/repo/src/db/bloomjoin.cc" "src/CMakeFiles/sbf_db.dir/db/bloomjoin.cc.o" "gcc" "src/CMakeFiles/sbf_db.dir/db/bloomjoin.cc.o.d"
+  "/root/repo/src/db/chaining_hash_table.cc" "src/CMakeFiles/sbf_db.dir/db/chaining_hash_table.cc.o" "gcc" "src/CMakeFiles/sbf_db.dir/db/chaining_hash_table.cc.o.d"
+  "/root/repo/src/db/iceberg.cc" "src/CMakeFiles/sbf_db.dir/db/iceberg.cc.o" "gcc" "src/CMakeFiles/sbf_db.dir/db/iceberg.cc.o.d"
+  "/root/repo/src/db/range_tree.cc" "src/CMakeFiles/sbf_db.dir/db/range_tree.cc.o" "gcc" "src/CMakeFiles/sbf_db.dir/db/range_tree.cc.o.d"
+  "/root/repo/src/db/relation.cc" "src/CMakeFiles/sbf_db.dir/db/relation.cc.o" "gcc" "src/CMakeFiles/sbf_db.dir/db/relation.cc.o.d"
+  "/root/repo/src/db/top_k.cc" "src/CMakeFiles/sbf_db.dir/db/top_k.cc.o" "gcc" "src/CMakeFiles/sbf_db.dir/db/top_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sbf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_sai.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_db.dir/db/aggregate_index.cc.o"
+  "CMakeFiles/sbf_db.dir/db/aggregate_index.cc.o.d"
+  "CMakeFiles/sbf_db.dir/db/bifocal.cc.o"
+  "CMakeFiles/sbf_db.dir/db/bifocal.cc.o.d"
+  "CMakeFiles/sbf_db.dir/db/bloomjoin.cc.o"
+  "CMakeFiles/sbf_db.dir/db/bloomjoin.cc.o.d"
+  "CMakeFiles/sbf_db.dir/db/chaining_hash_table.cc.o"
+  "CMakeFiles/sbf_db.dir/db/chaining_hash_table.cc.o.d"
+  "CMakeFiles/sbf_db.dir/db/iceberg.cc.o"
+  "CMakeFiles/sbf_db.dir/db/iceberg.cc.o.d"
+  "CMakeFiles/sbf_db.dir/db/range_tree.cc.o"
+  "CMakeFiles/sbf_db.dir/db/range_tree.cc.o.d"
+  "CMakeFiles/sbf_db.dir/db/relation.cc.o"
+  "CMakeFiles/sbf_db.dir/db/relation.cc.o.d"
+  "CMakeFiles/sbf_db.dir/db/top_k.cc.o"
+  "CMakeFiles/sbf_db.dir/db/top_k.cc.o.d"
+  "libsbf_db.a"
+  "libsbf_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

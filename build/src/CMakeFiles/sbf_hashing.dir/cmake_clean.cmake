@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_hashing.dir/hashing/hash.cc.o"
+  "CMakeFiles/sbf_hashing.dir/hashing/hash.cc.o.d"
+  "CMakeFiles/sbf_hashing.dir/hashing/hash_family.cc.o"
+  "CMakeFiles/sbf_hashing.dir/hashing/hash_family.cc.o.d"
+  "libsbf_hashing.a"
+  "libsbf_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

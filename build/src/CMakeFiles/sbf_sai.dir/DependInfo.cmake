@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sai/compact_counter_vector.cc" "src/CMakeFiles/sbf_sai.dir/sai/compact_counter_vector.cc.o" "gcc" "src/CMakeFiles/sbf_sai.dir/sai/compact_counter_vector.cc.o.d"
+  "/root/repo/src/sai/counter_vector.cc" "src/CMakeFiles/sbf_sai.dir/sai/counter_vector.cc.o" "gcc" "src/CMakeFiles/sbf_sai.dir/sai/counter_vector.cc.o.d"
+  "/root/repo/src/sai/fixed_counter_vector.cc" "src/CMakeFiles/sbf_sai.dir/sai/fixed_counter_vector.cc.o" "gcc" "src/CMakeFiles/sbf_sai.dir/sai/fixed_counter_vector.cc.o.d"
+  "/root/repo/src/sai/select_index.cc" "src/CMakeFiles/sbf_sai.dir/sai/select_index.cc.o" "gcc" "src/CMakeFiles/sbf_sai.dir/sai/select_index.cc.o.d"
+  "/root/repo/src/sai/serial_scan_counter_vector.cc" "src/CMakeFiles/sbf_sai.dir/sai/serial_scan_counter_vector.cc.o" "gcc" "src/CMakeFiles/sbf_sai.dir/sai/serial_scan_counter_vector.cc.o.d"
+  "/root/repo/src/sai/string_array_index.cc" "src/CMakeFiles/sbf_sai.dir/sai/string_array_index.cc.o" "gcc" "src/CMakeFiles/sbf_sai.dir/sai/string_array_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sbf_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

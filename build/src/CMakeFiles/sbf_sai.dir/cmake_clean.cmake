@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_sai.dir/sai/compact_counter_vector.cc.o"
+  "CMakeFiles/sbf_sai.dir/sai/compact_counter_vector.cc.o.d"
+  "CMakeFiles/sbf_sai.dir/sai/counter_vector.cc.o"
+  "CMakeFiles/sbf_sai.dir/sai/counter_vector.cc.o.d"
+  "CMakeFiles/sbf_sai.dir/sai/fixed_counter_vector.cc.o"
+  "CMakeFiles/sbf_sai.dir/sai/fixed_counter_vector.cc.o.d"
+  "CMakeFiles/sbf_sai.dir/sai/select_index.cc.o"
+  "CMakeFiles/sbf_sai.dir/sai/select_index.cc.o.d"
+  "CMakeFiles/sbf_sai.dir/sai/serial_scan_counter_vector.cc.o"
+  "CMakeFiles/sbf_sai.dir/sai/serial_scan_counter_vector.cc.o.d"
+  "CMakeFiles/sbf_sai.dir/sai/string_array_index.cc.o"
+  "CMakeFiles/sbf_sai.dir/sai/string_array_index.cc.o.d"
+  "libsbf_sai.a"
+  "libsbf_sai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_sai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

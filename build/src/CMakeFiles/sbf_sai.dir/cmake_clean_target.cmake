@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsbf_sai.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sbf_sai.
+# This may be replaced when dependencies are built.

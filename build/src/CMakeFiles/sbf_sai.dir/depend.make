@@ -1,0 +1,2 @@
+# Empty dependencies file for sbf_sai.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/metrics.cc" "src/CMakeFiles/sbf_util.dir/util/metrics.cc.o" "gcc" "src/CMakeFiles/sbf_util.dir/util/metrics.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/sbf_util.dir/util/random.cc.o" "gcc" "src/CMakeFiles/sbf_util.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/sbf_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/sbf_util.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/sbf_util.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/sbf_util.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/sbf_util.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/sbf_util.dir/util/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_util.dir/util/metrics.cc.o"
+  "CMakeFiles/sbf_util.dir/util/metrics.cc.o.d"
+  "CMakeFiles/sbf_util.dir/util/random.cc.o"
+  "CMakeFiles/sbf_util.dir/util/random.cc.o.d"
+  "CMakeFiles/sbf_util.dir/util/status.cc.o"
+  "CMakeFiles/sbf_util.dir/util/status.cc.o.d"
+  "CMakeFiles/sbf_util.dir/util/table_printer.cc.o"
+  "CMakeFiles/sbf_util.dir/util/table_printer.cc.o.d"
+  "CMakeFiles/sbf_util.dir/util/timer.cc.o"
+  "CMakeFiles/sbf_util.dir/util/timer.cc.o.d"
+  "libsbf_util.a"
+  "libsbf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

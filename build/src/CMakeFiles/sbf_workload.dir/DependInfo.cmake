@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/forest_cover.cc" "src/CMakeFiles/sbf_workload.dir/workload/forest_cover.cc.o" "gcc" "src/CMakeFiles/sbf_workload.dir/workload/forest_cover.cc.o.d"
+  "/root/repo/src/workload/multiset_stream.cc" "src/CMakeFiles/sbf_workload.dir/workload/multiset_stream.cc.o" "gcc" "src/CMakeFiles/sbf_workload.dir/workload/multiset_stream.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/sbf_workload.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/sbf_workload.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sbf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_workload.dir/workload/forest_cover.cc.o"
+  "CMakeFiles/sbf_workload.dir/workload/forest_cover.cc.o.d"
+  "CMakeFiles/sbf_workload.dir/workload/multiset_stream.cc.o"
+  "CMakeFiles/sbf_workload.dir/workload/multiset_stream.cc.o.d"
+  "CMakeFiles/sbf_workload.dir/workload/zipf.cc.o"
+  "CMakeFiles/sbf_workload.dir/workload/zipf.cc.o.d"
+  "libsbf_workload.a"
+  "libsbf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

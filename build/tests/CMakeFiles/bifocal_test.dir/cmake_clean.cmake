@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifocal_test.dir/bifocal_test.cc.o"
+  "CMakeFiles/bifocal_test.dir/bifocal_test.cc.o.d"
+  "bifocal_test"
+  "bifocal_test.pdb"
+  "bifocal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifocal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_vector_test.dir/bit_vector_test.cc.o"
+  "CMakeFiles/bit_vector_test.dir/bit_vector_test.cc.o.d"
+  "bit_vector_test"
+  "bit_vector_test.pdb"
+  "bit_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

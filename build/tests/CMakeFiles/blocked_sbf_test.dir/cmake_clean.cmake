@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocked_sbf_test.dir/blocked_sbf_test.cc.o"
+  "CMakeFiles/blocked_sbf_test.dir/blocked_sbf_test.cc.o.d"
+  "blocked_sbf_test"
+  "blocked_sbf_test.pdb"
+  "blocked_sbf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocked_sbf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloomjoin_test.dir/bloomjoin_test.cc.o"
+  "CMakeFiles/bloomjoin_test.dir/bloomjoin_test.cc.o.d"
+  "bloomjoin_test"
+  "bloomjoin_test.pdb"
+  "bloomjoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloomjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_stress_test.dir/compact_stress_test.cc.o"
+  "CMakeFiles/compact_stress_test.dir/compact_stress_test.cc.o.d"
+  "compact_stress_test"
+  "compact_stress_test.pdb"
+  "compact_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_vector_test.dir/counter_vector_test.cc.o"
+  "CMakeFiles/counter_vector_test.dir/counter_vector_test.cc.o.d"
+  "counter_vector_test"
+  "counter_vector_test.pdb"
+  "counter_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimators_test.dir/estimators_test.cc.o"
+  "CMakeFiles/estimators_test.dir/estimators_test.cc.o.d"
+  "estimators_test"
+  "estimators_test.pdb"
+  "estimators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_test.dir/iceberg_test.cc.o"
+  "CMakeFiles/iceberg_test.dir/iceberg_test.cc.o.d"
+  "iceberg_test"
+  "iceberg_test.pdb"
+  "iceberg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

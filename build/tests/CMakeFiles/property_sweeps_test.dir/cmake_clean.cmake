@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_sweeps_test.dir/property_sweeps_test.cc.o"
+  "CMakeFiles/property_sweeps_test.dir/property_sweeps_test.cc.o.d"
+  "property_sweeps_test"
+  "property_sweeps_test.pdb"
+  "property_sweeps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_sweeps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

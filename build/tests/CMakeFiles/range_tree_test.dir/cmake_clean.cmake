@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_tree_test.dir/range_tree_test.cc.o"
+  "CMakeFiles/range_tree_test.dir/range_tree_test.cc.o.d"
+  "range_tree_test"
+  "range_tree_test.pdb"
+  "range_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

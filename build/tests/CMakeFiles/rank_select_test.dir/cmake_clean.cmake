@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_select_test.dir/rank_select_test.cc.o"
+  "CMakeFiles/rank_select_test.dir/rank_select_test.cc.o.d"
+  "rank_select_test"
+  "rank_select_test.pdb"
+  "rank_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

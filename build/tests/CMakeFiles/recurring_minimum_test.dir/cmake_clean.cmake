@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurring_minimum_test.dir/recurring_minimum_test.cc.o"
+  "CMakeFiles/recurring_minimum_test.dir/recurring_minimum_test.cc.o.d"
+  "recurring_minimum_test"
+  "recurring_minimum_test.pdb"
+  "recurring_minimum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurring_minimum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_algebra_test.dir/sbf_algebra_test.cc.o"
+  "CMakeFiles/sbf_algebra_test.dir/sbf_algebra_test.cc.o.d"
+  "sbf_algebra_test"
+  "sbf_algebra_test.pdb"
+  "sbf_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

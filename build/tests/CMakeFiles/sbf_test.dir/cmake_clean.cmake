@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_test.dir/sbf_test.cc.o"
+  "CMakeFiles/sbf_test.dir/sbf_test.cc.o.d"
+  "sbf_test"
+  "sbf_test.pdb"
+  "sbf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_index_test.dir/select_index_test.cc.o"
+  "CMakeFiles/select_index_test.dir/select_index_test.cc.o.d"
+  "select_index_test"
+  "select_index_test.pdb"
+  "select_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

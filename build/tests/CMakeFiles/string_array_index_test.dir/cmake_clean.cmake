@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_array_index_test.dir/string_array_index_test.cc.o"
+  "CMakeFiles/string_array_index_test.dir/string_array_index_test.cc.o.d"
+  "string_array_index_test"
+  "string_array_index_test.pdb"
+  "string_array_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_array_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

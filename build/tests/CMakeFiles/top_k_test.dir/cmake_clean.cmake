@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/top_k_test.dir/top_k_test.cc.o"
+  "CMakeFiles/top_k_test.dir/top_k_test.cc.o.d"
+  "top_k_test"
+  "top_k_test.pdb"
+  "top_k_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/top_k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trapping_rm_test.dir/trapping_rm_test.cc.o"
+  "CMakeFiles/trapping_rm_test.dir/trapping_rm_test.cc.o.d"
+  "trapping_rm_test"
+  "trapping_rm_test.pdb"
+  "trapping_rm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trapping_rm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
