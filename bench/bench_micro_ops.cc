@@ -4,7 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "bitstream/bit_vector.h"
+#include "core/concurrent_sbf.h"
 #include "core/recurring_minimum.h"
 #include "core/spectral_bloom_filter.h"
 #include "hashing/hash_family.h"
@@ -115,6 +118,77 @@ void BM_RecurringMinimumInsert(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RecurringMinimumInsert);
+
+// --- concurrent sharded frontend -----------------------------------------
+
+ConcurrentSbfOptions ConcurrentMicroOptions(CounterBacking backing) {
+  ConcurrentSbfOptions options;
+  options.m = 1 << 18;
+  options.k = 5;
+  options.backing = backing;
+  options.num_shards = 16;
+  options.seed = 19;
+  return options;
+}
+
+// One shared filter per backing; function-local statics give race-free
+// initialization under google-benchmark's multi-threaded runner.
+ConcurrentSbf& SharedConcurrentSbf(CounterBacking backing) {
+  static ConcurrentSbf fixed64(
+      ConcurrentMicroOptions(CounterBacking::kFixed64));
+  static ConcurrentSbf compact(
+      ConcurrentMicroOptions(CounterBacking::kCompact));
+  return backing == CounterBacking::kFixed64 ? fixed64 : compact;
+}
+
+void BM_ConcurrentSbfInsert(benchmark::State& state) {
+  const auto backing = static_cast<CounterBacking>(state.range(0));
+  ConcurrentSbf& filter = SharedConcurrentSbf(backing);
+  Xoshiro256 rng(23 + state.thread_index());
+  for (auto _ : state) {
+    filter.Insert(rng.UniformInt(1 << 16));
+  }
+  state.SetLabel(filter.Name());
+}
+BENCHMARK(BM_ConcurrentSbfInsert)
+    ->Arg(static_cast<int>(CounterBacking::kFixed64))
+    ->Arg(static_cast<int>(CounterBacking::kCompact))
+    ->Threads(1)
+    ->Threads(4);
+
+void BM_ConcurrentSbfEstimate(benchmark::State& state) {
+  const auto backing = static_cast<CounterBacking>(state.range(0));
+  ConcurrentSbf& filter = SharedConcurrentSbf(backing);
+  Xoshiro256 rng(29 + state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Estimate(rng.UniformInt(1 << 17)));
+  }
+  state.SetLabel(filter.Name());
+}
+BENCHMARK(BM_ConcurrentSbfEstimate)
+    ->Arg(static_cast<int>(CounterBacking::kFixed64))
+    ->Arg(static_cast<int>(CounterBacking::kCompact))
+    ->Threads(1)
+    ->Threads(4);
+
+void BM_ConcurrentSbfInsertBatch(benchmark::State& state) {
+  const auto backing = static_cast<CounterBacking>(state.range(0));
+  ConcurrentSbf& filter = SharedConcurrentSbf(backing);
+  Xoshiro256 rng(31 + state.thread_index());
+  std::vector<uint64_t> batch(4096);
+  for (auto _ : state) {
+    for (auto& key : batch) key = rng.UniformInt(1 << 16);
+    filter.InsertBatch(batch);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+  state.SetLabel(filter.Name());
+}
+BENCHMARK(BM_ConcurrentSbfInsertBatch)
+    ->Arg(static_cast<int>(CounterBacking::kFixed64))
+    ->Arg(static_cast<int>(CounterBacking::kCompact))
+    ->Threads(1)
+    ->Threads(4);
 
 }  // namespace
 }  // namespace sbf

@@ -1,0 +1,421 @@
+#include "core/concurrent_sbf.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/sbf_algebra.h"
+#include "hashing/hash.h"
+#include "sai/fixed_counter_vector.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace sbf {
+namespace {
+
+constexpr uint32_t kMaxK = 64;
+constexpr uint32_t kMaxShards = 4096;
+constexpr uint64_t kWireMagic = 0x43534246'53424631ull;  // "CSBFSBF1"
+constexpr uint64_t kSeedSalt = 0x5BF5AA17C0DEull;
+constexpr uint64_t kRouterSalt = 0x5BF707E2D811ull;
+
+// Relaxed atomic load from a logically-const counter word. atomic_ref of a
+// const type is C++26; the const_cast is sound because the referenced word
+// is always backed by a mutable BitVector.
+uint64_t AtomicLoad(const uint64_t& word) {
+  return std::atomic_ref<uint64_t>(const_cast<uint64_t&>(word))
+      .load(std::memory_order_relaxed);
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+bool SameShardOptions(const SbfOptions& a, const SbfOptions& b) {
+  return a.m == b.m && a.k == b.k && a.policy == b.policy &&
+         a.backing == b.backing && a.seed == b.seed &&
+         a.hash_kind == b.hash_kind;
+}
+
+bool SameOptions(const ConcurrentSbfOptions& a, const ConcurrentSbfOptions& b) {
+  return a.m == b.m && a.k == b.k && a.policy == b.policy &&
+         a.backing == b.backing && a.seed == b.seed &&
+         a.hash_kind == b.hash_kind && a.num_shards == b.num_shards;
+}
+
+// Groups `keys` by destination shard: fills `order` with key indices such
+// that [starts[s], starts[s+1]) are (stably) the indices routed to shard s.
+void GroupByShard(const ConcurrentSbf& filter,
+                  const std::vector<uint64_t>& keys,
+                  std::vector<uint32_t>* order, std::vector<size_t>* starts) {
+  const uint32_t num_shards = filter.num_shards();
+  std::vector<uint32_t> shard_of(keys.size());
+  starts->assign(num_shards + 1, 0);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    shard_of[i] = filter.ShardOf(keys[i]);
+    ++(*starts)[shard_of[i] + 1];
+  }
+  for (uint32_t s = 0; s < num_shards; ++s) (*starts)[s + 1] += (*starts)[s];
+  order->resize(keys.size());
+  std::vector<size_t> cursor(starts->begin(), starts->end() - 1);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (*order)[cursor[shard_of[i]]++] = static_cast<uint32_t>(i);
+  }
+}
+
+}  // namespace
+
+SbfOptions ShardOptions(const ConcurrentSbfOptions& options, uint32_t index) {
+  SbfOptions shard;
+  shard.m = CeilDiv(options.m, options.num_shards);
+  shard.k = options.k;
+  shard.policy = options.policy;
+  shard.backing = options.backing;
+  shard.hash_kind = options.hash_kind;
+  // Decorrelated per-shard hash functions: shards are independent filters.
+  shard.seed = Mix64(options.seed ^ (kSeedSalt + index));
+  return shard;
+}
+
+ConcurrentSbf::ConcurrentSbf(ConcurrentSbfOptions options)
+    : options_(options),
+      shard_m_(CeilDiv(options.m, std::max<uint32_t>(options.num_shards, 1))),
+      router_salt_(Mix64(options.seed ^ kRouterSalt)),
+      lock_free_(options.backing == CounterBacking::kFixed64 &&
+                 options.policy == SbfPolicy::kMinimumSelection),
+      metrics_(options.num_shards) {
+  SBF_CHECK_MSG(options_.m >= 1, "ConcurrentSbf needs m >= 1");
+  SBF_CHECK_MSG(
+      options_.num_shards >= 1 && options_.num_shards <= kMaxShards,
+      "ConcurrentSbf needs 1 <= num_shards <= 4096");
+  shards_.reserve(options_.num_shards);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(ShardOptions(options_, s)));
+  }
+}
+
+uint32_t ConcurrentSbf::ShardOf(uint64_t key) const {
+  // Mixing before the modulo keeps the router independent of the per-shard
+  // hash families (which consume the raw key).
+  return static_cast<uint32_t>(Mix64(key ^ router_salt_) %
+                               options_.num_shards);
+}
+
+uint64_t* ConcurrentSbf::ShardWords(Shard& s) {
+  // Only valid for the kFixed64 backing, where counter i is word i.
+  auto& fixed =
+      static_cast<FixedWidthCounterVector&>(s.filter.mutable_counters());
+  return fixed.mutable_words();
+}
+
+const uint64_t* ConcurrentSbf::ShardWords(const Shard& s) {
+  return static_cast<const FixedWidthCounterVector&>(s.filter.counters())
+      .words();
+}
+
+void ConcurrentSbf::InsertLockFree(Shard& s, uint64_t key, uint64_t count) {
+  uint64_t positions[kMaxK];
+  s.filter.hash().Positions(key, positions);
+  uint64_t* words = ShardWords(s);
+  const uint32_t k = options_.k;
+  for (uint32_t i = 0; i < k; ++i) {
+    std::atomic_ref<uint64_t>(words[positions[i]])
+        .fetch_add(count, std::memory_order_relaxed);
+  }
+  s.net_items.fetch_add(count, std::memory_order_relaxed);
+}
+
+void ConcurrentSbf::RemoveLockFree(Shard& s, uint64_t key, uint64_t count) {
+  uint64_t positions[kMaxK];
+  s.filter.hash().Positions(key, positions);
+  uint64_t* words = ShardWords(s);
+  const uint32_t k = options_.k;
+  for (uint32_t i = 0; i < k; ++i) {
+    std::atomic_ref<uint64_t>(words[positions[i]])
+        .fetch_sub(count, std::memory_order_relaxed);
+  }
+  s.net_items.fetch_sub(count, std::memory_order_relaxed);
+}
+
+uint64_t ConcurrentSbf::EstimateLockFree(const Shard& s, uint64_t key) const {
+  uint64_t positions[kMaxK];
+  s.filter.hash().Positions(key, positions);
+  const uint64_t* words = ShardWords(s);
+  uint64_t min_value = ~0ull;
+  for (uint32_t i = 0; i < options_.k; ++i) {
+    min_value = std::min(min_value, AtomicLoad(words[positions[i]]));
+    if (min_value == 0) break;
+  }
+  return min_value;
+}
+
+void ConcurrentSbf::Insert(uint64_t key, uint64_t count) {
+  const uint32_t s = ShardOf(key);
+  Shard& shard = *shards_[s];
+  if (lock_free_) {
+    InsertLockFree(shard, key, count);
+  } else {
+    std::unique_lock lock(shard.mu);
+    shard.filter.Insert(key, count);
+  }
+  metrics_.RecordInsert(s, 1);
+}
+
+void ConcurrentSbf::Remove(uint64_t key, uint64_t count) {
+  const uint32_t s = ShardOf(key);
+  Shard& shard = *shards_[s];
+  if (lock_free_) {
+    RemoveLockFree(shard, key, count);
+  } else {
+    std::unique_lock lock(shard.mu);
+    shard.filter.Remove(key, count);
+  }
+  metrics_.RecordRemove(s, 1);
+}
+
+uint64_t ConcurrentSbf::Estimate(uint64_t key) const {
+  const uint32_t s = ShardOf(key);
+  const Shard& shard = *shards_[s];
+  metrics_.RecordEstimate(s, 1);
+  if (lock_free_) return EstimateLockFree(shard, key);
+  std::shared_lock lock(shard.mu);
+  return shard.filter.Estimate(key);
+}
+
+void ConcurrentSbf::InsertBatch(const std::vector<uint64_t>& keys) {
+  if (keys.empty()) return;
+  std::vector<uint32_t> order;
+  std::vector<size_t> starts;
+  GroupByShard(*this, keys, &order, &starts);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    const size_t begin = starts[s], end = starts[s + 1];
+    if (begin == end) continue;
+    Shard& shard = *shards_[s];
+    if (lock_free_) {
+      for (size_t i = begin; i < end; ++i) {
+        InsertLockFree(shard, keys[order[i]], 1);
+      }
+    } else {
+      std::unique_lock lock(shard.mu);
+      for (size_t i = begin; i < end; ++i) {
+        shard.filter.Insert(keys[order[i]], 1);
+      }
+    }
+    metrics_.RecordInsert(s, end - begin);
+    metrics_.RecordBatch(s);
+  }
+}
+
+std::vector<uint64_t> ConcurrentSbf::EstimateBatch(
+    const std::vector<uint64_t>& keys) const {
+  std::vector<uint64_t> out(keys.size());
+  if (keys.empty()) return out;
+  std::vector<uint32_t> order;
+  std::vector<size_t> starts;
+  GroupByShard(*this, keys, &order, &starts);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    const size_t begin = starts[s], end = starts[s + 1];
+    if (begin == end) continue;
+    const Shard& shard = *shards_[s];
+    metrics_.RecordEstimate(s, end - begin);
+    metrics_.RecordBatch(s);
+    if (lock_free_) {
+      for (size_t i = begin; i < end; ++i) {
+        out[order[i]] = EstimateLockFree(shard, keys[order[i]]);
+      }
+    } else {
+      std::shared_lock lock(shard.mu);
+      for (size_t i = begin; i < end; ++i) {
+        out[order[i]] = shard.filter.Estimate(keys[order[i]]);
+      }
+    }
+  }
+  return out;
+}
+
+Status ConcurrentSbf::Merge(const ConcurrentSbf& other) {
+  if (this == &other) {
+    return Status::FailedPrecondition("ConcurrentSbf self-merge not supported");
+  }
+  if (!SameOptions(options_, other.options_)) {
+    return Status::FailedPrecondition(
+        "ConcurrentSbf merge requires identical options (shards, m, k, seed, "
+        "policy, backing)");
+  }
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    Shard& dst = *shards_[s];
+    const Shard& src = *other.shards_[s];
+    // std::scoped_lock's deadlock-avoidance handles concurrent A.Merge(B)
+    // and B.Merge(A).
+    std::scoped_lock locks(dst.mu, src.mu);
+    if (lock_free_) {
+      // Atomic pointwise add so the merge is race-free against concurrent
+      // lock-free inserters on either operand.
+      uint64_t* dst_words = ShardWords(dst);
+      const uint64_t* src_words = ShardWords(src);
+      for (uint64_t i = 0; i < shard_m_; ++i) {
+        const uint64_t add = AtomicLoad(src_words[i]);
+        if (add > 0) {
+          std::atomic_ref<uint64_t>(dst_words[i])
+              .fetch_add(add, std::memory_order_relaxed);
+        }
+      }
+      dst.net_items.fetch_add(
+          src.net_items.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    } else {
+      const Status status = UnionInto(&dst.filter, src.filter);
+      if (!status.ok()) return status;
+    }
+  }
+  return Status::Ok();
+}
+
+SpectralBloomFilter ConcurrentSbf::SnapshotShard(size_t i) const {
+  const Shard& shard = *shards_[i];
+  if (lock_free_) {
+    SpectralBloomFilter snap = shard.filter.CloneEmpty();
+    const uint64_t* words = ShardWords(shard);
+    for (uint64_t j = 0; j < shard_m_; ++j) {
+      const uint64_t v = AtomicLoad(words[j]);
+      if (v > 0) snap.mutable_counters().Set(j, v);
+    }
+    snap.set_total_items(shard.net_items.load(std::memory_order_relaxed));
+    return snap;
+  }
+  std::shared_lock lock(shard.mu);
+  return shard.filter;
+}
+
+uint64_t ConcurrentSbf::TotalItems() const {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    const Shard& shard = *shards_[s];
+    if (lock_free_) {
+      total += shard.net_items.load(std::memory_order_relaxed);
+    } else {
+      std::shared_lock lock(shard.mu);
+      total += shard.filter.total_items();
+    }
+  }
+  return total;
+}
+
+size_t ConcurrentSbf::MemoryUsageBits() const {
+  size_t total = 0;
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    const Shard& shard = *shards_[s];
+    if (lock_free_) {
+      total += shard.filter.MemoryUsageBits();
+    } else {
+      std::shared_lock lock(shard.mu);
+      total += shard.filter.MemoryUsageBits();
+    }
+  }
+  return total;
+}
+
+std::string ConcurrentSbf::Name() const {
+  std::string name = "CSBF-";
+  name += options_.policy == SbfPolicy::kMinimumSelection ? "MS" : "MI";
+  name += "/";
+  name += CounterBackingName(options_.backing);
+  name += "[S=" + std::to_string(options_.num_shards) + "]";
+  return name;
+}
+
+std::vector<uint8_t> ConcurrentSbf::Serialize() const {
+  std::vector<uint8_t> out;
+  AppendU64(&out, kWireMagic);
+  AppendU64(&out, options_.num_shards);
+  AppendU64(&out, options_.m);
+  AppendU64(&out, options_.seed);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    const std::vector<uint8_t> shard_bytes = SnapshotShard(s).Serialize();
+    AppendU64(&out, shard_bytes.size());
+    out.insert(out.end(), shard_bytes.begin(), shard_bytes.end());
+  }
+  return out;
+}
+
+StatusOr<ConcurrentSbf> ConcurrentSbf::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  constexpr size_t kHeader = 4 * 8;
+  if (bytes.size() < kHeader) {
+    return Status::DataLoss("sharded SBF message truncated");
+  }
+  const uint8_t* p = bytes.data();
+  if (ReadU64(p) != kWireMagic) {
+    return Status::DataLoss("bad sharded SBF magic");
+  }
+  const uint64_t num_shards = ReadU64(p + 8);
+  const uint64_t total_m = ReadU64(p + 16);
+  const uint64_t seed = ReadU64(p + 24);
+  if (num_shards < 1 || num_shards > kMaxShards) {
+    return Status::DataLoss("bad sharded SBF shard count");
+  }
+  if (total_m < 1) return Status::DataLoss("bad sharded SBF m");
+
+  // Peel the length-prefixed shard blobs.
+  std::vector<SpectralBloomFilter> shard_filters;
+  shard_filters.reserve(num_shards);
+  size_t offset = kHeader;
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    if (bytes.size() - offset < 8) {
+      return Status::DataLoss("sharded SBF truncated at shard " +
+                              std::to_string(s));
+    }
+    const uint64_t len = ReadU64(p + offset);
+    offset += 8;
+    if (len > bytes.size() - offset) {
+      return Status::DataLoss("sharded SBF shard length out of bounds");
+    }
+    std::vector<uint8_t> blob(bytes.begin() + offset,
+                              bytes.begin() + offset + len);
+    offset += len;
+    auto shard = SpectralBloomFilter::Deserialize(blob);
+    if (!shard.ok()) return shard.status();
+    shard_filters.push_back(std::move(shard).value());
+  }
+  if (offset != bytes.size()) {
+    return Status::DataLoss("sharded SBF has trailing garbage");
+  }
+
+  // Reconstruct the frontend options from the header + shard 0, then check
+  // every shard against the options it must have been built with. This
+  // catches blob reordering, shard-count tampering and mixed-backing blobs.
+  ConcurrentSbfOptions options;
+  options.num_shards = static_cast<uint32_t>(num_shards);
+  options.m = total_m;
+  options.seed = seed;
+  options.k = shard_filters[0].k();
+  options.policy = shard_filters[0].options().policy;
+  options.backing = shard_filters[0].options().backing;
+  options.hash_kind = shard_filters[0].options().hash_kind;
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    if (!SameShardOptions(shard_filters[s].options(),
+                          ShardOptions(options, static_cast<uint32_t>(s)))) {
+      return Status::DataLoss("sharded SBF shard " + std::to_string(s) +
+                              " inconsistent with header");
+    }
+  }
+
+  ConcurrentSbf filter(options);
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    Shard& shard = *filter.shards_[s];
+    shard.filter = std::move(shard_filters[s]);
+    if (filter.lock_free_) {
+      shard.net_items.store(shard.filter.total_items(),
+                            std::memory_order_relaxed);
+      shard.filter.set_total_items(0);
+    }
+  }
+  return filter;
+}
+
+}  // namespace sbf

@@ -1,0 +1,162 @@
+#ifndef SBF_CORE_CONCURRENT_SBF_H_
+#define SBF_CORE_CONCURRENT_SBF_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/frequency_filter.h"
+#include "core/spectral_bloom_filter.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace sbf {
+
+// Configuration of a ConcurrentSbf. Mirrors SbfOptions plus the shard
+// count; `m` is the TOTAL counter budget, split evenly across shards
+// (each shard gets ceil(m / num_shards) counters).
+struct ConcurrentSbfOptions {
+  uint64_t m = 0;           // total counters across all shards (required)
+  uint32_t k = 5;           // hash functions per shard
+  SbfPolicy policy = SbfPolicy::kMinimumSelection;
+  CounterBacking backing = CounterBacking::kCompact;
+  uint64_t seed = 0;        // base seed; per-shard seeds are derived
+  HashFamily::Kind hash_kind = HashFamily::Kind::kModuloMultiply;
+  uint32_t num_shards = 8;  // S independent shards (required >= 1)
+};
+
+// Thread-safe sharded frontend over the Spectral Bloom Filter: keys are
+// hash-partitioned across S independent shards, each a SpectralBloomFilter
+// with its own CounterVector and hash family. Because the partition is by
+// key, every key's k counters live in exactly one shard, so each shard is
+// a complete SBF over its key subset and the paper's one-sided guarantee
+// (Estimate(x) >= f_x, Claims 1/4) holds shard-locally and therefore
+// globally.
+//
+// Synchronization model (see DESIGN.md "Concurrency model"):
+//
+//  * kFixed64 backing + Minimum Selection: LOCK-FREE. 64-bit counters are
+//    word-aligned, so Insert/Remove are relaxed std::atomic_ref
+//    fetch_add/fetch_sub and Estimate is a relaxed load. Counters are
+//    monotone non-decreasing under insert-only load, so a concurrent
+//    Estimate is always >= the frequency of all *completed* inserts; exact
+//    totals require quiescence (e.g. joining writers first).
+//  * Every other backing/policy combination: striped per-shard
+//    std::shared_mutex (writers exclusive, readers shared). The compact
+//    backing's push-to-slack expansion moves neighbouring counters, so
+//    locking finer than a shard is unsound; throughput scales by raising
+//    num_shards, which is exactly the striping knob.
+//
+// Memory ordering: all atomics are std::memory_order_relaxed. The filter
+// promises per-counter atomicity and monotonicity, not cross-counter
+// snapshot consistency — the same semantics the one-sided error analysis
+// needs. Callers wanting exact equality with a serial reference (tests,
+// Serialize) must quiesce writers first; thread join provides the needed
+// happens-before edge.
+class ConcurrentSbf final : public FrequencyFilter {
+ public:
+  explicit ConcurrentSbf(ConcurrentSbfOptions options);
+
+  ConcurrentSbf(ConcurrentSbf&&) = default;
+  ConcurrentSbf& operator=(ConcurrentSbf&&) = default;
+
+  // --- FrequencyFilter (thread-safe) -------------------------------------
+
+  void Insert(uint64_t key, uint64_t count = 1) override;
+  // Same contract as SpectralBloomFilter::Remove: only remove occurrences
+  // previously inserted. Under Minimal Increase deletions may create false
+  // negatives (the paper's Section 3.2 caveat).
+  void Remove(uint64_t key, uint64_t count = 1) override;
+  uint64_t Estimate(uint64_t key) const override;
+  size_t MemoryUsageBits() const override;
+  std::string Name() const override;
+
+  // --- batch API ----------------------------------------------------------
+
+  // Inserts every key once. Keys are grouped by destination shard first so
+  // each shard's lock is taken once per batch and its counters are walked
+  // with good locality (split-block-filter style).
+  void InsertBatch(const std::vector<uint64_t>& keys);
+  // Estimates for all keys, in input order.
+  std::vector<uint64_t> EstimateBatch(const std::vector<uint64_t>& keys) const;
+
+  // --- algebra ------------------------------------------------------------
+
+  // Pointwise counter addition of `other` into this filter (multiset
+  // union), shard by shard via the sbf_algebra UnionInto. Requires
+  // identical options (shards, m, k, seeds, policy, backing). Safe against
+  // concurrent operations on both operands; self-merge is rejected.
+  Status Merge(const ConcurrentSbf& other);
+
+  // --- serialization ------------------------------------------------------
+
+  // Wire format: header + length-prefixed concatenation of the per-shard
+  // SpectralBloomFilter wire formats, so distributed consumers (Bloomjoin,
+  // iceberg sites) can exchange sharded filters or peel individual shards.
+  // Takes a per-shard snapshot; concurrent writers make the snapshot a
+  // valid interleaving, not a point-in-time image.
+  std::vector<uint8_t> Serialize() const;
+  static StatusOr<ConcurrentSbf> Deserialize(const std::vector<uint8_t>& bytes);
+
+  // --- introspection -------------------------------------------------------
+
+  const ConcurrentSbfOptions& options() const { return options_; }
+  uint32_t num_shards() const { return options_.num_shards; }
+  uint64_t shard_m() const { return shard_m_; }
+  // True when Insert/Remove/Estimate run without taking any lock.
+  bool IsLockFree() const { return lock_free_; }
+
+  // Shard index for a key (the routing function; exposed for tests).
+  uint32_t ShardOf(uint64_t key) const;
+
+  // Net inserted occurrences across all shards. Exact only when quiescent.
+  uint64_t TotalItems() const;
+
+  // Read-only view of one shard's filter. Caller must guarantee quiescence
+  // (no concurrent writers) while holding the reference.
+  const SpectralBloomFilter& shard(size_t i) const { return shards_[i]->filter; }
+
+  // A consistent copy of shard i (locks the shard; lock-free counters are
+  // read atomically). Safe under concurrent writers.
+  SpectralBloomFilter SnapshotShard(size_t i) const;
+
+  // Per-shard operation counters (inserts/removes/estimates/batches).
+  const ShardMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Shard {
+    explicit Shard(const SbfOptions& o) : filter(o) {}
+    SpectralBloomFilter filter;
+    mutable std::shared_mutex mu;
+    // Net item count for the lock-free path, where filter.total_items()
+    // is bypassed and stays zero.
+    std::atomic<uint64_t> net_items{0};
+  };
+
+  // Raw 64-bit counter words of a shard's kFixed64 backing (counter i is
+  // exactly word i), the substrate of the atomic fast path.
+  static uint64_t* ShardWords(Shard& s);
+  static const uint64_t* ShardWords(const Shard& s);
+
+  void InsertLockFree(Shard& s, uint64_t key, uint64_t count);
+  void RemoveLockFree(Shard& s, uint64_t key, uint64_t count);
+  uint64_t EstimateLockFree(const Shard& s, uint64_t key) const;
+
+  ConcurrentSbfOptions options_;
+  uint64_t shard_m_ = 0;      // counters per shard
+  uint64_t router_salt_ = 0;  // shard-routing hash salt (derived from seed)
+  bool lock_free_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable ShardMetrics metrics_;
+};
+
+// Per-shard SbfOptions for shard `index` of a sharded filter with the
+// given options (exposed for tests and for Deserialize validation).
+SbfOptions ShardOptions(const ConcurrentSbfOptions& options, uint32_t index);
+
+}  // namespace sbf
+
+#endif  // SBF_CORE_CONCURRENT_SBF_H_

@@ -44,16 +44,32 @@ bool BoundedDeltaDecode(BitReader* reader, uint64_t* out) {
   return true;
 }
 
+// Aborts on invalid options. Runs in the options_ member initializer, i.e.
+// before the hash family or counter vector are constructed — neither is
+// well-defined for m == 0 or k == 0, so validating in the constructor body
+// would be too late.
+SbfOptions ValidatedOrDie(const SbfOptions& options) {
+  const Status status = ValidateSbfOptions(options);
+  SBF_CHECK_MSG(status.ok(), status.message().c_str());
+  return options;
+}
+
 }  // namespace
 
-SpectralBloomFilter::SpectralBloomFilter(SbfOptions options)
-    : options_(options),
-      hash_(options.k, options.m, options.seed, options.hash_kind),
-      counters_(MakeCounterVector(options.backing, options.m)) {
-  SBF_CHECK_MSG(options_.m >= 1, "SBF needs m >= 1");
-  SBF_CHECK_MSG(options_.k >= 1 && options_.k <= kMaxK,
-                "SBF needs 1 <= k <= 64");
+Status ValidateSbfOptions(const SbfOptions& options) {
+  if (options.m < 1) {
+    return Status::InvalidArgument("SBF needs m >= 1");
+  }
+  if (options.k < 1 || options.k > kMaxK) {
+    return Status::InvalidArgument("SBF needs 1 <= k <= 64");
+  }
+  return Status::Ok();
 }
+
+SpectralBloomFilter::SpectralBloomFilter(SbfOptions options)
+    : options_(ValidatedOrDie(options)),
+      hash_(options.k, options.m, options.seed, options.hash_kind),
+      counters_(MakeCounterVector(options.backing, options.m)) {}
 
 SpectralBloomFilter::SpectralBloomFilter(uint64_t m, uint32_t k)
     : SpectralBloomFilter([&] {

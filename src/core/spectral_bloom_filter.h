@@ -39,6 +39,13 @@ struct SbfOptions {
   HashFamily::Kind hash_kind = HashFamily::Kind::kModuloMultiply;
 };
 
+// Validates an SbfOptions: m >= 1 and 1 <= k <= 64. Returns OK or an
+// InvalidArgument describing the violation. The SpectralBloomFilter
+// constructor enforces this with a fatal check *before* any member is
+// built; recoverable callers (deserializers, config loaders) can call it
+// themselves first.
+Status ValidateSbfOptions(const SbfOptions& options);
+
 // The Spectral Bloom Filter (paper Section 2.2): a Bloom filter whose bit
 // vector is replaced by a vector of m counters C, supporting multiplicity
 // estimates over dynamic multi-sets.

@@ -38,6 +38,12 @@ class FixedWidthCounterVector final : public CounterVector {
   // saturation enabled. Exposed so tests can observe overflow behaviour.
   size_t SaturatedCount() const;
 
+  // Raw backing words. For the 64-bit-wide configuration counter i is
+  // exactly word i — the layout the concurrent frontend's std::atomic_ref
+  // fast path relies on (core/concurrent_sbf.h).
+  const uint64_t* words() const { return bits_.words(); }
+  uint64_t* mutable_words() { return bits_.mutable_words(); }
+
  private:
   size_t m_;
   uint32_t width_;

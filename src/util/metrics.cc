@@ -69,4 +69,45 @@ double MeanOverRuns(int runs, uint64_t base_seed, double (*fn)(uint64_t)) {
   return runs == 0 ? 0.0 : sum / runs;
 }
 
+ShardMetrics::ShardMetrics(size_t num_shards)
+    : num_shards_(num_shards), cells_(new Cell[num_shards]) {}
+
+void ShardMetrics::RecordInsert(size_t shard, uint64_t keys) {
+  cells_[shard].inserted_keys.fetch_add(keys, std::memory_order_relaxed);
+}
+
+void ShardMetrics::RecordRemove(size_t shard, uint64_t keys) {
+  cells_[shard].removed_keys.fetch_add(keys, std::memory_order_relaxed);
+}
+
+void ShardMetrics::RecordEstimate(size_t shard, uint64_t keys) {
+  cells_[shard].estimated_keys.fetch_add(keys, std::memory_order_relaxed);
+}
+
+void ShardMetrics::RecordBatch(size_t shard) {
+  cells_[shard].batches.fetch_add(1, std::memory_order_relaxed);
+}
+
+ShardMetrics::Snapshot ShardMetrics::Shard(size_t shard) const {
+  const Cell& cell = cells_[shard];
+  Snapshot snap;
+  snap.inserted_keys = cell.inserted_keys.load(std::memory_order_relaxed);
+  snap.removed_keys = cell.removed_keys.load(std::memory_order_relaxed);
+  snap.estimated_keys = cell.estimated_keys.load(std::memory_order_relaxed);
+  snap.batches = cell.batches.load(std::memory_order_relaxed);
+  return snap;
+}
+
+ShardMetrics::Snapshot ShardMetrics::Totals() const {
+  Snapshot total;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    const Snapshot snap = Shard(s);
+    total.inserted_keys += snap.inserted_keys;
+    total.removed_keys += snap.removed_keys;
+    total.estimated_keys += snap.estimated_keys;
+    total.batches += snap.batches;
+  }
+  return total;
+}
+
 }  // namespace sbf

@@ -1,8 +1,10 @@
 #ifndef SBF_UTIL_METRICS_H_
 #define SBF_UTIL_METRICS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace sbf {
@@ -64,6 +66,50 @@ class Aggregate {
 // benchmark harness to reproduce the paper's "average over 5 independent
 // experiments" protocol.
 double MeanOverRuns(int runs, uint64_t base_seed, double (*fn)(uint64_t));
+
+// Per-shard operation counters for the concurrent sharded frontend
+// (core/concurrent_sbf.h). Each shard's counters live on their own cache
+// line so concurrent recording from many threads does not false-share;
+// updates are relaxed atomics, so recording is wait-free and race-clean
+// but totals read while threads are running are approximate.
+class ShardMetrics {
+ public:
+  ShardMetrics() = default;
+  explicit ShardMetrics(size_t num_shards);
+  ShardMetrics(ShardMetrics&&) = default;
+  ShardMetrics& operator=(ShardMetrics&&) = default;
+
+  size_t num_shards() const { return num_shards_; }
+
+  // `keys` is the number of keys the operation touched (1 for point ops,
+  // the per-shard group size for batch ops).
+  void RecordInsert(size_t shard, uint64_t keys);
+  void RecordRemove(size_t shard, uint64_t keys);
+  void RecordEstimate(size_t shard, uint64_t keys);
+  // One batch-API visit to this shard (lock acquisitions amortized over it).
+  void RecordBatch(size_t shard);
+
+  struct Snapshot {
+    uint64_t inserted_keys = 0;
+    uint64_t removed_keys = 0;
+    uint64_t estimated_keys = 0;
+    uint64_t batches = 0;
+  };
+  Snapshot Shard(size_t shard) const;
+  // Sum over all shards.
+  Snapshot Totals() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> inserted_keys{0};
+    std::atomic<uint64_t> removed_keys{0};
+    std::atomic<uint64_t> estimated_keys{0};
+    std::atomic<uint64_t> batches{0};
+  };
+
+  size_t num_shards_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+};
 
 }  // namespace sbf
 

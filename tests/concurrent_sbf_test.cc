@@ -1,0 +1,367 @@
+// Concurrency suite for the sharded SBF frontend. Every test here must be
+// race-clean under ThreadSanitizer (cmake -DSBF_SANITIZE=thread); the
+// determinism tests additionally prove that concurrent execution converges
+// to the exact single-threaded filter state after writers join.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/concurrent_sbf.h"
+#include "core/spectral_bloom_filter.h"
+#include "util/random.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+constexpr int kWriters = 8;
+constexpr int kReaders = 8;
+
+ConcurrentSbfOptions MakeOptions(CounterBacking backing, uint32_t num_shards,
+                                 uint64_t seed = 42) {
+  ConcurrentSbfOptions options;
+  options.m = 8192;
+  options.k = 4;
+  options.policy = SbfPolicy::kMinimumSelection;
+  options.backing = backing;
+  options.num_shards = num_shards;
+  options.seed = seed;
+  return options;
+}
+
+// Splits [0, n) into `parts` contiguous slices; slice i is [starts[i],
+// starts[i+1]).
+std::vector<size_t> SliceStarts(size_t n, int parts) {
+  std::vector<size_t> starts(parts + 1);
+  for (int i = 0; i <= parts; ++i) starts[i] = n * i / parts;
+  return starts;
+}
+
+class ConcurrentSbfBackingTest
+    : public ::testing::TestWithParam<CounterBacking> {};
+
+std::string BackingName(const ::testing::TestParamInfo<CounterBacking>& info) {
+  std::string name = CounterBackingName(info.param);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+TEST_P(ConcurrentSbfBackingTest, ConcurrentInsertsMatchSerialReference) {
+  // (a) of the issue checklist: after joining N writers, every shard's
+  // counters and item totals must equal a single-threaded reference fed
+  // the same multiset. Minimum Selection increments commute, so the wire
+  // images must match bit for bit.
+  const Multiset data = MakeZipfMultiset(400, 20000, 1.0, 7);
+  ConcurrentSbf concurrent(MakeOptions(GetParam(), 8));
+  ConcurrentSbf reference(MakeOptions(GetParam(), 8));
+  reference.InsertBatch(data.stream);
+
+  const auto starts = SliceStarts(data.stream.size(), kWriters);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Odd writers use the batch API, even writers the point API, so the
+      // two paths are proven equivalent and mutually race-clean.
+      if (w % 2 == 1) {
+        std::vector<uint64_t> slice(data.stream.begin() + starts[w],
+                                    data.stream.begin() + starts[w + 1]);
+        concurrent.InsertBatch(slice);
+      } else {
+        for (size_t i = starts[w]; i < starts[w + 1]; ++i) {
+          concurrent.Insert(data.stream[i]);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  EXPECT_EQ(concurrent.TotalItems(), data.stream.size());
+  EXPECT_EQ(concurrent.Serialize(), reference.Serialize());
+  for (uint32_t s = 0; s < concurrent.num_shards(); ++s) {
+    EXPECT_EQ(concurrent.SnapshotShard(s).total_items(),
+              reference.SnapshotShard(s).total_items())
+        << "shard " << s;
+  }
+}
+
+TEST_P(ConcurrentSbfBackingTest, OneSidedInvariantAfterConcurrentInserts) {
+  // (b): Estimate(x) >= f_x under Minimum Selection, regardless of the
+  // interleaving that produced the filter.
+  const Multiset data = MakeZipfMultiset(300, 15000, 1.0, 11);
+  ConcurrentSbf filter(MakeOptions(GetParam(), 4));
+
+  const auto starts = SliceStarts(data.stream.size(), kWriters);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (size_t i = starts[w]; i < starts[w + 1]; ++i) {
+        filter.Insert(data.stream[i]);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  const std::vector<uint64_t> estimates = filter.EstimateBatch(data.keys);
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    ASSERT_GE(estimates[i], data.freqs[i]) << "key index " << i;
+    ASSERT_EQ(estimates[i], filter.Estimate(data.keys[i]));
+  }
+}
+
+TEST_P(ConcurrentSbfBackingTest, ReadersRaceWritersRaceClean) {
+  // (c): N writers and M readers running together. Readers check the
+  // monotone lower bound (estimates never drop below the pre-inserted
+  // baseline frequency); TSan checks race-freedom. Violations are counted
+  // into an atomic so the check itself never races gtest internals.
+  const Multiset data = MakeZipfMultiset(256, 8000, 1.0, 13);
+  ConcurrentSbf filter(MakeOptions(GetParam(), 8));
+  filter.InsertBatch(data.stream);  // quiescent baseline
+
+  const Multiset extra = MakeZipfMultiset(256, 8000, 1.0, 17);
+  const auto starts = SliceStarts(extra.stream.size(), kWriters);
+  std::atomic<uint64_t> violations{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t i = starts[w]; i < starts[w + 1]; ++i) {
+        filter.Insert(extra.stream[i]);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Xoshiro256 rng(100 + r);
+      // Readers are bounded so slow backings (serial-scan decode on every
+      // Get) cannot starve the writers on small machines; the stop flag
+      // only shortcuts the tail once every writer has joined.
+      for (int q = 0; q < 2000 && !stop.load(std::memory_order_relaxed);
+           ++q) {
+        const size_t i = rng.UniformInt(data.keys.size());
+        if (filter.Estimate(data.keys[i]) < data.freqs[i]) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(filter.TotalItems(), data.stream.size() + extra.stream.size());
+}
+
+TEST_P(ConcurrentSbfBackingTest, ConcurrentRemovesMatchSerialReference) {
+  // Writers delete disjoint halves of previously inserted data; the result
+  // must equal a reference that saw the same multiset of removes.
+  const Multiset data = MakeZipfMultiset(200, 10000, 1.0, 19);
+  ConcurrentSbf concurrent(MakeOptions(GetParam(), 4));
+  ConcurrentSbf reference(MakeOptions(GetParam(), 4));
+  concurrent.InsertBatch(data.stream);
+  reference.InsertBatch(data.stream);
+
+  // Remove one occurrence of every key (all frequencies are >= 1).
+  for (uint64_t key : data.keys) reference.Remove(key);
+  const auto starts = SliceStarts(data.keys.size(), kWriters);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (size_t i = starts[w]; i < starts[w + 1]; ++i) {
+        concurrent.Remove(data.keys[i]);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  EXPECT_EQ(concurrent.Serialize(), reference.Serialize());
+  EXPECT_EQ(concurrent.TotalItems(), data.stream.size() - data.keys.size());
+}
+
+TEST_P(ConcurrentSbfBackingTest, MergeMatchesCombinedReference) {
+  const Multiset left = MakeZipfMultiset(150, 6000, 1.0, 23);
+  const Multiset right = MakeZipfMultiset(150, 6000, 1.0, 29);
+  const auto options = MakeOptions(GetParam(), 4);
+
+  ConcurrentSbf a(options), b(options), combined(options);
+  a.InsertBatch(left.stream);
+  b.InsertBatch(right.stream);
+  combined.InsertBatch(left.stream);
+  combined.InsertBatch(right.stream);
+
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.Serialize(), combined.Serialize());
+  EXPECT_EQ(a.TotalItems(), left.stream.size() + right.stream.size());
+}
+
+TEST_P(ConcurrentSbfBackingTest, MergeRacesWritersRaceClean) {
+  // Merging into a filter while other threads insert into it (and into the
+  // source) must be race-free and lose no occurrences.
+  const Multiset base = MakeZipfMultiset(128, 4000, 1.0, 31);
+  const Multiset extra = MakeZipfMultiset(128, 4000, 1.0, 37);
+  const auto options = MakeOptions(GetParam(), 4);
+
+  ConcurrentSbf dst(options), src(options);
+  src.InsertBatch(base.stream);
+
+  std::thread writer([&] {
+    for (uint64_t key : extra.stream) dst.Insert(key);
+  });
+  ASSERT_TRUE(dst.Merge(src).ok());
+  writer.join();
+
+  EXPECT_EQ(dst.TotalItems(), base.stream.size() + extra.stream.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backings, ConcurrentSbfBackingTest,
+                         ::testing::Values(CounterBacking::kFixed64,
+                                           CounterBacking::kFixed32,
+                                           CounterBacking::kCompact,
+                                           CounterBacking::kSerialScan),
+                         BackingName);
+
+TEST(ConcurrentSbfTest, LockFreeOnlyForFixed64MinimumSelection) {
+  EXPECT_TRUE(ConcurrentSbf(MakeOptions(CounterBacking::kFixed64, 2))
+                  .IsLockFree());
+  EXPECT_FALSE(ConcurrentSbf(MakeOptions(CounterBacking::kCompact, 2))
+                   .IsLockFree());
+  auto options = MakeOptions(CounterBacking::kFixed64, 2);
+  options.policy = SbfPolicy::kMinimalIncrease;
+  EXPECT_FALSE(ConcurrentSbf(options).IsLockFree());
+}
+
+TEST(ConcurrentSbfTest, MinimalIncreasePolicyWorksUnderThreads) {
+  // MI always takes the shard lock (its read-modify-write spans counters).
+  auto options = MakeOptions(CounterBacking::kCompact, 4);
+  options.policy = SbfPolicy::kMinimalIncrease;
+  const Multiset data = MakeZipfMultiset(200, 8000, 1.0, 41);
+  ConcurrentSbf filter(options);
+
+  const auto starts = SliceStarts(data.stream.size(), 4);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      for (size_t i = starts[w]; i < starts[w + 1]; ++i) {
+        filter.Insert(data.stream[i]);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  // MI's one-sided bound holds for any insert interleaving (Claim 4 applies
+  // per interleaved prefix).
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    ASSERT_GE(filter.Estimate(data.keys[i]), data.freqs[i]);
+  }
+}
+
+TEST(ConcurrentSbfTest, ShardRoutingIsDeterministicAndCoversShards) {
+  ConcurrentSbf filter(MakeOptions(CounterBacking::kFixed64, 16));
+  std::vector<uint64_t> hits(16, 0);
+  for (uint64_t key = 0; key < 10000; ++key) {
+    const uint32_t s = filter.ShardOf(key);
+    ASSERT_LT(s, 16u);
+    ASSERT_EQ(s, filter.ShardOf(key));
+    ++hits[s];
+  }
+  for (uint32_t s = 0; s < 16; ++s) {
+    // Roughly uniform: expected 625 per shard.
+    EXPECT_GT(hits[s], 400u) << "shard " << s;
+    EXPECT_LT(hits[s], 900u) << "shard " << s;
+  }
+}
+
+TEST(ConcurrentSbfTest, BatchApisMatchPointApis) {
+  const Multiset data = MakeZipfMultiset(300, 9000, 1.0, 43);
+  ConcurrentSbf batched(MakeOptions(CounterBacking::kCompact, 8));
+  ConcurrentSbf pointwise(MakeOptions(CounterBacking::kCompact, 8));
+
+  batched.InsertBatch(data.stream);
+  for (uint64_t key : data.stream) pointwise.Insert(key);
+
+  EXPECT_EQ(batched.Serialize(), pointwise.Serialize());
+  const auto estimates = batched.EstimateBatch(data.keys);
+  ASSERT_EQ(estimates.size(), data.keys.size());
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    EXPECT_EQ(estimates[i], pointwise.Estimate(data.keys[i]));
+  }
+}
+
+TEST(ConcurrentSbfTest, ShardMetricsCountOperations) {
+  const Multiset data = MakeZipfMultiset(100, 3000, 1.0, 47);
+  ConcurrentSbf filter(MakeOptions(CounterBacking::kFixed64, 4));
+  filter.InsertBatch(data.stream);
+  for (uint64_t key : data.keys) filter.Estimate(key);
+  filter.Remove(data.keys[0]);
+
+  const ShardMetrics::Snapshot totals = filter.metrics().Totals();
+  EXPECT_EQ(totals.inserted_keys, data.stream.size());
+  EXPECT_EQ(totals.estimated_keys, data.keys.size());
+  EXPECT_EQ(totals.removed_keys, 1u);
+  EXPECT_GE(totals.batches, 1u);
+  EXPECT_EQ(filter.metrics().num_shards(), 4u);
+
+  uint64_t per_shard_inserts = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    per_shard_inserts += filter.metrics().Shard(s).inserted_keys;
+  }
+  EXPECT_EQ(per_shard_inserts, totals.inserted_keys);
+}
+
+TEST(ConcurrentSbfTest, MergeRejectsIncompatibleOptions) {
+  ConcurrentSbf a(MakeOptions(CounterBacking::kFixed64, 4));
+  ConcurrentSbf different_shards(MakeOptions(CounterBacking::kFixed64, 8));
+  ConcurrentSbf different_seed(MakeOptions(CounterBacking::kFixed64, 4, 99));
+  EXPECT_FALSE(a.Merge(different_shards).ok());
+  EXPECT_FALSE(a.Merge(different_seed).ok());
+  EXPECT_FALSE(a.Merge(a).ok());
+}
+
+TEST(ConcurrentSbfTest, SerializeRoundTripPreservesEstimates) {
+  const Multiset data = MakeZipfMultiset(200, 6000, 1.0, 53);
+  for (const auto backing :
+       {CounterBacking::kFixed64, CounterBacking::kCompact}) {
+    ConcurrentSbf filter(MakeOptions(backing, 8));
+    filter.InsertBatch(data.stream);
+    const auto bytes = filter.Serialize();
+    auto restored = ConcurrentSbf::Deserialize(bytes);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value().TotalItems(), filter.TotalItems());
+    EXPECT_EQ(restored.value().Serialize(), bytes);
+    for (uint64_t key : data.keys) {
+      ASSERT_EQ(restored.value().Estimate(key), filter.Estimate(key));
+    }
+  }
+}
+
+TEST(ConcurrentSbfTest, SingleShardDegeneratesToPlainSbf) {
+  // S=1 routes everything to shard 0: the frontend is exactly one SBF.
+  const Multiset data = MakeZipfMultiset(150, 5000, 1.0, 59);
+  ConcurrentSbf sharded(MakeOptions(CounterBacking::kCompact, 1));
+  sharded.InsertBatch(data.stream);
+
+  SpectralBloomFilter plain(ShardOptions(sharded.options(), 0));
+  for (uint64_t key : data.stream) plain.Insert(key);
+  for (uint64_t key : data.keys) {
+    ASSERT_EQ(sharded.Estimate(key), plain.Estimate(key));
+  }
+  EXPECT_EQ(sharded.shard(0).Serialize(), plain.Serialize());
+}
+
+TEST(ConcurrentSbfDeathTest, RejectsInvalidOptions) {
+  EXPECT_DEATH(ConcurrentSbf(MakeOptions(CounterBacking::kFixed64, 0)),
+               "num_shards");
+  auto zero_m = MakeOptions(CounterBacking::kFixed64, 4);
+  zero_m.m = 0;
+  EXPECT_DEATH(ConcurrentSbf{zero_m}, "m >= 1");
+}
+
+}  // namespace
+}  // namespace sbf

@@ -290,5 +290,36 @@ TEST(SbfTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(SpectralBloomFilter::Deserialize(junk).ok());
 }
 
+TEST(SbfTest, ValidateSbfOptionsFlagsDegenerateParameters) {
+  SbfOptions options;
+  options.m = 1000;
+  options.k = 4;
+  EXPECT_TRUE(ValidateSbfOptions(options).ok());
+
+  options.m = 0;
+  EXPECT_EQ(ValidateSbfOptions(options).code(),
+            Status::Code::kInvalidArgument);
+  options.m = 1000;
+  options.k = 0;
+  EXPECT_EQ(ValidateSbfOptions(options).code(),
+            Status::Code::kInvalidArgument);
+  options.k = 65;
+  EXPECT_EQ(ValidateSbfOptions(options).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(SbfDeathTest, ConstructorRejectsDegenerateParameters) {
+  // Regression: the constructor used to build the hash family and counter
+  // vector from unvalidated options before checking them, so m == 0 or
+  // k == 0 reached those constructors (division-free but ill-defined: a
+  // zero-range hash and an empty counter vector). Validation now aborts
+  // before any member is constructed.
+  EXPECT_DEATH(SpectralBloomFilter(/*m=*/0, /*k=*/4), "m >= 1");
+  EXPECT_DEATH(SpectralBloomFilter(/*m=*/1000, /*k=*/0), "1 <= k <= 64");
+  EXPECT_DEATH(SpectralBloomFilter(/*m=*/1000, /*k=*/65), "1 <= k <= 64");
+  SbfOptions options;  // defaults leave m == 0 (required field)
+  EXPECT_DEATH(SpectralBloomFilter{options}, "m >= 1");
+}
+
 }  // namespace
 }  // namespace sbf

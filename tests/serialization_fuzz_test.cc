@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/bloom_filter.h"
+#include "core/concurrent_sbf.h"
 #include "core/spectral_bloom_filter.h"
 #include "util/random.h"
 #include "workload/multiset_stream.h"
@@ -86,6 +87,146 @@ TEST(SerializationFuzzTest, SbfHeaderFieldCorruptionsRejectedOrBounded) {
     for (int b = 0; b < 8; ++b) corrupted[word * 8 + b] = 0xFF;
     EXPECT_FALSE(SpectralBloomFilter::Deserialize(corrupted).ok())
         << "header word " << word;
+  }
+}
+
+// --- sharded (ConcurrentSbf) wire format ----------------------------------
+
+ConcurrentSbf MakeLoadedShardedSbf(CounterBacking backing, uint64_t seed) {
+  ConcurrentSbfOptions options;
+  options.m = 2000;
+  options.k = 4;
+  options.num_shards = 4;
+  options.seed = seed;
+  options.backing = backing;
+  ConcurrentSbf filter(options);
+  const Multiset data = MakeZipfMultiset(150, 4000, 1.0, seed);
+  filter.InsertBatch(data.stream);
+  return filter;
+}
+
+const std::vector<CounterBacking>& AllBackings() {
+  static const std::vector<CounterBacking> backings = {
+      CounterBacking::kFixed64, CounterBacking::kFixed32,
+      CounterBacking::kCompact, CounterBacking::kSerialScan};
+  return backings;
+}
+
+TEST(SerializationFuzzTest, ShardedRoundTripIsByteStableAcrossBackings) {
+  for (const auto backing : AllBackings()) {
+    const auto filter = MakeLoadedShardedSbf(backing, 21);
+    const auto bytes = filter.Serialize();
+    auto restored = ConcurrentSbf::Deserialize(bytes);
+    ASSERT_TRUE(restored.ok()) << CounterBackingName(backing);
+    EXPECT_EQ(restored.value().Serialize(), bytes)
+        << CounterBackingName(backing);
+    EXPECT_EQ(restored.value().TotalItems(), filter.TotalItems());
+  }
+}
+
+TEST(SerializationFuzzTest, ShardedTruncationsNeverCrash) {
+  const auto bytes =
+      MakeLoadedShardedSbf(CounterBacking::kFixed64, 23).Serialize();
+  for (size_t len = 0; len < bytes.size(); len += 9) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(ConcurrentSbf::Deserialize(truncated).ok())
+        << "length " << len;
+  }
+}
+
+TEST(SerializationFuzzTest, ShardedShardCountMismatchRejected) {
+  const auto filter = MakeLoadedShardedSbf(CounterBacking::kCompact, 25);
+  const auto bytes = filter.Serialize();
+  // Header word 1 is the shard count. Claiming more shards than blobs, or
+  // fewer (leaving trailing blobs), must both be rejected.
+  for (const uint64_t claimed : {0ull, 1ull, 3ull, 5ull, 4096ull, ~0ull}) {
+    auto corrupted = bytes;
+    for (int b = 0; b < 8; ++b) {
+      corrupted[8 + b] = static_cast<uint8_t>(claimed >> (8 * b));
+    }
+    EXPECT_FALSE(ConcurrentSbf::Deserialize(corrupted).ok())
+        << "claimed shard count " << claimed;
+  }
+}
+
+TEST(SerializationFuzzTest, ShardedCorruptedShardHeadersRejected) {
+  const auto bytes =
+      MakeLoadedShardedSbf(CounterBacking::kFixed64, 27).Serialize();
+  constexpr size_t kFrontendHeader = 4 * 8;
+  // The first shard's length prefix, then validated fields of its embedded
+  // SBF header (magic, m, k) — each smashed to all-ones must be rejected.
+  for (const size_t offset :
+       {kFrontendHeader, kFrontendHeader + 8, kFrontendHeader + 16,
+        kFrontendHeader + 24}) {
+    auto corrupted = bytes;
+    for (int b = 0; b < 8; ++b) corrupted[offset + b] = 0xFF;
+    EXPECT_FALSE(ConcurrentSbf::Deserialize(corrupted).ok())
+        << "offset " << offset;
+  }
+}
+
+TEST(SerializationFuzzTest, ShardedShardSeedTamperingRejected) {
+  // Swapping two shard blobs (or re-seeding one) breaks the deterministic
+  // per-shard seed schedule; Deserialize must notice, because routing
+  // queries to a shard with foreign hash functions silently breaks the
+  // one-sided guarantee.
+  const auto filter = MakeLoadedShardedSbf(CounterBacking::kFixed64, 29);
+  auto a = filter.SnapshotShard(0).Serialize();
+  auto b = filter.SnapshotShard(1).Serialize();
+  std::vector<uint8_t> swapped;
+  const auto bytes = filter.Serialize();
+  swapped.insert(swapped.end(), bytes.begin(), bytes.begin() + 32);
+  for (const auto* blob : {&b, &a}) {  // shards 0 and 1 swapped
+    uint64_t len = blob->size();
+    for (int i = 0; i < 8; ++i) {
+      swapped.push_back(static_cast<uint8_t>(len >> (8 * i)));
+    }
+    swapped.insert(swapped.end(), blob->begin(), blob->end());
+  }
+  for (uint32_t s = 2; s < filter.num_shards(); ++s) {
+    const auto blob = filter.SnapshotShard(s).Serialize();
+    uint64_t len = blob.size();
+    for (int i = 0; i < 8; ++i) {
+      swapped.push_back(static_cast<uint8_t>(len >> (8 * i)));
+    }
+    swapped.insert(swapped.end(), blob.begin(), blob.end());
+  }
+  EXPECT_FALSE(ConcurrentSbf::Deserialize(swapped).ok());
+}
+
+TEST(SerializationFuzzTest, ShardedSingleByteCorruptions) {
+  for (const auto backing :
+       {CounterBacking::kFixed64, CounterBacking::kCompact}) {
+    const auto filter = MakeLoadedShardedSbf(backing, 31);
+    const auto bytes = filter.Serialize();
+    Xoshiro256 rng(33);
+    size_t rejected = 0, accepted = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+      auto corrupted = bytes;
+      const size_t at = rng.UniformInt(corrupted.size());
+      corrupted[at] ^= static_cast<uint8_t>(rng.UniformInt(255) + 1);
+      const auto result = ConcurrentSbf::Deserialize(corrupted);
+      // As with the flat format: either a clean Status or a well-formed
+      // filter decoded from a corrupted-but-valid counter stream. Never a
+      // crash or out-of-bounds access.
+      if (result.ok()) {
+        ++accepted;
+        EXPECT_EQ(result.value().num_shards(), filter.num_shards());
+      } else {
+        ++rejected;
+      }
+    }
+    EXPECT_GT(rejected, 0u);
+    EXPECT_EQ(rejected + accepted, 300u);
+  }
+}
+
+TEST(SerializationFuzzTest, ShardedRandomGarbageRejected) {
+  Xoshiro256 rng(35);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> garbage(rng.UniformInt(400));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.Next());
+    EXPECT_FALSE(ConcurrentSbf::Deserialize(garbage).ok());
   }
 }
 
