@@ -1,9 +1,6 @@
 // Thread x shard scaling sweep for the concurrent sharded SBF frontend.
-// Emits one JSON object per line so results can be collected
-// programmatically:
-//
-//   {"op":"insert_batch","backing":"fixed64","threads":4,"shards":16,
-//    "keys":2000000,"mops":31.5,"speedup_vs_1t":3.1}
+// Emits rows in the shared bench JSON schema (common/bench_json.h), one
+// per line on stdout and collected into BENCH_concurrent_scaling.json.
 //
 // Each thread owns a disjoint slice of a Zipf stream and pushes it through
 // the batch API in chunks (the intended server ingestion pattern); the
@@ -17,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/bench_json.h"
 #include "core/concurrent_sbf.h"
 #include "util/timer.h"
 #include "workload/multiset_stream.h"
@@ -79,20 +77,20 @@ double TimedEstimate(const ConcurrentSbf& filter,
   return timer.ElapsedSeconds();
 }
 
-void EmitRow(const char* op, CounterBacking backing, int threads,
-             uint32_t shards, size_t keys, double seconds,
+void EmitRow(bench::BenchJson& json, const char* op, CounterBacking backing,
+             int threads, uint32_t shards, size_t keys, double seconds,
              double baseline_seconds) {
   const double mops = static_cast<double>(keys) / seconds / 1e6;
-  const double speedup = baseline_seconds / seconds;
-  std::printf(
-      "{\"op\":\"%s\",\"backing\":\"%s\",\"threads\":%d,\"shards\":%u,"
-      "\"keys\":%zu,\"seconds\":%.4f,\"mops\":%.2f,\"speedup_vs_1t\":%.2f}\n",
-      op, CounterBackingName(backing), threads, shards, keys, seconds, mops,
-      speedup);
-  std::fflush(stdout);
+  json.Add(op,
+           {{"backing", CounterBackingName(backing)},
+            {"threads", threads},
+            {"shards", static_cast<uint64_t>(shards)},
+            {"keys", static_cast<uint64_t>(keys)},
+            {"speedup_vs_1t", baseline_seconds / seconds}},
+           seconds / static_cast<double>(keys) * 1e9, mops);
 }
 
-void Sweep(CounterBacking backing, size_t stream_len) {
+void Sweep(bench::BenchJson& json, CounterBacking backing, size_t stream_len) {
   const Multiset data =
       MakeZipfMultiset(/*distinct=*/1 << 16, stream_len, 1.0, 11);
   for (const uint32_t shards : {1u, 4u, 16u}) {
@@ -101,12 +99,12 @@ void Sweep(CounterBacking backing, size_t stream_len) {
       ConcurrentSbf filter(Options(backing, shards));
       const double insert_s = TimedInsert(filter, data.stream, threads);
       if (threads == 1) insert_baseline = insert_s;
-      EmitRow("insert_batch", backing, threads, shards, data.stream.size(),
-              insert_s, insert_baseline);
+      EmitRow(json, "insert_batch", backing, threads, shards,
+              data.stream.size(), insert_s, insert_baseline);
       const double estimate_s = TimedEstimate(filter, data.stream, threads);
       if (threads == 1) estimate_baseline = estimate_s;
-      EmitRow("estimate_batch", backing, threads, shards, data.stream.size(),
-              estimate_s, estimate_baseline);
+      EmitRow(json, "estimate_batch", backing, threads, shards,
+              data.stream.size(), estimate_s, estimate_baseline);
     }
   }
 }
@@ -115,8 +113,9 @@ void Sweep(CounterBacking backing, size_t stream_len) {
 }  // namespace sbf
 
 int main() {
+  sbf::bench::BenchJson json("BENCH_concurrent_scaling.json");
   // fixed64 exercises the lock-free path; compact the striped-lock path.
-  sbf::Sweep(sbf::CounterBacking::kFixed64, size_t{1} << 21);
-  sbf::Sweep(sbf::CounterBacking::kCompact, size_t{1} << 19);
-  return 0;
+  sbf::Sweep(json, sbf::CounterBacking::kFixed64, size_t{1} << 21);
+  sbf::Sweep(json, sbf::CounterBacking::kCompact, size_t{1} << 19);
+  return json.WriteFile() ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bitstream/bit_vector.h"
+#include "bitstream/rank_select.h"
 #include "core/concurrent_sbf.h"
 #include "core/recurring_minimum.h"
 #include "core/spectral_bloom_filter.h"
@@ -109,6 +110,23 @@ void BM_SbfEstimate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SbfEstimate);
+
+void BM_RankSelectSelect1(benchmark::State& state) {
+  // Density via range(0): one set bit in every `stride` bits.
+  const size_t stride = static_cast<size_t>(state.range(0));
+  constexpr size_t kBits = size_t{1} << 22;
+  BitVector bits(kBits);
+  Xoshiro256 rng(37);
+  for (size_t i = 0; i < kBits; i += stride) {
+    bits.SetBit(i + rng.UniformInt(stride), true);
+  }
+  RankSelect rs(&bits);
+  const size_t ones = rs.num_ones();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Select1(rng.UniformInt(ones)));
+  }
+}
+BENCHMARK(BM_RankSelectSelect1)->Arg(2)->Arg(16)->Arg(512);
 
 void BM_RecurringMinimumInsert(benchmark::State& state) {
   auto filter = RecurringMinimumSbf::WithTotalBudget(1 << 16, 5, 17);

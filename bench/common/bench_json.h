@@ -1,0 +1,92 @@
+#ifndef SBF_BENCH_COMMON_BENCH_JSON_H_
+#define SBF_BENCH_COMMON_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sbf::bench {
+
+// Shared result schema for every BENCH_*.json artifact the bench binaries
+// emit. Each row is
+//
+//   {"name": "<kernel>", "params": {...}, "ns_per_op": <double>,
+//    "throughput_mops": <double>}
+//
+// where `name` identifies the measured operation and `params` pins the
+// sweep point (backing, batch size, threads, ...). One schema across all
+// benchmarks means CI and the EXPERIMENTS.md tables can consume any
+// benchmark's artifact with the same parser. Rows are also printed to
+// stdout as they are added, so interactive runs stream results.
+class BenchJson {
+ public:
+  // One params entry; values render as JSON strings or numbers.
+  struct Param {
+    Param(std::string k, const char* v)
+        : key(std::move(k)), rendered('"' + std::string(v) + '"') {}
+    Param(std::string k, const std::string& v)
+        : key(std::move(k)), rendered('"' + v + '"') {}
+    Param(std::string k, uint64_t v)
+        : key(std::move(k)), rendered(std::to_string(v)) {}
+    Param(std::string k, int v)
+        : key(std::move(k)), rendered(std::to_string(v)) {}
+    Param(std::string k, double v) : key(std::move(k)), rendered(Num(v)) {}
+
+    std::string key;
+    std::string rendered;
+  };
+
+  // `path` is where WriteFile() lands the artifact (e.g.
+  // "BENCH_batch_pipeline.json").
+  explicit BenchJson(std::string path) : path_(std::move(path)) {}
+
+  void Add(const std::string& name, const std::vector<Param>& params,
+           double ns_per_op, double throughput_mops) {
+    std::string row = "{\"name\":\"" + name + "\",\"params\":{";
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) row += ',';
+      row += '"' + params[i].key + "\":" + params[i].rendered;
+    }
+    row += "},\"ns_per_op\":" + Num(ns_per_op) +
+           ",\"throughput_mops\":" + Num(throughput_mops) + "}";
+    std::printf("%s\n", row.c_str());
+    std::fflush(stdout);
+    rows_.push_back(std::move(row));
+  }
+
+  // Writes all accumulated rows as one JSON array. Returns false (and
+  // complains on stderr) if the file cannot be written.
+  bool WriteFile() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string Num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return buf;
+  }
+
+  std::string path_;
+  std::vector<std::string> rows_;
+};
+
+}  // namespace sbf::bench
+
+#endif  // SBF_BENCH_COMMON_BENCH_JSON_H_

@@ -19,36 +19,6 @@ void BitVector::Resize(size_t num_bits) {
 
 void BitVector::Clear() { std::fill(words_.begin(), words_.end(), 0ull); }
 
-uint64_t BitVector::GetBits(size_t pos, uint32_t width) const {
-  SBF_DCHECK(width <= 64);
-  if (width == 0) return 0;
-  SBF_DCHECK(pos + width <= num_bits_);
-  const size_t word = pos >> 6;
-  const uint32_t offset = pos & 63;
-  uint64_t value = words_[word] >> offset;
-  if (offset + width > 64) {
-    value |= words_[word + 1] << (64 - offset);
-  }
-  return value & LowMask(width);
-}
-
-void BitVector::SetBits(size_t pos, uint32_t width, uint64_t value) {
-  SBF_DCHECK(width <= 64);
-  if (width == 0) return;
-  SBF_DCHECK(pos + width <= num_bits_);
-  SBF_DCHECK((value & ~LowMask(width)) == 0);
-  const size_t word = pos >> 6;
-  const uint32_t offset = pos & 63;
-  const uint64_t mask = LowMask(width);
-  words_[word] = (words_[word] & ~(mask << offset)) | (value << offset);
-  if (offset + width > 64) {
-    const uint32_t spill = offset + width - 64;
-    const uint64_t hi_mask = LowMask(spill);
-    words_[word + 1] =
-        (words_[word + 1] & ~hi_mask) | (value >> (64 - offset));
-  }
-}
-
 void BitVector::ShiftRangeRight(size_t begin, size_t end, size_t shift) {
   SBF_DCHECK(begin <= end);
   SBF_DCHECK(end + shift <= num_bits_);

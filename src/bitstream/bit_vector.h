@@ -47,12 +47,40 @@ class BitVector {
     }
   }
 
-  // Reads a `width`-bit field starting at `pos` (width 0..64).
-  uint64_t GetBits(size_t pos, uint32_t width) const;
+  // Reads a `width`-bit field starting at `pos` (width 0..64). Inline: this
+  // is the innermost probe of every counter backing, and the batched filter
+  // kernels rely on it folding into their (devirtualized) loops.
+  uint64_t GetBits(size_t pos, uint32_t width) const {
+    SBF_DCHECK(width <= 64);
+    if (width == 0) return 0;
+    SBF_DCHECK(pos + width <= num_bits_);
+    const size_t word = pos >> 6;
+    const uint32_t offset = pos & 63;
+    uint64_t value = words_[word] >> offset;
+    if (offset + width > 64) {
+      value |= words_[word + 1] << (64 - offset);
+    }
+    return value & LowMask(width);
+  }
 
   // Writes the low `width` bits of `value` at `pos` (width 0..64). Bits of
   // `value` above `width` must be zero.
-  void SetBits(size_t pos, uint32_t width, uint64_t value);
+  void SetBits(size_t pos, uint32_t width, uint64_t value) {
+    SBF_DCHECK(width <= 64);
+    if (width == 0) return;
+    SBF_DCHECK(pos + width <= num_bits_);
+    SBF_DCHECK((value & ~LowMask(width)) == 0);
+    const size_t word = pos >> 6;
+    const uint32_t offset = pos & 63;
+    const uint64_t mask = LowMask(width);
+    words_[word] = (words_[word] & ~(mask << offset)) | (value << offset);
+    if (offset + width > 64) {
+      const uint32_t spill = offset + width - 64;
+      const uint64_t hi_mask = LowMask(spill);
+      words_[word + 1] =
+          (words_[word + 1] & ~hi_mask) | (value >> (64 - offset));
+    }
+  }
 
   // Moves the bit range [begin, end) to [begin+shift, end+shift); the
   // vacated bits keep their previous values (callers overwrite them).

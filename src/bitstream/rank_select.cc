@@ -2,6 +2,10 @@
 
 #include <bit>
 
+#if defined(__BMI2__)
+#include <immintrin.h>
+#endif
+
 #include "util/check.h"
 
 namespace sbf {
@@ -10,8 +14,25 @@ namespace {
 // Position (0-indexed from LSB) of the j-th set bit within a word,
 // 0-indexed. Precondition: popcount(word) > j.
 uint32_t SelectInWord(uint64_t word, uint32_t j) {
-  for (uint32_t i = 0; i < j; ++i) word &= word - 1;  // clear j lowest ones
-  return static_cast<uint32_t>(std::countr_zero(word));
+#if defined(__BMI2__)
+  // PDEP deposits the (j+1)-th mask bit of `word` at the j-th set-bit
+  // position; tzcnt of the result is the answer in two instructions.
+  return static_cast<uint32_t>(
+      std::countr_zero(_pdep_u64(uint64_t{1} << j, word)));
+#else
+  // Skip whole bytes by popcount before bit-walking the final byte: at most
+  // 7 byte steps + 7 clears instead of up to 63 clear-lowest-set steps.
+  uint32_t base = 0;
+  for (uint32_t pc = std::popcount(word & 0xFF); j >= pc;
+       pc = std::popcount(word & 0xFF)) {
+    j -= pc;
+    word >>= 8;
+    base += 8;
+  }
+  uint64_t byte = word & 0xFF;
+  for (uint32_t i = 0; i < j; ++i) byte &= byte - 1;  // clear j lowest ones
+  return base + static_cast<uint32_t>(std::countr_zero(byte));
+#endif
 }
 
 }  // namespace
@@ -62,25 +83,23 @@ size_t RankSelect::Select1(size_t j) const {
       hi = mid - 1;
     }
   }
-  size_t remaining = j - superblocks_[lo];
+  const size_t remaining = j - superblocks_[lo];
 
-  // Scan blocks within the superblock.
+  // Walk the block directory instead of popcounting bit words: the <= 8
+  // uint16_t relative ranks of this superblock sit in one cache line, and
+  // within a superblock they are monotone, so the target word is the last
+  // one whose prefix rank is <= remaining. Branch-free accumulation — no
+  // data-dependent branches for the predictor to miss on random j.
   const size_t first_word = lo * kBlocksPerSuper;
   const size_t end_word =
       std::min(first_word + kBlocksPerSuper, bits_->size_words());
   size_t word = first_word;
-  for (size_t w = first_word; w < end_word; ++w) {
-    const uint32_t pc = std::popcount(bits_->words()[w]);
-    if (remaining < pc) {
-      word = w;
-      break;
-    }
-    remaining -= pc;
-    word = w + 1;
+  for (size_t w = first_word + 1; w < end_word; ++w) {
+    word += blocks_[w] <= remaining;
   }
   SBF_DCHECK(word < bits_->size_words());
-  return word * 64 +
-         SelectInWord(bits_->words()[word], static_cast<uint32_t>(remaining));
+  return word * 64 + SelectInWord(bits_->words()[word],
+                                  static_cast<uint32_t>(remaining - blocks_[word]));
 }
 
 }  // namespace sbf

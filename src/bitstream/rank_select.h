@@ -16,7 +16,9 @@ namespace sbf {
 // static variable-length access problem. Rank answers in O(1) with o(N)
 // extra bits (two-level directory: 512-bit superblocks with absolute
 // counts + 64-bit blocks with 9-bit relative counts); select binary-
-// searches the directory then scans one word, O(log N) worst case.
+// searches the superblock directory, walks the superblock's block ranks
+// (one cache line of uint16_t, branch-free), then selects within a single
+// word — O(log N) worst case dominated by the binary search.
 class RankSelect {
  public:
   RankSelect() = default;

@@ -1,0 +1,97 @@
+#ifndef SBF_CORE_BATCH_KERNELS_H_
+#define SBF_CORE_BATCH_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hashing/hash_family.h"
+
+namespace sbf {
+
+// Keys hashed ahead of the probe cursor in the batched pipelines. At W = 8
+// the prefetches of key i+8 have the latency of ~8 keys' worth of hashing
+// and probing (>= 100ns at k = 5) to complete — comfortably above DRAM
+// latency — while the position ring stays a 4 KiB stack array
+// (W * kMaxK * 8 bytes). Larger windows showed no further gain and start
+// evicting the probes' own lines on small L1s (see DESIGN.md "Hot path &
+// batching").
+inline constexpr size_t kBatchWindow = 8;
+
+// Two-stage software pipeline shared by every batched filter kernel
+// (tentpole of the batching PR):
+//
+//   stage 1 (hash):  compute the k positions of key i+W and issue a
+//                    prefetch for each position's backing words;
+//   stage 2 (probe): read/update the counters of key i, whose prefetch
+//                    was issued W keys ago and has had time to complete.
+//
+// `cv` is the *concrete* (final) counter vector so the probe functor's
+// Get/Set/Increment calls devirtualize and inline. `pos_of(key, out)`
+// fills out[0..k) (pure — it never reads counters, so hashing ahead of
+// in-order probing preserves exact scalar semantics even for duplicate
+// keys). `prefetch(cv, pos)` hints the backing words of one key's
+// positions. `probe(cv, pos, i)` performs the actual per-key operation,
+// in input order.
+template <typename CV, typename PosFn, typename PrefetchFn, typename ProbeFn>
+inline void BatchPipeline(CV& cv, const uint64_t* keys, size_t n,
+                          PosFn&& pos_of, PrefetchFn&& prefetch,
+                          ProbeFn&& probe) {
+  uint64_t ring[kBatchWindow][HashFamily::kMaxK];
+  const size_t head = n < kBatchWindow ? n : kBatchWindow;
+  for (size_t i = 0; i < head; ++i) {
+    pos_of(keys[i], ring[i]);
+    prefetch(cv, ring[i]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t* pos = ring[i % kBatchWindow];
+    probe(cv, pos, i);
+    // The slot just probed is the one key i+W lands in.
+    const size_t ahead = i + kBatchWindow;
+    if (ahead < n) {
+      pos_of(keys[ahead], pos);
+      prefetch(cv, pos);
+    }
+  }
+}
+
+// Branch-free minimum over the k counters at pos[0..k): the conditional
+// moves this compiles to keep the probe loop free of the data-dependent
+// early-exit branch of the scalar Estimate (mispredicted half the time on
+// mixed known/unknown query sets). Result is identical to the scalar
+// early-exit min.
+template <typename CV>
+inline uint64_t BranchFreeMin(const CV& cv, const uint64_t* pos, uint32_t k) {
+  uint64_t min_value = cv.Get(pos[0]);
+  for (uint32_t j = 1; j < k; ++j) {
+    const uint64_t v = cv.Get(pos[j]);
+    min_value = v < min_value ? v : min_value;
+  }
+  return min_value;
+}
+
+// Early-exit minimum: same value as BranchFreeMin, but stops at the first
+// zero counter. The right probe for backings whose Get is a scan (compact,
+// serial-scan): there a skipped probe saves far more than a mispredicted
+// branch costs, and on sparse filters most queries hit a zero early.
+template <typename CV>
+inline uint64_t EarlyExitMin(const CV& cv, const uint64_t* pos, uint32_t k) {
+  uint64_t min_value = cv.Get(pos[0]);
+  for (uint32_t j = 1; j < k && min_value != 0; ++j) {
+    const uint64_t v = cv.Get(pos[j]);
+    min_value = v < min_value ? v : min_value;
+  }
+  return min_value;
+}
+
+// Stage-1 prefetch functor: one PrefetchCounter hint per position.
+struct PrefetchEachPosition {
+  uint32_t k;
+  template <typename CV>
+  void operator()(const CV& cv, const uint64_t* pos) const {
+    for (uint32_t j = 0; j < k; ++j) cv.PrefetchCounter(pos[j]);
+  }
+};
+
+}  // namespace sbf
+
+#endif  // SBF_CORE_BATCH_KERNELS_H_

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 
+#include "core/batch_kernels.h"
+#include "sai/compact_counter_vector.h"
+#include "sai/fixed_counter_vector.h"
+#include "sai/serial_scan_counter_vector.h"
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/prefetch.h"
 #include "util/random.h"
 
 namespace sbf {
@@ -64,6 +69,116 @@ uint64_t BlockedSbf::Estimate(uint64_t key) const {
     if (min_value == 0) break;
   }
   return min_value;
+}
+
+namespace {
+
+// Stage-1 prefetch for the blocked layout: every probe of a key lands in
+// its block, so instead of one hint per position it suffices to touch the
+// block's cache line(s) once. For fixed-width backings with block_size
+// sized to one or two lines this is the whole block.
+template <typename CV>
+struct PrefetchBlock {
+  uint32_t k;
+  void operator()(const CV& cv, const uint64_t* pos) const {
+    cv.PrefetchCounter(pos[0]);
+  }
+};
+
+template <>
+struct PrefetchBlock<FixedWidthCounterVector> {
+  uint32_t k;
+  uint64_t block_size;
+  void operator()(const FixedWidthCounterVector& cv,
+                  const uint64_t* pos) const {
+    // Positions are block-relative offsets plus the block base (a multiple
+    // of block_size), so the base — and with it the block's first backing
+    // word — is recovered from any one position. One line covers the whole
+    // block in the cache-line-sized configurations; hint a second line for
+    // larger blocks.
+    const uint64_t base = pos[0] / block_size * block_size;
+    const uint64_t* first = cv.words() + (base * cv.width_bits() >> 6);
+    SBF_PREFETCH(first);
+    if (block_size * cv.width_bits() > 512) SBF_PREFETCH(first + 8);
+  }
+};
+
+}  // namespace
+
+void BlockedSbf::EstimateBatch(const uint64_t* keys, size_t n,
+                               uint64_t* out) const {
+  const uint32_t k = options_.k;
+  // Positions functor: one multiply-shift round routes the key to its
+  // block, the within-block family (one more mix + k multiply-shifts)
+  // yields the k in-block offsets.
+  const auto pos_of = [this, k](uint64_t key, uint64_t* pos) {
+    const uint64_t base = BlockOf(key) * options_.block_size;
+    within_block_.Positions(key, pos);
+    for (uint32_t j = 0; j < k; ++j) pos[j] += base;
+  };
+  // Branch-free min for fixed-width backings, early-exit min for the
+  // scan-based ones (their Get is the dominant cost; see batch_kernels.h).
+  const auto probe_free = [k, out](const auto& cv, const uint64_t* pos,
+                                   size_t i) {
+    out[i] = BranchFreeMin(cv, pos, k);
+  };
+  const auto probe_exit = [k, out](const auto& cv, const uint64_t* pos,
+                                   size_t i) {
+    out[i] = EarlyExitMin(cv, pos, k);
+  };
+  switch (options_.backing) {
+    case CounterBacking::kFixed64:
+    case CounterBacking::kFixed32: {
+      const auto& cv = static_cast<const FixedWidthCounterVector&>(*counters_);
+      BatchPipeline(cv, keys, n, pos_of,
+                    PrefetchBlock<FixedWidthCounterVector>{
+                        k, options_.block_size},
+                    probe_free);
+      return;
+    }
+    case CounterBacking::kCompact:
+      BatchPipeline(static_cast<const CompactCounterVector&>(*counters_),
+                    keys, n, pos_of, PrefetchBlock<CompactCounterVector>{k},
+                    probe_exit);
+      return;
+    case CounterBacking::kSerialScan:
+      BatchPipeline(static_cast<const SerialScanCounterVector&>(*counters_),
+                    keys, n, pos_of,
+                    PrefetchBlock<SerialScanCounterVector>{k}, probe_exit);
+      return;
+  }
+}
+
+void BlockedSbf::InsertBatch(const uint64_t* keys, size_t n, uint64_t count) {
+  const uint32_t k = options_.k;
+  const auto pos_of = [this, k](uint64_t key, uint64_t* pos) {
+    const uint64_t base = BlockOf(key) * options_.block_size;
+    within_block_.Positions(key, pos);
+    for (uint32_t j = 0; j < k; ++j) pos[j] += base;
+  };
+  const auto probe = [k, count](auto& cv, const uint64_t* pos, size_t) {
+    for (uint32_t j = 0; j < k; ++j) cv.Increment(pos[j], count);
+  };
+  switch (options_.backing) {
+    case CounterBacking::kFixed64:
+    case CounterBacking::kFixed32: {
+      auto& cv = static_cast<FixedWidthCounterVector&>(*counters_);
+      BatchPipeline(cv, keys, n, pos_of,
+                    PrefetchBlock<FixedWidthCounterVector>{
+                        k, options_.block_size},
+                    probe);
+      return;
+    }
+    case CounterBacking::kCompact:
+      BatchPipeline(static_cast<CompactCounterVector&>(*counters_), keys, n,
+                    pos_of, PrefetchBlock<CompactCounterVector>{k}, probe);
+      return;
+    case CounterBacking::kSerialScan:
+      BatchPipeline(static_cast<SerialScanCounterVector&>(*counters_), keys,
+                    n, pos_of, PrefetchBlock<SerialScanCounterVector>{k},
+                    probe);
+      return;
+  }
 }
 
 uint64_t BlockedSbf::BlockLoad(uint64_t b) const {

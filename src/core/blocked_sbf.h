@@ -44,6 +44,19 @@ class BlockedSbf final : public FrequencyFilter {
   }
   std::string Name() const override { return "blocked-MS"; }
 
+  // Batched ops. Because all k probes of a key land in one block, stage 1
+  // of the pipeline prefetches the block's cache line(s) once and stage 2
+  // runs the branch-free single-block kernel: with a fixed-width backing
+  // and block_size sized to one or two cache lines, the k in-block offsets
+  // come out of one multiply-shift round over the mixed key and the min is
+  // taken with conditional moves — no data-dependent branches.
+  void InsertBatch(const uint64_t* keys, size_t n,
+                   uint64_t count = 1) override;
+  void EstimateBatch(const uint64_t* keys, size_t n,
+                     uint64_t* out) const override;
+  using FrequencyFilter::EstimateBatch;
+  using FrequencyFilter::InsertBatch;
+
   uint64_t m() const { return options_.m; }
   uint64_t block_size() const { return options_.block_size; }
   uint64_t num_blocks() const { return num_blocks_; }

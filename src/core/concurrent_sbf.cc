@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <mutex>
 
+#include "core/batch_kernels.h"
 #include "core/sbf_algebra.h"
 #include "hashing/hash.h"
 #include "sai/fixed_counter_vector.h"
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/prefetch.h"
 
 namespace sbf {
 namespace {
@@ -48,25 +50,36 @@ bool SameOptions(const ConcurrentSbfOptions& a, const ConcurrentSbfOptions& b) {
          a.hash_kind == b.hash_kind && a.num_shards == b.num_shards;
 }
 
-// Groups `keys` by destination shard: fills `order` with key indices such
-// that [starts[s], starts[s+1]) are (stably) the indices routed to shard s.
-void GroupByShard(const ConcurrentSbf& filter,
-                  const std::vector<uint64_t>& keys,
-                  std::vector<uint32_t>* order, std::vector<size_t>* starts) {
+// Groups `keys` by destination shard: [starts[s], starts[s+1]) of `grouped`
+// are (stably) the keys routed to shard s, ready to feed the per-shard
+// batch kernels as one contiguous slice; `order` holds the original index
+// of each grouped key, for scattering results back into input order.
+void GroupByShard(const ConcurrentSbf& filter, const uint64_t* keys, size_t n,
+                  std::vector<uint64_t>* grouped, std::vector<uint32_t>* order,
+                  std::vector<size_t>* starts) {
   const uint32_t num_shards = filter.num_shards();
-  std::vector<uint32_t> shard_of(keys.size());
+  std::vector<uint32_t> shard_of(n);
   starts->assign(num_shards + 1, 0);
-  for (size_t i = 0; i < keys.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     shard_of[i] = filter.ShardOf(keys[i]);
     ++(*starts)[shard_of[i] + 1];
   }
   for (uint32_t s = 0; s < num_shards; ++s) (*starts)[s + 1] += (*starts)[s];
-  order->resize(keys.size());
+  grouped->resize(n);
+  order->resize(n);
   std::vector<size_t> cursor(starts->begin(), starts->end() - 1);
-  for (size_t i = 0; i < keys.size(); ++i) {
-    (*order)[cursor[shard_of[i]]++] = static_cast<uint32_t>(i);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t at = cursor[shard_of[i]]++;
+    (*grouped)[at] = keys[i];
+    (*order)[at] = static_cast<uint32_t>(i);
   }
 }
+
+// Counter-word view of a shard's kFixed64 backing for the lock-free
+// pipelines: counter i is word i, accessed with relaxed atomics.
+struct AtomicWordView {
+  uint64_t* words;
+};
 
 }  // namespace
 
@@ -154,6 +167,48 @@ uint64_t ConcurrentSbf::EstimateLockFree(const Shard& s, uint64_t key) const {
   return min_value;
 }
 
+void ConcurrentSbf::InsertLockFreeBatch(Shard& s, const uint64_t* keys,
+                                        size_t n, uint64_t count) {
+  const HashFamily& hash = s.filter.hash();
+  const uint32_t k = options_.k;
+  AtomicWordView view{ShardWords(s)};
+  BatchPipeline(
+      view, keys, n,
+      [&hash](uint64_t key, uint64_t* pos) { hash.Positions(key, pos); },
+      [k](const AtomicWordView& v, const uint64_t* pos) {
+        for (uint32_t j = 0; j < k; ++j) SBF_PREFETCH_WRITE(v.words + pos[j]);
+      },
+      [k, count](AtomicWordView& v, const uint64_t* pos, size_t) {
+        for (uint32_t j = 0; j < k; ++j) {
+          std::atomic_ref<uint64_t>(v.words[pos[j]])
+              .fetch_add(count, std::memory_order_relaxed);
+        }
+      });
+  s.net_items.fetch_add(n * count, std::memory_order_relaxed);
+}
+
+void ConcurrentSbf::EstimateLockFreeBatch(const Shard& s,
+                                          const uint64_t* keys, size_t n,
+                                          uint64_t* out) const {
+  const HashFamily& hash = s.filter.hash();
+  const uint32_t k = options_.k;
+  AtomicWordView view{const_cast<uint64_t*>(ShardWords(s))};
+  BatchPipeline(
+      view, keys, n,
+      [&hash](uint64_t key, uint64_t* pos) { hash.Positions(key, pos); },
+      [k](const AtomicWordView& v, const uint64_t* pos) {
+        for (uint32_t j = 0; j < k; ++j) SBF_PREFETCH(v.words + pos[j]);
+      },
+      [k, out](const AtomicWordView& v, const uint64_t* pos, size_t i) {
+        uint64_t min_value = AtomicLoad(v.words[pos[0]]);
+        for (uint32_t j = 1; j < k; ++j) {
+          const uint64_t value = AtomicLoad(v.words[pos[j]]);
+          min_value = value < min_value ? value : min_value;
+        }
+        out[i] = min_value;
+      });
+}
+
 void ConcurrentSbf::Insert(uint64_t key, uint64_t count) {
   const uint32_t s = ShardOf(key);
   Shard& shard = *shards_[s];
@@ -187,37 +242,36 @@ uint64_t ConcurrentSbf::Estimate(uint64_t key) const {
   return shard.filter.Estimate(key);
 }
 
-void ConcurrentSbf::InsertBatch(const std::vector<uint64_t>& keys) {
-  if (keys.empty()) return;
+void ConcurrentSbf::InsertBatch(const uint64_t* keys, size_t n,
+                                uint64_t count) {
+  if (n == 0) return;
+  std::vector<uint64_t> grouped;
   std::vector<uint32_t> order;
   std::vector<size_t> starts;
-  GroupByShard(*this, keys, &order, &starts);
+  GroupByShard(*this, keys, n, &grouped, &order, &starts);
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     const size_t begin = starts[s], end = starts[s + 1];
     if (begin == end) continue;
     Shard& shard = *shards_[s];
     if (lock_free_) {
-      for (size_t i = begin; i < end; ++i) {
-        InsertLockFree(shard, keys[order[i]], 1);
-      }
+      InsertLockFreeBatch(shard, grouped.data() + begin, end - begin, count);
     } else {
       std::unique_lock lock(shard.mu);
-      for (size_t i = begin; i < end; ++i) {
-        shard.filter.Insert(keys[order[i]], 1);
-      }
+      shard.filter.InsertBatch(grouped.data() + begin, end - begin, count);
     }
     metrics_.RecordInsert(s, end - begin);
     metrics_.RecordBatch(s);
   }
 }
 
-std::vector<uint64_t> ConcurrentSbf::EstimateBatch(
-    const std::vector<uint64_t>& keys) const {
-  std::vector<uint64_t> out(keys.size());
-  if (keys.empty()) return out;
+void ConcurrentSbf::EstimateBatch(const uint64_t* keys, size_t n,
+                                  uint64_t* out) const {
+  if (n == 0) return;
+  std::vector<uint64_t> grouped;
   std::vector<uint32_t> order;
   std::vector<size_t> starts;
-  GroupByShard(*this, keys, &order, &starts);
+  GroupByShard(*this, keys, n, &grouped, &order, &starts);
+  std::vector<uint64_t> shard_out(n);
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     const size_t begin = starts[s], end = starts[s + 1];
     if (begin == end) continue;
@@ -225,17 +279,15 @@ std::vector<uint64_t> ConcurrentSbf::EstimateBatch(
     metrics_.RecordEstimate(s, end - begin);
     metrics_.RecordBatch(s);
     if (lock_free_) {
-      for (size_t i = begin; i < end; ++i) {
-        out[order[i]] = EstimateLockFree(shard, keys[order[i]]);
-      }
+      EstimateLockFreeBatch(shard, grouped.data() + begin, end - begin,
+                            shard_out.data() + begin);
     } else {
       std::shared_lock lock(shard.mu);
-      for (size_t i = begin; i < end; ++i) {
-        out[order[i]] = shard.filter.Estimate(keys[order[i]]);
-      }
+      shard.filter.EstimateBatch(grouped.data() + begin, end - begin,
+                                 shard_out.data() + begin);
     }
   }
-  return out;
+  for (size_t i = 0; i < n; ++i) out[order[i]] = shard_out[i];
 }
 
 Status ConcurrentSbf::Merge(const ConcurrentSbf& other) {

@@ -76,12 +76,18 @@ class ConcurrentSbf final : public FrequencyFilter {
 
   // --- batch API ----------------------------------------------------------
 
-  // Inserts every key once. Keys are grouped by destination shard first so
-  // each shard's lock is taken once per batch and its counters are walked
-  // with good locality (split-block-filter style).
-  void InsertBatch(const std::vector<uint64_t>& keys);
-  // Estimates for all keys, in input order.
-  std::vector<uint64_t> EstimateBatch(const std::vector<uint64_t>& keys) const;
+  // Batched ops (FrequencyFilter overrides; the vector conveniences come
+  // from the base class). Keys are grouped by destination shard first so
+  // each shard's lock is taken once per batch and its keys run through the
+  // per-shard hash-ahead + prefetch kernels (SpectralBloomFilter::
+  // InsertBatch/EstimateBatch under the lock, windowed atomic pipelines on
+  // the lock-free path). EstimateBatch fills `out` in input order.
+  void InsertBatch(const uint64_t* keys, size_t n,
+                   uint64_t count = 1) override;
+  void EstimateBatch(const uint64_t* keys, size_t n,
+                     uint64_t* out) const override;
+  using FrequencyFilter::EstimateBatch;
+  using FrequencyFilter::InsertBatch;
 
   // --- algebra ------------------------------------------------------------
 
@@ -144,6 +150,11 @@ class ConcurrentSbf final : public FrequencyFilter {
   void InsertLockFree(Shard& s, uint64_t key, uint64_t count);
   void RemoveLockFree(Shard& s, uint64_t key, uint64_t count);
   uint64_t EstimateLockFree(const Shard& s, uint64_t key) const;
+  // Windowed (prefetch-pipelined) forms over a shard-local key slice.
+  void InsertLockFreeBatch(Shard& s, const uint64_t* keys, size_t n,
+                           uint64_t count);
+  void EstimateLockFreeBatch(const Shard& s, const uint64_t* keys, size_t n,
+                             uint64_t* out) const;
 
   ConcurrentSbfOptions options_;
   uint64_t shard_m_ = 0;      // counters per shard

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/batch_kernels.h"
 #include "util/check.h"
 
 namespace sbf {
@@ -43,6 +44,31 @@ uint64_t CountingBloomFilter::Estimate(uint64_t key) const {
     min_value = std::min(min_value, counters_.Get(positions[i]));
   }
   return min_value;
+}
+
+void CountingBloomFilter::InsertBatch(const uint64_t* keys, size_t n,
+                                      uint64_t count) {
+  const uint32_t k = hash_.k();
+  BatchPipeline(
+      counters_, keys, n,
+      [this](uint64_t key, uint64_t* pos) { hash_.Positions(key, pos); },
+      PrefetchEachPosition{k},
+      [k, count](FixedWidthCounterVector& cv, const uint64_t* pos, size_t) {
+        // Increment clamps at max_value (sticky saturation), exactly as the
+        // scalar Insert does.
+        for (uint32_t j = 0; j < k; ++j) cv.Increment(pos[j], count);
+      });
+}
+
+void CountingBloomFilter::EstimateBatch(const uint64_t* keys, size_t n,
+                                        uint64_t* out) const {
+  const uint32_t k = hash_.k();
+  BatchPipeline(
+      counters_, keys, n,
+      [this](uint64_t key, uint64_t* pos) { hash_.Positions(key, pos); },
+      PrefetchEachPosition{k},
+      [k, out](const FixedWidthCounterVector& cv, const uint64_t* pos,
+               size_t i) { out[i] = BranchFreeMin(cv, pos, k); });
 }
 
 }  // namespace sbf

@@ -34,6 +34,16 @@ class CountingBloomFilter final : public FrequencyFilter {
   // membership filter, not a spectral one.
   uint64_t Estimate(uint64_t key) const override;
 
+  // Batched ops via the hash-ahead + prefetch pipeline; the counter vector
+  // is a concrete member, so the probe loop is fully inlined. Equivalent
+  // to a loop of the scalar ops, including saturation behaviour.
+  void InsertBatch(const uint64_t* keys, size_t n,
+                   uint64_t count = 1) override;
+  void EstimateBatch(const uint64_t* keys, size_t n,
+                     uint64_t* out) const override;
+  using FrequencyFilter::EstimateBatch;
+  using FrequencyFilter::InsertBatch;
+
   size_t MemoryUsageBits() const override {
     return counters_.MemoryUsageBits();
   }

@@ -1,8 +1,10 @@
 #ifndef SBF_CORE_FREQUENCY_FILTER_H_
 #define SBF_CORE_FREQUENCY_FILTER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace sbf {
 
@@ -28,6 +30,40 @@ class FrequencyFilter {
 
   // Estimated multiplicity of `key`.
   virtual uint64_t Estimate(uint64_t key) const = 0;
+
+  // --- batch API ---------------------------------------------------------
+  //
+  // Batched point operations. The defaults are plain loops, so every
+  // filter gets a *correct* batch API for free; the hot frontends
+  // (SpectralBloomFilter, BlockedSbf, CountingBloomFilter, ConcurrentSbf)
+  // override them with hash-ahead + software-prefetch pipelines that hide
+  // the k random counter reads behind useful work. Overrides must be
+  // *exactly* equivalent to the default loops (same estimates, same final
+  // counter state) — the batch-equals-scalar differential tests enforce
+  // this for every backing and policy.
+
+  // Records `count` additional occurrences of each of keys[0..n).
+  virtual void InsertBatch(const uint64_t* keys, size_t n,
+                           uint64_t count = 1) {
+    for (size_t i = 0; i < n; ++i) Insert(keys[i], count);
+  }
+
+  // Fills out[i] = Estimate(keys[i]) for i in [0, n).
+  virtual void EstimateBatch(const uint64_t* keys, size_t n,
+                             uint64_t* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = Estimate(keys[i]);
+  }
+
+  // Vector conveniences over the pointer forms above.
+  void InsertBatch(const std::vector<uint64_t>& keys, uint64_t count = 1) {
+    InsertBatch(keys.data(), keys.size(), count);
+  }
+  std::vector<uint64_t> EstimateBatch(
+      const std::vector<uint64_t>& keys) const {
+    std::vector<uint64_t> out(keys.size());
+    EstimateBatch(keys.data(), keys.size(), out.data());
+    return out;
+  }
 
   // Spectral membership test: is f_key >= threshold (with the filter's
   // one-sided error)? Threshold 1 is plain Bloom membership.

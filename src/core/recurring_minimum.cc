@@ -99,11 +99,13 @@ void RecurringMinimumSbf::Remove(uint64_t key, uint64_t count) {
   // repeat (two hash functions may agree), so each counter must cover
   // count times its multiplicity among the k positions.
   if (primary_.HasRecurringMinimum(key) && !MarkedInSecondary(key)) return;
-  const auto positions = secondary_.hash().Positions(key);
+  uint64_t positions[HashFamily::kMaxK];
+  const uint32_t k = secondary_.hash().k();
+  secondary_.hash().Positions(key, positions);
   bool can_absorb = true;
-  for (size_t i = 0; i < positions.size() && can_absorb; ++i) {
+  for (uint32_t i = 0; i < k && can_absorb; ++i) {
     uint64_t multiplicity = 0;
-    for (uint64_t p : positions) multiplicity += (p == positions[i]);
+    for (uint32_t j = 0; j < k; ++j) multiplicity += (positions[j] == positions[i]);
     can_absorb =
         secondary_.counters().Get(positions[i]) >= count * multiplicity;
   }

@@ -5,6 +5,10 @@
 #include "bitstream/bit_vector.h"
 #include "bitstream/bit_writer.h"
 #include "bitstream/elias.h"
+#include "core/batch_kernels.h"
+#include "sai/compact_counter_vector.h"
+#include "sai/fixed_counter_vector.h"
+#include "sai/serial_scan_counter_vector.h"
 #include "util/check.h"
 
 namespace sbf {
@@ -141,6 +145,112 @@ void SpectralBloomFilter::Remove(uint64_t key, uint64_t count) {
     }
   }
   total_items_ -= std::min(total_items_, count);
+}
+
+namespace {
+
+// Devirtualized batch kernels over a concrete backing CV. Each preserves
+// the scalar operation's semantics exactly; only the memory schedule
+// changes (positions hashed kBatchWindow keys ahead, counters prefetched).
+
+// kBranchFree selects the min-of-k probe: branch-free conditional moves
+// for the fixed-width backings (Get is one load, the early-exit branch is
+// pure misprediction cost), early-exit for the scan-based backings (Get is
+// expensive, skipping probes after a zero dominates).
+template <bool kBranchFree, typename CV>
+void EstimateBatchImpl(const CV& cv, const HashFamily& hash, uint32_t k,
+                       const uint64_t* keys, size_t n, uint64_t* out) {
+  BatchPipeline(
+      cv, keys, n,
+      [&hash](uint64_t key, uint64_t* pos) { hash.Positions(key, pos); },
+      PrefetchEachPosition{k},
+      [k, out](const CV& counters, const uint64_t* pos, size_t i) {
+        if constexpr (kBranchFree) {
+          out[i] = BranchFreeMin(counters, pos, k);
+        } else {
+          out[i] = EarlyExitMin(counters, pos, k);
+        }
+      });
+}
+
+template <typename CV>
+void InsertBatchImpl(CV& cv, const HashFamily& hash, SbfPolicy policy,
+                     uint32_t k, const uint64_t* keys, size_t n,
+                     uint64_t count) {
+  const auto pos_of = [&hash](uint64_t key, uint64_t* pos) {
+    hash.Positions(key, pos);
+  };
+  if (policy == SbfPolicy::kMinimumSelection) {
+    BatchPipeline(cv, keys, n, pos_of, PrefetchEachPosition{k},
+                  [k, count](CV& counters, const uint64_t* pos, size_t) {
+                    for (uint32_t j = 0; j < k; ++j) {
+                      counters.Increment(pos[j], count);
+                    }
+                  });
+    return;
+  }
+  // Minimal Increase, batch form — identical to the scalar Insert: lift
+  // every counter below m_x + count up to it.
+  BatchPipeline(cv, keys, n, pos_of, PrefetchEachPosition{k},
+                [k, count](CV& counters, const uint64_t* pos, size_t) {
+                  uint64_t values[HashFamily::kMaxK];
+                  uint64_t min_value = ~0ull;
+                  for (uint32_t j = 0; j < k; ++j) {
+                    values[j] = counters.Get(pos[j]);
+                    min_value = std::min(min_value, values[j]);
+                  }
+                  const uint64_t target = min_value + count;
+                  for (uint32_t j = 0; j < k; ++j) {
+                    if (values[j] < target) counters.Set(pos[j], target);
+                  }
+                });
+}
+
+}  // namespace
+
+void SpectralBloomFilter::EstimateBatch(const uint64_t* keys, size_t n,
+                                        uint64_t* out) const {
+  const uint32_t k = options_.k;
+  switch (options_.backing) {
+    case CounterBacking::kFixed64:
+    case CounterBacking::kFixed32:
+      EstimateBatchImpl<true>(
+          static_cast<const FixedWidthCounterVector&>(*counters_), hash_, k,
+          keys, n, out);
+      return;
+    case CounterBacking::kCompact:
+      EstimateBatchImpl<false>(
+          static_cast<const CompactCounterVector&>(*counters_), hash_, k,
+          keys, n, out);
+      return;
+    case CounterBacking::kSerialScan:
+      EstimateBatchImpl<false>(
+          static_cast<const SerialScanCounterVector&>(*counters_), hash_, k,
+          keys, n, out);
+      return;
+  }
+}
+
+void SpectralBloomFilter::InsertBatch(const uint64_t* keys, size_t n,
+                                      uint64_t count) {
+  SBF_DCHECK(count > 0);
+  const uint32_t k = options_.k;
+  switch (options_.backing) {
+    case CounterBacking::kFixed64:
+    case CounterBacking::kFixed32:
+      InsertBatchImpl(static_cast<FixedWidthCounterVector&>(*counters_),
+                      hash_, options_.policy, k, keys, n, count);
+      break;
+    case CounterBacking::kCompact:
+      InsertBatchImpl(static_cast<CompactCounterVector&>(*counters_), hash_,
+                      options_.policy, k, keys, n, count);
+      break;
+    case CounterBacking::kSerialScan:
+      InsertBatchImpl(static_cast<SerialScanCounterVector&>(*counters_),
+                      hash_, options_.policy, k, keys, n, count);
+      break;
+  }
+  total_items_ += n * count;
 }
 
 uint64_t SpectralBloomFilter::Estimate(uint64_t key) const {

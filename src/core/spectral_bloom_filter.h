@@ -79,6 +79,16 @@ class SpectralBloomFilter final : public FrequencyFilter {
   size_t MemoryUsageBits() const override;
   std::string Name() const override;
 
+  // Batched point ops: hash-ahead + software-prefetch pipeline over the
+  // concrete backing (see core/batch_kernels.h). Exactly equivalent to a
+  // loop of the scalar ops, for every backing and policy.
+  void InsertBatch(const uint64_t* keys, size_t n,
+                   uint64_t count = 1) override;
+  void EstimateBatch(const uint64_t* keys, size_t n,
+                     uint64_t* out) const override;
+  using FrequencyFilter::EstimateBatch;
+  using FrequencyFilter::InsertBatch;
+
   // Convenience wrappers for string keys.
   void InsertBytes(std::string_view key, uint64_t count = 1) {
     Insert(Fingerprint64(key), count);

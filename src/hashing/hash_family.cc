@@ -7,7 +7,7 @@ namespace sbf {
 
 HashFamily::HashFamily(uint32_t k, uint64_t m, uint64_t seed, Kind kind)
     : k_(k), m_(m), seed_(seed), kind_(kind) {
-  SBF_CHECK_MSG(k >= 1, "hash family needs k >= 1");
+  SBF_CHECK_MSG(k >= 1 && k <= kMaxK, "hash family needs 1 <= k <= 64");
   SBF_CHECK_MSG(m >= 1, "hash family needs m >= 1");
   uint64_t sm = seed ^ 0xA0761D6478BD642Full;
   if (kind_ == Kind::kModuloMultiply) {
@@ -57,12 +57,6 @@ void HashFamily::Positions(uint64_t key, uint64_t* out) const {
     h += step;
     if (h >= m_) h -= m_;
   }
-}
-
-std::vector<uint64_t> HashFamily::Positions(uint64_t key) const {
-  std::vector<uint64_t> out(k_);
-  Positions(key, out.data());
-  return out;
 }
 
 }  // namespace sbf

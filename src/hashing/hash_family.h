@@ -24,6 +24,10 @@ class HashFamily {
  public:
   enum class Kind { kModuloMultiply, kDoubleMix };
 
+  // Upper bound on k. Lets every caller keep position buffers on the
+  // stack (uint64_t[kMaxK]) — no filter hot path allocates per operation.
+  static constexpr uint32_t kMaxK = 64;
+
   HashFamily(uint32_t k, uint64_t m, uint64_t seed,
              Kind kind = Kind::kModuloMultiply);
 
@@ -39,9 +43,9 @@ class HashFamily {
   uint64_t Position(uint64_t key, uint32_t i) const;
 
   // Fills `out[0..k)` with the k positions for `key`. `out` must have room
-  // for k entries. The common fast path for filter operations.
+  // for k entries (k <= kMaxK, so a stack array always suffices). The
+  // common fast path for filter operations.
   void Positions(uint64_t key, uint64_t* out) const;
-  std::vector<uint64_t> Positions(uint64_t key) const;
 
   // Convenience for string keys: fingerprints then hashes.
   void PositionsForBytes(std::string_view key, uint64_t* out) const {

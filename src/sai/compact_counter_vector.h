@@ -7,6 +7,7 @@
 
 #include "bitstream/bit_vector.h"
 #include "sai/counter_vector.h"
+#include "util/prefetch.h"
 
 namespace sbf {
 
@@ -58,6 +59,17 @@ class CompactCounterVector final : public CounterVector {
   size_t MemoryUsageBits() const override;
   std::unique_ptr<CounterVector> Clone() const override;
   std::string Name() const override { return "compact"; }
+
+  // Pulls in the width entries scanned by PositionOf and the group's
+  // payload words — the two dependent loads a Get(i) performs.
+  void PrefetchCounter(size_t i) const override {
+    const size_t g = i / options_.group_size;
+    SBF_PREFETCH(widths_.data() + g * options_.group_size);
+    SBF_PREFETCH(bits_.words() + (group_start_[g] >> 6));
+  }
+  void GetMany(const uint64_t* idx, size_t n, uint64_t* out) const override {
+    for (size_t j = 0; j < n; ++j) out[j] = Get(idx[j]);
+  }
 
   // --- introspection for tests and the storage experiments -------------
 

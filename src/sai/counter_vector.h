@@ -43,6 +43,24 @@ class CounterVector {
     Set(i, Get(i) + delta);
   }
 
+  // --- bulk hooks for the batched probe pipelines ------------------------
+  //
+  // The batched filter kernels (FrequencyFilter::EstimateBatch and friends)
+  // hash a window of keys ahead, issue PrefetchCounter on the upcoming
+  // probe targets, then read the current key's counters with one GetMany
+  // call — one virtual dispatch per key instead of one per probe.
+
+  // Hints the memory system to pull the words backing counter i into
+  // cache. A pure performance hint; the default is a no-op.
+  virtual void PrefetchCounter(size_t i) const { (void)i; }
+
+  // Fills out[j] = Get(idx[j]) for j in [0, n). Each backing overrides
+  // this with a loop over its own (devirtualized) accessor so the inner
+  // probe loop pays no virtual dispatch.
+  virtual void GetMany(const uint64_t* idx, size_t n, uint64_t* out) const {
+    for (size_t j = 0; j < n; ++j) out[j] = Get(idx[j]);
+  }
+
   // Subtracts `delta` from counter i; the counter must hold at least
   // `delta` (the SBF only deletes items it inserted).
   virtual void Decrement(size_t i, uint64_t delta = 1);

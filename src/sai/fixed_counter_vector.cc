@@ -15,27 +15,6 @@ FixedWidthCounterVector::FixedWidthCounterVector(size_t m, uint32_t width_bits,
                 "counter width must be in [1, 64]");
 }
 
-uint64_t FixedWidthCounterVector::Get(size_t i) const {
-  SBF_DCHECK(i < m_);
-  return bits_.GetBits(i * width_, width_);
-}
-
-void FixedWidthCounterVector::Set(size_t i, uint64_t value) {
-  SBF_DCHECK(i < m_);
-  SBF_CHECK_MSG(value <= max_value_, "counter overflow in fixed-width vector");
-  bits_.SetBits(i * width_, width_, value);
-}
-
-void FixedWidthCounterVector::Increment(size_t i, uint64_t delta) {
-  const uint64_t v = Get(i);
-  if (sticky_) {
-    const uint64_t headroom = max_value_ - v;
-    Set(i, delta >= headroom ? max_value_ : v + delta);
-    return;
-  }
-  Set(i, v + delta);
-}
-
 void FixedWidthCounterVector::Decrement(size_t i, uint64_t delta) {
   const uint64_t v = Get(i);
   if (sticky_ && v == max_value_) return;  // stuck counter, never decremented

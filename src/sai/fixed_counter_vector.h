@@ -6,6 +6,7 @@
 
 #include "bitstream/bit_vector.h"
 #include "sai/counter_vector.h"
+#include "util/prefetch.h"
 
 namespace sbf {
 
@@ -21,14 +22,39 @@ class FixedWidthCounterVector final : public CounterVector {
                           bool sticky_saturation = false);
 
   size_t size() const override { return m_; }
-  uint64_t Get(size_t i) const override;
-  void Set(size_t i, uint64_t value) override;
-  void Increment(size_t i, uint64_t delta = 1) override;
+  // Get/Set/Increment are inline so the batched kernels — which call them
+  // through a concrete (final) pointer — devirtualize AND inline the probe.
+  uint64_t Get(size_t i) const override {
+    SBF_DCHECK(i < m_);
+    return bits_.GetBits(i * width_, width_);
+  }
+  void Set(size_t i, uint64_t value) override {
+    SBF_DCHECK(i < m_);
+    SBF_CHECK_MSG(value <= max_value_,
+                  "counter overflow in fixed-width vector");
+    bits_.SetBits(i * width_, width_, value);
+  }
+  void Increment(size_t i, uint64_t delta = 1) override {
+    const uint64_t v = Get(i);
+    if (sticky_) {
+      const uint64_t headroom = max_value_ - v;
+      Set(i, delta >= headroom ? max_value_ : v + delta);
+      return;
+    }
+    Set(i, v + delta);
+  }
   void Decrement(size_t i, uint64_t delta = 1) override;
   void Reset() override;
   size_t MemoryUsageBits() const override;
   std::unique_ptr<CounterVector> Clone() const override;
   std::string Name() const override;
+
+  void PrefetchCounter(size_t i) const override {
+    SBF_PREFETCH(bits_.words() + (i * width_ >> 6));
+  }
+  void GetMany(const uint64_t* idx, size_t n, uint64_t* out) const override {
+    for (size_t j = 0; j < n; ++j) out[j] = Get(idx[j]);
+  }
 
   uint32_t width_bits() const { return width_; }
   uint64_t max_value() const { return max_value_; }

@@ -8,6 +8,7 @@
 #include "bitstream/bit_vector.h"
 #include "bitstream/steps_code.h"
 #include "sai/counter_vector.h"
+#include "util/prefetch.h"
 
 namespace sbf {
 
@@ -48,6 +49,20 @@ class SerialScanCounterVector final : public CounterVector {
   size_t MemoryUsageBits() const override;
   std::unique_ptr<CounterVector> Clone() const override;
   std::string Name() const override { return "serial-scan"; }
+
+  // Pulls in the words a lookup serially decodes from the group start.
+  void PrefetchCounter(size_t i) const override {
+    const size_t g = i / options_.group_size;
+    const size_t word = group_start_[g] >> 6;
+    SBF_PREFETCH(bits_.words() + word);
+    // A second line when the group's region spans one.
+    if (((group_start_[g + 1] - 1) >> 6) > word + 7) {
+      SBF_PREFETCH(bits_.words() + word + 8);
+    }
+  }
+  void GetMany(const uint64_t* idx, size_t n, uint64_t* out) const override {
+    for (size_t j = 0; j < n; ++j) out[j] = Get(idx[j]);
+  }
 
   // Payload bits of the current encoding (sum of codeword lengths).
   size_t EncodedBits() const;

@@ -1,0 +1,16 @@
+#ifndef SBF_UTIL_PREFETCH_H_
+#define SBF_UTIL_PREFETCH_H_
+
+// Portable software-prefetch hints for the batched probe pipelines. A
+// prefetch is purely a performance hint: issuing one for an arbitrary
+// address is safe, so callers may prefetch speculative or slightly
+// out-of-range addresses without affecting correctness.
+#if defined(__GNUC__) || defined(__clang__)
+#define SBF_PREFETCH(addr) __builtin_prefetch((const void*)(addr), 0, 3)
+#define SBF_PREFETCH_WRITE(addr) __builtin_prefetch((const void*)(addr), 1, 3)
+#else
+#define SBF_PREFETCH(addr) ((void)(addr))
+#define SBF_PREFETCH_WRITE(addr) ((void)(addr))
+#endif
+
+#endif  // SBF_UTIL_PREFETCH_H_

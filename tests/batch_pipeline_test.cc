@@ -1,0 +1,249 @@
+// Differential tests for the batched query/update kernels: for every
+// frontend and backing, InsertBatch/EstimateBatch must be *exactly*
+// equivalent to a loop of the scalar ops — same estimates, same final
+// state — over random, duplicate-heavy and clustered/shard-skewed key
+// sets. Duplicate-heavy batches are the interesting case: the pipeline
+// hashes W keys ahead, so a window can hold several copies of one key and
+// the probes must still observe each other's writes in input order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/blocked_sbf.h"
+#include "core/concurrent_sbf.h"
+#include "core/counting_bloom_filter.h"
+#include "core/frequency_filter.h"
+#include "core/recurring_minimum.h"
+#include "core/spectral_bloom_filter.h"
+#include "util/random.h"
+
+namespace sbf {
+namespace {
+
+constexpr uint64_t kM = 1 << 12;
+constexpr uint32_t kK = 5;
+constexpr size_t kStream = 2048;
+
+std::vector<uint64_t> RandomKeys(size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> keys(n);
+  for (auto& key : keys) key = rng.Next();
+  return keys;
+}
+
+// ~16 distinct keys repeated throughout the stream: several copies of one
+// key can share a pipeline window, stressing read-after-write ordering.
+std::vector<uint64_t> DuplicateHeavyKeys(size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const std::vector<uint64_t> distinct = RandomKeys(16, seed ^ 0xD0D0);
+  std::vector<uint64_t> keys(n);
+  for (auto& key : keys) key = distinct[rng.UniformInt(distinct.size())];
+  return keys;
+}
+
+// Low-entropy keys from a tiny range: hammers a handful of blocks (blocked
+// layout) and a few shards (sharded frontend).
+std::vector<uint64_t> ClusteredKeys(size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> keys(n);
+  for (auto& key : keys) key = 1'000'000 + rng.UniformInt(64);
+  return keys;
+}
+
+using Factory = std::function<std::unique_ptr<FrequencyFilter>()>;
+
+// Inserts `keys` scalar-wise into one filter and batch-wise (chunk sizes
+// straddling the W=8 pipeline window) into a second, then checks that
+// batched estimates match the scalar filter and the batched filter's own
+// scalar reads — i.e. both the query kernel and the final state agree.
+void ExpectBatchEqualsScalar(const Factory& make,
+                             const std::vector<uint64_t>& keys,
+                             uint64_t count = 1) {
+  auto scalar = make();
+  auto batched = make();
+  for (uint64_t key : keys) scalar->Insert(key, count);
+  constexpr size_t kChunks[] = {3, 8, 37, 1024};  // < W, == W, > W, large
+  size_t at = 0;
+  int c = 0;
+  while (at < keys.size()) {
+    const size_t n = std::min(kChunks[c++ % 4], keys.size() - at);
+    batched->InsertBatch(keys.data() + at, n, count);
+    at += n;
+  }
+
+  std::vector<uint64_t> queries = keys;
+  const std::vector<uint64_t> probes = RandomKeys(256, 0xABBA);
+  queries.insert(queries.end(), probes.begin(), probes.end());
+  std::vector<uint64_t> got(queries.size());
+  batched->EstimateBatch(queries.data(), queries.size(), got.data());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(scalar->Estimate(queries[i]), got[i])
+        << "state diverged at key " << queries[i];
+    ASSERT_EQ(batched->Estimate(queries[i]), got[i])
+        << "batch estimate != scalar estimate for key " << queries[i];
+  }
+}
+
+void RunAllKeySets(const std::string& label, const Factory& make) {
+  {
+    SCOPED_TRACE(label + " / random");
+    ExpectBatchEqualsScalar(make, RandomKeys(kStream, 1));
+  }
+  {
+    SCOPED_TRACE(label + " / duplicate-heavy");
+    ExpectBatchEqualsScalar(make, DuplicateHeavyKeys(kStream, 2));
+  }
+  {
+    SCOPED_TRACE(label + " / clustered");
+    ExpectBatchEqualsScalar(make, ClusteredKeys(kStream, 3));
+  }
+  {
+    SCOPED_TRACE(label + " / random count=3");
+    ExpectBatchEqualsScalar(make, RandomKeys(kStream / 4, 4), /*count=*/3);
+  }
+}
+
+Factory SbfFactory(SbfPolicy policy, CounterBacking backing) {
+  return [policy, backing] {
+    SbfOptions options;
+    options.m = kM;
+    options.k = kK;
+    options.policy = policy;
+    options.backing = backing;
+    options.seed = 99;
+    return std::make_unique<SpectralBloomFilter>(options);
+  };
+}
+
+TEST(BatchPipelineTest, SpectralBloomFilterAllBackingsAndPolicies) {
+  for (const auto backing :
+       {CounterBacking::kFixed64, CounterBacking::kFixed32,
+        CounterBacking::kCompact, CounterBacking::kSerialScan}) {
+    for (const auto policy :
+         {SbfPolicy::kMinimumSelection, SbfPolicy::kMinimalIncrease}) {
+      const std::string label =
+          std::string("SBF/") + CounterBackingName(backing) +
+          (policy == SbfPolicy::kMinimumSelection ? "/MS" : "/MI");
+      RunAllKeySets(label, SbfFactory(policy, backing));
+    }
+  }
+}
+
+TEST(BatchPipelineTest, BlockedSbfAllBackings) {
+  for (const auto backing :
+       {CounterBacking::kFixed64, CounterBacking::kFixed32,
+        CounterBacking::kCompact, CounterBacking::kSerialScan}) {
+    for (const uint64_t block_size : {8u, 64u}) {
+      const auto make = [backing, block_size] {
+        BlockedSbfOptions options;
+        options.m = kM;
+        options.k = kK;
+        options.block_size = block_size;
+        options.backing = backing;
+        options.seed = 7;
+        return std::make_unique<BlockedSbf>(options);
+      };
+      RunAllKeySets(std::string("Blocked/") + CounterBackingName(backing) +
+                        "/b" + std::to_string(block_size),
+                    make);
+    }
+  }
+}
+
+TEST(BatchPipelineTest, CountingBloomFilterSaturates) {
+  // Duplicate-heavy streams push 4-bit counters past 15: scalar and batch
+  // must saturate (and stay sticky) identically.
+  RunAllKeySets("CBF/4bit", [] {
+    return std::make_unique<CountingBloomFilter>(kM, kK, 4, 5);
+  });
+}
+
+TEST(BatchPipelineTest, RecurringMinimumDefaultLoops) {
+  // RM inherits the FrequencyFilter default batch loops; the differential
+  // harness pins their contract too.
+  RunAllKeySets("RM", [] {
+    return std::make_unique<RecurringMinimumSbf>(
+        RecurringMinimumSbf::WithTotalBudget(kM, kK, 17));
+  });
+}
+
+Factory ConcurrentFactory(SbfPolicy policy, CounterBacking backing) {
+  return [policy, backing] {
+    ConcurrentSbfOptions options;
+    options.m = kM;
+    options.k = kK;
+    options.policy = policy;
+    options.backing = backing;
+    options.num_shards = 8;
+    options.seed = 23;
+    return std::make_unique<ConcurrentSbf>(options);
+  };
+}
+
+TEST(BatchPipelineTest, ConcurrentSbfLockFreeAndLocked) {
+  // fixed64 + MS is the lock-free atomic pipeline; the others take the
+  // per-shard locks around the SpectralBloomFilter kernels.
+  RunAllKeySets("CSBF/fixed64/MS (lock-free)",
+                ConcurrentFactory(SbfPolicy::kMinimumSelection,
+                                  CounterBacking::kFixed64));
+  RunAllKeySets("CSBF/compact/MS (locked)",
+                ConcurrentFactory(SbfPolicy::kMinimumSelection,
+                                  CounterBacking::kCompact));
+  RunAllKeySets("CSBF/fixed64/MI (locked)",
+                ConcurrentFactory(SbfPolicy::kMinimalIncrease,
+                                  CounterBacking::kFixed64));
+}
+
+TEST(BatchPipelineTest, ConcurrentSbfShardSkewedKeys) {
+  // ~90% of keys land in shard 0: exercises the grouped scatter/gather
+  // with wildly uneven per-shard slices (including empty shards).
+  const auto make = ConcurrentFactory(SbfPolicy::kMinimumSelection,
+                                      CounterBacking::kFixed64);
+  auto probe = make();
+  const auto& router = static_cast<const ConcurrentSbf&>(*probe);
+  Xoshiro256 rng(31);
+  std::vector<uint64_t> keys;
+  keys.reserve(kStream);
+  while (keys.size() < kStream) {
+    const uint64_t key = rng.Next();
+    if (router.ShardOf(key) == 0 || rng.UniformInt(10) == 0) {
+      keys.push_back(key);
+    }
+  }
+  ExpectBatchEqualsScalar(make, keys);
+}
+
+TEST(BatchPipelineTest, VectorConveniencesMatchPointerForm) {
+  const auto make = SbfFactory(SbfPolicy::kMinimumSelection,
+                               CounterBacking::kCompact);
+  auto a = make();
+  auto b = make();
+  const std::vector<uint64_t> keys = RandomKeys(500, 41);
+  a->InsertBatch(keys.data(), keys.size());
+  b->InsertBatch(keys);  // vector convenience
+  const std::vector<uint64_t> via_vector = b->EstimateBatch(keys);
+  std::vector<uint64_t> via_pointer(keys.size());
+  a->EstimateBatch(keys.data(), keys.size(), via_pointer.data());
+  EXPECT_EQ(via_vector, via_pointer);
+}
+
+TEST(BatchPipelineTest, EmptyAndTinyBatches) {
+  const auto make = SbfFactory(SbfPolicy::kMinimumSelection,
+                               CounterBacking::kFixed64);
+  auto filter = make();
+  filter->InsertBatch(nullptr, 0);  // no-op, must not crash
+  uint64_t key = 123;
+  filter->InsertBatch(&key, 1);
+  uint64_t estimate = 0;
+  filter->EstimateBatch(&key, 1, &estimate);
+  EXPECT_EQ(estimate, 1u);
+  filter->EstimateBatch(nullptr, 0, nullptr);
+}
+
+}  // namespace
+}  // namespace sbf

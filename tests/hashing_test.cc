@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -62,15 +63,18 @@ class HashFamilyKindTest : public ::testing::TestWithParam<HashFamily::Kind> {};
 
 TEST_P(HashFamilyKindTest, PositionsWithinRange) {
   HashFamily family(5, 1237, 42, GetParam());
+  uint64_t positions[HashFamily::kMaxK];
   for (uint64_t key = 0; key < 2000; ++key) {
-    for (uint64_t p : family.Positions(key)) EXPECT_LT(p, 1237u);
+    family.Positions(key, positions);
+    for (uint32_t i = 0; i < 5; ++i) EXPECT_LT(positions[i], 1237u);
   }
 }
 
 TEST_P(HashFamilyKindTest, PositionsMatchPositionAccessor) {
   HashFamily family(7, 509, 9, GetParam());
+  uint64_t positions[HashFamily::kMaxK];
   for (uint64_t key = 0; key < 200; ++key) {
-    const auto positions = family.Positions(key);
+    family.Positions(key, positions);
     for (uint32_t i = 0; i < 7; ++i) {
       EXPECT_EQ(positions[i], family.Position(key, i));
     }
@@ -80,17 +84,23 @@ TEST_P(HashFamilyKindTest, PositionsMatchPositionAccessor) {
 TEST_P(HashFamilyKindTest, DeterministicAcrossInstances) {
   HashFamily a(5, 1000, 77, GetParam());
   HashFamily b(5, 1000, 77, GetParam());
+  uint64_t pa[HashFamily::kMaxK], pb[HashFamily::kMaxK];
   for (uint64_t key = 0; key < 500; ++key) {
-    EXPECT_EQ(a.Positions(key), b.Positions(key));
+    a.Positions(key, pa);
+    b.Positions(key, pb);
+    EXPECT_TRUE(std::equal(pa, pa + 5, pb));
   }
 }
 
 TEST_P(HashFamilyKindTest, SeedChangesPositions) {
   HashFamily a(5, 100000, 1, GetParam());
   HashFamily b(5, 100000, 2, GetParam());
+  uint64_t pa[HashFamily::kMaxK], pb[HashFamily::kMaxK];
   int identical = 0;
   for (uint64_t key = 0; key < 100; ++key) {
-    identical += (a.Positions(key) == b.Positions(key));
+    a.Positions(key, pa);
+    b.Positions(key, pb);
+    identical += std::equal(pa, pa + 5, pb);
   }
   EXPECT_LT(identical, 3);
 }
@@ -117,6 +127,12 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, HashFamilyKindTest,
                                       : "DoubleMix";
                          });
 
+TEST(HashFamilyTest, RejectsKAboveStackBufferBound) {
+  // kMaxK bounds every caller's stack position buffer; the family must
+  // refuse anything larger.
+  EXPECT_DEATH(HashFamily(HashFamily::kMaxK + 1, 100, 0), "1 <= k <= 64");
+}
+
 TEST(HashFamilyTest, CompatibilityRequiresAllParams) {
   HashFamily base(5, 100, 7);
   EXPECT_TRUE(base.Compatible(HashFamily(5, 100, 7)));
@@ -131,8 +147,9 @@ TEST(HashFamilyTest, DifferentFunctionsWithinFamily) {
   HashFamily family(5, 1000000, 3);
   // With m = 10^6, the 5 functions should almost never coincide.
   int collisions = 0;
+  uint64_t p[HashFamily::kMaxK];
   for (uint64_t key = 0; key < 200; ++key) {
-    const auto p = family.Positions(key);
+    family.Positions(key, p);
     for (int i = 0; i < 5; ++i) {
       for (int j = i + 1; j < 5; ++j) collisions += (p[i] == p[j]);
     }
