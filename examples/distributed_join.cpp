@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "db/bloomjoin.h"
+#include "io/wire.h"
 #include "util/random.h"
 
 int main() {
@@ -55,5 +56,25 @@ int main() {
       100.0 *
           (verified.network.bytes_sent - spectral.network.bytes_sent) /
           spectral.network.bytes_sent);
+
+  // The single message above is a real wire frame. Ship the orders
+  // partition once more and re-open it the way the customers site does.
+  const std::vector<uint8_t> frame = sbf::ShipPartition(orders, 36000, 5, 7);
+  const auto envelope = sbf::wire::ProbeFrame(frame);
+  const auto partition = sbf::ReceivePartition(frame);
+  if (!envelope.ok() || !partition.ok()) {
+    std::fprintf(stderr, "partition round-trip failed\n");
+    return 1;
+  }
+  std::printf(
+      "\nwire frame: magic 'SBjp' v%u, %llu payload bytes, crc32c %08x\n"
+      "received partition: relation '%s', %llu tuples, filter %s "
+      "(%llu items)\n",
+      envelope.value().version,
+      (unsigned long long)envelope.value().payload_size,
+      envelope.value().crc32c, partition.value().relation.c_str(),
+      (unsigned long long)partition.value().tuples,
+      partition.value().filter.Name().c_str(),
+      (unsigned long long)partition.value().filter.total_items());
   return 0;
 }

@@ -23,6 +23,22 @@ uint64_t BlockAlpha(uint64_t seed) {
 
 }  // namespace
 
+Status ValidateBlockedSbfOptions(const BlockedSbfOptions& options) {
+  if (options.m < 1) {
+    return Status::InvalidArgument("blocked SBF needs m >= 1");
+  }
+  if (options.block_size < 1 || options.block_size > options.m) {
+    return Status::InvalidArgument("block size must be in [1, m]");
+  }
+  if (options.m % options.block_size != 0) {
+    return Status::InvalidArgument("m must be a multiple of block_size");
+  }
+  if (options.k < 1 || options.k > kMaxK) {
+    return Status::InvalidArgument("need 1 <= k <= 64");
+  }
+  return Status::Ok();
+}
+
 BlockedSbf::BlockedSbf(BlockedSbfOptions options)
     : options_(options),
       num_blocks_(CeilDiv(options.m, std::max<uint64_t>(options.block_size, 1))),
@@ -30,12 +46,8 @@ BlockedSbf::BlockedSbf(BlockedSbfOptions options)
       within_block_(options.k, std::max<uint64_t>(options.block_size, 1),
                     options.seed ^ 0x17735Bull, options.hash_kind),
       counters_(MakeCounterVector(options.backing, options.m)) {
-  SBF_CHECK_MSG(options_.m >= 1, "blocked SBF needs m >= 1");
-  SBF_CHECK_MSG(options_.block_size >= 1 && options_.block_size <= options_.m,
-                "block size must be in [1, m]");
-  SBF_CHECK_MSG(options_.m % options_.block_size == 0,
-                "m must be a multiple of block_size");
-  SBF_CHECK_MSG(options_.k >= 1 && options_.k <= kMaxK, "need 1 <= k <= 64");
+  const Status status = ValidateBlockedSbfOptions(options_);
+  SBF_CHECK_MSG(status.ok(), status.message().c_str());
 }
 
 void BlockedSbf::Positions(uint64_t key, uint64_t* out) const {
@@ -189,6 +201,66 @@ uint64_t BlockedSbf::BlockLoad(uint64_t b) const {
     load += counters_->Get(base + i);
   }
   return load;
+}
+
+std::vector<uint8_t> BlockedSbf::Serialize() const {
+  wire::Writer payload;
+  payload.PutVarint(options_.m);
+  payload.PutVarint(options_.block_size);
+  payload.PutVarint(options_.k);
+  payload.PutU8(static_cast<uint8_t>(options_.backing));
+  payload.PutU8(options_.hash_kind == HashFamily::Kind::kModuloMultiply ? 0
+                                                                        : 1);
+  payload.PutU64(options_.seed);
+  payload.PutFrame(counters_->Serialize());
+  return wire::SealFrame(wire::kMagicBlockedSbf, wire::kFormatVersion,
+                         std::move(payload));
+}
+
+StatusOr<BlockedSbf> BlockedSbf::Deserialize(wire::ByteSpan bytes) {
+  auto reader = wire::OpenFrame(bytes, wire::kMagicBlockedSbf,
+                                wire::kFormatVersion, "blocked SBF");
+  if (!reader.ok()) return reader.status();
+  wire::Reader& in = reader.value();
+  BlockedSbfOptions options;
+  options.m = in.ReadVarint();
+  options.block_size = in.ReadVarint();
+  const uint64_t k = in.ReadVarint();
+  const uint8_t backing = in.ReadU8();
+  const uint8_t kind = in.ReadU8();
+  options.seed = in.ReadU64();
+  if (!in.ok()) return in.status();
+  if (k > kMaxK ||
+      backing > static_cast<uint8_t>(CounterBacking::kSerialScan) ||
+      kind > 1) {
+    return Status::DataLoss("bad blocked SBF header");
+  }
+  options.k = static_cast<uint32_t>(k);
+  options.backing = static_cast<CounterBacking>(backing);
+  options.hash_kind = kind == 0 ? HashFamily::Kind::kModuloMultiply
+                                : HashFamily::Kind::kDoubleMix;
+  const Status valid = ValidateBlockedSbfOptions(options);
+  if (!valid.ok()) return Status::DataLoss(valid.message());
+
+  const wire::ByteSpan counter_frame = in.ReadFrameSpan();
+  if (!in.ok()) return in.status();
+  Status status = in.ExpectEnd("blocked SBF");
+  if (!status.ok()) return status;
+  // Deserialize the counter frame before building the filter: the frame
+  // bounds its own allocations, and size/backing mismatches must never
+  // reach the devirtualized batch kernels.
+  auto cv = DeserializeCounterVector(counter_frame);
+  if (!cv.ok()) return cv.status();
+  if (cv.value()->size() != options.m) {
+    return Status::DataLoss("blocked SBF counter vector size disagrees with m");
+  }
+  if (!MatchesBacking(*cv.value(), options.backing)) {
+    return Status::DataLoss("blocked SBF counter vector backing mismatch");
+  }
+
+  BlockedSbf filter(options);
+  filter.counters_ = std::move(cv).value();
+  return filter;
 }
 
 }  // namespace sbf

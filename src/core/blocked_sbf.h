@@ -21,6 +21,11 @@ struct BlockedSbfOptions {
   HashFamily::Kind hash_kind = HashFamily::Kind::kModuloMultiply;
 };
 
+// Validates a BlockedSbfOptions: m >= 1, block_size in [1, m] dividing m,
+// and 1 <= k <= 64. The constructor enforces this fatally; recoverable
+// callers (deserializers, config loaders) can check first.
+Status ValidateBlockedSbfOptions(const BlockedSbfOptions& options);
+
 // The external-memory SBF of Section 2.2 ("External memory SBF"),
 // following the multi-level hashing scheme of Manber & Wu [MW94]: a first
 // hash function maps each key to one block of `block_size` counters, and
@@ -68,6 +73,11 @@ class BlockedSbf final : public FrequencyFilter {
 
   // Counters currently stored in block b (for load-skew diagnostics).
   uint64_t BlockLoad(uint64_t b) const;
+
+  // 'SBbk' wire frame (io/wire.h): {varint m, varint block_size, varint k,
+  // u8 backing, u8 hash kind, u64 seed, embedded counter backing frame}.
+  std::vector<uint8_t> Serialize() const override;
+  static StatusOr<BlockedSbf> Deserialize(wire::ByteSpan bytes);
 
  private:
   void Positions(uint64_t key, uint64_t* out) const;

@@ -7,17 +7,6 @@ namespace sbf {
 namespace {
 
 constexpr uint32_t kMaxK = 64;
-constexpr uint32_t kWireMagic = 0x53424621;  // "SBF!"
-
-void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-uint64_t ReadU64(const uint8_t* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
-  return v;
-}
 
 }  // namespace
 
@@ -83,48 +72,48 @@ Status BloomFilter::UnionWith(const BloomFilter& other) {
 }
 
 std::vector<uint8_t> BloomFilter::Serialize() const {
-  std::vector<uint8_t> out;
-  AppendU64(&out, kWireMagic);
-  AppendU64(&out, m_);
-  AppendU64(&out, hash_.k());
-  AppendU64(&out, hash_.seed());
-  AppendU64(&out, hash_.kind() == HashFamily::Kind::kModuloMultiply ? 0 : 1);
-  AppendU64(&out, num_added_);
-  for (size_t w = 0; w < bits_.size_words(); ++w) {
-    AppendU64(&out, bits_.words()[w]);
-  }
-  return out;
+  wire::Writer payload;
+  payload.PutVarint(m_);
+  payload.PutVarint(hash_.k());
+  payload.PutU8(hash_.kind() == HashFamily::Kind::kModuloMultiply ? 0 : 1);
+  payload.PutU64(hash_.seed());
+  payload.PutVarint(num_added_);
+  payload.PutWords(bits_.words(), bits_.size_words());
+  return wire::SealFrame(wire::kMagicBloomFilter, wire::kFormatVersion,
+                         std::move(payload));
 }
 
-StatusOr<BloomFilter> BloomFilter::Deserialize(
-    const std::vector<uint8_t>& bytes) {
-  constexpr size_t kHeader = 6 * 8;
-  if (bytes.size() < kHeader) {
-    return Status::DataLoss("Bloom filter message truncated");
-  }
-  const uint8_t* p = bytes.data();
-  if (ReadU64(p) != kWireMagic) {
-    return Status::DataLoss("bad Bloom filter magic");
-  }
-  const uint64_t m = ReadU64(p + 8);
-  const uint64_t k = ReadU64(p + 16);
-  const uint64_t seed = ReadU64(p + 24);
-  const uint64_t kind = ReadU64(p + 32);
-  const uint64_t count = ReadU64(p + 40);
+StatusOr<BloomFilter> BloomFilter::Deserialize(wire::ByteSpan bytes) {
+  auto reader = wire::OpenFrame(bytes, wire::kMagicBloomFilter,
+                                wire::kFormatVersion, "Bloom filter");
+  if (!reader.ok()) return reader.status();
+  wire::Reader& in = reader.value();
+  const uint64_t m = in.ReadVarint();
+  const uint64_t k = in.ReadVarint();
+  const uint8_t kind = in.ReadU8();
+  const uint64_t seed = in.ReadU64();
+  const uint64_t count = in.ReadVarint();
+  if (!in.ok()) return in.status();
   if (m < 1 || k < 1 || k > kMaxK || kind > 1) {
     return Status::DataLoss("bad Bloom filter header");
   }
   // Validate the payload size before allocating m bits, so a corrupted
   // header cannot trigger a huge allocation.
+  if (m > in.remaining() * 8) {
+    return Status::DataLoss("Bloom filter bit array truncated");
+  }
   const size_t words = CeilDiv(m, 64);
-  if (bytes.size() != kHeader + words * 8) {
+  if (in.remaining() != words * 8) {
     return Status::DataLoss("Bloom filter payload size mismatch");
   }
   BloomFilter filter(m, static_cast<uint32_t>(k), seed,
                      kind == 0 ? HashFamily::Kind::kModuloMultiply
                                : HashFamily::Kind::kDoubleMix);
-  for (size_t w = 0; w < words; ++w) {
-    filter.bits_.mutable_words()[w] = ReadU64(p + kHeader + w * 8);
+  in.ReadWords(filter.bits_.mutable_words(), words);
+  Status status = in.ExpectEnd("Bloom filter");
+  if (!status.ok()) return status;
+  if (m % 64 != 0 && (filter.bits_.words()[words - 1] >> (m % 64)) != 0) {
+    return Status::DataLoss("Bloom filter has set padding bits");
   }
   filter.num_added_ = count;
   return filter;

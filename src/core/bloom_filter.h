@@ -7,6 +7,7 @@
 
 #include "bitstream/bit_vector.h"
 #include "hashing/hash_family.h"
+#include "io/wire.h"
 #include "util/status.h"
 
 namespace sbf {
@@ -58,11 +59,12 @@ class BloomFilter {
   // result represents the union of the two key sets.
   Status UnionWith(const BloomFilter& other);
 
-  // Wire format: header (m, k, seed, kind, count) + bit array. The paper
-  // stresses that distributed applications ship filters as messages
-  // (Section 4.7.1); serialization round-trips exactly.
+  // 'SBbf' wire frame (io/wire.h): {varint m, varint k, u8 kind, u64 seed,
+  // varint count, raw bit words}. The paper stresses that distributed
+  // applications ship filters as messages (Section 4.7.1); serialization
+  // round-trips exactly.
   std::vector<uint8_t> Serialize() const;
-  static StatusOr<BloomFilter> Deserialize(const std::vector<uint8_t>& bytes);
+  static StatusOr<BloomFilter> Deserialize(wire::ByteSpan bytes);
 
   size_t MemoryUsageBits() const { return bits_.capacity_bits(); }
 

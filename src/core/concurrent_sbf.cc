@@ -16,7 +16,6 @@ namespace {
 
 constexpr uint32_t kMaxK = 64;
 constexpr uint32_t kMaxShards = 4096;
-constexpr uint64_t kWireMagic = 0x43534246'53424631ull;  // "CSBFSBF1"
 constexpr uint64_t kSeedSalt = 0x5BF5AA17C0DEull;
 constexpr uint64_t kRouterSalt = 0x5BF707E2D811ull;
 
@@ -26,16 +25,6 @@ constexpr uint64_t kRouterSalt = 0x5BF707E2D811ull;
 uint64_t AtomicLoad(const uint64_t& word) {
   return std::atomic_ref<uint64_t>(const_cast<uint64_t&>(word))
       .load(std::memory_order_relaxed);
-}
-
-void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-uint64_t ReadU64(const uint8_t* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
-  return v;
 }
 
 bool SameShardOptions(const SbfOptions& a, const SbfOptions& b) {
@@ -382,61 +371,46 @@ std::string ConcurrentSbf::Name() const {
 }
 
 std::vector<uint8_t> ConcurrentSbf::Serialize() const {
-  std::vector<uint8_t> out;
-  AppendU64(&out, kWireMagic);
-  AppendU64(&out, options_.num_shards);
-  AppendU64(&out, options_.m);
-  AppendU64(&out, options_.seed);
+  wire::Writer payload;
+  payload.PutVarint(options_.num_shards);
+  payload.PutVarint(options_.m);
+  payload.PutU64(options_.seed);
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
-    const std::vector<uint8_t> shard_bytes = SnapshotShard(s).Serialize();
-    AppendU64(&out, shard_bytes.size());
-    out.insert(out.end(), shard_bytes.begin(), shard_bytes.end());
+    payload.PutFrame(SnapshotShard(s).Serialize());
   }
-  return out;
+  return wire::SealFrame(wire::kMagicShardedSbf, wire::kFormatVersion,
+                         std::move(payload));
 }
 
-StatusOr<ConcurrentSbf> ConcurrentSbf::Deserialize(
-    const std::vector<uint8_t>& bytes) {
-  constexpr size_t kHeader = 4 * 8;
-  if (bytes.size() < kHeader) {
-    return Status::DataLoss("sharded SBF message truncated");
-  }
-  const uint8_t* p = bytes.data();
-  if (ReadU64(p) != kWireMagic) {
-    return Status::DataLoss("bad sharded SBF magic");
-  }
-  const uint64_t num_shards = ReadU64(p + 8);
-  const uint64_t total_m = ReadU64(p + 16);
-  const uint64_t seed = ReadU64(p + 24);
+StatusOr<ConcurrentSbf> ConcurrentSbf::Deserialize(wire::ByteSpan bytes) {
+  auto reader = wire::OpenFrame(bytes, wire::kMagicShardedSbf,
+                                wire::kFormatVersion, "sharded SBF");
+  if (!reader.ok()) return reader.status();
+  wire::Reader& in = reader.value();
+  const uint64_t num_shards = in.ReadVarint();
+  const uint64_t total_m = in.ReadVarint();
+  const uint64_t seed = in.ReadU64();
+  if (!in.ok()) return in.status();
   if (num_shards < 1 || num_shards > kMaxShards) {
     return Status::DataLoss("bad sharded SBF shard count");
   }
   if (total_m < 1) return Status::DataLoss("bad sharded SBF m");
 
-  // Peel the length-prefixed shard blobs.
+  // Peel the embedded per-shard frames.
   std::vector<SpectralBloomFilter> shard_filters;
   shard_filters.reserve(num_shards);
-  size_t offset = kHeader;
   for (uint64_t s = 0; s < num_shards; ++s) {
-    if (bytes.size() - offset < 8) {
+    const wire::ByteSpan blob = in.ReadFrameSpan();
+    if (!in.ok()) {
       return Status::DataLoss("sharded SBF truncated at shard " +
                               std::to_string(s));
     }
-    const uint64_t len = ReadU64(p + offset);
-    offset += 8;
-    if (len > bytes.size() - offset) {
-      return Status::DataLoss("sharded SBF shard length out of bounds");
-    }
-    std::vector<uint8_t> blob(bytes.begin() + offset,
-                              bytes.begin() + offset + len);
-    offset += len;
     auto shard = SpectralBloomFilter::Deserialize(blob);
     if (!shard.ok()) return shard.status();
     shard_filters.push_back(std::move(shard).value());
   }
-  if (offset != bytes.size()) {
-    return Status::DataLoss("sharded SBF has trailing garbage");
-  }
+  Status status = in.ExpectEnd("sharded SBF");
+  if (!status.ok()) return status;
 
   // Reconstruct the frontend options from the header + shard 0, then check
   // every shard against the options it must have been built with. This

@@ -99,13 +99,13 @@ class ConcurrentSbf final : public FrequencyFilter {
 
   // --- serialization ------------------------------------------------------
 
-  // Wire format: header + length-prefixed concatenation of the per-shard
-  // SpectralBloomFilter wire formats, so distributed consumers (Bloomjoin,
-  // iceberg sites) can exchange sharded filters or peel individual shards.
-  // Takes a per-shard snapshot; concurrent writers make the snapshot a
-  // valid interleaving, not a point-in-time image.
-  std::vector<uint8_t> Serialize() const;
-  static StatusOr<ConcurrentSbf> Deserialize(const std::vector<uint8_t>& bytes);
+  // 'SBcs' wire frame (io/wire.h): {varint num_shards, varint m, u64 seed,
+  // embedded per-shard SpectralBloomFilter frames}, so distributed
+  // consumers (Bloomjoin, iceberg sites) can exchange sharded filters or
+  // peel individual shards. Takes a per-shard snapshot; concurrent writers
+  // make the snapshot a valid interleaving, not a point-in-time image.
+  std::vector<uint8_t> Serialize() const override;
+  static StatusOr<ConcurrentSbf> Deserialize(wire::ByteSpan bytes);
 
   // --- introspection -------------------------------------------------------
 

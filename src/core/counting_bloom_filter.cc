@@ -71,4 +71,56 @@ void CountingBloomFilter::EstimateBatch(const uint64_t* keys, size_t n,
                size_t i) { out[i] = BranchFreeMin(cv, pos, k); });
 }
 
+std::vector<uint8_t> CountingBloomFilter::Serialize() const {
+  wire::Writer payload;
+  payload.PutVarint(m_);
+  payload.PutVarint(hash_.k());
+  payload.PutU8(hash_.kind() == HashFamily::Kind::kModuloMultiply ? 0 : 1);
+  payload.PutU64(hash_.seed());
+  payload.PutVarint(counters_.width_bits());
+  payload.PutFrame(counters_.Serialize());
+  return wire::SealFrame(wire::kMagicCountingBloom, wire::kFormatVersion,
+                         std::move(payload));
+}
+
+StatusOr<CountingBloomFilter> CountingBloomFilter::Deserialize(
+    wire::ByteSpan bytes) {
+  auto reader = wire::OpenFrame(bytes, wire::kMagicCountingBloom,
+                                wire::kFormatVersion, "counting BF");
+  if (!reader.ok()) return reader.status();
+  wire::Reader& in = reader.value();
+  const uint64_t m = in.ReadVarint();
+  const uint64_t k = in.ReadVarint();
+  const uint8_t kind = in.ReadU8();
+  const uint64_t seed = in.ReadU64();
+  const uint64_t counter_bits = in.ReadVarint();
+  if (!in.ok()) return in.status();
+  if (m < 1 || k < 1 || k > kMaxK || kind > 1 || counter_bits < 1 ||
+      counter_bits > 64) {
+    return Status::DataLoss("bad counting BF header");
+  }
+  const wire::ByteSpan counter_frame = in.ReadFrameSpan();
+  if (!in.ok()) return in.status();
+  Status status = in.ExpectEnd("counting BF");
+  if (!status.ok()) return status;
+
+  // The counter frame is deserialized before the filter is constructed and
+  // must agree with the header exactly — the FCAB98 semantics hinge on the
+  // sticky-saturating fixed-width configuration.
+  auto cv = DeserializeCounterVector(counter_frame);
+  if (!cv.ok()) return cv.status();
+  auto* fixed = dynamic_cast<FixedWidthCounterVector*>(cv.value().get());
+  if (fixed == nullptr || fixed->size() != m ||
+      fixed->width_bits() != counter_bits || !fixed->sticky_saturation()) {
+    return Status::DataLoss("counting BF counter vector mismatch");
+  }
+
+  CountingBloomFilter filter(m, static_cast<uint32_t>(k),
+                             static_cast<uint32_t>(counter_bits), seed,
+                             kind == 0 ? HashFamily::Kind::kModuloMultiply
+                                       : HashFamily::Kind::kDoubleMix);
+  filter.counters_ = std::move(*fixed);
+  return filter;
+}
+
 }  // namespace sbf

@@ -56,6 +56,11 @@ class CountingBloomFilter final : public FrequencyFilter {
   // Counters pinned at the maximum (candidates for overestimation).
   size_t SaturatedCount() const { return counters_.SaturatedCount(); }
 
+  // 'SBcb' wire frame (io/wire.h): {varint m, varint k, u8 kind, u64 seed,
+  // varint counter width, embedded fixed-width counter frame}.
+  std::vector<uint8_t> Serialize() const override;
+  static StatusOr<CountingBloomFilter> Deserialize(wire::ByteSpan bytes);
+
  private:
   uint64_t m_;
   HashFamily hash_;

@@ -76,6 +76,11 @@ class FrequencyFilter {
 
   // Algorithm name for experiment tables ("MS", "MI", "RM", ...).
   virtual std::string Name() const = 0;
+
+  // Complete self-describing wire frame (io/wire.h): every frontend is
+  // persistable and shippable. io/filter_codec.h reconstructs any
+  // frontend from its frame by dispatching on the frame magic.
+  virtual std::vector<uint8_t> Serialize() const = 0;
 };
 
 }  // namespace sbf

@@ -27,6 +27,14 @@ SbfOptions SecondaryOptions(const RecurringMinimumOptions& options) {
   return sbf;
 }
 
+constexpr uint64_t kMarkerSeedSalt = 0xB100F11;
+
+bool SameSbfOptions(const SbfOptions& a, const SbfOptions& b) {
+  return a.m == b.m && a.k == b.k && a.policy == b.policy &&
+         a.backing == b.backing && a.seed == b.seed &&
+         a.hash_kind == b.hash_kind;
+}
+
 }  // namespace
 
 RecurringMinimumSbf::RecurringMinimumSbf(RecurringMinimumOptions options)
@@ -36,8 +44,8 @@ RecurringMinimumSbf::RecurringMinimumSbf(RecurringMinimumOptions options)
   SBF_CHECK_MSG(options.primary_m >= 1 && options.secondary_m >= 1,
                 "RM needs primary_m and secondary_m >= 1");
   if (options.use_marker_filter) {
-    marker_.emplace(options.primary_m, options.k, options.seed ^ 0xB100F11,
-                    options.hash_kind);
+    marker_.emplace(options.primary_m, options.k,
+                    options.seed ^ kMarkerSeedSalt, options.hash_kind);
   }
 }
 
@@ -130,6 +138,94 @@ size_t RecurringMinimumSbf::MemoryUsageBits() const {
   size_t bits = primary_.MemoryUsageBits() + secondary_.MemoryUsageBits();
   if (marker_.has_value()) bits += marker_->MemoryUsageBits();
   return bits;
+}
+
+std::vector<uint8_t> RecurringMinimumSbf::Serialize() const {
+  wire::Writer payload;
+  payload.PutVarint(options_.primary_m);
+  payload.PutVarint(options_.secondary_m);
+  payload.PutVarint(options_.k);
+  payload.PutU8(static_cast<uint8_t>(options_.backing));
+  payload.PutU8(options_.hash_kind == HashFamily::Kind::kModuloMultiply ? 0
+                                                                        : 1);
+  payload.PutU8(options_.use_marker_filter ? 1 : 0);
+  payload.PutU64(options_.seed);
+  payload.PutVarint(moved_to_secondary_);
+  payload.PutFrame(primary_.Serialize());
+  payload.PutFrame(secondary_.Serialize());
+  if (marker_.has_value()) payload.PutFrame(marker_->Serialize());
+  return wire::SealFrame(wire::kMagicRecurringMinimum, wire::kFormatVersion,
+                         std::move(payload));
+}
+
+StatusOr<RecurringMinimumSbf> RecurringMinimumSbf::Deserialize(
+    wire::ByteSpan bytes) {
+  auto reader = wire::OpenFrame(bytes, wire::kMagicRecurringMinimum,
+                                wire::kFormatVersion, "RM filter");
+  if (!reader.ok()) return reader.status();
+  wire::Reader& in = reader.value();
+  RecurringMinimumOptions options;
+  options.primary_m = in.ReadVarint();
+  options.secondary_m = in.ReadVarint();
+  const uint64_t k = in.ReadVarint();
+  const uint8_t backing = in.ReadU8();
+  const uint8_t kind = in.ReadU8();
+  const uint8_t use_marker = in.ReadU8();
+  options.seed = in.ReadU64();
+  const uint64_t moved = in.ReadVarint();
+  if (!in.ok()) return in.status();
+  if (options.primary_m < 1 || options.secondary_m < 1 || k < 1 || k > 64 ||
+      backing > static_cast<uint8_t>(CounterBacking::kSerialScan) ||
+      kind > 1 || use_marker > 1) {
+    return Status::DataLoss("bad RM filter header");
+  }
+  options.k = static_cast<uint32_t>(k);
+  options.backing = static_cast<CounterBacking>(backing);
+  options.hash_kind = kind == 0 ? HashFamily::Kind::kModuloMultiply
+                                : HashFamily::Kind::kDoubleMix;
+  options.use_marker_filter = use_marker != 0;
+
+  const wire::ByteSpan primary_frame = in.ReadFrameSpan();
+  const wire::ByteSpan secondary_frame = in.ReadFrameSpan();
+  const wire::ByteSpan marker_frame =
+      options.use_marker_filter ? in.ReadFrameSpan() : wire::ByteSpan();
+  if (!in.ok()) return in.status();
+  Status status = in.ExpectEnd("RM filter");
+  if (!status.ok()) return status;
+
+  auto primary = SpectralBloomFilter::Deserialize(primary_frame);
+  if (!primary.ok()) return primary.status();
+  auto secondary = SpectralBloomFilter::Deserialize(secondary_frame);
+  if (!secondary.ok()) return secondary.status();
+  // The embedded filters must carry exactly the parameters the RM header
+  // derives (secondary seed included) — anything else is a reassembled or
+  // tampered message and would silently desynchronize the two SBFs.
+  if (!SameSbfOptions(primary.value().options(), PrimaryOptions(options)) ||
+      !SameSbfOptions(secondary.value().options(),
+                      SecondaryOptions(options))) {
+    return Status::DataLoss("RM embedded SBFs inconsistent with header");
+  }
+
+  std::optional<BloomFilter> marker;
+  if (options.use_marker_filter) {
+    auto loaded = BloomFilter::Deserialize(marker_frame);
+    if (!loaded.ok()) return loaded.status();
+    const HashFamily& hash = loaded.value().hash();
+    if (loaded.value().m() != options.primary_m ||
+        hash.k() != options.k ||
+        hash.seed() != (options.seed ^ kMarkerSeedSalt) ||
+        hash.kind() != options.hash_kind) {
+      return Status::DataLoss("RM marker filter inconsistent with header");
+    }
+    marker.emplace(std::move(loaded).value());
+  }
+
+  RecurringMinimumSbf filter(options);
+  filter.primary_ = std::move(primary).value();
+  filter.secondary_ = std::move(secondary).value();
+  filter.marker_ = std::move(marker);
+  filter.moved_to_secondary_ = moved;
+  return filter;
 }
 
 }  // namespace sbf

@@ -76,6 +76,13 @@ class RecurringMinimumSbf final : public FrequencyFilter {
   // Items currently routed through the secondary SBF (move events).
   size_t moved_to_secondary() const { return moved_to_secondary_; }
 
+  // 'SBrm' wire frame (io/wire.h): {options, varint moved count, embedded
+  // primary and secondary SBF frames, embedded marker BF frame when the
+  // marker is enabled}. The embedded frames must agree with the options
+  // (derived seeds included) or deserialization rejects the message.
+  std::vector<uint8_t> Serialize() const override;
+  static StatusOr<RecurringMinimumSbf> Deserialize(wire::ByteSpan bytes);
+
  private:
   bool MarkedInSecondary(uint64_t key) const;
 

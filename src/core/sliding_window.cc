@@ -1,5 +1,6 @@
 #include "core/sliding_window.h"
 
+#include "io/filter_codec.h"
 #include "util/check.h"
 
 namespace sbf {
@@ -18,6 +19,48 @@ void SlidingWindowFilter::Push(uint64_t key) {
     filter_->Remove(window_.front());
     window_.pop_front();
   }
+}
+
+std::vector<uint8_t> SlidingWindowFilter::Serialize() const {
+  wire::Writer payload;
+  payload.PutVarint(window_size_);
+  payload.PutVarint(window_.size());
+  for (const uint64_t key : window_) payload.PutU64(key);
+  payload.PutFrame(filter_->Serialize());
+  return wire::SealFrame(wire::kMagicSlidingWindow, wire::kFormatVersion,
+                         std::move(payload));
+}
+
+StatusOr<SlidingWindowFilter> SlidingWindowFilter::Deserialize(
+    wire::ByteSpan bytes) {
+  auto reader = wire::OpenFrame(bytes, wire::kMagicSlidingWindow,
+                                wire::kFormatVersion, "sliding window");
+  if (!reader.ok()) return reader.status();
+  wire::Reader& in = reader.value();
+  const uint64_t window_size = in.ReadVarint();
+  const uint64_t fill = in.ReadVarint();
+  if (!in.ok()) return in.status();
+  if (window_size < 1) {
+    return Status::DataLoss("sliding window size must be >= 1");
+  }
+  // Each in-window key occupies 8 payload bytes, so this bounds the deque
+  // allocation by the actual message size.
+  if (fill > window_size || fill > in.remaining() / 8) {
+    return Status::DataLoss("sliding window fill out of range");
+  }
+  std::deque<uint64_t> window;
+  for (uint64_t i = 0; i < fill; ++i) window.push_back(in.ReadU64());
+  const wire::ByteSpan filter_frame = in.ReadFrameSpan();
+  if (!in.ok()) return in.status();
+  Status status = in.ExpectEnd("sliding window");
+  if (!status.ok()) return status;
+
+  auto inner = DeserializeFilter(filter_frame);
+  if (!inner.ok()) return inner.status();
+  SlidingWindowFilter filter(std::move(inner).value(),
+                             static_cast<size_t>(window_size));
+  filter.window_ = std::move(window);
+  return filter;
 }
 
 }  // namespace sbf

@@ -5,8 +5,11 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/frequency_filter.h"
+#include "io/wire.h"
+#include "util/status.h"
 
 namespace sbf {
 
@@ -39,6 +42,14 @@ class SlidingWindowFilter {
   size_t current_fill() const { return window_.size(); }
   const FrequencyFilter& filter() const { return *filter_; }
   std::string Name() const { return filter_->Name() + "-window"; }
+
+  // 'SBsw' wire frame (io/wire.h): {varint window size, varint fill, the
+  // in-window keys oldest first, embedded inner-filter frame}. The inner
+  // filter is restored polymorphically (io/filter_codec.h) — any frontend
+  // round-trips — and the window contents are restored verbatim, not
+  // re-inserted.
+  std::vector<uint8_t> Serialize() const;
+  static StatusOr<SlidingWindowFilter> Deserialize(wire::ByteSpan bytes);
 
  private:
   std::unique_ptr<FrequencyFilter> filter_;

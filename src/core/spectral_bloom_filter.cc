@@ -2,9 +2,6 @@
 
 #include <algorithm>
 
-#include "bitstream/bit_vector.h"
-#include "bitstream/bit_writer.h"
-#include "bitstream/elias.h"
 #include "core/batch_kernels.h"
 #include "sai/compact_counter_vector.h"
 #include "sai/fixed_counter_vector.h"
@@ -15,38 +12,6 @@ namespace sbf {
 namespace {
 
 constexpr uint32_t kMaxK = 64;
-constexpr uint32_t kWireMagic = 0x53424632;  // "SBF2"
-
-void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-uint64_t ReadU64(const uint8_t* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
-  return v;
-}
-
-// Elias-delta decode that rejects malformed codewords (lengths no valid
-// encoder emits) instead of over-reading — deserialization must be safe
-// on corrupted network input.
-bool BoundedDeltaDecode(BitReader* reader, uint64_t* out) {
-  uint32_t zeros = 0;
-  while (!reader->ReadBit()) {
-    if (++zeros > 6) return false;  // gamma(len) with len <= 64 uses <= 6
-  }
-  uint64_t len = 1;
-  for (uint32_t i = 0; i < zeros; ++i) {
-    len = (len << 1) | static_cast<uint64_t>(reader->ReadBit());
-  }
-  if (len > 64) return false;
-  uint64_t value = 1;
-  for (uint64_t i = 1; i < len; ++i) {
-    value = (value << 1) | static_cast<uint64_t>(reader->ReadBit());
-  }
-  *out = value;
-  return true;
-}
 
 // Aborts on invalid options. Runs in the options_ member initializer, i.e.
 // before the hash family or counter vector are constructed — neither is
@@ -304,93 +269,68 @@ SpectralBloomFilter SpectralBloomFilter::CloneEmpty() const {
 }
 
 std::vector<uint8_t> SpectralBloomFilter::Serialize() const {
-  BitVector payload;
-  BitWriter writer(&payload);
-  for (uint64_t i = 0; i < options_.m; ++i) {
-    EliasDeltaEncode(counters_->Get(i) + 1, &writer);
-  }
-  writer.Finish();
-
-  std::vector<uint8_t> out;
-  AppendU64(&out, kWireMagic);
-  AppendU64(&out, options_.m);
-  AppendU64(&out, options_.k);
-  AppendU64(&out, options_.seed);
-  AppendU64(&out,
-            options_.hash_kind == HashFamily::Kind::kModuloMultiply ? 0 : 1);
-  AppendU64(&out, options_.policy == SbfPolicy::kMinimumSelection ? 0 : 1);
-  AppendU64(&out, static_cast<uint64_t>(options_.backing));
-  AppendU64(&out, total_items_);
-  AppendU64(&out, payload.size_bits());
-  for (size_t w = 0; w < payload.size_words(); ++w) {
-    AppendU64(&out, payload.words()[w]);
-  }
-  return out;
+  wire::Writer payload;
+  payload.PutVarint(options_.m);
+  payload.PutVarint(options_.k);
+  payload.PutU8(options_.policy == SbfPolicy::kMinimumSelection ? 0 : 1);
+  payload.PutU8(static_cast<uint8_t>(options_.backing));
+  payload.PutU8(options_.hash_kind == HashFamily::Kind::kModuloMultiply ? 0
+                                                                        : 1);
+  payload.PutU64(options_.seed);
+  payload.PutVarint(total_items_);
+  payload.PutFrame(counters_->Serialize());
+  return wire::SealFrame(wire::kMagicSbf, wire::kFormatVersion,
+                         std::move(payload));
 }
 
 StatusOr<SpectralBloomFilter> SpectralBloomFilter::Deserialize(
-    const std::vector<uint8_t>& bytes) {
-  constexpr size_t kHeader = 9 * 8;
-  if (bytes.size() < kHeader) return Status::DataLoss("SBF message truncated");
-  const uint8_t* p = bytes.data();
-  if (ReadU64(p) != kWireMagic) return Status::DataLoss("bad SBF magic");
+    wire::ByteSpan bytes) {
+  auto reader =
+      wire::OpenFrame(bytes, wire::kMagicSbf, wire::kFormatVersion, "SBF");
+  if (!reader.ok()) return reader.status();
+  wire::Reader& in = reader.value();
 
   SbfOptions options;
-  options.m = ReadU64(p + 8);
-  const uint64_t k = ReadU64(p + 16);
-  options.seed = ReadU64(p + 24);
-  const uint64_t kind = ReadU64(p + 32);
-  const uint64_t policy = ReadU64(p + 40);
-  const uint64_t backing = ReadU64(p + 48);
-  const uint64_t total_items = ReadU64(p + 56);
-  const uint64_t payload_bits = ReadU64(p + 64);
-  if (options.m < 1 || k < 1 || k > kMaxK || kind > 1 || policy > 1 ||
-      backing > static_cast<uint64_t>(CounterBacking::kSerialScan)) {
+  options.m = in.ReadVarint();
+  const uint64_t k = in.ReadVarint();
+  const uint8_t policy = in.ReadU8();
+  const uint8_t backing = in.ReadU8();
+  const uint8_t kind = in.ReadU8();
+  options.seed = in.ReadU64();
+  const uint64_t total_items = in.ReadVarint();
+  if (!in.ok()) return in.status();
+  if (k > kMaxK || policy > 1 || kind > 1 ||
+      backing > static_cast<uint8_t>(CounterBacking::kSerialScan)) {
     return Status::DataLoss("bad SBF header");
   }
   options.k = static_cast<uint32_t>(k);
-  options.hash_kind = kind == 0 ? HashFamily::Kind::kModuloMultiply
-                                : HashFamily::Kind::kDoubleMix;
   options.policy =
       policy == 0 ? SbfPolicy::kMinimumSelection : SbfPolicy::kMinimalIncrease;
   options.backing = static_cast<CounterBacking>(backing);
+  options.hash_kind = kind == 0 ? HashFamily::Kind::kModuloMultiply
+                                : HashFamily::Kind::kDoubleMix;
+  const Status valid = ValidateSbfOptions(options);
+  if (!valid.ok()) return Status::DataLoss(valid.message());
 
-  const size_t payload_words = CeilDiv(payload_bits, 64);
-  if (bytes.size() != kHeader + payload_words * 8) {
-    return Status::DataLoss("SBF payload size mismatch");
+  // The embedded counter frame bounds its own allocations against the
+  // actual message size; deserializing it *first* means a corrupted m can
+  // never drive the filter allocation below (size must match), and a
+  // backing mismatch can never reach the devirtualized batch kernels.
+  const wire::ByteSpan counter_frame = in.ReadFrameSpan();
+  if (!in.ok()) return in.status();
+  Status status = in.ExpectEnd("SBF");
+  if (!status.ok()) return status;
+  auto cv = DeserializeCounterVector(counter_frame);
+  if (!cv.ok()) return cv.status();
+  if (cv.value()->size() != options.m) {
+    return Status::DataLoss("SBF counter vector size disagrees with m");
   }
-  // Every counter costs at least one bit, so m cannot exceed the payload;
-  // this also bounds the allocation below against corrupted headers.
-  if (options.m > payload_bits) {
-    return Status::DataLoss("SBF header m inconsistent with payload");
+  if (!MatchesBacking(*cv.value(), options.backing)) {
+    return Status::DataLoss("SBF counter vector backing mismatch");
   }
-  // Guard words of all-ones after the payload: a corrupted codeword that
-  // runs past the end terminates immediately (a 1-bit is a complete gamma
-  // prefix) instead of reading out of bounds, and the overrun is then
-  // detected by the position checks below.
-  BitVector payload(payload_words * 64 + 128);
-  for (size_t w = 0; w < payload_words; ++w) {
-    payload.mutable_words()[w] = ReadU64(p + kHeader + w * 8);
-  }
-  payload.mutable_words()[payload_words] = ~0ull;
-  payload.mutable_words()[payload_words + 1] = ~0ull;
 
   SpectralBloomFilter filter(options);
-  BitReader reader(&payload);
-  for (uint64_t i = 0; i < options.m; ++i) {
-    if (reader.position() >= payload_bits) {
-      return Status::DataLoss("SBF counter stream truncated");
-    }
-    uint64_t value = 0;
-    if (!BoundedDeltaDecode(&reader, &value) ||
-        reader.position() > payload_bits) {
-      return Status::DataLoss("SBF counter stream corrupted");
-    }
-    filter.counters_->Set(i, value - 1);
-  }
-  if (reader.position() != payload_bits) {
-    return Status::DataLoss("SBF counter stream has trailing garbage");
-  }
+  filter.counters_ = std::move(cv).value();
   filter.total_items_ = total_items;
   return filter;
 }

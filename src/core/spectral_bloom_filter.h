@@ -127,11 +127,13 @@ class SpectralBloomFilter final : public FrequencyFilter {
 
   // --- serialization -----------------------------------------------------
 
-  // Wire format: header + Elias-delta coded counters (size ~ N bits, the
-  // compact message the distributed applications of Section 5 exchange).
-  std::vector<uint8_t> Serialize() const;
-  static StatusOr<SpectralBloomFilter> Deserialize(
-      const std::vector<uint8_t>& bytes);
+  // 'SBsf' wire frame (io/wire.h): {varint m, varint k, u8 policy,
+  // u8 backing, u8 hash kind, u64 seed, varint total items, embedded
+  // counter backing frame}. With a compact backing the counters travel
+  // Elias-delta coded in ~N bits — the compressed message the distributed
+  // applications of Section 5 exchange.
+  std::vector<uint8_t> Serialize() const override;
+  static StatusOr<SpectralBloomFilter> Deserialize(wire::ByteSpan bytes);
 
  private:
   SbfOptions options_;

@@ -1,7 +1,10 @@
 #include "core/trapping_rm.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
+#include "util/bits.h"
 #include "util/check.h"
 
 namespace sbf {
@@ -19,6 +22,12 @@ SbfOptions MakeSbfOptions(const RecurringMinimumOptions& options, uint64_t m,
   sbf.seed = seed;
   sbf.hash_kind = options.hash_kind;
   return sbf;
+}
+
+bool SameSbfOptions(const SbfOptions& a, const SbfOptions& b) {
+  return a.m == b.m && a.k == b.k && a.policy == b.policy &&
+         a.backing == b.backing && a.seed == b.seed &&
+         a.hash_kind == b.hash_kind;
 }
 
 }  // namespace
@@ -156,6 +165,121 @@ size_t TrappingRmSbf::MemoryUsageBits() const {
   // 64-bit words per armed trap.
   return primary_.MemoryUsageBits() + secondary_.MemoryUsageBits() +
          traps_.capacity_bits() + trap_owner_.size() * 128;
+}
+
+std::vector<uint8_t> TrappingRmSbf::Serialize() const {
+  wire::Writer payload;
+  payload.PutVarint(options_.primary_m);
+  payload.PutVarint(options_.secondary_m);
+  payload.PutVarint(options_.k);
+  payload.PutU8(static_cast<uint8_t>(options_.backing));
+  payload.PutU8(options_.hash_kind == HashFamily::Kind::kModuloMultiply ? 0
+                                                                        : 1);
+  payload.PutU64(options_.seed);
+  payload.PutVarint(traps_fired_);
+  payload.PutFrame(primary_.Serialize());
+  payload.PutFrame(secondary_.Serialize());
+  payload.PutWords(traps_.words(), traps_.size_words());
+  // The owner table is an unordered map in memory; sorting by position
+  // makes the wire bytes canonical (re-serialization is byte-identical).
+  std::vector<std::pair<uint64_t, uint64_t>> owners(trap_owner_.begin(),
+                                                    trap_owner_.end());
+  std::sort(owners.begin(), owners.end());
+  payload.PutVarint(owners.size());
+  for (const auto& [position, item] : owners) {
+    payload.PutVarint(position);
+    payload.PutU64(item);
+  }
+  return wire::SealFrame(wire::kMagicTrappingRm, wire::kFormatVersion,
+                         std::move(payload));
+}
+
+StatusOr<TrappingRmSbf> TrappingRmSbf::Deserialize(wire::ByteSpan bytes) {
+  auto reader = wire::OpenFrame(bytes, wire::kMagicTrappingRm,
+                                wire::kFormatVersion, "TRM filter");
+  if (!reader.ok()) return reader.status();
+  wire::Reader& in = reader.value();
+  RecurringMinimumOptions options;
+  options.primary_m = in.ReadVarint();
+  options.secondary_m = in.ReadVarint();
+  const uint64_t k = in.ReadVarint();
+  const uint8_t backing = in.ReadU8();
+  const uint8_t kind = in.ReadU8();
+  options.seed = in.ReadU64();
+  const uint64_t traps_fired = in.ReadVarint();
+  if (!in.ok()) return in.status();
+  if (options.primary_m < 1 || options.secondary_m < 1 || k < 1 ||
+      k > kMaxK ||
+      backing > static_cast<uint8_t>(CounterBacking::kSerialScan) ||
+      kind > 1) {
+    return Status::DataLoss("bad TRM filter header");
+  }
+  options.k = static_cast<uint32_t>(k);
+  options.backing = static_cast<CounterBacking>(backing);
+  options.hash_kind = kind == 0 ? HashFamily::Kind::kModuloMultiply
+                                : HashFamily::Kind::kDoubleMix;
+
+  const wire::ByteSpan primary_frame = in.ReadFrameSpan();
+  const wire::ByteSpan secondary_frame = in.ReadFrameSpan();
+  if (!in.ok()) return in.status();
+  auto primary = SpectralBloomFilter::Deserialize(primary_frame);
+  if (!primary.ok()) return primary.status();
+  auto secondary = SpectralBloomFilter::Deserialize(secondary_frame);
+  if (!secondary.ok()) return secondary.status();
+  if (!SameSbfOptions(primary.value().options(),
+                      MakeSbfOptions(options, options.primary_m,
+                                     options.seed)) ||
+      !SameSbfOptions(secondary.value().options(),
+                      MakeSbfOptions(options, options.secondary_m,
+                                     options.seed ^ 0x5EC07DA21ULL))) {
+    return Status::DataLoss("TRM embedded SBFs inconsistent with header");
+  }
+
+  // primary_m is validated against the (self-bounded) embedded primary
+  // frame above, so the trap allocations below are bounded by the message.
+  const uint64_t trap_words = CeilDiv(options.primary_m, 64);
+  if (trap_words * 8 > in.remaining()) {
+    return Status::DataLoss("TRM trap bits truncated");
+  }
+  TrappingRmSbf filter(options);
+  filter.primary_ = std::move(primary).value();
+  filter.secondary_ = std::move(secondary).value();
+  filter.traps_fired_ = traps_fired;
+  in.ReadWords(filter.traps_.mutable_words(),
+               static_cast<size_t>(trap_words));
+  if (!in.ok()) return in.status();
+  if (options.primary_m % 64 != 0 &&
+      (filter.traps_.words()[trap_words - 1] >> (options.primary_m % 64)) !=
+          0) {
+    return Status::DataLoss("TRM trap bits have set padding");
+  }
+
+  const uint64_t owner_count = in.ReadVarint();
+  if (!in.ok()) return in.status();
+  uint64_t previous = 0;
+  for (uint64_t i = 0; i < owner_count; ++i) {
+    const uint64_t position = in.ReadVarint();
+    const uint64_t item = in.ReadU64();
+    if (!in.ok()) return in.status();
+    // Strictly increasing positions keep the encoding canonical and make
+    // duplicates impossible; every owner must sit on an armed trap.
+    if (position >= options.primary_m || (i > 0 && position <= previous)) {
+      return Status::DataLoss("TRM owner table corrupt");
+    }
+    if (!filter.traps_.GetBit(position)) {
+      return Status::DataLoss("TRM owner entry without an armed trap");
+    }
+    filter.trap_owner_.emplace(position, item);
+    previous = position;
+  }
+  // Armed traps and owner entries are created and cleared together, so a
+  // valid message has exactly one owner per set trap bit.
+  if (filter.traps_.PopCount() != owner_count) {
+    return Status::DataLoss("TRM trap bits disagree with owner table");
+  }
+  Status status = in.ExpectEnd("TRM filter");
+  if (!status.ok()) return status;
+  return filter;
 }
 
 }  // namespace sbf

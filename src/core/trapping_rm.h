@@ -45,6 +45,13 @@ class TrappingRmSbf final : public FrequencyFilter {
   size_t traps_fired() const { return traps_fired_; }
   size_t traps_armed() const { return traps_.PopCount(); }
 
+  // 'SBtm' wire frame (io/wire.h): {options, varint traps fired, embedded
+  // primary and secondary SBF frames, trap bits, owner table sorted by
+  // position}. The sort makes the bytes canonical — the in-memory owner
+  // table is unordered.
+  std::vector<uint8_t> Serialize() const override;
+  static StatusOr<TrappingRmSbf> Deserialize(wire::ByteSpan bytes);
+
  private:
   void FireTrapsHitBy(uint64_t key, const uint64_t* positions);
   void MoveToSecondary(uint64_t key, const uint64_t* primary_positions);

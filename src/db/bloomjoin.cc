@@ -54,6 +54,48 @@ SpectralBloomFilter BuildSbf(const Relation& relation, uint64_t m, uint32_t k,
 
 }  // namespace
 
+std::vector<uint8_t> ShipPartition(const Relation& relation, uint64_t m,
+                                   uint32_t k, uint64_t seed) {
+  JoinPartition partition{relation.name(), relation.size(),
+                          BuildSbf(relation, m, k, seed)};
+  return SerializePartition(partition);
+}
+
+std::vector<uint8_t> SerializePartition(const JoinPartition& partition) {
+  wire::Writer payload;
+  payload.PutVarint(partition.relation.size());
+  payload.PutBytes(
+      reinterpret_cast<const uint8_t*>(partition.relation.data()),
+      partition.relation.size());
+  payload.PutVarint(partition.tuples);
+  payload.PutFrame(partition.filter.Serialize());
+  return wire::SealFrame(wire::kMagicJoinPartition, wire::kFormatVersion,
+                         std::move(payload));
+}
+
+StatusOr<JoinPartition> ReceivePartition(wire::ByteSpan bytes) {
+  auto reader = wire::OpenFrame(bytes, wire::kMagicJoinPartition,
+                                wire::kFormatVersion, "join partition");
+  if (!reader.ok()) return reader.status();
+  wire::Reader& in = reader.value();
+  const uint64_t name_len = in.ReadVarint();
+  if (!in.ok()) return in.status();
+  if (name_len > in.remaining()) {
+    return Status::DataLoss("join partition name out of bounds");
+  }
+  const wire::ByteSpan name = in.ReadSpan(static_cast<size_t>(name_len));
+  const uint64_t tuples = in.ReadVarint();
+  const wire::ByteSpan filter_frame = in.ReadFrameSpan();
+  if (!in.ok()) return in.status();
+  Status status = in.ExpectEnd("join partition");
+  if (!status.ok()) return status;
+  auto filter = SpectralBloomFilter::Deserialize(filter_frame);
+  if (!filter.ok()) return filter.status();
+  return JoinPartition{
+      std::string(reinterpret_cast<const char*>(name.data()), name.size()),
+      tuples, std::move(filter).value()};
+}
+
 DistributedJoinResult ShipAllJoin(const Relation& r, const Relation& s) {
   DistributedJoinResult result;
   result.network.bytes_sent = s.ShipAllBytes();
@@ -113,19 +155,18 @@ DistributedJoinResult SpectralBloomjoin(const Relation& r, const Relation& s,
                                         uint64_t threshold, uint64_t seed) {
   DistributedJoinResult result;
 
-  // Round 1 (the only one): S -> R, S's serialized SBF.
-  SpectralBloomFilter s_filter = BuildSbf(s, m, k, seed);
-  const std::vector<uint8_t> message = s_filter.Serialize();
+  // Round 1 (the only one): S -> R, S's partition frame — real wire bytes.
+  const std::vector<uint8_t> message = ShipPartition(s, m, k, seed);
   result.network.bytes_sent += message.size();
   result.network.rounds = 1;
 
-  auto received = SpectralBloomFilter::Deserialize(message);
+  auto received = ReceivePartition(message);
   SBF_CHECK(received.ok());
 
   // R multiplies the SBFs and scans its side once; values are unique per
   // group because the scan deduplicates via the frequency map.
   SpectralBloomFilter r_filter = BuildSbf(r, m, k, seed);
-  auto product = Multiply(r_filter, received.value());
+  auto product = Multiply(r_filter, received.value().filter);
   SBF_CHECK(product.ok());
 
   const auto r_freqs = r.FrequencyMap();
@@ -146,15 +187,14 @@ DistributedJoinResult SpectralBloomjoinEquals(const Relation& r,
                                               uint64_t seed) {
   DistributedJoinResult result;
 
-  SpectralBloomFilter s_filter = BuildSbf(s, m, k, seed);
-  const std::vector<uint8_t> message = s_filter.Serialize();
+  const std::vector<uint8_t> message = ShipPartition(s, m, k, seed);
   result.network.bytes_sent += message.size();
   result.network.rounds = 1;
 
-  auto received = SpectralBloomFilter::Deserialize(message);
+  auto received = ReceivePartition(message);
   SBF_CHECK(received.ok());
   SpectralBloomFilter r_filter = BuildSbf(r, m, k, seed);
-  auto product = Multiply(r_filter, received.value());
+  auto product = Multiply(r_filter, received.value().filter);
   SBF_CHECK(product.ok());
 
   const auto r_freqs = r.FrequencyMap();

@@ -2,16 +2,43 @@
 #define SBF_DB_BLOOMJOIN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/spectral_bloom_filter.h"
 #include "db/relation.h"
+#include "io/wire.h"
+#include "util/status.h"
 
 namespace sbf {
 
 // Two-site distributed join simulation (paper Section 5.3). Relations R
-// and S live on different "sites"; every message between sites is metered
-// in bytes and communication rounds — the costs Bloomjoins exist to save.
+// and S live on different "sites"; every message between sites is a real
+// serialized wire frame metered in bytes and communication rounds — the
+// costs Bloomjoins exist to save.
+
+// What one site ships to another: its relation's name, tuple count, and
+// SBF over the join attribute. The 'SBjp' frame (io/wire.h) is {varint
+// name length, name bytes, varint tuple count, embedded SBF frame}, so a
+// receiving site can reconstruct the filter without any out-of-band
+// agreement on parameters.
+struct JoinPartition {
+  std::string relation;  // name of the shipping relation
+  uint64_t tuples = 0;   // tuple count at the shipping site
+  SpectralBloomFilter filter;
+};
+
+// Builds the shipping site's SBF over `relation`.a and serializes the
+// complete partition frame — the actual bytes that cross the network.
+std::vector<uint8_t> ShipPartition(const Relation& relation, uint64_t m,
+                                   uint32_t k, uint64_t seed = 0);
+
+// Re-serializes an already-received partition (relay / persistence).
+std::vector<uint8_t> SerializePartition(const JoinPartition& partition);
+
+// Reconstructs a partition from its wire bytes. Truncated, oversized, or
+// corrupted frames are rejected with a DataLoss status.
+StatusOr<JoinPartition> ReceivePartition(wire::ByteSpan bytes);
 
 struct NetworkStats {
   uint64_t bytes_sent = 0;
@@ -49,9 +76,10 @@ DistributedJoinResult ClassicBloomjoin(const Relation& r, const Relation& s,
 //   SELECT R.a, count(*) FROM R, S WHERE R.a = S.a GROUP BY R.a
 //   [HAVING count(*) >= threshold]
 //
-// S serializes its SBF over S.a and sends it to R (the single message of
-// the shortened scheme). R multiplies it with its own SBF, scans R once,
-// and reports each value whose product estimate passes `threshold`
+// S ships its partition frame (ShipPartition) to R — the single message
+// of the shortened scheme; the metered bytes are the frame's actual size.
+// R receives the partition, multiplies S's SBF with its own, scans R
+// once, and reports each value whose product estimate passes `threshold`
 // (threshold 0 = no HAVING clause). Errors are one-sided false positives
 // from the SBF product, quantified against the exact join in the result.
 DistributedJoinResult SpectralBloomjoin(const Relation& r, const Relation& s,

@@ -1,0 +1,21 @@
+#ifndef SBF_IO_FILTER_CODEC_H_
+#define SBF_IO_FILTER_CODEC_H_
+
+#include <memory>
+
+#include "core/frequency_filter.h"
+#include "io/wire.h"
+#include "util/status.h"
+
+namespace sbf {
+
+// Reconstructs any FrequencyFilter frontend from its wire frame,
+// dispatching on the frame magic — the polymorphic counterpart of the
+// static Deserialize on each concrete filter. Used wherever the frame type
+// is only known at runtime (sliding-window inner filters, tooling, files).
+StatusOr<std::unique_ptr<FrequencyFilter>> DeserializeFilter(
+    wire::ByteSpan bytes);
+
+}  // namespace sbf
+
+#endif  // SBF_IO_FILTER_CODEC_H_

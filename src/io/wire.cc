@@ -1,0 +1,123 @@
+#include "io/wire.h"
+
+namespace sbf {
+namespace wire {
+namespace {
+
+// Byte-at-a-time CRC32C over the reflected Castagnoli polynomial. The
+// table is built once on first use; throughput is far above what the
+// test/tooling paths need, and the value matches hardware crc32c.
+const uint32_t* Crc32cTable() {
+  static const auto* table = [] {
+    auto* t = new uint32_t[256];
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t size) {
+  const uint32_t* table = Crc32cTable();
+  uint32_t crc = ~0u;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+uint64_t Reader::ReadVarint() {
+  uint64_t value = 0;
+  for (uint32_t shift = 0; shift < 64; shift += 7) {
+    if (!Need(1, "varint")) return 0;
+    const uint8_t byte = *p_++;
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // The 10th byte may only contribute the final value bit.
+      if (shift == 63 && byte > 1) {
+        Fail("varint overflows 64 bits");
+        return 0;
+      }
+      return value;
+    }
+  }
+  Fail("varint longer than 10 bytes");
+  return 0;
+}
+
+std::vector<uint8_t> SealFrame(uint32_t magic, uint32_t version,
+                               Writer&& payload) {
+  const std::vector<uint8_t> body = payload.Take();
+  Writer out;
+  out.PutU32(magic);
+  out.PutU32(version);
+  out.PutU64(body.size());
+  out.PutU32(Crc32c(body.data(), body.size()));
+  out.PutBytes(body.data(), body.size());
+  return out.Take();
+}
+
+StatusOr<FrameInfo> ProbeFrame(ByteSpan bytes) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return Status::DataLoss("frame truncated (shorter than a header)");
+  }
+  Reader header(bytes.data(), kFrameHeaderSize);
+  FrameInfo info;
+  info.magic = header.ReadU32();
+  info.version = header.ReadU32();
+  info.payload_size = header.ReadU64();
+  info.crc32c = header.ReadU32();
+  if (info.payload_size != bytes.size() - kFrameHeaderSize) {
+    return Status::DataLoss("frame payload size mismatch");
+  }
+  const uint32_t actual =
+      Crc32c(bytes.data() + kFrameHeaderSize, bytes.size() - kFrameHeaderSize);
+  if (actual != info.crc32c) {
+    return Status::DataLoss("frame payload checksum mismatch");
+  }
+  return info;
+}
+
+StatusOr<Reader> OpenFrame(ByteSpan bytes, uint32_t magic,
+                           uint32_t max_version, const char* what) {
+  const std::string name(what);
+  if (bytes.size() < kFrameHeaderSize) {
+    return Status::DataLoss(name + " frame truncated");
+  }
+  Reader header(bytes.data(), kFrameHeaderSize);
+  const uint32_t actual_magic = header.ReadU32();
+  const uint32_t version = header.ReadU32();
+  const uint64_t payload_size = header.ReadU64();
+  const uint32_t crc = header.ReadU32();
+  if (actual_magic != magic) {
+    return Status::DataLoss("bad " + name + " frame magic");
+  }
+  if (version < 1 || version > max_version) {
+    return Status::DataLoss("unsupported " + name + " wire version " +
+                            std::to_string(version));
+  }
+  if (payload_size != bytes.size() - kFrameHeaderSize) {
+    return Status::DataLoss(name + " frame payload size mismatch");
+  }
+  const uint8_t* payload = bytes.data() + kFrameHeaderSize;
+  if (Crc32c(payload, static_cast<size_t>(payload_size)) != crc) {
+    return Status::DataLoss(name + " frame payload checksum mismatch");
+  }
+  return Reader(payload, static_cast<size_t>(payload_size));
+}
+
+uint32_t PeekMagic(ByteSpan bytes) {
+  if (bytes.size() < kFrameHeaderSize) return 0;
+  return Reader(bytes.data(), 4).ReadU32();
+}
+
+}  // namespace wire
+}  // namespace sbf

@@ -1,7 +1,10 @@
 #include "sai/compact_counter_vector.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+
+#include "sai/counter_codec.h"
 
 #include "util/bits.h"
 #include "util/check.h"
@@ -161,6 +164,54 @@ size_t CompactCounterVector::MemoryUsageBits() const {
 
 std::unique_ptr<CounterVector> CompactCounterVector::Clone() const {
   return std::make_unique<CompactCounterVector>(*this);
+}
+
+std::vector<uint8_t> CompactCounterVector::Serialize() const {
+  wire::Writer payload;
+  payload.PutVarint(m_);
+  payload.PutVarint(options_.group_size);
+  payload.PutU64(std::bit_cast<uint64_t>(options_.slack_per_counter));
+  WriteCounterStream(*this, &payload);
+  return wire::SealFrame(wire::kMagicCompactCounters, wire::kFormatVersion,
+                         std::move(payload));
+}
+
+StatusOr<std::unique_ptr<CounterVector>> CompactCounterVector::Deserialize(
+    wire::ByteSpan bytes) {
+  auto reader =
+      wire::OpenFrame(bytes, wire::kMagicCompactCounters, wire::kFormatVersion,
+                      "compact counter vector");
+  if (!reader.ok()) return reader.status();
+  wire::Reader& in = reader.value();
+  const uint64_t m = in.ReadVarint();
+  const uint64_t group_size = in.ReadVarint();
+  const double slack = std::bit_cast<double>(in.ReadU64());
+  if (!in.ok()) return in.status();
+  if (m < 1) {
+    return Status::DataLoss("compact counter vector needs m >= 1");
+  }
+  if (group_size < 1 || group_size > 4096) {
+    return Status::DataLoss("compact counter vector group size out of range");
+  }
+  if (!std::isfinite(slack) || slack < 0.0 || slack > 64.0) {
+    return Status::DataLoss("compact counter vector slack out of range");
+  }
+  // Every counter costs at least one stream bit, so m is bounded by the
+  // payload that is actually present — checked before the O(m) allocation.
+  if (m > in.remaining() * 8) {
+    return Status::DataLoss("compact counter vector truncated");
+  }
+  Options options;
+  options.group_size = static_cast<size_t>(group_size);
+  options.slack_per_counter = slack;
+  auto cv =
+      std::make_unique<CompactCounterVector>(static_cast<size_t>(m), options);
+  Status status =
+      ReadCounterStream(&in, m, cv.get(), "compact counter vector");
+  if (!status.ok()) return status;
+  status = in.ExpectEnd("compact counter vector");
+  if (!status.ok()) return status;
+  return std::unique_ptr<CounterVector>(std::move(cv));
 }
 
 }  // namespace sbf

@@ -60,6 +60,15 @@ class CompactCounterVector final : public CounterVector {
   std::unique_ptr<CounterVector> Clone() const override;
   std::string Name() const override { return "compact"; }
 
+  // 'SBcc' frame: {varint m, varint group_size, u64 slack bit-pattern,
+  // Elias counter stream} (sai/counter_codec.h). Values are serialized,
+  // not the slack layout — a loaded vector rebuilds its layout, but its
+  // bytes are still determined by (options, values), so re-serialization
+  // is byte-identical.
+  std::vector<uint8_t> Serialize() const override;
+  static StatusOr<std::unique_ptr<CounterVector>> Deserialize(
+      wire::ByteSpan bytes);
+
   // Pulls in the width entries scanned by PositionOf and the group's
   // payload words — the two dependent loads a Get(i) performs.
   void PrefetchCounter(size_t i) const override {

@@ -1,0 +1,90 @@
+#include "sai/counter_codec.h"
+
+#include <string>
+
+#include "bitstream/bit_vector.h"
+#include "bitstream/bit_writer.h"
+#include "bitstream/elias.h"
+#include "util/bits.h"
+
+namespace sbf {
+namespace {
+
+// Elias-delta decode that rejects malformed codewords (lengths no valid
+// encoder emits) instead of over-reading — deserialization must be safe
+// on corrupted network input.
+bool BoundedDeltaDecode(BitReader* reader, uint64_t* out) {
+  uint32_t zeros = 0;
+  while (!reader->ReadBit()) {
+    if (++zeros > 6) return false;  // gamma(len) with len <= 64 uses <= 6
+  }
+  uint64_t len = 1;
+  for (uint32_t i = 0; i < zeros; ++i) {
+    len = (len << 1) | static_cast<uint64_t>(reader->ReadBit());
+  }
+  if (len > 64) return false;
+  uint64_t value = 1;
+  for (uint64_t i = 1; i < len; ++i) {
+    value = (value << 1) | static_cast<uint64_t>(reader->ReadBit());
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+void WriteCounterStream(const CounterVector& cv, wire::Writer* out) {
+  BitVector stream;
+  BitWriter writer(&stream);
+  for (size_t i = 0; i < cv.size(); ++i) {
+    EliasDeltaEncode(cv.Get(i) + 1, &writer);
+  }
+  writer.Finish();
+  out->PutVarint(stream.size_bits());
+  out->PutWords(stream.words(), stream.size_words());
+}
+
+Status ReadCounterStream(wire::Reader* in, uint64_t m, CounterVector* cv,
+                         const char* what) {
+  const std::string name(what);
+  const uint64_t stream_bits = in->ReadVarint();
+  if (!in->ok()) return in->status();
+  // Every counter costs at least one bit, and the word block must fit in
+  // what is left of the payload — both checks run before any allocation,
+  // so a corrupted length cannot trigger a huge one.
+  if (m > stream_bits) {
+    return Status::DataLoss(name + " counter stream shorter than m");
+  }
+  const uint64_t stream_words = CeilDiv(stream_bits, 64);
+  if (stream_words * 8 > in->remaining()) {
+    return Status::DataLoss(name + " counter stream truncated");
+  }
+  // Guard words of all-ones after the stream: a corrupted codeword that
+  // runs past the end terminates immediately (a 1-bit is a complete gamma
+  // prefix) instead of reading out of bounds, and the overrun is then
+  // detected by the position checks below.
+  BitVector stream(stream_words * 64 + 128);
+  in->ReadWords(stream.mutable_words(), static_cast<size_t>(stream_words));
+  if (!in->ok()) return in->status();
+  stream.mutable_words()[stream_words] = ~0ull;
+  stream.mutable_words()[stream_words + 1] = ~0ull;
+
+  BitReader reader(&stream);
+  for (uint64_t i = 0; i < m; ++i) {
+    if (reader.position() >= stream_bits) {
+      return Status::DataLoss(name + " counter stream ends early");
+    }
+    uint64_t value = 0;
+    if (!BoundedDeltaDecode(&reader, &value) ||
+        reader.position() > stream_bits) {
+      return Status::DataLoss(name + " counter stream corrupted");
+    }
+    cv->Set(i, value - 1);
+  }
+  if (reader.position() != stream_bits) {
+    return Status::DataLoss(name + " counter stream has trailing bits");
+  }
+  return Status::Ok();
+}
+
+}  // namespace sbf

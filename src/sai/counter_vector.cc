@@ -1,5 +1,7 @@
 #include "sai/counter_vector.h"
 
+#include <algorithm>
+
 #include "sai/compact_counter_vector.h"
 #include "sai/fixed_counter_vector.h"
 #include "sai/serial_scan_counter_vector.h"
@@ -14,8 +16,17 @@ void CounterVector::Decrement(size_t i, uint64_t delta) {
 }
 
 uint64_t CounterVector::Total() const {
+  constexpr size_t kChunk = 256;
+  uint64_t idx[kChunk];
+  uint64_t values[kChunk];
   uint64_t total = 0;
-  for (size_t i = 0; i < size(); ++i) total += Get(i);
+  const size_t n = size();
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t len = std::min(kChunk, n - base);
+    for (size_t j = 0; j < len; ++j) idx[j] = base + j;
+    GetMany(idx, len, values);
+    for (size_t j = 0; j < len; ++j) total += values[j];
+  }
   return total;
 }
 
@@ -47,6 +58,37 @@ const char* CounterBackingName(CounterBacking backing) {
       return "serial-scan";
   }
   return "unknown";
+}
+
+StatusOr<std::unique_ptr<CounterVector>> DeserializeCounterVector(
+    wire::ByteSpan bytes) {
+  switch (wire::PeekMagic(bytes)) {
+    case wire::kMagicFixedCounters:
+      return FixedWidthCounterVector::Deserialize(bytes);
+    case wire::kMagicCompactCounters:
+      return CompactCounterVector::Deserialize(bytes);
+    case wire::kMagicSerialScanCounters:
+      return SerialScanCounterVector::Deserialize(bytes);
+    default:
+      return Status::DataLoss("unknown counter backing frame magic");
+  }
+}
+
+bool MatchesBacking(const CounterVector& cv, CounterBacking backing) {
+  switch (backing) {
+    case CounterBacking::kFixed64:
+    case CounterBacking::kFixed32: {
+      const auto* fixed = dynamic_cast<const FixedWidthCounterVector*>(&cv);
+      const uint32_t width = backing == CounterBacking::kFixed64 ? 64 : 32;
+      return fixed != nullptr && fixed->width_bits() == width &&
+             !fixed->sticky_saturation();
+    }
+    case CounterBacking::kCompact:
+      return dynamic_cast<const CompactCounterVector*>(&cv) != nullptr;
+    case CounterBacking::kSerialScan:
+      return dynamic_cast<const SerialScanCounterVector*>(&cv) != nullptr;
+  }
+  return false;
 }
 
 }  // namespace sbf

@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
+
+#include "io/wire.h"
+#include "util/status.h"
 
 namespace sbf {
 
@@ -78,7 +82,16 @@ class CounterVector {
   // Short implementation name for benchmark tables.
   virtual std::string Name() const = 0;
 
-  // Sum of all counters (k*M for an SBF under Minimum Selection).
+  // Complete self-describing wire frame (io/wire.h) for this backing:
+  // {magic, version, size, crc} header + the backing's parameters and
+  // counter payload. Filter-level serialization embeds this frame, so the
+  // storage layer owns its own encoding. Round-trips byte-identically
+  // through DeserializeCounterVector.
+  virtual std::vector<uint8_t> Serialize() const = 0;
+
+  // Sum of all counters (k*M for an SBF under Minimum Selection). Routed
+  // through GetMany in index chunks so every backing sums with its
+  // devirtualized accessor instead of one virtual Get per counter.
   uint64_t Total() const;
 };
 
@@ -95,6 +108,20 @@ std::unique_ptr<CounterVector> MakeCounterVector(CounterBacking backing,
                                                  size_t m);
 
 const char* CounterBackingName(CounterBacking backing);
+
+// Reconstructs a counter vector from any backing frame, dispatching on the
+// frame magic. Truncated, oversized, corrupted or unknown frames are
+// rejected with a clean DataLoss status; allocations are bounded by the
+// actual message size before they happen.
+StatusOr<std::unique_ptr<CounterVector>> DeserializeCounterVector(
+    wire::ByteSpan bytes);
+
+// True iff `cv` is the concrete backing `backing` selects (including the
+// fixed-width configuration: width 64/32, non-saturating). Deserializers
+// use this to reject frames whose embedded backing contradicts the
+// enclosing filter's options — the devirtualized batch kernels static_cast
+// to the concrete type, so a mismatch must never be accepted.
+bool MatchesBacking(const CounterVector& cv, CounterBacking backing);
 
 }  // namespace sbf
 

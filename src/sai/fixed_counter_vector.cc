@@ -1,5 +1,6 @@
 #include "sai/fixed_counter_vector.h"
 
+#include "util/bits.h"
 #include "util/check.h"
 
 namespace sbf {
@@ -34,6 +35,56 @@ std::unique_ptr<CounterVector> FixedWidthCounterVector::Clone() const {
 
 std::string FixedWidthCounterVector::Name() const {
   return "fixed" + std::to_string(width_) + (sticky_ ? "-saturating" : "");
+}
+
+std::vector<uint8_t> FixedWidthCounterVector::Serialize() const {
+  wire::Writer payload;
+  payload.PutVarint(m_);
+  payload.PutVarint(width_);
+  payload.PutU8(sticky_ ? 1 : 0);
+  payload.PutWords(bits_.words(), bits_.size_words());
+  return wire::SealFrame(wire::kMagicFixedCounters, wire::kFormatVersion,
+                         std::move(payload));
+}
+
+StatusOr<std::unique_ptr<CounterVector>> FixedWidthCounterVector::Deserialize(
+    wire::ByteSpan bytes) {
+  auto reader = wire::OpenFrame(bytes, wire::kMagicFixedCounters,
+                                wire::kFormatVersion, "fixed counter vector");
+  if (!reader.ok()) return reader.status();
+  wire::Reader& in = reader.value();
+  const uint64_t m = in.ReadVarint();
+  const uint64_t width = in.ReadVarint();
+  const uint8_t sticky = in.ReadU8();
+  if (!in.ok()) return in.status();
+  if (width < 1 || width > 64) {
+    return Status::DataLoss("fixed counter vector width out of range");
+  }
+  if (sticky > 1) {
+    return Status::DataLoss("fixed counter vector has a bad sticky flag");
+  }
+  // Bound m by the payload that is actually present before the O(m)
+  // allocation: every counter occupies `width` of the remaining bits.
+  if (m > in.remaining() * 8 / width) {
+    return Status::DataLoss("fixed counter vector truncated");
+  }
+  const uint64_t words = CeilDiv(m * width, 64);
+  if (in.remaining() != words * 8) {
+    return Status::DataLoss("fixed counter vector word block size mismatch");
+  }
+  auto cv = std::make_unique<FixedWidthCounterVector>(
+      static_cast<size_t>(m), static_cast<uint32_t>(width), sticky != 0);
+  in.ReadWords(cv->mutable_words(), static_cast<size_t>(words));
+  Status status = in.ExpectEnd("fixed counter vector");
+  if (!status.ok()) return status;
+  // Reject set bits past the last counter so the encoding stays canonical
+  // (re-serializing always reproduces the input bytes).
+  const uint64_t used_bits = m * width;
+  if (used_bits % 64 != 0 &&
+      (cv->words()[words - 1] >> (used_bits % 64)) != 0) {
+    return Status::DataLoss("fixed counter vector has set padding bits");
+  }
+  return std::unique_ptr<CounterVector>(std::move(cv));
 }
 
 size_t FixedWidthCounterVector::SaturatedCount() const {

@@ -56,6 +56,13 @@ class FixedWidthCounterVector final : public CounterVector {
     for (size_t j = 0; j < n; ++j) out[j] = Get(idx[j]);
   }
 
+  // 'SBfx' frame: {varint m, varint width, u8 sticky, raw packed words}.
+  // The words are the in-memory layout verbatim (little-endian on the
+  // wire), so this is the fast byte-exact path among the backings.
+  std::vector<uint8_t> Serialize() const override;
+  static StatusOr<std::unique_ptr<CounterVector>> Deserialize(
+      wire::ByteSpan bytes);
+
   uint32_t width_bits() const { return width_; }
   uint64_t max_value() const { return max_value_; }
   bool sticky_saturation() const { return sticky_; }

@@ -1,9 +1,11 @@
 #include "sai/serial_scan_counter_vector.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "bitstream/bit_writer.h"
+#include "sai/counter_codec.h"
 #include "util/bits.h"
 #include "util/check.h"
 
@@ -142,6 +144,69 @@ size_t SerialScanCounterVector::MemoryUsageBits() const {
 
 std::unique_ptr<CounterVector> SerialScanCounterVector::Clone() const {
   return std::make_unique<SerialScanCounterVector>(*this);
+}
+
+std::vector<uint8_t> SerialScanCounterVector::Serialize() const {
+  wire::Writer payload;
+  payload.PutVarint(m_);
+  payload.PutVarint(options_.group_size);
+  payload.PutU64(std::bit_cast<uint64_t>(options_.slack_per_counter));
+  payload.PutVarint(options_.step_widths.size());
+  for (uint32_t w : options_.step_widths) payload.PutVarint(w);
+  WriteCounterStream(*this, &payload);
+  return wire::SealFrame(wire::kMagicSerialScanCounters, wire::kFormatVersion,
+                         std::move(payload));
+}
+
+StatusOr<std::unique_ptr<CounterVector>> SerialScanCounterVector::Deserialize(
+    wire::ByteSpan bytes) {
+  auto reader =
+      wire::OpenFrame(bytes, wire::kMagicSerialScanCounters,
+                      wire::kFormatVersion, "serial-scan counter vector");
+  if (!reader.ok()) return reader.status();
+  wire::Reader& in = reader.value();
+  const uint64_t m = in.ReadVarint();
+  const uint64_t group_size = in.ReadVarint();
+  const double slack = std::bit_cast<double>(in.ReadU64());
+  const uint64_t num_steps = in.ReadVarint();
+  if (!in.ok()) return in.status();
+  if (m < 1) {
+    return Status::DataLoss("serial-scan counter vector needs m >= 1");
+  }
+  if (group_size < 1 || group_size > kMaxGroupSize) {
+    return Status::DataLoss(
+        "serial-scan counter vector group size out of range");
+  }
+  if (!std::isfinite(slack) || slack < 0.0 || slack > 64.0) {
+    return Status::DataLoss("serial-scan counter vector slack out of range");
+  }
+  if (num_steps < 1 || num_steps > 16) {
+    return Status::DataLoss("serial-scan counter vector step count invalid");
+  }
+  Options options;
+  options.group_size = static_cast<size_t>(group_size);
+  options.slack_per_counter = slack;
+  options.step_widths.clear();
+  for (uint64_t s = 0; s < num_steps; ++s) {
+    const uint64_t width = in.ReadVarint();
+    if (!in.ok()) return in.status();
+    if (width >= 63) {
+      return Status::DataLoss("serial-scan counter vector step width invalid");
+    }
+    options.step_widths.push_back(static_cast<uint32_t>(width));
+  }
+  // Bound m by the actual payload before the O(m) allocation.
+  if (m > in.remaining() * 8) {
+    return Status::DataLoss("serial-scan counter vector truncated");
+  }
+  auto cv = std::make_unique<SerialScanCounterVector>(static_cast<size_t>(m),
+                                                      options);
+  Status status =
+      ReadCounterStream(&in, m, cv.get(), "serial-scan counter vector");
+  if (!status.ok()) return status;
+  status = in.ExpectEnd("serial-scan counter vector");
+  if (!status.ok()) return status;
+  return std::unique_ptr<CounterVector>(std::move(cv));
 }
 
 }  // namespace sbf

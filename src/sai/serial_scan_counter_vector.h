@@ -50,6 +50,14 @@ class SerialScanCounterVector final : public CounterVector {
   std::unique_ptr<CounterVector> Clone() const override;
   std::string Name() const override { return "serial-scan"; }
 
+  // 'SBss' frame: {varint m, varint group_size, u64 slack bit-pattern,
+  // varint step count + per-step varint widths, Elias counter stream}.
+  // Like the compact backing, values are serialized and the grouped
+  // layout is rebuilt on load.
+  std::vector<uint8_t> Serialize() const override;
+  static StatusOr<std::unique_ptr<CounterVector>> Deserialize(
+      wire::ByteSpan bytes);
+
   // Pulls in the words a lookup serially decodes from the group start.
   void PrefetchCounter(size_t i) const override {
     const size_t g = i / options_.group_size;

@@ -1,96 +1,313 @@
-// Robustness of the wire formats: deserialization of corrupted, truncated
-// or random bytes must fail cleanly with a Status (never crash or read out
-// of bounds), and valid round-trips must be byte-stable.
+// Robustness of the unified wire format (io/wire.h): deserialization of
+// corrupted, truncated or random bytes must fail cleanly with a Status
+// (never crash or read out of bounds), valid round-trips must be
+// byte-stable and estimate-preserving, and structure-aware mutations —
+// payload fields rewritten *with a recomputed CRC*, so the checksum is not
+// what saves us — must be rejected by the structural validation paths.
+//
+// Every FrequencyFilter frontend, every CounterVector backing, the sliding
+// window wrapper and the Bloomjoin partition frame are covered.
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/blocked_sbf.h"
 #include "core/bloom_filter.h"
 #include "core/concurrent_sbf.h"
+#include "core/counting_bloom_filter.h"
+#include "core/recurring_minimum.h"
+#include "core/sliding_window.h"
 #include "core/spectral_bloom_filter.h"
+#include "core/trapping_rm.h"
+#include "db/bloomjoin.h"
+#include "io/filter_codec.h"
+#include "io/wire.h"
+#include "sai/counter_vector.h"
+#include "sai/fixed_counter_vector.h"
 #include "util/random.h"
 #include "workload/multiset_stream.h"
 
 namespace sbf {
 namespace {
 
-SpectralBloomFilter MakeLoadedSbf(uint64_t seed) {
+constexpr uint64_t kProbeKeys = 10000;  // probe set for estimate equality
+
+using Bytes = std::vector<uint8_t>;
+using Decoder = std::function<bool(const Bytes&)>;
+using Mutator = std::function<void(Bytes*)>;
+
+// Unseals a valid frame, lets `mutate` rewrite the payload, and re-seals
+// it with a recomputed CRC. The result has a pristine envelope, so any
+// rejection comes from the structural checks, not the checksum.
+Bytes Reframe(const Bytes& frame, const Mutator& mutate) {
+  const auto info = wire::ProbeFrame(frame);
+  EXPECT_TRUE(info.ok());
+  Bytes payload(frame.begin() + wire::kFrameHeaderSize, frame.end());
+  mutate(&payload);
+  wire::Writer writer;
+  writer.PutBytes(payload.data(), payload.size());
+  return wire::SealFrame(wire::PeekMagic(frame), info.value().version,
+                         std::move(writer));
+}
+
+// Every prefix of a frame must be rejected.
+void ExpectTruncationsRejected(const Bytes& bytes, const Decoder& decode) {
+  for (size_t len = 0; len < bytes.size(); len += 3) {
+    Bytes truncated(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(decode(truncated)) << "length " << len;
+  }
+}
+
+// Any single-byte change anywhere in a frame must be rejected outright:
+// header damage fails the envelope checks and payload damage fails the
+// CRC, so — unlike the pre-CRC format — there is no "decoded into some
+// other valid filter" outcome to tolerate.
+void ExpectCorruptionsRejected(const Bytes& bytes, const Decoder& decode,
+                               uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes corrupted = bytes;
+    const size_t at = rng.UniformInt(corrupted.size());
+    corrupted[at] ^= static_cast<uint8_t>(rng.UniformInt(255) + 1);
+    EXPECT_FALSE(decode(corrupted)) << "byte " << at;
+  }
+}
+
+void ExpectGarbageRejected(const Decoder& decode, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes garbage(rng.UniformInt(400));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.Next());
+    EXPECT_FALSE(decode(garbage)) << "trial " << trial;
+  }
+}
+
+// Version 0 and any version above kFormatVersion must be rejected. The
+// version word is bytes [4,8) of the header (not CRC-covered).
+void ExpectVersionDriftRejected(const Bytes& bytes, const Decoder& decode) {
+  for (const uint32_t version : {0u, wire::kFormatVersion + 1, 0x7F000000u}) {
+    Bytes drifted = bytes;
+    for (int b = 0; b < 4; ++b) {
+      drifted[4 + b] = static_cast<uint8_t>(version >> (8 * b));
+    }
+    EXPECT_FALSE(decode(drifted)) << "version " << version;
+  }
+}
+
+template <typename FilterA, typename FilterB>
+void ExpectEqualEstimatesOnProbeSet(const FilterA& a, const FilterB& b) {
+  for (uint64_t key = 0; key < kProbeKeys; ++key) {
+    ASSERT_EQ(a.Estimate(key), b.Estimate(key)) << "key " << key;
+  }
+}
+
+const std::vector<CounterBacking>& AllBackings() {
+  static const std::vector<CounterBacking> backings = {
+      CounterBacking::kFixed64, CounterBacking::kFixed32,
+      CounterBacking::kCompact, CounterBacking::kSerialScan};
+  return backings;
+}
+
+// --- counter backings ------------------------------------------------------
+
+bool DecodeCounters(const Bytes& bytes) {
+  return DeserializeCounterVector(bytes).ok();
+}
+
+std::unique_ptr<CounterVector> MakeLoadedCounters(CounterBacking backing,
+                                                  uint64_t seed) {
+  auto counters = MakeCounterVector(backing, 300);
+  Xoshiro256 rng(seed);
+  for (size_t i = 0; i < counters->size(); ++i) {
+    if (rng.UniformDouble() < 0.6) counters->Set(i, rng.UniformInt(500));
+  }
+  return counters;
+}
+
+TEST(SerializationFuzzTest, CounterBackingRoundTripIsByteStable) {
+  for (const auto backing : AllBackings()) {
+    const auto counters = MakeLoadedCounters(backing, 41);
+    const Bytes bytes = counters->Serialize();
+    auto restored = DeserializeCounterVector(bytes);
+    ASSERT_TRUE(restored.ok()) << CounterBackingName(backing);
+    ASSERT_EQ(restored.value()->size(), counters->size());
+    for (size_t i = 0; i < counters->size(); ++i) {
+      ASSERT_EQ(restored.value()->Get(i), counters->Get(i))
+          << CounterBackingName(backing) << " index " << i;
+    }
+    EXPECT_EQ(restored.value()->Total(), counters->Total());
+    EXPECT_EQ(restored.value()->Serialize(), bytes)
+        << CounterBackingName(backing);
+  }
+}
+
+TEST(SerializationFuzzTest, CounterBackingTruncationsNeverCrash) {
+  for (const auto backing : AllBackings()) {
+    ExpectTruncationsRejected(MakeLoadedCounters(backing, 43)->Serialize(),
+                              DecodeCounters);
+  }
+}
+
+TEST(SerializationFuzzTest, CounterBackingCorruptionsAlwaysRejected) {
+  for (const auto backing : AllBackings()) {
+    ExpectCorruptionsRejected(MakeLoadedCounters(backing, 45)->Serialize(),
+                              DecodeCounters, 46);
+  }
+}
+
+TEST(SerializationFuzzTest, CounterBackingGarbageAndForeignFramesRejected) {
+  ExpectGarbageRejected(DecodeCounters, 47);
+  // A valid frame of a non-backing type must fail the magic dispatch.
+  BloomFilter bloom(128, 3, 1);
+  EXPECT_FALSE(DeserializeCounterVector(bloom.Serialize()).ok());
+}
+
+TEST(SerializationFuzzTest, CounterBackingVersionDriftRejected) {
+  for (const auto backing : AllBackings()) {
+    ExpectVersionDriftRejected(MakeLoadedCounters(backing, 49)->Serialize(),
+                               DecodeCounters);
+  }
+}
+
+TEST(SerializationFuzzTest, FixedCounterStructuralMutationsRejected) {
+  // 'SBfx' payload: varint m (300: 2 bytes), varint width (64: 1 byte at
+  // [2]), u8 sticky at [3], then the packed words.
+  const Bytes bytes = MakeLoadedCounters(CounterBacking::kFixed64, 51)
+                          ->Serialize();
+  for (const uint8_t bad_width : {0, 65, 255}) {
+    const Bytes mutated =
+        Reframe(bytes, [bad_width](Bytes* p) { (*p)[2] = bad_width; });
+    EXPECT_FALSE(DecodeCounters(mutated)) << "width " << int(bad_width);
+  }
+  // sticky flag must be 0 or 1.
+  EXPECT_FALSE(DecodeCounters(Reframe(bytes, [](Bytes* p) { (*p)[3] = 2; })));
+  // m = 0 via a non-canonical two-byte varint (0x80 0x00).
+  EXPECT_FALSE(DecodeCounters(Reframe(bytes, [](Bytes* p) {
+    (*p)[0] = 0x80;
+    (*p)[1] = 0x00;
+  })));
+  // An absurd m claim must fail the size bound, not attempt an allocation.
+  EXPECT_FALSE(DecodeCounters(Reframe(bytes, [](Bytes* p) {
+    const Bytes huge_m = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+    p->erase(p->begin(), p->begin() + 2);
+    p->insert(p->begin(), huge_m.begin(), huge_m.end());
+  })));
+}
+
+TEST(SerializationFuzzTest, FixedCounterSetPaddingBitsRejected) {
+  // m = 100 one-bit counters -> 2 words, 28 padding bits; the final
+  // payload byte is the top of word 1, entirely padding.
+  FixedWidthCounterVector bits(100, 1);
+  for (size_t i = 0; i < 100; i += 3) bits.Set(i, 1);
+  const Bytes bytes = bits.Serialize();
+  ASSERT_TRUE(DecodeCounters(bytes));
+  const Bytes mutated =
+      Reframe(bytes, [](Bytes* p) { p->back() |= 0x80; });
+  EXPECT_FALSE(DecodeCounters(mutated));
+}
+
+TEST(SerializationFuzzTest, CounterTotalMatchesManualSum) {
+  // Total() goes through GetMany chunks; it must agree with a per-index
+  // virtual-Get sum on every backing, including a non-multiple-of-chunk
+  // size.
+  for (const auto backing : AllBackings()) {
+    const auto counters = MakeLoadedCounters(backing, 53);
+    uint64_t manual = 0;
+    for (size_t i = 0; i < counters->size(); ++i) manual += counters->Get(i);
+    EXPECT_EQ(counters->Total(), manual) << CounterBackingName(backing);
+  }
+}
+
+// --- flat SBF --------------------------------------------------------------
+
+bool DecodeSbf(const Bytes& bytes) {
+  return SpectralBloomFilter::Deserialize(bytes).ok();
+}
+
+SpectralBloomFilter MakeLoadedSbf(CounterBacking backing, uint64_t seed) {
   SbfOptions options;
   options.m = 500;
   options.k = 4;
   options.seed = seed;
-  options.backing = CounterBacking::kFixed64;
+  options.backing = backing;
   SpectralBloomFilter filter(options);
   const Multiset data = MakeZipfMultiset(150, 4000, 1.0, seed);
   for (uint64_t key : data.stream) filter.Insert(key);
   return filter;
 }
 
-TEST(SerializationFuzzTest, SbfRoundTripIsByteStable) {
-  const auto filter = MakeLoadedSbf(1);
-  const auto bytes = filter.Serialize();
-  auto restored = SpectralBloomFilter::Deserialize(bytes);
-  ASSERT_TRUE(restored.ok());
-  EXPECT_EQ(restored.value().Serialize(), bytes);
+TEST(SerializationFuzzTest, SbfRoundTripIsByteStableAcrossBackings) {
+  for (const auto backing : AllBackings()) {
+    const auto filter = MakeLoadedSbf(backing, 1);
+    const Bytes bytes = filter.Serialize();
+    auto restored = SpectralBloomFilter::Deserialize(bytes);
+    ASSERT_TRUE(restored.ok()) << CounterBackingName(backing);
+    EXPECT_EQ(restored.value().Serialize(), bytes)
+        << CounterBackingName(backing);
+    ExpectEqualEstimatesOnProbeSet(filter, restored.value());
+  }
 }
 
 TEST(SerializationFuzzTest, SbfTruncationsNeverCrash) {
-  const auto bytes = MakeLoadedSbf(2).Serialize();
-  for (size_t len = 0; len < bytes.size(); len += 7) {
-    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + len);
-    const auto result = SpectralBloomFilter::Deserialize(truncated);
-    EXPECT_FALSE(result.ok()) << "length " << len;
-  }
+  ExpectTruncationsRejected(
+      MakeLoadedSbf(CounterBacking::kCompact, 2).Serialize(), DecodeSbf);
 }
 
-TEST(SerializationFuzzTest, SbfSingleByteCorruptions) {
-  const auto filter = MakeLoadedSbf(3);
-  const auto bytes = filter.Serialize();
-  Xoshiro256 rng(5);
-  size_t rejected = 0, accepted = 0;
-  for (int trial = 0; trial < 500; ++trial) {
-    auto corrupted = bytes;
-    const size_t at = rng.UniformInt(corrupted.size());
-    corrupted[at] ^= static_cast<uint8_t>(rng.UniformInt(255) + 1);
-    const auto result = SpectralBloomFilter::Deserialize(corrupted);
-    // Either cleanly rejected, or decoded into *some* well-formed filter
-    // (payload corruption can produce a different valid counter stream);
-    // the requirement is no crash and no out-of-bounds access.
-    if (result.ok()) {
-      ++accepted;
-      EXPECT_EQ(result.value().m(), filter.m());
-    } else {
-      ++rejected;
-    }
-  }
-  EXPECT_GT(rejected, 0u);
-  EXPECT_EQ(rejected + accepted, 500u);
+TEST(SerializationFuzzTest, SbfSingleByteCorruptionsAlwaysRejected) {
+  ExpectCorruptionsRejected(
+      MakeLoadedSbf(CounterBacking::kFixed64, 3).Serialize(), DecodeSbf, 5);
 }
 
 TEST(SerializationFuzzTest, SbfRandomGarbageRejected) {
-  Xoshiro256 rng(7);
-  for (int trial = 0; trial < 200; ++trial) {
-    std::vector<uint8_t> garbage(rng.UniformInt(300));
-    for (auto& b : garbage) b = static_cast<uint8_t>(rng.Next());
-    EXPECT_FALSE(SpectralBloomFilter::Deserialize(garbage).ok());
-  }
+  ExpectGarbageRejected(DecodeSbf, 7);
 }
 
-TEST(SerializationFuzzTest, SbfHeaderFieldCorruptionsRejectedOrBounded) {
-  const auto bytes = MakeLoadedSbf(9).Serialize();
-  // Set validated header words (m, k, kind, policy, backing, payload size)
-  // to an extreme value; the header/size checks must reject each. The
-  // seed and total-items words are free-form and legitimately accepted.
-  for (size_t word : {1, 2, 4, 5, 6, 8}) {
-    auto corrupted = bytes;
-    for (int b = 0; b < 8; ++b) corrupted[word * 8 + b] = 0xFF;
-    EXPECT_FALSE(SpectralBloomFilter::Deserialize(corrupted).ok())
-        << "header word " << word;
-  }
+TEST(SerializationFuzzTest, SbfVersionDriftRejected) {
+  ExpectVersionDriftRejected(
+      MakeLoadedSbf(CounterBacking::kCompact, 8).Serialize(), DecodeSbf);
 }
 
-// --- sharded (ConcurrentSbf) wire format ----------------------------------
+TEST(SerializationFuzzTest, SbfStructuralHeaderMutationsRejected) {
+  // 'SBsf' payload: varint m (500: 2 bytes), varint k at [2], u8 policy at
+  // [3], u8 backing at [4], u8 hash kind at [5], u64 seed, varint total,
+  // embedded counter frame. Each mutation below re-seals with a valid CRC,
+  // so only the header validation can reject it.
+  const Bytes bytes = MakeLoadedSbf(CounterBacking::kFixed64, 9).Serialize();
+  const auto mutated_at = [&bytes](size_t index, uint8_t value) {
+    return Reframe(bytes, [index, value](Bytes* p) { (*p)[index] = value; });
+  };
+  // m = 0 (non-canonical varint spelling keeps the field width).
+  EXPECT_FALSE(DecodeSbf(Reframe(bytes, [](Bytes* p) {
+    (*p)[0] = 0x80;
+    (*p)[1] = 0x00;
+  })));
+  // m disagreeing with the embedded counter vector's size.
+  EXPECT_FALSE(DecodeSbf(Reframe(bytes, [](Bytes* p) {
+    (*p)[0] = 0xF5;  // 501 instead of 500
+    (*p)[1] = 0x03;
+  })));
+  EXPECT_FALSE(DecodeSbf(mutated_at(2, 0)));     // k = 0
+  EXPECT_FALSE(DecodeSbf(mutated_at(2, 65)));    // k > 64
+  EXPECT_FALSE(DecodeSbf(mutated_at(3, 2)));     // unknown policy
+  EXPECT_FALSE(DecodeSbf(mutated_at(4, 9)));     // unknown backing
+  EXPECT_FALSE(DecodeSbf(mutated_at(5, 7)));     // unknown hash kind
+  // Backing byte claiming kCompact over an embedded fixed64 frame: the
+  // frame parses, but MatchesBacking must notice the lie (a wrong static
+  // downcast in the batch kernels would otherwise be UB).
+  EXPECT_FALSE(DecodeSbf(
+      mutated_at(4, static_cast<uint8_t>(CounterBacking::kCompact))));
+}
+
+// --- sharded (ConcurrentSbf) -----------------------------------------------
+
+bool DecodeSharded(const Bytes& bytes) {
+  return ConcurrentSbf::Deserialize(bytes).ok();
+}
 
 ConcurrentSbf MakeLoadedShardedSbf(CounterBacking backing, uint64_t seed) {
   ConcurrentSbfOptions options;
@@ -105,154 +322,485 @@ ConcurrentSbf MakeLoadedShardedSbf(CounterBacking backing, uint64_t seed) {
   return filter;
 }
 
-const std::vector<CounterBacking>& AllBackings() {
-  static const std::vector<CounterBacking> backings = {
-      CounterBacking::kFixed64, CounterBacking::kFixed32,
-      CounterBacking::kCompact, CounterBacking::kSerialScan};
-  return backings;
-}
-
 TEST(SerializationFuzzTest, ShardedRoundTripIsByteStableAcrossBackings) {
   for (const auto backing : AllBackings()) {
     const auto filter = MakeLoadedShardedSbf(backing, 21);
-    const auto bytes = filter.Serialize();
+    const Bytes bytes = filter.Serialize();
     auto restored = ConcurrentSbf::Deserialize(bytes);
     ASSERT_TRUE(restored.ok()) << CounterBackingName(backing);
     EXPECT_EQ(restored.value().Serialize(), bytes)
         << CounterBackingName(backing);
     EXPECT_EQ(restored.value().TotalItems(), filter.TotalItems());
+    ExpectEqualEstimatesOnProbeSet(filter, restored.value());
   }
 }
 
 TEST(SerializationFuzzTest, ShardedTruncationsNeverCrash) {
-  const auto bytes =
-      MakeLoadedShardedSbf(CounterBacking::kFixed64, 23).Serialize();
-  for (size_t len = 0; len < bytes.size(); len += 9) {
-    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + len);
-    EXPECT_FALSE(ConcurrentSbf::Deserialize(truncated).ok())
-        << "length " << len;
-  }
+  ExpectTruncationsRejected(
+      MakeLoadedShardedSbf(CounterBacking::kFixed64, 23).Serialize(),
+      DecodeSharded);
 }
 
 TEST(SerializationFuzzTest, ShardedShardCountMismatchRejected) {
-  const auto filter = MakeLoadedShardedSbf(CounterBacking::kCompact, 25);
-  const auto bytes = filter.Serialize();
-  // Header word 1 is the shard count. Claiming more shards than blobs, or
-  // fewer (leaving trailing blobs), must both be rejected.
-  for (const uint64_t claimed : {0ull, 1ull, 3ull, 5ull, 4096ull, ~0ull}) {
-    auto corrupted = bytes;
-    for (int b = 0; b < 8; ++b) {
-      corrupted[8 + b] = static_cast<uint8_t>(claimed >> (8 * b));
-    }
-    EXPECT_FALSE(ConcurrentSbf::Deserialize(corrupted).ok())
-        << "claimed shard count " << claimed;
+  // 'SBcs' payload: varint num_shards at [0] (4 fits one byte), varint m,
+  // u64 seed, embedded shard frames. Claiming fewer shards leaves trailing
+  // frames; claiming more runs out of payload; zero is invalid outright.
+  const Bytes bytes =
+      MakeLoadedShardedSbf(CounterBacking::kCompact, 25).Serialize();
+  for (const uint8_t claimed : {0, 1, 3, 5, 100}) {
+    const Bytes mutated =
+        Reframe(bytes, [claimed](Bytes* p) { (*p)[0] = claimed; });
+    EXPECT_FALSE(DecodeSharded(mutated)) << "claimed " << int(claimed);
   }
 }
 
-TEST(SerializationFuzzTest, ShardedCorruptedShardHeadersRejected) {
-  const auto bytes =
+TEST(SerializationFuzzTest, ShardedCorruptedShardFramesRejected) {
+  // Smash bytes inside the first embedded shard frame; the outer CRC is
+  // recomputed, so the rejection must come from the embedded frame's own
+  // envelope (magic/CRC) validation.
+  const Bytes bytes =
       MakeLoadedShardedSbf(CounterBacking::kFixed64, 27).Serialize();
-  constexpr size_t kFrontendHeader = 4 * 8;
-  // The first shard's length prefix, then validated fields of its embedded
-  // SBF header (magic, m, k) — each smashed to all-ones must be rejected.
-  for (const size_t offset :
-       {kFrontendHeader, kFrontendHeader + 8, kFrontendHeader + 16,
-        kFrontendHeader + 24}) {
-    auto corrupted = bytes;
-    for (int b = 0; b < 8; ++b) corrupted[offset + b] = 0xFF;
-    EXPECT_FALSE(ConcurrentSbf::Deserialize(corrupted).ok())
-        << "offset " << offset;
+  // Payload prefix: 1 (shard count) + 2 (m = 2000) + 8 (seed) bytes, then
+  // the first shard's varint length prefix and its frame.
+  for (const size_t offset : {11u, 13u, 16u, 40u}) {
+    const Bytes mutated = Reframe(bytes, [offset](Bytes* p) {
+      for (size_t i = 0; i < 8; ++i) (*p)[offset + i] ^= 0xFF;
+    });
+    EXPECT_FALSE(DecodeSharded(mutated)) << "offset " << offset;
   }
 }
 
 TEST(SerializationFuzzTest, ShardedShardSeedTamperingRejected) {
-  // Swapping two shard blobs (or re-seeding one) breaks the deterministic
-  // per-shard seed schedule; Deserialize must notice, because routing
-  // queries to a shard with foreign hash functions silently breaks the
-  // one-sided guarantee.
+  // Swapping two shard frames breaks the deterministic per-shard seed
+  // schedule. The forged message has a pristine envelope and valid
+  // embedded frames, so only the seed-schedule validation can catch it —
+  // and it must, because routing queries to a shard with foreign hash
+  // functions silently breaks the one-sided guarantee.
   const auto filter = MakeLoadedShardedSbf(CounterBacking::kFixed64, 29);
-  auto a = filter.SnapshotShard(0).Serialize();
-  auto b = filter.SnapshotShard(1).Serialize();
-  std::vector<uint8_t> swapped;
-  const auto bytes = filter.Serialize();
-  swapped.insert(swapped.end(), bytes.begin(), bytes.begin() + 32);
-  for (const auto* blob : {&b, &a}) {  // shards 0 and 1 swapped
-    uint64_t len = blob->size();
-    for (int i = 0; i < 8; ++i) {
-      swapped.push_back(static_cast<uint8_t>(len >> (8 * i)));
-    }
-    swapped.insert(swapped.end(), blob->begin(), blob->end());
+  wire::Writer payload;
+  payload.PutVarint(filter.num_shards());
+  payload.PutVarint(2000);
+  payload.PutU64(29);
+  for (const uint32_t s : {1u, 0u, 2u, 3u}) {  // shards 0 and 1 swapped
+    payload.PutFrame(filter.SnapshotShard(s).Serialize());
   }
-  for (uint32_t s = 2; s < filter.num_shards(); ++s) {
-    const auto blob = filter.SnapshotShard(s).Serialize();
-    uint64_t len = blob.size();
-    for (int i = 0; i < 8; ++i) {
-      swapped.push_back(static_cast<uint8_t>(len >> (8 * i)));
-    }
-    swapped.insert(swapped.end(), blob.begin(), blob.end());
-  }
-  EXPECT_FALSE(ConcurrentSbf::Deserialize(swapped).ok());
+  const Bytes swapped = wire::SealFrame(
+      wire::kMagicShardedSbf, wire::kFormatVersion, std::move(payload));
+  EXPECT_FALSE(DecodeSharded(swapped));
 }
 
-TEST(SerializationFuzzTest, ShardedSingleByteCorruptions) {
+TEST(SerializationFuzzTest, ShardedSingleByteCorruptionsAlwaysRejected) {
   for (const auto backing :
        {CounterBacking::kFixed64, CounterBacking::kCompact}) {
-    const auto filter = MakeLoadedShardedSbf(backing, 31);
-    const auto bytes = filter.Serialize();
-    Xoshiro256 rng(33);
-    size_t rejected = 0, accepted = 0;
-    for (int trial = 0; trial < 300; ++trial) {
-      auto corrupted = bytes;
-      const size_t at = rng.UniformInt(corrupted.size());
-      corrupted[at] ^= static_cast<uint8_t>(rng.UniformInt(255) + 1);
-      const auto result = ConcurrentSbf::Deserialize(corrupted);
-      // As with the flat format: either a clean Status or a well-formed
-      // filter decoded from a corrupted-but-valid counter stream. Never a
-      // crash or out-of-bounds access.
-      if (result.ok()) {
-        ++accepted;
-        EXPECT_EQ(result.value().num_shards(), filter.num_shards());
-      } else {
-        ++rejected;
-      }
-    }
-    EXPECT_GT(rejected, 0u);
-    EXPECT_EQ(rejected + accepted, 300u);
+    ExpectCorruptionsRejected(MakeLoadedShardedSbf(backing, 31).Serialize(),
+                              DecodeSharded, 33);
   }
 }
 
 TEST(SerializationFuzzTest, ShardedRandomGarbageRejected) {
-  Xoshiro256 rng(35);
-  for (int trial = 0; trial < 200; ++trial) {
-    std::vector<uint8_t> garbage(rng.UniformInt(400));
-    for (auto& b : garbage) b = static_cast<uint8_t>(rng.Next());
-    EXPECT_FALSE(ConcurrentSbf::Deserialize(garbage).ok());
+  ExpectGarbageRejected(DecodeSharded, 35);
+}
+
+// --- plain Bloom filter ----------------------------------------------------
+
+bool DecodeBloom(const Bytes& bytes) {
+  return BloomFilter::Deserialize(bytes).ok();
+}
+
+TEST(SerializationFuzzTest, BloomFilterRoundTripPreservesMembership) {
+  BloomFilter filter(777, 3, 11);
+  for (uint64_t key = 0; key < 200; ++key) filter.Add(key);
+  const Bytes bytes = filter.Serialize();
+  auto restored = BloomFilter::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().Serialize(), bytes);
+  for (uint64_t key = 0; key < kProbeKeys; ++key) {
+    ASSERT_EQ(filter.Contains(key), restored.value().Contains(key));
   }
 }
 
 TEST(SerializationFuzzTest, BloomFilterTruncationsNeverCrash) {
   BloomFilter filter(777, 3, 11);
   for (uint64_t key = 0; key < 200; ++key) filter.Add(key);
-  const auto bytes = filter.Serialize();
-  for (size_t len = 0; len < bytes.size(); len += 5) {
-    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + len);
-    EXPECT_FALSE(BloomFilter::Deserialize(truncated).ok());
+  ExpectTruncationsRejected(filter.Serialize(), DecodeBloom);
+}
+
+TEST(SerializationFuzzTest, BloomFilterBitFlipsAlwaysRejected) {
+  BloomFilter filter(512, 4, 13);
+  for (uint64_t key = 0; key < 100; ++key) filter.Add(key);
+  ExpectCorruptionsRejected(filter.Serialize(), DecodeBloom, 15);
+}
+
+// --- counting Bloom filter -------------------------------------------------
+
+bool DecodeCbf(const Bytes& bytes) {
+  return CountingBloomFilter::Deserialize(bytes).ok();
+}
+
+CountingBloomFilter MakeLoadedCbf(uint64_t seed) {
+  CountingBloomFilter filter(512, 4, 4, seed);
+  const Multiset data = MakeZipfMultiset(100, 3000, 1.2, seed);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  return filter;
+}
+
+TEST(SerializationFuzzTest, CountingBloomRoundTripPreservesSaturation) {
+  const auto filter = MakeLoadedCbf(61);
+  const Bytes bytes = filter.Serialize();
+  auto restored = CountingBloomFilter::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().Serialize(), bytes);
+  EXPECT_EQ(restored.value().SaturatedCount(), filter.SaturatedCount());
+  ExpectEqualEstimatesOnProbeSet(filter, restored.value());
+}
+
+TEST(SerializationFuzzTest, CountingBloomCorruptionAndTruncationRejected) {
+  const Bytes bytes = MakeLoadedCbf(63).Serialize();
+  ExpectTruncationsRejected(bytes, DecodeCbf);
+  ExpectCorruptionsRejected(bytes, DecodeCbf, 65);
+  ExpectGarbageRejected(DecodeCbf, 67);
+  ExpectVersionDriftRejected(bytes, DecodeCbf);
+}
+
+TEST(SerializationFuzzTest, CountingBloomStructuralMutationsRejected) {
+  // 'SBcb' payload: varint m (512: 2 bytes), varint k at [2], u8 kind at
+  // [3], u64 seed at [4,12), varint counter width at [12], embedded fixed
+  // counter frame.
+  const Bytes bytes = MakeLoadedCbf(69).Serialize();
+  for (const uint8_t bad_width : {0, 65}) {
+    EXPECT_FALSE(DecodeCbf(Reframe(
+        bytes, [bad_width](Bytes* p) { (*p)[12] = bad_width; })))
+        << "width " << int(bad_width);
+  }
+  // Width byte disagreeing with the embedded counter frame's own width.
+  EXPECT_FALSE(DecodeCbf(Reframe(bytes, [](Bytes* p) { (*p)[12] = 5; })));
+  EXPECT_FALSE(DecodeCbf(Reframe(bytes, [](Bytes* p) { (*p)[2] = 0; })));
+}
+
+// --- blocked SBF -----------------------------------------------------------
+
+bool DecodeBlocked(const Bytes& bytes) {
+  return BlockedSbf::Deserialize(bytes).ok();
+}
+
+BlockedSbf MakeLoadedBlockedSbf(CounterBacking backing, uint64_t seed) {
+  BlockedSbfOptions options;
+  options.m = 4096;
+  options.block_size = 256;
+  options.k = 4;
+  options.backing = backing;
+  options.seed = seed;
+  BlockedSbf filter(options);
+  const Multiset data = MakeZipfMultiset(150, 4000, 1.0, seed);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  return filter;
+}
+
+TEST(SerializationFuzzTest, BlockedSbfRoundTripIsByteStable) {
+  for (const auto backing :
+       {CounterBacking::kFixed64, CounterBacking::kCompact}) {
+    const auto filter = MakeLoadedBlockedSbf(backing, 71);
+    const Bytes bytes = filter.Serialize();
+    auto restored = BlockedSbf::Deserialize(bytes);
+    ASSERT_TRUE(restored.ok()) << CounterBackingName(backing);
+    EXPECT_EQ(restored.value().Serialize(), bytes);
+    ExpectEqualEstimatesOnProbeSet(filter, restored.value());
   }
 }
 
-TEST(SerializationFuzzTest, BloomFilterBitFlipsKeepShape) {
-  BloomFilter filter(512, 4, 13);
-  for (uint64_t key = 0; key < 100; ++key) filter.Add(key);
-  const auto bytes = filter.Serialize();
-  Xoshiro256 rng(15);
-  for (int trial = 0; trial < 200; ++trial) {
-    auto corrupted = bytes;
-    corrupted[rng.UniformInt(corrupted.size())] ^= 0x40;
-    const auto result = BloomFilter::Deserialize(corrupted);
-    if (result.ok()) {
-      EXPECT_EQ(result.value().m(), 512u);
-    }
+TEST(SerializationFuzzTest, BlockedSbfCorruptionAndTruncationRejected) {
+  const Bytes bytes =
+      MakeLoadedBlockedSbf(CounterBacking::kFixed64, 73).Serialize();
+  ExpectTruncationsRejected(bytes, DecodeBlocked);
+  ExpectCorruptionsRejected(bytes, DecodeBlocked, 75);
+  ExpectGarbageRejected(DecodeBlocked, 77);
+}
+
+TEST(SerializationFuzzTest, BlockedSbfStructuralMutationsRejected) {
+  // 'SBbk' payload: varint m (4096: 2 bytes), varint block_size (256: 2
+  // bytes at [2,4)), varint k at [4], u8 backing at [5], u8 kind at [6].
+  const Bytes bytes =
+      MakeLoadedBlockedSbf(CounterBacking::kFixed64, 79).Serialize();
+  // block_size = 0 (non-canonical two-byte varint).
+  EXPECT_FALSE(DecodeBlocked(Reframe(bytes, [](Bytes* p) {
+    (*p)[2] = 0x80;
+    (*p)[3] = 0x00;
+  })));
+  // block_size = 255, which does not divide m = 4096.
+  EXPECT_FALSE(DecodeBlocked(Reframe(bytes, [](Bytes* p) {
+    (*p)[2] = 0xFF;
+    (*p)[3] = 0x01;
+  })));
+  EXPECT_FALSE(DecodeBlocked(Reframe(bytes, [](Bytes* p) { (*p)[4] = 0; })));
+}
+
+// --- recurring minimum -----------------------------------------------------
+
+bool DecodeRm(const Bytes& bytes) {
+  return RecurringMinimumSbf::Deserialize(bytes).ok();
+}
+
+RecurringMinimumSbf MakeLoadedRm(bool use_marker, uint64_t seed) {
+  RecurringMinimumOptions options;
+  options.primary_m = 600;
+  options.secondary_m = 150;
+  options.k = 4;
+  options.seed = seed;
+  options.use_marker_filter = use_marker;
+  RecurringMinimumSbf filter(options);
+  const Multiset data = MakeZipfMultiset(150, 4000, 1.0, seed);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  return filter;
+}
+
+TEST(SerializationFuzzTest, RecurringMinimumRoundTripWithAndWithoutMarker) {
+  for (const bool use_marker : {false, true}) {
+    const auto filter = MakeLoadedRm(use_marker, 81);
+    const Bytes bytes = filter.Serialize();
+    auto restored = RecurringMinimumSbf::Deserialize(bytes);
+    ASSERT_TRUE(restored.ok()) << "marker " << use_marker;
+    EXPECT_EQ(restored.value().Serialize(), bytes);
+    EXPECT_EQ(restored.value().moved_to_secondary(),
+              filter.moved_to_secondary());
+    EXPECT_EQ(restored.value().marker().has_value(), use_marker);
+    ExpectEqualEstimatesOnProbeSet(filter, restored.value());
   }
+}
+
+TEST(SerializationFuzzTest, RecurringMinimumCorruptionAndTruncationRejected) {
+  const Bytes bytes = MakeLoadedRm(true, 83).Serialize();
+  ExpectTruncationsRejected(bytes, DecodeRm);
+  ExpectCorruptionsRejected(bytes, DecodeRm, 85);
+  ExpectGarbageRejected(DecodeRm, 87);
+}
+
+TEST(SerializationFuzzTest, RecurringMinimumMarkerFlagMutationsRejected) {
+  // 'SBrm' payload: varint primary_m (600: 2 bytes), varint secondary_m
+  // (150: 2 bytes), varint k at [4], u8 backing at [5], u8 kind at [6],
+  // u8 use_marker at [7]. Flipping the flag strands the marker frame (or
+  // claims one that is not there); both directions must be rejected.
+  const Bytes with_marker = MakeLoadedRm(true, 89).Serialize();
+  const Bytes without_marker = MakeLoadedRm(false, 89).Serialize();
+  EXPECT_FALSE(
+      DecodeRm(Reframe(with_marker, [](Bytes* p) { (*p)[7] = 0; })));
+  EXPECT_FALSE(
+      DecodeRm(Reframe(without_marker, [](Bytes* p) { (*p)[7] = 1; })));
+  EXPECT_FALSE(
+      DecodeRm(Reframe(with_marker, [](Bytes* p) { (*p)[7] = 2; })));
+}
+
+TEST(SerializationFuzzTest, RecurringMinimumSeedScheduleTamperingRejected) {
+  // A forged message whose secondary frame is actually a copy of the
+  // primary (wrong m, wrong derived seed) with a pristine envelope: only
+  // the embedded-options consistency check can reject it.
+  RecurringMinimumOptions options;
+  options.primary_m = 600;
+  options.secondary_m = 150;
+  options.k = 4;
+  options.seed = 91;
+  const RecurringMinimumSbf filter(options);
+  wire::Writer payload;
+  payload.PutVarint(options.primary_m);
+  payload.PutVarint(options.secondary_m);
+  payload.PutVarint(options.k);
+  payload.PutU8(static_cast<uint8_t>(options.backing));
+  payload.PutU8(0);  // hash kind
+  payload.PutU8(0);  // no marker
+  payload.PutU64(options.seed);
+  payload.PutVarint(0);  // moved count
+  payload.PutFrame(filter.primary().Serialize());
+  payload.PutFrame(filter.primary().Serialize());  // wrong: not secondary
+  const Bytes forged = wire::SealFrame(
+      wire::kMagicRecurringMinimum, wire::kFormatVersion, std::move(payload));
+  EXPECT_FALSE(DecodeRm(forged));
+}
+
+// --- trapping RM -----------------------------------------------------------
+
+bool DecodeTrm(const Bytes& bytes) {
+  return TrappingRmSbf::Deserialize(bytes).ok();
+}
+
+TrappingRmSbf MakeLoadedTrm(uint64_t seed) {
+  RecurringMinimumOptions options;
+  options.primary_m = 600;
+  options.secondary_m = 150;
+  options.k = 4;
+  options.seed = seed;
+  TrappingRmSbf filter(options);
+  const Multiset data = MakeZipfMultiset(150, 4000, 1.0, seed);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  return filter;
+}
+
+TEST(SerializationFuzzTest, TrappingRmRoundTripPreservesTrapState) {
+  const auto filter = MakeLoadedTrm(93);
+  ASSERT_GT(filter.traps_armed(), 0u);  // the workload must arm traps
+  const Bytes bytes = filter.Serialize();
+  auto restored = TrappingRmSbf::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().Serialize(), bytes);
+  EXPECT_EQ(restored.value().traps_armed(), filter.traps_armed());
+  EXPECT_EQ(restored.value().traps_fired(), filter.traps_fired());
+  ExpectEqualEstimatesOnProbeSet(filter, restored.value());
+}
+
+TEST(SerializationFuzzTest, TrappingRmCorruptionAndTruncationRejected) {
+  const Bytes bytes = MakeLoadedTrm(95).Serialize();
+  ExpectTruncationsRejected(bytes, DecodeTrm);
+  ExpectCorruptionsRejected(bytes, DecodeTrm, 97);
+  ExpectGarbageRejected(DecodeTrm, 99);
+}
+
+TEST(SerializationFuzzTest, TrappingRmOwnerTableMutationsRejected) {
+  // An *empty* TRM serializes zeroed trap words followed by a one-byte
+  // owner count of 0 at the payload's very end. Claiming an owner entry
+  // that is not there, or arming a trap bit with no owner, must both be
+  // rejected — they desynchronize the trap bitmap from the lookup table.
+  RecurringMinimumOptions options;
+  options.primary_m = 128;
+  options.secondary_m = 64;
+  options.k = 3;
+  options.seed = 101;
+  const TrappingRmSbf empty(options);
+  const Bytes bytes = empty.Serialize();
+  ASSERT_TRUE(DecodeTrm(bytes));
+  // Owner count 1 with no entry bytes: truncated.
+  EXPECT_FALSE(DecodeTrm(Reframe(bytes, [](Bytes* p) { p->back() = 1; })));
+  // Set trap bit with owner count 0: bitmap/table popcount mismatch. The
+  // trap words are the 16 bytes before the final count byte.
+  EXPECT_FALSE(DecodeTrm(Reframe(bytes, [](Bytes* p) {
+    (*p)[p->size() - 2] |= 0x01;
+  })));
+}
+
+// --- sliding window --------------------------------------------------------
+
+bool DecodeWindow(const Bytes& bytes) {
+  return SlidingWindowFilter::Deserialize(bytes).ok();
+}
+
+SlidingWindowFilter MakeLoadedWindow(uint64_t seed) {
+  SbfOptions options;
+  options.m = 400;
+  options.k = 4;
+  options.seed = seed;
+  SlidingWindowFilter window(
+      std::make_unique<SpectralBloomFilter>(options), 64);
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < 500; ++i) window.Push(rng.UniformInt(100));
+  return window;
+}
+
+TEST(SerializationFuzzTest, SlidingWindowRoundTripPreservesWindowState) {
+  auto window = MakeLoadedWindow(103);
+  const Bytes bytes = window.Serialize();
+  auto restored = SlidingWindowFilter::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().Serialize(), bytes);
+  EXPECT_EQ(restored.value().window_size(), window.window_size());
+  EXPECT_EQ(restored.value().current_fill(), window.current_fill());
+  ExpectEqualEstimatesOnProbeSet(window, restored.value());
+  // The restored window must keep *evicting* identically: pushes drive the
+  // same deletions because the in-window keys were restored verbatim.
+  Xoshiro256 rng(104);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t key = rng.UniformInt(100);
+    window.Push(key);
+    restored.value().Push(key);
+  }
+  ExpectEqualEstimatesOnProbeSet(window, restored.value());
+}
+
+TEST(SerializationFuzzTest, SlidingWindowCorruptionAndTruncationRejected) {
+  const Bytes bytes = MakeLoadedWindow(105).Serialize();
+  ExpectTruncationsRejected(bytes, DecodeWindow);
+  ExpectCorruptionsRejected(bytes, DecodeWindow, 107);
+  ExpectGarbageRejected(DecodeWindow, 109);
+}
+
+TEST(SerializationFuzzTest, SlidingWindowFillMutationsRejected) {
+  // 'SBsw' payload: varint window size (64: 1 byte), varint fill at [1]
+  // (64 after 500 pushes). Fill beyond the window size is inconsistent;
+  // fill beyond the payload is an unbounded-allocation attempt.
+  const Bytes bytes = MakeLoadedWindow(111).Serialize();
+  EXPECT_FALSE(DecodeWindow(Reframe(bytes, [](Bytes* p) { (*p)[1] = 65; })));
+  EXPECT_FALSE(DecodeWindow(Reframe(bytes, [](Bytes* p) { (*p)[0] = 0; })));
+}
+
+// --- Bloomjoin partition ---------------------------------------------------
+
+bool DecodePartition(const Bytes& bytes) {
+  return ReceivePartition(bytes).ok();
+}
+
+Relation MakeOrdersRelation(uint64_t seed) {
+  Relation orders("orders");
+  Xoshiro256 rng(seed);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    orders.Add(rng.UniformInt(300), i);
+  }
+  return orders;
+}
+
+TEST(SerializationFuzzTest, JoinPartitionRoundTripIsByteStable) {
+  const Relation orders = MakeOrdersRelation(113);
+  const Bytes bytes = ShipPartition(orders, 1000, 4, 113);
+  auto received = ReceivePartition(bytes);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value().relation, "orders");
+  EXPECT_EQ(received.value().tuples, orders.size());
+  EXPECT_EQ(SerializePartition(received.value()), bytes);
+  // The received filter answers like one built locally from the relation.
+  const auto freqs = orders.FrequencyMap();
+  for (const auto& [value, count] : freqs) {
+    ASSERT_GE(received.value().filter.Estimate(value), count);
+  }
+}
+
+TEST(SerializationFuzzTest, JoinPartitionCorruptionAndTruncationRejected) {
+  const Bytes bytes = ShipPartition(MakeOrdersRelation(115), 1000, 4, 115);
+  ExpectTruncationsRejected(bytes, DecodePartition);
+  ExpectCorruptionsRejected(bytes, DecodePartition, 117);
+  ExpectGarbageRejected(DecodePartition, 119);
+  ExpectVersionDriftRejected(bytes, DecodePartition);
+}
+
+TEST(SerializationFuzzTest, JoinPartitionNameLengthMutationRejected) {
+  // 'SBjp' payload: varint name length at [0] ("orders": 6), the name
+  // bytes, varint tuple count, embedded SBF frame. Continuing the varint
+  // into the name bytes yields a length far beyond the payload, which must
+  // be rejected before any allocation.
+  const Bytes bytes = ShipPartition(MakeOrdersRelation(121), 200, 4, 121);
+  EXPECT_FALSE(
+      DecodePartition(Reframe(bytes, [](Bytes* p) { (*p)[0] = 0xFF; })));
+}
+
+// --- polymorphic filter codec ----------------------------------------------
+
+TEST(SerializationFuzzTest, DeserializeFilterDispatchesEveryFrontend) {
+  const std::vector<std::pair<std::string, Bytes>> frames = {
+      {"SBF", MakeLoadedSbf(CounterBacking::kCompact, 131).Serialize()},
+      {"sharded",
+       MakeLoadedShardedSbf(CounterBacking::kFixed64, 133).Serialize()},
+      {"CBF", MakeLoadedCbf(135).Serialize()},
+      {"blocked",
+       MakeLoadedBlockedSbf(CounterBacking::kCompact, 137).Serialize()},
+      {"RM", MakeLoadedRm(true, 139).Serialize()},
+      {"TRM", MakeLoadedTrm(141).Serialize()},
+  };
+  for (const auto& [label, bytes] : frames) {
+    auto restored = DeserializeFilter(bytes);
+    ASSERT_TRUE(restored.ok()) << label;
+    EXPECT_EQ(restored.value()->Serialize(), bytes) << label;
+  }
+  // Valid frames of non-filter types must fail the dispatch cleanly.
+  EXPECT_FALSE(DeserializeFilter(
+                   MakeLoadedCounters(CounterBacking::kCompact, 143)
+                       ->Serialize())
+                   .ok());
+  BloomFilter bloom(128, 3, 1);
+  EXPECT_FALSE(DeserializeFilter(bloom.Serialize()).ok());
 }
 
 }  // namespace
