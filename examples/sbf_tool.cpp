@@ -9,6 +9,9 @@
 //                                           keys with estimate >= T
 //   sbf_tool merge  <out> <in1> <in2>...    union compatible filters
 //   sbf_tool info   <filter-file>           parameters and fill statistics
+//   sbf_tool health <filter-file>           occupancy, live FPR estimate and
+//                                           the HEALTHY/DEGRADED/SATURATED
+//                                           verdict (any filter frame)
 //   sbf_tool load   <file>                  inspect any wire frame: envelope,
 //                                           filter type, round-trip check
 //   sbf_tool save   <in> <out>              load any filter frame and save
@@ -32,6 +35,7 @@
 #include "core/spectral_bloom_filter.h"
 #include "io/filter_codec.h"
 #include "io/wire.h"
+#include "util/health.h"
 
 namespace {
 
@@ -171,6 +175,28 @@ int CmdInfo(int argc, char** argv) {
   return 0;
 }
 
+int CmdHealth(int argc, char** argv) {
+  if (argc < 3) return Fail("health needs a filter path");
+  std::vector<uint8_t> bytes;
+  if (!ReadFile(argv[2], &bytes)) return Fail("cannot read input");
+  auto filter = sbf::DeserializeFilter(bytes);
+  if (!filter.ok()) return Fail(filter.status().ToString().c_str());
+  const sbf::FilterHealth health = filter.value()->Health();
+  std::printf("%s: %s\n", filter.value()->Name().c_str(),
+              health.ToString().c_str());
+  // A non-zero exit for anything unhealthy makes the command usable as a
+  // monitoring probe: 0 healthy, 2 degraded, 3 saturated.
+  switch (health.state) {
+    case sbf::HealthState::kHealthy:
+      return 0;
+    case sbf::HealthState::kDegraded:
+      return 2;
+    case sbf::HealthState::kSaturated:
+      return 3;
+  }
+  return 0;
+}
+
 int CmdLoad(int argc, char** argv) {
   if (argc < 3) return Fail("load needs a file path");
   std::vector<uint8_t> bytes;
@@ -231,6 +257,7 @@ int SelfDemo(const char* binary) {
   run(self + " query " + dir + "/all.sbf alice bob carol dave erin");
   run(self + " heavy " + dir + "/all.sbf 2 alice bob carol dave");
   run(self + " info " + dir + "/all.sbf");
+  run(self + " health " + dir + "/all.sbf");
 
   // The generic wire path: inspect the frame, re-save its canonical bytes,
   // and confirm the copy is identical.
@@ -255,6 +282,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "heavy") == 0) return CmdHeavy(argc, argv);
   if (std::strcmp(argv[1], "merge") == 0) return CmdMerge(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return CmdInfo(argc, argv);
+  if (std::strcmp(argv[1], "health") == 0) return CmdHealth(argc, argv);
   if (std::strcmp(argv[1], "load") == 0) return CmdLoad(argc, argv);
   if (std::strcmp(argv[1], "save") == 0) return CmdSave(argc, argv);
   std::printf(
@@ -263,8 +291,9 @@ int main(int argc, char** argv) {
       "       %s heavy <filter> <threshold> <key>...\n"
       "       %s merge <out> <in1> <in2>...\n"
       "       %s info  <filter>\n"
+      "       %s health <filter>   (exit 0 healthy / 2 degraded / 3 saturated)\n"
       "       %s load  <file>\n"
       "       %s save  <in> <out>\n",
-      argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
+      argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
   return std::strcmp(argv[1], "help") == 0 ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include "sai/serial_scan_counter_vector.h"
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/prefetch.h"
 #include "util/random.h"
 
@@ -191,6 +192,50 @@ void BlockedSbf::InsertBatch(const uint64_t* keys, size_t n, uint64_t count) {
                     probe);
       return;
   }
+}
+
+FilterHealth BlockedSbf::Health() const {
+  FilterHealth health;
+  health.counters = options_.m;
+  const OccupancyCounts occupancy = counters_->ScanOccupancy();
+  health.nonzero_counters = occupancy.nonzero;
+  health.saturated_counters = occupancy.saturated;
+  health.saturation_clamps = counters_->saturation().saturation_clamps;
+  health.underflow_clamps = counters_->saturation().underflow_clamps;
+  FinalizeHealth(options_.k, HealthThresholds{}, &health);
+  return health;
+}
+
+Status BlockedSbf::ExpandTo(uint64_t new_m) {
+  if (new_m == options_.m) return Status::Ok();
+  if (new_m < options_.m || new_m % options_.m != 0) {
+    return Status::InvalidArgument(
+        "ExpandTo needs new_m to be a multiple of the current m");
+  }
+  if (fault::ShouldFailAllocation()) {
+    return Status::ResourceExhausted("blocked SBF expansion allocation failed");
+  }
+  const uint64_t c = new_m / options_.m;
+  const uint64_t bs = options_.block_size;
+  std::unique_ptr<CounterVector> next =
+      MakeCounterVector(options_.backing, new_m);
+  // Old block b owns new blocks [b*c, (b+1)*c): replicate the whole block
+  // (within-block offsets are unchanged).
+  for (uint64_t b = 0; b < num_blocks_; ++b) {
+    for (uint64_t off = 0; off < bs; ++off) {
+      const uint64_t value = counters_->Get(b * bs + off);
+      if (value == 0) continue;
+      for (uint64_t rep = 0; rep < c; ++rep) {
+        next->Set((b * c + rep) * bs + off, value);
+      }
+    }
+  }
+  next->MergeSaturationStats(counters_->saturation());
+  num_blocks_ *= c;
+  block_hash_ = ModuloMultiplyHash(BlockAlpha(options_.seed), num_blocks_);
+  counters_ = std::move(next);
+  options_.m = new_m;
+  return Status::Ok();
 }
 
 uint64_t BlockedSbf::BlockLoad(uint64_t b) const {

@@ -74,6 +74,22 @@ class BlockedSbf final : public FrequencyFilter {
   // Counters currently stored in block b (for load-skew diagnostics).
   uint64_t BlockLoad(uint64_t b) const;
 
+  // Live health snapshot (occupancy scan + verdict; thresholds are the
+  // defaults — BlockedSbfOptions carries no tuning knobs).
+  FilterHealth Health() const override;
+
+  // Clamp-event tallies of the counter backing.
+  const SaturationStats& saturation() const { return counters_->saturation(); }
+
+  // Grows to new_m counters (a positive multiple of m) keeping block_size:
+  // the block hash is multiply-shift over num_blocks, so old block b's
+  // keys land in new blocks [b*c, (b+1)*c) while their within-block
+  // offsets (range block_size, unchanged) stay put. Replicating each old
+  // block across its c successor blocks preserves every estimate exactly.
+  // Fails with a clean Status (filter untouched) on bad arguments or
+  // allocation failure.
+  Status ExpandTo(uint64_t new_m);
+
   // 'SBbk' wire frame (io/wire.h): {varint m, varint block_size, varint k,
   // u8 backing, u8 hash kind, u64 seed, embedded counter backing frame}.
   std::vector<uint8_t> Serialize() const override;

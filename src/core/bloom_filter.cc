@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/fault_injection.h"
+
 namespace sbf {
 namespace {
 
@@ -68,6 +70,32 @@ Status BloomFilter::UnionWith(const BloomFilter& other) {
     bits_.mutable_words()[w] |= other.bits_.words()[w];
   }
   num_added_ += other.num_added_;
+  return Status::Ok();
+}
+
+Status BloomFilter::ExpandTo(uint64_t new_m) {
+  if (new_m == m_) return Status::Ok();
+  if (new_m < m_ || new_m % m_ != 0) {
+    return Status::InvalidArgument(
+        "ExpandTo needs new_m to be a multiple of the current m");
+  }
+  if (fault::ShouldFailAllocation()) {
+    return Status::ResourceExhausted("Bloom filter expansion allocation failed");
+  }
+  const uint64_t c = new_m / m_;
+  BitVector next(new_m);
+  for (uint64_t i = 0; i < m_; ++i) {
+    if (!bits_.GetBit(i)) continue;
+    for (uint64_t rep = 0; rep < c; ++rep) {
+      const uint64_t p = hash_.kind() == HashFamily::Kind::kModuloMultiply
+                             ? i * c + rep
+                             : i + rep * m_;
+      next.SetBit(p, true);
+    }
+  }
+  hash_ = HashFamily(hash_.k(), new_m, hash_.seed(), hash_.kind());
+  bits_ = std::move(next);
+  m_ = new_m;
   return Status::Ok();
 }
 

@@ -59,6 +59,15 @@ class BloomFilter {
   // result represents the union of the two key sets.
   Status UnionWith(const BloomFilter& other);
 
+  // Grows the filter to new_m bits (a positive multiple of m) without the
+  // original keys: both hash kinds locate old bit i's possible new
+  // positions exactly (multiply-shift: [i*c, (i+1)*c); double-mix:
+  // {i + j*m}), so replicating each set bit across its preimage set
+  // preserves every membership answer, while keys added afterwards use the
+  // full new range. Fails with a clean Status (filter untouched) on bad
+  // arguments or allocation failure.
+  Status ExpandTo(uint64_t new_m);
+
   // 'SBbf' wire frame (io/wire.h): {varint m, varint k, u8 kind, u64 seed,
   // varint count, raw bit words}. The paper stresses that distributed
   // applications ship filters as messages (Section 4.7.1); serialization

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <thread>
 
 #include "core/batch_kernels.h"
 #include "core/sbf_algebra.h"
@@ -9,6 +10,8 @@
 #include "sai/fixed_counter_vector.h"
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
+#include "util/health.h"
 #include "util/prefetch.h"
 
 namespace sbf {
@@ -18,6 +21,9 @@ constexpr uint32_t kMaxK = 64;
 constexpr uint32_t kMaxShards = 4096;
 constexpr uint64_t kSeedSalt = 0x5BF5AA17C0DEull;
 constexpr uint64_t kRouterSalt = 0x5BF707E2D811ull;
+// Counters migrated per exclusive-lock acquisition on the locked expansion
+// path: small enough that readers interleave between chunks.
+constexpr uint64_t kMigrateChunk = 256;
 
 // Relaxed atomic load from a logically-const counter word. atomic_ref of a
 // const type is C++26; the const_cast is sound because the referenced word
@@ -37,6 +43,16 @@ bool SameOptions(const ConcurrentSbfOptions& a, const ConcurrentSbfOptions& b) {
   return a.m == b.m && a.k == b.k && a.policy == b.policy &&
          a.backing == b.backing && a.seed == b.seed &&
          a.hash_kind == b.hash_kind && a.num_shards == b.num_shards;
+}
+
+// Old counter i's rep'th preimage position after a c-fold expansion — the
+// same correspondence SpectralBloomFilter::ExpandTo relies on (multiply-
+// shift partitions the new range into consecutive runs of c; double-mix
+// replicates residues mod the old size).
+uint64_t FoldPosition(HashFamily::Kind kind, uint64_t old_m, uint64_t c,
+                      uint64_t i, uint64_t rep) {
+  return kind == HashFamily::Kind::kModuloMultiply ? i * c + rep
+                                                   : i + rep * old_m;
 }
 
 // Groups `keys` by destination shard: [starts[s], starts[s+1]) of `grouped`
@@ -64,7 +80,7 @@ void GroupByShard(const ConcurrentSbf& filter, const uint64_t* keys, size_t n,
   }
 }
 
-// Counter-word view of a shard's kFixed64 backing for the lock-free
+// Counter-word view of a filter's kFixed64 backing for the lock-free
 // pipelines: counter i is word i, accessed with relaxed atomics.
 struct AtomicWordView {
   uint64_t* words;
@@ -80,6 +96,7 @@ SbfOptions ShardOptions(const ConcurrentSbfOptions& options, uint32_t index) {
   shard.backing = options.backing;
   shard.hash_kind = options.hash_kind;
   // Decorrelated per-shard hash functions: shards are independent filters.
+  // The seed does not depend on m, so expansion keeps each shard's family.
   shard.seed = Mix64(options.seed ^ (kSeedSalt + index));
   return shard;
 }
@@ -108,46 +125,116 @@ uint32_t ConcurrentSbf::ShardOf(uint64_t key) const {
                                options_.num_shards);
 }
 
-uint64_t* ConcurrentSbf::ShardWords(Shard& s) {
+uint64_t* ConcurrentSbf::FilterWords(SpectralBloomFilter& f) {
   // Only valid for the kFixed64 backing, where counter i is word i.
-  auto& fixed =
-      static_cast<FixedWidthCounterVector&>(s.filter.mutable_counters());
+  auto& fixed = static_cast<FixedWidthCounterVector&>(f.mutable_counters());
   return fixed.mutable_words();
 }
 
-const uint64_t* ConcurrentSbf::ShardWords(const Shard& s) {
-  return static_cast<const FixedWidthCounterVector&>(s.filter.counters())
-      .words();
+const uint64_t* ConcurrentSbf::FilterWords(const SpectralBloomFilter& f) {
+  return static_cast<const FixedWidthCounterVector&>(f.counters()).words();
+}
+
+void ConcurrentSbf::AtomicApply(SpectralBloomFilter& filter, uint64_t key,
+                                uint64_t count, bool add) {
+  uint64_t positions[kMaxK];
+  filter.hash().Positions(key, positions);
+  uint64_t* words = FilterWords(filter);
+  const uint32_t k = options_.k;
+  for (uint32_t i = 0; i < k; ++i) {
+    std::atomic_ref<uint64_t> word(words[positions[i]]);
+    if (add) {
+      word.fetch_add(count, std::memory_order_relaxed);
+    } else {
+      word.fetch_sub(count, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t ConcurrentSbf::CombinedEstimate(const SpectralBloomFilter& live,
+                                         const SpectralBloomFilter& pending,
+                                         uint64_t key,
+                                         bool atomic_reads) const {
+  // Probe j of the old family corresponds to probe j of the new one (same
+  // seed, rebuilt range), so the per-probe sum live[old_j] + pending[new_j]
+  // bounds the key's true pre-window + in-window count from above, and the
+  // min over j is exactly the estimate a single merged filter would give.
+  uint64_t old_pos[kMaxK];
+  uint64_t new_pos[kMaxK];
+  live.hash().Positions(key, old_pos);
+  pending.hash().Positions(key, new_pos);
+  const uint32_t k = options_.k;
+  uint64_t min_value = ~0ull;
+  if (atomic_reads) {
+    const uint64_t* live_words = FilterWords(live);
+    const uint64_t* pending_words = FilterWords(pending);
+    for (uint32_t j = 0; j < k; ++j) {
+      const uint64_t sum = AtomicLoad(live_words[old_pos[j]]) +
+                           AtomicLoad(pending_words[new_pos[j]]);
+      min_value = std::min(min_value, sum);
+    }
+  } else {
+    for (uint32_t j = 0; j < k; ++j) {
+      const uint64_t sum = live.counters().Get(old_pos[j]) +
+                           pending.counters().Get(new_pos[j]);
+      min_value = std::min(min_value, sum);
+    }
+  }
+  return min_value;
 }
 
 void ConcurrentSbf::InsertLockFree(Shard& s, uint64_t key, uint64_t count) {
-  uint64_t positions[kMaxK];
-  s.filter.hash().Positions(key, positions);
-  uint64_t* words = ShardWords(s);
-  const uint32_t k = options_.k;
-  for (uint32_t i = 0; i < k; ++i) {
-    std::atomic_ref<uint64_t>(words[positions[i]])
-        .fetch_add(count, std::memory_order_relaxed);
+  // Dekker handshake with ExpandShard: our seq-cst refcount increment and
+  // pending load pair with the migrator's seq-cst pending publish and
+  // refcount drain. Either we observe the window (and write only pending),
+  // or the migrator observes our increment and waits before freezing live.
+  s.live_writers.fetch_add(1, std::memory_order_seq_cst);
+  SpectralBloomFilter* pending = s.pending_ptr.load(std::memory_order_seq_cst);
+  if (pending != nullptr) {
+    s.live_writers.fetch_sub(1, std::memory_order_relaxed);
+    AtomicApply(*pending, key, count, /*add=*/true);
+  } else {
+    AtomicApply(*s.live_ptr.load(std::memory_order_acquire), key, count,
+                /*add=*/true);
+    s.live_writers.fetch_sub(1, std::memory_order_release);
   }
   s.net_items.fetch_add(count, std::memory_order_relaxed);
 }
 
 void ConcurrentSbf::RemoveLockFree(Shard& s, uint64_t key, uint64_t count) {
-  uint64_t positions[kMaxK];
-  s.filter.hash().Positions(key, positions);
-  uint64_t* words = ShardWords(s);
-  const uint32_t k = options_.k;
-  for (uint32_t i = 0; i < k; ++i) {
-    std::atomic_ref<uint64_t>(words[positions[i]])
-        .fetch_sub(count, std::memory_order_relaxed);
+  // Counter updates are mod-2^64 fetch_sub, so a remove landing in pending
+  // while its paired insert went to live still cancels exactly once the
+  // fold adds the two filters together (the lock-free Remove contract:
+  // only remove previously inserted occurrences).
+  s.live_writers.fetch_add(1, std::memory_order_seq_cst);
+  SpectralBloomFilter* pending = s.pending_ptr.load(std::memory_order_seq_cst);
+  if (pending != nullptr) {
+    s.live_writers.fetch_sub(1, std::memory_order_relaxed);
+    AtomicApply(*pending, key, count, /*add=*/false);
+  } else {
+    AtomicApply(*s.live_ptr.load(std::memory_order_acquire), key, count,
+                /*add=*/false);
+    s.live_writers.fetch_sub(1, std::memory_order_release);
   }
   s.net_items.fetch_sub(count, std::memory_order_relaxed);
 }
 
 uint64_t ConcurrentSbf::EstimateLockFree(const Shard& s, uint64_t key) const {
+  // Pending before live: if we observe the window closed (pending null
+  // reading the migrator's clearing store), the subsequent live load is
+  // coherence-ordered after the swap and sees the folded filter — the
+  // window's content is never missed. Observing pending while live has
+  // already swapped reads the same filter twice: a transient, one-sided
+  // (over) estimate.
+  const SpectralBloomFilter* pending =
+      s.pending_ptr.load(std::memory_order_acquire);
+  const SpectralBloomFilter* live = s.live_ptr.load(std::memory_order_acquire);
+  if (pending != nullptr) {
+    return CombinedEstimate(*live, *pending, key, /*atomic_reads=*/true);
+  }
   uint64_t positions[kMaxK];
-  s.filter.hash().Positions(key, positions);
-  const uint64_t* words = ShardWords(s);
+  live->hash().Positions(key, positions);
+  const uint64_t* words = FilterWords(*live);
   uint64_t min_value = ~0ull;
   for (uint32_t i = 0; i < options_.k; ++i) {
     min_value = std::min(min_value, AtomicLoad(words[positions[i]]));
@@ -158,9 +245,20 @@ uint64_t ConcurrentSbf::EstimateLockFree(const Shard& s, uint64_t key) const {
 
 void ConcurrentSbf::InsertLockFreeBatch(Shard& s, const uint64_t* keys,
                                         size_t n, uint64_t count) {
-  const HashFamily& hash = s.filter.hash();
+  // One window check covers the whole shard slice; holding the refcount
+  // across the batch just extends the migrator's drain by one pipeline.
+  s.live_writers.fetch_add(1, std::memory_order_seq_cst);
+  SpectralBloomFilter* pending = s.pending_ptr.load(std::memory_order_seq_cst);
+  SpectralBloomFilter* target;
+  if (pending != nullptr) {
+    s.live_writers.fetch_sub(1, std::memory_order_relaxed);
+    target = pending;
+  } else {
+    target = s.live_ptr.load(std::memory_order_acquire);
+  }
+  const HashFamily& hash = target->hash();
   const uint32_t k = options_.k;
-  AtomicWordView view{ShardWords(s)};
+  AtomicWordView view{FilterWords(*target)};
   BatchPipeline(
       view, keys, n,
       [&hash](uint64_t key, uint64_t* pos) { hash.Positions(key, pos); },
@@ -173,15 +271,30 @@ void ConcurrentSbf::InsertLockFreeBatch(Shard& s, const uint64_t* keys,
               .fetch_add(count, std::memory_order_relaxed);
         }
       });
+  if (pending == nullptr) {
+    s.live_writers.fetch_sub(1, std::memory_order_release);
+  }
   s.net_items.fetch_add(n * count, std::memory_order_relaxed);
 }
 
 void ConcurrentSbf::EstimateLockFreeBatch(const Shard& s,
                                           const uint64_t* keys, size_t n,
                                           uint64_t* out) const {
-  const HashFamily& hash = s.filter.hash();
+  const SpectralBloomFilter* pending =
+      s.pending_ptr.load(std::memory_order_acquire);
+  const SpectralBloomFilter* live = s.live_ptr.load(std::memory_order_acquire);
+  if (pending != nullptr) {
+    // Dual-write window: per-key combined probes (the window is short;
+    // pipelining the two-filter gather is not worth the code).
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = CombinedEstimate(*live, *pending, keys[i],
+                                /*atomic_reads=*/true);
+    }
+    return;
+  }
+  const HashFamily& hash = live->hash();
   const uint32_t k = options_.k;
-  AtomicWordView view{const_cast<uint64_t*>(ShardWords(s))};
+  AtomicWordView view{const_cast<uint64_t*>(FilterWords(*live))};
   BatchPipeline(
       view, keys, n,
       [&hash](uint64_t key, uint64_t* pos) { hash.Positions(key, pos); },
@@ -205,7 +318,7 @@ void ConcurrentSbf::Insert(uint64_t key, uint64_t count) {
     InsertLockFree(shard, key, count);
   } else {
     std::unique_lock lock(shard.mu);
-    shard.filter.Insert(key, count);
+    (shard.pending ? *shard.pending : *shard.live).Insert(key, count);
   }
   metrics_.RecordInsert(s, 1);
 }
@@ -217,7 +330,10 @@ void ConcurrentSbf::Remove(uint64_t key, uint64_t count) {
     RemoveLockFree(shard, key, count);
   } else {
     std::unique_lock lock(shard.mu);
-    shard.filter.Remove(key, count);
+    // During a window the pre-window occurrences live in the old filter;
+    // removing them from pending clamps at zero (tallied) and leaves a
+    // benign one-sided overestimate that the fold does not disturb.
+    (shard.pending ? *shard.pending : *shard.live).Remove(key, count);
   }
   metrics_.RecordRemove(s, 1);
 }
@@ -228,7 +344,11 @@ uint64_t ConcurrentSbf::Estimate(uint64_t key) const {
   metrics_.RecordEstimate(s, 1);
   if (lock_free_) return EstimateLockFree(shard, key);
   std::shared_lock lock(shard.mu);
-  return shard.filter.Estimate(key);
+  if (shard.pending) {
+    return CombinedEstimate(*shard.live, *shard.pending, key,
+                            /*atomic_reads=*/false);
+  }
+  return shard.live->Estimate(key);
 }
 
 void ConcurrentSbf::InsertBatch(const uint64_t* keys, size_t n,
@@ -246,7 +366,8 @@ void ConcurrentSbf::InsertBatch(const uint64_t* keys, size_t n,
       InsertLockFreeBatch(shard, grouped.data() + begin, end - begin, count);
     } else {
       std::unique_lock lock(shard.mu);
-      shard.filter.InsertBatch(grouped.data() + begin, end - begin, count);
+      (shard.pending ? *shard.pending : *shard.live)
+          .InsertBatch(grouped.data() + begin, end - begin, count);
     }
     metrics_.RecordInsert(s, end - begin);
     metrics_.RecordBatch(s);
@@ -272,8 +393,15 @@ void ConcurrentSbf::EstimateBatch(const uint64_t* keys, size_t n,
                             shard_out.data() + begin);
     } else {
       std::shared_lock lock(shard.mu);
-      shard.filter.EstimateBatch(grouped.data() + begin, end - begin,
-                                 shard_out.data() + begin);
+      if (shard.pending) {
+        for (size_t i = begin; i < end; ++i) {
+          shard_out[i] = CombinedEstimate(*shard.live, *shard.pending,
+                                          grouped[i], /*atomic_reads=*/false);
+        }
+      } else {
+        shard.live->EstimateBatch(grouped.data() + begin, end - begin,
+                                  shard_out.data() + begin);
+      }
     }
   }
   for (size_t i = 0; i < n; ++i) out[order[i]] = shard_out[i];
@@ -297,8 +425,8 @@ Status ConcurrentSbf::Merge(const ConcurrentSbf& other) {
     if (lock_free_) {
       // Atomic pointwise add so the merge is race-free against concurrent
       // lock-free inserters on either operand.
-      uint64_t* dst_words = ShardWords(dst);
-      const uint64_t* src_words = ShardWords(src);
+      uint64_t* dst_words = FilterWords(*dst.live);
+      const uint64_t* src_words = FilterWords(*src.live);
       for (uint64_t i = 0; i < shard_m_; ++i) {
         const uint64_t add = AtomicLoad(src_words[i]);
         if (add > 0) {
@@ -310,7 +438,7 @@ Status ConcurrentSbf::Merge(const ConcurrentSbf& other) {
           src.net_items.load(std::memory_order_relaxed),
           std::memory_order_relaxed);
     } else {
-      const Status status = UnionInto(&dst.filter, src.filter);
+      const Status status = UnionInto(dst.live.get(), *src.live);
       if (!status.ok()) return status;
     }
   }
@@ -320,9 +448,12 @@ Status ConcurrentSbf::Merge(const ConcurrentSbf& other) {
 SpectralBloomFilter ConcurrentSbf::SnapshotShard(size_t i) const {
   const Shard& shard = *shards_[i];
   if (lock_free_) {
-    SpectralBloomFilter snap = shard.filter.CloneEmpty();
-    const uint64_t* words = ShardWords(shard);
-    for (uint64_t j = 0; j < shard_m_; ++j) {
+    const SpectralBloomFilter& live =
+        *shard.live_ptr.load(std::memory_order_acquire);
+    SpectralBloomFilter snap = live.CloneEmpty();
+    const uint64_t* words = FilterWords(live);
+    const uint64_t m = live.m();
+    for (uint64_t j = 0; j < m; ++j) {
       const uint64_t v = AtomicLoad(words[j]);
       if (v > 0) snap.mutable_counters().Set(j, v);
     }
@@ -330,7 +461,7 @@ SpectralBloomFilter ConcurrentSbf::SnapshotShard(size_t i) const {
     return snap;
   }
   std::shared_lock lock(shard.mu);
-  return shard.filter;
+  return *shard.live;
 }
 
 uint64_t ConcurrentSbf::TotalItems() const {
@@ -341,7 +472,8 @@ uint64_t ConcurrentSbf::TotalItems() const {
       total += shard.net_items.load(std::memory_order_relaxed);
     } else {
       std::shared_lock lock(shard.mu);
-      total += shard.filter.total_items();
+      total += shard.live->total_items();
+      if (shard.pending) total += shard.pending->total_items();
     }
   }
   return total;
@@ -352,10 +484,11 @@ size_t ConcurrentSbf::MemoryUsageBits() const {
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     const Shard& shard = *shards_[s];
     if (lock_free_) {
-      total += shard.filter.MemoryUsageBits();
+      total += shard.live_ptr.load(std::memory_order_acquire)
+                   ->MemoryUsageBits();
     } else {
       std::shared_lock lock(shard.mu);
-      total += shard.filter.MemoryUsageBits();
+      total += shard.live->MemoryUsageBits();
     }
   }
   return total;
@@ -368,6 +501,175 @@ std::string ConcurrentSbf::Name() const {
   name += CounterBackingName(options_.backing);
   name += "[S=" + std::to_string(options_.num_shards) + "]";
   return name;
+}
+
+FilterHealth ConcurrentSbf::Health() const {
+  FilterHealth health;
+  health.shard_fill.reserve(options_.num_shards);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    const Shard& shard = *shards_[s];
+    uint64_t m = 0;
+    OccupancyCounts counts;
+    SaturationStats stats;
+    if (lock_free_) {
+      const SpectralBloomFilter& live =
+          *shard.live_ptr.load(std::memory_order_acquire);
+      m = live.m();
+      const uint64_t* words = FilterWords(live);
+      for (uint64_t j = 0; j < m; ++j) {
+        const uint64_t v = AtomicLoad(words[j]);
+        counts.nonzero += v > 0;
+        counts.saturated += v == ~0ull;
+      }
+      stats = live.counters().saturation();
+    } else {
+      std::shared_lock lock(shard.mu);
+      m = shard.live->m();
+      counts = shard.live->counters().ScanOccupancy();
+      stats = shard.live->counters().saturation();
+    }
+    health.counters += m;
+    health.nonzero_counters += counts.nonzero;
+    health.saturated_counters += counts.saturated;
+    health.saturation_clamps += stats.saturation_clamps;
+    health.underflow_clamps += stats.underflow_clamps;
+    health.shard_fill.push_back(
+        m == 0 ? 0.0
+               : static_cast<double>(counts.nonzero) / static_cast<double>(m));
+  }
+  FinalizeHealth(options_.k, options_.health, &health);
+  return health;
+}
+
+SaturationStats ConcurrentSbf::saturation() const {
+  SaturationStats stats;
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    const Shard& shard = *shards_[s];
+    if (lock_free_) {
+      stats += shard.live_ptr.load(std::memory_order_acquire)
+                   ->counters()
+                   .saturation();
+    } else {
+      std::shared_lock lock(shard.mu);
+      stats += shard.live->counters().saturation();
+    }
+  }
+  return stats;
+}
+
+void ConcurrentSbf::ExpandShard(Shard& shard,
+                                std::unique_ptr<SpectralBloomFilter> pending) {
+  const uint64_t old_m = shard.live->m();
+  const uint64_t c = pending->m() / old_m;
+  const HashFamily::Kind kind = options_.hash_kind;
+  if (lock_free_) {
+    // Open the window: new writers divert to pending, then drain writers
+    // that loaded a null pending and still target live (the seq-cst pair
+    // of InsertLockFree/RemoveLockFree).
+    shard.pending = std::move(pending);
+    shard.pending_ptr.store(shard.pending.get(), std::memory_order_seq_cst);
+    while (shard.live_writers.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+    // live is now frozen for writers; fold-add it into pending while
+    // readers keep combining both filters. fetch_add tolerates the
+    // concurrent window writes landing in pending.
+    const uint64_t* old_words = FilterWords(*shard.live);
+    uint64_t* new_words = FilterWords(*shard.pending);
+    for (uint64_t i = 0; i < old_m; ++i) {
+      const uint64_t v = AtomicLoad(old_words[i]);
+      if (v == 0) continue;
+      for (uint64_t rep = 0; rep < c; ++rep) {
+        std::atomic_ref<uint64_t>(new_words[FoldPosition(kind, old_m, c, i,
+                                                         rep)])
+            .fetch_add(v, std::memory_order_relaxed);
+      }
+    }
+    shard.pending->mutable_counters().MergeSaturationStats(
+        shard.live->counters().saturation());
+    // Swap live first, clear pending second: a reader that still observes
+    // the window combines the new filter with itself (a transient, one-
+    // sided overestimate); a reader that observes it closed is coherence-
+    // ordered after the swap and sees the folded filter. The old filter is
+    // retired, not freed — unsynchronized readers may still hold it.
+    shard.retired.push_back(std::move(shard.live));
+    shard.live = std::move(shard.pending);
+    shard.live_ptr.store(shard.live.get(), std::memory_order_release);
+    shard.pending_ptr.store(nullptr, std::memory_order_release);
+    return;
+  }
+  // Locked path: the window opens under the exclusive lock; migration runs
+  // in short chunks so readers interleave between lock acquisitions.
+  {
+    std::unique_lock lock(shard.mu);
+    shard.pending = std::move(pending);
+  }
+  for (uint64_t start = 0; start < old_m; start += kMigrateChunk) {
+    std::unique_lock lock(shard.mu);
+    const uint64_t end = std::min(old_m, start + kMigrateChunk);
+    for (uint64_t i = start; i < end; ++i) {
+      const uint64_t v = shard.live->counters().Get(i);
+      if (v == 0) continue;
+      for (uint64_t rep = 0; rep < c; ++rep) {
+        shard.pending->mutable_counters().Increment(
+            FoldPosition(kind, old_m, c, i, rep), v);
+      }
+    }
+  }
+  std::unique_lock lock(shard.mu);
+  shard.pending->set_total_items(shard.pending->total_items() +
+                                 shard.live->total_items());
+  shard.pending->mutable_counters().MergeSaturationStats(
+      shard.live->counters().saturation());
+  shard.retired.push_back(std::move(shard.live));
+  shard.live = std::move(shard.pending);
+  shard.live_ptr.store(shard.live.get(), std::memory_order_release);
+}
+
+Status ConcurrentSbf::ExpandTo(uint64_t new_m) {
+  if (new_m == options_.m) return Status::Ok();
+  if (new_m < options_.m || new_m % options_.m != 0) {
+    return Status::InvalidArgument(
+        "ExpandTo needs new_m to be a multiple of the current m");
+  }
+  const uint64_t c = new_m / options_.m;
+  const uint64_t new_shard_m = CeilDiv(new_m, options_.num_shards);
+  if (new_shard_m != c * shard_m_) {
+    // Rounding would desynchronize per-shard sizes from the fold factor
+    // (and from what Deserialize derives). Guaranteed to hold when m is a
+    // multiple of num_shards.
+    return Status::InvalidArgument(
+        "ExpandTo needs per-shard sizes to scale by the same factor as m "
+        "(pick m divisible by num_shards)");
+  }
+  // Allocate every shard's pending filter up front — the only fallible
+  // step — so a failure returns with the filter fully unexpanded rather
+  // than half-migrated.
+  std::vector<std::unique_ptr<SpectralBloomFilter>> pendings;
+  pendings.reserve(options_.num_shards);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    if (fault::ShouldFailAllocation()) {
+      return Status::ResourceExhausted(
+          "ConcurrentSbf expansion allocation failed at shard " +
+          std::to_string(s));
+    }
+    SbfOptions shard_options = ShardOptions(options_, s);
+    shard_options.m = new_shard_m;
+    pendings.push_back(std::make_unique<SpectralBloomFilter>(shard_options));
+  }
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    ExpandShard(*shards_[s], std::move(pendings[s]));
+  }
+  options_.m = new_m;
+  shard_m_ = new_shard_m;
+  return Status::Ok();
+}
+
+StatusOr<bool> ConcurrentSbf::ExpandIfDegraded() {
+  if (Health().state == HealthState::kHealthy) return false;
+  Status status = ExpandTo(options_.m * 2);
+  if (!status.ok()) return status;
+  return true;
 }
 
 std::vector<uint8_t> ConcurrentSbf::Serialize() const {
@@ -434,11 +736,12 @@ StatusOr<ConcurrentSbf> ConcurrentSbf::Deserialize(wire::ByteSpan bytes) {
   ConcurrentSbf filter(options);
   for (uint64_t s = 0; s < num_shards; ++s) {
     Shard& shard = *filter.shards_[s];
-    shard.filter = std::move(shard_filters[s]);
+    // Assign through the stable live object so live_ptr stays valid.
+    *shard.live = std::move(shard_filters[s]);
     if (filter.lock_free_) {
-      shard.net_items.store(shard.filter.total_items(),
+      shard.net_items.store(shard.live->total_items(),
                             std::memory_order_relaxed);
-      shard.filter.set_total_items(0);
+      shard.live->set_total_items(0);
     }
   }
   return filter;

@@ -26,6 +26,9 @@ struct ConcurrentSbfOptions {
   uint64_t seed = 0;        // base seed; per-shard seeds are derived
   HashFamily::Kind hash_kind = HashFamily::Kind::kModuloMultiply;
   uint32_t num_shards = 8;  // S independent shards (required >= 1)
+  // Verdict thresholds for Health() / ExpandIfDegraded(). Process-local
+  // tuning — not serialized.
+  HealthThresholds health;
 };
 
 // Thread-safe sharded frontend over the Spectral Bloom Filter: keys are
@@ -122,8 +125,8 @@ class ConcurrentSbf final : public FrequencyFilter {
   uint64_t TotalItems() const;
 
   // Read-only view of one shard's filter. Caller must guarantee quiescence
-  // (no concurrent writers) while holding the reference.
-  const SpectralBloomFilter& shard(size_t i) const { return shards_[i]->filter; }
+  // (no concurrent writers or expansion) while holding the reference.
+  const SpectralBloomFilter& shard(size_t i) const { return *shards_[i]->live; }
 
   // A consistent copy of shard i (locks the shard; lock-free counters are
   // read atomically). Safe under concurrent writers.
@@ -132,20 +135,84 @@ class ConcurrentSbf final : public FrequencyFilter {
   // Per-shard operation counters (inserts/removes/estimates/batches).
   const ShardMetrics& metrics() const { return metrics_; }
 
+  // --- lifecycle: health & online expansion --------------------------------
+
+  // Live health snapshot across all shards: global fill/FPR, summed clamp
+  // tallies, plus per-shard fill ratios and their max/mean skew (a skewed
+  // router or key distribution degrades one shard long before the global
+  // fill shows it). Safe under concurrent writers on the lock-free path
+  // (counters are read atomically); on the locked path each shard is
+  // scanned under its shared lock.
+  FilterHealth Health() const override;
+
+  // Combined clamp-event tallies of all shards. The lock-free fast path
+  // updates 64-bit counters with raw atomics and cannot clamp (nor tally),
+  // so nonzero values only appear for the locked backings.
+  SaturationStats saturation() const;
+
+  // Grows the filter to `new_m` total counters, shard at a time, without
+  // blocking readers. Per shard the protocol opens a dual-write window:
+  //
+  //   1. An empty `pending` filter of the new shard size is published
+  //      (all shards' pendings are allocated up front, so a failed
+  //      allocation returns ResourceExhausted with the filter fully
+  //      unexpanded).
+  //   2. Writers that observe the window route their updates to `pending`
+  //      only, at the key's new-size hash positions; in-flight writers
+  //      still targeting `live` are drained (lock-free path: a seq-cst
+  //      writer refcount; locked path: the shard's exclusive lock).
+  //   3. `live` — now frozen — is fold-added into `pending`: old counter
+  //      i's value is added onto its c preimage positions (the same
+  //      position correspondence as SpectralBloomFilter::ExpandTo), in
+  //      chunks, so locked-path readers interleave between chunks and
+  //      lock-free readers are never blocked at all.
+  //   4. `pending` becomes `live`; the old filter is retired but kept
+  //      alive so unsynchronized lock-free readers can finish against it.
+  //
+  // Readers inside a window combine both filters per probe
+  // (min_j of live[old_j] + pending[new_j]), which never under-reports;
+  // during step 3 a probe may transiently double-count a migrated chunk —
+  // a one-sided (over) error, gone when the window closes. With quiescent
+  // windows the result is bit-identical to expanding each shard serially.
+  //
+  // Requires new_m to be a multiple of m that keeps per-shard sizes exact
+  // multiples (always true when m divides evenly into shards). Merge() and
+  // Serialize() require quiescence while an expansion is in progress.
+  Status ExpandTo(uint64_t new_m);
+
+  // Doubles m when Health() is kDegraded or kSaturated. Returns whether an
+  // expansion happened.
+  StatusOr<bool> ExpandIfDegraded();
+
  private:
   struct Shard {
-    explicit Shard(const SbfOptions& o) : filter(o) {}
-    SpectralBloomFilter filter;
+    explicit Shard(const SbfOptions& o)
+        : live(std::make_unique<SpectralBloomFilter>(o)),
+          live_ptr(live.get()) {}
+    // The serving filter. Lock-free readers/writers go through the atomic
+    // mirror `live_ptr`; the unique_ptrs are only touched by the expansion
+    // path (under `mu`) and by whole-filter operations.
+    std::unique_ptr<SpectralBloomFilter> live;
+    // Non-null only inside an expansion's dual-write window.
+    std::unique_ptr<SpectralBloomFilter> pending;
+    std::atomic<SpectralBloomFilter*> live_ptr;
+    std::atomic<SpectralBloomFilter*> pending_ptr{nullptr};
+    // Lock-free writers that may still be updating `live` (the expansion
+    // drain barrier; see ExpandTo step 2).
+    mutable std::atomic<uint32_t> live_writers{0};
     mutable std::shared_mutex mu;
     // Net item count for the lock-free path, where filter.total_items()
     // is bypassed and stays zero.
     std::atomic<uint64_t> net_items{0};
+    // Replaced filters, kept alive for lock-free readers that loaded the
+    // old pointer; bounded by the number of expansions.
+    std::vector<std::unique_ptr<SpectralBloomFilter>> retired;
   };
 
-  // Raw 64-bit counter words of a shard's kFixed64 backing (counter i is
+  // Raw 64-bit counter words of a filter's kFixed64 backing (counter i is
   // exactly word i), the substrate of the atomic fast path.
-  static uint64_t* ShardWords(Shard& s);
-  static const uint64_t* ShardWords(const Shard& s);
+  static uint64_t* FilterWords(SpectralBloomFilter& f);
+  static const uint64_t* FilterWords(const SpectralBloomFilter& f);
 
   void InsertLockFree(Shard& s, uint64_t key, uint64_t count);
   void RemoveLockFree(Shard& s, uint64_t key, uint64_t count);
@@ -155,6 +222,15 @@ class ConcurrentSbf final : public FrequencyFilter {
                            uint64_t count);
   void EstimateLockFreeBatch(const Shard& s, const uint64_t* keys, size_t n,
                              uint64_t* out) const;
+  // Applies count at the key's positions in `filter` with relaxed atomic
+  // adds (negative deltas wrap — the lock-free Remove contract).
+  void AtomicApply(SpectralBloomFilter& filter, uint64_t key, uint64_t count,
+                   bool add);
+  // Per-probe combined estimate across a dual-write window.
+  uint64_t CombinedEstimate(const SpectralBloomFilter& live,
+                            const SpectralBloomFilter& pending, uint64_t key,
+                            bool atomic_reads) const;
+  void ExpandShard(Shard& shard, std::unique_ptr<SpectralBloomFilter> pending);
 
   ConcurrentSbfOptions options_;
   uint64_t shard_m_ = 0;      // counters per shard

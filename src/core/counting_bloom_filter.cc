@@ -31,9 +31,22 @@ void CountingBloomFilter::Remove(uint64_t key, uint64_t count) {
   uint64_t positions[kMaxK];
   hash_.Positions(key, positions);
   for (uint32_t i = 0; i < hash_.k(); ++i) {
-    // Saturated counters stay put (sticky); others must hold the count.
+    // Saturated counters stay put (sticky); others clamp at zero if asked
+    // to remove more than they hold (the clamp is tallied in saturation()).
     counters_.Decrement(positions[i], count);
   }
+}
+
+FilterHealth CountingBloomFilter::Health() const {
+  FilterHealth health;
+  health.counters = m_;
+  const OccupancyCounts occupancy = counters_.ScanOccupancy();
+  health.nonzero_counters = occupancy.nonzero;
+  health.saturated_counters = occupancy.saturated;
+  health.saturation_clamps = counters_.saturation().saturation_clamps;
+  health.underflow_clamps = counters_.saturation().underflow_clamps;
+  FinalizeHealth(hash_.k(), HealthThresholds{}, &health);
+  return health;
 }
 
 uint64_t CountingBloomFilter::Estimate(uint64_t key) const {

@@ -56,6 +56,14 @@ class CountingBloomFilter final : public FrequencyFilter {
   // Counters pinned at the maximum (candidates for overestimation).
   size_t SaturatedCount() const { return counters_.SaturatedCount(); }
 
+  // Live health snapshot. With 4-bit sticky counters saturation is the
+  // designed overflow policy, so heavy use is expected to report
+  // kSaturated — the signal to move to a wider width or a real SBF.
+  FilterHealth Health() const override;
+
+  // Clamp-event tallies of the counter vector.
+  const SaturationStats& saturation() const { return counters_.saturation(); }
+
   // 'SBcb' wire frame (io/wire.h): {varint m, varint k, u8 kind, u64 seed,
   // varint counter width, embedded fixed-width counter frame}.
   std::vector<uint8_t> Serialize() const override;

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/health.h"
+
 namespace sbf {
 
 // Common interface of every multiplicity-estimating filter in the library
@@ -70,6 +72,12 @@ class FrequencyFilter {
   bool Contains(uint64_t key, uint64_t threshold = 1) const {
     return Estimate(key) >= threshold;
   }
+
+  // Live health snapshot: fill ratio, estimated current FPR from observed
+  // occupancy, saturation tallies, and a traffic-light verdict. The
+  // default is an empty kHealthy snapshot; counter-backed frontends
+  // override it with a real occupancy scan (O(m)).
+  virtual FilterHealth Health() const { return FilterHealth{}; }
 
   // Total memory footprint in bits, including all auxiliary structures.
   virtual size_t MemoryUsageBits() const = 0;

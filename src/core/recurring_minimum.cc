@@ -140,6 +140,55 @@ size_t RecurringMinimumSbf::MemoryUsageBits() const {
   return bits;
 }
 
+FilterHealth RecurringMinimumSbf::Health() const {
+  FilterHealth health = primary_.Health();
+  const FilterHealth secondary = secondary_.Health();
+  health.saturation_clamps += secondary.saturation_clamps;
+  health.underflow_clamps += secondary.underflow_clamps;
+  if (static_cast<int>(secondary.state) > static_cast<int>(health.state)) {
+    health.state = secondary.state;
+  }
+  return health;
+}
+
+SaturationStats RecurringMinimumSbf::saturation() const {
+  SaturationStats stats = primary_.saturation();
+  stats += secondary_.saturation();
+  return stats;
+}
+
+Status RecurringMinimumSbf::ExpandTo(uint64_t new_primary_m,
+                                     uint64_t new_secondary_m) {
+  if (new_primary_m < options_.primary_m ||
+      new_primary_m % options_.primary_m != 0 ||
+      new_secondary_m < options_.secondary_m ||
+      new_secondary_m % options_.secondary_m != 0) {
+    return Status::InvalidArgument(
+        "RM ExpandTo needs multiples of the current primary/secondary m");
+  }
+  // Expand copies, then commit all three together: a failure mid-sequence
+  // must not leave primary, secondary and marker at inconsistent sizes
+  // (Deserialize pins marker.m == primary_m, so a half-expanded filter
+  // would serialize to a frame that rejects itself).
+  SpectralBloomFilter primary = primary_;
+  Status status = primary.ExpandTo(new_primary_m);
+  if (!status.ok()) return status;
+  SpectralBloomFilter secondary = secondary_;
+  status = secondary.ExpandTo(new_secondary_m);
+  if (!status.ok()) return status;
+  std::optional<BloomFilter> marker = marker_;
+  if (marker.has_value()) {
+    status = marker->ExpandTo(new_primary_m);
+    if (!status.ok()) return status;
+  }
+  primary_ = std::move(primary);
+  secondary_ = std::move(secondary);
+  marker_ = std::move(marker);
+  options_.primary_m = new_primary_m;
+  options_.secondary_m = new_secondary_m;
+  return Status::Ok();
+}
+
 std::vector<uint8_t> RecurringMinimumSbf::Serialize() const {
   wire::Writer payload;
   payload.PutVarint(options_.primary_m);

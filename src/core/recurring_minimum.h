@@ -76,6 +76,25 @@ class RecurringMinimumSbf final : public FrequencyFilter {
   // Items currently routed through the secondary SBF (move events).
   size_t moved_to_secondary() const { return moved_to_secondary_; }
 
+  // Live health: the primary SBF's snapshot (every lookup probes it, so
+  // its occupancy governs the Bloom error), with the secondary's clamp
+  // tallies folded in and its verdict escalated if worse.
+  FilterHealth Health() const override;
+
+  // Combined clamp-event tallies of both SBFs.
+  SaturationStats saturation() const;
+
+  // Expands both SBFs in place (each new size a positive multiple of the
+  // current one; see SpectralBloomFilter::ExpandTo). Counter values — and
+  // with them minima and the recurring-minimum predicate — are preserved
+  // exactly, so every estimate survives the expansion bit-for-bit. The
+  // marker Bloom filter grows with the primary (its frame is pinned to
+  // primary_m on the wire). The expansion is transactional: copies are
+  // expanded first and committed together, so on any failure — bad
+  // arguments, allocation — a clean Status returns and the filter is
+  // untouched.
+  Status ExpandTo(uint64_t new_primary_m, uint64_t new_secondary_m);
+
   // 'SBrm' wire frame (io/wire.h): {options, varint moved count, embedded
   // primary and secondary SBF frames, embedded marker BF frame when the
   // marker is enabled}. The embedded frames must agree with the options

@@ -7,6 +7,7 @@
 #include "sai/fixed_counter_vector.h"
 #include "sai/serial_scan_counter_vector.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace sbf {
 namespace {
@@ -82,12 +83,30 @@ void SpectralBloomFilter::Insert(uint64_t key, uint64_t count) {
       values[i] = counters_->Get(positions[i]);
       min_value = std::min(min_value, values[i]);
     }
-    const uint64_t target = min_value + count;
+    // The lift target saturates at 2^64: a mod-2^64 wrap would *lower*
+    // counters and break the one-sided guarantee. (Narrower backings clamp
+    // again, and tally, inside Set.)
+    uint64_t target = min_value + count;
+    if (count > ~uint64_t{0} - min_value) {
+      target = ~uint64_t{0};
+      counters_->MergeSaturationStats({/*saturation_clamps=*/1, 0});
+    }
     for (uint32_t i = 0; i < k; ++i) {
       if (values[i] < target) counters_->Set(positions[i], target);
     }
   }
   total_items_ += count;
+
+  // Fault-injection site (no-op in production builds): a soft memory error
+  // flips one bit of one counter under write traffic. Routed through
+  // Get/Set so a flip past the backing's range clamps like any other
+  // out-of-range value instead of corrupting the encoding.
+  size_t flip_index;
+  uint32_t flip_bit;
+  if (fault::NextCounterFlip(options_.m, &flip_index, &flip_bit)) {
+    counters_->Set(flip_index,
+                   counters_->Get(flip_index) ^ (uint64_t{1} << flip_bit));
+  }
 }
 
 void SpectralBloomFilter::Remove(uint64_t key, uint64_t count) {
@@ -164,7 +183,13 @@ void InsertBatchImpl(CV& cv, const HashFamily& hash, SbfPolicy policy,
                     values[j] = counters.Get(pos[j]);
                     min_value = std::min(min_value, values[j]);
                   }
-                  const uint64_t target = min_value + count;
+                  // Saturating lift target, as in the scalar path: a
+                  // mod-2^64 wrap would lower counters.
+                  uint64_t target = min_value + count;
+                  if (count > ~uint64_t{0} - min_value) {
+                    target = ~uint64_t{0};
+                    counters.MergeSaturationStats({/*saturation_clamps=*/1, 0});
+                  }
                   for (uint32_t j = 0; j < k; ++j) {
                     if (values[j] < target) counters.Set(pos[j], target);
                   }
@@ -266,6 +291,82 @@ bool SpectralBloomFilter::HasRecurringMinimum(uint64_t key) const {
 
 SpectralBloomFilter SpectralBloomFilter::CloneEmpty() const {
   return SpectralBloomFilter(options_);
+}
+
+FilterHealth SpectralBloomFilter::Health() const {
+  FilterHealth health;
+  health.counters = options_.m;
+  const OccupancyCounts occupancy = counters_->ScanOccupancy();
+  health.nonzero_counters = occupancy.nonzero;
+  health.saturated_counters = occupancy.saturated;
+  health.saturation_clamps = counters_->saturation().saturation_clamps;
+  health.underflow_clamps = counters_->saturation().underflow_clamps;
+  FinalizeHealth(options_.k, options_.health, &health);
+  return health;
+}
+
+namespace {
+
+// Copies every old counter's value onto its c-position preimage set in the
+// expanded vector (see ExpandTo's contract in the header). Both layouts
+// fall out of the hash definitions for new_m = c * old_m:
+//  * kModuloMultiply probes floor(frac * m): floor division by c maps new
+//    position p to old position p / c, so old i owns [i*c, (i+1)*c).
+//  * kDoubleMix probes (g1 + i*g2) mod m: since old_m divides new_m, new
+//    positions reduce to old ones mod old_m, so old i owns {i + j*old_m}.
+void FoldExpandCounters(const CounterVector& old_cv, uint64_t c,
+                        HashFamily::Kind kind, CounterVector* next) {
+  const size_t old_m = old_cv.size();
+  constexpr size_t kChunk = 256;
+  uint64_t idx[kChunk];
+  uint64_t values[kChunk];
+  for (size_t base = 0; base < old_m; base += kChunk) {
+    const size_t len = std::min(kChunk, old_m - base);
+    for (size_t j = 0; j < len; ++j) idx[j] = base + j;
+    old_cv.GetMany(idx, len, values);
+    for (size_t j = 0; j < len; ++j) {
+      if (values[j] == 0) continue;
+      const uint64_t i = base + j;
+      for (uint64_t rep = 0; rep < c; ++rep) {
+        const uint64_t p = kind == HashFamily::Kind::kModuloMultiply
+                               ? i * c + rep
+                               : i + rep * old_m;
+        next->Set(p, values[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status SpectralBloomFilter::ExpandTo(uint64_t new_m) {
+  if (new_m == options_.m) return Status::Ok();
+  if (new_m < options_.m || new_m % options_.m != 0) {
+    return Status::InvalidArgument(
+        "ExpandTo needs new_m to be a multiple of the current m");
+  }
+  if (fault::ShouldFailAllocation()) {
+    return Status::ResourceExhausted("SBF expansion allocation failed");
+  }
+  const uint64_t c = new_m / options_.m;
+  std::unique_ptr<CounterVector> next =
+      MakeCounterVector(options_.backing, new_m);
+  FoldExpandCounters(*counters_, c, options_.hash_kind, next.get());
+  next->MergeSaturationStats(counters_->saturation());
+  // Same seed, larger range: HashFamily derives all per-probe parameters
+  // from the seed alone, so rebuilding it keeps the position
+  // correspondence FoldExpandCounters relied on.
+  hash_ = HashFamily(options_.k, new_m, options_.seed, options_.hash_kind);
+  counters_ = std::move(next);
+  options_.m = new_m;
+  return Status::Ok();
+}
+
+StatusOr<bool> SpectralBloomFilter::ExpandIfDegraded() {
+  if (Health().state == HealthState::kHealthy) return false;
+  const Status status = ExpandTo(options_.m * 2);
+  if (!status.ok()) return status;
+  return true;
 }
 
 std::vector<uint8_t> SpectralBloomFilter::Serialize() const {

@@ -10,6 +10,7 @@
 #include "core/frequency_filter.h"
 #include "hashing/hash_family.h"
 #include "sai/counter_vector.h"
+#include "util/health.h"
 #include "util/status.h"
 
 namespace sbf {
@@ -37,6 +38,9 @@ struct SbfOptions {
   CounterBacking backing = CounterBacking::kCompact;
   uint64_t seed = 0;
   HashFamily::Kind hash_kind = HashFamily::Kind::kModuloMultiply;
+  // Verdict thresholds for Health() / ExpandIfDegraded(). Process-local
+  // tuning — not serialized; deserialized filters use the defaults.
+  HealthThresholds health;
 };
 
 // Validates an SbfOptions: m >= 1 and 1 <= k <= 64. Returns OK or an
@@ -119,6 +123,34 @@ class SpectralBloomFilter final : public FrequencyFilter {
 
   // A fresh, empty filter with identical parameters (same hash functions).
   SpectralBloomFilter CloneEmpty() const;
+
+  // --- lifecycle: health & online expansion ------------------------------
+
+  // Live health snapshot computed from observed counter occupancy: fill
+  // ratio, estimated current FPR (Section 2.1 formula on live state),
+  // saturated-counter share, clamp tallies, and a verdict against
+  // options().health. O(m) scan.
+  FilterHealth Health() const override;
+
+  // Clamp-event tallies of the counter backing (see SaturationStats).
+  const SaturationStats& saturation() const { return counters_->saturation(); }
+
+  // Grows the filter to `new_m` counters in place, without the original
+  // keys: both hash families derive each probe from a key digest that is
+  // independent of m, so for new_m = c * m every old counter has a known
+  // preimage set of c new positions (multiply-shift: [i*c, (i+1)*c);
+  // double-mix: {i + j*m}). Replicating old counter i's value across its
+  // preimage set makes every key read exactly the counter values it read
+  // before — estimates are preserved bit-for-bit — while keys inserted
+  // *after* the expansion spread over the full new_m, restoring the error
+  // bound going forward. Requires new_m to be a positive multiple of m;
+  // fails with a clean Status (filter untouched) on bad arguments or
+  // allocation failure.
+  Status ExpandTo(uint64_t new_m);
+
+  // Doubles m when Health() is kDegraded or kSaturated. Returns whether an
+  // expansion happened.
+  StatusOr<bool> ExpandIfDegraded();
 
   // Gamma = nk/m for a given number of distinct keys n.
   double Gamma(uint64_t n_distinct) const {

@@ -1,5 +1,7 @@
 #include "io/wire.h"
 
+#include "util/fault_injection.h"
+
 namespace sbf {
 namespace wire {
 namespace {
@@ -62,7 +64,12 @@ std::vector<uint8_t> SealFrame(uint32_t magic, uint32_t version,
   out.PutU64(body.size());
   out.PutU32(Crc32c(body.data(), body.size()));
   out.PutBytes(body.data(), body.size());
-  return out.Take();
+  std::vector<uint8_t> frame = out.Take();
+  // Fault-injection site (no-op in production builds): models a torn or
+  // corrupted write as the serialized frame leaves the library. OpenFrame's
+  // size/CRC validation must reject every mutation with a clean Status.
+  fault::MutateSealedFrame(&frame);
+  return frame;
 }
 
 StatusOr<FrameInfo> ProbeFrame(ByteSpan bytes) {

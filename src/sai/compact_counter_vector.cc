@@ -135,7 +135,13 @@ void CompactCounterVector::Increment(size_t i, uint64_t delta) {
   SBF_DCHECK(i < m_);
   const uint32_t width = widths_[i];
   const size_t pos = PositionOf(i);
-  const uint64_t value = bits_.GetBits(pos, width) + delta;
+  const uint64_t v = bits_.GetBits(pos, width);
+  if (delta > ~uint64_t{0} - v) {  // 64-bit ceiling: clamp, don't wrap
+    ++stats_.saturation_clamps;
+    Set(i, ~uint64_t{0});
+    return;
+  }
+  const uint64_t value = v + delta;
   if (BitWidth(value) <= width) {
     bits_.SetBits(pos, width, value);
     return;

@@ -11,7 +11,11 @@ namespace sbf {
 
 void CounterVector::Decrement(size_t i, uint64_t delta) {
   const uint64_t v = Get(i);
-  SBF_CHECK_MSG(v >= delta, "counter underflow");
+  if (delta > v) {
+    Set(i, 0);
+    ++stats_.underflow_clamps;
+    return;
+  }
   Set(i, v - delta);
 }
 
@@ -28,6 +32,25 @@ uint64_t CounterVector::Total() const {
     for (size_t j = 0; j < len; ++j) total += values[j];
   }
   return total;
+}
+
+OccupancyCounts CounterVector::ScanOccupancy() const {
+  constexpr size_t kChunk = 256;
+  uint64_t idx[kChunk];
+  uint64_t values[kChunk];
+  OccupancyCounts counts;
+  const uint64_t max = MaxValue();
+  const size_t n = size();
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t len = std::min(kChunk, n - base);
+    for (size_t j = 0; j < len; ++j) idx[j] = base + j;
+    GetMany(idx, len, values);
+    for (size_t j = 0; j < len; ++j) {
+      counts.nonzero += values[j] > 0;
+      counts.saturated += values[j] == max;
+    }
+  }
+  return counts;
 }
 
 std::unique_ptr<CounterVector> MakeCounterVector(CounterBacking backing,

@@ -12,6 +12,27 @@
 
 namespace sbf {
 
+// Tallies of clamp events on a counter vector. These are process-local
+// diagnostics — they feed health reporting, never the wire format (the
+// framed encodings are pinned by golden tests and carry only counter
+// state).
+struct SaturationStats {
+  uint64_t saturation_clamps = 0;  // increments clamped at the backing max
+  uint64_t underflow_clamps = 0;   // decrements clamped at zero
+
+  SaturationStats& operator+=(const SaturationStats& other) {
+    saturation_clamps += other.saturation_clamps;
+    underflow_clamps += other.underflow_clamps;
+    return *this;
+  }
+};
+
+// Result of one occupancy sweep over the counters (health reporting).
+struct OccupancyCounts {
+  uint64_t nonzero = 0;    // counters with value > 0
+  uint64_t saturated = 0;  // counters pinned at the backing's MaxValue()
+};
+
 // Abstract array of m non-negative counters — the storage substrate of the
 // Spectral Bloom Filter. Implementations trade compactness for speed:
 //
@@ -41,10 +62,24 @@ class CounterVector {
   // Sets counter i to `value`.
   virtual void Set(size_t i, uint64_t value) = 0;
 
-  // Adds `delta` to counter i. Overridable for backings with a cheaper
-  // in-place path.
+  // Largest value a counter can hold. Increments clamp here instead of
+  // wrapping or aborting (saturation governance): a clamped counter keeps
+  // the SBF's one-sided guarantee — estimates may overshoot but a present
+  // item is never reported below the clamp.
+  virtual uint64_t MaxValue() const { return ~uint64_t{0}; }
+
+  // Adds `delta` to counter i, clamping at MaxValue() (the clamp is
+  // tallied in saturation()). Overridable for backings with a cheaper
+  // in-place path; overrides must preserve the clamp semantics.
   virtual void Increment(size_t i, uint64_t delta = 1) {
-    Set(i, Get(i) + delta);
+    const uint64_t v = Get(i);
+    const uint64_t max = MaxValue();
+    if (delta > max - v) {
+      Set(i, max);
+      ++stats_.saturation_clamps;
+      return;
+    }
+    Set(i, v + delta);
   }
 
   // --- bulk hooks for the batched probe pipelines ------------------------
@@ -65,8 +100,10 @@ class CounterVector {
     for (size_t j = 0; j < n; ++j) out[j] = Get(idx[j]);
   }
 
-  // Subtracts `delta` from counter i; the counter must hold at least
-  // `delta` (the SBF only deletes items it inserted).
+  // Subtracts `delta` from counter i, clamping at zero (the clamp is
+  // tallied in saturation()). A delete of a never-inserted item — user
+  // error, replayed traffic, a collided counter already clamped — degrades
+  // the estimate but never wraps or aborts.
   virtual void Decrement(size_t i, uint64_t delta = 1);
 
   // Sets every counter to zero.
@@ -93,6 +130,23 @@ class CounterVector {
   // through GetMany in index chunks so every backing sums with its
   // devirtualized accessor instead of one virtual Get per counter.
   uint64_t Total() const;
+
+  // One sweep over the counters tallying occupancy for health reporting,
+  // chunked through GetMany like Total().
+  OccupancyCounts ScanOccupancy() const;
+
+  // Clamp-event tallies since construction (clones inherit the tallies of
+  // their source; deserialized vectors start at zero).
+  const SaturationStats& saturation() const { return stats_; }
+
+  // Folds `other` into these tallies. Online expansion rebuilds the
+  // backing and uses this to carry the filter's clamp history across the
+  // rebuild, so "clamps since construction" stays truthful at the
+  // frontend.
+  void MergeSaturationStats(const SaturationStats& other) { stats_ += other; }
+
+ protected:
+  SaturationStats stats_;
 };
 
 // Backing selector used by filter configuration structs.

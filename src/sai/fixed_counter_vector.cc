@@ -19,8 +19,12 @@ FixedWidthCounterVector::FixedWidthCounterVector(size_t m, uint32_t width_bits,
 void FixedWidthCounterVector::Decrement(size_t i, uint64_t delta) {
   const uint64_t v = Get(i);
   if (sticky_ && v == max_value_) return;  // stuck counter, never decremented
-  SBF_CHECK_MSG(v >= delta, "counter underflow in fixed-width vector");
-  Set(i, v - delta);
+  if (delta > v) {
+    bits_.SetBits(i * width_, width_, 0);
+    ++stats_.underflow_clamps;
+    return;
+  }
+  bits_.SetBits(i * width_, width_, v - delta);
 }
 
 void FixedWidthCounterVector::Reset() { bits_.Clear(); }

@@ -28,20 +28,26 @@ class FixedWidthCounterVector final : public CounterVector {
     SBF_DCHECK(i < m_);
     return bits_.GetBits(i * width_, width_);
   }
+  // A value past the representable range clamps at max_value_ — reachable
+  // from public inputs (narrow widths under heavy traffic, Minimal
+  // Increase lifts), so it must degrade gracefully, not abort. The clamp
+  // keeps the one-sided guarantee: the counter reads max, never less.
   void Set(size_t i, uint64_t value) override {
     SBF_DCHECK(i < m_);
-    SBF_CHECK_MSG(value <= max_value_,
-                  "counter overflow in fixed-width vector");
+    if (value > max_value_) {
+      value = max_value_;
+      ++stats_.saturation_clamps;
+    }
     bits_.SetBits(i * width_, width_, value);
   }
   void Increment(size_t i, uint64_t delta = 1) override {
     const uint64_t v = Get(i);
-    if (sticky_) {
-      const uint64_t headroom = max_value_ - v;
-      Set(i, delta >= headroom ? max_value_ : v + delta);
+    if (delta > max_value_ - v) {
+      bits_.SetBits(i * width_, width_, max_value_);
+      ++stats_.saturation_clamps;
       return;
     }
-    Set(i, v + delta);
+    bits_.SetBits(i * width_, width_, v + delta);
   }
   void Decrement(size_t i, uint64_t delta = 1) override;
   void Reset() override;
@@ -62,6 +68,8 @@ class FixedWidthCounterVector final : public CounterVector {
   std::vector<uint8_t> Serialize() const override;
   static StatusOr<std::unique_ptr<CounterVector>> Deserialize(
       wire::ByteSpan bytes);
+
+  uint64_t MaxValue() const override { return max_value_; }
 
   uint32_t width_bits() const { return width_; }
   uint64_t max_value() const { return max_value_; }

@@ -1,0 +1,150 @@
+#include "util/fault_injection.h"
+
+#ifdef SBF_FAULT_INJECTION
+
+#include <atomic>
+#include <mutex>
+
+#include "util/random.h"
+
+namespace sbf {
+namespace fault {
+namespace {
+
+// One process-wide injector guarded by a mutex: fault injection runs in
+// test builds where determinism matters more than hot-path cost, and the
+// lock makes concurrent scenarios (ExpandTo under writers) well-defined.
+struct Injector {
+  std::mutex mu;
+
+  bool alloc_armed = false;
+  uint64_t alloc_countdown = 0;
+  uint64_t alloc_every_n = 0;
+
+  WireFault wire_kind = WireFault::kNone;
+  uint64_t wire_rng = 0;
+
+  bool flips_armed = false;
+  uint64_t flip_rng = 0;
+  uint64_t flip_every_n = 0;
+  uint64_t flip_tick = 0;
+
+  std::atomic<uint64_t> injected_allocs{0};
+  std::atomic<uint64_t> injected_wire{0};
+  std::atomic<uint64_t> injected_flips{0};
+};
+
+Injector& Global() {
+  static Injector* injector = new Injector;
+  return *injector;
+}
+
+}  // namespace
+
+void ArmAllocationFailure(uint64_t countdown, uint64_t every_n) {
+  Injector& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.alloc_armed = true;
+  g.alloc_countdown = countdown;
+  g.alloc_every_n = every_n;
+}
+
+void ArmWireFault(WireFault kind, uint64_t seed) {
+  Injector& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.wire_kind = kind;
+  g.wire_rng = seed ^ 0xFA017370ull;
+}
+
+void ArmCounterFlips(uint64_t seed, uint64_t every_n) {
+  Injector& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.flips_armed = every_n > 0;
+  g.flip_rng = seed ^ 0xB17F11Bull;
+  g.flip_every_n = every_n;
+  g.flip_tick = 0;
+}
+
+void Reset() {
+  Injector& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.alloc_armed = false;
+  g.alloc_countdown = 0;
+  g.alloc_every_n = 0;
+  g.wire_kind = WireFault::kNone;
+  g.flips_armed = false;
+  g.flip_every_n = 0;
+  g.flip_tick = 0;
+  g.injected_allocs.store(0, std::memory_order_relaxed);
+  g.injected_wire.store(0, std::memory_order_relaxed);
+  g.injected_flips.store(0, std::memory_order_relaxed);
+}
+
+bool ShouldFailAllocation() {
+  Injector& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (!g.alloc_armed) return false;
+  if (g.alloc_countdown > 1) {
+    --g.alloc_countdown;
+    return false;
+  }
+  // Countdown hit: fail this allocation, then re-arm or disarm.
+  if (g.alloc_every_n > 0) {
+    g.alloc_countdown = g.alloc_every_n;
+  } else {
+    g.alloc_armed = false;
+  }
+  g.injected_allocs.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool MutateSealedFrame(std::vector<uint8_t>* frame) {
+  Injector& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (g.wire_kind == WireFault::kNone || frame->empty()) return false;
+  const uint64_t r = SplitMix64(g.wire_rng);
+  switch (g.wire_kind) {
+    case WireFault::kNone:
+      return false;
+    case WireFault::kTruncate:
+      // Keep at least one byte gone; a zero-length frame is a separate
+      // (already-tested) reader case.
+      frame->resize(r % frame->size());
+      break;
+    case WireFault::kBitFlip:
+      (*frame)[(r >> 8) % frame->size()] ^=
+          static_cast<uint8_t>(1u << (r & 7));
+      break;
+  }
+  g.injected_wire.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool NextCounterFlip(size_t size, size_t* index, uint32_t* bit) {
+  Injector& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (!g.flips_armed || size == 0) return false;
+  if (++g.flip_tick % g.flip_every_n != 0) return false;
+  const uint64_t r = SplitMix64(g.flip_rng);
+  *index = static_cast<size_t>(r % size);
+  *bit = static_cast<uint32_t>((r >> 32) % 64);
+  g.injected_flips.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t InjectedAllocationFailures() {
+  return Global().injected_allocs.load(std::memory_order_relaxed);
+}
+
+uint64_t InjectedWireFaults() {
+  return Global().injected_wire.load(std::memory_order_relaxed);
+}
+
+uint64_t InjectedCounterFlips() {
+  return Global().injected_flips.load(std::memory_order_relaxed);
+}
+
+}  // namespace fault
+}  // namespace sbf
+
+#endif  // SBF_FAULT_INJECTION

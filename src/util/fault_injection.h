@@ -1,0 +1,91 @@
+#ifndef SBF_UTIL_FAULT_INJECTION_H_
+#define SBF_UTIL_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// Deterministic fault-injection hooks, compiled in only under
+// -DSBF_FAULT_INJECTION (the SBF_FAULT_INJECTION CMake option). Production
+// builds compile every hook to a constant-false no-op, so the hot paths
+// carry zero cost.
+//
+// The injector is a process-wide, seeded state machine: tests Arm* a fault
+// schedule, run the scenario, and assert that every induced failure
+// surfaced as a clean Status with the filter still queryable. The same
+// seed always yields the same fault sequence, so failures replay exactly.
+//
+// Three fault classes:
+//  * allocation   — fault::ShouldFailAllocation() fires at guarded
+//                   allocation sites (expansion, deserialization); callers
+//                   return Status::ResourceExhausted instead of allocating.
+//  * wire         — fault::MutateSealedFrame() truncates or bit-flips a
+//                   frame as wire::SealFrame hands it out, modelling torn
+//                   writes and storage corruption mid-Serialize.
+//  * counter      — fault::NextCounterFlip() picks a (counter, bit) to
+//                   flip; frontends apply it with Get/Set, modelling soft
+//                   memory errors in the counter array.
+//
+// The layer is numeric-only (indices, bytes) so util stays at the bottom
+// of the dependency stack; sai/core/io decide what a fault means locally.
+
+namespace sbf {
+namespace fault {
+
+enum class WireFault {
+  kNone = 0,
+  kTruncate = 1,  // drop trailing bytes from the sealed frame
+  kBitFlip = 2,   // flip one bit somewhere in the sealed frame
+};
+
+#ifdef SBF_FAULT_INJECTION
+
+// Arms allocation-site failures: the next `countdown`-th guarded
+// allocation fails, and every `every_n`-th after it (0 = only once).
+void ArmAllocationFailure(uint64_t countdown, uint64_t every_n = 0);
+
+// Arms wire-frame mutations with a deterministic byte/bit schedule.
+void ArmWireFault(WireFault kind, uint64_t seed);
+
+// Arms counter bit-flips: every `every_n`-th eligible update picks a
+// deterministic (counter, bit) pair from `seed`.
+void ArmCounterFlips(uint64_t seed, uint64_t every_n);
+
+// Disarms everything and zeroes the injected-fault tallies.
+void Reset();
+
+// True when the armed allocation schedule says this allocation fails.
+bool ShouldFailAllocation();
+
+// Applies the armed wire fault to `frame` in place. Returns true when the
+// frame was mutated.
+bool MutateSealedFrame(std::vector<uint8_t>* frame);
+
+// Deterministically picks a counter index in [0, size) and a bit in
+// [0, 64) to flip. Returns true when an armed flip fired.
+bool NextCounterFlip(size_t size, size_t* index, uint32_t* bit);
+
+// Tallies of faults actually injected since the last Reset().
+uint64_t InjectedAllocationFailures();
+uint64_t InjectedWireFaults();
+uint64_t InjectedCounterFlips();
+
+#else  // !SBF_FAULT_INJECTION
+
+inline void ArmAllocationFailure(uint64_t, uint64_t = 0) {}
+inline void ArmWireFault(WireFault, uint64_t) {}
+inline void ArmCounterFlips(uint64_t, uint64_t) {}
+inline void Reset() {}
+inline bool ShouldFailAllocation() { return false; }
+inline bool MutateSealedFrame(std::vector<uint8_t>*) { return false; }
+inline bool NextCounterFlip(size_t, size_t*, uint32_t*) { return false; }
+inline uint64_t InjectedAllocationFailures() { return 0; }
+inline uint64_t InjectedWireFaults() { return 0; }
+inline uint64_t InjectedCounterFlips() { return 0; }
+
+#endif  // SBF_FAULT_INJECTION
+
+}  // namespace fault
+}  // namespace sbf
+
+#endif  // SBF_UTIL_FAULT_INJECTION_H_

@@ -1,0 +1,74 @@
+#include "util/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sbf {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "HEALTHY";
+    case HealthState::kDegraded:
+      return "DEGRADED";
+    case HealthState::kSaturated:
+      return "SATURATED";
+  }
+  return "UNKNOWN";
+}
+
+void FinalizeHealth(uint32_t k, const HealthThresholds& thresholds,
+                    FilterHealth* health) {
+  const double m = health->counters > 0
+                       ? static_cast<double>(health->counters)
+                       : 1.0;
+  health->fill_ratio = static_cast<double>(health->nonzero_counters) / m;
+  health->saturated_share =
+      static_cast<double>(health->saturated_counters) / m;
+  // A never-inserted key is falsely reported present iff all k of its
+  // probes land on nonzero counters; with observed occupancy p that is
+  // p^k (the Section 2.1 formula with p measured instead of modelled).
+  health->estimated_fpr =
+      std::pow(std::min(health->fill_ratio, 1.0), static_cast<double>(k));
+
+  if (!health->shard_fill.empty()) {
+    double sum = 0.0, max_fill = 0.0;
+    for (double f : health->shard_fill) {
+      sum += f;
+      max_fill = std::max(max_fill, f);
+    }
+    const double mean = sum / static_cast<double>(health->shard_fill.size());
+    health->shard_skew = mean > 0.0 ? max_fill / mean : 0.0;
+  }
+
+  if (health->saturated_share > thresholds.saturated_share ||
+      (thresholds.saturated_share == 0.0 && health->saturated_counters > 0)) {
+    health->state = HealthState::kSaturated;
+  } else if (health->estimated_fpr > thresholds.degraded_fpr) {
+    health->state = HealthState::kDegraded;
+  } else {
+    health->state = HealthState::kHealthy;
+  }
+}
+
+std::string FilterHealth::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s fill=%.4f est_fpr=%.6f saturated=%llu (%.4f) "
+                "clamps=+%llu/-%llu",
+                HealthStateName(state), fill_ratio, estimated_fpr,
+                static_cast<unsigned long long>(saturated_counters),
+                saturated_share,
+                static_cast<unsigned long long>(saturation_clamps),
+                static_cast<unsigned long long>(underflow_clamps));
+  std::string out = buf;
+  if (!shard_fill.empty()) {
+    std::snprintf(buf, sizeof(buf), " shards=%zu skew=%.3f",
+                  shard_fill.size(), shard_skew);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sbf

@@ -1,0 +1,76 @@
+#ifndef SBF_UTIL_HEALTH_H_
+#define SBF_UTIL_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbf {
+
+// Traffic-light verdict over a filter's live error behaviour. The paper's
+// guarantees (Section 2.1 FPR, Section 3 heuristic bounds) are stated for
+// the design load; these states report how far a running filter has
+// drifted from it.
+enum class HealthState {
+  kHealthy = 0,    // within design load, error bounds hold
+  kDegraded = 1,   // overloaded: observed FPR exceeds the degraded
+                   // threshold — a good moment to ExpandTo a larger m
+  kSaturated = 2,  // counters are clamping: estimates may be capped and
+                   // deletes may no longer rebalance; expansion or rebuild
+                   // required to restore bounds
+};
+
+const char* HealthStateName(HealthState state);
+
+// Verdict thresholds. Defaults follow the usual Bloom sizing lore: a
+// filter designed for gamma = m/M around 1-2 has FPR well under 10%, so
+// crossing 10% means the filter has outlived its sizing by a wide margin.
+struct HealthThresholds {
+  // Estimated live FPR above which the filter is kDegraded.
+  double degraded_fpr = 0.10;
+  // Share of saturated (clamped-at-max) counters above which the filter is
+  // kSaturated regardless of FPR. Any clamping at all is already a bound
+  // violation, so the default trips on the first saturated counter.
+  double saturated_share = 0.0;
+};
+
+// Snapshot of a filter's live health, computed from observed counter
+// occupancy — no stored item set required.
+struct FilterHealth {
+  HealthState state = HealthState::kHealthy;
+
+  uint64_t counters = 0;          // m (total counters across the filter)
+  uint64_t nonzero_counters = 0;  // counters with value > 0
+  double fill_ratio = 0.0;        // nonzero / m
+
+  // Estimated probability that a *new* (never-inserted) key collides on
+  // all k probes, i.e. the live false-positive rate: fill_ratio^k.
+  // This is the paper's Section 2.1 error formula E = (1 - e^{-kM/m})^k
+  // evaluated on the observed occupancy instead of the modelled one, so it
+  // stays honest under skew, deletions and merges.
+  double estimated_fpr = 0.0;
+
+  uint64_t saturated_counters = 0;   // counters clamped at the backing max
+  double saturated_share = 0.0;      // saturated / m
+  uint64_t saturation_clamps = 0;    // increment clamps since construction
+  uint64_t underflow_clamps = 0;     // decrement clamps since construction
+
+  // Per-shard fill ratios (ConcurrentSbf only; empty otherwise). Skew is
+  // max/mean — 1.0 for perfectly balanced shards.
+  std::vector<double> shard_fill;
+  double shard_skew = 0.0;
+
+  // One-line human-readable rendering for tools and logs.
+  std::string ToString() const;
+};
+
+// Fills the derived fields (ratios, FPR, shard skew) and the verdict from
+// the raw tallies already present in `health`. `k` is the filter's number
+// of hash probes.
+void FinalizeHealth(uint32_t k, const HealthThresholds& thresholds,
+                    FilterHealth* health);
+
+}  // namespace sbf
+
+#endif  // SBF_UTIL_HEALTH_H_

@@ -17,6 +17,8 @@ const char* CodeName(Status::Code code) {
       return "DATA_LOSS";
     case Status::Code::kUnimplemented:
       return "UNIMPLEMENTED";
+    case Status::Code::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,7 @@ class Status {
     kFailedPrecondition = 3,
     kDataLoss = 4,
     kUnimplemented = 5,
+    kResourceExhausted = 6,
   };
 
   Status() : code_(Code::kOk) {}
@@ -42,6 +43,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(Code::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -311,6 +311,65 @@ TEST(SerialScanTest, AlternativeStepConfig) {
 
 // --- cross-backing equivalence ---------------------------------------------------
 
+// --- saturation governance --------------------------------------------------
+
+TEST_P(CounterBackingTest, DecrementBelowZeroClampsAndTallies) {
+  // Regression: over-deleting used to abort; it must clamp at zero, tally
+  // the event, and leave the vector fully usable.
+  auto v = Make(16);
+  v->Decrement(3, 5);
+  EXPECT_EQ(v->Get(3), 0u);
+  v->Increment(3, 2);
+  v->Decrement(3, 10);
+  EXPECT_EQ(v->Get(3), 0u);
+  EXPECT_EQ(v->saturation().underflow_clamps, 2u);
+  EXPECT_EQ(v->saturation().saturation_clamps, 0u);
+  v->Increment(3, 7);
+  EXPECT_EQ(v->Get(3), 7u);
+}
+
+TEST_P(CounterBackingTest, IncrementPastMaxClampsAndTallies) {
+  auto v = Make(8);
+  const uint64_t max = v->MaxValue();
+  v->Set(0, max);
+  EXPECT_EQ(v->Get(0), max);
+  v->Increment(0, 1);  // would wrap past the backing's range
+  EXPECT_EQ(v->Get(0), max);
+  EXPECT_GE(v->saturation().saturation_clamps, 1u);
+  // A clamped counter still reads max — never less (one-sided).
+  v->Increment(0, 12345);
+  EXPECT_EQ(v->Get(0), max);
+}
+
+TEST_P(CounterBackingTest, ScanOccupancyCountsNonzeroAndSaturated) {
+  auto v = Make(600);  // spans multiple GetMany chunks
+  v->Increment(1, 3);
+  v->Increment(599, 1);
+  v->Set(300, v->MaxValue());
+  const OccupancyCounts counts = v->ScanOccupancy();
+  EXPECT_EQ(counts.nonzero, 3u);
+  EXPECT_EQ(counts.saturated, 1u);
+}
+
+TEST(FixedWidthTest, SetPastMaxClampsInsteadOfAborting) {
+  // Regression: Set used to SBF_CHECK on out-of-range values, an abort
+  // reachable from public inputs (narrow widths under Minimal Increase
+  // lifts). It now clamps and tallies.
+  FixedWidthCounterVector v(8, 4);
+  v.Set(2, 100);
+  EXPECT_EQ(v.Get(2), 15u);
+  EXPECT_EQ(v.saturation().saturation_clamps, 1u);
+}
+
+TEST(FixedWidthTest, CloneCarriesSaturationStats) {
+  FixedWidthCounterVector v(8, 4);
+  v.Increment(0, 100);
+  v.Decrement(1, 1);
+  auto clone = v.Clone();
+  EXPECT_EQ(clone->saturation().saturation_clamps, 1u);
+  EXPECT_EQ(clone->saturation().underflow_clamps, 1u);
+}
+
 TEST(CrossBackingTest, AllBackingsAgreeUnderIdenticalOps) {
   constexpr size_t kM = 128;
   std::vector<std::unique_ptr<CounterVector>> vectors;

@@ -85,6 +85,64 @@ INSTANTIATE_TEST_SUITE_P(
                       OpMix{5, 2000, 2000, 25}),  // mixed
     [](const auto& info) { return "Mix" + std::to_string(info.param.seed); });
 
+// --- saturated estimates never under-report the clamp ----------------------
+
+// Drive every backing x policy past the 32-bit backing's range (the 64-bit
+// backings past 2^64) and check the graceful-degradation contract: a
+// saturated counter reads the backing maximum — never less, never a wrap
+// to a small value — so threshold queries keep their no-false-negative
+// guarantee up to the clamp, and the event is tallied for Health().
+TEST(SaturationDifferentialTest, SaturatedEstimateReadsClampAcrossBackings) {
+  const uint64_t kHuge = ~uint64_t{0} - 3;  // two inserts overflow any width
+  for (CounterBacking backing :
+       {CounterBacking::kFixed64, CounterBacking::kFixed32,
+        CounterBacking::kCompact, CounterBacking::kSerialScan}) {
+    for (SbfPolicy policy :
+         {SbfPolicy::kMinimumSelection, SbfPolicy::kMinimalIncrease}) {
+      SbfOptions options;
+      options.m = 64;
+      options.k = 3;
+      options.seed = 31;
+      options.backing = backing;
+      options.policy = policy;
+      SpectralBloomFilter filter(options);
+      filter.Insert(9, kHuge);
+      filter.Insert(9, kHuge);
+
+      const uint64_t clamp = filter.counters().MaxValue();
+      EXPECT_EQ(filter.Estimate(9), clamp)
+          << CounterBackingName(backing) << " "
+          << (policy == SbfPolicy::kMinimumSelection ? "MS" : "MI");
+      EXPECT_GT(filter.saturation().saturation_clamps, 0u);
+
+      // The rest of the filter still behaves: fresh keys insert and
+      // estimate normally next to the pinned counters.
+      filter.Insert(123, 4);
+      EXPECT_GE(filter.Estimate(123), 4u);
+    }
+  }
+}
+
+TEST(SaturationDifferentialTest, RecurringMinimumSaturatesGracefully) {
+  RecurringMinimumOptions options;
+  options.primary_m = 80;
+  options.secondary_m = 20;
+  options.k = 3;
+  options.backing = CounterBacking::kFixed32;
+  RecurringMinimumSbf filter(options);
+  const uint64_t kHuge = uint64_t{3} << 30;
+  filter.Insert(9, kHuge);
+  filter.Insert(9, kHuge);
+
+  // Both inserts exceed the 32-bit range: the estimate reads the clamp
+  // (never a wrapped small value), stays one-sided for every other key,
+  // and the clamp events surface through saturation().
+  EXPECT_EQ(filter.Estimate(9), (uint64_t{1} << 32) - 1);
+  EXPECT_GT(filter.saturation().saturation_clamps, 0u);
+  filter.Insert(55, 7);
+  EXPECT_GE(filter.Estimate(55), 7u);
+}
+
 // --- blocked SBF with one block == flat SBF behaviour ----------------------
 
 TEST(BlockedDifferentialTest, SingleBlockIsOneSidedAndLoadEquivalent) {

@@ -1,0 +1,455 @@
+// Online expansion (ExpandTo): growing a live filter must preserve every
+// estimate bit-for-bit — both hash kinds locate each old counter's
+// preimage set exactly, so the fold-based rebuild is lossless — and the
+// ConcurrentSbf dual-write window must stay readable and one-sided while
+// writers and readers race the migration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/blocked_sbf.h"
+#include "core/bloom_filter.h"
+#include "core/concurrent_sbf.h"
+#include "core/recurring_minimum.h"
+#include "core/spectral_bloom_filter.h"
+#include "util/random.h"
+
+namespace sbf {
+namespace {
+
+constexpr uint64_t kProbeKeys = 10000;  // probe set for estimate equality
+
+// --- SpectralBloomFilter: every backing x policy x hash kind ---------------
+
+struct ExpandCase {
+  CounterBacking backing;
+  SbfPolicy policy;
+  HashFamily::Kind hash_kind;
+};
+
+// gtest parameter names must be alphanumeric ("serial-scan" is not).
+std::string SanitizedBackingName(CounterBacking backing) {
+  std::string name = CounterBackingName(backing);
+  name.erase(std::remove_if(name.begin(), name.end(),
+                            [](unsigned char c) { return !std::isalnum(c); }),
+             name.end());
+  return name;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<ExpandCase>& info) {
+  std::string name = SanitizedBackingName(info.param.backing);
+  name += info.param.policy == SbfPolicy::kMinimumSelection ? "_MS" : "_MI";
+  name += info.param.hash_kind == HashFamily::Kind::kModuloMultiply
+              ? "_MulShift"
+              : "_DoubleMix";
+  return name;
+}
+
+std::vector<ExpandCase> AllExpandCases() {
+  std::vector<ExpandCase> cases;
+  for (CounterBacking backing :
+       {CounterBacking::kFixed64, CounterBacking::kFixed32,
+        CounterBacking::kCompact, CounterBacking::kSerialScan}) {
+    for (SbfPolicy policy :
+         {SbfPolicy::kMinimumSelection, SbfPolicy::kMinimalIncrease}) {
+      for (HashFamily::Kind kind : {HashFamily::Kind::kModuloMultiply,
+                                    HashFamily::Kind::kDoubleMix}) {
+        cases.push_back({backing, policy, kind});
+      }
+    }
+  }
+  return cases;
+}
+
+class SbfExpandTest : public ::testing::TestWithParam<ExpandCase> {};
+
+TEST_P(SbfExpandTest, ProbesSurviveExpansionExactly) {
+  const ExpandCase param = GetParam();
+  SbfOptions options;
+  options.m = 512;
+  options.k = 5;
+  options.seed = 42;
+  options.backing = param.backing;
+  options.policy = param.policy;
+  options.hash_kind = param.hash_kind;
+  SpectralBloomFilter filter(options);
+
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1500; ++i) {
+    filter.Insert(rng.UniformInt(4000), rng.UniformInt(4) + 1);
+  }
+  std::vector<uint64_t> pre(kProbeKeys);
+  for (uint64_t key = 0; key < kProbeKeys; ++key) {
+    pre[key] = filter.Estimate(key);
+  }
+  const uint64_t items = filter.total_items();
+
+  ASSERT_TRUE(filter.ExpandTo(4 * 512).ok());
+  EXPECT_EQ(filter.m(), 2048u);
+  EXPECT_EQ(filter.total_items(), items);
+  for (uint64_t key = 0; key < kProbeKeys; ++key) {
+    ASSERT_EQ(filter.Estimate(key), pre[key]) << "key " << key;
+  }
+}
+
+TEST_P(SbfExpandTest, InsertsAfterExpansionStayOneSided) {
+  const ExpandCase param = GetParam();
+  SbfOptions options;
+  options.m = 256;
+  options.k = 4;
+  options.seed = 7;
+  options.backing = param.backing;
+  options.policy = param.policy;
+  options.hash_kind = param.hash_kind;
+  SpectralBloomFilter filter(options);
+
+  std::map<uint64_t, uint64_t> truth;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 600; ++i) {
+    const uint64_t key = rng.UniformInt(900);
+    filter.Insert(key, 2);
+    truth[key] += 2;
+  }
+  ASSERT_TRUE(filter.ExpandTo(512).ok());
+  for (int i = 0; i < 600; ++i) {
+    const uint64_t key = rng.UniformInt(900);
+    filter.Insert(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(filter.Estimate(key), count) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, SbfExpandTest,
+                         ::testing::ValuesIn(AllExpandCases()), CaseName);
+
+TEST(SbfExpandArgsTest, RejectsNonMultiples) {
+  SpectralBloomFilter filter(100, 4);
+  EXPECT_TRUE(filter.ExpandTo(100).ok());  // no-op
+  EXPECT_EQ(filter.ExpandTo(150).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(filter.ExpandTo(50).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(filter.ExpandTo(0).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(filter.m(), 100u);
+}
+
+TEST(SbfExpandArgsTest, ExpansionPreservesFillAndSurvivesSerialization) {
+  // The fold replicates every old counter across its whole preimage set,
+  // so occupancy — and with it the estimated FPR of already-inserted
+  // data — carries over exactly. Expansion buys headroom for *future*
+  // inserts (which spread over c x more counters); it cannot retroactively
+  // sharpen estimates whose collisions already happened.
+  SpectralBloomFilter filter(128, 5);
+  for (uint64_t key = 0; key < 200; ++key) filter.Insert(key);
+  const double fill_before = filter.Health().fill_ratio;
+  ASSERT_TRUE(filter.ExpandTo(1024).ok());
+  EXPECT_DOUBLE_EQ(filter.Health().fill_ratio, fill_before);
+
+  const std::vector<uint8_t> bytes = filter.Serialize();
+  auto loaded = SpectralBloomFilter::Deserialize(bytes);
+  ASSERT_TRUE(loaded.ok());
+  for (uint64_t key = 0; key < 400; ++key) {
+    EXPECT_EQ(loaded.value().Estimate(key), filter.Estimate(key));
+  }
+}
+
+TEST(SbfExpandArgsTest, ExpandIfDegradedDoublesOverloadedFilter) {
+  SbfOptions options;
+  options.m = 64;
+  options.k = 3;
+  SpectralBloomFilter filter(options);
+  for (uint64_t key = 0; key < 300; ++key) filter.Insert(key);
+  ASSERT_EQ(filter.Health().state, HealthState::kDegraded);
+
+  auto expanded = filter.ExpandIfDegraded();
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_TRUE(expanded.value());
+  EXPECT_EQ(filter.m(), 128u);
+
+  // A lightly loaded filter reports healthy and is left alone.
+  SpectralBloomFilter light(4096, 5);
+  light.Insert(1);
+  auto untouched = light.ExpandIfDegraded();
+  ASSERT_TRUE(untouched.ok());
+  EXPECT_FALSE(untouched.value());
+  EXPECT_EQ(light.m(), 4096u);
+}
+
+// --- Bloom filter ----------------------------------------------------------
+
+TEST(BloomExpandTest, MembershipSurvivesExpansionBothHashKinds) {
+  for (HashFamily::Kind kind : {HashFamily::Kind::kModuloMultiply,
+                                HashFamily::Kind::kDoubleMix}) {
+    BloomFilter filter(512, 5, 3, kind);
+    for (uint64_t key = 0; key < 120; ++key) filter.Add(key * 977);
+    std::vector<bool> pre(kProbeKeys);
+    for (uint64_t key = 0; key < kProbeKeys; ++key) {
+      pre[key] = filter.Contains(key);
+    }
+    ASSERT_TRUE(filter.ExpandTo(2048).ok());
+    EXPECT_EQ(filter.m(), 2048u);
+    for (uint64_t key = 0; key < kProbeKeys; ++key) {
+      ASSERT_EQ(filter.Contains(key), pre[key]) << "key " << key;
+    }
+    EXPECT_EQ(filter.ExpandTo(1000).code(), Status::Code::kInvalidArgument);
+  }
+}
+
+// --- Blocked SBF -----------------------------------------------------------
+
+TEST(BlockedExpandTest, ProbesSurviveExpansionExactly) {
+  BlockedSbfOptions options;
+  options.m = 512;
+  options.block_size = 64;
+  options.k = 4;
+  options.seed = 21;
+  BlockedSbf filter(options);
+
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 900; ++i) {
+    filter.Insert(rng.UniformInt(3000), rng.UniformInt(3) + 1);
+  }
+  std::vector<uint64_t> pre(kProbeKeys);
+  for (uint64_t key = 0; key < kProbeKeys; ++key) {
+    pre[key] = filter.Estimate(key);
+  }
+  ASSERT_TRUE(filter.ExpandTo(2048).ok());
+  for (uint64_t key = 0; key < kProbeKeys; ++key) {
+    ASSERT_EQ(filter.Estimate(key), pre[key]) << "key " << key;
+  }
+  EXPECT_EQ(filter.ExpandTo(2048 + 64).code(),
+            Status::Code::kInvalidArgument);
+}
+
+// --- Recurring Minimum -----------------------------------------------------
+
+TEST(RmExpandTest, ProbesSurviveExpansionWithAndWithoutMarker) {
+  for (bool marker : {false, true}) {
+    RecurringMinimumOptions options;
+    options.primary_m = 400;
+    options.secondary_m = 100;
+    options.k = 4;
+    options.seed = 3;
+    options.use_marker_filter = marker;
+    RecurringMinimumSbf filter(options);
+
+    Xoshiro256 rng(13);
+    std::map<uint64_t, uint64_t> live;
+    for (int i = 0; i < 1200; ++i) {
+      const uint64_t key = rng.UniformInt(800);
+      if (live[key] > 0 && rng.UniformInt(5) == 0) {
+        filter.Remove(key);
+        --live[key];
+      } else {
+        filter.Insert(key);
+        ++live[key];
+      }
+    }
+    std::vector<uint64_t> pre(kProbeKeys);
+    for (uint64_t key = 0; key < kProbeKeys; ++key) {
+      pre[key] = filter.Estimate(key);
+    }
+
+    ASSERT_TRUE(filter.ExpandTo(1200, 300).ok());
+    for (uint64_t key = 0; key < kProbeKeys; ++key) {
+      ASSERT_EQ(filter.Estimate(key), pre[key])
+          << "key " << key << " marker=" << marker;
+    }
+
+    // The expanded filter must serialize into a self-consistent frame (the
+    // marker grows with the primary, which Deserialize pins).
+    auto loaded = RecurringMinimumSbf::Deserialize(filter.Serialize());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    for (uint64_t key = 0; key < 800; ++key) {
+      EXPECT_EQ(loaded.value().Estimate(key), filter.Estimate(key));
+    }
+
+    EXPECT_EQ(filter.ExpandTo(1300, 300).code(),
+              Status::Code::kInvalidArgument);
+    EXPECT_EQ(filter.ExpandTo(2400, 50).code(),
+              Status::Code::kInvalidArgument);
+  }
+}
+
+// --- ConcurrentSbf: quiescent expansion ------------------------------------
+
+ConcurrentSbfOptions ConcurrentOptions(CounterBacking backing,
+                                       SbfPolicy policy) {
+  ConcurrentSbfOptions options;
+  options.m = 4096;
+  options.k = 4;
+  options.num_shards = 8;
+  options.seed = 99;
+  options.backing = backing;
+  options.policy = policy;
+  return options;
+}
+
+class ConcurrentExpandTest
+    : public ::testing::TestWithParam<std::pair<CounterBacking, SbfPolicy>> {};
+
+TEST_P(ConcurrentExpandTest, QuiescentExpansionPreservesProbes) {
+  const auto [backing, policy] = GetParam();
+  ConcurrentSbf filter(ConcurrentOptions(backing, policy));
+  Xoshiro256 rng(17);
+  std::vector<uint64_t> keys(3000);
+  for (auto& key : keys) key = rng.UniformInt(1u << 20);
+  filter.InsertBatch(keys.data(), keys.size(), 2);
+
+  std::vector<uint64_t> pre(kProbeKeys);
+  for (uint64_t key = 0; key < kProbeKeys; ++key) {
+    pre[key] = filter.Estimate(key);
+  }
+  const uint64_t items = filter.TotalItems();
+
+  ASSERT_TRUE(filter.ExpandTo(4 * 4096).ok());
+  EXPECT_EQ(filter.options().m, 4u * 4096u);
+  EXPECT_EQ(filter.shard_m(), 4u * 4096u / 8u);
+  EXPECT_EQ(filter.TotalItems(), items);
+  for (uint64_t key = 0; key < kProbeKeys; ++key) {
+    ASSERT_EQ(filter.Estimate(key), pre[key]) << "key " << key;
+  }
+
+  // The expanded filter round-trips the wire (Deserialize re-derives shard
+  // sizes from the new m).
+  auto loaded = ConcurrentSbf::Deserialize(filter.Serialize());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (uint64_t key = 0; key < 2000; ++key) {
+    EXPECT_EQ(loaded.value().Estimate(key), filter.Estimate(key));
+  }
+}
+
+TEST_P(ConcurrentExpandTest, MatchesSeriallyExpandedReference) {
+  const auto [backing, policy] = GetParam();
+  ConcurrentSbf filter(ConcurrentOptions(backing, policy));
+  ConcurrentSbf reference(ConcurrentOptions(backing, policy));
+
+  Xoshiro256 rng(23);
+  std::vector<uint64_t> before(2000), after(2000);
+  for (auto& key : before) key = rng.UniformInt(1u << 18);
+  for (auto& key : after) key = rng.UniformInt(1u << 18);
+
+  filter.InsertBatch(before.data(), before.size());
+  ASSERT_TRUE(filter.ExpandTo(2 * 4096).ok());
+  filter.InsertBatch(after.data(), after.size());
+
+  reference.InsertBatch(before.data(), before.size());
+  ASSERT_TRUE(reference.ExpandTo(2 * 4096).ok());
+  reference.InsertBatch(after.data(), after.size());
+
+  for (uint64_t key = 0; key < kProbeKeys; ++key) {
+    ASSERT_EQ(filter.Estimate(key), reference.Estimate(key)) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, ConcurrentExpandTest,
+    ::testing::Values(
+        std::pair{CounterBacking::kFixed64, SbfPolicy::kMinimumSelection},
+        std::pair{CounterBacking::kCompact, SbfPolicy::kMinimumSelection},
+        std::pair{CounterBacking::kCompact, SbfPolicy::kMinimalIncrease}),
+    [](const auto& info) {
+      std::string name = SanitizedBackingName(info.param.first);
+      name += info.param.second == SbfPolicy::kMinimumSelection ? "_MS"
+                                                                : "_MI";
+      return name;
+    });
+
+TEST(ConcurrentExpandArgsTest, RejectsShardMisalignedSizes) {
+  ConcurrentSbfOptions options;
+  options.m = 100;  // CeilDiv(100, 8) = 13, but CeilDiv(200, 8) = 25 != 26
+  options.num_shards = 8;
+  ConcurrentSbf filter(options);
+  EXPECT_EQ(filter.ExpandTo(200).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(filter.ExpandTo(150).code(), Status::Code::kInvalidArgument);
+  EXPECT_TRUE(filter.ExpandTo(100).ok());
+}
+
+// --- ConcurrentSbf: expansion racing writers and readers -------------------
+
+// 8 writers + 8 readers race ExpandTo. Readers hold a preloaded ground
+// truth and assert the one-sided guarantee never breaks — not before, not
+// during, not after the dual-write window. Writers insert disjoint key
+// slices so the post-join ground truth is exact.
+void RaceExpansion(CounterBacking backing, SbfPolicy policy) {
+  constexpr int kWriters = 8;
+  constexpr int kReaders = 8;
+  constexpr uint64_t kKeysPerWriter = 400;
+  constexpr uint64_t kPreloaded = 512;
+
+  ConcurrentSbfOptions options = ConcurrentOptions(backing, policy);
+  ConcurrentSbf filter(options);
+
+  // Preload: keys [0, kPreloaded) with count 3, fully quiesced.
+  for (uint64_t key = 0; key < kPreloaded; ++key) filter.Insert(key, 3);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&filter, &stop, r] {
+      Xoshiro256 rng(1000 + r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t key = rng.UniformInt(kPreloaded);
+        const uint64_t estimate = filter.Estimate(key);
+        // Preloaded counts never shrink: any estimate below the preload is
+        // a torn read through the expansion window.
+        ASSERT_GE(estimate, 3u) << "key " << key;
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&filter, w] {
+      // Writer w owns keys [base, base + kKeysPerWriter).
+      const uint64_t base = kPreloaded + w * kKeysPerWriter;
+      for (uint64_t i = 0; i < kKeysPerWriter; ++i) {
+        filter.Insert(base + i, 1 + (i % 3));
+      }
+    });
+  }
+
+  ASSERT_TRUE(filter.ExpandTo(4 * options.m).ok());
+
+  for (int w = 0; w < kWriters; ++w) threads[kReaders + w].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (int r = 0; r < kReaders; ++r) threads[r].join();
+
+  // Post-join: estimates bound the exact per-key truth from above.
+  uint64_t expected_items = kPreloaded * 3;
+  for (uint64_t key = 0; key < kPreloaded; ++key) {
+    EXPECT_GE(filter.Estimate(key), 3u) << "key " << key;
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    const uint64_t base = kPreloaded + w * kKeysPerWriter;
+    for (uint64_t i = 0; i < kKeysPerWriter; ++i) {
+      EXPECT_GE(filter.Estimate(base + i), 1 + (i % 3))
+          << "key " << base + i;
+      expected_items += 1 + (i % 3);
+    }
+  }
+  EXPECT_EQ(filter.TotalItems(), expected_items);
+  EXPECT_EQ(filter.options().m, 4 * options.m);
+}
+
+TEST(ConcurrentExpandRaceTest, LockFreePathStaysOneSided) {
+  RaceExpansion(CounterBacking::kFixed64, SbfPolicy::kMinimumSelection);
+}
+
+TEST(ConcurrentExpandRaceTest, LockedPathStaysOneSided) {
+  RaceExpansion(CounterBacking::kCompact, SbfPolicy::kMinimumSelection);
+}
+
+TEST(ConcurrentExpandRaceTest, LockedMinimalIncreasePathStaysOneSided) {
+  RaceExpansion(CounterBacking::kCompact, SbfPolicy::kMinimalIncrease);
+}
+
+}  // namespace
+}  // namespace sbf

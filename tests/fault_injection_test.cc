@@ -1,0 +1,254 @@
+// Deterministic fault-injection suite (util/fault_injection.h): with
+// SBF_FAULT_INJECTION compiled in, every induced failure — failed
+// allocations during expansion, corrupted or truncated wire frames handed
+// out of Serialize, soft bit-flips in the counter array — must surface as
+// a clean Status (never an abort or sanitizer report) and leave the filter
+// queryable. Without the flag every test skips; the hooks are no-ops.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/bloom_filter.h"
+#include "core/concurrent_sbf.h"
+#include "core/recurring_minimum.h"
+#include "core/spectral_bloom_filter.h"
+#include "io/filter_codec.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace sbf {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#ifndef SBF_FAULT_INJECTION
+    GTEST_SKIP() << "built without SBF_FAULT_INJECTION";
+#endif
+    fault::Reset();
+  }
+  void TearDown() override { fault::Reset(); }
+};
+
+SpectralBloomFilter MakeLoadedSbf(CounterBacking backing, SbfPolicy policy) {
+  SbfOptions options;
+  options.m = 256;
+  options.k = 4;
+  options.seed = 5;
+  options.backing = backing;
+  options.policy = policy;
+  SpectralBloomFilter filter(options);
+  for (uint64_t key = 0; key < 300; ++key) filter.Insert(key, 1 + key % 3);
+  return filter;
+}
+
+// --- allocation faults -----------------------------------------------------
+
+TEST_F(FaultInjectionTest, SbfExpansionAllocationFailureIsClean) {
+  SpectralBloomFilter filter =
+      MakeLoadedSbf(CounterBacking::kCompact, SbfPolicy::kMinimumSelection);
+  std::vector<uint64_t> pre(500);
+  for (uint64_t key = 0; key < 500; ++key) pre[key] = filter.Estimate(key);
+
+  fault::ArmAllocationFailure(1);
+  const Status status = filter.ExpandTo(1024);
+  EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(fault::InjectedAllocationFailures(), 1u);
+
+  // Untouched and fully usable.
+  EXPECT_EQ(filter.m(), 256u);
+  for (uint64_t key = 0; key < 500; ++key) {
+    EXPECT_EQ(filter.Estimate(key), pre[key]);
+  }
+  fault::Reset();
+  EXPECT_TRUE(filter.ExpandTo(1024).ok());
+  for (uint64_t key = 0; key < 500; ++key) {
+    EXPECT_EQ(filter.Estimate(key), pre[key]);
+  }
+}
+
+TEST_F(FaultInjectionTest, BloomExpansionAllocationFailureIsClean) {
+  BloomFilter filter(128, 3);
+  for (uint64_t key = 0; key < 40; ++key) filter.Add(key);
+  fault::ArmAllocationFailure(1);
+  EXPECT_EQ(filter.ExpandTo(512).code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(filter.m(), 128u);
+  for (uint64_t key = 0; key < 40; ++key) EXPECT_TRUE(filter.Contains(key));
+}
+
+TEST_F(FaultInjectionTest, ConcurrentExpansionFailsBeforeAnyShardMigrates) {
+  ConcurrentSbfOptions options;
+  options.m = 1024;
+  options.k = 4;
+  options.num_shards = 8;
+  ConcurrentSbf filter(options);
+  for (uint64_t key = 0; key < 400; ++key) filter.Insert(key);
+
+  // Fail the 5th per-shard allocation: shards 0-3 already allocated, yet
+  // the filter must come back fully unexpanded (allocate-all-first).
+  fault::ArmAllocationFailure(5);
+  EXPECT_EQ(filter.ExpandTo(4096).code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(filter.options().m, 1024u);
+  EXPECT_EQ(filter.shard_m(), 128u);
+  for (size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(filter.shard(s).m(), 128u) << "shard " << s;
+  }
+  for (uint64_t key = 0; key < 400; ++key) {
+    EXPECT_GE(filter.Estimate(key), 1u);
+  }
+  fault::Reset();
+  EXPECT_TRUE(filter.ExpandTo(4096).ok());
+}
+
+TEST_F(FaultInjectionTest, RmExpansionAllocationFailureIsTransactional) {
+  RecurringMinimumOptions options;
+  options.primary_m = 200;
+  options.secondary_m = 50;
+  options.k = 3;
+  options.use_marker_filter = true;
+  // The expansion touches three allocation sites (primary, secondary,
+  // marker); failing each in turn must leave the whole filter untouched
+  // and self-consistent on the wire.
+  for (uint64_t site = 1; site <= 3; ++site) {
+    RecurringMinimumSbf filter(options);
+    for (uint64_t key = 0; key < 150; ++key) filter.Insert(key);
+    fault::ArmAllocationFailure(site);
+    EXPECT_EQ(filter.ExpandTo(400, 100).code(),
+              Status::Code::kResourceExhausted)
+        << "site " << site;
+    fault::Reset();
+    auto loaded = RecurringMinimumSbf::Deserialize(filter.Serialize());
+    ASSERT_TRUE(loaded.ok()) << "site " << site;
+    for (uint64_t key = 0; key < 150; ++key) {
+      EXPECT_EQ(loaded.value().Estimate(key), filter.Estimate(key));
+    }
+  }
+}
+
+// --- wire faults -----------------------------------------------------------
+
+TEST_F(FaultInjectionTest, TruncatedFramesAlwaysRejected) {
+  SpectralBloomFilter filter =
+      MakeLoadedSbf(CounterBacking::kCompact, SbfPolicy::kMinimumSelection);
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    fault::ArmWireFault(fault::WireFault::kTruncate, seed);
+    const std::vector<uint8_t> bytes = filter.Serialize();
+    auto decoded = DeserializeFilter(bytes);
+    EXPECT_FALSE(decoded.ok()) << "seed " << seed;
+  }
+  // Serialize seals nested frames (the embedded counter vector), so each
+  // pass injects at least one fault.
+  EXPECT_GE(fault::InjectedWireFaults(), 64u);
+  // The source filter itself is unharmed by serialization faults.
+  fault::Reset();
+  auto decoded = DeserializeFilter(filter.Serialize());
+  ASSERT_TRUE(decoded.ok());
+}
+
+TEST_F(FaultInjectionTest, BitFlippedFramesAlwaysRejected) {
+  // Sweep frontends: a single flipped bit anywhere in the sealed frame —
+  // header or payload — must be caught by the envelope checks or the CRC.
+  std::vector<std::unique_ptr<FrequencyFilter>> filters;
+  filters.push_back(std::make_unique<SpectralBloomFilter>(MakeLoadedSbf(
+      CounterBacking::kFixed64, SbfPolicy::kMinimalIncrease)));
+  {
+    ConcurrentSbfOptions options;
+    options.m = 512;
+    options.num_shards = 4;
+    auto concurrent = std::make_unique<ConcurrentSbf>(options);
+    for (uint64_t key = 0; key < 200; ++key) concurrent->Insert(key);
+    filters.push_back(std::move(concurrent));
+  }
+  {
+    RecurringMinimumOptions options;
+    options.primary_m = 160;
+    options.secondary_m = 40;
+    auto rm = std::make_unique<RecurringMinimumSbf>(options);
+    for (uint64_t key = 0; key < 100; ++key) rm->Insert(key);
+    filters.push_back(std::move(rm));
+  }
+  for (const auto& filter : filters) {
+    for (uint64_t seed = 0; seed < 48; ++seed) {
+      fault::ArmWireFault(fault::WireFault::kBitFlip, seed);
+      const std::vector<uint8_t> bytes = filter->Serialize();
+      auto decoded = DeserializeFilter(bytes);
+      EXPECT_FALSE(decoded.ok())
+          << filter->Name() << " seed " << seed;
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, WireFaultsReplayDeterministically) {
+  SpectralBloomFilter filter =
+      MakeLoadedSbf(CounterBacking::kSerialScan, SbfPolicy::kMinimumSelection);
+  fault::ArmWireFault(fault::WireFault::kBitFlip, 1234);
+  const std::vector<uint8_t> first = filter.Serialize();
+  fault::ArmWireFault(fault::WireFault::kBitFlip, 1234);
+  const std::vector<uint8_t> second = filter.Serialize();
+  EXPECT_EQ(first, second);
+
+  fault::ArmWireFault(fault::WireFault::kTruncate, 77);
+  const std::vector<uint8_t> third = filter.Serialize();
+  fault::ArmWireFault(fault::WireFault::kTruncate, 77);
+  const std::vector<uint8_t> fourth = filter.Serialize();
+  EXPECT_EQ(third, fourth);
+  EXPECT_NE(first.size(), third.size());
+}
+
+// --- counter faults --------------------------------------------------------
+
+TEST_F(FaultInjectionTest, CounterFlipsKeepFilterQueryable) {
+  for (CounterBacking backing :
+       {CounterBacking::kFixed64, CounterBacking::kCompact}) {
+    for (SbfPolicy policy :
+         {SbfPolicy::kMinimumSelection, SbfPolicy::kMinimalIncrease}) {
+      fault::Reset();
+      fault::ArmCounterFlips(/*seed=*/99, /*every_n=*/7);
+      SbfOptions options;
+      options.m = 512;
+      options.k = 4;
+      options.backing = backing;
+      options.policy = policy;
+      SpectralBloomFilter filter(options);
+      for (uint64_t key = 0; key < 800; ++key) filter.Insert(key % 300);
+      EXPECT_GT(fault::InjectedCounterFlips(), 0u);
+
+      // Soft errors corrupt estimates (that is the point) but must never
+      // corrupt the structure: every query answers, and the filter still
+      // serializes into a decodable frame once the fault is disarmed.
+      fault::Reset();
+      for (uint64_t key = 0; key < 600; ++key) {
+        (void)filter.Estimate(key);
+      }
+      auto loaded = SpectralBloomFilter::Deserialize(filter.Serialize());
+      ASSERT_TRUE(loaded.ok())
+          << CounterBackingName(backing) << " "
+          << (policy == SbfPolicy::kMinimumSelection ? "MS" : "MI");
+      for (uint64_t key = 0; key < 300; ++key) {
+        EXPECT_EQ(loaded.value().Estimate(key), filter.Estimate(key));
+      }
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, CounterFlipSchedulesReplayDeterministically) {
+  auto run = [] {
+    fault::ArmCounterFlips(/*seed=*/4321, /*every_n=*/5);
+    SpectralBloomFilter filter(256, 4);
+    for (uint64_t key = 0; key < 500; ++key) filter.Insert(key);
+    std::vector<uint64_t> estimates(600);
+    for (uint64_t key = 0; key < 600; ++key) {
+      estimates[key] = filter.Estimate(key);
+    }
+    return estimates;
+  };
+  const std::vector<uint64_t> first = run();
+  const std::vector<uint64_t> second = run();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace sbf

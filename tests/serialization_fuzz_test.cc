@@ -29,6 +29,7 @@
 #include "io/wire.h"
 #include "sai/counter_vector.h"
 #include "sai/fixed_counter_vector.h"
+#include "util/fault_injection.h"
 #include "util/random.h"
 #include "workload/multiset_stream.h"
 
@@ -801,6 +802,51 @@ TEST(SerializationFuzzTest, DeserializeFilterDispatchesEveryFrontend) {
                    .ok());
   BloomFilter bloom(128, 3, 1);
   EXPECT_FALSE(DeserializeFilter(bloom.Serialize()).ok());
+}
+
+// --- fault-armed wire sweep ------------------------------------------------
+
+// With SBF_FAULT_INJECTION compiled in, re-run the frontend sweep with the
+// injector corrupting frames *inside* Serialize (including the embedded
+// frames, before the outer envelope is sealed). Deterministic seeds, every
+// frontend, both fault kinds: nothing decodes, nothing crashes.
+TEST(SerializationFuzzTest, FaultArmedFramesNeverDecode) {
+#ifndef SBF_FAULT_INJECTION
+  GTEST_SKIP() << "built without SBF_FAULT_INJECTION";
+#else
+  fault::Reset();
+  const std::vector<std::unique_ptr<FrequencyFilter>> filters = [] {
+    std::vector<std::unique_ptr<FrequencyFilter>> out;
+    out.push_back(std::make_unique<SpectralBloomFilter>(
+        MakeLoadedSbf(CounterBacking::kCompact, 151)));
+    out.push_back(std::make_unique<ConcurrentSbf>(
+        MakeLoadedShardedSbf(CounterBacking::kFixed64, 153)));
+    out.push_back(std::make_unique<CountingBloomFilter>(MakeLoadedCbf(155)));
+    out.push_back(std::make_unique<BlockedSbf>(
+        MakeLoadedBlockedSbf(CounterBacking::kCompact, 157)));
+    out.push_back(std::make_unique<RecurringMinimumSbf>(
+        MakeLoadedRm(true, 159)));
+    out.push_back(std::make_unique<TrappingRmSbf>(MakeLoadedTrm(161)));
+    return out;
+  }();
+  for (const auto& filter : filters) {
+    for (const auto kind :
+         {fault::WireFault::kTruncate, fault::WireFault::kBitFlip}) {
+      for (uint64_t seed = 0; seed < 32; ++seed) {
+        fault::ArmWireFault(kind, seed);
+        const Bytes bytes = filter->Serialize();
+        EXPECT_FALSE(DeserializeFilter(bytes).ok())
+            << filter->Name() << " kind " << static_cast<int>(kind)
+            << " seed " << seed;
+      }
+    }
+    // Serialization faults never touch the source filter: disarmed, the
+    // same object still emits a decodable frame.
+    fault::Reset();
+    EXPECT_TRUE(DeserializeFilter(filter->Serialize()).ok())
+        << filter->Name();
+  }
+#endif
 }
 
 }  // namespace
