@@ -33,8 +33,12 @@
 #define SBF_DCHECK(cond) \
   do {                   \
   } while (0)
+#define SBF_DCHECK_MSG(cond, msg) \
+  do {                            \
+  } while (0)
 #else
 #define SBF_DCHECK(cond) SBF_CHECK(cond)
+#define SBF_DCHECK_MSG(cond, msg) SBF_CHECK_MSG(cond, msg)
 #endif
 
 #endif  // SBF_UTIL_CHECK_H_

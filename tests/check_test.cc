@@ -1,0 +1,68 @@
+// Death-test coverage for the precondition macros in util/check.h.
+//
+// SBF_CHECK / SBF_CHECK_MSG always abort on a false condition. The
+// debug-only forms SBF_DCHECK / SBF_DCHECK_MSG flip behaviour on NDEBUG,
+// which the ambient build type controls — so both expansions are exercised
+// through helper TUs compiled with NDEBUG explicitly forced off
+// (check_test_debug_tu.cc) and on (check_test_ndebug_tu.cc).
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "check_test_paths.h"
+
+namespace sbf {
+namespace {
+
+using ::sbf::check_test::DebugDcheckFails;
+using ::sbf::check_test::DebugDcheckMsgFails;
+using ::sbf::check_test::NdebugDcheckEvaluations;
+using ::sbf::check_test::NdebugDcheckIsNoOp;
+using ::sbf::check_test::NdebugDcheckMsgIsNoOp;
+
+TEST(CheckDeathTest, CheckAbortsWithConditionAndLocation) {
+  EXPECT_DEATH(SBF_CHECK(2 + 2 == 5), "SBF_CHECK failed: 2 \\+ 2 == 5");
+  EXPECT_DEATH(SBF_CHECK(false), "check_test\\.cc");
+}
+
+TEST(CheckDeathTest, CheckMsgAbortsWithMessage) {
+  EXPECT_DEATH(SBF_CHECK_MSG(false, "the extra context"),
+               "SBF_CHECK failed: false \\(the extra context\\)");
+}
+
+TEST(CheckDeathTest, CheckMsgAcceptsRuntimeMessage) {
+  const std::string message = "runtime-built message";
+  EXPECT_DEATH(SBF_CHECK_MSG(1 > 2, message.c_str()),
+               "runtime-built message");
+}
+
+TEST(CheckTest, PassingChecksReturnNormally) {
+  SBF_CHECK(true);
+  SBF_CHECK_MSG(true, "never printed");
+  SBF_DCHECK(true);
+  SBF_DCHECK_MSG(true, "never printed");
+}
+
+TEST(CheckDeathTest, ArmedDcheckAborts) {
+  EXPECT_DEATH(DebugDcheckFails(), "SBF_CHECK failed: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, ArmedDcheckMsgAborts) {
+  EXPECT_DEATH(DebugDcheckMsgFails(), "armed dcheck message");
+}
+
+TEST(CheckTest, DisarmedDcheckIsNoOp) {
+  // The NDEBUG expansions must return normally on a false condition...
+  NdebugDcheckIsNoOp();
+  NdebugDcheckMsgIsNoOp();
+}
+
+TEST(CheckTest, DisarmedDcheckDoesNotEvaluateArguments) {
+  // ...and must not evaluate the condition at all: a side-effecting
+  // condition passed to the disarmed macros runs zero times.
+  EXPECT_EQ(NdebugDcheckEvaluations(), 0u);
+}
+
+}  // namespace
+}  // namespace sbf

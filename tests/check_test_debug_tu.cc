@@ -1,0 +1,17 @@
+// Compiled with NDEBUG forcibly undefined (see tests/CMakeLists.txt): the
+// debug-only macros expand to their aborting CHECK forms here.
+
+#ifdef NDEBUG
+#undef NDEBUG
+#endif
+
+#include "check_test_paths.h"
+#include "util/check.h"
+
+namespace sbf::check_test {
+
+void DebugDcheckFails() { SBF_DCHECK(1 + 1 == 3); }
+
+void DebugDcheckMsgFails() { SBF_DCHECK_MSG(false, "armed dcheck message"); }
+
+}  // namespace sbf::check_test

@@ -1,0 +1,25 @@
+// Compiled with NDEBUG forcibly defined (see tests/CMakeLists.txt): the
+// debug-only macros expand to no-ops here and must neither abort nor
+// evaluate their arguments.
+
+#ifndef NDEBUG
+#define NDEBUG
+#endif
+
+#include "check_test_paths.h"
+#include "util/check.h"
+
+namespace sbf::check_test {
+
+void NdebugDcheckIsNoOp() { SBF_DCHECK(false); }
+
+void NdebugDcheckMsgIsNoOp() { SBF_DCHECK_MSG(false, "disarmed message"); }
+
+uint64_t NdebugDcheckEvaluations() {
+  uint64_t evaluations = 0;
+  SBF_DCHECK(++evaluations > 0);
+  SBF_DCHECK_MSG(++evaluations > 0, "must not run");
+  return evaluations;
+}
+
+}  // namespace sbf::check_test

@@ -1,0 +1,30 @@
+#ifndef SBF_TESTS_CHECK_TEST_PATHS_H_
+#define SBF_TESTS_CHECK_TEST_PATHS_H_
+
+#include <cstdint>
+
+// Helpers for check_test.cc compiled in two sibling TUs with opposite
+// NDEBUG settings, so one test binary can exercise both expansions of the
+// debug-only macros regardless of the ambient build type:
+//
+//   check_test_debug_tu.cc   — compiled with NDEBUG undefined: SBF_DCHECK /
+//                              SBF_DCHECK_MSG abort like their CHECK forms.
+//   check_test_ndebug_tu.cc  — compiled with NDEBUG defined: both compile
+//                              to no-ops that must not evaluate arguments.
+
+namespace sbf::check_test {
+
+// --- debug TU (macros armed): every call aborts -------------------------
+void DebugDcheckFails();
+void DebugDcheckMsgFails();
+
+// --- NDEBUG TU (macros disarmed): every call returns normally ------------
+void NdebugDcheckIsNoOp();
+void NdebugDcheckMsgIsNoOp();
+// Passes its argument to SBF_DCHECK / SBF_DCHECK_MSG; returns the number of
+// times the disarmed macros evaluated it (must be 0).
+uint64_t NdebugDcheckEvaluations();
+
+}  // namespace sbf::check_test
+
+#endif  // SBF_TESTS_CHECK_TEST_PATHS_H_
