@@ -12,8 +12,8 @@ namespace {
 // Density of a normal mixture mimicking the elevation histogram: the real
 // attribute concentrates around mid elevations with a secondary shoulder.
 double MixtureDensity(double x) {
-  auto normal = [](double x, double mu, double sigma) {
-    const double t = (x - mu) / sigma;
+  auto normal = [](double v, double mu, double sigma) {
+    const double t = (v - mu) / sigma;
     return std::exp(-0.5 * t * t) / sigma;
   };
   return 0.50 * normal(x, 0.52, 0.04) + 0.30 * normal(x, 0.40, 0.10) +

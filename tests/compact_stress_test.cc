@@ -88,7 +88,7 @@ INSTANTIATE_TEST_SUITE_P(
                       StressConfig{32, 0.5, "default"},
                       StressConfig{64, 1.0, "large_groups_loose_slack"},
                       StressConfig{16, 0.0, "zero_configured_slack"}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& param_info) { return param_info.param.name; });
 
 TEST(CompactStressTest, ZipfStreamThroughSbfShapedAccess) {
   // The actual SBF access pattern: k pseudo-random counters per key, keys

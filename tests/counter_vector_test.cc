@@ -157,8 +157,8 @@ INSTANTIATE_TEST_SUITE_P(
     Backings, CounterBackingTest,
     ::testing::Values(CounterBacking::kFixed64, CounterBacking::kFixed32,
                       CounterBacking::kCompact, CounterBacking::kSerialScan),
-    [](const auto& info) {
-      std::string name = CounterBackingName(info.param);
+    [](const auto& param_info) {
+      std::string name = CounterBackingName(param_info.param);
       for (char& c : name) {
         if (c == '-') c = '_';
       }

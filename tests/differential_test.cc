@@ -83,7 +83,7 @@ INSTANTIATE_TEST_SUITE_P(
                       OpMix{3, 6000, 200, 40},   // heavy churn
                       OpMix{4, 6000, 50, 49},    // tiny key space, max churn
                       OpMix{5, 2000, 2000, 25}),  // mixed
-    [](const auto& info) { return "Mix" + std::to_string(info.param.seed); });
+    [](const auto& param_info) { return "Mix" + std::to_string(param_info.param.seed); });
 
 // --- saturated estimates never under-report the clamp ----------------------
 

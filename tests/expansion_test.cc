@@ -44,10 +44,10 @@ std::string SanitizedBackingName(CounterBacking backing) {
   return name;
 }
 
-std::string CaseName(const ::testing::TestParamInfo<ExpandCase>& info) {
-  std::string name = SanitizedBackingName(info.param.backing);
-  name += info.param.policy == SbfPolicy::kMinimumSelection ? "_MS" : "_MI";
-  name += info.param.hash_kind == HashFamily::Kind::kModuloMultiply
+std::string CaseName(const ::testing::TestParamInfo<ExpandCase>& param_info) {
+  std::string name = SanitizedBackingName(param_info.param.backing);
+  name += param_info.param.policy == SbfPolicy::kMinimumSelection ? "_MS" : "_MI";
+  name += param_info.param.hash_kind == HashFamily::Kind::kModuloMultiply
               ? "_MulShift"
               : "_DoubleMix";
   return name;
@@ -356,9 +356,9 @@ INSTANTIATE_TEST_SUITE_P(
         std::pair{CounterBacking::kFixed64, SbfPolicy::kMinimumSelection},
         std::pair{CounterBacking::kCompact, SbfPolicy::kMinimumSelection},
         std::pair{CounterBacking::kCompact, SbfPolicy::kMinimalIncrease}),
-    [](const auto& info) {
-      std::string name = SanitizedBackingName(info.param.first);
-      name += info.param.second == SbfPolicy::kMinimumSelection ? "_MS"
+    [](const auto& param_info) {
+      std::string name = SanitizedBackingName(param_info.param.first);
+      name += param_info.param.second == SbfPolicy::kMinimumSelection ? "_MS"
                                                                 : "_MI";
       return name;
     });

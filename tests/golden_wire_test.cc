@@ -90,7 +90,7 @@ TEST(GoldenWireTest, BloomFilterFrame) {
 }
 
 TEST(GoldenWireTest, FixedCounterFrames) {
-  for (const auto [backing, name] :
+  for (const auto& [backing, name] :
        {std::pair{CounterBacking::kFixed64, "counters_fixed64"},
         std::pair{CounterBacking::kFixed32, "counters_fixed32"},
         std::pair{CounterBacking::kCompact, "counters_compact"},
@@ -102,7 +102,7 @@ TEST(GoldenWireTest, FixedCounterFrames) {
 }
 
 TEST(GoldenWireTest, SbfFrames) {
-  for (const auto [backing, name] :
+  for (const auto& [backing, name] :
        {std::pair{CounterBacking::kFixed64, "sbf_fixed64"},
         std::pair{CounterBacking::kCompact, "sbf_compact"}}) {
     SbfOptions options;

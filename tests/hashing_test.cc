@@ -120,8 +120,8 @@ TEST_P(HashFamilyKindTest, RoughlyUniformLoad) {
 INSTANTIATE_TEST_SUITE_P(AllKinds, HashFamilyKindTest,
                          ::testing::Values(HashFamily::Kind::kModuloMultiply,
                                            HashFamily::Kind::kDoubleMix),
-                         [](const auto& info) {
-                           return info.param ==
+                         [](const auto& param_info) {
+                           return param_info.param ==
                                           HashFamily::Kind::kModuloMultiply
                                       ? "ModuloMultiply"
                                       : "DoubleMix";

@@ -46,10 +46,10 @@ TEST_P(BloomFpSweep, MeasuredRateWithinTheoryBand) {
 
 INSTANTIATE_TEST_SUITE_P(Gammas, BloomFpSweep,
                          ::testing::Values(0.3, 0.5, 0.7, 1.0, 1.5),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "gamma" +
                                   std::to_string(
-                                      static_cast<int>(info.param * 100));
+                                      static_cast<int>(param_info.param * 100));
                          });
 
 // --- SBF MS error ratio vs Bloom error across gamma ---------------------------
@@ -86,10 +86,10 @@ TEST_P(SbfErrorSweep, ErrorRatioTracksBloomError) {
 
 INSTANTIATE_TEST_SUITE_P(Gammas, SbfErrorSweep,
                          ::testing::Values(0.5, 0.7, 1.0, 1.4),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "gamma" +
                                   std::to_string(
-                                      static_cast<int>(info.param * 100));
+                                      static_cast<int>(param_info.param * 100));
                          });
 
 // --- unbiased estimator bias across skews -------------------------------------
@@ -127,10 +127,10 @@ TEST_P(EstimatorBiasSweep, MeanSignedErrorSmallAtEverySkew) {
 
 INSTANTIATE_TEST_SUITE_P(Skews, EstimatorBiasSweep,
                          ::testing::Values(0.0, 0.5, 1.0, 1.5),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "skew" +
                                   std::to_string(
-                                      static_cast<int>(info.param * 10));
+                                      static_cast<int>(param_info.param * 10));
                          });
 
 // --- range tree bounds across domain sizes -------------------------------------
@@ -164,8 +164,8 @@ TEST_P(RangeTreeDomainSweep, ProbeAndLevelBoundsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Domains, RangeTreeDomainSweep,
                          ::testing::Values(64, 1024, 65536, 1 << 20),
-                         [](const auto& info) {
-                           return "domain" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "domain" + std::to_string(param_info.param);
                          });
 
 }  // namespace

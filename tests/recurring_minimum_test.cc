@@ -64,8 +64,8 @@ TEST_P(RmMarkerTest, DeletionsSupportedWithoutFalseNegatives) {
 }
 
 INSTANTIATE_TEST_SUITE_P(MarkerOnOff, RmMarkerTest, ::testing::Bool(),
-                         [](const auto& info) {
-                           return info.param ? "WithMarker" : "NoMarker";
+                         [](const auto& param_info) {
+                           return param_info.param ? "WithMarker" : "NoMarker";
                          });
 
 TEST(RecurringMinimumTest, Table1SettingBeatsMinimumSelection) {
