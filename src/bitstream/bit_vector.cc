@@ -65,7 +65,7 @@ void BitVector::CopyFrom(const BitVector& src, size_t src_pos, size_t dst_pos,
   }
 }
 
-size_t BitVector::PopCount() const {
+size_t BitVector::PopCount() const noexcept {
   size_t total = 0;
   for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
   return total;

@@ -22,22 +22,24 @@ class BitVector {
   BitVector() = default;
   explicit BitVector(size_t num_bits) { Resize(num_bits); }
 
-  size_t size_bits() const { return num_bits_; }
-  size_t size_words() const { return words_.size(); }
+  [[nodiscard]] size_t size_bits() const noexcept { return num_bits_; }
+  [[nodiscard]] size_t size_words() const noexcept { return words_.size(); }
   // Total allocated storage in bits (whole words).
-  size_t capacity_bits() const { return words_.size() * 64; }
+  [[nodiscard]] size_t capacity_bits() const noexcept {
+    return words_.size() * 64;
+  }
 
   // Grows or shrinks to `num_bits`; new bits are zero.
   void Resize(size_t num_bits);
   // Sets every bit to zero without changing the size.
   void Clear();
 
-  bool GetBit(size_t pos) const {
+  [[nodiscard]] bool GetBit(size_t pos) const noexcept {
     SBF_DCHECK(pos < num_bits_);
     return (words_[pos >> 6] >> (pos & 63)) & 1ull;
   }
 
-  void SetBit(size_t pos, bool value) {
+  void SetBit(size_t pos, bool value) noexcept {
     SBF_DCHECK(pos < num_bits_);
     const uint64_t mask = 1ull << (pos & 63);
     if (value) {
@@ -50,7 +52,7 @@ class BitVector {
   // Reads a `width`-bit field starting at `pos` (width 0..64). Inline: this
   // is the innermost probe of every counter backing, and the batched filter
   // kernels rely on it folding into their (devirtualized) loops.
-  uint64_t GetBits(size_t pos, uint32_t width) const {
+  [[nodiscard]] uint64_t GetBits(size_t pos, uint32_t width) const noexcept {
     SBF_DCHECK(width <= 64);
     if (width == 0) return 0;
     SBF_DCHECK(pos + width <= num_bits_);
@@ -65,7 +67,7 @@ class BitVector {
 
   // Writes the low `width` bits of `value` at `pos` (width 0..64). Bits of
   // `value` above `width` must be zero.
-  void SetBits(size_t pos, uint32_t width, uint64_t value) {
+  void SetBits(size_t pos, uint32_t width, uint64_t value) noexcept {
     SBF_DCHECK(width <= 64);
     if (width == 0) return;
     SBF_DCHECK(pos + width <= num_bits_);
@@ -97,10 +99,12 @@ class BitVector {
                 size_t len);
 
   // Number of set bits in the whole vector.
-  size_t PopCount() const;
+  [[nodiscard]] size_t PopCount() const noexcept;
 
-  const uint64_t* words() const { return words_.data(); }
-  uint64_t* mutable_words() { return words_.data(); }
+  [[nodiscard]] const uint64_t* words() const noexcept {
+    return words_.data();
+  }
+  [[nodiscard]] uint64_t* mutable_words() noexcept { return words_.data(); }
 
   bool operator==(const BitVector& other) const {
     return num_bits_ == other.num_bits_ && words_ == other.words_;

@@ -60,7 +60,7 @@ RankSelect::RankSelect(const BitVector* bits) : bits_(bits) {
   num_ones_ = total;
 }
 
-size_t RankSelect::Rank1(size_t pos) const {
+size_t RankSelect::Rank1(size_t pos) const noexcept {
   SBF_DCHECK(pos <= bits_->size_bits());
   const size_t word = pos >> 6;
   size_t r = superblocks_[word / kBlocksPerSuper] + blocks_[word];
@@ -71,7 +71,7 @@ size_t RankSelect::Rank1(size_t pos) const {
   return r;
 }
 
-size_t RankSelect::Select1(size_t j) const {
+size_t RankSelect::Select1(size_t j) const noexcept {
   SBF_DCHECK(j < num_ones_);
   // Binary search over superblocks for the last one with rank <= j.
   size_t lo = 0, hi = superblocks_.size() - 1;
@@ -100,6 +100,51 @@ size_t RankSelect::Select1(size_t j) const {
   SBF_DCHECK(word < bits_->size_words());
   return word * 64 + SelectInWord(bits_->words()[word],
                                   static_cast<uint32_t>(remaining - blocks_[word]));
+}
+
+
+Status RankSelect::CheckInvariants() const {
+  if (bits_ == nullptr) {
+    // Default-constructed directory: nothing to audit.
+    if (!superblocks_.empty() || !blocks_.empty() || num_ones_ != 0) {
+      return Status::FailedPrecondition(
+          "rank/select: directory entries without an underlying vector");
+    }
+    return Status::Ok();
+  }
+  const size_t num_words = bits_->size_words();
+  if (superblocks_.size() != num_words / kBlocksPerSuper + 1 ||
+      blocks_.size() != num_words + 1) {
+    return Status::FailedPrecondition(
+        "rank/select: directory sizes disagree with the vector");
+  }
+  // Full recount: replay the construction sweep and compare every cached
+  // rank against what the words actually hold.
+  uint64_t total = 0;
+  uint64_t in_super = 0;
+  for (size_t w = 0; w <= num_words; ++w) {
+    if (w % kBlocksPerSuper == 0) {
+      if (superblocks_[w / kBlocksPerSuper] != total) {
+        return Status::FailedPrecondition(
+            "rank/select: superblock rank disagrees with a recount");
+      }
+      in_super = 0;
+    }
+    if (blocks_[w] != in_super) {
+      return Status::FailedPrecondition(
+          "rank/select: block rank disagrees with a recount");
+    }
+    if (w < num_words) {
+      const uint32_t pc = std::popcount(bits_->words()[w]);
+      total += pc;
+      in_super += pc;
+    }
+  }
+  if (num_ones_ != total) {
+    return Status::FailedPrecondition(
+        "rank/select: cached one-count disagrees with a recount");
+  }
+  return Status::Ok();
 }
 
 }  // namespace sbf

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bitstream/bit_vector.h"
+#include "util/status.h"
 
 namespace sbf {
 
@@ -26,22 +27,29 @@ class RankSelect {
   explicit RankSelect(const BitVector* bits);
 
   // Number of set bits in [0, pos). pos may equal size_bits().
-  size_t Rank1(size_t pos) const;
+  [[nodiscard]] size_t Rank1(size_t pos) const noexcept;
   // Number of zero bits in [0, pos).
-  size_t Rank0(size_t pos) const { return pos - Rank1(pos); }
+  [[nodiscard]] size_t Rank0(size_t pos) const noexcept {
+    return pos - Rank1(pos);
+  }
 
   // Position of the j-th set bit, 0-indexed (Select1(0) = first set bit).
   // Precondition: j < Rank1(size_bits()).
-  size_t Select1(size_t j) const;
+  [[nodiscard]] size_t Select1(size_t j) const noexcept;
 
-  size_t num_ones() const { return num_ones_; }
+  [[nodiscard]] size_t num_ones() const noexcept { return num_ones_; }
 
   // Directory overhead in bits (excludes the underlying vector).
-  size_t OverheadBits() const {
+  [[nodiscard]] size_t OverheadBits() const noexcept {
     return (superblocks_.size() * sizeof(uint64_t) +
             blocks_.size() * sizeof(uint16_t)) *
            8;
   }
+
+  // Audits the two-level directory against a full recount of the
+  // underlying vector: every superblock's absolute rank, every block's
+  // relative rank, and the cached total must match what the words say.
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   static constexpr size_t kBitsPerBlock = 64;

@@ -11,6 +11,7 @@
 #include "util/fault_injection.h"
 #include "util/prefetch.h"
 #include "util/random.h"
+#include "util/audit.h"
 
 namespace sbf {
 namespace {
@@ -49,6 +50,7 @@ BlockedSbf::BlockedSbf(BlockedSbfOptions options)
       counters_(MakeCounterVector(options.backing, options.m)) {
   const Status status = ValidateBlockedSbfOptions(options_);
   SBF_CHECK_MSG(status.ok(), status.message().c_str());
+  SBF_AUDIT_INVARIANTS(*this);
 }
 
 void BlockedSbf::Positions(uint64_t key, uint64_t* out) const {
@@ -235,6 +237,7 @@ Status BlockedSbf::ExpandTo(uint64_t new_m) {
   block_hash_ = ModuloMultiplyHash(BlockAlpha(options_.seed), num_blocks_);
   counters_ = std::move(next);
   options_.m = new_m;
+  SBF_AUDIT_INVARIANTS(*this);
   return Status::Ok();
 }
 
@@ -249,6 +252,7 @@ uint64_t BlockedSbf::BlockLoad(uint64_t b) const {
 }
 
 std::vector<uint8_t> BlockedSbf::Serialize() const {
+  SBF_AUDIT_INVARIANTS(*this);
   wire::Writer payload;
   payload.PutVarint(options_.m);
   payload.PutVarint(options_.block_size);
@@ -305,7 +309,36 @@ StatusOr<BlockedSbf> BlockedSbf::Deserialize(wire::ByteSpan bytes) {
 
   BlockedSbf filter(options);
   filter.counters_ = std::move(cv).value();
+  SBF_AUDIT_INVARIANTS(filter);
   return filter;
+}
+
+
+Status BlockedSbf::CheckInvariants() const {
+  Status status = ValidateBlockedSbfOptions(options_);
+  if (!status.ok()) return status;
+  if (num_blocks_ != options_.m / options_.block_size) {
+    return Status::FailedPrecondition(
+        "blocked SBF: num_blocks disagrees with m / block_size");
+  }
+  if (block_hash_.range() != num_blocks_) {
+    return Status::FailedPrecondition(
+        "blocked SBF: block router range disagrees with num_blocks");
+  }
+  if (within_block_.k() != options_.k ||
+      within_block_.m() != options_.block_size) {
+    return Status::FailedPrecondition(
+        "blocked SBF: within-block hash family disagrees with options");
+  }
+  if (counters_ == nullptr || counters_->size() != options_.m) {
+    return Status::FailedPrecondition(
+        "blocked SBF: counter vector missing or size disagrees with m");
+  }
+  if (!MatchesBacking(*counters_, options_.backing)) {
+    return Status::FailedPrecondition(
+        "blocked SBF: counter vector backing disagrees with options");
+  }
+  return counters_->CheckInvariants();
 }
 
 }  // namespace sbf

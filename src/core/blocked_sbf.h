@@ -43,11 +43,11 @@ class BlockedSbf final : public FrequencyFilter {
 
   void Insert(uint64_t key, uint64_t count = 1) override;
   void Remove(uint64_t key, uint64_t count = 1) override;
-  uint64_t Estimate(uint64_t key) const override;
-  size_t MemoryUsageBits() const override {
+  [[nodiscard]] uint64_t Estimate(uint64_t key) const override;
+  [[nodiscard]] size_t MemoryUsageBits() const noexcept override {
     return counters_->MemoryUsageBits();
   }
-  std::string Name() const override { return "blocked-MS"; }
+  [[nodiscard]] std::string Name() const override { return "blocked-MS"; }
 
   // Batched ops. Because all k probes of a key land in one block, stage 1
   // of the pipeline prefetches the block's cache line(s) once and stage 2
@@ -62,24 +62,30 @@ class BlockedSbf final : public FrequencyFilter {
   using FrequencyFilter::EstimateBatch;
   using FrequencyFilter::InsertBatch;
 
-  uint64_t m() const { return options_.m; }
-  uint64_t block_size() const { return options_.block_size; }
-  uint64_t num_blocks() const { return num_blocks_; }
-  uint32_t k() const { return options_.k; }
+  [[nodiscard]] uint64_t m() const noexcept { return options_.m; }
+  [[nodiscard]] uint64_t block_size() const noexcept {
+    return options_.block_size;
+  }
+  [[nodiscard]] uint64_t num_blocks() const noexcept { return num_blocks_; }
+  [[nodiscard]] uint32_t k() const noexcept { return options_.k; }
 
   // Block index a key maps to (every operation touches exactly this one
   // block — the locality property the scheme exists for).
-  uint64_t BlockOf(uint64_t key) const { return block_hash_(Mix64(key)); }
+  [[nodiscard]] uint64_t BlockOf(uint64_t key) const noexcept {
+    return block_hash_(Mix64(key));
+  }
 
   // Counters currently stored in block b (for load-skew diagnostics).
-  uint64_t BlockLoad(uint64_t b) const;
+  [[nodiscard]] uint64_t BlockLoad(uint64_t b) const;
 
   // Live health snapshot (occupancy scan + verdict; thresholds are the
   // defaults — BlockedSbfOptions carries no tuning knobs).
-  FilterHealth Health() const override;
+  [[nodiscard]] FilterHealth Health() const override;
 
   // Clamp-event tallies of the counter backing.
-  const SaturationStats& saturation() const { return counters_->saturation(); }
+  [[nodiscard]] const SaturationStats& saturation() const noexcept {
+    return counters_->saturation();
+  }
 
   // Grows to new_m counters (a positive multiple of m) keeping block_size:
   // the block hash is multiply-shift over num_blocks, so old block b's
@@ -92,8 +98,13 @@ class BlockedSbf final : public FrequencyFilter {
 
   // 'SBbk' wire frame (io/wire.h): {varint m, varint block_size, varint k,
   // u8 backing, u8 hash kind, u64 seed, embedded counter backing frame}.
-  std::vector<uint8_t> Serialize() const override;
+  [[nodiscard]] std::vector<uint8_t> Serialize() const override;
   static StatusOr<BlockedSbf> Deserialize(wire::ByteSpan bytes);
+
+  // Audits the block geometry (m = num_blocks * block_size), options vs.
+  // the live hash family and counter backing; in -DSBF_AUDIT builds the
+  // backing's own layout validator runs too.
+  Status CheckInvariants() const override;
 
  private:
   void Positions(uint64_t key, uint64_t* out) const;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/fault_injection.h"
+#include "util/audit.h"
 
 namespace sbf {
 namespace {
@@ -17,6 +18,7 @@ BloomFilter::BloomFilter(uint64_t m, uint32_t k, uint64_t seed,
     : m_(m), hash_(k, m, seed, kind), bits_(m) {
   SBF_CHECK_MSG(m >= 1, "Bloom filter needs m >= 1");
   SBF_CHECK_MSG(k >= 1 && k <= kMaxK, "Bloom filter needs 1 <= k <= 64");
+  SBF_AUDIT_INVARIANTS(*this);
 }
 
 uint32_t BloomFilter::OptimalK(uint64_t m, uint64_t n) {
@@ -70,6 +72,8 @@ Status BloomFilter::UnionWith(const BloomFilter& other) {
     bits_.mutable_words()[w] |= other.bits_.words()[w];
   }
   num_added_ += other.num_added_;
+  popcount_bound_intact_ &= other.popcount_bound_intact_;
+  SBF_AUDIT_INVARIANTS(*this);
   return Status::Ok();
 }
 
@@ -96,10 +100,15 @@ Status BloomFilter::ExpandTo(uint64_t new_m) {
   hash_ = HashFamily(hash_.k(), new_m, hash_.seed(), hash_.kind());
   bits_ = std::move(next);
   m_ = new_m;
+  // Replication set up to c bits per original Add, so the population
+  // bound ones <= k * num_added no longer holds for this filter.
+  popcount_bound_intact_ = false;
+  SBF_AUDIT_INVARIANTS(*this);
   return Status::Ok();
 }
 
 std::vector<uint8_t> BloomFilter::Serialize() const {
+  SBF_AUDIT_INVARIANTS(*this);
   wire::Writer payload;
   payload.PutVarint(m_);
   payload.PutVarint(hash_.k());
@@ -144,7 +153,40 @@ StatusOr<BloomFilter> BloomFilter::Deserialize(wire::ByteSpan bytes) {
     return Status::DataLoss("Bloom filter has set padding bits");
   }
   filter.num_added_ = count;
+  // No expansion provenance on the wire: the population bound cannot be
+  // re-armed on a loaded filter.
+  filter.popcount_bound_intact_ = false;
+  SBF_AUDIT_INVARIANTS(filter);
   return filter;
+}
+
+
+Status BloomFilter::CheckInvariants() const {
+  if (m_ < 1) {
+    return Status::FailedPrecondition("Bloom filter: m < 1");
+  }
+  if (hash_.m() != m_ || hash_.k() < 1 || hash_.k() > HashFamily::kMaxK) {
+    return Status::FailedPrecondition(
+        "Bloom filter: hash family disagrees with m/k");
+  }
+  if (bits_.size_bits() != m_) {
+    return Status::FailedPrecondition(
+        "Bloom filter: bit array size disagrees with m");
+  }
+  if (m_ % 64 != 0 && (bits_.words()[m_ / 64] >> (m_ % 64)) != 0) {
+    return Status::FailedPrecondition(
+        "Bloom filter: set bits in the tail padding");
+  }
+  // Each Add sets at most k bits, so the population can never exceed
+  // k * num_added (the bound is vacuous once num_added >= m, where the
+  // product could also overflow — skip it there).
+  const size_t ones = bits_.PopCount();
+  if (popcount_bound_intact_ && num_added_ <= m_ &&
+      ones > num_added_ * hash_.k()) {
+    return Status::FailedPrecondition(
+        "Bloom filter: more set bits than k * num_added can explain");
+  }
+  return Status::Ok();
 }
 
 }  // namespace sbf

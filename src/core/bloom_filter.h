@@ -38,22 +38,24 @@ class BloomFilter {
   void AddBytes(std::string_view key) { Add(Fingerprint64(key)); }
 
   // True if `key` may be in the set; false means certainly absent.
-  bool Contains(uint64_t key) const;
-  bool ContainsBytes(std::string_view key) const {
+  [[nodiscard]] bool Contains(uint64_t key) const;
+  [[nodiscard]] bool ContainsBytes(std::string_view key) const {
     return Contains(Fingerprint64(key));
   }
 
-  uint64_t m() const { return m_; }
-  uint32_t k() const { return hash_.k(); }
-  size_t num_added() const { return num_added_; }
-  const HashFamily& hash() const { return hash_; }
+  [[nodiscard]] uint64_t m() const noexcept { return m_; }
+  [[nodiscard]] uint32_t k() const noexcept { return hash_.k(); }
+  [[nodiscard]] size_t num_added() const noexcept { return num_added_; }
+  [[nodiscard]] const HashFamily& hash() const noexcept { return hash_; }
 
   // Fraction of bits currently set.
-  double FillRatio() const;
+  [[nodiscard]] double FillRatio() const;
   // Analytic false-positive rate after n insertions: (1 - e^{-kn/m})^k.
   static double TheoreticalFpRate(uint64_t m, uint32_t k, uint64_t n);
   // Analytic FP rate at the current load.
-  double ExpectedFpRate() const { return TheoreticalFpRate(m_, k(), num_added_); }
+  [[nodiscard]] double ExpectedFpRate() const {
+    return TheoreticalFpRate(m_, k(), num_added_);
+  }
 
   // Bitwise union with a filter built with compatible parameters; the
   // result represents the union of the two key sets.
@@ -72,16 +74,27 @@ class BloomFilter {
   // varint count, raw bit words}. The paper stresses that distributed
   // applications ship filters as messages (Section 4.7.1); serialization
   // round-trips exactly.
-  std::vector<uint8_t> Serialize() const;
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
   static StatusOr<BloomFilter> Deserialize(wire::ByteSpan bytes);
 
-  size_t MemoryUsageBits() const { return bits_.capacity_bits(); }
+  [[nodiscard]] size_t MemoryUsageBits() const noexcept {
+    return bits_.capacity_bits();
+  }
+
+  // Audits m vs. the backing vector's size and zeroed tail padding.
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   uint64_t m_;
   HashFamily hash_;
   BitVector bits_;
   size_t num_added_ = 0;
+  // True while the population bound ones <= k * num_added is provable:
+  // every set bit came from an Add (or a union of such filters). ExpandTo
+  // replicates bits without touching num_added, and a loaded frame carries
+  // no expansion provenance — both retire the bound. Process-local, never
+  // serialized.
+  bool popcount_bound_intact_ = true;
 };
 
 }  // namespace sbf

@@ -13,6 +13,7 @@
 #include "util/fault_injection.h"
 #include "util/health.h"
 #include "util/prefetch.h"
+#include "util/audit.h"
 
 namespace sbf {
 namespace {
@@ -118,7 +119,7 @@ ConcurrentSbf::ConcurrentSbf(ConcurrentSbfOptions options)
   }
 }
 
-uint32_t ConcurrentSbf::ShardOf(uint64_t key) const {
+uint32_t ConcurrentSbf::ShardOf(uint64_t key) const noexcept {
   // Mixing before the modulo keeps the router independent of the per-shard
   // hash families (which consume the raw key).
   return static_cast<uint32_t>(Mix64(key ^ router_salt_) %
@@ -442,6 +443,7 @@ Status ConcurrentSbf::Merge(const ConcurrentSbf& other) {
       if (!status.ok()) return status;
     }
   }
+  SBF_AUDIT_INVARIANTS(*this);
   return Status::Ok();
 }
 
@@ -662,6 +664,7 @@ Status ConcurrentSbf::ExpandTo(uint64_t new_m) {
   }
   options_.m = new_m;
   shard_m_ = new_shard_m;
+  SBF_AUDIT_INVARIANTS(*this);
   return Status::Ok();
 }
 
@@ -673,6 +676,7 @@ StatusOr<bool> ConcurrentSbf::ExpandIfDegraded() {
 }
 
 std::vector<uint8_t> ConcurrentSbf::Serialize() const {
+  SBF_AUDIT_INVARIANTS(*this);
   wire::Writer payload;
   payload.PutVarint(options_.num_shards);
   payload.PutVarint(options_.m);
@@ -744,7 +748,49 @@ StatusOr<ConcurrentSbf> ConcurrentSbf::Deserialize(wire::ByteSpan bytes) {
       shard.live->set_total_items(0);
     }
   }
+  SBF_AUDIT_INVARIANTS(filter);
   return filter;
+}
+
+
+Status ConcurrentSbf::CheckInvariants() const {
+  if (shards_.size() != options_.num_shards || options_.num_shards < 1) {
+    return Status::FailedPrecondition(
+        "concurrent SBF: shard count disagrees with options");
+  }
+  if (shard_m_ != CeilDiv(options_.m, options_.num_shards)) {
+    return Status::FailedPrecondition(
+        "concurrent SBF: per-shard size disagrees with m / num_shards");
+  }
+  if (metrics_.num_shards() != options_.num_shards) {
+    return Status::FailedPrecondition(
+        "concurrent SBF: metrics shard count disagrees with options");
+  }
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    const Shard& shard = *shards_[i];
+    if (shard.live == nullptr) {
+      return Status::FailedPrecondition(
+          "concurrent SBF: shard has no live filter");
+    }
+    if (shard.pending != nullptr ||
+        shard.pending_ptr.load(std::memory_order_acquire) != nullptr) {
+      return Status::FailedPrecondition(
+          "concurrent SBF: shard caught inside an expansion window (audit "
+          "requires quiescence)");
+    }
+    if (shard.live_ptr.load(std::memory_order_acquire) != shard.live.get()) {
+      return Status::FailedPrecondition(
+          "concurrent SBF: shard live pointer mirror out of sync");
+    }
+    if (!SameShardOptions(shard.live->options(), ShardOptions(options_, i))) {
+      return Status::FailedPrecondition(
+          "concurrent SBF: shard filter options disagree with the derived "
+          "per-shard options");
+    }
+    const Status status = shard.live->CheckInvariants();
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
 }
 
 }  // namespace sbf

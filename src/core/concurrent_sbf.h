@@ -73,9 +73,9 @@ class ConcurrentSbf final : public FrequencyFilter {
   // previously inserted. Under Minimal Increase deletions may create false
   // negatives (the paper's Section 3.2 caveat).
   void Remove(uint64_t key, uint64_t count = 1) override;
-  uint64_t Estimate(uint64_t key) const override;
-  size_t MemoryUsageBits() const override;
-  std::string Name() const override;
+  [[nodiscard]] uint64_t Estimate(uint64_t key) const override;
+  [[nodiscard]] size_t MemoryUsageBits() const override;
+  [[nodiscard]] std::string Name() const override;
 
   // --- batch API ----------------------------------------------------------
 
@@ -107,33 +107,47 @@ class ConcurrentSbf final : public FrequencyFilter {
   // consumers (Bloomjoin, iceberg sites) can exchange sharded filters or
   // peel individual shards. Takes a per-shard snapshot; concurrent writers
   // make the snapshot a valid interleaving, not a point-in-time image.
-  std::vector<uint8_t> Serialize() const override;
+  [[nodiscard]] std::vector<uint8_t> Serialize() const override;
   static StatusOr<ConcurrentSbf> Deserialize(wire::ByteSpan bytes);
+
+  // Audits the sharding layout: shard count and per-shard options (sizes,
+  // derived seeds, policy, backing) against options_, no shard caught
+  // mid-expansion, and every shard filter's own validator. Requires
+  // quiescence, like Serialize().
+  Status CheckInvariants() const override;
 
   // --- introspection -------------------------------------------------------
 
-  const ConcurrentSbfOptions& options() const { return options_; }
-  uint32_t num_shards() const { return options_.num_shards; }
-  uint64_t shard_m() const { return shard_m_; }
+  [[nodiscard]] const ConcurrentSbfOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] uint32_t num_shards() const noexcept {
+    return options_.num_shards;
+  }
+  [[nodiscard]] uint64_t shard_m() const noexcept { return shard_m_; }
   // True when Insert/Remove/Estimate run without taking any lock.
-  bool IsLockFree() const { return lock_free_; }
+  [[nodiscard]] bool IsLockFree() const noexcept { return lock_free_; }
 
   // Shard index for a key (the routing function; exposed for tests).
-  uint32_t ShardOf(uint64_t key) const;
+  [[nodiscard]] uint32_t ShardOf(uint64_t key) const noexcept;
 
   // Net inserted occurrences across all shards. Exact only when quiescent.
-  uint64_t TotalItems() const;
+  [[nodiscard]] uint64_t TotalItems() const;
 
   // Read-only view of one shard's filter. Caller must guarantee quiescence
   // (no concurrent writers or expansion) while holding the reference.
-  const SpectralBloomFilter& shard(size_t i) const { return *shards_[i]->live; }
+  [[nodiscard]] const SpectralBloomFilter& shard(size_t i) const {
+    return *shards_[i]->live;
+  }
 
   // A consistent copy of shard i (locks the shard; lock-free counters are
   // read atomically). Safe under concurrent writers.
-  SpectralBloomFilter SnapshotShard(size_t i) const;
+  [[nodiscard]] SpectralBloomFilter SnapshotShard(size_t i) const;
 
   // Per-shard operation counters (inserts/removes/estimates/batches).
-  const ShardMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const ShardMetrics& metrics() const noexcept {
+    return metrics_;
+  }
 
   // --- lifecycle: health & online expansion --------------------------------
 
@@ -143,12 +157,12 @@ class ConcurrentSbf final : public FrequencyFilter {
   // fill shows it). Safe under concurrent writers on the lock-free path
   // (counters are read atomically); on the locked path each shard is
   // scanned under its shared lock.
-  FilterHealth Health() const override;
+  [[nodiscard]] FilterHealth Health() const override;
 
   // Combined clamp-event tallies of all shards. The lock-free fast path
   // updates 64-bit counters with raw atomics and cannot clamp (nor tally),
   // so nonzero values only appear for the locked backings.
-  SaturationStats saturation() const;
+  [[nodiscard]] SaturationStats saturation() const;
 
   // Grows the filter to `new_m` total counters, shard at a time, without
   // blocking readers. Per shard the protocol opens a dual-write window:

@@ -4,6 +4,7 @@
 
 #include "core/batch_kernels.h"
 #include "util/check.h"
+#include "util/audit.h"
 
 namespace sbf {
 namespace {
@@ -17,6 +18,7 @@ CountingBloomFilter::CountingBloomFilter(uint64_t m, uint32_t k,
       hash_(k, m, seed, kind),
       counters_(m, counter_bits, /*sticky_saturation=*/true) {
   SBF_CHECK_MSG(k >= 1 && k <= kMaxK, "counting BF needs 1 <= k <= 64");
+  SBF_AUDIT_INVARIANTS(*this);
 }
 
 void CountingBloomFilter::Insert(uint64_t key, uint64_t count) {
@@ -85,6 +87,7 @@ void CountingBloomFilter::EstimateBatch(const uint64_t* keys, size_t n,
 }
 
 std::vector<uint8_t> CountingBloomFilter::Serialize() const {
+  SBF_AUDIT_INVARIANTS(*this);
   wire::Writer payload;
   payload.PutVarint(m_);
   payload.PutVarint(hash_.k());
@@ -133,7 +136,28 @@ StatusOr<CountingBloomFilter> CountingBloomFilter::Deserialize(
                              kind == 0 ? HashFamily::Kind::kModuloMultiply
                                        : HashFamily::Kind::kDoubleMix);
   filter.counters_ = std::move(*fixed);
+  SBF_AUDIT_INVARIANTS(filter);
   return filter;
+}
+
+
+Status CountingBloomFilter::CheckInvariants() const {
+  if (m_ < 1) {
+    return Status::FailedPrecondition("counting BF: m < 1");
+  }
+  if (hash_.m() != m_) {
+    return Status::FailedPrecondition(
+        "counting BF: hash family range disagrees with m");
+  }
+  if (counters_.size() != m_) {
+    return Status::FailedPrecondition(
+        "counting BF: counter vector size disagrees with m");
+  }
+  if (!counters_.sticky_saturation()) {
+    return Status::FailedPrecondition(
+        "counting BF: counters must use sticky saturation [FCAB98]");
+  }
+  return counters_.CheckInvariants();
 }
 
 }  // namespace sbf

@@ -32,7 +32,7 @@ class CountingBloomFilter final : public FrequencyFilter {
   // Minimum of the key's counters — an upper bound on its multiplicity
   // *clamped to the counter range*, which is why this structure is a
   // membership filter, not a spectral one.
-  uint64_t Estimate(uint64_t key) const override;
+  [[nodiscard]] uint64_t Estimate(uint64_t key) const override;
 
   // Batched ops via the hash-ahead + prefetch pipeline; the counter vector
   // is a concrete member, so the probe loop is fully inlined. Equivalent
@@ -44,29 +44,38 @@ class CountingBloomFilter final : public FrequencyFilter {
   using FrequencyFilter::EstimateBatch;
   using FrequencyFilter::InsertBatch;
 
-  size_t MemoryUsageBits() const override {
+  [[nodiscard]] size_t MemoryUsageBits() const override {
     return counters_.MemoryUsageBits();
   }
-  std::string Name() const override { return "CBF"; }
+  [[nodiscard]] std::string Name() const override { return "CBF"; }
 
-  uint64_t m() const { return m_; }
-  uint32_t k() const { return hash_.k(); }
-  const HashFamily& hash() const { return hash_; }
-  uint64_t max_count() const { return counters_.max_value(); }
+  [[nodiscard]] uint64_t m() const noexcept { return m_; }
+  [[nodiscard]] uint32_t k() const noexcept { return hash_.k(); }
+  [[nodiscard]] const HashFamily& hash() const noexcept { return hash_; }
+  [[nodiscard]] uint64_t max_count() const noexcept {
+    return counters_.max_value();
+  }
   // Counters pinned at the maximum (candidates for overestimation).
-  size_t SaturatedCount() const { return counters_.SaturatedCount(); }
+  [[nodiscard]] size_t SaturatedCount() const noexcept {
+    return counters_.SaturatedCount();
+  }
 
   // Live health snapshot. With 4-bit sticky counters saturation is the
   // designed overflow policy, so heavy use is expected to report
   // kSaturated — the signal to move to a wider width or a real SBF.
-  FilterHealth Health() const override;
+  [[nodiscard]] FilterHealth Health() const override;
 
   // Clamp-event tallies of the counter vector.
-  const SaturationStats& saturation() const { return counters_.saturation(); }
+  [[nodiscard]] const SaturationStats& saturation() const noexcept {
+    return counters_.saturation();
+  }
 
   // 'SBcb' wire frame (io/wire.h): {varint m, varint k, u8 kind, u64 seed,
   // varint counter width, embedded fixed-width counter frame}.
-  std::vector<uint8_t> Serialize() const override;
+  [[nodiscard]] std::vector<uint8_t> Serialize() const override;
+
+  // Audits m vs. the counter vector and the hash family's range.
+  Status CheckInvariants() const override;
   static StatusOr<CountingBloomFilter> Deserialize(wire::ByteSpan bytes);
 
  private:

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/health.h"
+#include "util/status.h"
 
 namespace sbf {
 
@@ -31,7 +32,7 @@ class FrequencyFilter {
   virtual void Remove(uint64_t key, uint64_t count = 1) = 0;
 
   // Estimated multiplicity of `key`.
-  virtual uint64_t Estimate(uint64_t key) const = 0;
+  [[nodiscard]] virtual uint64_t Estimate(uint64_t key) const = 0;
 
   // --- batch API ---------------------------------------------------------
   //
@@ -60,7 +61,7 @@ class FrequencyFilter {
   void InsertBatch(const std::vector<uint64_t>& keys, uint64_t count = 1) {
     InsertBatch(keys.data(), keys.size(), count);
   }
-  std::vector<uint64_t> EstimateBatch(
+  [[nodiscard]] std::vector<uint64_t> EstimateBatch(
       const std::vector<uint64_t>& keys) const {
     std::vector<uint64_t> out(keys.size());
     EstimateBatch(keys.data(), keys.size(), out.data());
@@ -69,7 +70,7 @@ class FrequencyFilter {
 
   // Spectral membership test: is f_key >= threshold (with the filter's
   // one-sided error)? Threshold 1 is plain Bloom membership.
-  bool Contains(uint64_t key, uint64_t threshold = 1) const {
+  [[nodiscard]] bool Contains(uint64_t key, uint64_t threshold = 1) const {
     return Estimate(key) >= threshold;
   }
 
@@ -77,18 +78,26 @@ class FrequencyFilter {
   // occupancy, saturation tallies, and a traffic-light verdict. The
   // default is an empty kHealthy snapshot; counter-backed frontends
   // override it with a real occupancy scan (O(m)).
-  virtual FilterHealth Health() const { return FilterHealth{}; }
+  [[nodiscard]] virtual FilterHealth Health() const { return FilterHealth{}; }
 
   // Total memory footprint in bits, including all auxiliary structures.
-  virtual size_t MemoryUsageBits() const = 0;
+  [[nodiscard]] virtual size_t MemoryUsageBits() const = 0;
 
   // Algorithm name for experiment tables ("MS", "MI", "RM", ...).
-  virtual std::string Name() const = 0;
+  [[nodiscard]] virtual std::string Name() const = 0;
 
   // Complete self-describing wire frame (io/wire.h): every frontend is
   // persistable and shippable. io/filter_codec.h reconstructs any
   // frontend from its frame by dispatching on the frame magic.
-  virtual std::vector<uint8_t> Serialize() const = 0;
+  [[nodiscard]] virtual std::vector<uint8_t> Serialize() const = 0;
+
+  // Structural self-check of the paper's layout/counter invariants for
+  // this filter (the SBF_AUDIT validator layer; see DESIGN.md §7). Always
+  // compiled — `sbf_tool audit` runs it on deserialized frames in any
+  // build — and additionally invoked at API boundaries in -DSBF_AUDIT
+  // builds via SBF_AUDIT_INVARIANTS. Returns OK or a FailedPrecondition
+  // naming the violated invariant.
+  [[nodiscard]] virtual Status CheckInvariants() const { return Status::Ok(); }
 };
 
 }  // namespace sbf

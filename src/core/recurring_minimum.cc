@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/audit.h"
 
 namespace sbf {
 namespace {
@@ -47,6 +48,7 @@ RecurringMinimumSbf::RecurringMinimumSbf(RecurringMinimumOptions options)
     marker_.emplace(options.primary_m, options.k,
                     options.seed ^ kMarkerSeedSalt, options.hash_kind);
   }
+  SBF_AUDIT_INVARIANTS(*this);
 }
 
 RecurringMinimumSbf RecurringMinimumSbf::WithTotalBudget(uint64_t total_m,
@@ -186,10 +188,12 @@ Status RecurringMinimumSbf::ExpandTo(uint64_t new_primary_m,
   marker_ = std::move(marker);
   options_.primary_m = new_primary_m;
   options_.secondary_m = new_secondary_m;
+  SBF_AUDIT_INVARIANTS(*this);
   return Status::Ok();
 }
 
 std::vector<uint8_t> RecurringMinimumSbf::Serialize() const {
+  SBF_AUDIT_INVARIANTS(*this);
   wire::Writer payload;
   payload.PutVarint(options_.primary_m);
   payload.PutVarint(options_.secondary_m);
@@ -274,7 +278,47 @@ StatusOr<RecurringMinimumSbf> RecurringMinimumSbf::Deserialize(
   filter.secondary_ = std::move(secondary).value();
   filter.marker_ = std::move(marker);
   filter.moved_to_secondary_ = moved;
+  SBF_AUDIT_INVARIANTS(filter);
   return filter;
+}
+
+
+Status RecurringMinimumSbf::CheckInvariants() const {
+  if (options_.primary_m < 1 || options_.secondary_m < 1) {
+    return Status::FailedPrecondition("RM: primary_m/secondary_m < 1");
+  }
+  if (!SameSbfOptions(primary_.options(), PrimaryOptions(options_))) {
+    return Status::FailedPrecondition(
+        "RM: primary SBF options disagree with the RM options");
+  }
+  if (!SameSbfOptions(secondary_.options(), SecondaryOptions(options_))) {
+    return Status::FailedPrecondition(
+        "RM: secondary SBF options disagree with the RM options (derived "
+        "seed included)");
+  }
+  if (marker_.has_value() != options_.use_marker_filter) {
+    return Status::FailedPrecondition(
+        "RM: marker filter present iff use_marker_filter");
+  }
+  if (marker_.has_value()) {
+    if (marker_->m() != options_.primary_m || marker_->k() != options_.k ||
+        marker_->hash().seed() != (options_.seed ^ kMarkerSeedSalt)) {
+      return Status::FailedPrecondition(
+          "RM: marker filter parameters disagree with the RM options");
+    }
+  }
+  // Items only reach the secondary through a move event, so with no moves
+  // the secondary must be empty.
+  if (moved_to_secondary_ == 0 && secondary_.total_items() != 0) {
+    return Status::FailedPrecondition(
+        "RM: secondary SBF holds items but no move events were recorded");
+  }
+  Status status = primary_.CheckInvariants();
+  if (!status.ok()) return status;
+  status = secondary_.CheckInvariants();
+  if (!status.ok()) return status;
+  if (marker_.has_value()) return marker_->CheckInvariants();
+  return Status::Ok();
 }
 
 }  // namespace sbf

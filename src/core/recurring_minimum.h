@@ -63,26 +63,34 @@ class RecurringMinimumSbf final : public FrequencyFilter {
   // Lookup: recurring minimum in the primary -> primary minimum;
   // otherwise the secondary's estimate if it knows the item (> 0), else
   // the primary minimum.
-  uint64_t Estimate(uint64_t key) const override;
+  [[nodiscard]] uint64_t Estimate(uint64_t key) const override;
 
-  size_t MemoryUsageBits() const override;
-  std::string Name() const override { return "RM"; }
+  [[nodiscard]] size_t MemoryUsageBits() const override;
+  [[nodiscard]] std::string Name() const override { return "RM"; }
 
   // --- introspection -----------------------------------------------------
 
-  const SpectralBloomFilter& primary() const { return primary_; }
-  const SpectralBloomFilter& secondary() const { return secondary_; }
-  const std::optional<BloomFilter>& marker() const { return marker_; }
+  [[nodiscard]] const SpectralBloomFilter& primary() const noexcept {
+    return primary_;
+  }
+  [[nodiscard]] const SpectralBloomFilter& secondary() const noexcept {
+    return secondary_;
+  }
+  [[nodiscard]] const std::optional<BloomFilter>& marker() const noexcept {
+    return marker_;
+  }
   // Items currently routed through the secondary SBF (move events).
-  size_t moved_to_secondary() const { return moved_to_secondary_; }
+  [[nodiscard]] size_t moved_to_secondary() const noexcept {
+    return moved_to_secondary_;
+  }
 
   // Live health: the primary SBF's snapshot (every lookup probes it, so
   // its occupancy governs the Bloom error), with the secondary's clamp
   // tallies folded in and its verdict escalated if worse.
-  FilterHealth Health() const override;
+  [[nodiscard]] FilterHealth Health() const override;
 
   // Combined clamp-event tallies of both SBFs.
-  SaturationStats saturation() const;
+  [[nodiscard]] SaturationStats saturation() const;
 
   // Expands both SBFs in place (each new size a positive multiple of the
   // current one; see SpectralBloomFilter::ExpandTo). Counter values — and
@@ -99,8 +107,14 @@ class RecurringMinimumSbf final : public FrequencyFilter {
   // primary and secondary SBF frames, embedded marker BF frame when the
   // marker is enabled}. The embedded frames must agree with the options
   // (derived seeds included) or deserialization rejects the message.
-  std::vector<uint8_t> Serialize() const override;
+  [[nodiscard]] std::vector<uint8_t> Serialize() const override;
   static StatusOr<RecurringMinimumSbf> Deserialize(wire::ByteSpan bytes);
+
+  // Audits the two-SBF split: options coherence (sizes, derived seeds),
+  // the marker filter present iff enabled and sized to primary_m, and
+  // moved_to_secondary() == 0 implying an all-zero secondary. Both
+  // embedded SBFs' own validators run as part of the sweep.
+  Status CheckInvariants() const override;
 
  private:
   bool MarkedInSecondary(uint64_t key) const;

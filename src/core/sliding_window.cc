@@ -2,6 +2,7 @@
 
 #include "io/filter_codec.h"
 #include "util/check.h"
+#include "util/audit.h"
 
 namespace sbf {
 
@@ -22,6 +23,7 @@ void SlidingWindowFilter::Push(uint64_t key) {
 }
 
 std::vector<uint8_t> SlidingWindowFilter::Serialize() const {
+  SBF_AUDIT_INVARIANTS(*this);
   wire::Writer payload;
   payload.PutVarint(window_size_);
   payload.PutVarint(window_.size());
@@ -60,7 +62,23 @@ StatusOr<SlidingWindowFilter> SlidingWindowFilter::Deserialize(
   SlidingWindowFilter filter(std::move(inner).value(),
                              static_cast<size_t>(window_size));
   filter.window_ = std::move(window);
+  SBF_AUDIT_INVARIANTS(filter);
   return filter;
+}
+
+
+Status SlidingWindowFilter::CheckInvariants() const {
+  if (filter_ == nullptr) {
+    return Status::FailedPrecondition("sliding window: no inner filter");
+  }
+  if (window_size_ < 1) {
+    return Status::FailedPrecondition("sliding window: window size < 1");
+  }
+  if (window_.size() > window_size_) {
+    return Status::FailedPrecondition(
+        "sliding window: retained occurrences exceed the window size");
+  }
+  return filter_->CheckInvariants();
 }
 
 }  // namespace sbf

@@ -33,23 +33,35 @@ class SlidingWindowFilter {
   void Push(uint64_t key);
 
   // Estimated multiplicity of `key` within the current window.
-  uint64_t Estimate(uint64_t key) const { return filter_->Estimate(key); }
-  bool Contains(uint64_t key, uint64_t threshold = 1) const {
+  [[nodiscard]] uint64_t Estimate(uint64_t key) const {
+    return filter_->Estimate(key);
+  }
+  [[nodiscard]] bool Contains(uint64_t key, uint64_t threshold = 1) const {
     return filter_->Contains(key, threshold);
   }
 
-  size_t window_size() const { return window_size_; }
-  size_t current_fill() const { return window_.size(); }
-  const FrequencyFilter& filter() const { return *filter_; }
-  std::string Name() const { return filter_->Name() + "-window"; }
+  [[nodiscard]] size_t window_size() const noexcept { return window_size_; }
+  [[nodiscard]] size_t current_fill() const noexcept {
+    return window_.size();
+  }
+  [[nodiscard]] const FrequencyFilter& filter() const noexcept {
+    return *filter_;
+  }
+  [[nodiscard]] std::string Name() const {
+    return filter_->Name() + "-window";
+  }
 
   // 'SBsw' wire frame (io/wire.h): {varint window size, varint fill, the
   // in-window keys oldest first, embedded inner-filter frame}. The inner
   // filter is restored polymorphically (io/filter_codec.h) — any frontend
   // round-trips — and the window contents are restored verbatim, not
   // re-inserted.
-  std::vector<uint8_t> Serialize() const;
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
   static StatusOr<SlidingWindowFilter> Deserialize(wire::ByteSpan bytes);
+
+  // Audits the window bookkeeping (fill <= window size) and delegates to
+  // the inner filter's validator.
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   std::unique_ptr<FrequencyFilter> filter_;

@@ -8,6 +8,7 @@
 #include "sai/serial_scan_counter_vector.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
+#include "util/audit.h"
 
 namespace sbf {
 namespace {
@@ -39,7 +40,9 @@ Status ValidateSbfOptions(const SbfOptions& options) {
 SpectralBloomFilter::SpectralBloomFilter(SbfOptions options)
     : options_(ValidatedOrDie(options)),
       hash_(options.k, options.m, options.seed, options.hash_kind),
-      counters_(MakeCounterVector(options.backing, options.m)) {}
+      counters_(MakeCounterVector(options.backing, options.m)) {
+  SBF_AUDIT_INVARIANTS(*this);
+}
 
 SpectralBloomFilter::SpectralBloomFilter(uint64_t m, uint32_t k)
     : SpectralBloomFilter([&] {
@@ -53,7 +56,8 @@ SpectralBloomFilter::SpectralBloomFilter(const SpectralBloomFilter& other)
     : options_(other.options_),
       hash_(other.hash_),
       counters_(other.counters_->Clone()),
-      total_items_(other.total_items_) {}
+      total_items_(other.total_items_),
+      sum_identity_intact_(other.sum_identity_intact_) {}
 
 SpectralBloomFilter& SpectralBloomFilter::operator=(
     const SpectralBloomFilter& other) {
@@ -62,6 +66,7 @@ SpectralBloomFilter& SpectralBloomFilter::operator=(
   hash_ = other.hash_;
   counters_ = other.counters_->Clone();
   total_items_ = other.total_items_;
+  sum_identity_intact_ = other.sum_identity_intact_;
   return *this;
 }
 
@@ -96,6 +101,16 @@ void SpectralBloomFilter::Insert(uint64_t key, uint64_t count) {
     }
   }
   total_items_ += count;
+
+#ifdef SBF_AUDIT
+  // Key-local audit (O(k), cheap enough for every operation): both
+  // policies leave each of the key's counters at `count` or above —
+  // unless the backing cannot even represent `count` and clamped.
+  if (count <= counters_->MaxValue()) {
+    SBF_CHECK_MSG(Estimate(key) >= count,
+                  "SBF audit: insert did not raise the key's minimum");
+  }
+#endif
 
   // Fault-injection site (no-op in production builds): a soft memory error
   // flips one bit of one counter under write traffic. Routed through
@@ -359,6 +374,7 @@ Status SpectralBloomFilter::ExpandTo(uint64_t new_m) {
   hash_ = HashFamily(options_.k, new_m, options_.seed, options_.hash_kind);
   counters_ = std::move(next);
   options_.m = new_m;
+  SBF_AUDIT_INVARIANTS(*this);
   return Status::Ok();
 }
 
@@ -370,6 +386,7 @@ StatusOr<bool> SpectralBloomFilter::ExpandIfDegraded() {
 }
 
 std::vector<uint8_t> SpectralBloomFilter::Serialize() const {
+  SBF_AUDIT_INVARIANTS(*this);
   wire::Writer payload;
   payload.PutVarint(options_.m);
   payload.PutVarint(options_.k);
@@ -433,7 +450,49 @@ StatusOr<SpectralBloomFilter> SpectralBloomFilter::Deserialize(
   SpectralBloomFilter filter(options);
   filter.counters_ = std::move(cv).value();
   filter.total_items_ = total_items;
+  // The frame does not record whether the writer's accounting was ever
+  // adjusted out of band, so the sum-identity audit rule cannot be
+  // re-armed on a loaded filter.
+  filter.sum_identity_intact_ = false;
+  SBF_AUDIT_INVARIANTS(filter);
   return filter;
+}
+
+
+Status SpectralBloomFilter::CheckInvariants() const {
+  Status status = ValidateSbfOptions(options_);
+  if (!status.ok()) return status;
+  if (hash_.m() != options_.m || hash_.k() != options_.k ||
+      hash_.seed() != options_.seed || hash_.kind() != options_.hash_kind) {
+    return Status::FailedPrecondition(
+        "SBF: hash family disagrees with options");
+  }
+  if (counters_ == nullptr || counters_->size() != options_.m) {
+    return Status::FailedPrecondition(
+        "SBF: counter vector missing or size disagrees with m");
+  }
+  if (!MatchesBacking(*counters_, options_.backing)) {
+    return Status::FailedPrecondition(
+        "SBF: counter vector backing disagrees with options");
+  }
+  status = counters_->CheckInvariants();
+  if (!status.ok()) return status;
+  // Spectral sum bound: under Minimum Selection every insert raises k
+  // counters by count and every remove lowers k by count, so with no clamp
+  // events sum(C) >= k * total_items — expansion replicates counters and
+  // can only raise the sum, a corrupted (lowered) counter breaks it.
+  const SaturationStats& stats = counters_->saturation();
+  if (sum_identity_intact_ &&
+      options_.policy == SbfPolicy::kMinimumSelection &&
+      stats.saturation_clamps == 0 && stats.underflow_clamps == 0 &&
+      total_items_ <= (~uint64_t{0}) / options_.k) {
+    if (counters_->Total() < total_items_ * options_.k) {
+      return Status::FailedPrecondition(
+          "SBF: counter sum below k * total_items (corrupted or "
+          "under-counted backing)");
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace sbf

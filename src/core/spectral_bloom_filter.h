@@ -79,9 +79,9 @@ class SpectralBloomFilter final : public FrequencyFilter {
   // deliberately so the Figure 8/9 experiments can demonstrate it.
   void Remove(uint64_t key, uint64_t count = 1) override;
   // The Minimum Selection estimate m_x (minimal counter).
-  uint64_t Estimate(uint64_t key) const override;
-  size_t MemoryUsageBits() const override;
-  std::string Name() const override;
+  [[nodiscard]] uint64_t Estimate(uint64_t key) const override;
+  [[nodiscard]] size_t MemoryUsageBits() const override;
+  [[nodiscard]] std::string Name() const override;
 
   // Batched point ops: hash-ahead + software-prefetch pipeline over the
   // concrete backing (see core/batch_kernels.h). Exactly equivalent to a
@@ -97,32 +97,48 @@ class SpectralBloomFilter final : public FrequencyFilter {
   void InsertBytes(std::string_view key, uint64_t count = 1) {
     Insert(Fingerprint64(key), count);
   }
-  uint64_t EstimateBytes(std::string_view key) const {
+  [[nodiscard]] uint64_t EstimateBytes(std::string_view key) const {
     return Estimate(Fingerprint64(key));
   }
 
   // --- introspection -----------------------------------------------------
 
-  uint64_t m() const { return options_.m; }
-  uint32_t k() const { return options_.k; }
-  const SbfOptions& options() const { return options_; }
-  const HashFamily& hash() const { return hash_; }
-  const CounterVector& counters() const { return *counters_; }
-  CounterVector& mutable_counters() { return *counters_; }
+  [[nodiscard]] uint64_t m() const noexcept { return options_.m; }
+  [[nodiscard]] uint32_t k() const noexcept { return options_.k; }
+  [[nodiscard]] const SbfOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const HashFamily& hash() const noexcept { return hash_; }
+  [[nodiscard]] const CounterVector& counters() const noexcept {
+    return *counters_;
+  }
+  [[nodiscard]] CounterVector& mutable_counters() noexcept {
+    return *counters_;
+  }
 
   // Net number of item occurrences currently represented (inserts minus
   // removes); the N of the unbiased estimator (Section 3.1).
-  uint64_t total_items() const { return total_items_; }
-  void set_total_items(uint64_t n) { total_items_ = n; }
+  [[nodiscard]] uint64_t total_items() const noexcept {
+    return total_items_;
+  }
+  // Overrides the accounting directly. Frontends that lift counters out of
+  // band (Trapping RM's MoveToSecondary, the algebra kernels, sharded
+  // snapshots) use this — after which the Minimum Selection sum identity
+  // sum(C) >= k * total_items no longer holds, so the call also retires
+  // that audit rule for this filter (see CheckInvariants()).
+  void set_total_items(uint64_t n) {
+    total_items_ = n;
+    sum_identity_intact_ = false;
+  }
 
   // Values of the key's k counters, in hash order (the paper's v_x).
-  std::vector<uint64_t> CounterValues(uint64_t key) const;
+  [[nodiscard]] std::vector<uint64_t> CounterValues(uint64_t key) const;
   // True if the minimal counter value occurs in two or more of the key's
   // counters — the Recurring Minimum predicate R_x (Section 3.3).
-  bool HasRecurringMinimum(uint64_t key) const;
+  [[nodiscard]] bool HasRecurringMinimum(uint64_t key) const;
 
   // A fresh, empty filter with identical parameters (same hash functions).
-  SpectralBloomFilter CloneEmpty() const;
+  [[nodiscard]] SpectralBloomFilter CloneEmpty() const;
 
   // --- lifecycle: health & online expansion ------------------------------
 
@@ -130,10 +146,12 @@ class SpectralBloomFilter final : public FrequencyFilter {
   // ratio, estimated current FPR (Section 2.1 formula on live state),
   // saturated-counter share, clamp tallies, and a verdict against
   // options().health. O(m) scan.
-  FilterHealth Health() const override;
+  [[nodiscard]] FilterHealth Health() const override;
 
   // Clamp-event tallies of the counter backing (see SaturationStats).
-  const SaturationStats& saturation() const { return counters_->saturation(); }
+  [[nodiscard]] const SaturationStats& saturation() const noexcept {
+    return counters_->saturation();
+  }
 
   // Grows the filter to `new_m` counters in place, without the original
   // keys: both hash families derive each probe from a key digest that is
@@ -153,7 +171,7 @@ class SpectralBloomFilter final : public FrequencyFilter {
   StatusOr<bool> ExpandIfDegraded();
 
   // Gamma = nk/m for a given number of distinct keys n.
-  double Gamma(uint64_t n_distinct) const {
+  [[nodiscard]] double Gamma(uint64_t n_distinct) const noexcept {
     return static_cast<double>(n_distinct) * k() / static_cast<double>(m());
   }
 
@@ -164,14 +182,24 @@ class SpectralBloomFilter final : public FrequencyFilter {
   // counter backing frame}. With a compact backing the counters travel
   // Elias-delta coded in ~N bits — the compressed message the distributed
   // applications of Section 5 exchange.
-  std::vector<uint8_t> Serialize() const override;
+  [[nodiscard]] std::vector<uint8_t> Serialize() const override;
   static StatusOr<SpectralBloomFilter> Deserialize(wire::ByteSpan bytes);
+
+  // Audits options vs. the live hash family and counter backing (size,
+  // concrete type, hash range); in -DSBF_AUDIT builds the counter
+  // backing's own layout validator runs too.
+  Status CheckInvariants() const override;
 
  private:
   SbfOptions options_;
   HashFamily hash_;
   std::unique_ptr<CounterVector> counters_;
   uint64_t total_items_ = 0;
+  // True while every update went through Insert/Remove/ExpandTo, where the
+  // sum identity is provable. Cleared by set_total_items() and on
+  // Deserialize (the wire frame carries no provenance). Process-local,
+  // never serialized.
+  bool sum_identity_intact_ = true;
 };
 
 }  // namespace sbf

@@ -6,6 +6,7 @@
 
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/audit.h"
 
 namespace sbf {
 namespace {
@@ -40,6 +41,7 @@ TrappingRmSbf::TrappingRmSbf(RecurringMinimumOptions options)
       traps_(options.primary_m) {
   SBF_CHECK_MSG(options.primary_m >= 1 && options.secondary_m >= 1,
                 "TRM needs primary_m and secondary_m >= 1");
+  SBF_AUDIT_INVARIANTS(*this);
 }
 
 void TrappingRmSbf::FireTrapsHitBy(uint64_t key, const uint64_t* positions) {
@@ -168,6 +170,7 @@ size_t TrappingRmSbf::MemoryUsageBits() const {
 }
 
 std::vector<uint8_t> TrappingRmSbf::Serialize() const {
+  SBF_AUDIT_INVARIANTS(*this);
   wire::Writer payload;
   payload.PutVarint(options_.primary_m);
   payload.PutVarint(options_.secondary_m);
@@ -279,7 +282,48 @@ StatusOr<TrappingRmSbf> TrappingRmSbf::Deserialize(wire::ByteSpan bytes) {
   }
   Status status = in.ExpectEnd("TRM filter");
   if (!status.ok()) return status;
+  SBF_AUDIT_INVARIANTS(filter);
   return filter;
+}
+
+
+Status TrappingRmSbf::CheckInvariants() const {
+  if (options_.primary_m < 1 || options_.secondary_m < 1) {
+    return Status::FailedPrecondition("TRM: primary_m/secondary_m < 1");
+  }
+  if (!SameSbfOptions(primary_.options(),
+                      MakeSbfOptions(options_, options_.primary_m,
+                                     options_.seed)) ||
+      !SameSbfOptions(secondary_.options(),
+                      MakeSbfOptions(options_, options_.secondary_m,
+                                     options_.seed ^ 0x5EC07DA21ULL))) {
+    return Status::FailedPrecondition(
+        "TRM: embedded SBF options disagree with the TRM options");
+  }
+  if (traps_.size_bits() != options_.primary_m) {
+    return Status::FailedPrecondition(
+        "TRM: trap bit vector size disagrees with primary m");
+  }
+  // The owner table and the trap bits are two views of the same set: one
+  // owner entry per armed trap, every entry on an armed in-range position.
+  if (traps_.PopCount() != trap_owner_.size()) {
+    return Status::FailedPrecondition(
+        "TRM: armed trap count disagrees with the owner table size");
+  }
+  for (const auto& [position, owner] : trap_owner_) {
+    (void)owner;
+    if (position >= options_.primary_m) {
+      return Status::FailedPrecondition(
+          "TRM: trap owner entry on an out-of-range position");
+    }
+    if (!traps_.GetBit(position)) {
+      return Status::FailedPrecondition(
+          "TRM: trap owner entry on a disarmed trap");
+    }
+  }
+  Status status = primary_.CheckInvariants();
+  if (!status.ok()) return status;
+  return secondary_.CheckInvariants();
 }
 
 }  // namespace sbf

@@ -35,22 +35,33 @@ class TrappingRmSbf final : public FrequencyFilter {
 
   void Insert(uint64_t key, uint64_t count = 1) override;
   void Remove(uint64_t key, uint64_t count = 1) override;
-  uint64_t Estimate(uint64_t key) const override;
-  size_t MemoryUsageBits() const override;
-  std::string Name() const override { return "TRM"; }
+  [[nodiscard]] uint64_t Estimate(uint64_t key) const override;
+  [[nodiscard]] size_t MemoryUsageBits() const override;
+  [[nodiscard]] std::string Name() const override { return "TRM"; }
 
-  const SpectralBloomFilter& primary() const { return primary_; }
-  const SpectralBloomFilter& secondary() const { return secondary_; }
+  [[nodiscard]] const SpectralBloomFilter& primary() const noexcept {
+    return primary_;
+  }
+  [[nodiscard]] const SpectralBloomFilter& secondary() const noexcept {
+    return secondary_;
+  }
   // Number of trap-firing compensation events so far.
-  size_t traps_fired() const { return traps_fired_; }
-  size_t traps_armed() const { return traps_.PopCount(); }
+  [[nodiscard]] size_t traps_fired() const noexcept { return traps_fired_; }
+  [[nodiscard]] size_t traps_armed() const noexcept {
+    return traps_.PopCount();
+  }
 
   // 'SBtm' wire frame (io/wire.h): {options, varint traps fired, embedded
   // primary and secondary SBF frames, trap bits, owner table sorted by
   // position}. The sort makes the bytes canonical — the in-memory owner
   // table is unordered.
-  std::vector<uint8_t> Serialize() const override;
+  [[nodiscard]] std::vector<uint8_t> Serialize() const override;
   static StatusOr<TrappingRmSbf> Deserialize(wire::ByteSpan bytes);
+
+  // Audits the trap machinery: the trap bit vector sized to primary m,
+  // trap_owner_ holding exactly one entry per armed trap with in-range
+  // positions, plus both embedded SBFs' own validators.
+  Status CheckInvariants() const override;
 
  private:
   void FireTrapsHitBy(uint64_t key, const uint64_t* positions);

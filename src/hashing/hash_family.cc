@@ -21,12 +21,12 @@ HashFamily::HashFamily(uint32_t k, uint64_t m, uint64_t seed, Kind kind)
   }
 }
 
-bool HashFamily::Compatible(const HashFamily& other) const {
+bool HashFamily::Compatible(const HashFamily& other) const noexcept {
   return k_ == other.k_ && m_ == other.m_ && seed_ == other.seed_ &&
          kind_ == other.kind_;
 }
 
-uint64_t HashFamily::Position(uint64_t key, uint32_t i) const {
+uint64_t HashFamily::Position(uint64_t key, uint32_t i) const noexcept {
   SBF_DCHECK(i < k_);
   if (kind_ == Kind::kModuloMultiply) {
     // Keys are mixed first so that structured inputs (0,1,2,...) exercise
@@ -42,7 +42,7 @@ uint64_t HashFamily::Position(uint64_t key, uint32_t i) const {
   return (g1 % m_ + step) % m_;
 }
 
-void HashFamily::Positions(uint64_t key, uint64_t* out) const {
+void HashFamily::Positions(uint64_t key, uint64_t* out) const noexcept {
   if (kind_ == Kind::kModuloMultiply) {
     const uint64_t mixed = Mix64((key ^ seed_) + 0x9E3779B97F4A7C15ull);
     for (uint32_t i = 0; i < k_; ++i) out[i] = mm_[i](mixed);

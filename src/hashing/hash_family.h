@@ -31,21 +31,21 @@ class HashFamily {
   HashFamily(uint32_t k, uint64_t m, uint64_t seed,
              Kind kind = Kind::kModuloMultiply);
 
-  uint32_t k() const { return k_; }
-  uint64_t m() const { return m_; }
-  uint64_t seed() const { return seed_; }
-  Kind kind() const { return kind_; }
+  [[nodiscard]] uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] uint64_t m() const noexcept { return m_; }
+  [[nodiscard]] uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
 
   // True iff `other` produces identical positions for every key.
-  bool Compatible(const HashFamily& other) const;
+  [[nodiscard]] bool Compatible(const HashFamily& other) const noexcept;
 
   // Returns h_i(key), 0 <= i < k.
-  uint64_t Position(uint64_t key, uint32_t i) const;
+  [[nodiscard]] uint64_t Position(uint64_t key, uint32_t i) const noexcept;
 
   // Fills `out[0..k)` with the k positions for `key`. `out` must have room
   // for k entries (k <= kMaxK, so a stack array always suffices). The
   // common fast path for filter operations.
-  void Positions(uint64_t key, uint64_t* out) const;
+  void Positions(uint64_t key, uint64_t* out) const noexcept;
 
   // Convenience for string keys: fingerprints then hashes.
   void PositionsForBytes(std::string_view key, uint64_t* out) const {

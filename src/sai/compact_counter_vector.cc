@@ -44,7 +44,7 @@ size_t CompactCounterVector::PositionOf(size_t i) const {
   return pos;
 }
 
-uint64_t CompactCounterVector::Get(size_t i) const {
+uint64_t CompactCounterVector::Get(size_t i) const noexcept {
   SBF_DCHECK(i < m_);
   return bits_.GetBits(PositionOf(i), widths_[i]);
 }
@@ -218,6 +218,45 @@ StatusOr<std::unique_ptr<CounterVector>> CompactCounterVector::Deserialize(
   status = in.ExpectEnd("compact counter vector");
   if (!status.ok()) return status;
   return std::unique_ptr<CounterVector>(std::move(cv));
+}
+
+
+Status CompactCounterVector::CheckInvariants() const {
+  if (group_start_.size() != num_groups_ + 1 || used_.size() != num_groups_ ||
+      widths_.size() != m_) {
+    return Status::FailedPrecondition(
+        "compact backing: bookkeeping vector sizes disagree with m");
+  }
+  if (group_start_[0] != 0 || group_start_[num_groups_] != bits_.size_bits()) {
+    return Status::FailedPrecondition(
+        "compact backing: group offsets do not span the base array");
+  }
+  for (size_t g = 0; g < num_groups_; ++g) {
+    if (group_start_[g] > group_start_[g + 1]) {
+      return Status::FailedPrecondition(
+          "compact backing: group offsets not monotone");
+    }
+    uint64_t width_sum = 0;
+    const size_t begin = g * options_.group_size;
+    const size_t end = begin + NumItemsInGroup(g);
+    for (size_t i = begin; i < end; ++i) {
+      if (widths_[i] < 1 || widths_[i] > 64) {
+        return Status::FailedPrecondition(
+            "compact backing: counter width out of [1, 64]");
+      }
+      width_sum += widths_[i];
+    }
+    if (width_sum != used_[g]) {
+      return Status::FailedPrecondition(
+          "compact backing: group used-bit count disagrees with the sum of "
+          "its counter widths");
+    }
+    if (used_[g] > RegionBits(g)) {
+      return Status::FailedPrecondition(
+          "compact backing: group payload overflows its region");
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace sbf

@@ -49,8 +49,8 @@ class CompactCounterVector final : public CounterVector {
       : CompactCounterVector(m, Options()) {}
   CompactCounterVector(size_t m, Options options);
 
-  size_t size() const override { return m_; }
-  uint64_t Get(size_t i) const override;
+  [[nodiscard]] size_t size() const noexcept override { return m_; }
+  [[nodiscard]] uint64_t Get(size_t i) const noexcept override;
   void Set(size_t i, uint64_t value) override;
   // Fast path for the common no-widening case: one position scan instead
   // of the two a Get+Set pair would perform.
@@ -66,6 +66,10 @@ class CompactCounterVector final : public CounterVector {
   // bytes are still determined by (options, values), so re-serialization
   // is byte-identical.
   std::vector<uint8_t> Serialize() const override;
+
+  // Audits offset monotonicity, group bookkeeping vs. widths, and that
+  // every stored value fits its recorded width (see DESIGN.md §7).
+  Status CheckInvariants() const override;
   static StatusOr<std::unique_ptr<CounterVector>> Deserialize(
       wire::ByteSpan bytes);
 
@@ -93,7 +97,7 @@ class CompactCounterVector final : public CounterVector {
   // Total bits moved by push-to-slack shifts (excluding rebuilds).
   uint64_t pushed_bits_total() const { return pushed_bits_; }
   // Current width of counter i.
-  uint32_t WidthOf(size_t i) const { return widths_[i]; }
+  [[nodiscard]] uint32_t WidthOf(size_t i) const { return widths_[i]; }
 
   // Rebuilds immediately with tightened widths and fresh slack.
   void ForceRebuild() { Rebuild(); }

@@ -54,10 +54,10 @@ class CounterVector {
   virtual ~CounterVector() = default;
 
   // Number of counters (the SBF's m).
-  virtual size_t size() const = 0;
+  [[nodiscard]] virtual size_t size() const = 0;
 
   // Value of counter i.
-  virtual uint64_t Get(size_t i) const = 0;
+  [[nodiscard]] virtual uint64_t Get(size_t i) const = 0;
 
   // Sets counter i to `value`.
   virtual void Set(size_t i, uint64_t value) = 0;
@@ -66,7 +66,7 @@ class CounterVector {
   // wrapping or aborting (saturation governance): a clamped counter keeps
   // the SBF's one-sided guarantee — estimates may overshoot but a present
   // item is never reported below the clamp.
-  virtual uint64_t MaxValue() const { return ~uint64_t{0}; }
+  [[nodiscard]] virtual uint64_t MaxValue() const noexcept { return ~uint64_t{0}; }
 
   // Adds `delta` to counter i, clamping at MaxValue() (the clamp is
   // tallied in saturation()). Overridable for backings with a cheaper
@@ -111,33 +111,42 @@ class CounterVector {
 
   // Total memory footprint in bits, including index/overhead structures.
   // This is what the storage experiments (Figures 13-15) report.
-  virtual size_t MemoryUsageBits() const = 0;
+  [[nodiscard]] virtual size_t MemoryUsageBits() const = 0;
 
   // Deep copy preserving the concrete backing.
-  virtual std::unique_ptr<CounterVector> Clone() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<CounterVector> Clone() const = 0;
 
   // Short implementation name for benchmark tables.
-  virtual std::string Name() const = 0;
+  [[nodiscard]] virtual std::string Name() const = 0;
 
   // Complete self-describing wire frame (io/wire.h) for this backing:
   // {magic, version, size, crc} header + the backing's parameters and
   // counter payload. Filter-level serialization embeds this frame, so the
   // storage layer owns its own encoding. Round-trips byte-identically
   // through DeserializeCounterVector.
-  virtual std::vector<uint8_t> Serialize() const = 0;
+  [[nodiscard]] virtual std::vector<uint8_t> Serialize() const = 0;
+
+  // Structural self-check of the backing's layout invariants — bounds,
+  // offset monotonicity, width/value agreement (the SBF_AUDIT validator
+  // layer; see DESIGN.md §7). Always compiled; additionally invoked at API
+  // boundaries in -DSBF_AUDIT builds. Returns OK or a FailedPrecondition
+  // naming the violated invariant.
+  [[nodiscard]] virtual Status CheckInvariants() const { return Status::Ok(); }
 
   // Sum of all counters (k*M for an SBF under Minimum Selection). Routed
   // through GetMany in index chunks so every backing sums with its
   // devirtualized accessor instead of one virtual Get per counter.
-  uint64_t Total() const;
+  [[nodiscard]] uint64_t Total() const;
 
   // One sweep over the counters tallying occupancy for health reporting,
   // chunked through GetMany like Total().
-  OccupancyCounts ScanOccupancy() const;
+  [[nodiscard]] OccupancyCounts ScanOccupancy() const;
 
   // Clamp-event tallies since construction (clones inherit the tallies of
   // their source; deserialized vectors start at zero).
-  const SaturationStats& saturation() const { return stats_; }
+  [[nodiscard]] const SaturationStats& saturation() const noexcept {
+    return stats_;
+  }
 
   // Folds `other` into these tallies. Online expansion rebuilds the
   // backing and uses this to carry the filter's clamp history across the

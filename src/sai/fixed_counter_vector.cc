@@ -16,7 +16,7 @@ FixedWidthCounterVector::FixedWidthCounterVector(size_t m, uint32_t width_bits,
                 "counter width must be in [1, 64]");
 }
 
-void FixedWidthCounterVector::Decrement(size_t i, uint64_t delta) {
+void FixedWidthCounterVector::Decrement(size_t i, uint64_t delta) noexcept {
   const uint64_t v = Get(i);
   if (sticky_ && v == max_value_) return;  // stuck counter, never decremented
   if (delta > v) {
@@ -91,12 +91,39 @@ StatusOr<std::unique_ptr<CounterVector>> FixedWidthCounterVector::Deserialize(
   return std::unique_ptr<CounterVector>(std::move(cv));
 }
 
-size_t FixedWidthCounterVector::SaturatedCount() const {
+size_t FixedWidthCounterVector::SaturatedCount() const noexcept {
   size_t count = 0;
   for (size_t i = 0; i < m_; ++i) {
     if (Get(i) == max_value_) ++count;
   }
   return count;
+}
+
+
+Status FixedWidthCounterVector::CheckInvariants() const {
+  if (width_ < 1 || width_ > 64) {
+    return Status::FailedPrecondition(
+        "fixed backing: counter width out of [1, 64]");
+  }
+  const uint64_t expect_max =
+      width_ == 64 ? ~uint64_t{0} : (uint64_t{1} << width_) - 1;
+  if (max_value_ != expect_max) {
+    return Status::FailedPrecondition(
+        "fixed backing: max_value disagrees with the counter width");
+  }
+  if (bits_.size_bits() != m_ * width_) {
+    return Status::FailedPrecondition(
+        "fixed backing: bit array size disagrees with m * width");
+  }
+  // The packed words end mid-word unless m*width is a multiple of 64; the
+  // trailing padding must stay zero (Serialize ships the words verbatim,
+  // and Deserialize rejects frames with set padding).
+  const size_t used = m_ * width_;
+  if (used % 64 != 0 && (bits_.words()[used / 64] >> (used % 64)) != 0) {
+    return Status::FailedPrecondition(
+        "fixed backing: set bits in the tail padding");
+  }
+  return Status::Ok();
 }
 
 }  // namespace sbf

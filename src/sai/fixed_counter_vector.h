@@ -21,10 +21,10 @@ class FixedWidthCounterVector final : public CounterVector {
   FixedWidthCounterVector(size_t m, uint32_t width_bits,
                           bool sticky_saturation = false);
 
-  size_t size() const override { return m_; }
+  [[nodiscard]] size_t size() const noexcept override { return m_; }
   // Get/Set/Increment are inline so the batched kernels — which call them
   // through a concrete (final) pointer — devirtualize AND inline the probe.
-  uint64_t Get(size_t i) const override {
+  [[nodiscard]] uint64_t Get(size_t i) const noexcept override {
     SBF_DCHECK(i < m_);
     return bits_.GetBits(i * width_, width_);
   }
@@ -32,7 +32,7 @@ class FixedWidthCounterVector final : public CounterVector {
   // from public inputs (narrow widths under heavy traffic, Minimal
   // Increase lifts), so it must degrade gracefully, not abort. The clamp
   // keeps the one-sided guarantee: the counter reads max, never less.
-  void Set(size_t i, uint64_t value) override {
+  void Set(size_t i, uint64_t value) noexcept override {
     SBF_DCHECK(i < m_);
     if (value > max_value_) {
       value = max_value_;
@@ -40,7 +40,7 @@ class FixedWidthCounterVector final : public CounterVector {
     }
     bits_.SetBits(i * width_, width_, value);
   }
-  void Increment(size_t i, uint64_t delta = 1) override {
+  void Increment(size_t i, uint64_t delta = 1) noexcept override {
     const uint64_t v = Get(i);
     if (delta > max_value_ - v) {
       bits_.SetBits(i * width_, width_, max_value_);
@@ -49,16 +49,17 @@ class FixedWidthCounterVector final : public CounterVector {
     }
     bits_.SetBits(i * width_, width_, v + delta);
   }
-  void Decrement(size_t i, uint64_t delta = 1) override;
+  void Decrement(size_t i, uint64_t delta = 1) noexcept override;
   void Reset() override;
   size_t MemoryUsageBits() const override;
   std::unique_ptr<CounterVector> Clone() const override;
   std::string Name() const override;
 
-  void PrefetchCounter(size_t i) const override {
+  void PrefetchCounter(size_t i) const noexcept override {
     SBF_PREFETCH(bits_.words() + (i * width_ >> 6));
   }
-  void GetMany(const uint64_t* idx, size_t n, uint64_t* out) const override {
+  void GetMany(const uint64_t* idx, size_t n,
+               uint64_t* out) const noexcept override {
     for (size_t j = 0; j < n; ++j) out[j] = Get(idx[j]);
   }
 
@@ -66,24 +67,31 @@ class FixedWidthCounterVector final : public CounterVector {
   // The words are the in-memory layout verbatim (little-endian on the
   // wire), so this is the fast byte-exact path among the backings.
   std::vector<uint8_t> Serialize() const override;
+  Status CheckInvariants() const override;
   static StatusOr<std::unique_ptr<CounterVector>> Deserialize(
       wire::ByteSpan bytes);
 
-  uint64_t MaxValue() const override { return max_value_; }
+  [[nodiscard]] uint64_t MaxValue() const noexcept override {
+    return max_value_;
+  }
 
-  uint32_t width_bits() const { return width_; }
-  uint64_t max_value() const { return max_value_; }
-  bool sticky_saturation() const { return sticky_; }
+  [[nodiscard]] uint32_t width_bits() const noexcept { return width_; }
+  [[nodiscard]] uint64_t max_value() const noexcept { return max_value_; }
+  [[nodiscard]] bool sticky_saturation() const noexcept { return sticky_; }
 
   // Number of counters currently pinned at max_value(); nonzero only with
   // saturation enabled. Exposed so tests can observe overflow behaviour.
-  size_t SaturatedCount() const;
+  [[nodiscard]] size_t SaturatedCount() const noexcept;
 
   // Raw backing words. For the 64-bit-wide configuration counter i is
   // exactly word i — the layout the concurrent frontend's std::atomic_ref
   // fast path relies on (core/concurrent_sbf.h).
-  const uint64_t* words() const { return bits_.words(); }
-  uint64_t* mutable_words() { return bits_.mutable_words(); }
+  [[nodiscard]] const uint64_t* words() const noexcept {
+    return bits_.words();
+  }
+  [[nodiscard]] uint64_t* mutable_words() noexcept {
+    return bits_.mutable_words();
+  }
 
  private:
   size_t m_;

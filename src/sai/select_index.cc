@@ -31,4 +31,25 @@ size_t SelectIndex::Offset(size_t i) const {
   return select_.Select1(i);
 }
 
+
+Status SelectIndex::CheckInvariants() const {
+  if (m_ < 1) {
+    return Status::FailedPrecondition("select index: no strings");
+  }
+  if (markers_.size_bits() != total_bits_) {
+    return Status::FailedPrecondition(
+        "select index: marker vector size disagrees with total bits");
+  }
+  // Exactly one marker per string, and string 0 starts at offset 0.
+  if (markers_.PopCount() != m_) {
+    return Status::FailedPrecondition(
+        "select index: marker count disagrees with the string count");
+  }
+  if (!markers_.GetBit(0)) {
+    return Status::FailedPrecondition(
+        "select index: first string does not start at offset 0");
+  }
+  return select_.CheckInvariants();
+}
+
 }  // namespace sbf

@@ -6,6 +6,7 @@
 
 #include "bitstream/bit_vector.h"
 #include "bitstream/rank_select.h"
+#include "util/status.h"
 
 namespace sbf {
 
@@ -28,18 +29,22 @@ class SelectIndex {
   SelectIndex(const SelectIndex&) = delete;
   SelectIndex& operator=(const SelectIndex&) = delete;
 
-  size_t num_strings() const { return m_; }
-  size_t total_bits() const { return total_bits_; }
+  [[nodiscard]] size_t num_strings() const noexcept { return m_; }
+  [[nodiscard]] size_t total_bits() const noexcept { return total_bits_; }
 
   // Bit offset of string i; Offset(m) == N.
-  size_t Offset(size_t i) const;
+  [[nodiscard]] size_t Offset(size_t i) const;
 
   // Index overhead in bits: the marker vector plus the rank/select
   // directory (the base strings are not included, as in
   // StringArrayIndex::IndexBits).
-  size_t IndexBits() const {
+  [[nodiscard]] size_t IndexBits() const noexcept {
     return markers_.capacity_bits() + select_.OverheadBits();
   }
+
+  // Audits the marker vector (one marker per string, marker 0 set, total
+  // length spanned) and the select directory's recount.
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   size_t m_;

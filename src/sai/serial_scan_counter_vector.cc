@@ -209,4 +209,37 @@ StatusOr<std::unique_ptr<CounterVector>> SerialScanCounterVector::Deserialize(
   return std::unique_ptr<CounterVector>(std::move(cv));
 }
 
+
+Status SerialScanCounterVector::CheckInvariants() const {
+  if (group_start_.size() != num_groups_ + 1 || used_.size() != num_groups_) {
+    return Status::FailedPrecondition(
+        "serial-scan backing: bookkeeping vector sizes disagree with m");
+  }
+  if (group_start_[0] != 0 || group_start_[num_groups_] != bits_.size_bits()) {
+    return Status::FailedPrecondition(
+        "serial-scan backing: group offsets do not span the base array");
+  }
+  std::vector<uint64_t> values(options_.group_size);
+  for (size_t g = 0; g < num_groups_; ++g) {
+    if (group_start_[g] > group_start_[g + 1]) {
+      return Status::FailedPrecondition(
+          "serial-scan backing: group offsets not monotone");
+    }
+    if (used_[g] > RegionBits(g)) {
+      return Status::FailedPrecondition(
+          "serial-scan backing: group payload overflows its region");
+    }
+    // Decode the group and re-encode: the recorded used-bit count must be
+    // exactly the encoded size of the values the group decodes to.
+    const size_t count = NumItemsInGroup(g);
+    DecodeGroup(g, values.data());
+    if (EncodedSize(values.data(), count) != used_[g]) {
+      return Status::FailedPrecondition(
+          "serial-scan backing: group used-bit count disagrees with a "
+          "re-encode of its decoded values");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace sbf

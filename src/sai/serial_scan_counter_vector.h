@@ -42,8 +42,8 @@ class SerialScanCounterVector final : public CounterVector {
       : SerialScanCounterVector(m, Options()) {}
   SerialScanCounterVector(size_t m, Options options);
 
-  size_t size() const override { return m_; }
-  uint64_t Get(size_t i) const override;
+  [[nodiscard]] size_t size() const noexcept override { return m_; }
+  [[nodiscard]] uint64_t Get(size_t i) const override;
   void Set(size_t i, uint64_t value) override;
   void Reset() override;
   size_t MemoryUsageBits() const override;
@@ -55,6 +55,10 @@ class SerialScanCounterVector final : public CounterVector {
   // Like the compact backing, values are serialized and the grouped
   // layout is rebuilt on load.
   std::vector<uint8_t> Serialize() const override;
+
+  // Audits offset monotonicity, per-group used-bit bookkeeping vs. a
+  // re-encode of the decoded values, and slice-layout bounds.
+  Status CheckInvariants() const override;
   static StatusOr<std::unique_ptr<CounterVector>> Deserialize(
       wire::ByteSpan bytes);
 

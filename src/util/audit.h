@@ -1,0 +1,37 @@
+#ifndef SBF_UTIL_AUDIT_H_
+#define SBF_UTIL_AUDIT_H_
+
+#include "util/check.h"
+#include "util/status.h"
+
+// Boundary hook of the -DSBF_AUDIT build mode (see DESIGN.md §7).
+//
+// Every structure exposes a `Status CheckInvariants() const` validator that
+// is *always* compiled — `sbf_tool audit <frame>` runs it on deserialized
+// frames in any build, and tests call it directly. What the build mode
+// changes is *when* the validators run implicitly: in audit builds,
+// SBF_AUDIT_INVARIANTS(x) executes x.CheckInvariants() and aborts with the
+// violated invariant's message; in normal builds it expands to nothing and
+// does not evaluate its argument, so hot paths carry zero cost.
+//
+// Placement policy: the hook guards the *expensive* API boundaries where a
+// structure's whole layout changes hands — construction, Deserialize,
+// Serialize, ExpandTo, Merge — never per-operation hot loops. The
+// validators are O(m)-ish sweeps; running them per Insert would turn an
+// O(k) operation into an O(m) one and make audit builds useless for the
+// differential suites that hammer millions of operations.
+
+#ifdef SBF_AUDIT
+#define SBF_AUDIT_INVARIANTS(obj)                                     \
+  do {                                                                \
+    const ::sbf::Status sbf_audit_status = (obj).CheckInvariants();   \
+    SBF_CHECK_MSG(sbf_audit_status.ok(),                              \
+                  sbf_audit_status.message().c_str());                \
+  } while (0)
+#else
+#define SBF_AUDIT_INVARIANTS(obj) \
+  do {                            \
+  } while (0)
+#endif
+
+#endif  // SBF_UTIL_AUDIT_H_

@@ -12,7 +12,12 @@ namespace sbf {
 // Lightweight status object for recoverable failures (deserialization,
 // incompatible-parameter algebra). Modeled on absl::Status but
 // dependency-free.
-class Status {
+//
+// The class itself is [[nodiscard]]: every function returning a Status (or
+// a StatusOr below) makes the caller handle or explicitly void-cast the
+// result — a silently dropped deserialization or expansion failure is
+// exactly the bug class this contract exists to keep out of the tree.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -48,12 +53,14 @@ class Status {
     return Status(Code::kResourceExhausted, std::move(msg));
   }
 
-  bool ok() const { return code_ == Code::kOk; }
-  Code code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const noexcept { return code_ == Code::kOk; }
+  [[nodiscard]] Code code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
 
   // Human-readable rendering, e.g. "INVALID_ARGUMENT: mismatched k".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   Code code_;
@@ -63,17 +70,17 @@ class Status {
 // Value-or-status result. `value()` aborts if not ok; callers check `ok()`.
 // T need not be default-constructible.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
     SBF_CHECK_MSG(!status_.ok(), "StatusOr(Status) requires a non-OK status");
   }
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const noexcept { return status_.ok(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     SBF_CHECK_MSG(ok(), status_.message().c_str());
     return *value_;
   }
