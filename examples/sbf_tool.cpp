@@ -14,6 +14,10 @@
 //                                           verdict (any filter frame)
 //   sbf_tool load   <file>                  inspect any wire frame: envelope,
 //                                           filter type, round-trip check
+//   sbf_tool audit  <file>                  deserialize any frame and run its
+//                                           structural validator
+//                                           (CheckInvariants); exit 0 iff the
+//                                           structure passes
 //   sbf_tool save   <in> <out>              load any filter frame and save
 //                                           its canonical re-serialization
 //
@@ -31,8 +35,10 @@
 #include <string>
 #include <vector>
 
+#include "core/bloom_filter.h"
 #include "core/sbf_algebra.h"
 #include "core/spectral_bloom_filter.h"
+#include "sai/counter_vector.h"
 #include "io/filter_codec.h"
 #include "io/wire.h"
 #include "util/health.h"
@@ -224,6 +230,47 @@ int CmdLoad(int argc, char** argv) {
   return 0;
 }
 
+// Deserializes any library frame — filter frontends, the plain Bloom
+// filter, or a bare counter-vector backing — and runs its structural
+// validator. This is the always-available entry point of the SBF_AUDIT
+// layer (DESIGN.md §7): the validators are compiled into every build, so a
+// deployment can vet a frame it received before serving from it.
+int CmdAudit(int argc, char** argv) {
+  if (argc < 3) return Fail("audit needs a file path");
+  std::vector<uint8_t> bytes;
+  if (!ReadFile(argv[2], &bytes)) return Fail("cannot read input");
+
+  const uint32_t magic = sbf::wire::PeekMagic(bytes);
+  std::string name;
+  sbf::Status verdict = sbf::Status::Ok();
+  if (magic == sbf::wire::kMagicBloomFilter) {
+    auto filter = sbf::BloomFilter::Deserialize(bytes);
+    if (!filter.ok()) return Fail(filter.status().ToString().c_str());
+    name = "bloom";
+    verdict = filter.value().CheckInvariants();
+  } else if (magic == sbf::wire::kMagicFixedCounters ||
+             magic == sbf::wire::kMagicCompactCounters ||
+             magic == sbf::wire::kMagicSerialScanCounters) {
+    auto counters = sbf::DeserializeCounterVector(bytes);
+    if (!counters.ok()) return Fail(counters.status().ToString().c_str());
+    name = counters.value()->Name();
+    verdict = counters.value()->CheckInvariants();
+  } else {
+    auto filter = sbf::DeserializeFilter(bytes);
+    if (!filter.ok()) return Fail(filter.status().ToString().c_str());
+    name = filter.value()->Name();
+    verdict = filter.value()->CheckInvariants();
+  }
+  if (!verdict.ok()) {
+    std::fprintf(stderr, "sbf_tool: audit %s: %s: %s\n", argv[2],
+                 name.c_str(), verdict.ToString().c_str());
+    return 4;
+  }
+  std::printf("audit %s: %s: all structural invariants hold\n", argv[2],
+              name.c_str());
+  return 0;
+}
+
 int CmdSave(int argc, char** argv) {
   if (argc < 4) return Fail("save needs an input and an output path");
   std::vector<uint8_t> bytes;
@@ -262,6 +309,7 @@ int SelfDemo(const char* binary) {
   // The generic wire path: inspect the frame, re-save its canonical bytes,
   // and confirm the copy is identical.
   run(self + " load " + dir + "/all.sbf");
+  run(self + " audit " + dir + "/all.sbf");
   run(self + " save " + dir + "/all.sbf " + dir + "/all.copy.sbf");
   run("cmp -s " + dir + "/all.sbf " + dir + "/all.copy.sbf");
 
@@ -284,6 +332,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "info") == 0) return CmdInfo(argc, argv);
   if (std::strcmp(argv[1], "health") == 0) return CmdHealth(argc, argv);
   if (std::strcmp(argv[1], "load") == 0) return CmdLoad(argc, argv);
+  if (std::strcmp(argv[1], "audit") == 0) return CmdAudit(argc, argv);
   if (std::strcmp(argv[1], "save") == 0) return CmdSave(argc, argv);
   std::printf(
       "usage: %s build <out> [m] [k] < keys\n"
@@ -293,7 +342,9 @@ int main(int argc, char** argv) {
       "       %s info  <filter>\n"
       "       %s health <filter>   (exit 0 healthy / 2 degraded / 3 saturated)\n"
       "       %s load  <file>\n"
+      "       %s audit <file>      (exit 0 iff structural invariants hold)\n"
       "       %s save  <in> <out>\n",
-      argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
+      argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
+      argv[0]);
   return std::strcmp(argv[1], "help") == 0 ? 0 : 1;
 }
