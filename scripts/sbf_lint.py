@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules for libsbf (run by the CI lint job).
+
+Four structural rules that generic linters cannot express:
+
+  1. wire-ownership  — raw byte I/O (file streams, manual little-endian
+     byte packing) is confined to src/io/; everything else must go through
+     the wire::Writer/Reader layer so the framed {magic, version, size,
+     crc32c} envelope stays the single encoding authority.
+  2. hot-path-checks — the always-on SBF_CHECK macros are banned from the
+     designated hot-path headers (batch kernels, BitVector accessors,
+     fixed-width counter accessors): per-probe preconditions there must be
+     SBF_DCHECK, which compiles out of release builds.
+  3. golden-coverage — every kMagic frame tag declared in src/io/wire.h
+     must be pinned by at least one golden blob under tests/golden/ whose
+     leading four bytes are that magic. A new frame type without a golden
+     is exactly how silent wire-format drift starts.
+  4. kernel-allocations — the batch-kernel pipelines (src/core/
+     batch_kernels.h) must not allocate: no new/make_unique/std::vector/
+     std::string/push_back/resize/reserve. The kernels' contract is that
+     position rings live on the stack (W * kMaxK entries).
+
+Run from anywhere inside the repository:  python3 scripts/sbf_lint.py
+Self-test (used by ctest):                python3 scripts/sbf_lint.py --self-test
+Exit status: 0 clean, 1 violations, 2 internal error.
+"""
+
+import pathlib
+import re
+import struct
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+GOLDEN_DIR = REPO / "tests" / "golden"
+WIRE_HEADER = SRC / "io" / "wire.h"
+
+# Rule 2: headers whose accessors sit inside per-probe loops.
+HOT_PATH_FILES = [
+    SRC / "core" / "batch_kernels.h",
+    SRC / "bitstream" / "bit_vector.h",
+    SRC / "sai" / "fixed_counter_vector.h",
+    SRC / "util" / "prefetch.h",
+]
+
+# Rule 4: the batch-kernel pipelines.
+KERNEL_FILES = [SRC / "core" / "batch_kernels.h"]
+
+RAW_IO_PATTERNS = [
+    (re.compile(r"std::[io]fstream|std::fstream"), "file stream"),
+    (re.compile(r"\bfopen\s*\("), "fopen"),
+    (re.compile(r"\bfread\s*\("), "fread"),
+    (re.compile(r"\bfwrite\s*\("), "fwrite"),
+    # Manual little-endian byte extraction, e.g. (v >> 8) & 0xFF.
+    (re.compile(r">>\s*(?:8|16|24|32|40|48|56)\s*\)?\s*&\s*0x[fF]{2}\b"),
+     "manual byte packing"),
+]
+
+CHECK_PATTERN = re.compile(r"\bSBF_CHECK(?:_MSG)?\s*\(")
+
+ALLOC_PATTERNS = [
+    (re.compile(r"\bnew\s"), "new"),
+    (re.compile(r"std::make_unique|std::make_shared"), "make_unique/shared"),
+    (re.compile(r"std::vector\s*<"), "std::vector"),
+    (re.compile(r"std::string\b"), "std::string"),
+    (re.compile(r"\.push_back\s*\(|\.emplace_back\s*\("), "push_back"),
+    (re.compile(r"\.resize\s*\(|\.reserve\s*\("), "resize/reserve"),
+    (re.compile(r"\bmalloc\s*\("), "malloc"),
+]
+
+MAGIC_DECL = re.compile(
+    r"kMagic\w+\s*=\s*FourCc\('(.)',\s*'(.)',\s*'(.)',\s*'(.)'\)")
+
+
+def source_files(root):
+    for ext in ("*.cc", "*.h", "*.cpp"):
+        yield from root.rglob(ext)
+
+
+def iter_code_lines(path):
+    """Yields (lineno, line) with block/line comments stripped."""
+    in_block = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if in_block:
+            end = line.find("*/")
+            if end == -1:
+                continue
+            line = line[end + 2:]
+            in_block = False
+        while True:
+            start = line.find("/*")
+            if start == -1:
+                break
+            end = line.find("*/", start + 2)
+            if end == -1:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + line[end + 2:]
+        cut = line.find("//")
+        if cut != -1:
+            line = line[:cut]
+        yield lineno, line
+
+
+def check_wire_ownership(violations):
+    for path in source_files(SRC):
+        if SRC / "io" in path.parents:
+            continue
+        for lineno, line in iter_code_lines(path):
+            # Console output is not wire I/O.
+            if "stdout" in line or "stderr" in line:
+                continue
+            for pattern, what in RAW_IO_PATTERNS:
+                if pattern.search(line):
+                    violations.append(
+                        f"{path.relative_to(REPO)}:{lineno}: "
+                        f"wire-ownership: {what} outside src/io/ — encode "
+                        f"through wire::Writer/Reader")
+
+
+def check_hot_path_checks(violations):
+    for path in HOT_PATH_FILES:
+        for lineno, line in iter_code_lines(path):
+            if CHECK_PATTERN.search(line):
+                violations.append(
+                    f"{path.relative_to(REPO)}:{lineno}: "
+                    f"hot-path-checks: SBF_CHECK in a hot-path header — "
+                    f"use SBF_DCHECK for per-probe preconditions")
+
+
+def check_golden_coverage(violations):
+    declared = {}
+    for match in MAGIC_DECL.finditer(WIRE_HEADER.read_text()):
+        magic = struct.unpack("<I", "".join(match.groups()).encode())[0]
+        declared[magic] = "".join(match.groups())
+    covered = set()
+    for blob in sorted(GOLDEN_DIR.glob("*.bin")):
+        head = blob.read_bytes()[:4]
+        if len(head) == 4:
+            covered.add(struct.unpack("<I", head)[0])
+    for magic, tag in sorted(declared.items()):
+        if magic not in covered:
+            violations.append(
+                f"src/io/wire.h: golden-coverage: frame tag '{tag}' has no "
+                f"golden blob under tests/golden/ — add one (see "
+                f"golden_wire_test.cc regeneration notes)")
+
+
+def check_kernel_allocations(violations):
+    for path in KERNEL_FILES:
+        for lineno, line in iter_code_lines(path):
+            for pattern, what in ALLOC_PATTERNS:
+                if pattern.search(line):
+                    violations.append(
+                        f"{path.relative_to(REPO)}:{lineno}: "
+                        f"kernel-allocations: {what} inside a batch-kernel "
+                        f"pipeline — kernels must not allocate")
+
+
+def run_lint():
+    violations = []
+    check_wire_ownership(violations)
+    check_hot_path_checks(violations)
+    check_golden_coverage(violations)
+    check_kernel_allocations(violations)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"sbf_lint: {len(violations)} violation(s)")
+        return 1
+    print("sbf_lint: clean")
+    return 0
+
+
+def self_test():
+    """Verifies each rule actually fires on a synthetic violation."""
+    import tempfile
+
+    failures = []
+
+    def expect(rule, text, should_fire, label):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".cc", delete=False) as tmp:
+            tmp.write(text)
+            name = pathlib.Path(tmp.name)
+        try:
+            fired = False
+            for lineno, line in iter_code_lines(name):
+                if "stdout" in line or "stderr" in line:
+                    continue
+                for pattern, _ in rule:
+                    if pattern.search(line):
+                        fired = True
+            if fired != should_fire:
+                failures.append(f"{label}: fired={fired}, want {should_fire}")
+        finally:
+            name.unlink()
+
+    expect(RAW_IO_PATTERNS, 'std::ofstream out("x");', True, "raw-io stream")
+    expect(RAW_IO_PATTERNS, "b = (v >> 8) & 0xFF;", True, "raw-io packing")
+    expect(RAW_IO_PATTERNS, "// std::ofstream in a comment", False,
+           "raw-io comment")
+    expect(RAW_IO_PATTERNS, "std::fwrite(s.data(), 1, n, stdout);", False,
+           "raw-io stdout exemption")
+    expect([(CHECK_PATTERN, "check")], "SBF_CHECK(i < m_);", True,
+           "hot-path check")
+    expect([(CHECK_PATTERN, "check")], "SBF_DCHECK(i < m_);", False,
+           "hot-path dcheck allowed")
+    expect(ALLOC_PATTERNS, "std::vector<uint64_t> ring(n);", True,
+           "kernel alloc")
+    expect(ALLOC_PATTERNS, "uint64_t ring[kBatchWindow * kMaxK];", False,
+           "kernel stack array")
+
+    # golden-coverage fires when a magic is missing from the covered set.
+    declared = MAGIC_DECL.findall(WIRE_HEADER.read_text())
+    if not declared:
+        failures.append("golden-coverage: no kMagic declarations parsed")
+    violations = []
+    check_golden_coverage(violations)
+    if violations:
+        failures.append(f"golden-coverage: tree not clean: {violations}")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}")
+        return 1
+    print(f"sbf_lint self-test: all rules fire correctly "
+          f"({len(declared)} frame tags covered)")
+    return 0
+
+
+def main():
+    if "--self-test" in sys.argv:
+        code = self_test()
+        if code != 0:
+            return code
+        return run_lint()
+    return run_lint()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
