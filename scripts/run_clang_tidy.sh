@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the project's clang-tidy gate (.clang-tidy) the same way CI does:
+# over every translation unit in src/, bench/, examples/ and tests/,
+# against a fresh compile database, failing on any diagnostic (the config
+# sets WarningsAsErrors: '*').
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]
+# The build directory defaults to build-tidy and is configured on demand.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-tidy}"
+
+tidy="$(command -v clang-tidy || true)"
+if [[ -z "$tidy" ]]; then
+  echo "run_clang_tidy: clang-tidy not found in PATH" >&2
+  exit 2
+fi
+
+cmake -B "$build" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+
+mapfile -t sources < <(
+  find "$repo/src" "$repo/bench" "$repo/examples" "$repo/tests" \
+    -name '*.cc' -o -name '*.cpp' | sort)
+
+echo "run_clang_tidy: ${#sources[@]} translation units"
+if command -v run-clang-tidy > /dev/null; then
+  run-clang-tidy -p "$build" -quiet "${sources[@]}"
+else
+  "$tidy" -p "$build" --quiet "${sources[@]}"
+fi
+echo "run_clang_tidy: clean"
