@@ -1,6 +1,7 @@
 #ifndef SBF_BENCH_COMMON_BENCH_JSON_H_
 #define SBF_BENCH_COMMON_BENCH_JSON_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -86,6 +87,55 @@ class BenchJson {
   std::string path_;
   std::vector<std::string> rows_;
 };
+
+// Baseline bookkeeping for scaling sweeps: every multi-threaded bench that
+// reports `speedup_vs_1t` records its 1-thread wall time per sweep cell
+// here and divides later runs of the same cell by it. Keying by the full
+// cell label (e.g. "insert/fixed64/S=16") rather than positionally keeps
+// the speedup honest when sweep loops are reordered; scripts/
+// check_scaling.py consumes the resulting field to gate perf-smoke CI.
+class SpeedupBaseline {
+ public:
+  // Records `seconds` as the baseline for `cell` (call at threads == 1).
+  void Set(const std::string& cell, double seconds) {
+    entries_.emplace_back(cell, seconds);
+  }
+
+  // Baseline / current: > 1 means faster than one thread. Returns 1.0 for
+  // an unknown cell (the 1-thread row itself, by construction).
+  double Speedup(const std::string& cell, double seconds) const {
+    for (const auto& [key, baseline] : entries_) {
+      if (key == cell) return seconds > 0.0 ? baseline / seconds : 0.0;
+    }
+    return 1.0;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+// One worker's timing of its pre-partitioned slice. Aggregating completed
+// per-thread timers after the join (instead of one shared timer read
+// inside the loop, or per-chunk vector copies inside the timed region)
+// keeps measurement overhead out of the contended path; the max across
+// workers approximates the critical path and is what the wall clock
+// should roughly reproduce.
+struct ThreadTiming {
+  double seconds = 0.0;
+  uint64_t ops = 0;
+};
+
+inline double MaxSeconds(const std::vector<ThreadTiming>& timings) {
+  double max_s = 0.0;
+  for (const ThreadTiming& t : timings) max_s = std::max(max_s, t.seconds);
+  return max_s;
+}
+
+inline double SumSeconds(const std::vector<ThreadTiming>& timings) {
+  double sum = 0.0;
+  for (const ThreadTiming& t : timings) sum += t.seconds;
+  return sum;
+}
 
 }  // namespace sbf::bench
 

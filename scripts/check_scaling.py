@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate on the concurrent scaling artifact.
+
+Reads BENCH_concurrent_scaling.json (schema: bench/common/bench_json.h)
+and fails if the 8-thread insert speedup on the lock-free delta path
+(fixed64 backing, Minimum Selection, delta buffers on, the highest shard
+count swept) falls below the threshold. The gate SKIPS — exit 0 with a
+message — when the host has fewer than 8 physical contexts: speedup over
+one thread is unmeasurable on an undersubscribed machine, and a gate that
+fails on every small runner teaches people to ignore it.
+
+Usage: python3 scripts/check_scaling.py [path/to/BENCH_concurrent_scaling.json]
+Exit status: 0 pass or skip, 1 gate failure or missing/invalid artifact.
+"""
+
+import json
+import os
+import sys
+
+THRESHOLD = 3.0
+THREADS = 8
+BACKING = "fixed64"
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_concurrent_scaling.json"
+    cores = os.cpu_count() or 1
+    if cores < THREADS:
+        print(f"check_scaling: SKIP — host has {cores} cpu(s), "
+              f"need >= {THREADS} to measure {THREADS}-thread speedup")
+        return 0
+
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_scaling: cannot read {path}: {e}")
+        return 1
+
+    cells = {}  # shards -> speedup
+    for row in rows:
+        params = row.get("params", {})
+        if (row.get("name") == "insert_batch"
+                and params.get("backing") == BACKING
+                and params.get("delta") == "on"
+                and params.get("threads") == THREADS):
+            cells[params.get("shards")] = params.get("speedup_vs_1t")
+
+    if not cells:
+        print(f"check_scaling: no {THREADS}-thread {BACKING}+delta "
+              f"insert_batch rows in {path}")
+        return 1
+
+    shards = max(cells)
+    speedup = cells[shards]
+    verdict = "PASS" if speedup >= THRESHOLD else "FAIL"
+    print(f"check_scaling: {verdict} — {THREADS}-thread insert speedup on "
+          f"{BACKING}+MS (delta on, {shards} shards) is {speedup:.2f}x "
+          f"(threshold {THRESHOLD:.1f}x)")
+    return 0 if speedup >= THRESHOLD else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,9 +16,16 @@ Four structural rules that generic linters cannot express:
      leading four bytes are that magic. A new frame type without a golden
      is exactly how silent wire-format drift starts.
   4. kernel-allocations — the batch-kernel pipelines (src/core/
-     batch_kernels.h) must not allocate: no new/make_unique/std::vector/
-     std::string/push_back/resize/reserve. The kernels' contract is that
-     position rings live on the stack (W * kMaxK entries).
+     batch_kernels.h) and the delta-buffer accumulate/drain kernels
+     (src/core/delta_kernels.h — the epoch-merge hot path) must not
+     allocate: no new/make_unique/std::vector/std::string/push_back/
+     resize/reserve. The kernels' contract is that position rings live on
+     the stack and delta maps view caller-owned storage.
+  5. tsan-coverage — the CI workflow must keep a dedicated ThreadSanitizer
+     leg that runs BOTH concurrency suites (concurrent_sbf_test and
+     concurrent_delta_test) with retry + timeout flags. Dropping a suite
+     from the TSan leg is how a data race ships while the release leg
+     stays green.
 
 Run from anywhere inside the repository:  python3 scripts/sbf_lint.py
 Self-test (used by ctest):                python3 scripts/sbf_lint.py --self-test
@@ -38,13 +45,23 @@ WIRE_HEADER = SRC / "io" / "wire.h"
 # Rule 2: headers whose accessors sit inside per-probe loops.
 HOT_PATH_FILES = [
     SRC / "core" / "batch_kernels.h",
+    SRC / "core" / "delta_kernels.h",
     SRC / "bitstream" / "bit_vector.h",
     SRC / "sai" / "fixed_counter_vector.h",
     SRC / "util" / "prefetch.h",
 ]
 
-# Rule 4: the batch-kernel pipelines.
-KERNEL_FILES = [SRC / "core" / "batch_kernels.h"]
+# Rule 4: the batch-kernel pipelines and the delta accumulate/drain
+# kernels (every buffered insert and every epoch merge runs through them).
+KERNEL_FILES = [
+    SRC / "core" / "batch_kernels.h",
+    SRC / "core" / "delta_kernels.h",
+]
+
+# Rule 5: the CI workflow and what its TSan leg must keep running.
+CI_WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
+TSAN_REQUIRED_SUITES = ["concurrent_sbf_test", "concurrent_delta_test"]
+TSAN_REQUIRED_FLAGS = ["--repeat until-pass:1", "--timeout 300"]
 
 RAW_IO_PATTERNS = [
     (re.compile(r"std::[io]fstream|std::fstream"), "file stream"),
@@ -158,12 +175,46 @@ def check_kernel_allocations(violations):
                         f"pipeline — kernels must not allocate")
 
 
+def check_tsan_coverage(violations, workflow_text=None):
+    """The dedicated TSan leg must run both concurrency suites with the
+    retry + timeout flags (flaky-looking hangs under TSan must fail the
+    leg, not wedge it)."""
+    text = (CI_WORKFLOW.read_text()
+            if workflow_text is None else workflow_text)
+    # Split the workflow into top-level jobs (keys at two-space indent) and
+    # keep those that are ThreadSanitizer legs: named *tsan* or configured
+    # with sanitize: thread.
+    jobs = {}
+    name = None
+    for line in text.splitlines():
+        m = re.match(r"^  ([A-Za-z0-9_-]+):\s*$", line)
+        if m:
+            name = m.group(1)
+            jobs[name] = []
+        elif name is not None:
+            jobs[name].append(line)
+    tsan_text = "\n".join(
+        "\n".join(body) for job, body in jobs.items()
+        if "tsan" in job or "sanitize: thread" in "\n".join(body))
+    for suite in TSAN_REQUIRED_SUITES:
+        if suite not in tsan_text:
+            violations.append(
+                f".github/workflows/ci.yml: tsan-coverage: {suite} is not "
+                f"exercised by any ThreadSanitizer leg")
+    for flag in TSAN_REQUIRED_FLAGS:
+        if flag not in tsan_text:
+            violations.append(
+                f".github/workflows/ci.yml: tsan-coverage: TSan ctest "
+                f"invocation lost the '{flag}' flag")
+
+
 def run_lint():
     violations = []
     check_wire_ownership(violations)
     check_hot_path_checks(violations)
     check_golden_coverage(violations)
     check_kernel_allocations(violations)
+    check_tsan_coverage(violations)
     for v in violations:
         print(v)
     if violations:
@@ -220,6 +271,21 @@ def self_test():
     check_golden_coverage(violations)
     if violations:
         failures.append(f"golden-coverage: tree not clean: {violations}")
+
+    # tsan-coverage fires when a suite or flag is dropped from the TSan
+    # leg, and stays quiet on the real workflow.
+    synthetic = ("tsan-broken:\n    sanitize: thread\n"
+                 "    run: ctest -R concurrent_sbf_test\n")
+    fired = []
+    check_tsan_coverage(fired, workflow_text=synthetic)
+    if not any("concurrent_delta_test" in v for v in fired):
+        failures.append("tsan-coverage: missing suite did not fire")
+    if not any("--repeat until-pass:1" in v for v in fired):
+        failures.append("tsan-coverage: missing retry flag did not fire")
+    clean = []
+    check_tsan_coverage(clean)
+    if clean:
+        failures.append(f"tsan-coverage: tree not clean: {clean}")
 
     if failures:
         for f in failures:

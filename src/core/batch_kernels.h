@@ -92,6 +92,35 @@ struct PrefetchEachPosition {
   }
 };
 
+// Counting-sorts `keys` by destination shard into caller-provided scratch
+// (ConcurrentSbf's batch grouping step, hoisted here so the sort runs
+// allocation-free over reusable buffers). After the call,
+// `grouped[starts[s] .. starts[s+1])` holds the keys routed to shard s in
+// stable input order, and `order[i]` is the original index of `grouped[i]`
+// (for scattering batch results back to input order). `shard_of(key)` must
+// return a shard index < num_shards. Scratch sizes: grouped, order and
+// shard_scratch hold n entries; starts holds num_shards + 1;
+// cursor_scratch holds num_shards.
+template <typename ShardFn>
+inline void CountingSortByShard(const uint64_t* keys, size_t n,
+                                uint32_t num_shards, ShardFn&& shard_of,
+                                uint64_t* grouped, uint32_t* order,
+                                size_t* starts, uint32_t* shard_scratch,
+                                size_t* cursor_scratch) {
+  for (uint32_t s = 0; s <= num_shards; ++s) starts[s] = 0;
+  for (size_t i = 0; i < n; ++i) {
+    shard_scratch[i] = shard_of(keys[i]);
+    ++starts[shard_scratch[i] + 1];
+  }
+  for (uint32_t s = 0; s < num_shards; ++s) starts[s + 1] += starts[s];
+  for (uint32_t s = 0; s < num_shards; ++s) cursor_scratch[s] = starts[s];
+  for (size_t i = 0; i < n; ++i) {
+    const size_t at = cursor_scratch[shard_scratch[i]]++;
+    grouped[at] = keys[i];
+    order[at] = static_cast<uint32_t>(i);
+  }
+}
+
 }  // namespace sbf
 
 #endif  // SBF_CORE_BATCH_KERNELS_H_

@@ -1,8 +1,10 @@
 #include "core/concurrent_sbf.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "core/batch_kernels.h"
 #include "core/sbf_algebra.h"
@@ -25,6 +27,17 @@ constexpr uint64_t kRouterSalt = 0x5BF707E2D811ull;
 // Counters migrated per exclusive-lock acquisition on the locked expansion
 // path: small enough that readers interleave between chunks.
 constexpr uint64_t kMigrateChunk = 256;
+// Keys routed per delta-batch chunk before the per-shard pending tallies
+// are published (amortizes the shared fetch_adds over the chunk).
+constexpr size_t kDeltaBatchChunk = 512;
+// The epoch staleness clock is consulted once per this many buffered ops.
+constexpr uint64_t kClockCheckMask = 63;
+// Per-thread delta storage is clamped to this many bytes by shrinking the
+// per-shard map capacity (a 4096-shard filter would otherwise cost ~70 MiB
+// per writing thread at the default capacity).
+constexpr size_t kMaxDeltaBytesPerThread = 4u << 20;
+// Bytes per delta-map slot: key + net + occupancy byte.
+constexpr size_t kDeltaSlotBytes = 2 * sizeof(uint64_t) + 1;
 
 // Relaxed atomic load from a logically-const counter word. atomic_ref of a
 // const type is C++26; the const_cast is sound because the referenced word
@@ -56,29 +69,25 @@ uint64_t FoldPosition(HashFamily::Kind kind, uint64_t old_m, uint64_t c,
                                                    : i + rep * old_m;
 }
 
-// Groups `keys` by destination shard: [starts[s], starts[s+1]) of `grouped`
-// are (stably) the keys routed to shard s, ready to feed the per-shard
-// batch kernels as one contiguous slice; `order` holds the original index
-// of each grouped key, for scattering results back into input order.
+// Groups `keys` by destination shard (CountingSortByShard kernel over
+// per-call scratch): [starts[s], starts[s+1]) of `grouped` are (stably)
+// the keys routed to shard s, ready to feed the per-shard batch kernels as
+// one contiguous slice; `order` holds the original index of each grouped
+// key, for scattering results back into input order.
 void GroupByShard(const ConcurrentSbf& filter, const uint64_t* keys, size_t n,
                   std::vector<uint64_t>* grouped, std::vector<uint32_t>* order,
                   std::vector<size_t>* starts) {
   const uint32_t num_shards = filter.num_shards();
-  std::vector<uint32_t> shard_of(n);
-  starts->assign(num_shards + 1, 0);
-  for (size_t i = 0; i < n; ++i) {
-    shard_of[i] = filter.ShardOf(keys[i]);
-    ++(*starts)[shard_of[i] + 1];
-  }
-  for (uint32_t s = 0; s < num_shards; ++s) (*starts)[s + 1] += (*starts)[s];
   grouped->resize(n);
   order->resize(n);
-  std::vector<size_t> cursor(starts->begin(), starts->end() - 1);
-  for (size_t i = 0; i < n; ++i) {
-    const size_t at = cursor[shard_of[i]]++;
-    (*grouped)[at] = keys[i];
-    (*order)[at] = static_cast<uint32_t>(i);
-  }
+  starts->resize(num_shards + 1);
+  std::vector<uint32_t> shard_scratch(n);
+  std::vector<size_t> cursor_scratch(num_shards);
+  CountingSortByShard(
+      keys, n, num_shards,
+      [&filter](uint64_t key) { return filter.ShardOf(key); },
+      grouped->data(), order->data(), starts->data(), shard_scratch.data(),
+      cursor_scratch.data());
 }
 
 // Counter-word view of a filter's kFixed64 backing for the lock-free
@@ -86,6 +95,12 @@ void GroupByShard(const ConcurrentSbf& filter, const uint64_t* keys, size_t n,
 struct AtomicWordView {
   uint64_t* words;
 };
+
+// Magnitude/sign split of a two's-complement net occurrence count.
+bool NetIsAdd(uint64_t net) { return static_cast<int64_t>(net) >= 0; }
+uint64_t NetMagnitude(uint64_t net) {
+  return NetIsAdd(net) ? net : ~net + 1;
+}
 
 }  // namespace
 
@@ -108,6 +123,8 @@ ConcurrentSbf::ConcurrentSbf(ConcurrentSbfOptions options)
       router_salt_(Mix64(options.seed ^ kRouterSalt)),
       lock_free_(options.backing == CounterBacking::kFixed64 &&
                  options.policy == SbfPolicy::kMinimumSelection),
+      delta_active_(options.delta.enabled &&
+                    options.policy == SbfPolicy::kMinimumSelection),
       metrics_(options.num_shards) {
   SBF_CHECK_MSG(options_.m >= 1, "ConcurrentSbf needs m >= 1");
   SBF_CHECK_MSG(
@@ -117,6 +134,74 @@ ConcurrentSbf::ConcurrentSbf(ConcurrentSbfOptions options)
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(ShardOptions(options_, s)));
   }
+  if (delta_active_) {
+    // Sanitize the delta tuning: power-of-two capacity, clamped so one
+    // thread's buffers stay within kMaxDeltaBytesPerThread, merge
+    // threshold within capacity.
+    DeltaBufferOptions& delta = options_.delta;
+    uint32_t capacity = 2;
+    while (capacity < delta.capacity && capacity < (1u << 30)) capacity <<= 1;
+    while (capacity > 2 &&
+           static_cast<size_t>(capacity) * options_.num_shards *
+                   kDeltaSlotBytes >
+               kMaxDeltaBytesPerThread) {
+      capacity >>= 1;
+    }
+    delta.capacity = capacity;
+    delta.merge_keys = std::max<uint32_t>(
+        1, std::min(delta.merge_keys, std::max<uint32_t>(1, capacity / 2)));
+    registry_ = std::make_shared<DeltaRegistry>();
+    registry_->owner = this;
+  }
+}
+
+ConcurrentSbf::~ConcurrentSbf() { DetachRegistry(); }
+
+ConcurrentSbf::ConcurrentSbf(ConcurrentSbf&& other) noexcept
+    : options_(std::move(other.options_)),
+      shard_m_(other.shard_m_),
+      router_salt_(other.router_salt_),
+      lock_free_(other.lock_free_),
+      delta_active_(other.delta_active_),
+      shards_(std::move(other.shards_)),
+      metrics_(std::move(other.metrics_)),
+      registry_(std::move(other.registry_)) {
+  other.delta_active_ = false;
+  if (registry_ != nullptr) {
+    // Buffered deltas reference keys, not positions, so they stay valid
+    // across the move; only the drain target changes.
+    std::lock_guard<std::mutex> lock(registry_->mu);
+    registry_->owner = this;
+  }
+}
+
+ConcurrentSbf& ConcurrentSbf::operator=(ConcurrentSbf&& other) noexcept {
+  if (this == &other) return *this;
+  DetachRegistry();
+  options_ = std::move(other.options_);
+  shard_m_ = other.shard_m_;
+  router_salt_ = other.router_salt_;
+  lock_free_ = other.lock_free_;
+  delta_active_ = other.delta_active_;
+  shards_ = std::move(other.shards_);
+  metrics_ = std::move(other.metrics_);
+  registry_ = std::move(other.registry_);
+  other.delta_active_ = false;
+  if (registry_ != nullptr) {
+    std::lock_guard<std::mutex> lock(registry_->mu);
+    registry_->owner = this;
+  }
+  return *this;
+}
+
+void ConcurrentSbf::DetachRegistry() {
+  if (registry_ == nullptr) return;
+  FlushAllBuffers();
+  {
+    std::lock_guard<std::mutex> lock(registry_->mu);
+    registry_->owner = nullptr;
+  }
+  registry_.reset();
 }
 
 uint32_t ConcurrentSbf::ShardOf(uint64_t key) const noexcept {
@@ -312,8 +397,259 @@ void ConcurrentSbf::EstimateLockFreeBatch(const Shard& s,
       });
 }
 
+// --- delta-buffer plumbing -------------------------------------------------
+
+DeltaSet& ConcurrentSbf::CallerDeltaSet() {
+  return *ThreadDeltaSet(registry_, options_.num_shards, options_.delta);
+}
+
+bool ConcurrentSbf::ShouldMergeEpoch(
+    const DeltaSet& set, const DeltaSet::ShardState& state) const {
+  const DeltaBufferOptions& opt = set.options();
+  if (state.size >= opt.merge_keys) return true;
+  if (opt.max_epoch_micros > 0 && state.epoch_open &&
+      (state.ops_since_merge & kClockCheckMask) == 0) {
+    const auto age = std::chrono::steady_clock::now() - state.epoch_start;
+    if (age >= std::chrono::microseconds(opt.max_epoch_micros)) return true;
+  }
+  return false;
+}
+
+void ConcurrentSbf::BufferDelta(DeltaSet& set, uint32_t shard_index,
+                                uint64_t key, uint64_t count, bool remove) {
+  DeltaSet::ShardState& state = set.state(shard_index);
+  const uint64_t delta = remove ? ~count + 1 : count;
+  if (!DeltaAccumulate(set.map(shard_index), key, delta, &state.size)) {
+    // Map full: merge this shard's epoch and retry against the now-empty
+    // map (cannot fail twice). The op being buffered is not yet in the map
+    // nor in pending_contrib, so the forced merge's bookkeeping balances.
+    MergeShardDelta(set, shard_index);
+    const bool ok =
+        DeltaAccumulate(set.map(shard_index), key, delta, &state.size);
+    SBF_DCHECK(ok);
+    (void)ok;
+  }
+  if (!remove) {
+    // Publish before returning: a completed insert is covered by the
+    // pending tally until the merge moves it into the counters.
+    shards_[shard_index]->pending_ops.fetch_add(count,
+                                                std::memory_order_relaxed);
+    state.pending_contrib += count;
+  }
+  state.net_ops += delta;
+  if (!state.epoch_open) {
+    state.epoch_open = true;
+    if (set.options().max_epoch_micros > 0) {
+      state.epoch_start = std::chrono::steady_clock::now();
+    }
+  }
+  ++state.ops_since_merge;
+  if (ShouldMergeEpoch(set, state)) MergeShardDelta(set, shard_index);
+}
+
+void ConcurrentSbf::MergeShardDelta(DeltaSet& set, uint32_t shard_index) {
+  DeltaSet::ShardState& state = set.state(shard_index);
+  Shard& s = *shards_[shard_index];
+  if (state.size > 0) {
+    metrics_.RecordDeltaBufferedPeak(shard_index, state.size);
+    uint32_t applied = 0;
+    if (lock_free_) {
+      // One expansion-window handshake covers the whole drain (the same
+      // protocol as InsertLockFreeBatch).
+      s.live_writers.fetch_add(1, std::memory_order_seq_cst);
+      SpectralBloomFilter* pending =
+          s.pending_ptr.load(std::memory_order_seq_cst);
+      if (pending != nullptr) {
+        s.live_writers.fetch_sub(1, std::memory_order_relaxed);
+      }
+      SpectralBloomFilter* target =
+          pending != nullptr ? pending
+                             : s.live_ptr.load(std::memory_order_acquire);
+      applied = DeltaDrain(
+          set.map(shard_index), [this, target](uint64_t key, uint64_t net) {
+            AtomicApply(*target, key, NetMagnitude(net), NetIsAdd(net));
+          });
+      if (pending == nullptr) {
+        s.live_writers.fetch_sub(1, std::memory_order_release);
+      }
+      s.net_items.fetch_add(state.net_ops, std::memory_order_relaxed);
+    } else {
+      std::unique_lock lock(s.mu);
+      SpectralBloomFilter& f = s.pending ? *s.pending : *s.live;
+      applied =
+          DeltaDrain(set.map(shard_index), [&f](uint64_t key, uint64_t net) {
+            if (NetIsAdd(net)) {
+              f.Insert(key, net);
+            } else {
+              f.Remove(key, NetMagnitude(net));
+            }
+          });
+    }
+    state.size = 0;
+    metrics_.RecordDeltaMerge(shard_index, applied);
+  }
+  // Release the pending tally only after the counters carry the deltas
+  // (release pairs with the readers' acquire): a reader that observes the
+  // lowered tally also observes the applied counters, so estimates never
+  // dip below flushed + buffered.
+  if (state.pending_contrib > 0) {
+    s.pending_ops.fetch_sub(state.pending_contrib,
+                            std::memory_order_release);
+    state.pending_contrib = 0;
+  }
+  state.net_ops = 0;
+  state.ops_since_merge = 0;
+  state.epoch_open = false;
+}
+
+void ConcurrentSbf::ApplyNetDelta(Shard& s, uint64_t key, uint64_t net,
+                                  bool locked_held) {
+  const bool add = NetIsAdd(net);
+  const uint64_t magnitude = NetMagnitude(net);
+  if (lock_free_) {
+    s.live_writers.fetch_add(1, std::memory_order_seq_cst);
+    SpectralBloomFilter* pending =
+        s.pending_ptr.load(std::memory_order_seq_cst);
+    if (pending != nullptr) {
+      s.live_writers.fetch_sub(1, std::memory_order_relaxed);
+      AtomicApply(*pending, key, magnitude, add);
+    } else {
+      AtomicApply(*s.live_ptr.load(std::memory_order_acquire), key, magnitude,
+                  add);
+      s.live_writers.fetch_sub(1, std::memory_order_release);
+    }
+    return;
+  }
+  SBF_DCHECK(locked_held);
+  (void)locked_held;
+  SpectralBloomFilter& f = s.pending ? *s.pending : *s.live;
+  if (add) {
+    f.Insert(key, magnitude);
+  } else {
+    f.Remove(key, magnitude);
+  }
+}
+
+void ConcurrentSbf::DrainOwnShard(uint32_t shard_index) const {
+  DeltaSet* set = ThreadDeltaSetIfExists(registry_.get());
+  if (set == nullptr) return;
+  auto* self = const_cast<ConcurrentSbf*>(this);
+  std::lock_guard<std::mutex> lock(set->mu);
+  DeltaSet::ShardState& state = set->state(shard_index);
+  if (state.size > 0 || state.pending_contrib > 0) {
+    self->MergeShardDelta(*set, shard_index);
+  }
+}
+
+void ConcurrentSbf::DrainOwnAll() const {
+  DeltaSet* set = ThreadDeltaSetIfExists(registry_.get());
+  if (set == nullptr) return;
+  auto* self = const_cast<ConcurrentSbf*>(this);
+  std::lock_guard<std::mutex> lock(set->mu);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    DeltaSet::ShardState& state = set->state(s);
+    if (state.size > 0 || state.pending_contrib > 0) {
+      self->MergeShardDelta(*set, s);
+    }
+  }
+}
+
+void ConcurrentSbf::DrainDeltaSet(DeltaSet& set) {
+  std::lock_guard<std::mutex> lock(set.mu);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    DeltaSet::ShardState& state = set.state(s);
+    if (state.size > 0 || state.pending_contrib > 0) {
+      MergeShardDelta(set, s);
+    }
+  }
+}
+
+void ConcurrentSbf::FlushAllBuffers() {
+  if (!delta_active_ || registry_ == nullptr) return;
+  std::lock_guard<std::mutex> registry_lock(registry_->mu);
+  // The canonical cross-thread drain: per shard, gather every thread's
+  // buffered entries, aggregate per key and apply in ascending key order —
+  // the flushed image is independent of which thread buffered which ops
+  // (Minimum Selection increments commute). Cold path; may allocate.
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint32_t shard_index = 0; shard_index < options_.num_shards;
+       ++shard_index) {
+    entries.clear();
+    uint64_t contrib = 0;
+    uint64_t net_ops = 0;
+    for (const std::shared_ptr<DeltaSet>& set : registry_->sets) {
+      std::lock_guard<std::mutex> set_lock(set->mu);
+      DeltaSet::ShardState& state = set->state(shard_index);
+      if (state.size > 0) {
+        metrics_.RecordDeltaBufferedPeak(shard_index, state.size);
+        DeltaDrain(set->map(shard_index),
+                   [&entries](uint64_t key, uint64_t net) {
+                     entries.emplace_back(key, net);
+                   });
+        state.size = 0;
+      }
+      // Transfer the tally responsibility to this drain; the shard's
+      // pending_ops itself stays raised until the counters are updated.
+      contrib += state.pending_contrib;
+      net_ops += state.net_ops;
+      state.pending_contrib = 0;
+      state.net_ops = 0;
+      state.ops_since_merge = 0;
+      state.epoch_open = false;
+    }
+    if (entries.empty() && contrib == 0) continue;
+    std::sort(entries.begin(), entries.end());
+    Shard& s = *shards_[shard_index];
+    uint64_t applied = 0;
+    const auto apply_aggregated = [&](bool locked_held) {
+      for (size_t i = 0; i < entries.size();) {
+        const uint64_t key = entries[i].first;
+        uint64_t net = 0;
+        for (; i < entries.size() && entries[i].first == key; ++i) {
+          net += entries[i].second;
+        }
+        if (net == 0) continue;
+        ApplyNetDelta(s, key, net, locked_held);
+        ++applied;
+      }
+    };
+    if (lock_free_) {
+      apply_aggregated(/*locked_held=*/false);
+      s.net_items.fetch_add(net_ops, std::memory_order_relaxed);
+    } else {
+      std::unique_lock lock(s.mu);
+      apply_aggregated(/*locked_held=*/true);
+    }
+    if (!entries.empty()) {
+      metrics_.RecordDeltaMerge(shard_index, applied);
+    }
+    if (contrib > 0) {
+      s.pending_ops.fetch_sub(contrib, std::memory_order_release);
+    }
+  }
+}
+
+void ConcurrentSbf::Flush() { FlushAllBuffers(); }
+
+uint64_t ConcurrentSbf::PendingDeltaOps() const noexcept {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    total += shards_[s]->pending_ops.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// --- point & batch ops -----------------------------------------------------
+
 void ConcurrentSbf::Insert(uint64_t key, uint64_t count) {
   const uint32_t s = ShardOf(key);
+  if (delta_active_) {
+    DeltaSet& set = CallerDeltaSet();
+    std::lock_guard<std::mutex> lock(set.mu);
+    BufferDelta(set, s, key, count, /*remove=*/false);
+    metrics_.RecordInsert(s, 1);
+    return;
+  }
   Shard& shard = *shards_[s];
   if (lock_free_) {
     InsertLockFree(shard, key, count);
@@ -326,6 +662,27 @@ void ConcurrentSbf::Insert(uint64_t key, uint64_t count) {
 
 void ConcurrentSbf::Remove(uint64_t key, uint64_t count) {
   const uint32_t s = ShardOf(key);
+  if (delta_active_) {
+    if (lock_free_) {
+      // Buffered removes never raise the pending tally (an unapplied
+      // remove only over-reports — the safe direction). Counter updates
+      // wrap mod 2^64, so a remove merged before the insert it cancels
+      // (buffered by another thread) still nets out exactly.
+      DeltaSet& set = CallerDeltaSet();
+      std::lock_guard<std::mutex> lock(set.mu);
+      BufferDelta(set, s, key, count, /*remove=*/true);
+      metrics_.RecordRemove(s, 1);
+      return;
+    }
+    // Clamped backings make removes order-sensitive: a remove applied
+    // before the insert it cancels clamps at zero and the occurrences are
+    // lost. Flushing every buffer first restores the caller's ordering
+    // ("only remove previously inserted occurrences" — such inserts are
+    // by then either applied or in a buffer the flush gathers), so the
+    // direct remove below never clamps. Removes are the rare op on every
+    // workload this path serves; inserts stay buffered.
+    Flush();
+  }
   Shard& shard = *shards_[s];
   if (lock_free_) {
     RemoveLockFree(shard, key, count);
@@ -343,6 +700,28 @@ uint64_t ConcurrentSbf::Estimate(uint64_t key) const {
   const uint32_t s = ShardOf(key);
   const Shard& shard = *shards_[s];
   metrics_.RecordEstimate(s, 1);
+  if (delta_active_) {
+    // Read-your-writes: the calling thread's own buffers for this shard
+    // are merged first, so single-threaded use is exactly a plain SBF.
+    DrainOwnShard(s);
+    // Acquire the pending tally BEFORE probing: pairs with the merge's
+    // release decrement, so a reader that sees the lowered tally also sees
+    // the applied counters — the estimate never dips below the flushed +
+    // buffered frequency (other threads' buffered ops are covered by the
+    // tally, a one-sided overestimate until their epoch merges).
+    const uint64_t pending = shard.pending_ops.load(std::memory_order_acquire);
+    uint64_t base;
+    if (lock_free_) {
+      base = EstimateLockFree(shard, key);
+    } else {
+      std::shared_lock lock(shard.mu);
+      base = shard.pending
+                 ? CombinedEstimate(*shard.live, *shard.pending, key,
+                                    /*atomic_reads=*/false)
+                 : shard.live->Estimate(key);
+    }
+    return base + pending;
+  }
   if (lock_free_) return EstimateLockFree(shard, key);
   std::shared_lock lock(shard.mu);
   if (shard.pending) {
@@ -355,6 +734,60 @@ uint64_t ConcurrentSbf::Estimate(uint64_t key) const {
 void ConcurrentSbf::InsertBatch(const uint64_t* keys, size_t n,
                                 uint64_t count) {
   if (n == 0) return;
+  if (delta_active_) {
+    // Accumulate into the calling thread's maps; the shared per-shard
+    // pending tallies are published once per shard per chunk rather than
+    // per key (the buffered ops only need to be covered by the tally by
+    // the time InsertBatch returns — mid-chunk they are not yet completed
+    // inserts). A chunk's forced mid-accumulation merge may apply entries
+    // whose tally is still unpublished; the later publish then transiently
+    // over-covers (the safe direction) until the next merge rebalances.
+    DeltaSet& set = CallerDeltaSet();
+    std::lock_guard<std::mutex> lock(set.mu);
+    uint64_t* chunk_pending = set.batch_pending();
+    uint32_t* touched = set.batch_touched();
+    size_t at = 0;
+    while (at < n) {
+      const size_t chunk_end = std::min(n, at + kDeltaBatchChunk);
+      uint32_t num_touched = 0;
+      for (size_t i = at; i < chunk_end; ++i) {
+        const uint32_t s = ShardOf(keys[i]);
+        DeltaSet::ShardState& state = set.state(s);
+        if (!DeltaAccumulate(set.map(s), keys[i], count, &state.size)) {
+          MergeShardDelta(set, s);
+          const bool ok =
+              DeltaAccumulate(set.map(s), keys[i], count, &state.size);
+          SBF_DCHECK(ok);
+          (void)ok;
+        }
+        if (chunk_pending[s] == 0) touched[num_touched++] = s;
+        chunk_pending[s] += count;
+      }
+      for (uint32_t t = 0; t < num_touched; ++t) {
+        const uint32_t s = touched[t];
+        Shard& shard = *shards_[s];
+        DeltaSet::ShardState& state = set.state(s);
+        const uint64_t occurrences = chunk_pending[s];
+        const uint64_t group_keys = count > 0 ? occurrences / count : 0;
+        chunk_pending[s] = 0;
+        shard.pending_ops.fetch_add(occurrences, std::memory_order_relaxed);
+        state.pending_contrib += occurrences;
+        state.net_ops += occurrences;
+        state.ops_since_merge += group_keys;
+        if (!state.epoch_open) {
+          state.epoch_open = true;
+          if (set.options().max_epoch_micros > 0) {
+            state.epoch_start = std::chrono::steady_clock::now();
+          }
+        }
+        metrics_.RecordInsert(s, group_keys);
+        metrics_.RecordBatch(s);
+        if (ShouldMergeEpoch(set, state)) MergeShardDelta(set, s);
+      }
+      at = chunk_end;
+    }
+    return;
+  }
   std::vector<uint64_t> grouped;
   std::vector<uint32_t> order;
   std::vector<size_t> starts;
@@ -389,6 +822,11 @@ void ConcurrentSbf::EstimateBatch(const uint64_t* keys, size_t n,
     const Shard& shard = *shards_[s];
     metrics_.RecordEstimate(s, end - begin);
     metrics_.RecordBatch(s);
+    uint64_t pending = 0;
+    if (delta_active_) {
+      DrainOwnShard(s);
+      pending = shard.pending_ops.load(std::memory_order_acquire);
+    }
     if (lock_free_) {
       EstimateLockFreeBatch(shard, grouped.data() + begin, end - begin,
                             shard_out.data() + begin);
@@ -404,6 +842,9 @@ void ConcurrentSbf::EstimateBatch(const uint64_t* keys, size_t n,
                                   shard_out.data() + begin);
       }
     }
+    if (pending > 0) {
+      for (size_t i = begin; i < end; ++i) shard_out[i] += pending;
+    }
   }
   for (size_t i = 0; i < n; ++i) out[order[i]] = shard_out[i];
 }
@@ -417,6 +858,11 @@ Status ConcurrentSbf::Merge(const ConcurrentSbf& other) {
         "ConcurrentSbf merge requires identical options (shards, m, k, seed, "
         "policy, backing)");
   }
+  // Mid-epoch deltas buffered against either operand must be observed:
+  // drain both sides before the pointwise add (Flush only mutates counter
+  // state, which is what Merge reads — logically const for `other`).
+  const_cast<ConcurrentSbf&>(other).Flush();
+  Flush();
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     Shard& dst = *shards_[s];
     const Shard& src = *other.shards_[s];
@@ -448,6 +894,7 @@ Status ConcurrentSbf::Merge(const ConcurrentSbf& other) {
 }
 
 SpectralBloomFilter ConcurrentSbf::SnapshotShard(size_t i) const {
+  const_cast<ConcurrentSbf*>(this)->Flush();
   const Shard& shard = *shards_[i];
   if (lock_free_) {
     const SpectralBloomFilter& live =
@@ -467,6 +914,7 @@ SpectralBloomFilter ConcurrentSbf::SnapshotShard(size_t i) const {
 }
 
 uint64_t ConcurrentSbf::TotalItems() const {
+  const_cast<ConcurrentSbf*>(this)->Flush();
   uint64_t total = 0;
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     const Shard& shard = *shards_[s];
@@ -493,6 +941,12 @@ size_t ConcurrentSbf::MemoryUsageBits() const {
       total += shard.live->MemoryUsageBits();
     }
   }
+  if (registry_ != nullptr) {
+    std::lock_guard<std::mutex> lock(registry_->mu);
+    for (const std::shared_ptr<DeltaSet>& set : registry_->sets) {
+      total += set->MemoryBits();
+    }
+  }
   return total;
 }
 
@@ -502,10 +956,15 @@ std::string ConcurrentSbf::Name() const {
   name += "/";
   name += CounterBackingName(options_.backing);
   name += "[S=" + std::to_string(options_.num_shards) + "]";
+  if (delta_active_) name += "+delta";
   return name;
 }
 
 FilterHealth ConcurrentSbf::Health() const {
+  // The fill scan must observe mid-epoch inserts (the latent-bug fix this
+  // PR pins with a regression test): drain all buffers first, then report
+  // anything re-buffered by racing writers in pending_delta_ops.
+  const_cast<ConcurrentSbf*>(this)->Flush();
   FilterHealth health;
   health.shard_fill.reserve(options_.num_shards);
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
@@ -539,6 +998,7 @@ FilterHealth ConcurrentSbf::Health() const {
         m == 0 ? 0.0
                : static_cast<double>(counts.nonzero) / static_cast<double>(m));
   }
+  health.pending_delta_ops = PendingDeltaOps();
   FinalizeHealth(options_.k, options_.health, &health);
   return health;
 }
@@ -644,6 +1104,10 @@ Status ConcurrentSbf::ExpandTo(uint64_t new_m) {
         "ExpandTo needs per-shard sizes to scale by the same factor as m "
         "(pick m divisible by num_shards)");
   }
+  // Drain buffered deltas into the pre-expansion counters so the fold
+  // migrates them; deltas buffered by racing writers during the expansion
+  // re-hash at merge time and land through the window protocol.
+  Flush();
   // Allocate every shard's pending filter up front — the only fallible
   // step — so a failure returns with the filter fully unexpanded rather
   // than half-migrated.
@@ -676,6 +1140,7 @@ StatusOr<bool> ConcurrentSbf::ExpandIfDegraded() {
 }
 
 std::vector<uint8_t> ConcurrentSbf::Serialize() const {
+  const_cast<ConcurrentSbf*>(this)->Flush();
   SBF_AUDIT_INVARIANTS(*this);
   wire::Writer payload;
   payload.PutVarint(options_.num_shards);
@@ -765,6 +1230,17 @@ Status ConcurrentSbf::CheckInvariants() const {
   if (metrics_.num_shards() != options_.num_shards) {
     return Status::FailedPrecondition(
         "concurrent SBF: metrics shard count disagrees with options");
+  }
+  if (delta_active_) {
+    if (registry_ == nullptr) {
+      return Status::FailedPrecondition(
+          "concurrent SBF: delta buffering active but registry missing");
+    }
+    std::lock_guard<std::mutex> lock(registry_->mu);
+    if (registry_->owner != this) {
+      return Status::FailedPrecondition(
+          "concurrent SBF: delta registry owner link broken");
+    }
   }
   for (uint32_t i = 0; i < options_.num_shards; ++i) {
     const Shard& shard = *shards_[i];

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/delta_buffer.h"
 #include "core/frequency_filter.h"
 #include "core/spectral_bloom_filter.h"
 #include "util/metrics.h"
@@ -29,6 +30,10 @@ struct ConcurrentSbfOptions {
   // Verdict thresholds for Health() / ExpandIfDegraded(). Process-local
   // tuning — not serialized.
   HealthThresholds health;
+  // Epoch-merged thread-local write buffering (effective only under
+  // Minimum Selection; see DeltaBufferOptions). Process-local tuning —
+  // not serialized.
+  DeltaBufferOptions delta;
 };
 
 // Thread-safe sharded frontend over the Spectral Bloom Filter: keys are
@@ -53,18 +58,45 @@ struct ConcurrentSbfOptions {
 //    locking finer than a shard is unsound; throughput scales by raising
 //    num_shards, which is exactly the striping knob.
 //
-// Memory ordering: all atomics are std::memory_order_relaxed. The filter
-// promises per-counter atomicity and monotonicity, not cross-counter
-// snapshot consistency — the same semantics the one-sided error analysis
-// needs. Callers wanting exact equality with a serial reference (tests,
-// Serialize) must quiesce writers first; thread join provides the needed
-// happens-before edge.
+// Delta-buffered writes (DESIGN.md "Delta-buffered concurrency"): under
+// Minimum Selection (whose increments commute), inserts accumulate into
+// per-thread, per-shard open-addressed delta maps and are merged into the
+// shard counters on an epoch boundary — a size threshold, a staleness
+// threshold, or an explicit Flush(). Removes are buffered too on the
+// lock-free backing (its counters wrap mod 2^64, so merge order cannot
+// lose occurrences); on clamped backings a remove flushes all buffers and
+// then applies directly, because a remove merged ahead of the insert it
+// cancels would clamp at zero. Each shard keeps a pending-op tally
+// that is raised before an insert is buffered and lowered (release-
+// ordered) only after the merge applies it, and readers return
+// shard_min + pending, so estimates never under-report completed inserts
+// even mid-epoch — the same one-sided dual-write discipline as ExpandTo's
+// expansion window. The calling thread's own buffers are drained before it
+// estimates, so single-threaded use remains exactly a plain SBF; thread
+// exit drains that thread's buffers, so after a join no deltas are
+// outstanding. Whole-filter operations (Serialize, Merge, Health,
+// TotalItems, snapshots, expansion) force a full Flush() first. Minimal
+// Increase reads counters before lifting them — its updates do not
+// commute — so MI filters always bypass the buffers and take the direct
+// path.
+//
+// Memory ordering: counter atomics are std::memory_order_relaxed; the
+// pending-op tallies pair an acquire read with a release decrement. The
+// filter promises per-counter atomicity and one-sided monotonicity, not
+// cross-counter snapshot consistency — the same semantics the one-sided
+// error analysis needs. Callers wanting exact equality with a serial
+// reference (tests, Serialize) must quiesce writers first; thread join
+// provides the needed happens-before edge.
 class ConcurrentSbf final : public FrequencyFilter {
  public:
   explicit ConcurrentSbf(ConcurrentSbfOptions options);
+  ~ConcurrentSbf() override;
 
-  ConcurrentSbf(ConcurrentSbf&&) = default;
-  ConcurrentSbf& operator=(ConcurrentSbf&&) = default;
+  // Moves drain the source's buffered deltas first (cheap when none are
+  // outstanding) and re-point its delta registry; like all whole-filter
+  // operations they require external synchronization.
+  ConcurrentSbf(ConcurrentSbf&& other) noexcept;
+  ConcurrentSbf& operator=(ConcurrentSbf&& other) noexcept;
 
   // --- FrequencyFilter (thread-safe) -------------------------------------
 
@@ -84,7 +116,9 @@ class ConcurrentSbf final : public FrequencyFilter {
   // each shard's lock is taken once per batch and its keys run through the
   // per-shard hash-ahead + prefetch kernels (SpectralBloomFilter::
   // InsertBatch/EstimateBatch under the lock, windowed atomic pipelines on
-  // the lock-free path). EstimateBatch fills `out` in input order.
+  // the lock-free path). On the delta path, batched inserts accumulate
+  // into the calling thread's buffers with the pending tally published
+  // once per shard per chunk. EstimateBatch fills `out` in input order.
   void InsertBatch(const uint64_t* keys, size_t n,
                    uint64_t count = 1) override;
   void EstimateBatch(const uint64_t* keys, size_t n,
@@ -96,8 +130,9 @@ class ConcurrentSbf final : public FrequencyFilter {
 
   // Pointwise counter addition of `other` into this filter (multiset
   // union), shard by shard via the sbf_algebra UnionInto. Requires
-  // identical options (shards, m, k, seeds, policy, backing). Safe against
-  // concurrent operations on both operands; self-merge is rejected.
+  // identical options (shards, m, k, seeds, policy, backing). Flushes both
+  // operands' delta buffers first so mid-epoch state is never missed. Safe
+  // against concurrent operations on both operands; self-merge is rejected.
   Status Merge(const ConcurrentSbf& other);
 
   // --- serialization ------------------------------------------------------
@@ -105,15 +140,17 @@ class ConcurrentSbf final : public FrequencyFilter {
   // 'SBcs' wire frame (io/wire.h): {varint num_shards, varint m, u64 seed,
   // embedded per-shard SpectralBloomFilter frames}, so distributed
   // consumers (Bloomjoin, iceberg sites) can exchange sharded filters or
-  // peel individual shards. Takes a per-shard snapshot; concurrent writers
-  // make the snapshot a valid interleaving, not a point-in-time image.
+  // peel individual shards. Drains all delta buffers, then takes a
+  // per-shard snapshot; concurrent writers make the snapshot a valid
+  // interleaving, not a point-in-time image. Delta tuning is process-local
+  // and not serialized.
   [[nodiscard]] std::vector<uint8_t> Serialize() const override;
   static StatusOr<ConcurrentSbf> Deserialize(wire::ByteSpan bytes);
 
   // Audits the sharding layout: shard count and per-shard options (sizes,
   // derived seeds, policy, backing) against options_, no shard caught
-  // mid-expansion, and every shard filter's own validator. Requires
-  // quiescence, like Serialize().
+  // mid-expansion, the delta registry's ownership link, and every shard
+  // filter's own validator. Requires quiescence, like Serialize().
   Status CheckInvariants() const override;
 
   // --- introspection -------------------------------------------------------
@@ -127,36 +164,65 @@ class ConcurrentSbf final : public FrequencyFilter {
   [[nodiscard]] uint64_t shard_m() const noexcept { return shard_m_; }
   // True when Insert/Remove/Estimate run without taking any lock.
   [[nodiscard]] bool IsLockFree() const noexcept { return lock_free_; }
+  // True when writes go through the epoch-merged delta buffers (Minimum
+  // Selection with options().delta.enabled).
+  [[nodiscard]] bool IsDeltaBuffered() const noexcept {
+    return delta_active_;
+  }
 
   // Shard index for a key (the routing function; exposed for tests).
   [[nodiscard]] uint32_t ShardOf(uint64_t key) const noexcept;
 
-  // Net inserted occurrences across all shards. Exact only when quiescent.
+  // Net inserted occurrences across all shards. Drains delta buffers
+  // first. Exact only when quiescent.
   [[nodiscard]] uint64_t TotalItems() const;
 
+  // Occurrences buffered-or-merging across all shards right now (the sum
+  // of the per-shard pending tallies). Zero when quiescent and flushed.
+  [[nodiscard]] uint64_t PendingDeltaOps() const noexcept;
+
+  // Drains every thread's buffered deltas into the shard counters (the
+  // explicit epoch boundary). Buffered updates are aggregated per key and
+  // applied in ascending key order, so the flushed state is independent of
+  // which threads buffered which ops. Safe under concurrent writers —
+  // their new ops simply start the next epoch. No-op when delta buffering
+  // is inactive.
+  void Flush();
+
   // Read-only view of one shard's filter. Caller must guarantee quiescence
-  // (no concurrent writers or expansion) while holding the reference.
+  // and a prior Flush() (no concurrent writers or expansion) while holding
+  // the reference.
   [[nodiscard]] const SpectralBloomFilter& shard(size_t i) const {
     return *shards_[i]->live;
   }
 
   // A consistent copy of shard i (locks the shard; lock-free counters are
-  // read atomically). Safe under concurrent writers.
+  // read atomically). Drains delta buffers first. Safe under concurrent
+  // writers.
   [[nodiscard]] SpectralBloomFilter SnapshotShard(size_t i) const;
 
-  // Per-shard operation counters (inserts/removes/estimates/batches).
+  // Per-shard operation counters (inserts/removes/estimates/batches plus
+  // delta-epoch merge tallies).
   [[nodiscard]] const ShardMetrics& metrics() const noexcept {
     return metrics_;
   }
+
+  // Internal: drains one registered DeltaSet into the shard counters.
+  // Called by the thread-exit hook in core/delta_buffer.cc (under the
+  // registry mutex) — use Flush() instead.
+  void DrainDeltaSet(DeltaSet& set);
 
   // --- lifecycle: health & online expansion --------------------------------
 
   // Live health snapshot across all shards: global fill/FPR, summed clamp
   // tallies, plus per-shard fill ratios and their max/mean skew (a skewed
   // router or key distribution degrades one shard long before the global
-  // fill shows it). Safe under concurrent writers on the lock-free path
-  // (counters are read atomically); on the locked path each shard is
-  // scanned under its shared lock.
+  // fill shows it). Drains delta buffers first so mid-epoch inserts are
+  // visible to the fill scan; ops buffered by still-racing writers after
+  // the drain are reported in FilterHealth::pending_delta_ops. Safe under
+  // concurrent writers on the lock-free path (counters are read
+  // atomically); on the locked path each shard is scanned under its shared
+  // lock.
   [[nodiscard]] FilterHealth Health() const override;
 
   // Combined clamp-event tallies of all shards. The lock-free fast path
@@ -165,7 +231,10 @@ class ConcurrentSbf final : public FrequencyFilter {
   [[nodiscard]] SaturationStats saturation() const;
 
   // Grows the filter to `new_m` total counters, shard at a time, without
-  // blocking readers. Per shard the protocol opens a dual-write window:
+  // blocking readers. Drains delta buffers first (buffered keys re-hash at
+  // merge time, so deltas buffered *during* the expansion land at the
+  // key's new positions via the window protocol). Per shard the protocol
+  // opens a dual-write window:
   //
   //   1. An empty `pending` filter of the new shard size is published
   //      (all shards' pendings are allocated up front, so a failed
@@ -199,10 +268,19 @@ class ConcurrentSbf final : public FrequencyFilter {
   StatusOr<bool> ExpandIfDegraded();
 
  private:
-  struct Shard {
+  // Per-shard state, laid out so that independently-written hot fields sit
+  // on their own cache lines: with S threads hammering S different shards,
+  // the only coherence traffic should be the counters those shards
+  // actually share (none). The alignas(64) on the struct itself keeps
+  // heap-allocated shards line-aligned; each member group below is one
+  // 64-byte line. The counter arrays themselves are separate heap
+  // allocations owned by the shard's SpectralBloomFilter, so two shards
+  // never share a counter line either.
+  struct alignas(64) Shard {
     explicit Shard(const SbfOptions& o)
         : live(std::make_unique<SpectralBloomFilter>(o)),
           live_ptr(live.get()) {}
+    // -- line 0: read-mostly routing state (filter pointers) --------------
     // The serving filter. Lock-free readers/writers go through the atomic
     // mirror `live_ptr`; the unique_ptrs are only touched by the expansion
     // path (under `mu`) and by whole-filter operations.
@@ -211,17 +289,25 @@ class ConcurrentSbf final : public FrequencyFilter {
     std::unique_ptr<SpectralBloomFilter> pending;
     std::atomic<SpectralBloomFilter*> live_ptr;
     std::atomic<SpectralBloomFilter*> pending_ptr{nullptr};
-    // Lock-free writers that may still be updating `live` (the expansion
-    // drain barrier; see ExpandTo step 2).
-    mutable std::atomic<uint32_t> live_writers{0};
-    mutable std::shared_mutex mu;
-    // Net item count for the lock-free path, where filter.total_items()
-    // is bypassed and stays zero.
-    std::atomic<uint64_t> net_items{0};
-    // Replaced filters, kept alive for lock-free readers that loaded the
-    // old pointer; bounded by the number of expansions.
+    // -- line 1: lock-free writer drain refcount (hot on every un-buffered
+    // lock-free write; the expansion drain barrier, see ExpandTo step 2) --
+    alignas(64) mutable std::atomic<uint32_t> live_writers{0};
+    // -- line 2: net item tally for the lock-free path, where
+    // filter.total_items() is bypassed and stays zero ---------------------
+    alignas(64) std::atomic<uint64_t> net_items{0};
+    // -- line 3: occurrences buffered in delta maps (or being merged) but
+    // not yet applied to the counters. Raised before an insert is
+    // buffered; lowered with release order only after the merge applies
+    // it. Readers acquire-load it and add it to the shard minimum. --------
+    alignas(64) mutable std::atomic<uint64_t> pending_ops{0};
+    // -- line 4: the shard lock (locked path writers/readers) -------------
+    alignas(64) mutable std::shared_mutex mu;
+    // -- cold: replaced filters, kept alive for lock-free readers that
+    // loaded the old pointer; bounded by the number of expansions ---------
     std::vector<std::unique_ptr<SpectralBloomFilter>> retired;
   };
+  static_assert(alignof(std::shared_mutex) <= 64,
+                "Shard line map assumes <=64-byte mutex alignment");
 
   // Raw 64-bit counter words of a filter's kFixed64 backing (counter i is
   // exactly word i), the substrate of the atomic fast path.
@@ -246,12 +332,45 @@ class ConcurrentSbf final : public FrequencyFilter {
                             bool atomic_reads) const;
   void ExpandShard(Shard& shard, std::unique_ptr<SpectralBloomFilter> pending);
 
+  // --- delta-buffer plumbing (active iff delta_active_) -------------------
+  // The calling thread's DeltaSet, created on first use.
+  DeltaSet& CallerDeltaSet();
+  // Buffers one op into the calling thread's map for `shard_index`;
+  // publishes the pending tally for inserts and merges on an epoch
+  // boundary. Caller must hold set.mu.
+  void BufferDelta(DeltaSet& set, uint32_t shard_index, uint64_t key,
+                   uint64_t count, bool remove);
+  // Epoch merge: drains `set`'s map for one shard into the shard counters
+  // and releases its pending-tally contribution. Caller must hold set.mu.
+  // Allocation-free (the epoch-merge hot path).
+  void MergeShardDelta(DeltaSet& set, uint32_t shard_index);
+  // Applies one aggregated (key, net) delta to a shard through the path
+  // matching the configuration (atomic apply honouring any expansion
+  // window, or the locked SpectralBloomFilter ops). For the locked path
+  // the caller must hold the shard's exclusive lock.
+  void ApplyNetDelta(Shard& s, uint64_t key, uint64_t net, bool locked_held);
+  // Drains the calling thread's buffers for one shard / all shards (the
+  // read-your-writes half of the discipline; cheap no-ops when empty).
+  void DrainOwnShard(uint32_t shard_index) const;
+  void DrainOwnAll() const;
+  // True when `state` crossed an epoch boundary (size or staleness).
+  bool ShouldMergeEpoch(const DeltaSet& set,
+                        const DeltaSet::ShardState& state) const;
+  // Cross-thread canonical drain (the body of Flush()).
+  void FlushAllBuffers();
+  // Detaches registry_ from this instance (drain + null owner); used by
+  // the destructor and move operations.
+  void DetachRegistry();
+
   ConcurrentSbfOptions options_;
   uint64_t shard_m_ = 0;      // counters per shard
   uint64_t router_salt_ = 0;  // shard-routing hash salt (derived from seed)
   bool lock_free_ = false;
+  bool delta_active_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable ShardMetrics metrics_;
+  // Non-null iff delta_active_: every writing thread's buffered deltas.
+  std::shared_ptr<DeltaRegistry> registry_;
 };
 
 // Per-shard SbfOptions for shard `index` of a sharded filter with the

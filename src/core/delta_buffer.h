@@ -1,0 +1,132 @@
+#ifndef SBF_CORE_DELTA_BUFFER_H_
+#define SBF_CORE_DELTA_BUFFER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/delta_kernels.h"
+
+namespace sbf {
+
+class ConcurrentSbf;
+
+// Tuning for ConcurrentSbf's epoch-merged thread-local write path. Inserts
+// accumulate into per-thread, per-shard open-addressed delta maps
+// (core/delta_kernels.h) and are merged into the shard counters on an
+// epoch boundary: a size threshold, a wall-clock threshold, or an explicit
+// ConcurrentSbf::Flush(). Process-local tuning — never serialized.
+struct DeltaBufferOptions {
+  // Master switch. The delta path additionally requires Minimum Selection:
+  // Minimal Increase reads the current minimum before lifting counters, so
+  // its updates are order-dependent and cannot be buffered commutatively —
+  // MI filters always take the direct path regardless of this flag.
+  bool enabled = true;
+  // Slots per (thread, shard) map. Must be a power of two.
+  uint32_t capacity = 1024;
+  // Merge a shard's map once it holds this many distinct keys. Keeping it
+  // at or below capacity/2 keeps linear-probe chains short.
+  uint32_t merge_keys = 512;
+  // Merge a shard's map once its oldest buffered op is this stale (bounds
+  // how long a counter under-states its flushed-plus-buffered value; the
+  // pending-op tally keeps estimates one-sided regardless). 0 disables the
+  // clock check; the clock is consulted once every 64 buffered ops.
+  uint32_t max_epoch_micros = 2000;
+};
+
+// One thread's buffered deltas against one ConcurrentSbf: a delta map per
+// shard plus the per-shard epoch bookkeeping the merge needs. Storage for
+// all shards lives in three flat arrays so a DeltaSet is two allocations
+// regardless of shard count. Jointly owned by the writing thread's TLS
+// holder and the filter's DeltaRegistry; `mu` serializes the owning
+// thread's accumulation against cross-thread Flush().
+class DeltaSet {
+ public:
+  DeltaSet(uint32_t num_shards, const DeltaBufferOptions& options);
+
+  struct ShardState {
+    uint32_t size = 0;             // live slots in this shard's map
+    // Occurrences published to the shard's pending-op tally but not yet
+    // merged into its counters (subtracted, release-ordered, after the
+    // merge applies them).
+    uint64_t pending_contrib = 0;
+    // Net occurrence count (two's-complement) buffered since the last
+    // merge; folded into the shard's net-item tally at merge time.
+    uint64_t net_ops = 0;
+    // Ops buffered since the last merge (cadence for the clock check).
+    uint64_t ops_since_merge = 0;
+    std::chrono::steady_clock::time_point epoch_start{};
+    bool epoch_open = false;
+  };
+
+  [[nodiscard]] DeltaMapView map(uint32_t shard) noexcept {
+    const size_t base = static_cast<size_t>(shard) * options_.capacity;
+    return DeltaMapView{keys_.data() + base, nets_.data() + base,
+                        used_.data() + base, options_.capacity - 1};
+  }
+  [[nodiscard]] ShardState& state(uint32_t shard) noexcept {
+    return states_[shard];
+  }
+  [[nodiscard]] uint32_t num_shards() const noexcept { return num_shards_; }
+  [[nodiscard]] const DeltaBufferOptions& options() const noexcept {
+    return options_;
+  }
+  // Per-shard scratch for batched accumulation (occurrences not yet
+  // published to the shard's pending tally) and the list of shards the
+  // current chunk touched; preallocated so the batch path never allocates.
+  [[nodiscard]] uint64_t* batch_pending() noexcept {
+    return batch_pending_.data();
+  }
+  [[nodiscard]] uint32_t* batch_touched() noexcept {
+    return batch_touched_.data();
+  }
+
+  // Storage footprint in bits (for ConcurrentSbf::MemoryUsageBits).
+  [[nodiscard]] size_t MemoryBits() const noexcept;
+
+  // Taken by the owning thread around every accumulate/merge (uncontended
+  // in steady state) and by cross-thread Flush()/thread-exit drains.
+  std::mutex mu;
+
+ private:
+  uint32_t num_shards_;
+  DeltaBufferOptions options_;
+  std::vector<uint64_t> keys_;   // num_shards * capacity
+  std::vector<uint64_t> nets_;   // num_shards * capacity
+  std::vector<uint8_t> used_;    // num_shards * capacity
+  std::vector<ShardState> states_;
+  std::vector<uint64_t> batch_pending_;  // num_shards
+  std::vector<uint32_t> batch_touched_;  // num_shards
+};
+
+// Every thread's DeltaSet for one ConcurrentSbf. The filter holds the
+// registry via shared_ptr; each writing thread's TLS holder keeps a
+// weak_ptr, so thread exit can find live filters to drain into and filter
+// destruction orphans the TLS entries harmlessly. Lock order is always
+// registry mu -> set mu -> shard locks.
+class DeltaRegistry {
+ public:
+  std::mutex mu;
+  // The filter to drain into; nulled (under mu) by ~ConcurrentSbf and
+  // updated by its move operations.
+  ConcurrentSbf* owner = nullptr;
+  std::vector<std::shared_ptr<DeltaSet>> sets;
+};
+
+// Returns the calling thread's DeltaSet for `registry`, creating and
+// registering it on first use. The pointer stays valid for the thread's
+// lifetime (the TLS holder co-owns it).
+DeltaSet* ThreadDeltaSet(const std::shared_ptr<DeltaRegistry>& registry,
+                         uint32_t num_shards,
+                         const DeltaBufferOptions& options);
+
+// Lookup-only variant for read paths: the calling thread's DeltaSet for
+// `registry`, or nullptr if this thread never wrote through it.
+DeltaSet* ThreadDeltaSetIfExists(const DeltaRegistry* registry) noexcept;
+
+}  // namespace sbf
+
+#endif  // SBF_CORE_DELTA_BUFFER_H_

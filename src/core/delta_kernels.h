@@ -1,0 +1,79 @@
+#ifndef SBF_CORE_DELTA_KERNELS_H_
+#define SBF_CORE_DELTA_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hashing/hash.h"
+#include "util/check.h"
+
+namespace sbf {
+
+// Allocation-free open-addressed accumulation kernels for the epoch-merged
+// delta-buffer write path (core/delta_buffer.h). A delta map aggregates a
+// thread's buffered (key -> net occurrence count) updates for one shard;
+// the epoch merge drains it into the shard's counters. Both operations run
+// on the insert hot path, so — like core/batch_kernels.h — this header is
+// linted allocation-free (scripts/sbf_lint.py kernel-allocations rule):
+// storage is owned by the caller and viewed through raw pointers.
+
+// View over one shard's delta-map storage: `capacity_mask + 1` slots of
+// parallel arrays (key, two's-complement net count, occupancy byte). The
+// capacity must be a power of two. Nets are uint64_t with wrapping
+// arithmetic so buffered removes (negative nets) share the mod-2^64
+// discipline of the lock-free counter path.
+struct DeltaMapView {
+  uint64_t* keys;
+  uint64_t* nets;
+  uint8_t* used;
+  uint64_t capacity_mask;
+};
+
+// Accumulates `delta` (wrapping; pass ~count + 1 for a remove of `count`)
+// onto `key`'s net, inserting the key with linear probing if absent.
+// `*size` counts live slots. Returns false when the map has no free slot
+// for a new key — the caller must merge the map and retry (which cannot
+// fail again: a drained map is empty).
+inline bool DeltaAccumulate(const DeltaMapView& map, uint64_t key,
+                            uint64_t delta, uint32_t* size) {
+  SBF_DCHECK(map.capacity_mask > 0);
+  uint64_t at = Mix64(key) & map.capacity_mask;
+  for (uint64_t probes = 0; probes <= map.capacity_mask; ++probes) {
+    if (map.used[at] == 0) {
+      map.used[at] = 1;
+      map.keys[at] = key;
+      map.nets[at] = delta;
+      ++*size;
+      return true;
+    }
+    if (map.keys[at] == key) {
+      map.nets[at] += delta;
+      return true;
+    }
+    at = (at + 1) & map.capacity_mask;
+  }
+  return false;
+}
+
+// Drains every live entry: calls `apply(key, net)` for each slot whose net
+// is nonzero (an insert cancelled by a buffered remove nets to zero and is
+// skipped — nothing to apply), clears the map, and returns the number of
+// applied entries. Iteration is in slot order, which makes single-buffer
+// merges deterministic for a deterministic insertion history.
+template <typename ApplyFn>
+inline uint32_t DeltaDrain(const DeltaMapView& map, ApplyFn&& apply) {
+  uint32_t applied = 0;
+  for (uint64_t at = 0; at <= map.capacity_mask; ++at) {
+    if (map.used[at] == 0) continue;
+    map.used[at] = 0;
+    if (map.nets[at] != 0) {
+      apply(map.keys[at], map.nets[at]);
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+}  // namespace sbf
+
+#endif  // SBF_CORE_DELTA_KERNELS_H_

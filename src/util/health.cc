@@ -68,6 +68,11 @@ std::string FilterHealth::ToString() const {
                   shard_fill.size(), shard_skew);
     out += buf;
   }
+  if (pending_delta_ops > 0) {
+    std::snprintf(buf, sizeof(buf), " pending_delta_ops=%llu",
+                  static_cast<unsigned long long>(pending_delta_ops));
+    out += buf;
+  }
   return out;
 }
 

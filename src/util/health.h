@@ -61,6 +61,13 @@ struct FilterHealth {
   std::vector<double> shard_fill;
   double shard_skew = 0.0;
 
+  // Occurrences still buffered in ConcurrentSbf's thread-local delta maps
+  // when the snapshot was taken (Health() drains the buffers first, so this
+  // only counts ops re-buffered by writers racing the scan). The fill
+  // tallies above do not include them; the pending-op tally keeps reader
+  // estimates one-sided regardless.
+  uint64_t pending_delta_ops = 0;
+
   // One-line human-readable rendering for tools and logs.
   std::string ToString() const;
 };

@@ -88,6 +88,21 @@ void ShardMetrics::RecordBatch(size_t shard) {
   cells_[shard].batches.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ShardMetrics::RecordDeltaMerge(size_t shard, uint64_t keys) {
+  Cell& cell = cells_[shard];
+  cell.delta_merges.fetch_add(1, std::memory_order_relaxed);
+  cell.delta_merged_keys.fetch_add(keys, std::memory_order_relaxed);
+}
+
+void ShardMetrics::RecordDeltaBufferedPeak(size_t shard, uint64_t buffered) {
+  std::atomic<uint64_t>& peak = cells_[shard].delta_buffered_peak;
+  uint64_t prev = peak.load(std::memory_order_relaxed);
+  while (buffered > prev &&
+         !peak.compare_exchange_weak(prev, buffered,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 ShardMetrics::Snapshot ShardMetrics::Shard(size_t shard) const {
   const Cell& cell = cells_[shard];
   Snapshot snap;
@@ -95,6 +110,11 @@ ShardMetrics::Snapshot ShardMetrics::Shard(size_t shard) const {
   snap.removed_keys = cell.removed_keys.load(std::memory_order_relaxed);
   snap.estimated_keys = cell.estimated_keys.load(std::memory_order_relaxed);
   snap.batches = cell.batches.load(std::memory_order_relaxed);
+  snap.delta_merges = cell.delta_merges.load(std::memory_order_relaxed);
+  snap.delta_merged_keys =
+      cell.delta_merged_keys.load(std::memory_order_relaxed);
+  snap.delta_buffered_peak =
+      cell.delta_buffered_peak.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -106,6 +126,10 @@ ShardMetrics::Snapshot ShardMetrics::Totals() const {
     total.removed_keys += snap.removed_keys;
     total.estimated_keys += snap.estimated_keys;
     total.batches += snap.batches;
+    total.delta_merges += snap.delta_merges;
+    total.delta_merged_keys += snap.delta_merged_keys;
+    total.delta_buffered_peak =
+        std::max(total.delta_buffered_peak, snap.delta_buffered_peak);
   }
   return total;
 }

@@ -88,12 +88,22 @@ class ShardMetrics {
   void RecordEstimate(size_t shard, uint64_t keys);
   // One batch-API visit to this shard (lock acquisitions amortized over it).
   void RecordBatch(size_t shard);
+  // One delta-buffer epoch merge into this shard applying `keys` distinct
+  // buffered keys (core/delta_buffer.h).
+  void RecordDeltaMerge(size_t shard, uint64_t keys);
+  // High-water mark of distinct keys buffered for this shard in one epoch
+  // (recorded as a CAS-max just before the merge drains the map).
+  void RecordDeltaBufferedPeak(size_t shard, uint64_t buffered);
 
   struct Snapshot {
     uint64_t inserted_keys = 0;
     uint64_t removed_keys = 0;
     uint64_t estimated_keys = 0;
     uint64_t batches = 0;
+    uint64_t delta_merges = 0;
+    uint64_t delta_merged_keys = 0;
+    // Max across epochs (and across shards, for Totals()).
+    uint64_t delta_buffered_peak = 0;
   };
   Snapshot Shard(size_t shard) const;
   // Sum over all shards.
@@ -105,7 +115,12 @@ class ShardMetrics {
     std::atomic<uint64_t> removed_keys{0};
     std::atomic<uint64_t> estimated_keys{0};
     std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> delta_merges{0};
+    std::atomic<uint64_t> delta_merged_keys{0};
+    std::atomic<uint64_t> delta_buffered_peak{0};
   };
+  static_assert(sizeof(Cell) == 64,
+                "one metrics cell per cache line (pad if fields are added)");
 
   size_t num_shards_ = 0;
   std::unique_ptr<Cell[]> cells_;

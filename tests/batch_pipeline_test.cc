@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/blocked_sbf.h"
@@ -216,6 +217,94 @@ TEST(BatchPipelineTest, ConcurrentSbfShardSkewedKeys) {
     }
   }
   ExpectBatchEqualsScalar(make, keys);
+}
+
+TEST(BatchPipelineTest, ConcurrentSbfAdversarialAllKeysOneShard) {
+  // The adversarial extreme of the skew test: EVERY key routes to shard 0,
+  // so 8 threads contend on one shard's delta maps, epoch merges and
+  // counters while 7 shards stay empty. With a tiny buffer capacity the
+  // epoch machinery fires constantly; the filter must degrade gracefully —
+  // same bytes as the direct path, no lost occurrences, sane skew report.
+  ConcurrentSbfOptions options;
+  options.m = kM;
+  options.k = kK;
+  options.policy = SbfPolicy::kMinimumSelection;
+  options.backing = CounterBacking::kFixed64;
+  options.num_shards = 8;
+  options.seed = 23;
+  options.delta.capacity = 64;
+  options.delta.merge_keys = 16;
+  ConcurrentSbf buffered(options);
+
+  Xoshiro256 rng(37);
+  std::vector<uint64_t> keys;
+  keys.reserve(kStream);
+  while (keys.size() < kStream) {
+    const uint64_t key = rng.Next();
+    if (buffered.ShardOf(key) == 0) keys.push_back(key);
+  }
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      const size_t begin = keys.size() * w / kThreads;
+      const size_t end = keys.size() * (w + 1) / kThreads;
+      buffered.InsertBatch(keys.data() + begin, end - begin);
+    });
+  }
+  for (auto& t : writers) t.join();
+  buffered.Flush();
+
+  auto no_delta = options;
+  no_delta.delta.enabled = false;
+  ConcurrentSbf direct(no_delta);
+  direct.InsertBatch(keys);
+  EXPECT_EQ(buffered.Serialize(), direct.Serialize());
+  EXPECT_EQ(buffered.TotalItems(), keys.size());
+  // The skew shows up where it should: the health report, not lost data.
+  const FilterHealth health = buffered.Health();
+  EXPECT_GT(health.shard_skew, 4.0);
+  EXPECT_GT(buffered.metrics().Shard(0).delta_merges, 0u);
+}
+
+TEST(BatchPipelineTest, ConcurrentSbfSaturationClampUnderConcurrency) {
+  // Counters parked near the backing's MaxValue() must clamp — never wrap —
+  // when 8 threads keep incrementing through the delta path, and the clamp
+  // events must be tallied. fixed32 clamps at 2^32 - 1.
+  ConcurrentSbfOptions options;
+  options.m = 1024;
+  options.k = kK;
+  options.policy = SbfPolicy::kMinimumSelection;
+  options.backing = CounterBacking::kFixed32;
+  options.num_shards = 4;
+  options.seed = 29;
+  ConcurrentSbf filter(options);
+  const uint64_t max_value = filter.shard(0).counters().MaxValue();
+  ASSERT_EQ(max_value, (uint64_t{1} << 32) - 1);
+
+  // Park 16 keys a hair below saturation, then race 8 threads adding 64
+  // occurrences each on top.
+  std::vector<uint64_t> keys(16);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = 0xABCD00 + i;
+  for (uint64_t key : keys) filter.Insert(key, max_value - 32);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&] {
+      for (uint64_t key : keys) filter.Insert(key, 64);
+    });
+  }
+  for (auto& t : writers) t.join();
+  filter.Flush();
+
+  for (uint64_t key : keys) {
+    // Clamped at the max — a wrapped counter would read near zero and
+    // break the one-sided guarantee.
+    ASSERT_EQ(filter.Estimate(key), max_value) << "key " << key;
+  }
+  EXPECT_GT(filter.saturation().saturation_clamps, 0u);
+  EXPECT_GT(filter.Health().saturated_counters, 0u);
 }
 
 TEST(BatchPipelineTest, VectorConveniencesMatchPointerForm) {

@@ -1,0 +1,434 @@
+// Differential and stress suite for the epoch-merged delta-buffer write
+// path of the sharded SBF frontend (core/delta_buffer.h). The ground rule
+// under test: buffering must be invisible — N threads writing through the
+// delta path converge (after Flush(), a join, or a whole-filter op) to the
+// byte-exact state of the same multiset applied through the direct path,
+// and estimates never under-report a completed insert even mid-epoch.
+// Every test here must be race-clean under ThreadSanitizer (the dedicated
+// tsan-concurrency CI leg runs this binary with -DSBF_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/concurrent_sbf.h"
+#include "core/spectral_bloom_filter.h"
+#include "workload/multiset_stream.h"
+
+namespace sbf {
+namespace {
+
+constexpr int kWriters = 8;
+constexpr int kReaders = 8;
+
+ConcurrentSbfOptions MakeDeltaOptions(CounterBacking backing,
+                                      uint32_t num_shards,
+                                      uint64_t seed = 42) {
+  ConcurrentSbfOptions options;
+  options.m = 8192;
+  options.k = 4;
+  options.policy = SbfPolicy::kMinimumSelection;
+  options.backing = backing;
+  options.num_shards = num_shards;
+  options.seed = seed;
+  options.delta.enabled = true;
+  return options;
+}
+
+ConcurrentSbfOptions WithoutDelta(ConcurrentSbfOptions options) {
+  options.delta.enabled = false;
+  return options;
+}
+
+std::vector<size_t> SliceStarts(size_t n, int parts) {
+  std::vector<size_t> starts(parts + 1);
+  for (int i = 0; i <= parts; ++i) starts[i] = n * i / parts;
+  return starts;
+}
+
+// Drives `data.stream` through `filter` with `kWriters` threads, odd
+// writers batching and even writers issuing point inserts (both buffered
+// paths are exercised and proven mutually race-clean).
+void InsertConcurrently(ConcurrentSbf& filter, const Multiset& data) {
+  const auto starts = SliceStarts(data.stream.size(), kWriters);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      if (w % 2 == 1) {
+        std::vector<uint64_t> slice(data.stream.begin() + starts[w],
+                                    data.stream.begin() + starts[w + 1]);
+        filter.InsertBatch(slice);
+      } else {
+        for (size_t i = starts[w]; i < starts[w + 1]; ++i) {
+          filter.Insert(data.stream[i]);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+}
+
+class ConcurrentDeltaBackingTest
+    : public ::testing::TestWithParam<CounterBacking> {};
+
+std::string BackingName(const ::testing::TestParamInfo<CounterBacking>& info) {
+  std::string name = CounterBackingName(info.param);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+TEST_P(ConcurrentDeltaBackingTest, ThreadedDeltaMatchesDirectPathAfterFlush) {
+  // The differential heart of the suite: the delta path must be invisible.
+  // Across shard counts, 8 threads buffering through delta maps must
+  // converge to the byte-exact wire image of the direct (unbuffered) path
+  // fed the same multiset serially.
+  const Multiset data = MakeZipfMultiset(400, 20000, 1.0, 7);
+  for (uint32_t num_shards : {1u, 4u, 16u}) {
+    const auto options = MakeDeltaOptions(GetParam(), num_shards);
+    ConcurrentSbf buffered(options);
+    ConcurrentSbf direct(WithoutDelta(options));
+    ASSERT_TRUE(buffered.IsDeltaBuffered());
+    ASSERT_FALSE(direct.IsDeltaBuffered());
+    direct.InsertBatch(data.stream);
+
+    InsertConcurrently(buffered, data);
+    buffered.Flush();
+    EXPECT_EQ(buffered.PendingDeltaOps(), 0u) << num_shards << " shards";
+    EXPECT_EQ(buffered.Serialize(), direct.Serialize())
+        << num_shards << " shards";
+    EXPECT_EQ(buffered.TotalItems(), data.stream.size());
+    EXPECT_GT(buffered.metrics().Totals().delta_merges, 0u);
+  }
+}
+
+TEST_P(ConcurrentDeltaBackingTest, TinyCapacityForcedMergesStayExact) {
+  // A 64-slot map with a 16-key merge threshold forces both epoch triggers
+  // (size threshold and map-full retry) thousands of times; the result
+  // must still be byte-exact.
+  auto options = MakeDeltaOptions(GetParam(), 4);
+  options.delta.capacity = 64;
+  options.delta.merge_keys = 16;
+  const Multiset data = MakeZipfMultiset(500, 15000, 1.0, 13);
+  ConcurrentSbf buffered(options);
+  ConcurrentSbf direct(WithoutDelta(options));
+  direct.InsertBatch(data.stream);
+
+  InsertConcurrently(buffered, data);
+  buffered.Flush();
+  EXPECT_EQ(buffered.Serialize(), direct.Serialize());
+}
+
+TEST_P(ConcurrentDeltaBackingTest, SingleShardDeltaDegeneratesToPlainSbf) {
+  // With one shard and one thread, the buffered frontend IS a plain SBF:
+  // the self-drain discipline (estimates drain the caller's own buffer)
+  // plus the flush-on-serialize boundary make the wire images identical.
+  const auto options = MakeDeltaOptions(GetParam(), 1);
+  ConcurrentSbf sharded(options);
+  SpectralBloomFilter plain(ShardOptions(options, 0));
+  const Multiset data = MakeZipfMultiset(200, 8000, 1.0, 17);
+  for (uint64_t key : data.stream) {
+    sharded.Insert(key);
+    plain.Insert(key);
+  }
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    ASSERT_EQ(sharded.Estimate(data.keys[i]), plain.Estimate(data.keys[i]));
+  }
+  EXPECT_EQ(sharded.SnapshotShard(0).Serialize(), plain.Serialize());
+}
+
+TEST_P(ConcurrentDeltaBackingTest, MinimalIncreaseBypassesDeltaBuffers) {
+  // MI reads counters before lifting them — order-dependent updates cannot
+  // be buffered commutatively — so the delta path must deactivate itself
+  // even when explicitly enabled, and the pending tally must stay zero.
+  auto options = MakeDeltaOptions(GetParam(), 4);
+  options.policy = SbfPolicy::kMinimalIncrease;
+  options.delta.enabled = true;
+  ConcurrentSbf filter(options);
+  EXPECT_FALSE(filter.IsDeltaBuffered());
+
+  const Multiset data = MakeZipfMultiset(200, 8000, 1.0, 19);
+  const auto starts = SliceStarts(data.stream.size(), kWriters);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (size_t i = starts[w]; i < starts[w + 1]; ++i) {
+        filter.Insert(data.stream[i]);
+        ASSERT_EQ(filter.PendingDeltaOps(), 0u);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  // One-sidedness still holds for insert-only MI streams.
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    ASSERT_GE(filter.Estimate(data.keys[i]), data.freqs[i]);
+  }
+}
+
+TEST_P(ConcurrentDeltaBackingTest, ThreadExitDrainsWithoutExplicitFlush) {
+  // A joined writer must leave nothing behind: the TLS destructor drains
+  // its buffers into the shard counters, so after the join the estimates
+  // are exact with no Flush() call anywhere.
+  auto options = MakeDeltaOptions(GetParam(), 4);
+  options.delta.merge_keys = 1u << 20;   // never size-triggered
+  options.delta.max_epoch_micros = 0;    // never clock-triggered
+  options.delta.capacity = 4096;
+  ConcurrentSbf filter(options);
+  const Multiset data = MakeZipfMultiset(100, 4000, 1.0, 23);
+  std::thread writer([&] {
+    for (uint64_t key : data.stream) filter.Insert(key);
+  });
+  writer.join();
+  EXPECT_EQ(filter.PendingDeltaOps(), 0u);
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    ASSERT_GE(filter.Estimate(data.keys[i]), data.freqs[i]);
+  }
+  EXPECT_EQ(filter.TotalItems(), data.stream.size());
+}
+
+TEST_P(ConcurrentDeltaBackingTest, CrossThreadMidEpochEstimateIsOneSided) {
+  // The core one-sided guarantee, deterministically: a writer buffers
+  // inserts and parks WITHOUT merging (thresholds disabled); a different
+  // thread — whose own buffers are empty — estimates. The pending tally
+  // must cover the parked occurrences, so the estimate is >= the true
+  // frequency even though no counter carries it yet.
+  auto options = MakeDeltaOptions(GetParam(), 2);
+  options.delta.merge_keys = 1u << 20;
+  options.delta.max_epoch_micros = 0;
+  options.delta.capacity = 1024;
+  ConcurrentSbf filter(options);
+
+  constexpr uint64_t kKey = 0xFEEDFACEull;
+  constexpr uint64_t kTimes = 37;
+  std::mutex mu;
+  std::condition_variable cv;
+  int stage = 0;  // 0: writer buffering, 1: reader may probe, 2: done
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < kTimes; ++i) filter.Insert(kKey);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stage = 1;
+    }
+    cv.notify_all();
+    // Park (keeping the thread alive so the TLS drain cannot run) until
+    // the reader finished probing mid-epoch state.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return stage == 2; });
+  });
+  std::thread reader([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return stage == 1; });
+    lock.unlock();
+    EXPECT_GT(filter.PendingDeltaOps(), 0u);
+    EXPECT_GE(filter.Estimate(kKey), kTimes);
+    lock.lock();
+    stage = 2;
+    lock.unlock();
+    cv.notify_all();
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(filter.PendingDeltaOps(), 0u);
+  EXPECT_GE(filter.Estimate(kKey), kTimes);
+}
+
+TEST_P(ConcurrentDeltaBackingTest, MergeMidEpochObservesUnflushedDeltas) {
+  // Regression for the latent bug this PR fixes: Merge() used to read the
+  // operands' counters directly, silently dropping any deltas still
+  // buffered mid-epoch. Merging with buffers full must now equal merging
+  // the explicitly flushed filters.
+  auto options = MakeDeltaOptions(GetParam(), 4);
+  options.delta.merge_keys = 1u << 20;
+  options.delta.max_epoch_micros = 0;
+  options.delta.capacity = 4096;
+  const Multiset left = MakeZipfMultiset(150, 6000, 1.0, 29);
+  const Multiset right = MakeZipfMultiset(150, 6000, 1.0, 31);
+
+  // Mid-epoch merge: both operands still hold every insert in buffers.
+  ConcurrentSbf a(options), b(options);
+  for (uint64_t key : left.stream) a.Insert(key);
+  for (uint64_t key : right.stream) b.Insert(key);
+  EXPECT_GT(a.PendingDeltaOps() + b.PendingDeltaOps(), 0u);
+  ASSERT_TRUE(a.Merge(b).ok());
+
+  // Flushed reference: same streams, explicit epoch boundary, then merge.
+  ConcurrentSbf ra(options), rb(options);
+  for (uint64_t key : left.stream) ra.Insert(key);
+  for (uint64_t key : right.stream) rb.Insert(key);
+  ra.Flush();
+  rb.Flush();
+  ASSERT_TRUE(ra.Merge(rb).ok());
+
+  EXPECT_EQ(a.Serialize(), ra.Serialize());
+  EXPECT_EQ(a.TotalItems(), left.stream.size() + right.stream.size());
+}
+
+TEST_P(ConcurrentDeltaBackingTest, HealthMidEpochObservesUnflushedDeltas) {
+  // Health() must not report an empty filter while every insert sits in a
+  // buffer: it drains first, so the fill scan sees the mid-epoch inserts.
+  auto options = MakeDeltaOptions(GetParam(), 2);
+  options.delta.merge_keys = 1u << 20;
+  options.delta.max_epoch_micros = 0;
+  options.delta.capacity = 4096;
+  ConcurrentSbf filter(options);
+  const Multiset data = MakeZipfMultiset(200, 5000, 1.0, 37);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  EXPECT_GT(filter.PendingDeltaOps(), 0u);
+  const FilterHealth health = filter.Health();
+  EXPECT_GT(health.nonzero_counters, 0u);
+  EXPECT_GT(health.fill_ratio, 0.0);
+  // No writers are racing, so nothing was re-buffered during the drain.
+  EXPECT_EQ(health.pending_delta_ops, 0u);
+  EXPECT_EQ(filter.PendingDeltaOps(), 0u);
+}
+
+TEST_P(ConcurrentDeltaBackingTest, WritersAndReadersRaceMidEpoch) {
+  // The TSan stress centerpiece: kWriters re-insert a pre-loaded multiset
+  // through the delta path while kReaders hammer estimates. At EVERY
+  // observation point an estimate must be >= the pre-loaded baseline
+  // frequency (counters plus pending tally never under-report), and the
+  // final state must again match the direct path byte for byte.
+  const Multiset data = MakeZipfMultiset(256, 12000, 1.0, 41);
+  const auto options = MakeDeltaOptions(GetParam(), 8);
+  ConcurrentSbf filter(options);
+  filter.InsertBatch(data.stream);
+  filter.Flush();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t i = (local++ * 31 + static_cast<size_t>(r)) %
+                         data.keys.size();
+        if (filter.Estimate(data.keys[i]) < data.freqs[i]) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  InsertConcurrently(filter, data);
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0u);
+
+  filter.Flush();
+  ConcurrentSbf direct(WithoutDelta(options));
+  direct.InsertBatch(data.stream);
+  direct.InsertBatch(data.stream);
+  EXPECT_EQ(filter.Serialize(), direct.Serialize());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backings, ConcurrentDeltaBackingTest,
+                         ::testing::Values(CounterBacking::kFixed64,
+                                           CounterBacking::kFixed32,
+                                           CounterBacking::kCompact,
+                                           CounterBacking::kSerialScan),
+                         BackingName);
+
+TEST(ConcurrentDeltaTest, LockFreeRemoveCancellationNetsOutInBuffer) {
+  // Insert-then-remove of the same occurrences through one thread's buffer
+  // nets to zero before any counter is touched; the flushed image equals a
+  // filter that saw only the surviving inserts.
+  auto options = MakeDeltaOptions(CounterBacking::kFixed64, 4);
+  options.delta.merge_keys = 1u << 20;
+  options.delta.max_epoch_micros = 0;
+  options.delta.capacity = 4096;
+  const Multiset data = MakeZipfMultiset(100, 3000, 1.0, 43);
+  ConcurrentSbf buffered(options);
+  ConcurrentSbf direct(WithoutDelta(options));
+  for (uint64_t key : data.stream) buffered.Insert(key);
+  // Remove one occurrence of every key, still buffered.
+  for (uint64_t key : data.keys) buffered.Remove(key);
+  buffered.Flush();
+  direct.InsertBatch(data.stream);
+  for (uint64_t key : data.keys) direct.Remove(key);
+  EXPECT_EQ(buffered.Serialize(), direct.Serialize());
+  EXPECT_EQ(buffered.TotalItems(), data.stream.size() - data.keys.size());
+}
+
+TEST(ConcurrentDeltaTest, ClampedBackingRemovesFlushThenApplyDirectly) {
+  // On clamped backings removes are order-sensitive (a remove merged ahead
+  // of its insert clamps at zero), so Remove() flushes every buffer first
+  // and applies directly — including inserts still buffered by OTHER
+  // threads, the exact interleaving that used to lose occurrences.
+  auto options = MakeDeltaOptions(CounterBacking::kCompact, 4);
+  options.delta.merge_keys = 1u << 20;
+  options.delta.max_epoch_micros = 0;
+  options.delta.capacity = 4096;
+  const Multiset data = MakeZipfMultiset(100, 3000, 1.0, 47);
+  ConcurrentSbf buffered(options);
+  std::thread writer([&] {
+    for (uint64_t key : data.stream) buffered.Insert(key);
+  });
+  writer.join();  // inserts drained by thread exit
+  // Re-buffer a second copy from this thread, then remove mid-epoch: the
+  // removes must observe both the drained and the still-buffered copies.
+  for (uint64_t key : data.stream) buffered.Insert(key);
+  for (uint64_t key : data.keys) buffered.Remove(key);
+  buffered.Flush();
+
+  ConcurrentSbf direct(WithoutDelta(options));
+  direct.InsertBatch(data.stream);
+  direct.InsertBatch(data.stream);
+  for (uint64_t key : data.keys) direct.Remove(key);
+  EXPECT_EQ(buffered.Serialize(), direct.Serialize());
+  EXPECT_EQ(buffered.TotalItems(), 2 * data.stream.size() - data.keys.size());
+}
+
+TEST(ConcurrentDeltaTest, MoveCarriesBufferedStateAcrossInstances) {
+  // Moving a filter re-points the delta registry: deltas buffered against
+  // the source drain into the destination (moves flush first), and new
+  // writes through the moved-to instance keep buffering.
+  auto options = MakeDeltaOptions(CounterBacking::kFixed64, 2);
+  options.delta.merge_keys = 1u << 20;
+  options.delta.max_epoch_micros = 0;
+  ConcurrentSbf source(options);
+  for (uint64_t key = 1; key <= 64; ++key) source.Insert(key);
+  ConcurrentSbf moved(std::move(source));
+  EXPECT_TRUE(moved.IsDeltaBuffered());
+  for (uint64_t key = 1; key <= 64; ++key) moved.Insert(key);
+  moved.Flush();
+  for (uint64_t key = 1; key <= 64; ++key) {
+    ASSERT_GE(moved.Estimate(key), 2u) << "key " << key;
+  }
+  EXPECT_EQ(moved.TotalItems(), 128u);
+}
+
+TEST(ConcurrentDeltaTest, DeltaDisabledConfigTakesDirectPath) {
+  auto options = MakeDeltaOptions(CounterBacking::kFixed64, 4);
+  options.delta.enabled = false;
+  ConcurrentSbf filter(options);
+  EXPECT_FALSE(filter.IsDeltaBuffered());
+  filter.Insert(1, 5);
+  EXPECT_EQ(filter.PendingDeltaOps(), 0u);
+  EXPECT_EQ(filter.Estimate(1), 5u);
+  // Flush is a harmless no-op without buffers.
+  filter.Flush();
+  EXPECT_EQ(filter.Estimate(1), 5u);
+}
+
+TEST(ConcurrentDeltaTest, MetricsTrackMergesAndBufferedPeak) {
+  auto options = MakeDeltaOptions(CounterBacking::kFixed64, 2);
+  options.delta.capacity = 64;
+  options.delta.merge_keys = 8;
+  ConcurrentSbf filter(options);
+  for (uint64_t key = 0; key < 512; ++key) filter.Insert(key);
+  filter.Flush();
+  const auto totals = filter.metrics().Totals();
+  EXPECT_GT(totals.delta_merges, 0u);
+  EXPECT_GT(totals.delta_merged_keys, 0u);
+  EXPECT_GE(totals.delta_buffered_peak, 8u);
+  EXPECT_EQ(totals.inserted_keys, 512u);
+}
+
+}  // namespace
+}  // namespace sbf
