@@ -210,6 +210,10 @@ int main(int argc, char** argv) {
                      }});
 
   bench::BenchJson json("BENCH_batch_pipeline.json");
+  // Every row carries the active SIMD ISA and build flags: the batched
+  // fixed-width paths dispatch to the block kernels, so rows from the
+  // generic-only and AVX2 CI legs are different measurements.
+  json.SetContext(bench::StandardContext());
   for (const Config& config : configs) {
     std::printf("# %s (m=%llu, keys=%zu)\n", config.name.c_str(),
                 static_cast<unsigned long long>(m), num_keys);

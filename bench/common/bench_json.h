@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/simd_kernels.h"
+
 namespace sbf::bench {
 
 // Shared result schema for every BENCH_*.json artifact the bench binaries
@@ -21,6 +23,11 @@ namespace sbf::bench {
 // benchmarks means CI and the EXPERIMENTS.md tables can consume any
 // benchmark's artifact with the same parser. Rows are also printed to
 // stdout as they are added, so interactive runs stream results.
+//
+// Context params (SetContext / StandardContext below) are appended to
+// every row's params: build-level facts — the active SIMD ISA, the
+// compiler and its flags — that distinguish artifacts produced by
+// different CI legs of the same benchmark.
 class BenchJson {
  public:
   // One params entry; values render as JSON strings or numbers.
@@ -43,12 +50,23 @@ class BenchJson {
   // "BENCH_batch_pipeline.json").
   explicit BenchJson(std::string path) : path_(std::move(path)) {}
 
+  // Params appended to every subsequent row (keys must not collide with
+  // per-row params). Typically StandardContext().
+  void SetContext(std::vector<Param> context) {
+    context_ = std::move(context);
+  }
+
   void Add(const std::string& name, const std::vector<Param>& params,
            double ns_per_op, double throughput_mops) {
     std::string row = "{\"name\":\"" + name + "\",\"params\":{";
-    for (size_t i = 0; i < params.size(); ++i) {
-      if (i > 0) row += ',';
-      row += '"' + params[i].key + "\":" + params[i].rendered;
+    bool first = true;
+    const std::vector<Param>* groups[] = {&params, &context_};
+    for (const std::vector<Param>* group : groups) {
+      for (const Param& param : *group) {
+        if (!first) row += ',';
+        first = false;
+        row += '"' + param.key + "\":" + param.rendered;
+      }
     }
     row += "},\"ns_per_op\":" + Num(ns_per_op) +
            ",\"throughput_mops\":" + Num(throughput_mops) + "}";
@@ -85,8 +103,28 @@ class BenchJson {
   }
 
   std::string path_;
+  std::vector<Param> context_;
   std::vector<std::string> rows_;
 };
+
+// The standard row context: the SIMD ISA the process dispatched to (after
+// CPU detection and any SBF_FORCE_ISA override) plus the compiler identity
+// and flags the benchmark was built with (SBF_BENCH_CXX_FLAGS is injected
+// by bench/CMakeLists.txt). Benchmarks that sweep ForceIsa() themselves
+// should omit the "isa" entry and emit a per-row param instead.
+inline std::vector<BenchJson::Param> StandardContext(bool with_isa = true) {
+  std::vector<BenchJson::Param> context;
+  if (with_isa) {
+    context.emplace_back("isa", simd::IsaName(simd::Active().isa));
+  }
+  context.emplace_back("compiler", __VERSION__);
+#ifdef SBF_BENCH_CXX_FLAGS
+  context.emplace_back("cxx_flags", SBF_BENCH_CXX_FLAGS);
+#else
+  context.emplace_back("cxx_flags", "");
+#endif
+  return context;
+}
 
 // Baseline bookkeeping for scaling sweeps: every multi-threaded bench that
 // reports `speedup_vs_1t` records its 1-thread wall time per sweep cell

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate on the SIMD blocked-kernel artifact.
+
+Reads BENCH_simd_blocked.json (schema: bench/common/bench_json.h, written
+by bench/bench_simd_blocked) and fails if the hot-regime AVX2 estimate
+speedup over the scalar batch pipeline falls below the threshold on every
+geometry/policy cell. Gating on the best cell rather than all cells keeps
+the gate robust on shared runners: the fixed64 cells sit at 4-5x with
+headroom, while noisy neighbours can shave any single ratio.
+
+The gate SKIPS — exit 0 with a message — when the artifact has no avx2
+rows, which is what bench_simd_blocked emits on a host without AVX2 (the
+ISA sweep only includes supported ISAs). A gate that fails on every
+SSE2-only runner teaches people to ignore it.
+
+Usage: python3 scripts/check_simd.py [path/to/BENCH_simd_blocked.json]
+Exit status: 0 pass or skip, 1 gate failure or missing/invalid artifact.
+"""
+
+import json
+import sys
+
+THRESHOLD = 3.0
+REGIME = "hot"
+ISA = "avx2"
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_simd_blocked.json"
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_simd: cannot read {path}: {e}")
+        return 1
+
+    has_hot = False
+    cells = {}  # (shape, policy) -> speedup
+    for row in rows:
+        params = row.get("params", {})
+        if params.get("regime") != REGIME or row.get("name") != "estimate":
+            continue
+        has_hot = True
+        if params.get("isa") == ISA:
+            key = (params.get("shape"), params.get("policy"))
+            cells[key] = params.get("speedup_vs_scalar_pipeline")
+
+    if not cells:
+        if has_hot:
+            print(f"check_simd: SKIP — no {ISA} rows in {path}; "
+                  f"host does not support {ISA}")
+            return 0
+        print(f"check_simd: no {REGIME}-regime estimate rows in {path}")
+        return 1
+
+    (shape, policy), speedup = max(cells.items(), key=lambda kv: kv[1])
+    verdict = "PASS" if speedup >= THRESHOLD else "FAIL"
+    print(f"check_simd: {verdict} — best {REGIME}-regime {ISA} estimate "
+          f"speedup vs scalar pipeline is {speedup:.2f}x on {shape}/{policy} "
+          f"(threshold {THRESHOLD:.1f}x)")
+    for (s, p), v in sorted(cells.items()):
+        print(f"check_simd:   {s}/{p}: {v:.2f}x")
+    return 0 if speedup >= THRESHOLD else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint rules for libsbf (run by the CI lint job).
 
-Four structural rules that generic linters cannot express:
+Structural rules that generic linters cannot express:
 
   1. wire-ownership  — raw byte I/O (file streams, manual little-endian
      byte packing) is confined to src/io/; everything else must go through
@@ -26,6 +26,12 @@ Four structural rules that generic linters cannot express:
      concurrent_delta_test) with retry + timeout flags. Dropping a suite
      from the TSan leg is how a data race ships while the release leg
      stays green.
+  6. simd-differential — every SIMD kernel entry point declared as a
+     function-pointer field of simd::BlockKernels (src/core/simd_kernels.h)
+     must be exercised by name in tests/simd_differential_test.cc, the
+     suite that pins each ISA variant to the scalar reference. A vector
+     kernel without a registered differential test is an unverified
+     bit-for-bit equivalence claim.
 
 Run from anywhere inside the repository:  python3 scripts/sbf_lint.py
 Self-test (used by ctest):                python3 scripts/sbf_lint.py --self-test
@@ -46,17 +52,30 @@ WIRE_HEADER = SRC / "io" / "wire.h"
 HOT_PATH_FILES = [
     SRC / "core" / "batch_kernels.h",
     SRC / "core" / "delta_kernels.h",
+    SRC / "core" / "simd_kernels.h",
     SRC / "bitstream" / "bit_vector.h",
     SRC / "sai" / "fixed_counter_vector.h",
     SRC / "util" / "prefetch.h",
 ]
 
-# Rule 4: the batch-kernel pipelines and the delta accumulate/drain
-# kernels (every buffered insert and every epoch merge runs through them).
+# Rule 4: the batch-kernel pipelines, the delta accumulate/drain kernels
+# (every buffered insert and every epoch merge runs through them), and the
+# SIMD block-kernel translation units.
 KERNEL_FILES = [
     SRC / "core" / "batch_kernels.h",
     SRC / "core" / "delta_kernels.h",
+    SRC / "core" / "simd_kernels_generic.cc",
+    SRC / "core" / "simd_kernels_sse2.cc",
+    SRC / "core" / "simd_kernels_avx2.cc",
 ]
+
+# Rule 6: the kernel dispatch table and the differential suite that must
+# cover every one of its entry points.
+SIMD_KERNELS_HEADER = SRC / "core" / "simd_kernels.h"
+SIMD_DIFFERENTIAL_TEST = REPO / "tests" / "simd_differential_test.cc"
+# A function-pointer field of the BlockKernels table, e.g.
+#   uint64_t (*blocked_min64)(const uint64_t* block, ...);
+SIMD_FIELD = re.compile(r"\(\s*\*\s*(\w+)\s*\)\s*\(")
 
 # Rule 5: the CI workflow and what its TSan leg must keep running.
 CI_WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
@@ -208,6 +227,42 @@ def check_tsan_coverage(violations, workflow_text=None):
                 f"invocation lost the '{flag}' flag")
 
 
+def simd_kernel_entry_points():
+    """Names of the function-pointer fields of simd::BlockKernels."""
+    fields = []
+    for _, line in iter_code_lines(SIMD_KERNELS_HEADER):
+        for match in SIMD_FIELD.finditer(line):
+            fields.append(match.group(1))
+    return fields
+
+
+def check_simd_differential(violations, test_text=None):
+    """Every kernel entry point needs a registered scalar-differential
+    test: the suite must mention the field by name (it drives each ISA's
+    implementation against the generic reference)."""
+    fields = simd_kernel_entry_points()
+    if not fields:
+        violations.append(
+            "src/core/simd_kernels.h: simd-differential: no BlockKernels "
+            "entry points parsed — the table moved or the field syntax "
+            "changed; update sbf_lint.py's SIMD_FIELD pattern")
+        return
+    if test_text is None:
+        if not SIMD_DIFFERENTIAL_TEST.exists():
+            violations.append(
+                "tests/simd_differential_test.cc: simd-differential: the "
+                "differential suite is missing")
+            return
+        test_text = SIMD_DIFFERENTIAL_TEST.read_text()
+    for field in fields:
+        if field not in test_text:
+            violations.append(
+                f"tests/simd_differential_test.cc: simd-differential: "
+                f"kernel entry point '{field}' has no scalar-differential "
+                f"coverage — every ISA variant must be pinned to the "
+                f"generic reference")
+
+
 def run_lint():
     violations = []
     check_wire_ownership(violations)
@@ -215,6 +270,7 @@ def run_lint():
     check_golden_coverage(violations)
     check_kernel_allocations(violations)
     check_tsan_coverage(violations)
+    check_simd_differential(violations)
     for v in violations:
         print(v)
     if violations:
@@ -286,6 +342,25 @@ def self_test():
     check_tsan_coverage(clean)
     if clean:
         failures.append(f"tsan-coverage: tree not clean: {clean}")
+
+    # simd-differential fires when an entry point has no coverage, and
+    # stays quiet on the real tree.
+    fields = simd_kernel_entry_points()
+    if len(fields) < 2:
+        failures.append(
+            f"simd-differential: expected several BlockKernels entry "
+            f"points, parsed {fields}")
+    else:
+        synthetic = " ".join(fields[1:])  # drop one field's coverage
+        fired = []
+        check_simd_differential(fired, test_text=synthetic)
+        if not any(fields[0] in v for v in fired):
+            failures.append(
+                "simd-differential: uncovered entry point did not fire")
+        clean = []
+        check_simd_differential(clean)
+        if clean:
+            failures.append(f"simd-differential: tree not clean: {clean}")
 
     if failures:
         for f in failures:

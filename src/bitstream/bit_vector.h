@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/aligned_alloc.h"
 #include "util/bits.h"
 #include "util/check.h"
 
@@ -112,7 +113,10 @@ class BitVector {
 
  private:
   size_t num_bits_ = 0;
-  std::vector<uint64_t> words_;
+  // Cache-line aligned: bit 0 of word 0 starts a 64-byte line, so any
+  // 512-bit block at a 512-bit-aligned bit offset occupies exactly one
+  // line (the blocked SBF layout and its SIMD kernels depend on this).
+  std::vector<uint64_t, AlignedAllocator<uint64_t, kCacheLineBytes>> words_;
 };
 
 }  // namespace sbf

@@ -83,6 +83,32 @@ inline uint64_t EarlyExitMin(const CV& cv, const uint64_t* pos, uint32_t k) {
   return min_value;
 }
 
+// Minimal Increase probe over the k counters at pos[0..k) — the paper's
+// Section 3.2 batch form, shared by the scalar Insert, the batched insert
+// pipelines, and the SIMD kernels' exact fallback path. Lifts every
+// counter below m_x + count up to it; the lift target saturates at 2^64
+// (a mod-2^64 wrap would *lower* counters and break the one-sided
+// guarantee), tallying the clamp. Narrower backings clamp again, and
+// tally, inside Set.
+template <typename CV>
+inline void MinimalIncreaseProbe(CV& cv, const uint64_t* pos, uint32_t k,
+                                 uint64_t count) {
+  uint64_t values[HashFamily::kMaxK];
+  uint64_t min_value = ~uint64_t{0};
+  for (uint32_t j = 0; j < k; ++j) {
+    values[j] = cv.Get(pos[j]);
+    min_value = values[j] < min_value ? values[j] : min_value;
+  }
+  uint64_t target = min_value + count;
+  if (count > ~uint64_t{0} - min_value) {
+    target = ~uint64_t{0};
+    cv.MergeSaturationStats({/*saturation_clamps=*/1, 0});
+  }
+  for (uint32_t j = 0; j < k; ++j) {
+    if (values[j] < target) cv.Set(pos[j], target);
+  }
+}
+
 // Stage-1 prefetch functor: one PrefetchCounter hint per position.
 struct PrefetchEachPosition {
   uint32_t k;

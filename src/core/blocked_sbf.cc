@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/batch_kernels.h"
+#include "core/simd_kernels.h"
 #include "sai/compact_counter_vector.h"
 #include "sai/fixed_counter_vector.h"
 #include "sai/serial_scan_counter_vector.h"
@@ -21,6 +22,36 @@ constexpr uint32_t kMaxK = 64;
 uint64_t BlockAlpha(uint64_t seed) {
   uint64_t sm = seed ^ 0xB10CEDull;
   return SplitMix64(sm);
+}
+
+// A 64-byte block is 8 backing words in both SIMD geometries (8 x 64-bit
+// or 16 x 32-bit counters), so the ring's block base is a word index.
+constexpr uint64_t kSimdWordsPerBlock = 8;
+
+// Exact scalar fallbacks for keys the SIMD kernels reject (a saturation
+// clamp could fire — simd_kernels.h contract). They re-derive the k
+// absolute positions from the cached alphas, in probe order, and run the
+// same clamping ops the scalar paths run.
+template <uint32_t kShift, uint64_t kCountersPerWord>
+void ScalarMsFallback(FixedWidthCounterVector& cv, const uint64_t* alphas,
+                      uint32_t k, uint64_t word_base, uint64_t mixed,
+                      uint64_t count) {
+  const uint64_t base = word_base * kCountersPerWord;
+  for (uint32_t j = 0; j < k; ++j) {
+    cv.Increment(base + ((alphas[j] * mixed) >> kShift), count);
+  }
+}
+
+template <uint32_t kShift, uint64_t kCountersPerWord>
+void ScalarMiFallback(FixedWidthCounterVector& cv, const uint64_t* alphas,
+                      uint32_t k, uint64_t word_base, uint64_t mixed,
+                      uint64_t count) {
+  uint64_t pos[HashFamily::kMaxK];
+  const uint64_t base = word_base * kCountersPerWord;
+  for (uint32_t j = 0; j < k; ++j) {
+    pos[j] = base + ((alphas[j] * mixed) >> kShift);
+  }
+  MinimalIncreaseProbe(cv, pos, k, count);
 }
 
 }  // namespace
@@ -50,7 +81,23 @@ BlockedSbf::BlockedSbf(BlockedSbfOptions options)
       counters_(MakeCounterVector(options.backing, options.m)) {
   const Status status = ValidateBlockedSbfOptions(options_);
   SBF_CHECK_MSG(status.ok(), status.message().c_str());
+  ResolveSimdShape();
   SBF_AUDIT_INVARIANTS(*this);
+}
+
+void BlockedSbf::ResolveSimdShape() {
+  simd_shape_ = SimdShape::kNone;
+  if (options_.hash_kind != HashFamily::Kind::kModuloMultiply) return;
+  if (options_.backing == CounterBacking::kFixed64 &&
+      options_.block_size == simd::kBlockLanes64) {
+    simd_shape_ = SimdShape::kBlock64x8;
+  } else if (options_.backing == CounterBacking::kFixed32 &&
+             options_.block_size == simd::kBlockLanes32) {
+    simd_shape_ = SimdShape::kBlock32x16;
+  }
+  if (simd_shape_ != SimdShape::kNone) {
+    within_block_.FillModuloMultiplyAlphas(simd_alphas_);
+  }
 }
 
 void BlockedSbf::Positions(uint64_t key, uint64_t* out) const {
@@ -62,16 +109,30 @@ void BlockedSbf::Positions(uint64_t key, uint64_t* out) const {
 void BlockedSbf::Insert(uint64_t key, uint64_t count) {
   uint64_t positions[kMaxK];
   Positions(key, positions);
-  for (uint32_t i = 0; i < options_.k; ++i) {
-    counters_->Increment(positions[i], count);
+  if (options_.policy == SbfPolicy::kMinimumSelection) {
+    for (uint32_t i = 0; i < options_.k; ++i) {
+      counters_->Increment(positions[i], count);
+    }
+  } else {
+    MinimalIncreaseProbe(*counters_, positions, options_.k, count);
   }
 }
 
 void BlockedSbf::Remove(uint64_t key, uint64_t count) {
   uint64_t positions[kMaxK];
   Positions(key, positions);
-  for (uint32_t i = 0; i < options_.k; ++i) {
-    counters_->Decrement(positions[i], count);
+  if (options_.policy == SbfPolicy::kMinimumSelection) {
+    for (uint32_t i = 0; i < options_.k; ++i) {
+      counters_->Decrement(positions[i], count);
+    }
+  } else {
+    // Under Minimal Increase counters may hold less than the number of
+    // deletions of the keys mapped onto them; clamping at zero is what
+    // makes deletions unsound for MI (same caveat as SpectralBloomFilter).
+    for (uint32_t i = 0; i < options_.k; ++i) {
+      const uint64_t v = counters_->Get(positions[i]);
+      counters_->Set(positions[i], v >= count ? v - count : 0);
+    }
   }
 }
 
@@ -123,6 +184,33 @@ struct PrefetchBlock<FixedWidthCounterVector> {
 void BlockedSbf::EstimateBatch(const uint64_t* keys, size_t n,
                                uint64_t* out) const {
   const uint32_t k = options_.k;
+  const simd::BlockKernels& kn = simd::Active();
+  if (kn.enabled && simd_shape_ != SimdShape::kNone) {
+    // Two passes per chunk: a hash pass derives every key's {block word
+    // base, mixed key} and prefetches its cache line, then ONE batch
+    // kernel call reduces the whole chunk — the per-key indirect call and
+    // the kernel's vector-constant setup stay out of the hot loop, and
+    // the hash pass doubles as a chunk-deep prefetch window.
+    const auto& cv = static_cast<const FixedWidthCounterVector&>(*counters_);
+    const uint64_t* words = cv.words();
+    constexpr size_t kChunk = 64;
+    uint64_t bases[kChunk];
+    uint64_t mixes[kChunk];
+    const auto batch_min = simd_shape_ == SimdShape::kBlock64x8
+                               ? kn.batch_min64
+                               : kn.batch_min32;
+    for (size_t at = 0; at < n; at += kChunk) {
+      const size_t len = n - at < kChunk ? n - at : kChunk;
+      for (size_t i = 0; i < len; ++i) {
+        const uint64_t key = keys[at + i];
+        bases[i] = BlockOf(key) * kSimdWordsPerBlock;
+        mixes[i] = within_block_.MixedKey(key);
+        SBF_PREFETCH(words + bases[i]);
+      }
+      batch_min(words, bases, mixes, len, simd_alphas_, k, out + at);
+    }
+    return;
+  }
   // Positions functor: one multiply-shift round routes the key to its
   // block, the within-block family (one more mix + k multiply-shifts)
   // yields the k in-block offsets.
@@ -166,32 +254,94 @@ void BlockedSbf::EstimateBatch(const uint64_t* keys, size_t n,
 
 void BlockedSbf::InsertBatch(const uint64_t* keys, size_t n, uint64_t count) {
   const uint32_t k = options_.k;
+  const simd::BlockKernels& kn = simd::Active();
+  if (kn.enabled && simd_shape_ != SimdShape::kNone) {
+    auto& cv = static_cast<FixedWidthCounterVector&>(*counters_);
+    uint64_t* words = cv.mutable_words();
+    const uint64_t* alphas = simd_alphas_;
+    const auto pos_of = [this](uint64_t key, uint64_t* pos) {
+      pos[0] = BlockOf(key) * kSimdWordsPerBlock;
+      pos[1] = within_block_.MixedKey(key);
+    };
+    const auto prefetch = [words](const FixedWidthCounterVector&,
+                                  const uint64_t* pos) {
+      SBF_PREFETCH(words + pos[0]);
+    };
+    const bool ms = options_.policy == SbfPolicy::kMinimumSelection;
+    // The kernels return 0 — having written nothing — whenever a
+    // saturation clamp could fire; those keys rerun the exact scalar
+    // clamping path (simd_kernels.h saturation contract).
+    if (simd_shape_ == SimdShape::kBlock64x8) {
+      const auto probe = [&kn, words, alphas, k, count, ms, &cv](
+                             FixedWidthCounterVector&, const uint64_t* pos,
+                             size_t) {
+        const int ok =
+            ms ? kn.blocked_add64(words + pos[0], alphas, k, pos[1], count)
+               : kn.blocked_lift64(words + pos[0], alphas, k, pos[1], count);
+        if (!ok) {
+          if (ms) {
+            ScalarMsFallback<simd::kLaneShift64, 1>(cv, alphas, k, pos[0],
+                                                    pos[1], count);
+          } else {
+            ScalarMiFallback<simd::kLaneShift64, 1>(cv, alphas, k, pos[0],
+                                                    pos[1], count);
+          }
+        }
+      };
+      BatchPipeline(cv, keys, n, pos_of, prefetch, probe);
+    } else {
+      const auto probe = [&kn, words, alphas, k, count, ms, &cv](
+                             FixedWidthCounterVector&, const uint64_t* pos,
+                             size_t) {
+        const int ok =
+            ms ? kn.blocked_add32(words + pos[0], alphas, k, pos[1], count)
+               : kn.blocked_lift32(words + pos[0], alphas, k, pos[1], count);
+        if (!ok) {
+          if (ms) {
+            ScalarMsFallback<simd::kLaneShift32, 2>(cv, alphas, k, pos[0],
+                                                    pos[1], count);
+          } else {
+            ScalarMiFallback<simd::kLaneShift32, 2>(cv, alphas, k, pos[0],
+                                                    pos[1], count);
+          }
+        }
+      };
+      BatchPipeline(cv, keys, n, pos_of, prefetch, probe);
+    }
+    return;
+  }
   const auto pos_of = [this, k](uint64_t key, uint64_t* pos) {
     const uint64_t base = BlockOf(key) * options_.block_size;
     within_block_.Positions(key, pos);
     for (uint32_t j = 0; j < k; ++j) pos[j] += base;
   };
-  const auto probe = [k, count](auto& cv, const uint64_t* pos, size_t) {
+  const auto probe_ms = [k, count](auto& cv, const uint64_t* pos, size_t) {
     for (uint32_t j = 0; j < k; ++j) cv.Increment(pos[j], count);
+  };
+  const auto probe_mi = [k, count](auto& cv, const uint64_t* pos, size_t) {
+    MinimalIncreaseProbe(cv, pos, k, count);
+  };
+  const bool ms = options_.policy == SbfPolicy::kMinimumSelection;
+  const auto run = [&](auto& cv, auto prefetch) {
+    if (ms) {
+      BatchPipeline(cv, keys, n, pos_of, prefetch, probe_ms);
+    } else {
+      BatchPipeline(cv, keys, n, pos_of, prefetch, probe_mi);
+    }
   };
   switch (options_.backing) {
     case CounterBacking::kFixed64:
-    case CounterBacking::kFixed32: {
-      auto& cv = static_cast<FixedWidthCounterVector&>(*counters_);
-      BatchPipeline(cv, keys, n, pos_of,
-                    PrefetchBlock<FixedWidthCounterVector>{
-                        k, options_.block_size},
-                    probe);
+    case CounterBacking::kFixed32:
+      run(static_cast<FixedWidthCounterVector&>(*counters_),
+          PrefetchBlock<FixedWidthCounterVector>{k, options_.block_size});
       return;
-    }
     case CounterBacking::kCompact:
-      BatchPipeline(static_cast<CompactCounterVector&>(*counters_), keys, n,
-                    pos_of, PrefetchBlock<CompactCounterVector>{k}, probe);
+      run(static_cast<CompactCounterVector&>(*counters_),
+          PrefetchBlock<CompactCounterVector>{k});
       return;
     case CounterBacking::kSerialScan:
-      BatchPipeline(static_cast<SerialScanCounterVector&>(*counters_), keys,
-                    n, pos_of, PrefetchBlock<SerialScanCounterVector>{k},
-                    probe);
+      run(static_cast<SerialScanCounterVector&>(*counters_),
+          PrefetchBlock<SerialScanCounterVector>{k});
       return;
   }
 }
@@ -245,14 +395,22 @@ uint64_t BlockedSbf::BlockLoad(uint64_t b) const {
   SBF_DCHECK(b < num_blocks_);
   uint64_t load = 0;
   const uint64_t base = b * options_.block_size;
-  for (uint64_t i = 0; i < options_.block_size; ++i) {
-    load += counters_->Get(base + i);
+  constexpr uint64_t kChunk = 256;
+  uint64_t values[kChunk];
+  for (uint64_t off = 0; off < options_.block_size; off += kChunk) {
+    const uint64_t len = std::min(kChunk, options_.block_size - off);
+    counters_->DecodeBlock(base + off, len, values);
+    for (uint64_t j = 0; j < len; ++j) load += values[j];
   }
   return load;
 }
 
 std::vector<uint8_t> BlockedSbf::Serialize() const {
   SBF_AUDIT_INVARIANTS(*this);
+  // Minimum Selection keeps the legacy 'SBbk' frame byte-for-byte (every
+  // blob written before the policy option existed was MS); Minimal
+  // Increase uses 'SBb2', which adds the policy byte.
+  const bool v2 = options_.policy == SbfPolicy::kMinimalIncrease;
   wire::Writer payload;
   payload.PutVarint(options_.m);
   payload.PutVarint(options_.block_size);
@@ -260,15 +418,21 @@ std::vector<uint8_t> BlockedSbf::Serialize() const {
   payload.PutU8(static_cast<uint8_t>(options_.backing));
   payload.PutU8(options_.hash_kind == HashFamily::Kind::kModuloMultiply ? 0
                                                                         : 1);
+  if (v2) {
+    payload.PutU8(
+        options_.policy == SbfPolicy::kMinimumSelection ? 0 : 1);
+  }
   payload.PutU64(options_.seed);
   payload.PutFrame(counters_->Serialize());
-  return wire::SealFrame(wire::kMagicBlockedSbf, wire::kFormatVersion,
-                         std::move(payload));
+  return wire::SealFrame(v2 ? wire::kMagicBlockedSbf2 : wire::kMagicBlockedSbf,
+                         wire::kFormatVersion, std::move(payload));
 }
 
 StatusOr<BlockedSbf> BlockedSbf::Deserialize(wire::ByteSpan bytes) {
-  auto reader = wire::OpenFrame(bytes, wire::kMagicBlockedSbf,
-                                wire::kFormatVersion, "blocked SBF");
+  const bool v2 = wire::PeekMagic(bytes) == wire::kMagicBlockedSbf2;
+  auto reader = wire::OpenFrame(
+      bytes, v2 ? wire::kMagicBlockedSbf2 : wire::kMagicBlockedSbf,
+      wire::kFormatVersion, "blocked SBF");
   if (!reader.ok()) return reader.status();
   wire::Reader& in = reader.value();
   BlockedSbfOptions options;
@@ -277,14 +441,17 @@ StatusOr<BlockedSbf> BlockedSbf::Deserialize(wire::ByteSpan bytes) {
   const uint64_t k = in.ReadVarint();
   const uint8_t backing = in.ReadU8();
   const uint8_t kind = in.ReadU8();
+  const uint8_t policy = v2 ? in.ReadU8() : 0;
   options.seed = in.ReadU64();
   if (!in.ok()) return in.status();
   if (k > kMaxK ||
       backing > static_cast<uint8_t>(CounterBacking::kSerialScan) ||
-      kind > 1) {
+      kind > 1 || policy > 1) {
     return Status::DataLoss("bad blocked SBF header");
   }
   options.k = static_cast<uint32_t>(k);
+  options.policy = policy == 0 ? SbfPolicy::kMinimumSelection
+                               : SbfPolicy::kMinimalIncrease;
   options.backing = static_cast<CounterBacking>(backing);
   options.hash_kind = kind == 0 ? HashFamily::Kind::kModuloMultiply
                                 : HashFamily::Kind::kDoubleMix;

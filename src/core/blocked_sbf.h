@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/frequency_filter.h"
+#include "core/sbf_policy.h"
 #include "hashing/hash_family.h"
 #include "sai/counter_vector.h"
 
@@ -19,6 +20,9 @@ struct BlockedSbfOptions {
   CounterBacking backing = CounterBacking::kCompact;
   uint64_t seed = 0;
   HashFamily::Kind hash_kind = HashFamily::Kind::kModuloMultiply;
+  // Minimum Selection or Minimal Increase, with the same semantics (and
+  // the same deletion caveat under MI) as SpectralBloomFilter.
+  SbfPolicy policy = SbfPolicy::kMinimumSelection;
 };
 
 // Validates a BlockedSbfOptions: m >= 1, block_size in [1, m] dividing m,
@@ -47,7 +51,10 @@ class BlockedSbf final : public FrequencyFilter {
   [[nodiscard]] size_t MemoryUsageBits() const noexcept override {
     return counters_->MemoryUsageBits();
   }
-  [[nodiscard]] std::string Name() const override { return "blocked-MS"; }
+  [[nodiscard]] std::string Name() const override {
+    return options_.policy == SbfPolicy::kMinimumSelection ? "blocked-MS"
+                                                           : "blocked-MI";
+  }
 
   // Batched ops. Because all k probes of a key land in one block, stage 1
   // of the pipeline prefetches the block's cache line(s) once and stage 2
@@ -55,6 +62,14 @@ class BlockedSbf final : public FrequencyFilter {
   // and block_size sized to one or two cache lines, the k in-block offsets
   // come out of one multiply-shift round over the mixed key and the min is
   // taken with conditional moves — no data-dependent branches.
+  //
+  // For the single-cache-line geometries — fixed64 with block_size 8 or
+  // fixed32 with block_size 16, under kModuloMultiply hashing — stage 2
+  // instead runs the SIMD block kernels (core/simd_kernels.h): the ring
+  // slot carries {block word base, mixed key} and the active ISA variant
+  // derives the lanes, takes the min, and applies the MS add / MI lift
+  // vectorially, falling back to the exact scalar path per key whenever a
+  // saturation clamp could fire.
   void InsertBatch(const uint64_t* keys, size_t n,
                    uint64_t count = 1) override;
   void EstimateBatch(const uint64_t* keys, size_t n,
@@ -96,8 +111,11 @@ class BlockedSbf final : public FrequencyFilter {
   // allocation failure.
   Status ExpandTo(uint64_t new_m);
 
-  // 'SBbk' wire frame (io/wire.h): {varint m, varint block_size, varint k,
+  // Wire frames (io/wire.h). Minimum Selection filters keep the legacy
+  // 'SBbk' frame byte-for-byte: {varint m, varint block_size, varint k,
   // u8 backing, u8 hash kind, u64 seed, embedded counter backing frame}.
+  // Minimal Increase filters use 'SBb2', which carries a u8 policy byte
+  // between the hash kind and the seed. Deserialize accepts both.
   [[nodiscard]] std::vector<uint8_t> Serialize() const override;
   static StatusOr<BlockedSbf> Deserialize(wire::ByteSpan bytes);
 
@@ -107,13 +125,23 @@ class BlockedSbf final : public FrequencyFilter {
   Status CheckInvariants() const override;
 
  private:
+  // Geometry eligible for the SIMD block kernels, resolved once at
+  // construction (simd_kernels.h: one 64-byte block, power-of-two block
+  // size, multiply-shift within-block hashing).
+  enum class SimdShape : uint8_t { kNone, kBlock64x8, kBlock32x16 };
+
   void Positions(uint64_t key, uint64_t* out) const;
+  void ResolveSimdShape();
 
   BlockedSbfOptions options_;
   uint64_t num_blocks_;
   ModuloMultiplyHash block_hash_;
   HashFamily within_block_;  // k functions with range block_size
   std::unique_ptr<CounterVector> counters_;
+  SimdShape simd_shape_ = SimdShape::kNone;
+  // Within-block fixed-point multipliers, cached for the kernels (valid
+  // only when simd_shape_ != kNone).
+  uint64_t simd_alphas_[HashFamily::kMaxK] = {};
 };
 
 }  // namespace sbf

@@ -1,0 +1,305 @@
+#include "core/simd_kernels.h"
+
+// SSE2 block kernels — the x86-64 baseline tier. SSE2 has no gathers, no
+// variable shifts and no unsigned compares, so this tier derives the k
+// in-block lanes scalar (one multiply-shift each) and vectorizes only the
+// phases where 128-bit ops genuinely beat scalar: the 8/16-lane add with
+// overflow detection and the MI lift's masked compare + blend, with
+// unsigned compares emulated via sign-bias. The min reduction stays
+// scalar — k direct lane loads are cheaper than sign-bias-emulated
+// unsigned mins over the whole block (measured: the emulated-min variant
+// lost to the scalar pipeline on fixed32). The AVX2 tier vectorizes min
+// too (it has real unsigned 32-bit mins and cheap 64-bit blends); this
+// tier exists so pre-AVX2 hosts still beat the scalar pipeline on the
+// write path, and as a third differential point for the bit-identical
+// contract (simd_kernels.h).
+
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(__clang__))
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+namespace sbf::simd {
+namespace {
+
+constexpr uint32_t kMaxProbes = 64;
+
+inline uint32_t Lane64(uint64_t alpha, uint64_t mixed) {
+  return static_cast<uint32_t>((alpha * mixed) >> kLaneShift64);
+}
+
+inline uint32_t Lane32(uint64_t alpha, uint64_t mixed) {
+  return static_cast<uint32_t>((alpha * mixed) >> kLaneShift32);
+}
+
+inline uint32_t GetLane32(const uint64_t* block, uint32_t lane) {
+  return static_cast<uint32_t>(block[lane >> 1] >> ((lane & 1u) * 32));
+}
+
+// x86 is little-endian, so 32-bit lane i of the packed block is simply
+// the 4-byte load at byte offset 4*i — no word extract needed. memcpy
+// keeps it aliasing-clean; GCC emits one mov.
+[[gnu::always_inline]] inline uint32_t Load32(const uint64_t* block,
+                                              uint32_t lane) {
+  uint32_t v;
+  std::memcpy(&v, reinterpret_cast<const char*>(block) + 4 * lane, 4);
+  return v;
+}
+
+// mask ? a : b, bitwise.
+inline __m128i Select(__m128i mask, __m128i a, __m128i b) {
+  return _mm_or_si128(_mm_and_si128(mask, a), _mm_andnot_si128(mask, b));
+}
+
+// a >u b per 32-bit lane: bias the sign bit, then signed compare.
+inline __m128i CmpGtU32(__m128i a, __m128i b) {
+  const __m128i bias = _mm_set1_epi32(static_cast<int32_t>(0x80000000u));
+  return _mm_cmpgt_epi32(_mm_xor_si128(a, bias), _mm_xor_si128(b, bias));
+}
+
+// a >u b per 64-bit lane, from biased 32-bit compares:
+// hi_gt | (hi_eq & lo_gt), each half broadcast across its 64-bit lane.
+inline __m128i CmpGtU64(__m128i a, __m128i b) {
+  const __m128i bias = _mm_set1_epi32(static_cast<int32_t>(0x80000000u));
+  const __m128i ab = _mm_xor_si128(a, bias);
+  const __m128i bb = _mm_xor_si128(b, bias);
+  const __m128i gt = _mm_cmpgt_epi32(ab, bb);
+  const __m128i eq = _mm_cmpeq_epi32(ab, bb);
+  const __m128i gt_hi = _mm_shuffle_epi32(gt, _MM_SHUFFLE(3, 3, 1, 1));
+  const __m128i gt_lo = _mm_shuffle_epi32(gt, _MM_SHUFFLE(2, 2, 0, 0));
+  const __m128i eq_hi = _mm_shuffle_epi32(eq, _MM_SHUFFLE(3, 3, 1, 1));
+  return _mm_or_si128(gt_hi, _mm_and_si128(eq_hi, gt_lo));
+}
+
+// Expands 8 mask bytes (each 0x00 or 0xFF) into four vectors of two
+// 64-bit lane masks (lanes 0..7 in order).
+inline void ExpandMask64(uint64_t packed, __m128i out[4]) {
+  const __m128i x = _mm_cvtsi64_si128(static_cast<int64_t>(packed));
+  const __m128i b = _mm_unpacklo_epi8(x, x);
+  const __m128i w_lo = _mm_unpacklo_epi16(b, b);
+  const __m128i w_hi = _mm_unpackhi_epi16(b, b);
+  out[0] = _mm_unpacklo_epi32(w_lo, w_lo);
+  out[1] = _mm_unpackhi_epi32(w_lo, w_lo);
+  out[2] = _mm_unpacklo_epi32(w_hi, w_hi);
+  out[3] = _mm_unpackhi_epi32(w_hi, w_hi);
+}
+
+// Expands 16 mask bytes (lanes 0..7 in `lo`, 8..15 in `hi`, each 0x00 or
+// 0xFF) into four vectors of four 32-bit lane masks.
+inline void ExpandMask32(uint64_t lo, uint64_t hi, __m128i out[4]) {
+  const __m128i x = _mm_set_epi64x(static_cast<int64_t>(hi),
+                                   static_cast<int64_t>(lo));
+  const __m128i b_lo = _mm_unpacklo_epi8(x, x);
+  const __m128i b_hi = _mm_unpackhi_epi8(x, x);
+  out[0] = _mm_unpacklo_epi16(b_lo, b_lo);
+  out[1] = _mm_unpackhi_epi16(b_lo, b_lo);
+  out[2] = _mm_unpacklo_epi16(b_hi, b_hi);
+  out[3] = _mm_unpackhi_epi16(b_hi, b_hi);
+}
+
+// always_inline bodies shared with the batch kernels below (the named
+// kernels are address-taken for the dispatch table, which keeps GCC from
+// inlining them into the batch loops).
+[[gnu::always_inline]] inline uint64_t Min64Body(const uint64_t* block,
+                                                 const uint64_t* alphas,
+                                                 uint32_t k, uint64_t mixed) {
+  uint64_t min_value = ~uint64_t{0};
+  for (uint32_t j = 0; j < k; ++j) {
+    const uint64_t v = block[Lane64(alphas[j], mixed)];
+    min_value = v < min_value ? v : min_value;
+  }
+  return min_value;
+}
+
+[[gnu::always_inline]] inline uint64_t Min32Body(const uint64_t* block,
+                                                 const uint64_t* alphas,
+                                                 uint32_t k, uint64_t mixed) {
+  uint32_t min_value = ~uint32_t{0};
+  for (uint32_t j = 0; j < k; ++j) {
+    const uint32_t v = Load32(block, Lane32(alphas[j], mixed));
+    min_value = v < min_value ? v : min_value;
+  }
+  return min_value;
+}
+
+uint64_t Sse2BlockedMin64(const uint64_t* block, const uint64_t* alphas,
+                          uint32_t k, uint64_t mixed) {
+  return Min64Body(block, alphas, k, mixed);
+}
+
+uint64_t Sse2BlockedMin32(const uint64_t* block, const uint64_t* alphas,
+                          uint32_t k, uint64_t mixed) {
+  return Min32Body(block, alphas, k, mixed);
+}
+
+int Sse2BlockedAdd64(uint64_t* block, const uint64_t* alphas, uint32_t k,
+                     uint64_t mixed, uint64_t count) {
+  if (count > kSimdSafeCount64) return 0;
+  uint8_t mult[kBlockLanes64] = {};
+  for (uint32_t j = 0; j < k; ++j) ++mult[Lane64(alphas[j], mixed)];
+  __m128i sum[4];
+  __m128i wrapped = _mm_setzero_si128();
+  for (uint32_t p = 0; p < 4; ++p) {
+    const __m128i b = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(block + 2 * p));
+    const __m128i d = _mm_set_epi64x(
+        static_cast<int64_t>(mult[2 * p + 1] * count),
+        static_cast<int64_t>(mult[2 * p] * count));
+    sum[p] = _mm_add_epi64(b, d);
+    wrapped = _mm_or_si128(wrapped, CmpGtU64(b, sum[p]));
+  }
+  if (_mm_movemask_epi8(wrapped) != 0) return 0;
+  for (uint32_t p = 0; p < 4; ++p) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(block + 2 * p), sum[p]);
+  }
+  return 1;
+}
+
+int Sse2BlockedAdd32(uint64_t* block, const uint64_t* alphas, uint32_t k,
+                     uint64_t mixed, uint64_t count) {
+  if (count > kSimdSafeCount32) return 0;
+  uint8_t mult[kBlockLanes32] = {};
+  for (uint32_t j = 0; j < k; ++j) ++mult[Lane32(alphas[j], mixed)];
+  const uint32_t c = static_cast<uint32_t>(count);
+  __m128i sum[4];
+  __m128i wrapped = _mm_setzero_si128();
+  for (uint32_t p = 0; p < 4; ++p) {
+    const __m128i b = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(block + 2 * p));
+    // mult <= 64 and count < 2^26: the 32-bit products cannot wrap.
+    const __m128i d = _mm_set_epi32(
+        static_cast<int32_t>(mult[4 * p + 3] * c),
+        static_cast<int32_t>(mult[4 * p + 2] * c),
+        static_cast<int32_t>(mult[4 * p + 1] * c),
+        static_cast<int32_t>(mult[4 * p] * c));
+    sum[p] = _mm_add_epi32(b, d);
+    wrapped = _mm_or_si128(wrapped, CmpGtU32(b, sum[p]));
+  }
+  if (_mm_movemask_epi8(wrapped) != 0) return 0;
+  for (uint32_t p = 0; p < 4; ++p) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(block + 2 * p), sum[p]);
+  }
+  return 1;
+}
+
+int Sse2BlockedLift64(uint64_t* block, const uint64_t* alphas, uint32_t k,
+                      uint64_t mixed, uint64_t count) {
+  uint32_t lanes[kMaxProbes];
+  uint64_t selected = 0;
+  uint64_t min_value = ~uint64_t{0};
+  for (uint32_t j = 0; j < k; ++j) {
+    lanes[j] = Lane64(alphas[j], mixed);
+    selected |= uint64_t{0xFF} << (lanes[j] * 8);
+    const uint64_t v = block[lanes[j]];
+    min_value = v < min_value ? v : min_value;
+  }
+  if (count > ~uint64_t{0} - min_value) return 0;
+  const __m128i target =
+      _mm_set1_epi64x(static_cast<int64_t>(min_value + count));
+  __m128i mask[4];
+  ExpandMask64(selected, mask);
+  for (uint32_t p = 0; p < 4; ++p) {
+    __m128i* at = reinterpret_cast<__m128i*>(block + 2 * p);
+    const __m128i b = _mm_loadu_si128(at);
+    const __m128i lifted = Select(CmpGtU64(target, b), target, b);
+    _mm_storeu_si128(at, Select(mask[p], lifted, b));
+  }
+  return 1;
+}
+
+int Sse2BlockedLift32(uint64_t* block, const uint64_t* alphas, uint32_t k,
+                      uint64_t mixed, uint64_t count) {
+  uint64_t sel_lo = 0;
+  uint64_t sel_hi = 0;
+  uint64_t min_value = ~uint64_t{0};
+  for (uint32_t j = 0; j < k; ++j) {
+    const uint32_t lane = Lane32(alphas[j], mixed);
+    // Branchless half-split: lanes land 50/50, an if would mispredict.
+    const uint64_t bits = uint64_t{0xFF} << ((lane & 7u) * 8);
+    const uint64_t in_hi = 0 - static_cast<uint64_t>(lane >> 3);
+    sel_lo |= bits & ~in_hi;
+    sel_hi |= bits & in_hi;
+    const uint64_t v = GetLane32(block, lane);
+    min_value = v < min_value ? v : min_value;
+  }
+  if (count > ~uint64_t{0} - min_value) return 0;
+  const uint64_t target = min_value + count;
+  if (target > 0xFFFFFFFFull) return 0;
+  const __m128i vtarget = _mm_set1_epi32(static_cast<int32_t>(target));
+  __m128i mask[4];
+  ExpandMask32(sel_lo, sel_hi, mask);
+  for (uint32_t p = 0; p < 4; ++p) {
+    __m128i* at = reinterpret_cast<__m128i*>(block + 2 * p);
+    const __m128i b = _mm_loadu_si128(at);
+    const __m128i lifted = Select(CmpGtU32(vtarget, b), vtarget, b);
+    _mm_storeu_si128(at, Select(mask[p], lifted, b));
+  }
+  return 1;
+}
+
+void Sse2BatchMin64(const uint64_t* words, const uint64_t* bases,
+                    const uint64_t* mixes, size_t n,
+                    const uint64_t* alphas, uint32_t k, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Min64Body(words + bases[i], alphas, k, mixes[i]);
+  }
+}
+
+void Sse2BatchMin32(const uint64_t* words, const uint64_t* bases,
+                    const uint64_t* mixes, size_t n,
+                    const uint64_t* alphas, uint32_t k, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Min32Body(words + bases[i], alphas, k, mixes[i]);
+  }
+}
+
+// SSE2 has no gather: the scattered-position min falls back to scalar
+// loads (identical to the generic reference — kept as a distinct symbol
+// so the dispatch tier is complete and differentially tested).
+uint64_t Sse2GatherMin64(const uint64_t* words, const uint64_t* pos,
+                         uint32_t k) {
+  uint64_t min_value = ~uint64_t{0};
+  for (uint32_t j = 0; j < k; ++j) {
+    const uint64_t v = words[pos[j]];
+    min_value = v < min_value ? v : min_value;
+  }
+  return min_value;
+}
+
+uint64_t Sse2GatherMin32(const uint64_t* words, const uint64_t* pos,
+                         uint32_t k) {
+  uint32_t min_value = ~uint32_t{0};
+  for (uint32_t j = 0; j < k; ++j) {
+    const uint64_t p = pos[j];
+    const uint32_t v =
+        static_cast<uint32_t>(words[p >> 1] >> ((p & 1u) * 32));
+    min_value = v < min_value ? v : min_value;
+  }
+  return min_value;
+}
+
+constexpr BlockKernels kSse2Table = {
+    Sse2BlockedMin64, Sse2BlockedMin32,
+    Sse2BlockedAdd64, Sse2BlockedAdd32,
+    Sse2BlockedLift64, Sse2BlockedLift32,
+    Sse2GatherMin64, Sse2GatherMin32,
+    Sse2BatchMin64, Sse2BatchMin32,
+    Isa::kSse2, /*enabled=*/true,
+};
+
+}  // namespace
+
+namespace internal {
+const BlockKernels* Sse2KernelTable() noexcept { return &kSse2Table; }
+}  // namespace internal
+
+}  // namespace sbf::simd
+
+#else  // !__SSE2__
+
+namespace sbf::simd::internal {
+const BlockKernels* Sse2KernelTable() noexcept { return nullptr; }
+}  // namespace sbf::simd::internal
+
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/batch_kernels.h"
+#include "core/simd_kernels.h"
 #include "sai/compact_counter_vector.h"
 #include "sai/fixed_counter_vector.h"
 #include "sai/serial_scan_counter_vector.h"
@@ -82,23 +83,7 @@ void SpectralBloomFilter::Insert(uint64_t key, uint64_t count) {
     // Minimal Increase, batch form (Section 3.2): raise the minimal
     // counter(s) by `count` and lift every other counter to at least
     // m_x + count. Equivalent to `count` iterative single insertions.
-    uint64_t values[kMaxK];
-    uint64_t min_value = ~0ull;
-    for (uint32_t i = 0; i < k; ++i) {
-      values[i] = counters_->Get(positions[i]);
-      min_value = std::min(min_value, values[i]);
-    }
-    // The lift target saturates at 2^64: a mod-2^64 wrap would *lower*
-    // counters and break the one-sided guarantee. (Narrower backings clamp
-    // again, and tally, inside Set.)
-    uint64_t target = min_value + count;
-    if (count > ~uint64_t{0} - min_value) {
-      target = ~uint64_t{0};
-      counters_->MergeSaturationStats({/*saturation_clamps=*/1, 0});
-    }
-    for (uint32_t i = 0; i < k; ++i) {
-      if (values[i] < target) counters_->Set(positions[i], target);
-    }
+    MinimalIncreaseProbe(*counters_, positions, k, count);
   }
   total_items_ += count;
 
@@ -189,25 +174,10 @@ void InsertBatchImpl(CV& cv, const HashFamily& hash, SbfPolicy policy,
     return;
   }
   // Minimal Increase, batch form — identical to the scalar Insert: lift
-  // every counter below m_x + count up to it.
+  // every counter below m_x + count up to it (shared probe kernel).
   BatchPipeline(cv, keys, n, pos_of, PrefetchEachPosition{k},
                 [k, count](CV& counters, const uint64_t* pos, size_t) {
-                  uint64_t values[HashFamily::kMaxK];
-                  uint64_t min_value = ~0ull;
-                  for (uint32_t j = 0; j < k; ++j) {
-                    values[j] = counters.Get(pos[j]);
-                    min_value = std::min(min_value, values[j]);
-                  }
-                  // Saturating lift target, as in the scalar path: a
-                  // mod-2^64 wrap would lower counters.
-                  uint64_t target = min_value + count;
-                  if (count > ~uint64_t{0} - min_value) {
-                    target = ~uint64_t{0};
-                    counters.MergeSaturationStats({/*saturation_clamps=*/1, 0});
-                  }
-                  for (uint32_t j = 0; j < k; ++j) {
-                    if (values[j] < target) counters.Set(pos[j], target);
-                  }
+                  MinimalIncreaseProbe(counters, pos, k, count);
                 });
 }
 
@@ -218,11 +188,30 @@ void SpectralBloomFilter::EstimateBatch(const uint64_t* keys, size_t n,
   const uint32_t k = options_.k;
   switch (options_.backing) {
     case CounterBacking::kFixed64:
-    case CounterBacking::kFixed32:
-      EstimateBatchImpl<true>(
-          static_cast<const FixedWidthCounterVector&>(*counters_), hash_, k,
-          keys, n, out);
+    case CounterBacking::kFixed32: {
+      const auto& cv = static_cast<const FixedWidthCounterVector&>(*counters_);
+      const simd::BlockKernels& kn = simd::Active();
+      if (kn.enabled) {
+        // Vectorized gathered min over the k absolute positions (the
+        // non-blocked layout has no single-line locality to exploit, but
+        // the min reduction itself vectorizes; see core/simd_kernels.h).
+        const uint64_t* words = cv.words();
+        const auto gather = options_.backing == CounterBacking::kFixed64
+                                ? kn.gather_min64
+                                : kn.gather_min32;
+        BatchPipeline(
+            cv, keys, n,
+            [this](uint64_t key, uint64_t* pos) { hash_.Positions(key, pos); },
+            PrefetchEachPosition{k},
+            [gather, words, k, out](const FixedWidthCounterVector&,
+                                    const uint64_t* pos, size_t i) {
+              out[i] = gather(words, pos, k);
+            });
+        return;
+      }
+      EstimateBatchImpl<true>(cv, hash_, k, keys, n, out);
       return;
+    }
     case CounterBacking::kCompact:
       EstimateBatchImpl<false>(
           static_cast<const CompactCounterVector&>(*counters_), hash_, k,

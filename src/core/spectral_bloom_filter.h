@@ -8,25 +8,13 @@
 #include <vector>
 
 #include "core/frequency_filter.h"
+#include "core/sbf_policy.h"
 #include "hashing/hash_family.h"
 #include "sai/counter_vector.h"
 #include "util/health.h"
 #include "util/status.h"
 
 namespace sbf {
-
-// Insert/lookup heuristic of a SpectralBloomFilter.
-enum class SbfPolicy {
-  // Minimum Selection (paper Section 2.2): every insert increments all k
-  // counters; the estimate is the minimal counter m_x. Error probability
-  // equals the classic Bloom error; supports deletions and updates.
-  kMinimumSelection,
-  // Minimal Increase (Section 3.2): an insert only raises counters that
-  // equal the current minimum — the fewest increments that preserve
-  // m_x >= f_x. Substantially more accurate (error cut by ~k for uniform
-  // data, Claim 5), but deletions introduce false negatives.
-  kMinimalIncrease,
-};
 
 // Configuration of a SpectralBloomFilter.
 struct SbfOptions {

@@ -30,6 +30,13 @@ class ModuloMultiplyHash {
 
   uint64_t range() const { return range_; }
 
+  // The (oddified) fixed-point numerator a. Exposed so SIMD block kernels
+  // can rerun the multiply-shift round vectorially: for a power-of-two
+  // range 2^b the position is exactly (a * v) >> (64 - b), bit-identical
+  // to operator() because multiplying the 64-bit fraction by 2^b and
+  // keeping the high word is the same as dropping the low 64-b bits.
+  uint64_t alpha_fixed() const { return alpha_; }
+
   uint64_t operator()(uint64_t v) const {
     const uint64_t frac = alpha_ * v;  // a*v mod 2^64 == (alpha*v mod 1)<<64
     return static_cast<uint64_t>(

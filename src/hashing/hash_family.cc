@@ -26,6 +26,12 @@ bool HashFamily::Compatible(const HashFamily& other) const noexcept {
          kind_ == other.kind_;
 }
 
+bool HashFamily::FillModuloMultiplyAlphas(uint64_t* out) const noexcept {
+  if (kind_ != Kind::kModuloMultiply) return false;
+  for (uint32_t i = 0; i < k_; ++i) out[i] = mm_[i].alpha_fixed();
+  return true;
+}
+
 uint64_t HashFamily::Position(uint64_t key, uint32_t i) const noexcept {
   SBF_DCHECK(i < k_);
   if (kind_ == Kind::kModuloMultiply) {

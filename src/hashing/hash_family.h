@@ -52,6 +52,19 @@ class HashFamily {
     Positions(Fingerprint64(key), out);
   }
 
+  // The per-key mixing round shared by all k functions of a
+  // kModuloMultiply family. SIMD kernels hoist this one scalar round and
+  // derive all k in-block lanes from it with vector multiply-shifts;
+  // Positions(key)[i] == mm_[i](MixedKey(key)) for that kind.
+  [[nodiscard]] uint64_t MixedKey(uint64_t key) const noexcept {
+    return Mix64((key ^ seed_) + 0x9E3779B97F4A7C15ull);
+  }
+
+  // Copies the k fixed-point multipliers alpha_i into out[0..k) and
+  // returns true, or returns false for kDoubleMix families (which have no
+  // multiplier representation). `out` must have room for k entries.
+  bool FillModuloMultiplyAlphas(uint64_t* out) const noexcept;
+
  private:
   uint32_t k_;
   uint64_t m_;

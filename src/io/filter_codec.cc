@@ -32,6 +32,7 @@ StatusOr<std::unique_ptr<FrequencyFilter>> DeserializeFilter(
     case wire::kMagicCountingBloom:
       return Lift(CountingBloomFilter::Deserialize(bytes));
     case wire::kMagicBlockedSbf:
+    case wire::kMagicBlockedSbf2:
       return Lift(BlockedSbf::Deserialize(bytes));
     case wire::kMagicRecurringMinimum:
       return Lift(RecurringMinimumSbf::Deserialize(bytes));

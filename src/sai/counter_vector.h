@@ -100,6 +100,17 @@ class CounterVector {
     for (size_t j = 0; j < n; ++j) out[j] = Get(idx[j]);
   }
 
+  // Decodes the contiguous counter range [first, first + n) into
+  // out[0..n) — the block-view hook of the blocked layouts. Unlike
+  // GetMany this names a *range*, so a backing can decode a whole block
+  // in one pass (the fixed widths read consecutive words; the compact
+  // backings can decode a group once instead of re-scanning per counter —
+  // the interface the ROADMAP's compact-decode item builds on). Overrides
+  // must be exactly equivalent to the Get loop below.
+  virtual void DecodeBlock(size_t first, size_t n, uint64_t* out) const {
+    for (size_t j = 0; j < n; ++j) out[j] = Get(first + j);
+  }
+
   // Subtracts `delta` from counter i, clamping at zero (the clamp is
   // tallied in saturation()). A delete of a never-inserted item — user
   // error, replayed traffic, a collided counter already clamped — degrades

@@ -62,6 +62,10 @@ class FixedWidthCounterVector final : public CounterVector {
                uint64_t* out) const noexcept override {
     for (size_t j = 0; j < n; ++j) out[j] = Get(idx[j]);
   }
+  void DecodeBlock(size_t first, size_t n,
+                   uint64_t* out) const noexcept override {
+    for (size_t j = 0; j < n; ++j) out[j] = Get(first + j);
+  }
 
   // 'SBfx' frame: {varint m, varint width, u8 sticky, raw packed words}.
   // The words are the in-memory layout verbatim (little-endian on the

@@ -75,6 +75,9 @@ class SerialScanCounterVector final : public CounterVector {
   void GetMany(const uint64_t* idx, size_t n, uint64_t* out) const override {
     for (size_t j = 0; j < n; ++j) out[j] = Get(idx[j]);
   }
+  void DecodeBlock(size_t first, size_t n, uint64_t* out) const override {
+    for (size_t j = 0; j < n; ++j) out[j] = Get(first + j);
+  }
 
   // Payload bits of the current encoding (sum of codeword lengths).
   size_t EncodedBits() const;

@@ -1,0 +1,50 @@
+#ifndef SBF_UTIL_ALIGNED_ALLOC_H_
+#define SBF_UTIL_ALIGNED_ALLOC_H_
+
+#include <cstddef>
+#include <new>
+
+namespace sbf {
+
+// Minimal std::allocator replacement with a fixed over-alignment. BitVector
+// stores its words through this at 64-byte (cache-line) alignment so that a
+// blocked filter's 512-bit block is always a single line and the SIMD block
+// kernels may use aligned loads on block bases.
+template <typename T, size_t Alignment>
+class AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two covering alignof(T)");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+// Cache-line granularity used across the blocked hot paths.
+inline constexpr size_t kCacheLineBytes = 64;
+
+}  // namespace sbf
+
+#endif  // SBF_UTIL_ALIGNED_ALLOC_H_

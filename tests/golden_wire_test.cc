@@ -144,6 +144,22 @@ TEST(GoldenWireTest, BlockedSbfFrame) {
   CheckGolden("blocked_sbf", filter.Serialize());
 }
 
+TEST(GoldenWireTest, BlockedSbfV2Frame) {
+  // The 'SBb2' frame: a Minimal Increase blocked filter in the SIMD
+  // geometry (fixed64, block_size 8), carrying the policy byte the legacy
+  // 'SBbk' frame lacks.
+  BlockedSbfOptions options;
+  options.m = 1024;
+  options.block_size = 8;
+  options.k = 4;
+  options.seed = 19;
+  options.backing = CounterBacking::kFixed64;
+  options.policy = SbfPolicy::kMinimalIncrease;
+  BlockedSbf filter(options);
+  FeedWorkload(300, [&](uint64_t key, uint64_t n) { filter.Insert(key, n); });
+  CheckGolden("blocked_sbf_v2", filter.Serialize());
+}
+
 TEST(GoldenWireTest, RecurringMinimumFrame) {
   RecurringMinimumOptions options;
   options.primary_m = 700;
@@ -191,7 +207,8 @@ TEST(GoldenWireTest, GoldenBlobsRoundTripThroughPolymorphicCodec) {
   if (UpdateMode()) GTEST_SKIP() << "blobs are being regenerated";
   for (const std::string name :
        {"sbf_fixed64", "sbf_compact", "sharded_sbf", "counting_bloom",
-        "blocked_sbf", "recurring_minimum", "trapping_rm"}) {
+        "blocked_sbf", "blocked_sbf_v2", "recurring_minimum",
+        "trapping_rm"}) {
     std::ifstream in(GoldenPath(name), std::ios::binary);
     ASSERT_TRUE(in.good()) << name;
     const Bytes golden((std::istreambuf_iterator<char>(in)),
