@@ -1,0 +1,224 @@
+// Decoded-view refactor economics (the "close the compact-backing gap"
+// ROADMAP item): what a compact-backed batch estimate costs now that
+// PositionOf is O(1) and GetMany serves each touched group from one
+// sequential width walk, against (a) the current scalar path and (b) a
+// faithful replica of the pre-refactor per-access path that re-scanned the
+// group's widths on every probe. Also times the full-vector DecodeBlock
+// sweep vs a scalar Get sweep and the ApplyAddBatch flush path vs scalar
+// inserts.
+//
+// Emits BENCH_compact_decode.json; scripts/check_compact.py gates the
+// `speedup_vs_per_access` param of the compact batched-estimate row.
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/bench_json.h"
+#include "common/harness.h"
+#include "core/spectral_bloom_filter.h"
+#include "sai/compact_counter_vector.h"
+#include "util/timer.h"
+
+namespace {
+
+using sbf::CompactCounterVector;
+using sbf::CounterBacking;
+using sbf::Multiset;
+using sbf::SbfOptions;
+using sbf::SpectralBloomFilter;
+using sbf::Timer;
+using sbf::bench::BenchJson;
+
+// Keeps the replicated width scans observable so the optimizer cannot
+// delete the pre-refactor baseline's extra work.
+volatile uint64_t g_sink = 0;
+
+// The pre-refactor per-access estimate: before the sampled prefix-offset
+// table, every compact Get(i) re-derived counter i's bit position by
+// summing the widths from the group start (O(group_size) per probe). The
+// width scan is reproduced against the live layout through the public
+// WidthOf accessor, on top of today's Get — the same memory traffic the
+// old PositionOf paid — so the artifact keeps an honest baseline even
+// after the slow path is gone from the library.
+uint64_t PreRefactorEstimate(const SpectralBloomFilter& filter,
+                             const CompactCounterVector& cv, uint64_t key) {
+  uint64_t positions[64];
+  filter.hash().Positions(key, positions);
+  const size_t group_size = cv.group_size();
+  uint64_t best = ~uint64_t{0};
+  for (uint32_t j = 0; j < filter.k(); ++j) {
+    const size_t i = static_cast<size_t>(positions[j]);
+    uint64_t scan = 0;
+    for (size_t b = i - i % group_size; b < i; ++b) scan += cv.WidthOf(b);
+    g_sink = g_sink + scan;
+    best = std::min(best, cv.Get(i));
+  }
+  return best;
+}
+
+SpectralBloomFilter BuildFilter(CounterBacking backing, uint64_t m,
+                                const Multiset& data) {
+  SbfOptions options;
+  options.m = m;
+  options.k = 5;
+  options.seed = 7;
+  options.backing = backing;
+  SpectralBloomFilter filter(options);
+  for (uint64_t key : data.stream) filter.Insert(key);
+  return filter;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+  }
+  const uint64_t n = small ? 2000 : 5000;
+  const uint64_t total = small ? 60000 : 250000;
+  const int rounds = small ? 20 : 80;
+  const uint64_t m = static_cast<uint64_t>(n * 5 / 0.7);
+
+  sbf::bench::PrintHeader(
+      "Decoded group views - compact batch estimate vs per-access decode",
+      "Zipf 0.8 build, gamma = 0.7, k = 5; estimate sweep over all keys");
+
+  const Multiset data = sbf::MakeZipfMultiset(n, total, 0.8, 0xDECD);
+  const size_t q = data.keys.size();
+  std::vector<uint64_t> out(q);
+
+  BenchJson json("BENCH_compact_decode.json");
+  json.SetContext(sbf::bench::StandardContext(/*with_isa=*/false));
+
+  double compact_per_access_ns = 0.0;
+  for (CounterBacking backing :
+       {CounterBacking::kCompact, CounterBacking::kFixed64,
+        CounterBacking::kSerialScan}) {
+    const char* name = sbf::CounterBackingName(backing);
+    SpectralBloomFilter filter = BuildFilter(backing, m, data);
+
+    // Pre-refactor replica (compact only; the fixed backings never paid a
+    // positional scan). Timed first so its ns/op can ride along as a
+    // param of the batched row below.
+    if (backing == CounterBacking::kCompact) {
+      const auto& cv =
+          static_cast<const CompactCounterVector&>(filter.counters());
+      uint64_t checksum = 0;
+      Timer timer;
+      for (int r = 0; r < rounds; ++r) {
+        for (uint64_t key : data.keys) {
+          checksum += PreRefactorEstimate(filter, cv, key);
+        }
+      }
+      const double seconds = timer.ElapsedSeconds();
+      compact_per_access_ns = seconds * 1e9 / (rounds * q);
+      json.Add("estimate_per_access_prerefactor",
+               {{"backing", name}, {"checksum", checksum % 1000003}},
+               compact_per_access_ns, rounds * q / (seconds * 1e6));
+    }
+
+    // Current scalar path (O(1) PositionOf, one virtual Get per probe).
+    {
+      uint64_t checksum = 0;
+      Timer timer;
+      for (int r = 0; r < rounds; ++r) {
+        for (uint64_t key : data.keys) checksum += filter.Estimate(key);
+      }
+      const double seconds = timer.ElapsedSeconds();
+      json.Add("estimate_scalar",
+               {{"backing", name}, {"checksum", checksum % 1000003}},
+               seconds * 1e9 / (rounds * q), rounds * q / (seconds * 1e6));
+    }
+
+    // Batched pipeline (hash-ahead + prefetch + group-granular GetMany).
+    {
+      uint64_t checksum = 0;
+      Timer timer;
+      for (int r = 0; r < rounds; ++r) {
+        filter.EstimateBatch(data.keys.data(), q, out.data());
+        for (size_t i = 0; i < q; ++i) checksum += out[i];
+      }
+      const double seconds = timer.ElapsedSeconds();
+      const double ns = seconds * 1e9 / (rounds * q);
+      std::vector<BenchJson::Param> params = {
+          {"backing", name}, {"checksum", checksum % 1000003}};
+      if (backing == CounterBacking::kCompact) {
+        params.emplace_back("speedup_vs_per_access",
+                            compact_per_access_ns / ns);
+      }
+      json.Add("estimate_batched", params, ns, rounds * q / (seconds * 1e6));
+    }
+
+    // Full-vector sweep: the DecodeBlock chunk walk Total()/serialization
+    // use vs one virtual Get per counter.
+    {
+      const auto& cv = filter.counters();
+      uint64_t checksum = 0;
+      Timer timer;
+      for (int r = 0; r < rounds; ++r) {
+        for (size_t i = 0; i < cv.size(); ++i) checksum += cv.Get(i);
+      }
+      const double scalar_s = timer.ElapsedSeconds();
+      json.Add("sweep_scalar_get",
+               {{"backing", name}, {"checksum", checksum % 1000003}},
+               scalar_s * 1e9 / (rounds * cv.size()),
+               rounds * cv.size() / (scalar_s * 1e6));
+
+      constexpr size_t kChunk = 256;
+      uint64_t values[kChunk];
+      checksum = 0;
+      timer.Restart();
+      for (int r = 0; r < rounds; ++r) {
+        for (size_t base = 0; base < cv.size(); base += kChunk) {
+          const size_t len = std::min(kChunk, cv.size() - base);
+          cv.DecodeBlock(base, len, values);
+          for (size_t j = 0; j < len; ++j) checksum += values[j];
+        }
+      }
+      const double block_s = timer.ElapsedSeconds();
+      json.Add("sweep_decode_block",
+               {{"backing", name},
+                {"checksum", checksum % 1000003},
+                {"speedup_vs_scalar_get", scalar_s / block_s}},
+               block_s * 1e9 / (rounds * cv.size()),
+               rounds * cv.size() / (block_s * 1e6));
+    }
+
+    // The flush path: ApplyAddBatch (position-sorted, one decode + one
+    // write-back per touched group) vs a loop of scalar inserts — what the
+    // concurrent frontend's shard drain now pays vs what it paid before.
+    {
+      std::vector<std::pair<uint64_t, uint64_t>> entries;
+      entries.reserve(data.keys.size());
+      for (size_t i = 0; i < data.keys.size(); ++i) {
+        entries.emplace_back(data.keys[i], 1 + i % 3);
+      }
+      SpectralBloomFilter scalar_target = filter.CloneEmpty();
+      Timer timer;
+      for (int r = 0; r < rounds / 4 + 1; ++r) {
+        for (const auto& [key, count] : entries) {
+          scalar_target.Insert(key, count);
+        }
+      }
+      const double scalar_s = timer.ElapsedSeconds();
+      const uint64_t ops = (rounds / 4 + 1) * entries.size();
+      json.Add("flush_insert_scalar", {{"backing", name}},
+               scalar_s * 1e9 / ops, ops / (scalar_s * 1e6));
+
+      SpectralBloomFilter batch_target = filter.CloneEmpty();
+      timer.Restart();
+      for (int r = 0; r < rounds / 4 + 1; ++r) {
+        batch_target.ApplyAddBatch(entries.data(), entries.size());
+      }
+      const double batch_s = timer.ElapsedSeconds();
+      json.Add("flush_apply_add_batch",
+               {{"backing", name},
+                {"speedup_vs_scalar_insert", scalar_s / batch_s}},
+               batch_s * 1e9 / ops, ops / (batch_s * 1e6));
+    }
+  }
+
+  return json.WriteFile() ? 0 : 1;
+}

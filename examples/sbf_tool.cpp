@@ -18,6 +18,11 @@
 //                                           structural validator
 //                                           (CheckInvariants); exit 0 iff the
 //                                           structure passes
+//   sbf_tool storage <file>                 compact-backing internals: used /
+//                                           slack / overhead bits, rebuild and
+//                                           push tallies, per-group slack
+//                                           histogram (bare 'SBcc' frames or
+//                                           filters with a compact backing)
 //   sbf_tool save   <in> <out>              load any filter frame and save
 //                                           its canonical re-serialization
 //
@@ -28,16 +33,20 @@
 // Run with no arguments for a self-demo that exercises every subcommand in
 // a temp directory (so the example binary stays runnable standalone).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/bloom_filter.h"
 #include "core/sbf_algebra.h"
 #include "core/spectral_bloom_filter.h"
+#include "sai/compact_counter_vector.h"
 #include "sai/counter_vector.h"
 #include "io/filter_codec.h"
 #include "io/wire.h"
@@ -271,6 +280,78 @@ int CmdAudit(int argc, char** argv) {
   return 0;
 }
 
+// Dumps the compact backing's storage economics — the N + o(N) + O(m)
+// decomposition of Section 4.4 on a live frame. Accepts a bare 'SBcc'
+// counter frame or any filter frame whose backing is the compact vector.
+// Rebuild/push tallies are process-local, so on a freshly loaded frame they
+// report only the load-time layout build (zero for both).
+int CmdStorage(int argc, char** argv) {
+  if (argc < 3) return Fail("storage needs a file path");
+  std::vector<uint8_t> bytes;
+  if (!ReadFile(argv[2], &bytes)) return Fail("cannot read input");
+
+  // Keep whichever owner we deserialize alive for the whole dump.
+  std::unique_ptr<sbf::CounterVector> bare;
+  std::unique_ptr<sbf::FrequencyFilter> filter;
+  const sbf::CompactCounterVector* cv = nullptr;
+  if (sbf::wire::PeekMagic(bytes) == sbf::wire::kMagicCompactCounters) {
+    auto counters = sbf::DeserializeCounterVector(bytes);
+    if (!counters.ok()) return Fail(counters.status().ToString().c_str());
+    bare = std::move(counters).value();
+    cv = dynamic_cast<const sbf::CompactCounterVector*>(bare.get());
+  } else {
+    auto loaded = sbf::DeserializeFilter(bytes);
+    if (!loaded.ok()) return Fail(loaded.status().ToString().c_str());
+    filter = std::move(loaded).value();
+    if (const auto* sbf_filter =
+            dynamic_cast<const SpectralBloomFilter*>(filter.get())) {
+      cv = dynamic_cast<const sbf::CompactCounterVector*>(
+          &sbf_filter->counters());
+    }
+  }
+  if (cv == nullptr) {
+    return Fail("storage needs an 'SBcc' frame or a compact-backed filter");
+  }
+
+  const size_t used = cv->UsedBits();
+  const size_t base = cv->BaseArrayBits();
+  const size_t overhead = cv->OverheadBits();
+  std::printf("compact: m=%zu group_size=%zu groups=%zu\n", cv->size(),
+              cv->group_size(), cv->group_count());
+  std::printf("payload used: %zu bits, base array: %zu bits (slack %zu)\n",
+              used, base, base - used);
+  std::printf("overhead: %zu bits (offsets, widths, prefix samples)\n",
+              overhead);
+  std::printf("total: %zu bits = %.2f bits/counter\n", cv->MemoryUsageBits(),
+              static_cast<double>(cv->MemoryUsageBits()) / cv->size());
+  std::printf("rebuilds: %zu, pushed bits: %llu\n", cv->rebuild_count(),
+              (unsigned long long)cv->pushed_bits_total());
+
+  // Slack histogram: how far each group sits from its next forced push.
+  size_t min_slack = ~size_t{0}, max_slack = 0;
+  uint64_t total_slack = 0;
+  for (size_t g = 0; g < cv->group_count(); ++g) {
+    const size_t s = cv->GroupSlackBits(g);
+    min_slack = std::min(min_slack, s);
+    max_slack = std::max(max_slack, s);
+    total_slack += s;
+  }
+  std::printf("group slack bits: min=%zu mean=%.1f max=%zu\n", min_slack,
+              static_cast<double>(total_slack) / cv->group_count(),
+              max_slack);
+  constexpr size_t kBuckets = 8;
+  size_t histogram[kBuckets] = {0};
+  const size_t bucket_width = max_slack / kBuckets + 1;
+  for (size_t g = 0; g < cv->group_count(); ++g) {
+    histogram[cv->GroupSlackBits(g) / bucket_width] += 1;
+  }
+  for (size_t b = 0; b < kBuckets; ++b) {
+    std::printf("  slack [%4zu, %4zu): %zu group(s)\n", b * bucket_width,
+                (b + 1) * bucket_width, histogram[b]);
+  }
+  return 0;
+}
+
 int CmdSave(int argc, char** argv) {
   if (argc < 4) return Fail("save needs an input and an output path");
   std::vector<uint8_t> bytes;
@@ -310,6 +391,7 @@ int SelfDemo(const char* binary) {
   // and confirm the copy is identical.
   run(self + " load " + dir + "/all.sbf");
   run(self + " audit " + dir + "/all.sbf");
+  run(self + " storage " + dir + "/all.sbf");
   run(self + " save " + dir + "/all.sbf " + dir + "/all.copy.sbf");
   run("cmp -s " + dir + "/all.sbf " + dir + "/all.copy.sbf");
 
@@ -333,6 +415,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "health") == 0) return CmdHealth(argc, argv);
   if (std::strcmp(argv[1], "load") == 0) return CmdLoad(argc, argv);
   if (std::strcmp(argv[1], "audit") == 0) return CmdAudit(argc, argv);
+  if (std::strcmp(argv[1], "storage") == 0) return CmdStorage(argc, argv);
   if (std::strcmp(argv[1], "save") == 0) return CmdSave(argc, argv);
   std::printf(
       "usage: %s build <out> [m] [k] < keys\n"
@@ -343,8 +426,9 @@ int main(int argc, char** argv) {
       "       %s health <filter>   (exit 0 healthy / 2 degraded / 3 saturated)\n"
       "       %s load  <file>\n"
       "       %s audit <file>      (exit 0 iff structural invariants hold)\n"
+      "       %s storage <file>    (compact-backing storage internals)\n"
       "       %s save  <in> <out>\n",
       argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
-      argv[0]);
+      argv[0], argv[0]);
   return std::strcmp(argv[1], "help") == 0 ? 0 : 1;
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate on the decoded-view compact-backing artifact.
+
+Reads BENCH_compact_decode.json (schema: bench/common/bench_json.h,
+written by bench/bench_compact_decode) and fails if the compact backing's
+batched estimate is not at least THRESHOLD times faster than the
+pre-refactor per-access baseline — the O(group_size) width re-scan every
+probe paid before the sampled prefix-offset table and group-granular
+GetMany landed. The bench replicates that baseline against the live
+layout, so the gate keeps measuring the same gap after the slow path is
+gone from the library.
+
+The gate SKIPS — exit 0 with a message — when the artifact has no compact
+batched-estimate row carrying the speedup param (an artifact produced by
+an older bench binary, or a run that was cut short). A missing artifact
+is still a failure: perf-smoke runs the bench right before this gate.
+
+Usage: python3 scripts/check_compact.py [path/to/BENCH_compact_decode.json]
+Exit status: 0 pass or skip, 1 gate failure or missing/invalid artifact.
+"""
+
+import json
+import sys
+
+THRESHOLD = 2.5
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_compact_decode.json"
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_compact: cannot read {path}: {e}")
+        return 1
+
+    speedup = None
+    for row in rows:
+        params = row.get("params", {})
+        if (row.get("name") == "estimate_batched"
+                and params.get("backing") == "compact"):
+            speedup = params.get("speedup_vs_per_access")
+
+    if speedup is None:
+        print(f"check_compact: SKIP — no compact estimate_batched row with "
+              f"a speedup_vs_per_access param in {path}")
+        return 0
+
+    verdict = "PASS" if speedup >= THRESHOLD else "FAIL"
+    print(f"check_compact: {verdict} — compact batched estimate is "
+          f"{speedup:.2f}x the pre-refactor per-access path "
+          f"(threshold {THRESHOLD:.1f}x)")
+    return 0 if speedup >= THRESHOLD else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

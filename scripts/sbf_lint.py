@@ -32,6 +32,15 @@ Structural rules that generic linters cannot express:
      suite that pins each ISA variant to the scalar reference. A vector
      kernel without a registered differential test is an unverified
      bit-for-bit equivalence claim.
+  7. decode-view-differential — every CounterVector backing must either
+     override the decoded-view hooks (DecodeBlock and friends) or opt in
+     to the naive base-class loops via AllowsNaiveDecode (the SBF_DCHECK
+     in the defaults enforces the same rule at runtime); and every backing
+     that overrides them must be exercised by name in
+     tests/decode_view_test.cc, the suite that pins each override to the
+     scalar Get/Set reference across group boundaries, rebuilds and
+     widenings. An unregistered override is an unverified equivalence
+     claim, exactly like an untested SIMD kernel.
 
 Run from anywhere inside the repository:  python3 scripts/sbf_lint.py
 Self-test (used by ctest):                python3 scripts/sbf_lint.py --self-test
@@ -76,6 +85,11 @@ SIMD_DIFFERENTIAL_TEST = REPO / "tests" / "simd_differential_test.cc"
 # A function-pointer field of the BlockKernels table, e.g.
 #   uint64_t (*blocked_min64)(const uint64_t* block, ...);
 SIMD_FIELD = re.compile(r"\(\s*\*\s*(\w+)\s*\)\s*\(")
+
+# Rule 7: counter-vector backings and the decoded-view differential suite.
+DECODE_VIEW_TEST = REPO / "tests" / "decode_view_test.cc"
+BACKING_DECL = re.compile(r"class\s+(\w+)\s+(?:final\s+)?:\s*public\s+"
+                          r"CounterVector\b")
 
 # Rule 5: the CI workflow and what its TSan leg must keep running.
 CI_WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
@@ -263,6 +277,52 @@ def check_simd_differential(violations, test_text=None):
                 f"generic reference")
 
 
+def counter_vector_backings():
+    """(class name, header path, header text) of every concrete backing."""
+    backings = []
+    for path in source_files(SRC):
+        if not path.name.endswith(".h"):
+            continue
+        text = "\n".join(line for _, line in iter_code_lines(path))
+        for match in BACKING_DECL.finditer(text):
+            backings.append((match.group(1), path, text))
+    return backings
+
+
+def check_decode_view_differential(violations, test_text=None):
+    """Every backing either overrides the decoded-view hooks or opts in to
+    the naive loops; every override is pinned by the differential suite."""
+    backings = counter_vector_backings()
+    if not backings:
+        violations.append(
+            "src/sai: decode-view-differential: no CounterVector backings "
+            "parsed — the class declarations moved; update sbf_lint.py's "
+            "BACKING_DECL pattern")
+        return
+    if test_text is None:
+        if not DECODE_VIEW_TEST.exists():
+            violations.append(
+                "tests/decode_view_test.cc: decode-view-differential: the "
+                "decoded-view differential suite is missing")
+            return
+        test_text = DECODE_VIEW_TEST.read_text()
+    for name, path, text in backings:
+        overrides = "DecodeBlock" in text
+        if not overrides and "AllowsNaiveDecode" not in text:
+            violations.append(
+                f"{path.relative_to(REPO)}: decode-view-differential: "
+                f"backing '{name}' neither overrides the decoded-view hooks "
+                f"(DecodeBlock/GetMany/EncodeBlock) nor opts in via "
+                f"AllowsNaiveDecode — re-scanning the group per access is "
+                f"the pathology the decoded-view layer removed")
+        if overrides and name not in test_text:
+            violations.append(
+                f"tests/decode_view_test.cc: decode-view-differential: "
+                f"backing '{name}' overrides the decoded-view hooks but has "
+                f"no registered differential coverage — every override must "
+                f"be pinned to the scalar reference")
+
+
 def run_lint():
     violations = []
     check_wire_ownership(violations)
@@ -271,6 +331,7 @@ def run_lint():
     check_kernel_allocations(violations)
     check_tsan_coverage(violations)
     check_simd_differential(violations)
+    check_decode_view_differential(violations)
     for v in violations:
         print(v)
     if violations:
@@ -361,6 +422,27 @@ def self_test():
         check_simd_differential(clean)
         if clean:
             failures.append(f"simd-differential: tree not clean: {clean}")
+
+    # decode-view-differential fires when a backing's override loses its
+    # coverage, and stays quiet on the real tree.
+    backings = [name for name, _, text in counter_vector_backings()
+                if "DecodeBlock" in text]
+    if len(backings) < 2:
+        failures.append(
+            f"decode-view-differential: expected several overriding "
+            f"backings, parsed {backings}")
+    else:
+        synthetic = " ".join(backings[1:])  # drop one backing's coverage
+        fired = []
+        check_decode_view_differential(fired, test_text=synthetic)
+        if not any(backings[0] in v for v in fired):
+            failures.append(
+                "decode-view-differential: uncovered backing did not fire")
+        clean = []
+        check_decode_view_differential(clean)
+        if clean:
+            failures.append(
+                f"decode-view-differential: tree not clean: {clean}")
 
     if failures:
         for f in failures:

@@ -476,14 +476,23 @@ void ConcurrentSbf::MergeShardDelta(DeltaSet& set, uint32_t shard_index) {
     } else {
       std::unique_lock lock(s.mu);
       SpectralBloomFilter& f = s.pending ? *s.pending : *s.live;
+      // Gather-then-apply: the epoch's adds go through the filter's
+      // decoded-view bulk path (position-sorted, each touched counter
+      // group decoded and written back once) instead of k probes per key.
+      // Buffered nets on this path are add-only — Remove() flushes and
+      // applies directly on clamped backings — so the remove arm is
+      // defensive only.
+      std::vector<std::pair<uint64_t, uint64_t>> adds;
       applied =
-          DeltaDrain(set.map(shard_index), [&f](uint64_t key, uint64_t net) {
+          DeltaDrain(set.map(shard_index), [&adds, &f](uint64_t key,
+                                                       uint64_t net) {
             if (NetIsAdd(net)) {
-              f.Insert(key, net);
+              adds.emplace_back(key, net);
             } else {
               f.Remove(key, NetMagnitude(net));
             }
           });
+      f.ApplyAddBatch(adds.data(), adds.size());
     }
     state.size = 0;
     metrics_.RecordDeltaMerge(shard_index, applied);
@@ -601,7 +610,7 @@ void ConcurrentSbf::FlushAllBuffers() {
     std::sort(entries.begin(), entries.end());
     Shard& s = *shards_[shard_index];
     uint64_t applied = 0;
-    const auto apply_aggregated = [&](bool locked_held) {
+    if (lock_free_) {
       for (size_t i = 0; i < entries.size();) {
         const uint64_t key = entries[i].first;
         uint64_t net = 0;
@@ -609,16 +618,36 @@ void ConcurrentSbf::FlushAllBuffers() {
           net += entries[i].second;
         }
         if (net == 0) continue;
-        ApplyNetDelta(s, key, net, locked_held);
+        ApplyNetDelta(s, key, net, /*locked_held=*/false);
         ++applied;
       }
-    };
-    if (lock_free_) {
-      apply_aggregated(/*locked_held=*/false);
       s.net_items.fetch_add(net_ops, std::memory_order_relaxed);
     } else {
+      // Locked path: net per key, then one decoded-view bulk apply on the
+      // target filter — each counter group the drain touches is decoded
+      // and written back once, which is where the compact backing's flush
+      // cost used to go (a width re-scan per probe). Nets here are
+      // add-only (Remove() flushes and applies directly on this path);
+      // the remove arm is defensive.
       std::unique_lock lock(s.mu);
-      apply_aggregated(/*locked_held=*/true);
+      SpectralBloomFilter& f = s.pending ? *s.pending : *s.live;
+      std::vector<std::pair<uint64_t, uint64_t>> adds;
+      adds.reserve(entries.size());
+      for (size_t i = 0; i < entries.size();) {
+        const uint64_t key = entries[i].first;
+        uint64_t net = 0;
+        for (; i < entries.size() && entries[i].first == key; ++i) {
+          net += entries[i].second;
+        }
+        if (net == 0) continue;
+        if (NetIsAdd(net)) {
+          adds.emplace_back(key, net);
+        } else {
+          f.Remove(key, NetMagnitude(net));
+        }
+        ++applied;
+      }
+      f.ApplyAddBatch(adds.data(), adds.size());
     }
     if (!entries.empty()) {
       metrics_.RecordDeltaMerge(shard_index, applied);

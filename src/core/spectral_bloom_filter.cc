@@ -247,6 +247,72 @@ void SpectralBloomFilter::InsertBatch(const uint64_t* keys, size_t n,
   total_items_ += n * count;
 }
 
+void SpectralBloomFilter::ApplyAddBatch(
+    const std::pair<uint64_t, uint64_t>* entries, size_t n) {
+  if (n == 0) return;
+  // The decoded-view path pays one span decode + encode per touched span.
+  // That always beats serial-scan's scalar writes (each a full group
+  // re-encode), but compact's scalar Increment is an O(1) in-place bump —
+  // there the view only wins once probes outnumber counters (every span
+  // amortizes its decode over many hits). MI lifts depend on the current
+  // minimum at apply time (no commutative bulk form), and the fixed
+  // backings' Increment is an O(1) inline word op the view cannot beat;
+  // all those cases keep the scalar order.
+  const bool view_pays =
+      options_.backing == CounterBacking::kSerialScan ||
+      (options_.backing == CounterBacking::kCompact &&
+       n >= counters_->size() / options_.k + 1);
+  if (options_.policy != SbfPolicy::kMinimumSelection || !view_pays) {
+    for (size_t e = 0; e < n; ++e) Insert(entries[e].first, entries[e].second);
+    return;
+  }
+  const uint32_t k = options_.k;
+  std::vector<std::pair<uint64_t, uint64_t>> deltas;  // (position, count)
+  deltas.reserve(n * k);
+  uint64_t positions[kMaxK];
+  uint64_t items = 0;
+  for (size_t e = 0; e < n; ++e) {
+    hash_.Positions(entries[e].first, positions);
+    for (uint32_t j = 0; j < k; ++j) {
+      deltas.emplace_back(positions[j], entries[e].second);
+    }
+    items += entries[e].second;
+  }
+  // Cluster the increments by decoded span so the view refills each span
+  // once. Only span membership matters (clamped adds within one counter
+  // commute), so a dense batch uses a two-pass counting sort by span —
+  // O(probes + spans) beats the comparison sort that otherwise dominates
+  // the flush. A sparse batch would pay more for the span histogram than
+  // the sort, so it keeps std::sort.
+  const size_t spans =
+      counters_->size() / DecodeView::kSpanCounters + 1;
+  if (deltas.size() >= spans) {
+    std::vector<uint32_t> first_in_span(spans + 1, 0);
+    for (const auto& [pos, count] : deltas) {
+      ++first_in_span[pos / DecodeView::kSpanCounters + 1];
+    }
+    for (size_t s = 1; s <= spans; ++s) {
+      first_in_span[s] += first_in_span[s - 1];
+    }
+    std::vector<std::pair<uint64_t, uint64_t>> clustered(deltas.size());
+    for (const auto& delta : deltas) {
+      clustered[first_in_span[delta.first / DecodeView::kSpanCounters]++] =
+          delta;
+    }
+    deltas.swap(clustered);
+  } else {
+    std::sort(deltas.begin(), deltas.end());
+  }
+  {
+    DecodeView view(*counters_);
+    for (const auto& [pos, count] : deltas) {
+      view.Increment(static_cast<size_t>(pos), count);
+    }
+  }  // write-back + clamp-tally merge on view destruction
+  total_items_ += items;
+  SBF_AUDIT_INVARIANTS(*this);
+}
+
 uint64_t SpectralBloomFilter::Estimate(uint64_t key) const {
   uint64_t positions[kMaxK];
   hash_.Positions(key, positions);
@@ -322,12 +388,10 @@ void FoldExpandCounters(const CounterVector& old_cv, uint64_t c,
                         HashFamily::Kind kind, CounterVector* next) {
   const size_t old_m = old_cv.size();
   constexpr size_t kChunk = 256;
-  uint64_t idx[kChunk];
   uint64_t values[kChunk];
   for (size_t base = 0; base < old_m; base += kChunk) {
     const size_t len = std::min(kChunk, old_m - base);
-    for (size_t j = 0; j < len; ++j) idx[j] = base + j;
-    old_cv.GetMany(idx, len, values);
+    old_cv.DecodeBlock(base, len, values);
     for (size_t j = 0; j < len; ++j) {
       if (values[j] == 0) continue;
       const uint64_t i = base + j;

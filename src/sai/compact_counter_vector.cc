@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "sai/counter_codec.h"
 
@@ -20,6 +21,27 @@ size_t SlackBitsPerGroup(const CompactCounterVector::Options& options) {
   return std::max<size_t>(64, static_cast<size_t>(std::ceil(per_group)));
 }
 
+// Sum of the n (1 <= n <= 7) width bytes at p: one 8-byte load, mask, and
+// a pairwise horizontal add. Widths go up to 64, so seven of them can sum
+// to 448 — past a byte — which rules out the classic single-multiply
+// byte-sum; the pairwise fold keeps every lane within 16 bits. The load
+// relies on the kWidthPad zero bytes after widths_[m - 1].
+inline uint64_t SumWidthBytes(const uint8_t* p, size_t n) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  uint64_t x;
+  std::memcpy(&x, p, sizeof(x));
+  x &= ~uint64_t{0} >> ((8 - n) * 8);
+  x = (x & 0x00FF00FF00FF00FFull) + ((x >> 8) & 0x00FF00FF00FF00FFull);
+  x += x >> 16;
+  x += x >> 32;
+  return x & 0x3FF;
+#else
+  uint64_t sum = 0;
+  for (size_t j = 0; j < n; ++j) sum += p[j];
+  return sum;
+#endif
+}
+
 }  // namespace
 
 CompactCounterVector::CompactCounterVector(size_t m, Options options)
@@ -28,7 +50,9 @@ CompactCounterVector::CompactCounterVector(size_t m, Options options)
   SBF_CHECK_MSG(options_.group_size >= 1, "group size must be >= 1");
   SBF_CHECK_MSG(options_.slack_per_counter >= 0.0, "negative slack");
   num_groups_ = CeilDiv(m_, options_.group_size);
-  widths_.assign(m_, 1);
+  samples_per_group_ = CeilDiv(options_.group_size, kSampleStride);
+  widths_.assign(m_ + kWidthPad, 0);
+  std::fill_n(widths_.begin(), m_, uint8_t{1});
   LayoutFromValues(std::vector<uint64_t>(m_, 0));
 }
 
@@ -38,9 +62,35 @@ size_t CompactCounterVector::NumItemsInGroup(size_t g) const {
 }
 
 size_t CompactCounterVector::PositionOf(size_t i) const {
+  // O(1): the sampled prefix sum covers all but the last (i mod 8) widths,
+  // which one branch-free byte-sum picks up.
   const size_t g = i / options_.group_size;
-  size_t pos = group_start_[g];
-  for (size_t j = g * options_.group_size; j < i; ++j) pos += widths_[j];
+  const size_t j = i - g * options_.group_size;
+  size_t pos = group_start_[g] +
+               offset_samples_[g * samples_per_group_ + j / kSampleStride];
+  const size_t tail = j & (kSampleStride - 1);
+  if (tail != 0) pos += SumWidthBytes(widths_.data() + (i - tail), tail);
+  return pos;
+}
+
+void CompactCounterVector::RebuildSamples(size_t g) {
+  const size_t begin = g * options_.group_size;
+  const size_t count = NumItemsInGroup(g);
+  uint32_t* samples = offset_samples_.data() + g * samples_per_group_;
+  uint32_t acc = 0;
+  for (size_t j = 0; j < count; ++j) {
+    if ((j & (kSampleStride - 1)) == 0) samples[j / kSampleStride] = acc;
+    acc += widths_[begin + j];
+  }
+}
+
+size_t CompactCounterVector::DecodeRun(size_t first, size_t last, size_t pos,
+                                       uint64_t* out) const {
+  for (size_t i = first; i < last; ++i) {
+    const uint32_t w = widths_[i];
+    out[i - first] = bits_.GetBits(pos, w);
+    pos += w;
+  }
   return pos;
 }
 
@@ -73,6 +123,14 @@ void CompactCounterVector::Set(size_t i, uint64_t value) {
   pushed_bits_ += tail_end - (pos + width);
   widths_[i] = static_cast<uint8_t>(new_width);
   used_[g] += grow;
+  // Samples after i within the group shift right with the tail. Samples
+  // are group-relative, so no other group's table is touched (BorrowSlack
+  // moves whole groups, which leaves group-relative offsets intact).
+  uint32_t* samples = offset_samples_.data() + g * samples_per_group_;
+  const size_t j = i - g * options_.group_size;
+  for (size_t t = j / kSampleStride + 1; t < samples_per_group_; ++t) {
+    samples[t] += grow;
+  }
   bits_.SetBits(pos, new_width, value);
 }
 
@@ -97,7 +155,7 @@ bool CompactCounterVector::BorrowSlack(size_t g, size_t need) {
 
 void CompactCounterVector::Rebuild() {
   std::vector<uint64_t> values(m_);
-  for (size_t i = 0; i < m_; ++i) values[i] = Get(i);
+  DecodeBlock(0, m_, values.data());
   for (size_t i = 0; i < m_; ++i) {
     widths_[i] = static_cast<uint8_t>(BitWidth(values[i]));
   }
@@ -120,6 +178,7 @@ void CompactCounterVector::LayoutFromValues(
   }
   bits_ = BitVector(group_start_[num_groups_]);
   size_t pos = 0;
+  offset_samples_.assign(num_groups_ * samples_per_group_, 0);
   for (size_t g = 0; g < num_groups_; ++g) {
     pos = group_start_[g];
     const size_t begin = g * options_.group_size;
@@ -128,6 +187,7 @@ void CompactCounterVector::LayoutFromValues(
       bits_.SetBits(pos, widths_[i], values[i]);
       pos += widths_[i];
     }
+    RebuildSamples(g);
   }
 }
 
@@ -150,18 +210,105 @@ void CompactCounterVector::Increment(size_t i, uint64_t delta) {
 }
 
 void CompactCounterVector::Reset() {
-  widths_.assign(m_, 1);
+  widths_.assign(m_ + kWidthPad, 0);
+  std::fill_n(widths_.begin(), m_, uint8_t{1});
   LayoutFromValues(std::vector<uint64_t>(m_, 0));
+}
+
+void CompactCounterVector::GetMany(const uint64_t* idx, size_t n,
+                                   uint64_t* out) const {
+  // Serve in group-sorted order: chunk, sort a permutation when the
+  // indices do not already arrive sorted, then walk each sorted run with
+  // one sequential decode — a touched group's widths are walked at most
+  // once per chunk, duplicates are served from the walk, and a gap within
+  // a group costs one O(1) re-seek instead of decoding the gap.
+  constexpr size_t kChunk = 256;
+  uint16_t ord[kChunk];
+  const size_t gs = options_.group_size;
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t len = std::min(kChunk, n - base);
+    const uint64_t* cidx = idx + base;
+    uint64_t* cout = out + base;
+    bool sorted = true;
+    for (size_t j = 0; j + 1 < len; ++j) {
+      if (cidx[j] > cidx[j + 1]) {
+        sorted = false;
+        break;
+      }
+    }
+    for (size_t j = 0; j < len; ++j) ord[j] = static_cast<uint16_t>(j);
+    if (!sorted) {
+      std::sort(ord, ord + len,
+                [cidx](uint16_t a, uint16_t b) { return cidx[a] < cidx[b]; });
+    }
+    size_t c = 0;
+    size_t prev = 0;
+    size_t pos = 0;
+    bool walking = false;
+    while (c < len) {
+      const size_t i = static_cast<size_t>(cidx[ord[c]]);
+      SBF_DCHECK(i < m_);
+      // The sequential walk is only valid within a group (slack separates
+      // group payloads); a gap or a group boundary re-seeks in O(1).
+      if (!walking || i != prev + 1 || i % gs == 0) pos = PositionOf(i);
+      const uint32_t w = widths_[i];
+      const uint64_t v = bits_.GetBits(pos, w);
+      pos += w;
+      prev = i;
+      walking = true;
+      do {
+        cout[ord[c++]] = v;
+      } while (c < len && cidx[ord[c]] == i);
+    }
+  }
+}
+
+void CompactCounterVector::DecodeBlock(size_t first, size_t n,
+                                       uint64_t* out) const {
+  SBF_DCHECK(first + n <= m_);
+  size_t i = first;
+  const size_t end = first + n;
+  while (i < end) {
+    const size_t g = i / options_.group_size;
+    const size_t gend =
+        std::min(end, g * options_.group_size + NumItemsInGroup(g));
+    DecodeRun(i, gend, PositionOf(i), out + (i - first));
+    i = gend;
+  }
+}
+
+void CompactCounterVector::EncodeBlock(size_t first, size_t n,
+                                       const uint64_t* values) {
+  SBF_DCHECK(first + n <= m_);
+  const size_t gs = options_.group_size;
+  size_t pos = 0;
+  bool walking = false;
+  for (size_t j = 0; j < n; ++j) {
+    const size_t i = first + j;
+    if (!walking || i % gs == 0) {
+      pos = PositionOf(i);
+      walking = true;
+    }
+    const uint32_t w = widths_[i];
+    if (BitWidth(values[j]) <= w) {
+      bits_.SetBits(pos, w, values[j]);
+      pos += w;
+    } else {
+      Set(i, values[j]);  // widening: may shift the tail or rebuild
+      pos = PositionOf(i) + widths_[i];
+    }
+  }
 }
 
 size_t CompactCounterVector::UsedBits() const {
   size_t total = 0;
-  for (uint8_t w : widths_) total += w;
+  for (size_t i = 0; i < m_; ++i) total += widths_[i];
   return total;
 }
 
 size_t CompactCounterVector::OverheadBits() const {
-  return group_start_.size() * 64 + used_.size() * 32 + widths_.size() * 8;
+  return group_start_.size() * 64 + used_.size() * 32 + m_ * 8 +
+         offset_samples_.size() * 32;
 }
 
 size_t CompactCounterVector::MemoryUsageBits() const {
@@ -223,9 +370,16 @@ StatusOr<std::unique_ptr<CounterVector>> CompactCounterVector::Deserialize(
 
 Status CompactCounterVector::CheckInvariants() const {
   if (group_start_.size() != num_groups_ + 1 || used_.size() != num_groups_ ||
-      widths_.size() != m_) {
+      widths_.size() != m_ + kWidthPad ||
+      offset_samples_.size() != num_groups_ * samples_per_group_) {
     return Status::FailedPrecondition(
         "compact backing: bookkeeping vector sizes disagree with m");
+  }
+  for (size_t i = m_; i < widths_.size(); ++i) {
+    if (widths_[i] != 0) {
+      return Status::FailedPrecondition(
+          "compact backing: width padding bytes are not zero");
+    }
   }
   if (group_start_[0] != 0 || group_start_[num_groups_] != bits_.size_bits()) {
     return Status::FailedPrecondition(
@@ -243,6 +397,16 @@ Status CompactCounterVector::CheckInvariants() const {
       if (widths_[i] < 1 || widths_[i] > 64) {
         return Status::FailedPrecondition(
             "compact backing: counter width out of [1, 64]");
+      }
+      // Every sampled offset must equal the width prefix sum it stands in
+      // for — the O(1) PositionOf is only as correct as this table.
+      const size_t j = i - begin;
+      if ((j & (kSampleStride - 1)) == 0 &&
+          offset_samples_[g * samples_per_group_ + j / kSampleStride] !=
+              width_sum) {
+        return Status::FailedPrecondition(
+            "compact backing: prefix-sum offset sample disagrees with the "
+            "counter widths");
       }
       width_sum += widths_[i];
     }

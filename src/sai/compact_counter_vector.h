@@ -80,12 +80,16 @@ class CompactCounterVector final : public CounterVector {
     SBF_PREFETCH(widths_.data() + g * options_.group_size);
     SBF_PREFETCH(bits_.words() + (group_start_[g] >> 6));
   }
-  void GetMany(const uint64_t* idx, size_t n, uint64_t* out) const override {
-    for (size_t j = 0; j < n; ++j) out[j] = Get(idx[j]);
-  }
-  void DecodeBlock(size_t first, size_t n, uint64_t* out) const override {
-    for (size_t j = 0; j < n; ++j) out[j] = Get(first + j);
-  }
+  // Group-sorts its indices (when they do not already arrive sorted) and
+  // serves each sorted run with one sequential width walk, so a touched
+  // group is decoded at most once per chunk; duplicate indices are served
+  // from the walk for free.
+  void GetMany(const uint64_t* idx, size_t n, uint64_t* out) const override;
+  // One O(1) seek, then a single sequential decode of the range.
+  void DecodeBlock(size_t first, size_t n, uint64_t* out) const override;
+  // One sequential write pass; only a widening counter re-seeks (through
+  // the Set shift/rebuild machinery).
+  void EncodeBlock(size_t first, size_t n, const uint64_t* values) override;
 
   // --- introspection for tests and the storage experiments -------------
 
@@ -101,11 +105,29 @@ class CompactCounterVector final : public CounterVector {
   uint64_t pushed_bits_total() const { return pushed_bits_; }
   // Current width of counter i.
   [[nodiscard]] uint32_t WidthOf(size_t i) const { return widths_[i]; }
+  // Number of groups and the configured counters per group (sbf_tool's
+  // storage inspector sweeps these).
+  [[nodiscard]] size_t group_count() const noexcept { return num_groups_; }
+  [[nodiscard]] size_t group_size() const noexcept {
+    return options_.group_size;
+  }
+  // Free slack bits currently left in group g.
+  [[nodiscard]] size_t GroupSlackBits(size_t g) const { return FreeBits(g); }
 
   // Rebuilds immediately with tightened widths and fresh slack.
   void ForceRebuild() { Rebuild(); }
 
  private:
+  // Sampling stride of the per-group prefix-sum offset table: one sample
+  // per kSampleStride counters, holding the group-relative bit offset of
+  // that counter. PositionOf then adds at most kSampleStride - 1 widths,
+  // summed branch-free from one 8-byte load (see SumWidthsBelow in the
+  // .cc), making every position O(1) instead of O(group_size).
+  static constexpr size_t kSampleStride = 8;
+  // Zero padding after widths_[m_ - 1] so the unaligned 8-byte width loads
+  // never read past the allocation.
+  static constexpr size_t kWidthPad = 8;
+
   size_t NumItemsInGroup(size_t g) const;
   size_t RegionBits(size_t g) const {
     return group_start_[g + 1] - group_start_[g];
@@ -119,14 +141,25 @@ class CompactCounterVector final : public CounterVector {
   bool BorrowSlack(size_t g, size_t need);
   void Rebuild();
   void LayoutFromValues(const std::vector<uint64_t>& values);
+  // Recomputes group g's prefix-sum samples from widths_.
+  void RebuildSamples(size_t g);
+  // Sequentially decodes counters [first, last) starting from a resolved
+  // bit position, storing into out; returns the bit position after `last`.
+  size_t DecodeRun(size_t first, size_t last, size_t pos, uint64_t* out) const;
 
   size_t m_;
   Options options_;
   size_t num_groups_;
+  size_t samples_per_group_;
   BitVector bits_;
   std::vector<uint64_t> group_start_;  // num_groups_+1 entries; last = end
   std::vector<uint32_t> used_;         // payload bits per group
-  std::vector<uint8_t> widths_;        // current width of each counter
+  std::vector<uint8_t> widths_;        // width of each counter; kWidthPad
+                                       // zero bytes of tail padding
+  // Group-relative bit offsets of every kSampleStride-th counter
+  // (samples_per_group_ entries per group). Group-relative, so
+  // push-to-slack shifts (which move whole groups) never touch them.
+  std::vector<uint32_t> offset_samples_;
   size_t rebuilds_ = 0;
   uint64_t pushed_bits_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "sai/counter_codec.h"
 
+#include <algorithm>
 #include <string>
 
 #include "bitstream/bit_vector.h"
@@ -36,8 +37,17 @@ bool BoundedDeltaDecode(BitReader* reader, uint64_t* out) {
 void WriteCounterStream(const CounterVector& cv, wire::Writer* out) {
   BitVector stream;
   BitWriter writer(&stream);
-  for (size_t i = 0; i < cv.size(); ++i) {
-    EliasDeltaEncode(cv.Get(i) + 1, &writer);
+  // Sequential sweep through the decoded-view layer: one group decode per
+  // group instead of one positioned Get per counter.
+  constexpr size_t kChunk = 256;
+  uint64_t values[kChunk];
+  const size_t m = cv.size();
+  for (size_t base = 0; base < m; base += kChunk) {
+    const size_t len = std::min(kChunk, m - base);
+    cv.DecodeBlock(base, len, values);
+    for (size_t j = 0; j < len; ++j) {
+      EliasDeltaEncode(values[j] + 1, &writer);
+    }
   }
   writer.Finish();
   out->PutVarint(stream.size_bits());

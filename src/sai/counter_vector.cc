@@ -21,14 +21,12 @@ void CounterVector::Decrement(size_t i, uint64_t delta) {
 
 uint64_t CounterVector::Total() const {
   constexpr size_t kChunk = 256;
-  uint64_t idx[kChunk];
   uint64_t values[kChunk];
   uint64_t total = 0;
   const size_t n = size();
   for (size_t base = 0; base < n; base += kChunk) {
     const size_t len = std::min(kChunk, n - base);
-    for (size_t j = 0; j < len; ++j) idx[j] = base + j;
-    GetMany(idx, len, values);
+    DecodeBlock(base, len, values);
     for (size_t j = 0; j < len; ++j) total += values[j];
   }
   return total;
@@ -36,21 +34,49 @@ uint64_t CounterVector::Total() const {
 
 OccupancyCounts CounterVector::ScanOccupancy() const {
   constexpr size_t kChunk = 256;
-  uint64_t idx[kChunk];
   uint64_t values[kChunk];
   OccupancyCounts counts;
   const uint64_t max = MaxValue();
   const size_t n = size();
   for (size_t base = 0; base < n; base += kChunk) {
     const size_t len = std::min(kChunk, n - base);
-    for (size_t j = 0; j < len; ++j) idx[j] = base + j;
-    GetMany(idx, len, values);
+    DecodeBlock(base, len, values);
     for (size_t j = 0; j < len; ++j) {
       counts.nonzero += values[j] > 0;
       counts.saturated += values[j] == max;
     }
   }
   return counts;
+}
+
+void DecodeView::Refill(Span& s, size_t first) {
+  if (s.valid && s.dirty) WriteBack(s);
+  s.first = first;
+  s.count = static_cast<uint32_t>(
+      std::min(kSpanCounters, cv_->size() - first));
+  cv_->DecodeBlock(first, s.count, s.values);
+  s.valid = true;
+  s.dirty = false;
+  ++decodes_;
+}
+
+void DecodeView::WriteBack(Span& s) {
+  // Values were clamped as they were written, so the backing's own Set
+  // clamps can never fire here — the tallies in pending_stats_ are the
+  // complete clamp record of the buffered ops.
+  mutable_cv_->EncodeBlock(s.first, s.count, s.values);
+  s.dirty = false;
+}
+
+void DecodeView::Flush() {
+  for (Span& s : ways_) {
+    if (s.valid && s.dirty) WriteBack(s);
+  }
+  if (mutable_cv_ != nullptr && (pending_stats_.saturation_clamps > 0 ||
+                                 pending_stats_.underflow_clamps > 0)) {
+    mutable_cv_->MergeSaturationStats(pending_stats_);
+    pending_stats_ = SaturationStats{};
+  }
 }
 
 std::unique_ptr<CounterVector> MakeCounterVector(CounterBacking backing,

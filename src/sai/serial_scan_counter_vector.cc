@@ -49,6 +49,96 @@ uint64_t SerialScanCounterVector::Get(size_t i) const {
   return value;
 }
 
+void SerialScanCounterVector::GetMany(const uint64_t* idx, size_t n,
+                                      uint64_t* out) const {
+  // Group-sorted serving: each touched group is serially decoded exactly
+  // once per chunk, all of its requested entries (duplicates included)
+  // are picked off that one decode — instead of re-decoding the group
+  // prefix for every index the way scalar Get must.
+  constexpr size_t kChunk = 256;
+  uint16_t ord[kChunk];
+  const size_t gs = options_.group_size;
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t len = std::min(kChunk, n - base);
+    const uint64_t* cidx = idx + base;
+    uint64_t* cout = out + base;
+    bool sorted = true;
+    for (size_t j = 0; j + 1 < len; ++j) {
+      if (cidx[j] > cidx[j + 1]) {
+        sorted = false;
+        break;
+      }
+    }
+    for (size_t j = 0; j < len; ++j) ord[j] = static_cast<uint16_t>(j);
+    if (!sorted) {
+      std::sort(ord, ord + len,
+                [cidx](uint16_t a, uint16_t b) { return cidx[a] < cidx[b]; });
+    }
+    size_t c = 0;
+    while (c < len) {
+      const size_t g = static_cast<size_t>(cidx[ord[c]]) / gs;
+      BitReader reader(&bits_, group_start_[g]);
+      size_t next = g * gs;  // index the reader decodes next
+      uint64_t v = 0;
+      while (c < len && static_cast<size_t>(cidx[ord[c]]) / gs == g) {
+        const size_t target = static_cast<size_t>(cidx[ord[c]]);
+        SBF_DCHECK(target < m_);
+        for (; next <= target; ++next) v = code_.Decode(&reader);
+        cout[ord[c++]] = v;
+      }
+    }
+  }
+}
+
+void SerialScanCounterVector::DecodeBlock(size_t first, size_t n,
+                                          uint64_t* out) const {
+  SBF_DCHECK(first + n <= m_);
+  const size_t gs = options_.group_size;
+  size_t i = first;
+  const size_t end = first + n;
+  while (i < end) {
+    const size_t g = i / gs;
+    BitReader reader(&bits_, group_start_[g]);
+    for (size_t j = g * gs; j < i; ++j) code_.Decode(&reader);
+    const size_t gend = std::min(end, g * gs + NumItemsInGroup(g));
+    for (; i < gend; ++i) out[i - first] = code_.Decode(&reader);
+  }
+}
+
+void SerialScanCounterVector::EncodeBlock(size_t first, size_t n,
+                                          const uint64_t* values) {
+  SBF_DCHECK(first + n <= m_);
+  const size_t gs = options_.group_size;
+  size_t i = first;
+  const size_t end = first + n;
+  while (i < end) {
+    const size_t g = i / gs;
+    const size_t begin = g * gs;
+    const size_t count = NumItemsInGroup(g);
+    const size_t gend = std::min(end, begin + count);
+    uint64_t group_values[kMaxGroupSize];
+    DecodeGroup(g, group_values);
+    for (size_t j = i; j < gend; ++j) {
+      group_values[j - begin] = values[j - first];
+    }
+    const size_t new_bits = EncodedSize(group_values, count);
+    if (new_bits > RegionBits(g)) {
+      if (!BorrowSlack(g, new_bits - RegionBits(g))) {
+        // No slack to the right: refresh with the whole span overlaid
+        // (re-overlaying the groups already written above is idempotent).
+        std::vector<uint64_t> all(m_);
+        DecodeBlock(0, m_, all.data());
+        for (size_t j = 0; j < n; ++j) all[first + j] = values[j];
+        Rebuild(std::move(all));
+        ++rebuilds_;
+        return;
+      }
+    }
+    EncodeGroupAt(g, group_values, count);
+    i = gend;
+  }
+}
+
 size_t SerialScanCounterVector::EncodedSize(const uint64_t* values,
                                             size_t count) const {
   size_t bits = 0;
@@ -75,7 +165,7 @@ void SerialScanCounterVector::Set(size_t i, uint64_t value) {
   if (new_bits > RegionBits(g)) {
     if (!BorrowSlack(g, new_bits - RegionBits(g))) {
       std::vector<uint64_t> all(m_);
-      for (size_t j = 0; j < m_; ++j) all[j] = Get(j);
+      DecodeBlock(0, m_, all.data());
       all[i] = value;
       Rebuild(std::move(all));
       ++rebuilds_;

@@ -72,12 +72,15 @@ class SerialScanCounterVector final : public CounterVector {
       SBF_PREFETCH(bits_.words() + word + 8);
     }
   }
-  void GetMany(const uint64_t* idx, size_t n, uint64_t* out) const override {
-    for (size_t j = 0; j < n; ++j) out[j] = Get(idx[j]);
-  }
-  void DecodeBlock(size_t first, size_t n, uint64_t* out) const override {
-    for (size_t j = 0; j < n; ++j) out[j] = Get(first + j);
-  }
+  // Group-sorts its indices (when unsorted) and serves each group's
+  // entries from one serial decode of that group — the payoff is largest
+  // here, where a scalar Get re-decodes the group prefix per index.
+  void GetMany(const uint64_t* idx, size_t n, uint64_t* out) const override;
+  // One serial decode per overlapped group (skipping the prefix before
+  // `first` in the first group).
+  void DecodeBlock(size_t first, size_t n, uint64_t* out) const override;
+  // Re-encodes each overlapped group once instead of once per counter.
+  void EncodeBlock(size_t first, size_t n, const uint64_t* values) override;
 
   // Payload bits of the current encoding (sum of codeword lengths).
   size_t EncodedBits() const;
