@@ -1,0 +1,170 @@
+// Durability economics (DESIGN.md §10): what crash recovery costs as the
+// delta WAL grows, and what a checkpoint costs to write. Recovery replays
+// the log suffix onto the newest good checkpoint, so its time is linear in
+// the records written since that checkpoint — the sweep makes the constant
+// visible (records/s replayed) and the checkpoint rows show the compaction
+// cost that bounds it. A final pair contrasts recovery of a long
+// uncheckpointed log against the same history compacted by one checkpoint:
+// the ratio is the argument for the size-triggered background
+// checkpointer.
+//
+// Emits BENCH_recovery.json. Numbers are wall-clock file I/O and are NOT
+// gated in CI (shared runners' disks are noisy); EXPERIMENTS.md quotes a
+// reference transcript.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bench_json.h"
+#include "io/durable_store.h"
+#include "util/timer.h"
+
+namespace {
+
+using sbf::ConcurrentSbfOptions;
+using sbf::Timer;
+using sbf::bench::BenchJson;
+using sbf::DurableOptions;
+using sbf::DurableSbf;
+
+// A scratch store directory per sweep cell, removed on destruction.
+class ScopedDir {
+ public:
+  ScopedDir() {
+    char tmpl[] = "/tmp/sbf_bench_recovery_XXXXXX";
+    char* made = mkdtemp(tmpl);
+    path_ = made != nullptr ? made : "/tmp/sbf_bench_recovery_fallback";
+  }
+  ~ScopedDir() { std::system(("rm -rf '" + path_ + "'").c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+DurableOptions MakeOptions() {
+  DurableOptions options;
+  options.filter.m = 1 << 16;
+  options.filter.k = 4;
+  options.filter.num_shards = 8;
+  options.filter.seed = 7;
+  // One fsync per append would time the disk, not recovery; batch-sync on
+  // close instead (the recovery path being measured is identical).
+  options.sync_each_append = false;
+  options.checkpoint_log_bytes = 0;  // no size trigger; explicit only
+  return options;
+}
+
+// Writes `records` delta batches of `batch` keys each and returns the
+// final WAL size in bytes.
+uint64_t WriteLog(DurableSbf& store, uint64_t records, uint64_t batch) {
+  std::vector<uint64_t> keys(batch);
+  for (uint64_t r = 0; r < records; ++r) {
+    for (uint64_t i = 0; i < batch; ++i) {
+      keys[i] = (r * batch + i) * 2654435761u % 1000003;
+    }
+    if (!store.InsertBatch(keys.data(), keys.size()).ok()) std::abort();
+  }
+  if (!store.SyncLog().ok()) std::abort();
+  return store.Stats().wal_bytes;
+}
+
+double TimedReopen(const std::string& dir, const DurableOptions& options,
+                   uint64_t expect_replayed) {
+  Timer timer;
+  auto reopened = DurableSbf::Open(dir, options);
+  const double seconds = timer.ElapsedSeconds();
+  if (!reopened.ok()) std::abort();
+  if (reopened.value()->Stats().replayed_records != expect_replayed) {
+    std::abort();
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+  }
+  const uint64_t batch = 16;
+  std::vector<uint64_t> sweep = small
+                                    ? std::vector<uint64_t>{1000, 4000}
+                                    : std::vector<uint64_t>{1000, 4000,
+                                                            16000, 64000};
+
+  BenchJson out("BENCH_recovery.json");
+  out.SetContext(sbf::bench::StandardContext(/*with_isa=*/false));
+
+  // Recovery time vs log length: an uncheckpointed store replays every
+  // record on reopen.
+  for (uint64_t records : sweep) {
+    ScopedDir dir;
+    const DurableOptions options = MakeOptions();
+    uint64_t wal_bytes = 0;
+    {
+      auto store = DurableSbf::Open(dir.path(), options);
+      if (!store.ok()) std::abort();
+      wal_bytes = WriteLog(*store.value(), records, batch);
+    }
+    const double seconds = TimedReopen(dir.path(), options, records);
+    out.Add("recover_log_only",
+            {{"records", records},
+             {"batch", batch},
+             {"wal_bytes", wal_bytes},
+             {"recovery_ms", seconds * 1e3}},
+            seconds * 1e9 / static_cast<double>(records),
+            static_cast<double>(records) / seconds / 1e6);
+  }
+
+  // Checkpoint cost at the same sweep points: serialize + tmp write +
+  // fsync + rename + log rotation.
+  for (uint64_t records : sweep) {
+    ScopedDir dir;
+    const DurableOptions options = MakeOptions();
+    auto store = DurableSbf::Open(dir.path(), options);
+    if (!store.ok()) std::abort();
+    WriteLog(*store.value(), records, batch);
+    Timer timer;
+    if (!store.value()->Checkpoint().ok()) std::abort();
+    const double seconds = timer.ElapsedSeconds();
+    out.Add("checkpoint",
+            {{"records_compacted", records},
+             {"batch", batch},
+             {"checkpoint_ms", seconds * 1e3}},
+            seconds * 1e9 / static_cast<double>(records),
+            static_cast<double>(records) / seconds / 1e6);
+  }
+
+  // The payoff: the same history with one checkpoint plus a short tail
+  // replays only the tail. This ratio is what the size-triggered
+  // background checkpointer buys.
+  {
+    const uint64_t records = sweep.back();
+    const uint64_t tail = records / 100;
+    ScopedDir dir;
+    const DurableOptions options = MakeOptions();
+    {
+      auto store = DurableSbf::Open(dir.path(), options);
+      if (!store.ok()) std::abort();
+      WriteLog(*store.value(), records, batch);
+      if (!store.value()->Checkpoint().ok()) std::abort();
+      WriteLog(*store.value(), tail, batch);
+    }
+    const double seconds = TimedReopen(dir.path(), options, tail);
+    out.Add("recover_checkpointed",
+            {{"records_total", records + tail},
+             {"records_replayed", tail},
+             {"batch", batch},
+             {"recovery_ms", seconds * 1e3}},
+            seconds * 1e9 / static_cast<double>(tail),
+            static_cast<double>(tail) / seconds / 1e6);
+  }
+
+  return out.WriteFile() ? 0 : 1;
+}

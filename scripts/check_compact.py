@@ -19,19 +19,18 @@ Usage: python3 scripts/check_compact.py [path/to/BENCH_compact_decode.json]
 Exit status: 0 pass or skip, 1 gate failure or missing/invalid artifact.
 """
 
-import json
 import sys
 
+import gate_common
+
+GATE = "check_compact"
 THRESHOLD = 2.5
 
 
 def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_compact_decode.json"
-    try:
-        with open(path) as f:
-            rows = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"check_compact: cannot read {path}: {e}")
+    path = gate_common.artifact_path("BENCH_compact_decode.json")
+    rows = gate_common.load_rows(GATE, path)
+    if rows is None:
         return 1
 
     speedup = None
@@ -42,15 +41,14 @@ def main():
             speedup = params.get("speedup_vs_per_access")
 
     if speedup is None:
-        print(f"check_compact: SKIP — no compact estimate_batched row with "
-              f"a speedup_vs_per_access param in {path}")
-        return 0
+        return gate_common.skip(
+            GATE, f"no compact estimate_batched row with a "
+                  f"speedup_vs_per_access param in {path}")
 
-    verdict = "PASS" if speedup >= THRESHOLD else "FAIL"
-    print(f"check_compact: {verdict} — compact batched estimate is "
-          f"{speedup:.2f}x the pre-refactor per-access path "
-          f"(threshold {THRESHOLD:.1f}x)")
-    return 0 if speedup >= THRESHOLD else 1
+    return gate_common.verdict(
+        GATE, speedup, THRESHOLD,
+        f"compact batched estimate is {speedup:.2f}x the pre-refactor "
+        f"per-access path")
 
 
 if __name__ == "__main__":

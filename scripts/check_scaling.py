@@ -13,28 +13,27 @@ Usage: python3 scripts/check_scaling.py [path/to/BENCH_concurrent_scaling.json]
 Exit status: 0 pass or skip, 1 gate failure or missing/invalid artifact.
 """
 
-import json
 import os
 import sys
 
+import gate_common
+
+GATE = "check_scaling"
 THRESHOLD = 3.0
 THREADS = 8
 BACKING = "fixed64"
 
 
 def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_concurrent_scaling.json"
+    path = gate_common.artifact_path("BENCH_concurrent_scaling.json")
     cores = os.cpu_count() or 1
     if cores < THREADS:
-        print(f"check_scaling: SKIP — host has {cores} cpu(s), "
-              f"need >= {THREADS} to measure {THREADS}-thread speedup")
-        return 0
+        return gate_common.skip(
+            GATE, f"host has {cores} cpu(s), need >= {THREADS} to measure "
+                  f"{THREADS}-thread speedup")
 
-    try:
-        with open(path) as f:
-            rows = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"check_scaling: cannot read {path}: {e}")
+    rows = gate_common.load_rows(GATE, path)
+    if rows is None:
         return 1
 
     cells = {}  # shards -> speedup
@@ -47,17 +46,16 @@ def main():
             cells[params.get("shards")] = params.get("speedup_vs_1t")
 
     if not cells:
-        print(f"check_scaling: no {THREADS}-thread {BACKING}+delta "
-              f"insert_batch rows in {path}")
-        return 1
+        return gate_common.fail(
+            GATE, f"no {THREADS}-thread {BACKING}+delta insert_batch rows "
+                  f"in {path}")
 
     shards = max(cells)
     speedup = cells[shards]
-    verdict = "PASS" if speedup >= THRESHOLD else "FAIL"
-    print(f"check_scaling: {verdict} — {THREADS}-thread insert speedup on "
-          f"{BACKING}+MS (delta on, {shards} shards) is {speedup:.2f}x "
-          f"(threshold {THRESHOLD:.1f}x)")
-    return 0 if speedup >= THRESHOLD else 1
+    return gate_common.verdict(
+        GATE, speedup, THRESHOLD,
+        f"{THREADS}-thread insert speedup on {BACKING}+MS (delta on, "
+        f"{shards} shards) is {speedup:.2f}x")
 
 
 if __name__ == "__main__":

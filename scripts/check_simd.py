@@ -17,21 +17,20 @@ Usage: python3 scripts/check_simd.py [path/to/BENCH_simd_blocked.json]
 Exit status: 0 pass or skip, 1 gate failure or missing/invalid artifact.
 """
 
-import json
 import sys
 
+import gate_common
+
+GATE = "check_simd"
 THRESHOLD = 3.0
 REGIME = "hot"
 ISA = "avx2"
 
 
 def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_simd_blocked.json"
-    try:
-        with open(path) as f:
-            rows = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"check_simd: cannot read {path}: {e}")
+    path = gate_common.artifact_path("BENCH_simd_blocked.json")
+    rows = gate_common.load_rows(GATE, path)
+    if rows is None:
         return 1
 
     has_hot = False
@@ -47,20 +46,20 @@ def main():
 
     if not cells:
         if has_hot:
-            print(f"check_simd: SKIP — no {ISA} rows in {path}; "
-                  f"host does not support {ISA}")
-            return 0
-        print(f"check_simd: no {REGIME}-regime estimate rows in {path}")
-        return 1
+            return gate_common.skip(
+                GATE, f"no {ISA} rows in {path}; host does not support "
+                      f"{ISA}")
+        return gate_common.fail(
+            GATE, f"no {REGIME}-regime estimate rows in {path}")
 
     (shape, policy), speedup = max(cells.items(), key=lambda kv: kv[1])
-    verdict = "PASS" if speedup >= THRESHOLD else "FAIL"
-    print(f"check_simd: {verdict} — best {REGIME}-regime {ISA} estimate "
-          f"speedup vs scalar pipeline is {speedup:.2f}x on {shape}/{policy} "
-          f"(threshold {THRESHOLD:.1f}x)")
+    code = gate_common.verdict(
+        GATE, speedup, THRESHOLD,
+        f"best {REGIME}-regime {ISA} estimate speedup vs scalar pipeline "
+        f"is {speedup:.2f}x on {shape}/{policy}")
     for (s, p), v in sorted(cells.items()):
-        print(f"check_simd:   {s}/{p}: {v:.2f}x")
-    return 0 if speedup >= THRESHOLD else 1
+        print(f"{GATE}:   {s}/{p}: {v:.2f}x")
+    return code
 
 
 if __name__ == "__main__":

@@ -41,6 +41,12 @@ Structural rules that generic linters cannot express:
      scalar Get/Set reference across group boundaries, rebuilds and
      widenings. An unregistered override is an unverified equivalence
      claim, exactly like an untested SIMD kernel.
+  8. durable-record-coverage — every WalRecordType enumerator declared in
+     src/io/delta_log.h must appear by name in
+     tests/crash_recovery_test.cc, the crash-matrix suite that replays
+     logs through recovery. A record type the recovery tests never
+     mention is a durability path that has never survived a simulated
+     crash.
 
 Run from anywhere inside the repository:  python3 scripts/sbf_lint.py
 Self-test (used by ctest):                python3 scripts/sbf_lint.py --self-test
@@ -90,6 +96,14 @@ SIMD_FIELD = re.compile(r"\(\s*\*\s*(\w+)\s*\)\s*\(")
 DECODE_VIEW_TEST = REPO / "tests" / "decode_view_test.cc"
 BACKING_DECL = re.compile(r"class\s+(\w+)\s+(?:final\s+)?:\s*public\s+"
                           r"CounterVector\b")
+
+# Rule 8: the WAL record-type enum and the crash-matrix suite that must
+# exercise every enumerator through simulated-crash recovery.
+DELTA_LOG_HEADER = SRC / "io" / "delta_log.h"
+CRASH_RECOVERY_TEST = REPO / "tests" / "crash_recovery_test.cc"
+WAL_RECORD_ENUM = re.compile(
+    r"enum\s+class\s+WalRecordType[^{]*\{([^}]*)\}", re.DOTALL)
+WAL_RECORD_ENUMERATOR = re.compile(r"\b(k\w+)\s*=")
 
 # Rule 5: the CI workflow and what its TSan leg must keep running.
 CI_WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
@@ -323,6 +337,41 @@ def check_decode_view_differential(violations, test_text=None):
                 f"be pinned to the scalar reference")
 
 
+def wal_record_types():
+    """Enumerator names of io::WalRecordType (comment-stripped parse)."""
+    text = "\n".join(line for _, line in iter_code_lines(DELTA_LOG_HEADER))
+    match = WAL_RECORD_ENUM.search(text)
+    if not match:
+        return []
+    return WAL_RECORD_ENUMERATOR.findall(match.group(1))
+
+
+def check_durable_record_coverage(violations, test_text=None):
+    """Every WAL record type must be exercised by the crash-matrix suite:
+    a record kind recovery has never replayed is untested durability."""
+    enumerators = wal_record_types()
+    if not enumerators:
+        violations.append(
+            "src/io/delta_log.h: durable-record-coverage: no WalRecordType "
+            "enumerators parsed — the enum moved or changed syntax; update "
+            "sbf_lint.py's WAL_RECORD_ENUM pattern")
+        return
+    if test_text is None:
+        if not CRASH_RECOVERY_TEST.exists():
+            violations.append(
+                "tests/crash_recovery_test.cc: durable-record-coverage: the "
+                "crash-matrix suite is missing")
+            return
+        test_text = CRASH_RECOVERY_TEST.read_text()
+    for name in enumerators:
+        if name not in test_text:
+            violations.append(
+                f"tests/crash_recovery_test.cc: durable-record-coverage: "
+                f"WAL record type '{name}' is never exercised by the "
+                f"crash-matrix suite — every record kind must survive a "
+                f"simulated crash and replay")
+
+
 def run_lint():
     violations = []
     check_wire_ownership(violations)
@@ -332,6 +381,7 @@ def run_lint():
     check_tsan_coverage(violations)
     check_simd_differential(violations)
     check_decode_view_differential(violations)
+    check_durable_record_coverage(violations)
     for v in violations:
         print(v)
     if violations:
@@ -443,6 +493,27 @@ def self_test():
         if clean:
             failures.append(
                 f"decode-view-differential: tree not clean: {clean}")
+
+    # durable-record-coverage fires when a WAL record type loses its
+    # crash-matrix coverage, and stays quiet on the real tree.
+    enumerators = wal_record_types()
+    if len(enumerators) < 2:
+        failures.append(
+            f"durable-record-coverage: expected several WalRecordType "
+            f"enumerators, parsed {enumerators}")
+    else:
+        synthetic = " ".join(enumerators[1:])  # drop one type's coverage
+        fired = []
+        check_durable_record_coverage(fired, test_text=synthetic)
+        if not any(enumerators[0] in v for v in fired):
+            failures.append(
+                "durable-record-coverage: uncovered record type did not "
+                "fire")
+        clean = []
+        check_durable_record_coverage(clean)
+        if clean:
+            failures.append(
+                f"durable-record-coverage: tree not clean: {clean}")
 
     if failures:
         for f in failures:

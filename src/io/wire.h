@@ -63,6 +63,8 @@ inline constexpr uint32_t kMagicFixedCounters = FourCc('S', 'B', 'f', 'x');
 inline constexpr uint32_t kMagicCompactCounters = FourCc('S', 'B', 'c', 'c');
 inline constexpr uint32_t kMagicSerialScanCounters = FourCc('S', 'B', 's', 's');
 inline constexpr uint32_t kMagicJoinPartition = FourCc('S', 'B', 'j', 'p');
+inline constexpr uint32_t kMagicWalHeader = FourCc('S', 'B', 'w', 'h');
+inline constexpr uint32_t kMagicWalRecord = FourCc('S', 'B', 'w', 'r');
 
 // CRC32C (Castagnoli, the polynomial hardware CRC instructions implement).
 uint32_t Crc32c(const uint8_t* data, size_t size);

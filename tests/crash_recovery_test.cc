@@ -1,0 +1,665 @@
+// Crash matrix for the durable store (io/durable_store.h): every injected
+// crash point — torn WAL append (mid-record), torn checkpoint write
+// (mid-checkpoint), crash before/after the checkpoint rename, fsync
+// failure — crossed with every counter backing, plus file-level damage
+// (truncated tails, bit flips, deleted checkpoints) that needs no fault
+// hooks at all. After every scenario the reopened store must pass
+// CheckInvariants() and estimate exactly like a never-crashed reference
+// over the acknowledged operations; anything a failed Append did NOT ack
+// must be gone. Fault-hook cases skip without SBF_FAULT_INJECTION; the
+// file-level cases always run, in normal and SBF_AUDIT builds alike.
+//
+// WalRecordType coverage (sbf_lint rule 8): kDeltaBatch records carry the
+// replayed state; CheckpointSealLandsInOldLog pins kCheckpointSeal.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/concurrent_sbf.h"
+#include "io/delta_log.h"
+#include "io/durable_store.h"
+#include "io/wire.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace sbf {
+namespace {
+
+constexpr CounterBacking kBackings[] = {
+    CounterBacking::kFixed64, CounterBacking::kCompact,
+    CounterBacking::kSerialScan};
+
+const char* BackingName(CounterBacking backing) {
+  switch (backing) {
+    case CounterBacking::kFixed64:
+      return "fixed64";
+    case CounterBacking::kCompact:
+      return "compact";
+    case CounterBacking::kSerialScan:
+      return "serial-scan";
+    default:
+      return "?";
+  }
+}
+
+// Fresh unique store directory under the test tmpdir, removed on scope
+// exit (quarantine evidence included).
+class ScopedStoreDir {
+ public:
+  ScopedStoreDir() {
+    std::string tmpl = ::testing::TempDir() + "sbf-store-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    path_ = ::mkdtemp(buf.data());
+  }
+  ~ScopedStoreDir() {
+    const std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Deterministic, delta-buffering-off options so a single-threaded replay
+// is bit-faithful to the original ack order (Minimum Selection updates
+// commute, and with buffering off both sides apply ops identically).
+DurableOptions MakeOptions(CounterBacking backing) {
+  DurableOptions options;
+  options.filter.m = 1024;
+  options.filter.k = 3;
+  options.filter.num_shards = 4;
+  options.filter.seed = 77;
+  options.filter.backing = backing;
+  options.filter.policy = SbfPolicy::kMinimumSelection;
+  options.filter.delta.enabled = false;
+  options.checkpoint_log_bytes = 0;     // tests checkpoint explicitly
+  options.checkpoint_interval_ms = 0;
+  options.background_checkpointer = false;
+  options.checkpoint_retries = 0;       // crash scenarios must not retry
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 2;
+  return options;
+}
+
+// The never-crashed reference: the same ops applied to a plain
+// ConcurrentSbf with identical configuration.
+struct Scenario {
+  explicit Scenario(CounterBacking backing)
+      : options(MakeOptions(backing)),
+        reference(options.filter) {}
+
+  // Applies one acked op to the reference (call only when the store op
+  // succeeded).
+  void Ack(bool is_remove, const std::vector<uint64_t>& keys,
+           uint64_t count) {
+    if (is_remove) {
+      for (const uint64_t key : keys) reference.Remove(key, count);
+    } else {
+      reference.InsertBatch(keys.data(), keys.size(), count);
+    }
+  }
+
+  // Every estimate over the probe range must match the reference exactly.
+  void ExpectMatches(const DurableSbf& store, const char* where) const {
+    ASSERT_TRUE(store.CheckInvariants().ok()) << where;
+    for (uint64_t key = 0; key < 400; ++key) {
+      ASSERT_EQ(store.Estimate(key), reference.Estimate(key))
+          << where << " key " << key << " backing "
+          << BackingName(options.filter.backing);
+    }
+  }
+
+  DurableOptions options;
+  ConcurrentSbf reference;
+};
+
+std::vector<uint64_t> KeyRange(uint64_t first, uint64_t n) {
+  std::vector<uint64_t> keys(n);
+  for (uint64_t i = 0; i < n; ++i) keys[i] = first + i;
+  return keys;
+}
+
+using StorePtr = std::unique_ptr<DurableSbf>;
+
+StorePtr MustOpen(const std::string& dir, const DurableOptions& options) {
+  auto opened = DurableSbf::Open(dir, options);
+  EXPECT_TRUE(opened.ok()) << opened.status().message();
+  return opened.ok() ? std::move(opened).value() : nullptr;
+}
+
+// Flips one bit at `offset` — non-negative counts from the start of the
+// file, negative from the end.
+void FlipBitAt(const std::string& path, int64_t offset) {
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset),
+                       offset >= 0 ? SEEK_SET : SEEK_END),
+            0);
+  const long pos = std::ftell(f);
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, pos, SEEK_SET), 0);
+  std::fputc(c ^ 0x10, f);
+  std::fclose(f);
+}
+
+void TruncateBy(const std::string& path, uint64_t cut) {
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(static_cast<uint64_t>(size), cut);
+  ASSERT_EQ(::truncate(path.c_str(), size - static_cast<off_t>(cut)), 0);
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Reset(); }
+  void TearDown() override { fault::Reset(); }
+};
+
+// --- baseline lifecycle (no faults, all builds) ----------------------------
+
+TEST_F(CrashRecoveryTest, FreshStartThenCleanReopen) {
+  for (const CounterBacking backing : kBackings) {
+    ScopedStoreDir dir;
+    Scenario s(backing);
+    {
+      StorePtr store = MustOpen(dir.path(), s.options);
+      ASSERT_NE(store, nullptr);
+      EXPECT_EQ(store->Stats().recovery, RecoveryVerdict::kFreshStart);
+      const auto keys = KeyRange(0, 200);
+      ASSERT_TRUE(store->InsertBatch(keys.data(), keys.size(), 2).ok());
+      s.Ack(false, keys, 2);
+      ASSERT_TRUE(store->Insert(7, 5).ok());
+      s.Ack(false, {7}, 5);
+      ASSERT_TRUE(store->Remove(7, 1).ok());
+      s.Ack(true, {7}, 1);
+      s.ExpectMatches(*store, "live");
+    }
+    StorePtr reopened = MustOpen(dir.path(), s.options);
+    ASSERT_NE(reopened, nullptr);
+    const DurabilityStats stats = reopened->Stats();
+    EXPECT_EQ(stats.recovery, RecoveryVerdict::kClean);
+    EXPECT_FALSE(stats.recovered_torn_tail);
+    EXPECT_EQ(stats.quarantined_checkpoints, 0u);
+    EXPECT_EQ(stats.replayed_records, 3u);
+    s.ExpectMatches(*reopened, "reopened");
+  }
+}
+
+TEST_F(CrashRecoveryTest, CheckpointThenReplayTail) {
+  for (const CounterBacking backing : kBackings) {
+    ScopedStoreDir dir;
+    Scenario s(backing);
+    {
+      StorePtr store = MustOpen(dir.path(), s.options);
+      ASSERT_NE(store, nullptr);
+      const auto before = KeyRange(0, 150);
+      ASSERT_TRUE(store->InsertBatch(before.data(), before.size(), 1).ok());
+      s.Ack(false, before, 1);
+      ASSERT_TRUE(store->Checkpoint().ok());
+      EXPECT_EQ(store->generation(), 1u);
+      const auto after = KeyRange(150, 80);
+      ASSERT_TRUE(store->InsertBatch(after.data(), after.size(), 3).ok());
+      s.Ack(false, after, 3);
+    }
+    StorePtr reopened = MustOpen(dir.path(), s.options);
+    ASSERT_NE(reopened, nullptr);
+    EXPECT_EQ(reopened->Stats().recovery, RecoveryVerdict::kClean);
+    EXPECT_EQ(reopened->generation(), 1u);
+    // Only the post-checkpoint tail replays; the bulk loads from the
+    // checkpoint.
+    EXPECT_EQ(reopened->Stats().replayed_records, 1u);
+    s.ExpectMatches(*reopened, "checkpoint+tail");
+  }
+}
+
+TEST_F(CrashRecoveryTest, CheckpointSealLandsInOldLog) {
+  ScopedStoreDir dir;
+  Scenario s(CounterBacking::kCompact);
+  {
+    StorePtr store = MustOpen(dir.path(), s.options);
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->Insert(11, 1).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+  }
+  // The rotated-away log must end in a kCheckpointSeal record naming the
+  // generation that superseded it.
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(io::ReadFileBytes(WalPath(dir.path(), 0), &bytes).ok());
+  auto scan = io::ScanLog(bytes);
+  ASSERT_TRUE(scan.ok()) << scan.status().message();
+  ASSERT_FALSE(scan.value().records.empty());
+  const io::WalRecord& last = scan.value().records.back();
+  EXPECT_EQ(last.type, io::WalRecordType::kCheckpointSeal);
+  EXPECT_EQ(last.next_generation, 1u);
+  EXPECT_EQ(scan.value().records.front().type,
+            io::WalRecordType::kDeltaBatch);
+}
+
+TEST_F(CrashRecoveryTest, RetentionKeepsTwoGenerations) {
+  ScopedStoreDir dir;
+  Scenario s(CounterBacking::kFixed64);
+  StorePtr store = MustOpen(dir.path(), s.options);
+  ASSERT_NE(store, nullptr);
+  for (uint64_t round = 0; round < 3; ++round) {
+    const auto keys = KeyRange(round * 50, 50);
+    ASSERT_TRUE(store->InsertBatch(keys.data(), keys.size(), 1).ok());
+    s.Ack(false, keys, 1);
+    ASSERT_TRUE(store->Checkpoint().ok());
+  }
+  EXPECT_EQ(store->generation(), 3u);
+  // Generations 3 (current) and 2 (previous) survive; 0 and 1 are pruned.
+  EXPECT_EQ(::access(CheckpointPath(dir.path(), 3).c_str(), F_OK), 0);
+  EXPECT_EQ(::access(CheckpointPath(dir.path(), 2).c_str(), F_OK), 0);
+  EXPECT_EQ(::access(WalPath(dir.path(), 3).c_str(), F_OK), 0);
+  EXPECT_EQ(::access(WalPath(dir.path(), 2).c_str(), F_OK), 0);
+  EXPECT_NE(::access(CheckpointPath(dir.path(), 1).c_str(), F_OK), 0);
+  EXPECT_NE(::access(WalPath(dir.path(), 1).c_str(), F_OK), 0);
+  EXPECT_NE(::access(WalPath(dir.path(), 0).c_str(), F_OK), 0);
+  store.reset();
+  StorePtr reopened = MustOpen(dir.path(), s.options);
+  ASSERT_NE(reopened, nullptr);
+  s.ExpectMatches(*reopened, "after retention pruning");
+}
+
+// --- file-level damage (no fault hooks; runs in every build) ---------------
+
+TEST_F(CrashRecoveryTest, ManuallyTruncatedTailDropsOnlyLastRecord) {
+  for (const CounterBacking backing : kBackings) {
+    ScopedStoreDir dir;
+    Scenario s(backing);
+    {
+      StorePtr store = MustOpen(dir.path(), s.options);
+      ASSERT_NE(store, nullptr);
+      const auto keys = KeyRange(0, 100);
+      ASSERT_TRUE(store->InsertBatch(keys.data(), keys.size(), 2).ok());
+      s.Ack(false, keys, 2);
+      // The victim: acked, then torn off below — exactly what a crash
+      // between write() and fsync() leaves with sync_each_append off.
+      ASSERT_TRUE(store->Insert(999, 4).ok());
+    }
+    TruncateBy(WalPath(dir.path(), 0), 5);
+    StorePtr reopened = MustOpen(dir.path(), s.options);
+    ASSERT_NE(reopened, nullptr);
+    const DurabilityStats stats = reopened->Stats();
+    EXPECT_EQ(stats.recovery, RecoveryVerdict::kTornTail);
+    EXPECT_TRUE(stats.recovered_torn_tail);
+    EXPECT_EQ(stats.replayed_records, 1u);
+    s.ExpectMatches(*reopened, "truncated tail");
+    // Appending after the truncation must work (the tail was cut away).
+    ASSERT_TRUE(reopened->Insert(5, 1).ok());
+  }
+}
+
+TEST_F(CrashRecoveryTest, BitFlippedTailRecordIsCleanEndOfLog) {
+  ScopedStoreDir dir;
+  Scenario s(CounterBacking::kCompact);
+  {
+    StorePtr store = MustOpen(dir.path(), s.options);
+    ASSERT_NE(store, nullptr);
+    const auto keys = KeyRange(0, 64);
+    ASSERT_TRUE(store->InsertBatch(keys.data(), keys.size(), 1).ok());
+    s.Ack(false, keys, 1);
+    ASSERT_TRUE(store->Insert(424242, 9).ok());
+  }
+  // Flip a payload bit inside the final record: CRC kills it, recovery
+  // treats it as a torn tail, earlier records survive.
+  FlipBitAt(WalPath(dir.path(), 0), -4);
+  StorePtr reopened = MustOpen(dir.path(), s.options);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->Stats().recovery, RecoveryVerdict::kTornTail);
+  EXPECT_EQ(reopened->Stats().replayed_records, 1u);
+  s.ExpectMatches(*reopened, "bit-flipped tail");
+}
+
+TEST_F(CrashRecoveryTest, CorruptCheckpointQuarantinesAndFallsBack) {
+  for (const CounterBacking backing : kBackings) {
+    ScopedStoreDir dir;
+    Scenario s(backing);
+    {
+      StorePtr store = MustOpen(dir.path(), s.options);
+      ASSERT_NE(store, nullptr);
+      const auto a = KeyRange(0, 120);
+      ASSERT_TRUE(store->InsertBatch(a.data(), a.size(), 1).ok());
+      s.Ack(false, a, 1);
+      ASSERT_TRUE(store->Checkpoint().ok());
+      const auto b = KeyRange(120, 60);
+      ASSERT_TRUE(store->InsertBatch(b.data(), b.size(), 2).ok());
+      s.Ack(false, b, 2);
+      ASSERT_TRUE(store->Checkpoint().ok());
+      const auto c = KeyRange(180, 30);
+      ASSERT_TRUE(store->InsertBatch(c.data(), c.size(), 1).ok());
+      s.Ack(false, c, 1);
+    }
+    // Damage the newest checkpoint's payload. CRC validation rejects it
+    // long before any field is trusted, so this is safe under SBF_AUDIT
+    // too; recovery must fall back to generation 1 and replay wal-1 +
+    // wal-2 to reach the same state.
+    FlipBitAt(CheckpointPath(dir.path(), 2), -8);
+    StorePtr reopened = MustOpen(dir.path(), s.options);
+    ASSERT_NE(reopened, nullptr);
+    const DurabilityStats stats = reopened->Stats();
+    EXPECT_EQ(stats.recovery, RecoveryVerdict::kQuarantined);
+    EXPECT_EQ(stats.quarantined_checkpoints, 1u);
+    s.ExpectMatches(*reopened, "quarantined checkpoint");
+    // The damaged file is kept aside as evidence, not deleted.
+    EXPECT_EQ(::access((CheckpointPath(dir.path(), 2) + ".quarantined").c_str(),
+                       F_OK),
+              0);
+    EXPECT_NE(::access(CheckpointPath(dir.path(), 2).c_str(), F_OK), 0);
+  }
+}
+
+TEST_F(CrashRecoveryTest, AllCheckpointsLostRebuildsFromLogsAlone) {
+  ScopedStoreDir dir;
+  Scenario s(CounterBacking::kFixed64);
+  {
+    StorePtr store = MustOpen(dir.path(), s.options);
+    ASSERT_NE(store, nullptr);
+    const auto a = KeyRange(0, 90);
+    ASSERT_TRUE(store->InsertBatch(a.data(), a.size(), 1).ok());
+    s.Ack(false, a, 1);
+    ASSERT_TRUE(store->Checkpoint().ok());
+    const auto b = KeyRange(90, 40);
+    ASSERT_TRUE(store->InsertBatch(b.data(), b.size(), 1).ok());
+    s.Ack(false, b, 1);
+  }
+  // The only checkpoint dies; wal-0 (with its embedded empty-filter
+  // configuration) plus wal-1 still reconstruct everything.
+  FlipBitAt(CheckpointPath(dir.path(), 1), -8);
+  StorePtr reopened = MustOpen(dir.path(), s.options);
+  ASSERT_NE(reopened, nullptr);
+  const DurabilityStats stats = reopened->Stats();
+  EXPECT_EQ(stats.recovery, RecoveryVerdict::kLogOnlyRebuild);
+  EXPECT_EQ(stats.quarantined_checkpoints, 1u);
+  s.ExpectMatches(*reopened, "log-only rebuild");
+}
+
+TEST_F(CrashRecoveryTest, NothingUsableIsUnrecoverable) {
+  ScopedStoreDir dir;
+  Scenario s(CounterBacking::kCompact);
+  {
+    StorePtr store = MustOpen(dir.path(), s.options);
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->Insert(1, 1).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+  }
+  // Kill the checkpoint AND both log headers: no base state survives
+  // anywhere, which must surface as a clean error, not a crash or an
+  // empty filter pretending to be the store.
+  FlipBitAt(CheckpointPath(dir.path(), 1), -8);
+  FlipBitAt(WalPath(dir.path(), 0), 25);   // inside the header frame
+  FlipBitAt(WalPath(dir.path(), 1), 25);
+  auto opened = DurableSbf::Open(dir.path(), s.options);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), Status::Code::kDataLoss);
+}
+
+TEST_F(CrashRecoveryTest, LeftoverTmpFilesAreDeletedOnOpen) {
+  ScopedStoreDir dir;
+  Scenario s(CounterBacking::kCompact);
+  {
+    StorePtr store = MustOpen(dir.path(), s.options);
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->Insert(3, 2).ok());
+    s.Ack(false, {3}, 2);
+  }
+  // A crashed checkpoint leaves checkpoint-1.sbf.tmp; recovery must sweep
+  // it without ever considering it a checkpoint.
+  const std::string tmp = CheckpointPath(dir.path(), 1) + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("partial garbage", f);
+  std::fclose(f);
+  StorePtr reopened = MustOpen(dir.path(), s.options);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->Stats().recovery, RecoveryVerdict::kClean);
+  EXPECT_NE(::access(tmp.c_str(), F_OK), 0);
+  s.ExpectMatches(*reopened, "tmp swept");
+}
+
+// --- injected crash points (need SBF_FAULT_INJECTION) ----------------------
+
+class CrashPointTest : public CrashRecoveryTest {
+ protected:
+  void SetUp() override {
+#ifndef SBF_FAULT_INJECTION
+    GTEST_SKIP() << "built without SBF_FAULT_INJECTION";
+#endif
+    CrashRecoveryTest::SetUp();
+  }
+};
+
+TEST_F(CrashPointTest, TornAppendMidRecordIsNotAcked) {
+  for (const CounterBacking backing : kBackings) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      ScopedStoreDir dir;
+      Scenario s(backing);
+      {
+        StorePtr store = MustOpen(dir.path(), s.options);
+        ASSERT_NE(store, nullptr);
+        const auto keys = KeyRange(0, 80);
+        ASSERT_TRUE(store->InsertBatch(keys.data(), keys.size(), 1).ok());
+        s.Ack(false, keys, 1);
+        // Crash point: the next append persists only a prefix of its
+        // record. The op fails (never acked) and the store wedges like a
+        // dead process.
+        fault::ArmFileFault(fault::FileFault::kShortWrite, 1, seed);
+        const auto doomed = KeyRange(500, 16);
+        const Status torn =
+            store->InsertBatch(doomed.data(), doomed.size(), 7);
+        EXPECT_FALSE(torn.ok());
+        EXPECT_EQ(fault::InjectedFileFaults(), 1u);
+        EXPECT_TRUE(store->Stats().wedged);
+        // Wedged: mutations fail, reads keep serving.
+        EXPECT_FALSE(store->Insert(1, 1).ok());
+        EXPECT_EQ(store->Estimate(0), s.reference.Estimate(0));
+      }
+      fault::Reset();
+      StorePtr reopened = MustOpen(dir.path(), s.options);
+      ASSERT_NE(reopened, nullptr);
+      const DurabilityStats stats = reopened->Stats();
+      EXPECT_EQ(stats.recovery, RecoveryVerdict::kTornTail)
+          << BackingName(backing) << " seed " << seed;
+      s.ExpectMatches(*reopened, "torn append");
+      ASSERT_TRUE(reopened->Insert(5, 1).ok());  // tail truncated; append ok
+    }
+  }
+}
+
+TEST_F(CrashPointTest, TornCheckpointWriteLeavesOldStateIntact) {
+  for (const CounterBacking backing : kBackings) {
+    ScopedStoreDir dir;
+    Scenario s(backing);
+    {
+      StorePtr store = MustOpen(dir.path(), s.options);
+      ASSERT_NE(store, nullptr);
+      const auto keys = KeyRange(0, 70);
+      ASSERT_TRUE(store->InsertBatch(keys.data(), keys.size(), 2).ok());
+      s.Ack(false, keys, 2);
+      // Crash point: the checkpoint tmp is torn mid-write. The rename
+      // never happens, so nothing durable changed; the store is NOT
+      // wedged and the WAL still carries everything.
+      fault::ArmFileFault(fault::FileFault::kShortWrite, 1, 3);
+      const Status crashed = store->Checkpoint();
+      EXPECT_FALSE(crashed.ok());
+      EXPECT_FALSE(store->Stats().wedged);
+      EXPECT_EQ(store->generation(), 0u);
+      fault::Reset();
+      // The same store can still append and even checkpoint afterwards.
+      ASSERT_TRUE(store->Insert(901, 1).ok());
+      s.Ack(false, {901}, 1);
+    }
+    StorePtr reopened = MustOpen(dir.path(), s.options);
+    ASSERT_NE(reopened, nullptr);
+    EXPECT_EQ(reopened->Stats().recovery, RecoveryVerdict::kClean);
+    s.ExpectMatches(*reopened, "torn checkpoint write");
+  }
+}
+
+TEST_F(CrashPointTest, CrashBeforeRenameKeepsPreviousGeneration) {
+  for (const CounterBacking backing : kBackings) {
+    ScopedStoreDir dir;
+    Scenario s(backing);
+    {
+      StorePtr store = MustOpen(dir.path(), s.options);
+      ASSERT_NE(store, nullptr);
+      const auto keys = KeyRange(0, 60);
+      ASSERT_TRUE(store->InsertBatch(keys.data(), keys.size(), 1).ok());
+      s.Ack(false, keys, 1);
+      fault::ArmFileFault(fault::FileFault::kFailBeforeRename, 1);
+      const Status crashed = store->Checkpoint();
+      EXPECT_FALSE(crashed.ok());
+      EXPECT_EQ(fault::InjectedFileFaults(), 1u);
+      EXPECT_EQ(store->generation(), 0u);
+      EXPECT_FALSE(store->Stats().wedged);
+    }
+    fault::Reset();
+    // checkpoint-1.sbf must not exist (only its tmp, which Open sweeps).
+    EXPECT_NE(::access(CheckpointPath(dir.path(), 1).c_str(), F_OK), 0);
+    StorePtr reopened = MustOpen(dir.path(), s.options);
+    ASSERT_NE(reopened, nullptr);
+    EXPECT_EQ(reopened->Stats().recovery, RecoveryVerdict::kClean);
+    EXPECT_EQ(reopened->generation(), 0u);
+    s.ExpectMatches(*reopened, "crash before rename");
+  }
+}
+
+TEST_F(CrashPointTest, CrashAfterRenameResumesAtNewGeneration) {
+  for (const CounterBacking backing : kBackings) {
+    ScopedStoreDir dir;
+    Scenario s(backing);
+    {
+      StorePtr store = MustOpen(dir.path(), s.options);
+      ASSERT_NE(store, nullptr);
+      const auto keys = KeyRange(0, 60);
+      ASSERT_TRUE(store->InsertBatch(keys.data(), keys.size(), 3).ok());
+      s.Ack(false, keys, 3);
+      // Crash point: the new checkpoint became visible but the process
+      // died before rotating logs. The store must wedge — appending more
+      // to wal-0 would hide acked records from recovery, which replays
+      // from the newest checkpoint.
+      fault::ArmFileFault(fault::FileFault::kFailAfterRename, 1);
+      const Status crashed = store->Checkpoint();
+      EXPECT_FALSE(crashed.ok());
+      EXPECT_TRUE(store->Stats().wedged);
+      EXPECT_FALSE(store->Insert(1, 1).ok());
+    }
+    fault::Reset();
+    EXPECT_EQ(::access(CheckpointPath(dir.path(), 1).c_str(), F_OK), 0);
+    StorePtr reopened = MustOpen(dir.path(), s.options);
+    ASSERT_NE(reopened, nullptr);
+    EXPECT_EQ(reopened->Stats().recovery, RecoveryVerdict::kClean);
+    // Recovery adopts generation 1 and creates the missing wal-1.
+    EXPECT_EQ(reopened->generation(), 1u);
+    EXPECT_EQ(::access(WalPath(dir.path(), 1).c_str(), F_OK), 0);
+    s.ExpectMatches(*reopened, "crash after rename");
+    ASSERT_TRUE(reopened->Insert(77, 1).ok());
+  }
+}
+
+TEST_F(CrashPointTest, FsyncFailureDuringCheckpointIsClean) {
+  for (const CounterBacking backing : kBackings) {
+    ScopedStoreDir dir;
+    Scenario s(backing);
+    s.options.sync_each_append = false;  // appends skip fsync; the armed
+                                         // fault hits the checkpoint body
+    {
+      StorePtr store = MustOpen(dir.path(), s.options);
+      ASSERT_NE(store, nullptr);
+      const auto keys = KeyRange(0, 50);
+      ASSERT_TRUE(store->InsertBatch(keys.data(), keys.size(), 1).ok());
+      s.Ack(false, keys, 1);
+      fault::ArmFileFault(fault::FileFault::kFsyncFail, 1);
+      const Status crashed = store->Checkpoint();
+      EXPECT_FALSE(crashed.ok());
+      EXPECT_EQ(store->generation(), 0u);
+      fault::Reset();
+      ASSERT_TRUE(store->SyncLog().ok());  // records still reach disk
+    }
+    StorePtr reopened = MustOpen(dir.path(), s.options);
+    ASSERT_NE(reopened, nullptr);
+    EXPECT_EQ(reopened->Stats().recovery, RecoveryVerdict::kClean);
+    s.ExpectMatches(*reopened, "fsync failure");
+  }
+}
+
+TEST_F(CrashPointTest, TransientFsyncFailureIsRetriedWithBackoff) {
+  ScopedStoreDir dir;
+  Scenario s(CounterBacking::kCompact);
+  s.options.sync_each_append = false;
+  s.options.checkpoint_retries = 3;  // transient faults may retry
+  StorePtr store = MustOpen(dir.path(), s.options);
+  ASSERT_NE(store, nullptr);
+  const auto keys = KeyRange(0, 40);
+  ASSERT_TRUE(store->InsertBatch(keys.data(), keys.size(), 1).ok());
+  s.Ack(false, keys, 1);
+  // One-shot fault: the first attempt fails, the backoff retry succeeds.
+  fault::ArmFileFault(fault::FileFault::kFsyncFail, 1);
+  ASSERT_TRUE(store->Checkpoint().ok());
+  const DurabilityStats stats = store->Stats();
+  EXPECT_EQ(stats.checkpoints_written, 1u);
+  EXPECT_EQ(stats.checkpoint_retries, 1u);
+  EXPECT_EQ(stats.checkpoint_failures, 0u);
+  EXPECT_EQ(store->generation(), 1u);
+  s.ExpectMatches(*store, "retried checkpoint");
+}
+
+// --- background checkpointer ------------------------------------------------
+
+TEST_F(CrashRecoveryTest, BackgroundCheckpointerFiresOnLogSize) {
+  ScopedStoreDir dir;
+  Scenario s(CounterBacking::kFixed64);
+  s.options.background_checkpointer = true;
+  s.options.checkpoint_log_bytes = 2048;  // a few hundred records
+  {
+    StorePtr store = MustOpen(dir.path(), s.options);
+    ASSERT_NE(store, nullptr);
+    for (uint64_t key = 0; key < 200; ++key) {
+      ASSERT_TRUE(store->Insert(key, 1).ok());
+      s.Ack(false, {key}, 1);
+    }
+    // The size trigger should fire without any explicit Checkpoint().
+    for (int spin = 0; spin < 500; ++spin) {
+      if (store->Stats().checkpoints_written > 0) break;
+      ::usleep(10 * 1000);
+    }
+    EXPECT_GT(store->Stats().checkpoints_written, 0u);
+    EXPECT_GE(store->generation(), 1u);
+  }
+  StorePtr reopened = MustOpen(dir.path(), s.options);
+  ASSERT_NE(reopened, nullptr);
+  s.ExpectMatches(*reopened, "background checkpointer");
+}
+
+// --- stats rendering --------------------------------------------------------
+
+TEST_F(CrashRecoveryTest, StatsRenderOneLine) {
+  ScopedStoreDir dir;
+  Scenario s(CounterBacking::kCompact);
+  StorePtr store = MustOpen(dir.path(), s.options);
+  ASSERT_NE(store, nullptr);
+  ASSERT_TRUE(store->Insert(1, 1).ok());
+  const std::string line = store->Stats().ToString();
+  EXPECT_NE(line.find("recovery=fresh-start"), std::string::npos) << line;
+  EXPECT_NE(line.find("wal_bytes="), std::string::npos) << line;
+  EXPECT_NE(line.find("wedged=0"), std::string::npos) << line;
+  EXPECT_STREQ(RecoveryVerdictName(RecoveryVerdict::kUnrecoverable),
+               "unrecoverable");
+}
+
+}  // namespace
+}  // namespace sbf

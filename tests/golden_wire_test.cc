@@ -28,6 +28,7 @@
 #include "core/spectral_bloom_filter.h"
 #include "core/trapping_rm.h"
 #include "db/bloomjoin.h"
+#include "io/delta_log.h"
 #include "io/filter_codec.h"
 #include "io/wire.h"
 #include "sai/counter_vector.h"
@@ -192,6 +193,33 @@ TEST(GoldenWireTest, SlidingWindowFrame) {
       std::make_unique<SpectralBloomFilter>(options), 50);
   FeedWorkload(200, [&](uint64_t key, uint64_t) { window.Push(key); });
   CheckGolden("sliding_window", window.Serialize());
+}
+
+TEST(GoldenWireTest, WalFrames) {
+  // 'SBwh' / 'SBwr' — the durable store's write-ahead log (io/delta_log.h).
+  // The header embeds a deterministic empty sharded filter (the store's
+  // configuration); the record is a delta batch over fixed keys.
+  ConcurrentSbfOptions options;
+  options.m = 1600;
+  options.k = 4;
+  options.num_shards = 4;
+  options.seed = 13;
+  const Bytes empty_frame = ConcurrentSbf(options).Serialize();
+  CheckGolden("wal_header", io::EncodeWalHeader(3, empty_frame));
+
+  const uint64_t keys[] = {5, 100003, 2654435761u, 0};
+  const Bytes record = io::EncodeWalDeltaBatch(/*sequence=*/42,
+                                               /*is_remove=*/false,
+                                               /*count=*/2, keys, 4);
+  CheckGolden("wal_record", record);
+
+  // Byte stability alone could mask a symmetric writer+reader break — the
+  // committed record must still decode to the same fields.
+  auto decoded = io::DecodeWalRecord(record);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().sequence, 42u);
+  EXPECT_EQ(decoded.value().type, io::WalRecordType::kDeltaBatch);
+  EXPECT_EQ(decoded.value().keys.size(), 4u);
 }
 
 TEST(GoldenWireTest, JoinPartitionFrame) {

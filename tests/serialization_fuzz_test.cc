@@ -831,7 +831,8 @@ TEST(SerializationFuzzTest, FaultArmedFramesNeverDecode) {
   }();
   for (const auto& filter : filters) {
     for (const auto kind :
-         {fault::WireFault::kTruncate, fault::WireFault::kBitFlip}) {
+         {fault::WireFault::kTruncate, fault::WireFault::kBitFlip,
+          fault::WireFault::kTornTail}) {
       for (uint64_t seed = 0; seed < 32; ++seed) {
         fault::ArmWireFault(kind, seed);
         const Bytes bytes = filter->Serialize();
