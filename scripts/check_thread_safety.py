@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Thread-safety annotation gate (DESIGN.md §11).
+
+Runs clang's -Wthread-safety analysis (syntax-only, no build tree needed)
+over the annotated concurrent and durable translation units, and then
+verifies the analysis still has teeth by checking that the seeded fixture
+(tests/analyzer_fixtures/thread_safety_violation.cc) FAILS with a
+thread-safety diagnostic. Both directions matter: a clean pass with a dead
+analyzer proves nothing.
+
+Only clang implements -Wthread-safety. Without a clang++ on PATH (or named
+via SBF_CLANGXX) the gate skips loudly with exit 77, which ctest maps to
+SKIP via SKIP_RETURN_CODE; CI installs clang and runs it for real.
+
+Exit status: 0 pass, 1 contract broken, 2 infrastructure error, 77 skip.
+"""
+
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SKIP_EXIT = 77
+
+# The annotated subsystems (ISSUE/DESIGN.md §11). Compiling these with
+# -Werror=thread-safety is the whole contract: guarded members touched
+# without their mutex, lock-order annotations violated, scoped locks leaked.
+ANNOTATED_TUS = [
+    "src/core/concurrent_sbf.cc",
+    "src/core/delta_buffer.cc",
+    "src/io/durable_store.cc",
+    "src/util/metrics.cc",
+]
+FIXTURE = "tests/analyzer_fixtures/thread_safety_violation.cc"
+
+CLANG_FLAGS = [
+    "-fsyntax-only", "-x", "c++", "-std=c++20",
+    "-I", str(REPO / "src"),
+    "-Wall", "-Wextra",
+    "-Wthread-safety", "-Werror=thread-safety",
+]
+
+
+def find_clang():
+    explicit = os.environ.get("SBF_CLANGXX")
+    if explicit:
+        path = shutil.which(explicit)
+        if path is None:
+            print(f"check_thread_safety: SBF_CLANGXX={explicit} not found "
+                  f"on PATH", file=sys.stderr)
+            sys.exit(2)
+        return path
+    for name in ["clang++"] + [f"clang++-{v}" for v in range(21, 13, -1)]:
+        path = shutil.which(name)
+        if path is not None:
+            return path
+    return None
+
+
+def run(clang, source):
+    return subprocess.run([clang] + CLANG_FLAGS + [str(REPO / source)],
+                          capture_output=True, text=True)
+
+
+def main():
+    clang = find_clang()
+    if clang is None:
+        print("check_thread_safety: no clang++ on PATH (set SBF_CLANGXX to "
+              "point at one) — SKIPPING the -Wthread-safety gate. CI runs "
+              "it for real.")
+        return SKIP_EXIT
+
+    failures = 0
+
+    # Direction 1: the annotated subsystems must be thread-safety clean.
+    for tu in ANNOTATED_TUS:
+        result = run(clang, tu)
+        if result.returncode != 0:
+            failures += 1
+            print(f"check_thread_safety: {tu} FAILED -Wthread-safety:")
+            sys.stdout.write(result.stderr)
+        else:
+            print(f"check_thread_safety: {tu} clean")
+
+    # Direction 2: the analysis must still catch the seeded violation.
+    result = run(clang, FIXTURE)
+    if result.returncode == 0:
+        failures += 1
+        print(f"check_thread_safety: {FIXTURE} compiled CLEAN — the seeded "
+              f"guarded-by violation was not diagnosed; the analysis or "
+              f"the annotation macros went dead")
+    elif "thread-safety" not in result.stderr and \
+            "thread safety" not in result.stderr:
+        failures += 1
+        print(f"check_thread_safety: {FIXTURE} failed for the wrong "
+              f"reason (no thread-safety diagnostic):")
+        sys.stdout.write(result.stderr)
+    else:
+        print(f"check_thread_safety: {FIXTURE} correctly rejected "
+              f"(seeded violation diagnosed)")
+
+    if failures:
+        print(f"check_thread_safety: {failures} failure(s) [{clang}]")
+        return 1
+    print(f"check_thread_safety: all clean [{clang}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

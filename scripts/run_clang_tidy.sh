@@ -21,9 +21,13 @@ cmake -B "$build" -S "$repo" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 
+# analyzer_fixtures holds deliberately-broken files (seeded violations for
+# sbf_analyze.py / check_thread_safety.py); they are not built and must not
+# be tidied.
 mapfile -t sources < <(
   find "$repo/src" "$repo/bench" "$repo/examples" "$repo/tests" \
-    -name '*.cc' -o -name '*.cpp' | sort)
+    \( -name '*.cc' -o -name '*.cpp' \) \
+    ! -path '*/analyzer_fixtures/*' | sort)
 
 echo "run_clang_tidy: ${#sources[@]} translation units"
 if command -v run-clang-tidy > /dev/null; then

@@ -47,6 +47,13 @@ Structural rules that generic linters cannot express:
      logs through recovery. A record type the recovery tests never
      mention is a durability path that has never survived a simulated
      crash.
+  9. static-analysis-coverage — the CI workflow must keep BOTH semantic
+     static-analysis gates: a clang thread-safety leg that configures with
+     -DSBF_THREAD_SAFETY=ON and runs scripts/check_thread_safety.py, and a
+     lint-job step that runs scripts/sbf_analyze.py with
+     --require-libclang (so a missing libclang fails CI instead of
+     silently skipping). Dropping either gate un-checks every annotated
+     lock contract and atomic protocol at once.
 
 Run from anywhere inside the repository:  python3 scripts/sbf_lint.py
 Self-test (used by ctest):                python3 scripts/sbf_lint.py --self-test
@@ -255,6 +262,43 @@ def check_tsan_coverage(violations, workflow_text=None):
                 f"invocation lost the '{flag}' flag")
 
 
+def check_static_analysis_coverage(violations, workflow_text=None):
+    """Both semantic gates must stay wired into CI: a job that builds with
+    -DSBF_THREAD_SAFETY=ON and runs check_thread_safety.py, and a lint step
+    that runs sbf_analyze.py --require-libclang."""
+    text = (CI_WORKFLOW.read_text()
+            if workflow_text is None else workflow_text)
+    jobs = {}
+    name = None
+    for line in text.splitlines():
+        m = re.match(r"^  ([A-Za-z0-9_-]+):\s*$", line)
+        if m:
+            name = m.group(1)
+            jobs[name] = []
+        elif name is not None:
+            jobs[name].append(line)
+    bodies = {job: "\n".join(body) for job, body in jobs.items()}
+
+    ts_jobs = [b for b in bodies.values()
+               if "-DSBF_THREAD_SAFETY=ON" in b
+               and "check_thread_safety.py" in b]
+    if not ts_jobs:
+        violations.append(
+            ".github/workflows/ci.yml: static-analysis-coverage: no job "
+            "both configures with -DSBF_THREAD_SAFETY=ON and runs "
+            "scripts/check_thread_safety.py — the annotated lock contracts "
+            "are unchecked")
+
+    analyze_jobs = [b for b in bodies.values()
+                    if "sbf_analyze.py" in b and "--require-libclang" in b]
+    if not analyze_jobs:
+        violations.append(
+            ".github/workflows/ci.yml: static-analysis-coverage: no job "
+            "runs scripts/sbf_analyze.py with --require-libclang — the "
+            "memory-order/alloc-free/nodiscard/wire contracts are "
+            "unchecked (and a missing libclang would skip silently)")
+
+
 def simd_kernel_entry_points():
     """Names of the function-pointer fields of simd::BlockKernels."""
     fields = []
@@ -379,6 +423,7 @@ def run_lint():
     check_golden_coverage(violations)
     check_kernel_allocations(violations)
     check_tsan_coverage(violations)
+    check_static_analysis_coverage(violations)
     check_simd_differential(violations)
     check_decode_view_differential(violations)
     check_durable_record_coverage(violations)
@@ -453,6 +498,30 @@ def self_test():
     check_tsan_coverage(clean)
     if clean:
         failures.append(f"tsan-coverage: tree not clean: {clean}")
+
+    # static-analysis-coverage fires when either semantic gate is dropped
+    # from the workflow, and stays quiet on the real tree.
+    missing_ts = ("lint:\n    steps:\n"
+                  "      - run: python3 scripts/sbf_analyze.py "
+                  "--require-libclang\n")
+    fired = []
+    check_static_analysis_coverage(fired, workflow_text=missing_ts)
+    if not any("check_thread_safety.py" in v for v in fired):
+        failures.append(
+            "static-analysis-coverage: dropped thread-safety leg did not "
+            "fire")
+    missing_analyze = ("thread-safety:\n    steps:\n"
+                       "      - run: cmake -B b -DSBF_THREAD_SAFETY=ON\n"
+                       "      - run: python3 scripts/check_thread_safety.py\n")
+    fired = []
+    check_static_analysis_coverage(fired, workflow_text=missing_analyze)
+    if not any("sbf_analyze.py" in v for v in fired):
+        failures.append(
+            "static-analysis-coverage: dropped analyzer step did not fire")
+    clean = []
+    check_static_analysis_coverage(clean)
+    if clean:
+        failures.append(f"static-analysis-coverage: tree not clean: {clean}")
 
     # simd-differential fires when an entry point has no coverage, and
     # stays quiet on the real tree.

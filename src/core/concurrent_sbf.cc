@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -16,6 +15,7 @@
 #include "util/health.h"
 #include "util/prefetch.h"
 #include "util/audit.h"
+#include "util/thread_annotations.h"
 
 namespace sbf {
 namespace {
@@ -151,6 +151,7 @@ ConcurrentSbf::ConcurrentSbf(ConcurrentSbfOptions options)
     delta.merge_keys = std::max<uint32_t>(
         1, std::min(delta.merge_keys, std::max<uint32_t>(1, capacity / 2)));
     registry_ = std::make_shared<DeltaRegistry>();
+    util::MutexLock lock(registry_->mu);
     registry_->owner = this;
   }
 }
@@ -170,7 +171,7 @@ ConcurrentSbf::ConcurrentSbf(ConcurrentSbf&& other) noexcept
   if (registry_ != nullptr) {
     // Buffered deltas reference keys, not positions, so they stay valid
     // across the move; only the drain target changes.
-    std::lock_guard<std::mutex> lock(registry_->mu);
+    util::MutexLock lock(registry_->mu);
     registry_->owner = this;
   }
 }
@@ -188,7 +189,7 @@ ConcurrentSbf& ConcurrentSbf::operator=(ConcurrentSbf&& other) noexcept {
   registry_ = std::move(other.registry_);
   other.delta_active_ = false;
   if (registry_ != nullptr) {
-    std::lock_guard<std::mutex> lock(registry_->mu);
+    util::MutexLock lock(registry_->mu);
     registry_->owner = this;
   }
   return *this;
@@ -198,7 +199,7 @@ void ConcurrentSbf::DetachRegistry() {
   if (registry_ == nullptr) return;
   FlushAllBuffers();
   {
-    std::lock_guard<std::mutex> lock(registry_->mu);
+    util::MutexLock lock(registry_->mu);
     registry_->owner = nullptr;
   }
   registry_.reset();
@@ -272,16 +273,24 @@ uint64_t ConcurrentSbf::CombinedEstimate(const SpectralBloomFilter& live,
 void ConcurrentSbf::InsertLockFree(Shard& s, uint64_t key, uint64_t count) {
   // Dekker handshake with ExpandShard: our seq-cst refcount increment and
   // pending load pair with the migrator's seq-cst pending publish and
-  // refcount drain. Either we observe the window (and write only pending),
-  // or the migrator observes our increment and waits before freezing live.
+  // refcount drain (DESIGN.md §11, "window handshake" — both seq-cst sites
+  // are on sbf_analyze's allowlist). Either we observe the window (and
+  // write only pending), or the migrator observes our increment and waits
+  // before freezing live.
   s.live_writers.fetch_add(1, std::memory_order_seq_cst);
   SpectralBloomFilter* pending = s.pending_ptr.load(std::memory_order_seq_cst);
   if (pending != nullptr) {
+    // Relaxed exit: this branch wrote nothing to live, so there is nothing
+    // to publish — the decrement only releases the migrator's drain spin,
+    // which re-reads live_writers seq-cst.
     s.live_writers.fetch_sub(1, std::memory_order_relaxed);
     AtomicApply(*pending, key, count, /*add=*/true);
   } else {
     AtomicApply(*s.live_ptr.load(std::memory_order_acquire), key, count,
                 /*add=*/true);
+    // Release exit: publishes the counter stores above to the migrator,
+    // whose seq-cst live_writers spin (ExpandShard) is the matching read —
+    // the fold must observe every drained writer's counters.
     s.live_writers.fetch_sub(1, std::memory_order_release);
   }
   s.net_items.fetch_add(count, std::memory_order_relaxed);
@@ -292,6 +301,9 @@ void ConcurrentSbf::RemoveLockFree(Shard& s, uint64_t key, uint64_t count) {
   // while its paired insert went to live still cancels exactly once the
   // fold adds the two filters together (the lock-free Remove contract:
   // only remove previously inserted occurrences).
+  // Same handshake and exit orders as InsertLockFree (relaxed when only
+  // pending was written, release to publish live-counter stores to the
+  // migrator's seq-cst drain spin).
   s.live_writers.fetch_add(1, std::memory_order_seq_cst);
   SpectralBloomFilter* pending = s.pending_ptr.load(std::memory_order_seq_cst);
   if (pending != nullptr) {
@@ -333,6 +345,7 @@ void ConcurrentSbf::InsertLockFreeBatch(Shard& s, const uint64_t* keys,
                                         size_t n, uint64_t count) {
   // One window check covers the whole shard slice; holding the refcount
   // across the batch just extends the migrator's drain by one pipeline.
+  // Same handshake/exit orders as InsertLockFree.
   s.live_writers.fetch_add(1, std::memory_order_seq_cst);
   SpectralBloomFilter* pending = s.pending_ptr.load(std::memory_order_seq_cst);
   SpectralBloomFilter* target;
@@ -474,7 +487,7 @@ void ConcurrentSbf::MergeShardDelta(DeltaSet& set, uint32_t shard_index) {
       }
       s.net_items.fetch_add(state.net_ops, std::memory_order_relaxed);
     } else {
-      std::unique_lock lock(s.mu);
+      util::WriterMutexLock lock(s.mu);
       SpectralBloomFilter& f = s.pending ? *s.pending : *s.live;
       // Gather-then-apply: the epoch's adds go through the filter's
       // decoded-view bulk path (position-sorted, each touched counter
@@ -511,31 +524,21 @@ void ConcurrentSbf::MergeShardDelta(DeltaSet& set, uint32_t shard_index) {
   state.epoch_open = false;
 }
 
-void ConcurrentSbf::ApplyNetDelta(Shard& s, uint64_t key, uint64_t net,
-                                  bool locked_held) {
+void ConcurrentSbf::ApplyNetDelta(Shard& s, uint64_t key, uint64_t net) {
+  SBF_DCHECK(lock_free_);
   const bool add = NetIsAdd(net);
   const uint64_t magnitude = NetMagnitude(net);
-  if (lock_free_) {
-    s.live_writers.fetch_add(1, std::memory_order_seq_cst);
-    SpectralBloomFilter* pending =
-        s.pending_ptr.load(std::memory_order_seq_cst);
-    if (pending != nullptr) {
-      s.live_writers.fetch_sub(1, std::memory_order_relaxed);
-      AtomicApply(*pending, key, magnitude, add);
-    } else {
-      AtomicApply(*s.live_ptr.load(std::memory_order_acquire), key, magnitude,
-                  add);
-      s.live_writers.fetch_sub(1, std::memory_order_release);
-    }
-    return;
-  }
-  SBF_DCHECK(locked_held);
-  (void)locked_held;
-  SpectralBloomFilter& f = s.pending ? *s.pending : *s.live;
-  if (add) {
-    f.Insert(key, magnitude);
+  // Same handshake/exit orders as InsertLockFree.
+  s.live_writers.fetch_add(1, std::memory_order_seq_cst);
+  SpectralBloomFilter* pending =
+      s.pending_ptr.load(std::memory_order_seq_cst);
+  if (pending != nullptr) {
+    s.live_writers.fetch_sub(1, std::memory_order_relaxed);
+    AtomicApply(*pending, key, magnitude, add);
   } else {
-    f.Remove(key, magnitude);
+    AtomicApply(*s.live_ptr.load(std::memory_order_acquire), key, magnitude,
+                add);
+    s.live_writers.fetch_sub(1, std::memory_order_release);
   }
 }
 
@@ -543,7 +546,7 @@ void ConcurrentSbf::DrainOwnShard(uint32_t shard_index) const {
   DeltaSet* set = ThreadDeltaSetIfExists(registry_.get());
   if (set == nullptr) return;
   auto* self = const_cast<ConcurrentSbf*>(this);
-  std::lock_guard<std::mutex> lock(set->mu);
+  util::MutexLock lock(set->mu);
   DeltaSet::ShardState& state = set->state(shard_index);
   if (state.size > 0 || state.pending_contrib > 0) {
     self->MergeShardDelta(*set, shard_index);
@@ -554,7 +557,7 @@ void ConcurrentSbf::DrainOwnAll() const {
   DeltaSet* set = ThreadDeltaSetIfExists(registry_.get());
   if (set == nullptr) return;
   auto* self = const_cast<ConcurrentSbf*>(this);
-  std::lock_guard<std::mutex> lock(set->mu);
+  util::MutexLock lock(set->mu);
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     DeltaSet::ShardState& state = set->state(s);
     if (state.size > 0 || state.pending_contrib > 0) {
@@ -564,7 +567,7 @@ void ConcurrentSbf::DrainOwnAll() const {
 }
 
 void ConcurrentSbf::DrainDeltaSet(DeltaSet& set) {
-  std::lock_guard<std::mutex> lock(set.mu);
+  util::MutexLock lock(set.mu);
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     DeltaSet::ShardState& state = set.state(s);
     if (state.size > 0 || state.pending_contrib > 0) {
@@ -575,7 +578,7 @@ void ConcurrentSbf::DrainDeltaSet(DeltaSet& set) {
 
 void ConcurrentSbf::FlushAllBuffers() {
   if (!delta_active_ || registry_ == nullptr) return;
-  std::lock_guard<std::mutex> registry_lock(registry_->mu);
+  util::MutexLock registry_lock(registry_->mu);
   // The canonical cross-thread drain: per shard, gather every thread's
   // buffered entries, aggregate per key and apply in ascending key order —
   // the flushed image is independent of which thread buffered which ops
@@ -587,7 +590,7 @@ void ConcurrentSbf::FlushAllBuffers() {
     uint64_t contrib = 0;
     uint64_t net_ops = 0;
     for (const std::shared_ptr<DeltaSet>& set : registry_->sets) {
-      std::lock_guard<std::mutex> set_lock(set->mu);
+      util::MutexLock set_lock(set->mu);
       DeltaSet::ShardState& state = set->state(shard_index);
       if (state.size > 0) {
         metrics_.RecordDeltaBufferedPeak(shard_index, state.size);
@@ -618,7 +621,7 @@ void ConcurrentSbf::FlushAllBuffers() {
           net += entries[i].second;
         }
         if (net == 0) continue;
-        ApplyNetDelta(s, key, net, /*locked_held=*/false);
+        ApplyNetDelta(s, key, net);
         ++applied;
       }
       s.net_items.fetch_add(net_ops, std::memory_order_relaxed);
@@ -629,7 +632,7 @@ void ConcurrentSbf::FlushAllBuffers() {
       // cost used to go (a width re-scan per probe). Nets here are
       // add-only (Remove() flushes and applies directly on this path);
       // the remove arm is defensive.
-      std::unique_lock lock(s.mu);
+      util::WriterMutexLock lock(s.mu);
       SpectralBloomFilter& f = s.pending ? *s.pending : *s.live;
       std::vector<std::pair<uint64_t, uint64_t>> adds;
       adds.reserve(entries.size());
@@ -674,7 +677,7 @@ void ConcurrentSbf::Insert(uint64_t key, uint64_t count) {
   const uint32_t s = ShardOf(key);
   if (delta_active_) {
     DeltaSet& set = CallerDeltaSet();
-    std::lock_guard<std::mutex> lock(set.mu);
+    util::MutexLock lock(set.mu);
     BufferDelta(set, s, key, count, /*remove=*/false);
     metrics_.RecordInsert(s, 1);
     return;
@@ -683,7 +686,7 @@ void ConcurrentSbf::Insert(uint64_t key, uint64_t count) {
   if (lock_free_) {
     InsertLockFree(shard, key, count);
   } else {
-    std::unique_lock lock(shard.mu);
+    util::WriterMutexLock lock(shard.mu);
     (shard.pending ? *shard.pending : *shard.live).Insert(key, count);
   }
   metrics_.RecordInsert(s, 1);
@@ -698,7 +701,7 @@ void ConcurrentSbf::Remove(uint64_t key, uint64_t count) {
       // wrap mod 2^64, so a remove merged before the insert it cancels
       // (buffered by another thread) still nets out exactly.
       DeltaSet& set = CallerDeltaSet();
-      std::lock_guard<std::mutex> lock(set.mu);
+      util::MutexLock lock(set.mu);
       BufferDelta(set, s, key, count, /*remove=*/true);
       metrics_.RecordRemove(s, 1);
       return;
@@ -716,7 +719,7 @@ void ConcurrentSbf::Remove(uint64_t key, uint64_t count) {
   if (lock_free_) {
     RemoveLockFree(shard, key, count);
   } else {
-    std::unique_lock lock(shard.mu);
+    util::WriterMutexLock lock(shard.mu);
     // During a window the pre-window occurrences live in the old filter;
     // removing them from pending clamps at zero (tallied) and leaves a
     // benign one-sided overestimate that the fold does not disturb.
@@ -743,7 +746,7 @@ uint64_t ConcurrentSbf::Estimate(uint64_t key) const {
     if (lock_free_) {
       base = EstimateLockFree(shard, key);
     } else {
-      std::shared_lock lock(shard.mu);
+      util::ReaderMutexLock lock(shard.mu);
       base = shard.pending
                  ? CombinedEstimate(*shard.live, *shard.pending, key,
                                     /*atomic_reads=*/false)
@@ -752,7 +755,7 @@ uint64_t ConcurrentSbf::Estimate(uint64_t key) const {
     return base + pending;
   }
   if (lock_free_) return EstimateLockFree(shard, key);
-  std::shared_lock lock(shard.mu);
+  util::ReaderMutexLock lock(shard.mu);
   if (shard.pending) {
     return CombinedEstimate(*shard.live, *shard.pending, key,
                             /*atomic_reads=*/false);
@@ -772,7 +775,7 @@ void ConcurrentSbf::InsertBatch(const uint64_t* keys, size_t n,
     // whose tally is still unpublished; the later publish then transiently
     // over-covers (the safe direction) until the next merge rebalances.
     DeltaSet& set = CallerDeltaSet();
-    std::lock_guard<std::mutex> lock(set.mu);
+    util::MutexLock lock(set.mu);
     uint64_t* chunk_pending = set.batch_pending();
     uint32_t* touched = set.batch_touched();
     size_t at = 0;
@@ -828,7 +831,7 @@ void ConcurrentSbf::InsertBatch(const uint64_t* keys, size_t n,
     if (lock_free_) {
       InsertLockFreeBatch(shard, grouped.data() + begin, end - begin, count);
     } else {
-      std::unique_lock lock(shard.mu);
+      util::WriterMutexLock lock(shard.mu);
       (shard.pending ? *shard.pending : *shard.live)
           .InsertBatch(grouped.data() + begin, end - begin, count);
     }
@@ -860,7 +863,7 @@ void ConcurrentSbf::EstimateBatch(const uint64_t* keys, size_t n,
       EstimateLockFreeBatch(shard, grouped.data() + begin, end - begin,
                             shard_out.data() + begin);
     } else {
-      std::shared_lock lock(shard.mu);
+      util::ReaderMutexLock lock(shard.mu);
       if (shard.pending) {
         for (size_t i = begin; i < end; ++i) {
           shard_out[i] = CombinedEstimate(*shard.live, *shard.pending,
@@ -895,9 +898,9 @@ Status ConcurrentSbf::Merge(const ConcurrentSbf& other) {
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     Shard& dst = *shards_[s];
     const Shard& src = *other.shards_[s];
-    // std::scoped_lock's deadlock-avoidance handles concurrent A.Merge(B)
-    // and B.Merge(A).
-    std::scoped_lock locks(dst.mu, src.mu);
+    // The pair guard's std::scoped_lock deadlock-avoidance handles
+    // concurrent A.Merge(B) and B.Merge(A).
+    util::SharedMutexLockPair locks(dst.mu, src.mu);
     if (lock_free_) {
       // Atomic pointwise add so the merge is race-free against concurrent
       // lock-free inserters on either operand.
@@ -938,7 +941,7 @@ SpectralBloomFilter ConcurrentSbf::SnapshotShard(size_t i) const {
     snap.set_total_items(shard.net_items.load(std::memory_order_relaxed));
     return snap;
   }
-  std::shared_lock lock(shard.mu);
+  util::ReaderMutexLock lock(shard.mu);
   return *shard.live;
 }
 
@@ -950,7 +953,7 @@ uint64_t ConcurrentSbf::TotalItems() const {
     if (lock_free_) {
       total += shard.net_items.load(std::memory_order_relaxed);
     } else {
-      std::shared_lock lock(shard.mu);
+      util::ReaderMutexLock lock(shard.mu);
       total += shard.live->total_items();
       if (shard.pending) total += shard.pending->total_items();
     }
@@ -966,13 +969,14 @@ size_t ConcurrentSbf::MemoryUsageBits() const {
       total += shard.live_ptr.load(std::memory_order_acquire)
                    ->MemoryUsageBits();
     } else {
-      std::shared_lock lock(shard.mu);
+      util::ReaderMutexLock lock(shard.mu);
       total += shard.live->MemoryUsageBits();
     }
   }
   if (registry_ != nullptr) {
-    std::lock_guard<std::mutex> lock(registry_->mu);
+    util::MutexLock lock(registry_->mu);
     for (const std::shared_ptr<DeltaSet>& set : registry_->sets) {
+      util::MutexLock set_lock(set->mu);
       total += set->MemoryBits();
     }
   }
@@ -1013,7 +1017,7 @@ FilterHealth ConcurrentSbf::Health() const {
       }
       stats = live.counters().saturation();
     } else {
-      std::shared_lock lock(shard.mu);
+      util::ReaderMutexLock lock(shard.mu);
       m = shard.live->m();
       counts = shard.live->counters().ScanOccupancy();
       stats = shard.live->counters().saturation();
@@ -1041,7 +1045,7 @@ SaturationStats ConcurrentSbf::saturation() const {
                    ->counters()
                    .saturation();
     } else {
-      std::shared_lock lock(shard.mu);
+      util::ReaderMutexLock lock(shard.mu);
       stats += shard.live->counters().saturation();
     }
   }
@@ -1050,13 +1054,20 @@ SaturationStats ConcurrentSbf::saturation() const {
 
 void ConcurrentSbf::ExpandShard(Shard& shard,
                                 std::unique_ptr<SpectralBloomFilter> pending) {
-  const uint64_t old_m = shard.live->m();
-  const uint64_t c = pending->m() / old_m;
+  const uint64_t new_m = pending->m();
   const HashFamily::Kind kind = options_.hash_kind;
   if (lock_free_) {
+    // Lock-free readers/writers never touch shard.mu, so taking it here is
+    // uncontended — it exists to serialize against other whole-filter
+    // operations (Merge, snapshots) and to keep the unique_ptr swaps below
+    // provable under thread-safety analysis.
+    util::WriterMutexLock lock(shard.mu);
+    const uint64_t old_m = shard.live->m();
+    const uint64_t c = new_m / old_m;
     // Open the window: new writers divert to pending, then drain writers
     // that loaded a null pending and still target live (the seq-cst pair
-    // of InsertLockFree/RemoveLockFree).
+    // of InsertLockFree/RemoveLockFree; both sides are on sbf_analyze's
+    // allowlist — DESIGN.md §11 "window handshake").
     shard.pending = std::move(pending);
     shard.pending_ptr.store(shard.pending.get(), std::memory_order_seq_cst);
     while (shard.live_writers.load(std::memory_order_seq_cst) != 0) {
@@ -1091,12 +1102,15 @@ void ConcurrentSbf::ExpandShard(Shard& shard,
   }
   // Locked path: the window opens under the exclusive lock; migration runs
   // in short chunks so readers interleave between lock acquisitions.
+  uint64_t old_m = 0;
   {
-    std::unique_lock lock(shard.mu);
+    util::WriterMutexLock lock(shard.mu);
+    old_m = shard.live->m();
     shard.pending = std::move(pending);
   }
+  const uint64_t c = new_m / old_m;
   for (uint64_t start = 0; start < old_m; start += kMigrateChunk) {
-    std::unique_lock lock(shard.mu);
+    util::WriterMutexLock lock(shard.mu);
     const uint64_t end = std::min(old_m, start + kMigrateChunk);
     for (uint64_t i = start; i < end; ++i) {
       const uint64_t v = shard.live->counters().Get(i);
@@ -1107,7 +1121,7 @@ void ConcurrentSbf::ExpandShard(Shard& shard,
       }
     }
   }
-  std::unique_lock lock(shard.mu);
+  util::WriterMutexLock lock(shard.mu);
   shard.pending->set_total_items(shard.pending->total_items() +
                                  shard.live->total_items());
   shard.pending->mutable_counters().MergeSaturationStats(
@@ -1234,6 +1248,9 @@ StatusOr<ConcurrentSbf> ConcurrentSbf::Deserialize(wire::ByteSpan bytes) {
   ConcurrentSbf filter(options);
   for (uint64_t s = 0; s < num_shards; ++s) {
     Shard& shard = *filter.shards_[s];
+    // `filter` is not yet shared, but the lock keeps the guarded access
+    // provable (and is free).
+    util::WriterMutexLock lock(shard.mu);
     // Assign through the stable live object so live_ptr stays valid.
     *shard.live = std::move(shard_filters[s]);
     if (filter.lock_free_) {
@@ -1265,7 +1282,7 @@ Status ConcurrentSbf::CheckInvariants() const {
       return Status::FailedPrecondition(
           "concurrent SBF: delta buffering active but registry missing");
     }
-    std::lock_guard<std::mutex> lock(registry_->mu);
+    util::MutexLock lock(registry_->mu);
     if (registry_->owner != this) {
       return Status::FailedPrecondition(
           "concurrent SBF: delta registry owner link broken");
@@ -1273,6 +1290,9 @@ Status ConcurrentSbf::CheckInvariants() const {
   }
   for (uint32_t i = 0; i < options_.num_shards; ++i) {
     const Shard& shard = *shards_[i];
+    // Audit requires quiescence, so the shared lock is uncontended; it
+    // makes the live/pending reads provable.
+    util::ReaderMutexLock lock(shard.mu);
     if (shard.live == nullptr) {
       return Status::FailedPrecondition(
           "concurrent SBF: shard has no live filter");

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "core/spectral_bloom_filter.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sbf {
 
@@ -191,8 +191,11 @@ class ConcurrentSbf final : public FrequencyFilter {
 
   // Read-only view of one shard's filter. Caller must guarantee quiescence
   // and a prior Flush() (no concurrent writers or expansion) while holding
-  // the reference.
-  [[nodiscard]] const SpectralBloomFilter& shard(size_t i) const {
+  // the reference. The quiescence contract replaces the shard lock here —
+  // a capability the analysis cannot express (DESIGN.md §11), hence the
+  // explicit opt-out.
+  [[nodiscard]] const SpectralBloomFilter& shard(size_t i) const
+      SBF_NO_THREAD_SAFETY_ANALYSIS {
     return *shards_[i]->live;
   }
 
@@ -283,10 +286,11 @@ class ConcurrentSbf final : public FrequencyFilter {
     // -- line 0: read-mostly routing state (filter pointers) --------------
     // The serving filter. Lock-free readers/writers go through the atomic
     // mirror `live_ptr`; the unique_ptrs are only touched by the expansion
-    // path (under `mu`) and by whole-filter operations.
-    std::unique_ptr<SpectralBloomFilter> live;
+    // path and whole-filter operations, all under `mu` (quiescence-contract
+    // readers like ConcurrentSbf::shard() opt out explicitly).
+    std::unique_ptr<SpectralBloomFilter> live SBF_GUARDED_BY(mu);
     // Non-null only inside an expansion's dual-write window.
-    std::unique_ptr<SpectralBloomFilter> pending;
+    std::unique_ptr<SpectralBloomFilter> pending SBF_GUARDED_BY(mu);
     std::atomic<SpectralBloomFilter*> live_ptr;
     std::atomic<SpectralBloomFilter*> pending_ptr{nullptr};
     // -- line 1: lock-free writer drain refcount (hot on every un-buffered
@@ -300,13 +304,15 @@ class ConcurrentSbf final : public FrequencyFilter {
     // buffered; lowered with release order only after the merge applies
     // it. Readers acquire-load it and add it to the shard minimum. --------
     alignas(64) mutable std::atomic<uint64_t> pending_ops{0};
-    // -- line 4: the shard lock (locked path writers/readers) -------------
-    alignas(64) mutable std::shared_mutex mu;
+    // -- line 4: the shard lock (locked path writers/readers; guards the
+    // unique_ptrs) --------------------------------------------------------
+    alignas(64) mutable util::SharedMutex mu;
     // -- cold: replaced filters, kept alive for lock-free readers that
     // loaded the old pointer; bounded by the number of expansions ---------
-    std::vector<std::unique_ptr<SpectralBloomFilter>> retired;
+    std::vector<std::unique_ptr<SpectralBloomFilter>> retired
+        SBF_GUARDED_BY(mu);
   };
-  static_assert(alignof(std::shared_mutex) <= 64,
+  static_assert(alignof(util::SharedMutex) <= 64,
                 "Shard line map assumes <=64-byte mutex alignment");
 
   // Raw 64-bit counter words of a filter's kFixed64 backing (counter i is
@@ -337,18 +343,19 @@ class ConcurrentSbf final : public FrequencyFilter {
   DeltaSet& CallerDeltaSet();
   // Buffers one op into the calling thread's map for `shard_index`;
   // publishes the pending tally for inserts and merges on an epoch
-  // boundary. Caller must hold set.mu.
+  // boundary.
   void BufferDelta(DeltaSet& set, uint32_t shard_index, uint64_t key,
-                   uint64_t count, bool remove);
+                   uint64_t count, bool remove) SBF_REQUIRES(set.mu);
   // Epoch merge: drains `set`'s map for one shard into the shard counters
-  // and releases its pending-tally contribution. Caller must hold set.mu.
-  // Allocation-free (the epoch-merge hot path).
-  void MergeShardDelta(DeltaSet& set, uint32_t shard_index);
-  // Applies one aggregated (key, net) delta to a shard through the path
-  // matching the configuration (atomic apply honouring any expansion
-  // window, or the locked SpectralBloomFilter ops). For the locked path
-  // the caller must hold the shard's exclusive lock.
-  void ApplyNetDelta(Shard& s, uint64_t key, uint64_t net, bool locked_held);
+  // and releases its pending-tally contribution. Allocation-free (the
+  // epoch-merge hot path).
+  void MergeShardDelta(DeltaSet& set, uint32_t shard_index)
+      SBF_REQUIRES(set.mu);
+  // Applies one aggregated (key, net) delta to a shard with the atomic
+  // apply, honouring any expansion window. Lock-free configurations only —
+  // the locked-path flush applies nets through the decoded-view bulk path
+  // under the shard lock instead.
+  void ApplyNetDelta(Shard& s, uint64_t key, uint64_t net);
   // Drains the calling thread's buffers for one shard / all shards (the
   // read-your-writes half of the discipline; cheap no-ops when empty).
   void DrainOwnShard(uint32_t shard_index) const;

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "core/concurrent_sbf.h"
 #include "util/check.h"
+#include "util/thread_annotations.h"
 
 namespace sbf {
 namespace {
@@ -44,7 +44,7 @@ struct TlsHolder {
     for (TlsEntry& entry : entries) {
       const std::shared_ptr<DeltaRegistry> registry = entry.registry.lock();
       if (registry == nullptr) continue;
-      std::lock_guard<std::mutex> lock(registry->mu);
+      util::MutexLock lock(registry->mu);
       if (registry->owner != nullptr) {
         registry->owner->DrainDeltaSet(*entry.set);
       }
@@ -94,7 +94,7 @@ DeltaSet* ThreadDeltaSet(const std::shared_ptr<DeltaRegistry>& registry,
   if (DeltaSet* found = tls_holder.Find(registry.get())) return found;
   auto set = std::make_shared<DeltaSet>(num_shards, options);
   {
-    std::lock_guard<std::mutex> lock(registry->mu);
+    util::MutexLock lock(registry->mu);
     registry->sets.push_back(set);
   }
   tls_holder.entries.push_back(TlsEntry{registry, set});

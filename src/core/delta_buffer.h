@@ -5,10 +5,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/delta_kernels.h"
+#include "util/thread_annotations.h"
 
 namespace sbf {
 
@@ -62,12 +62,12 @@ class DeltaSet {
     bool epoch_open = false;
   };
 
-  [[nodiscard]] DeltaMapView map(uint32_t shard) noexcept {
+  [[nodiscard]] DeltaMapView map(uint32_t shard) noexcept SBF_REQUIRES(mu) {
     const size_t base = static_cast<size_t>(shard) * options_.capacity;
     return DeltaMapView{keys_.data() + base, nets_.data() + base,
                         used_.data() + base, options_.capacity - 1};
   }
-  [[nodiscard]] ShardState& state(uint32_t shard) noexcept {
+  [[nodiscard]] ShardState& state(uint32_t shard) noexcept SBF_REQUIRES(mu) {
     return states_[shard];
   }
   [[nodiscard]] uint32_t num_shards() const noexcept { return num_shards_; }
@@ -77,43 +77,45 @@ class DeltaSet {
   // Per-shard scratch for batched accumulation (occurrences not yet
   // published to the shard's pending tally) and the list of shards the
   // current chunk touched; preallocated so the batch path never allocates.
-  [[nodiscard]] uint64_t* batch_pending() noexcept {
+  [[nodiscard]] uint64_t* batch_pending() noexcept SBF_REQUIRES(mu) {
     return batch_pending_.data();
   }
-  [[nodiscard]] uint32_t* batch_touched() noexcept {
+  [[nodiscard]] uint32_t* batch_touched() noexcept SBF_REQUIRES(mu) {
     return batch_touched_.data();
   }
 
-  // Storage footprint in bits (for ConcurrentSbf::MemoryUsageBits).
-  [[nodiscard]] size_t MemoryBits() const noexcept;
+  // Storage footprint in bits (for ConcurrentSbf::MemoryUsageBits). The
+  // vector geometry is fixed at construction, but the contents are guarded,
+  // so callers take `mu` (registry mu -> set mu order).
+  [[nodiscard]] size_t MemoryBits() const noexcept SBF_REQUIRES(mu);
 
   // Taken by the owning thread around every accumulate/merge (uncontended
   // in steady state) and by cross-thread Flush()/thread-exit drains.
-  std::mutex mu;
+  mutable util::Mutex mu;
 
  private:
   uint32_t num_shards_;
   DeltaBufferOptions options_;
-  std::vector<uint64_t> keys_;   // num_shards * capacity
-  std::vector<uint64_t> nets_;   // num_shards * capacity
-  std::vector<uint8_t> used_;    // num_shards * capacity
-  std::vector<ShardState> states_;
-  std::vector<uint64_t> batch_pending_;  // num_shards
-  std::vector<uint32_t> batch_touched_;  // num_shards
+  std::vector<uint64_t> keys_ SBF_GUARDED_BY(mu);   // num_shards * capacity
+  std::vector<uint64_t> nets_ SBF_GUARDED_BY(mu);   // num_shards * capacity
+  std::vector<uint8_t> used_ SBF_GUARDED_BY(mu);    // num_shards * capacity
+  std::vector<ShardState> states_ SBF_GUARDED_BY(mu);
+  std::vector<uint64_t> batch_pending_ SBF_GUARDED_BY(mu);   // num_shards
+  std::vector<uint32_t> batch_touched_ SBF_GUARDED_BY(mu);   // num_shards
 };
 
 // Every thread's DeltaSet for one ConcurrentSbf. The filter holds the
 // registry via shared_ptr; each writing thread's TLS holder keeps a
 // weak_ptr, so thread exit can find live filters to drain into and filter
 // destruction orphans the TLS entries harmlessly. Lock order is always
-// registry mu -> set mu -> shard locks.
+// registry mu -> set mu -> shard locks (DESIGN.md §11).
 class DeltaRegistry {
  public:
-  std::mutex mu;
+  util::Mutex mu;
   // The filter to drain into; nulled (under mu) by ~ConcurrentSbf and
   // updated by its move operations.
-  ConcurrentSbf* owner = nullptr;
-  std::vector<std::shared_ptr<DeltaSet>> sets;
+  ConcurrentSbf* owner SBF_GUARDED_BY(mu) = nullptr;
+  std::vector<std::shared_ptr<DeltaSet>> sets SBF_GUARDED_BY(mu);
 };
 
 // Returns the calling thread's DeltaSet for `registry`, creating and

@@ -15,6 +15,7 @@
 
 #include "io/wire.h"
 #include "util/fault_injection.h"
+#include "util/thread_annotations.h"
 
 namespace sbf {
 
@@ -427,8 +428,13 @@ StatusOr<std::unique_ptr<DurableSbf>> DurableSbf::Open(const std::string& dir,
                                           store->EmptyFilterFrame(),
                                           store->options_.sync_each_append);
   if (!writer.ok()) return writer.status();
-  store->wal_ = std::move(writer).value();
-  store->stats_.wal_bytes = store->wal_.bytes_written();
+  {
+    // No other thread can reference the store yet, but installing the log
+    // under its mutex keeps wal_/stats_ access provable for the analysis.
+    util::MutexLock lock(store->log_mu_);
+    store->wal_ = std::move(writer).value();
+    store->stats_.wal_bytes = store->wal_.bytes_written();
+  }
 
   if (store->options_.background_checkpointer &&
       (store->options_.checkpoint_interval_ms > 0 ||
@@ -441,12 +447,12 @@ StatusOr<std::unique_ptr<DurableSbf>> DurableSbf::Open(const std::string& dir,
 
 DurableSbf::~DurableSbf() {
   {
-    std::lock_guard<std::mutex> wake(cp_wake_mu_);
+    util::MutexLock wake(cp_wake_mu_);
     stop_ = true;
   }
   cp_wake_.notify_all();
   if (checkpointer_.joinable()) checkpointer_.join();
-  std::lock_guard<std::mutex> lock(log_mu_);
+  util::MutexLock lock(log_mu_);
   if (wal_.open() && !wedged_ && !options_.sync_each_append) {
     // Best-effort flush of unsynced appends; with sync_each_append every
     // acked record is already durable.
@@ -478,7 +484,7 @@ Status DurableSbf::AppendAndApply(bool is_remove, uint64_t count,
   if (count == 0) {
     return Status::InvalidArgument("durable update count must be nonzero");
   }
-  std::lock_guard<std::mutex> lock(log_mu_);
+  util::MutexLock lock(log_mu_);
   if (wedged_) {
     return Status::FailedPrecondition(
         "durable store is wedged after a crash point (" + stats_.last_error +
@@ -508,7 +514,7 @@ Status DurableSbf::AppendAndApply(bool is_remove, uint64_t count,
   if (options_.background_checkpointer && options_.checkpoint_log_bytes > 0 &&
       stats_.wal_bytes >= options_.checkpoint_log_bytes) {
     {
-      std::lock_guard<std::mutex> wake(cp_wake_mu_);
+      util::MutexLock wake(cp_wake_mu_);
       size_trigger_ = true;
     }
     cp_wake_.notify_one();
@@ -517,7 +523,7 @@ Status DurableSbf::AppendAndApply(bool is_remove, uint64_t count,
 }
 
 Status DurableSbf::CheckpointOnce() {
-  std::lock_guard<std::mutex> lock(log_mu_);
+  util::MutexLock lock(log_mu_);
   if (wedged_) {
     return Status::FailedPrecondition(
         "durable store is wedged (" + stats_.last_error + ")");
@@ -606,35 +612,40 @@ Status DurableSbf::CheckpointWithRetries() {
     status = CheckpointOnce();
     if (status.ok()) return status;
     {
-      std::lock_guard<std::mutex> lock(log_mu_);
+      util::MutexLock lock(log_mu_);
       if (wedged_) break;  // crash points are terminal, never retried
     }
     if (attempt >= options_.checkpoint_retries) break;
     {
-      std::lock_guard<std::mutex> lock(log_mu_);
+      util::MutexLock lock(log_mu_);
       ++stats_.checkpoint_retries;
     }
-    std::unique_lock<std::mutex> wake(cp_wake_mu_);
-    cp_wake_.wait_for(wake, std::chrono::milliseconds(backoff_ms),
-                      [this] { return stop_; });
-    if (stop_) break;
-    wake.unlock();
+    {
+      // Predicate-free backoff nap: a CV predicate lambda is analyzed as a
+      // separate function and cannot prove it holds cp_wake_mu_, so stop_
+      // is checked explicitly under the lock on both sides of the wait. A
+      // spurious wakeup merely shortens one backoff sleep.
+      util::MutexLock wake(cp_wake_mu_);
+      if (stop_) break;
+      cp_wake_.wait_for(wake.native(), std::chrono::milliseconds(backoff_ms));
+      if (stop_) break;
+    }
     backoff_ms = std::min<uint64_t>(backoff_ms * 2 + (backoff_ms == 0),
                                     options_.backoff_max_ms);
   }
-  std::lock_guard<std::mutex> lock(log_mu_);
+  util::MutexLock lock(log_mu_);
   ++stats_.checkpoint_failures;
   stats_.last_error = status.message();
   return status;
 }
 
 Status DurableSbf::Checkpoint() {
-  std::lock_guard<std::mutex> serialize(checkpoint_mu_);
+  util::MutexLock serialize(checkpoint_mu_);
   return CheckpointWithRetries();
 }
 
 Status DurableSbf::SyncLog() {
-  std::lock_guard<std::mutex> lock(log_mu_);
+  util::MutexLock lock(log_mu_);
   if (wedged_) {
     return Status::FailedPrecondition(
         "durable store is wedged (" + stats_.last_error + ")");
@@ -649,12 +660,12 @@ Status DurableSbf::SyncLog() {
 }
 
 uint64_t DurableSbf::generation() const {
-  std::lock_guard<std::mutex> lock(log_mu_);
+  util::MutexLock lock(log_mu_);
   return generation_;
 }
 
 DurabilityStats DurableSbf::Stats() const {
-  std::lock_guard<std::mutex> lock(log_mu_);
+  util::MutexLock lock(log_mu_);
   DurabilityStats out = stats_;
   out.generation = generation_;
   out.checkpoint_age_seconds =
@@ -672,16 +683,20 @@ void DurableSbf::CheckpointerLoop() {
                           : std::chrono::milliseconds(200);
     bool size_hit = false;
     {
-      std::unique_lock<std::mutex> wake(cp_wake_mu_);
-      cp_wake_.wait_for(wake, wait,
-                        [this] { return stop_ || size_trigger_; });
+      // Predicate-free wait (see CheckpointWithRetries): the triggers are
+      // read under the lock before sleeping and re-read after. A spurious
+      // wakeup just runs one cheap trigger evaluation and loops back.
+      util::MutexLock wake(cp_wake_mu_);
+      if (!stop_ && !size_trigger_) {
+        cp_wake_.wait_for(wake.native(), wait);
+      }
       if (stop_) return;
       size_hit = size_trigger_;
       size_trigger_ = false;
     }
     bool interval_hit = false;
     {
-      std::lock_guard<std::mutex> lock(log_mu_);
+      util::MutexLock lock(log_mu_);
       if (options_.checkpoint_interval_ms > 0) {
         interval_hit = std::chrono::steady_clock::now() - last_checkpoint_ >=
                        std::chrono::milliseconds(
@@ -695,7 +710,7 @@ void DurableSbf::CheckpointerLoop() {
       if (wedged_) return;  // nothing further to do; mutations are dead
     }
     if (!interval_hit && !size_hit) continue;
-    std::lock_guard<std::mutex> serialize(checkpoint_mu_);
+    util::MutexLock serialize(checkpoint_mu_);
     (void)CheckpointWithRetries();  // failures land in stats_.last_error
   }
 }

@@ -5,7 +5,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -14,6 +13,7 @@
 #include "core/concurrent_sbf.h"
 #include "io/delta_log.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sbf {
 
@@ -154,6 +154,12 @@ std::string WalPath(const std::string& dir, uint64_t generation);
 // (the WAL is one append stream). MI-policy filters additionally need
 // external write serialization for replay to be order-faithful — the
 // same caveat as ConcurrentSbf's delta buffering.
+//
+// Lock hierarchy (DESIGN.md §11, enforced by the thread-safety
+// annotations below): checkpoint_mu_ -> log_mu_ -> cp_wake_mu_. The
+// checkpoint mutex serializes whole checkpoint protocols and protects no
+// data; the log mutex guards every mutable log/stats field; the wake
+// mutex is a leaf guarding only the checkpointer wake flags.
 class DurableSbf {
  public:
   // Opens (recovering) or initializes (creating) the store at `dir`.
@@ -206,13 +212,14 @@ class DurableSbf {
 
   // One acked mutation: seal a record, append it, apply it to the filter.
   Status AppendAndApply(bool is_remove, uint64_t count, const uint64_t* keys,
-                        size_t n);
-  // One checkpoint attempt (no retries). Caller holds checkpoint_mu_.
-  Status CheckpointOnce();
-  // Attempt + retries with exponential backoff. Caller holds
-  // checkpoint_mu_.
-  Status CheckpointWithRetries();
-  void CheckpointerLoop();
+                        size_t n) SBF_EXCLUDES(log_mu_, cp_wake_mu_);
+  // One checkpoint attempt (no retries).
+  Status CheckpointOnce() SBF_REQUIRES(checkpoint_mu_) SBF_EXCLUDES(log_mu_);
+  // Attempt + retries with exponential backoff.
+  Status CheckpointWithRetries() SBF_REQUIRES(checkpoint_mu_)
+      SBF_EXCLUDES(log_mu_, cp_wake_mu_);
+  void CheckpointerLoop()
+      SBF_EXCLUDES(checkpoint_mu_, log_mu_, cp_wake_mu_);
   // Serialized empty filter with the store's configuration (each new log's
   // header embeds it).
   std::vector<uint8_t> EmptyFilterFrame() const;
@@ -222,22 +229,26 @@ class DurableSbf {
   ConcurrentSbf filter_;
 
   // Log state, guarded by log_mu_ (mutations + checkpoint rotation).
-  mutable std::mutex log_mu_;
-  io::DeltaLogWriter wal_;
-  uint64_t generation_ = 0;
-  uint64_t next_sequence_ = 1;
-  bool wedged_ = false;
-  DurabilityStats stats_;
-  std::chrono::steady_clock::time_point last_checkpoint_;
+  mutable util::Mutex log_mu_;
+  io::DeltaLogWriter wal_ SBF_GUARDED_BY(log_mu_);
+  uint64_t generation_ SBF_GUARDED_BY(log_mu_) = 0;
+  uint64_t next_sequence_ SBF_GUARDED_BY(log_mu_) = 1;
+  bool wedged_ SBF_GUARDED_BY(log_mu_) = false;
+  DurabilityStats stats_ SBF_GUARDED_BY(log_mu_);
+  std::chrono::steady_clock::time_point last_checkpoint_
+      SBF_GUARDED_BY(log_mu_);
 
-  // Checkpointer serialization (manual + background callers).
-  std::mutex checkpoint_mu_;
+  // Checkpointer serialization (manual + background callers). Protects no
+  // data — it makes a whole checkpoint protocol (which takes and drops
+  // log_mu_ internally) one critical section.
+  util::Mutex checkpoint_mu_;
 
-  // Background thread lifecycle.
-  std::mutex cp_wake_mu_;
+  // Background thread lifecycle. cp_wake_mu_ is a leaf: nothing is ever
+  // acquired while it is held.
+  util::Mutex cp_wake_mu_;
   std::condition_variable cp_wake_;
-  bool stop_ = false;
-  bool size_trigger_ = false;
+  bool stop_ SBF_GUARDED_BY(cp_wake_mu_) = false;
+  bool size_trigger_ SBF_GUARDED_BY(cp_wake_mu_) = false;
   std::thread checkpointer_;
 };
 

@@ -97,8 +97,11 @@ void ShardMetrics::RecordDeltaMerge(size_t shard, uint64_t keys) {
 void ShardMetrics::RecordDeltaBufferedPeak(size_t shard, uint64_t buffered) {
   std::atomic<uint64_t>& peak = cells_[shard].delta_buffered_peak;
   uint64_t prev = peak.load(std::memory_order_relaxed);
+  // CAS-max over an advisory gauge: both orders spelled out (relaxed) so
+  // the memory-order discipline check applies to the failure path too.
   while (buffered > prev &&
          !peak.compare_exchange_weak(prev, buffered,
+                                     std::memory_order_relaxed,
                                      std::memory_order_relaxed)) {
   }
 }

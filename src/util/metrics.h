@@ -71,7 +71,11 @@ double MeanOverRuns(int runs, uint64_t base_seed, double (*fn)(uint64_t));
 // (core/concurrent_sbf.h). Each shard's counters live on their own cache
 // line so concurrent recording from many threads does not false-share;
 // updates are relaxed atomics, so recording is wait-free and race-clean
-// but totals read while threads are running are approximate.
+// but totals read while threads are running are approximate. The class
+// holds no lock-guarded state — every member is an independent atomic
+// gauge with explicit relaxed ordering (the discipline sbf_analyze.py's
+// memory-order check enforces; DESIGN.md §11), so it carries no capability
+// annotations.
 class ShardMetrics {
  public:
   ShardMetrics() = default;

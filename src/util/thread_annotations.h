@@ -1,0 +1,167 @@
+// Clang thread-safety-analysis annotations and capability-annotated mutex
+// wrappers.
+//
+// The macros expand to clang `capability` attributes when compiling with
+// clang and to nothing elsewhere, so gcc builds are unaffected. The real
+// enforcement happens under `-DSBF_THREAD_SAFETY=ON` (clang only), which
+// adds `-Wthread-safety -Werror=thread-safety` — see DESIGN.md §11 for the
+// protocol being checked and scripts/check_thread_safety.py for the gate.
+//
+// std::mutex / std::shared_mutex carry no capability attributes in
+// libstdc++, so lock-protected state must use the `Mutex` / `SharedMutex`
+// wrappers below together with the scoped guards (`MutexLock`,
+// `ReaderMutexLock`, `WriterMutexLock`, `SharedMutexLockPair`). The
+// wrappers are zero-overhead: one underlying std mutex, all methods
+// inline.
+#ifndef SBF_UTIL_THREAD_ANNOTATIONS_H_
+#define SBF_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define SBF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SBF_THREAD_ANNOTATION(x)
+#endif
+
+// Type is a lockable capability ("mutex" shows up in diagnostics).
+#define SBF_CAPABILITY(x) SBF_THREAD_ANNOTATION(capability(x))
+// Type is a scoped (RAII) capability wrapper.
+#define SBF_SCOPED_CAPABILITY SBF_THREAD_ANNOTATION(scoped_lockable)
+
+// Member is protected by the given capability.
+#define SBF_GUARDED_BY(x) SBF_THREAD_ANNOTATION(guarded_by(x))
+// Pointee is protected by the given capability.
+#define SBF_PT_GUARDED_BY(x) SBF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function requires the capability held exclusively / shared on entry.
+#define SBF_REQUIRES(...) \
+  SBF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SBF_REQUIRES_SHARED(...) \
+  SBF_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires / releases the capability.
+#define SBF_ACQUIRE(...) SBF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SBF_ACQUIRE_SHARED(...) \
+  SBF_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SBF_RELEASE(...) SBF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SBF_RELEASE_SHARED(...) \
+  SBF_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define SBF_TRY_ACQUIRE(...) \
+  SBF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function must NOT be called with the capability held (deadlock guard).
+#define SBF_EXCLUDES(...) SBF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (trusted by the analysis).
+#define SBF_ASSERT_CAPABILITY(x) SBF_THREAD_ANNOTATION(assert_capability(x))
+
+// Escape hatch for functions whose locking is correct by a protocol the
+// analysis cannot express (e.g. quiescence contracts). Every use must
+// carry a comment citing DESIGN.md §11.
+#define SBF_NO_THREAD_SAFETY_ANALYSIS \
+  SBF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace sbf {
+namespace util {
+
+// Capability-annotated std::mutex. Lockable with MutexLock below.
+class SBF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SBF_ACQUIRE() { mu_.lock(); }
+  void unlock() SBF_RELEASE() { mu_.unlock(); }
+  bool try_lock() SBF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// Capability-annotated std::shared_mutex.
+class SBF_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() SBF_ACQUIRE() { mu_.lock(); }
+  void unlock() SBF_RELEASE() { mu_.unlock(); }
+  bool try_lock() SBF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() SBF_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() SBF_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class ReaderMutexLock;
+  friend class WriterMutexLock;
+  friend class SharedMutexLockPair;
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock over Mutex. Exposes the underlying
+// std::unique_lock for condition_variable waits; the capability is
+// considered held across a wait, which matches reality once the wait
+// returns (waits re-acquire before returning).
+class SBF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SBF_ACQUIRE(mu) : lock_(mu.mu_) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() SBF_RELEASE() = default;
+
+  std::unique_lock<std::mutex>& native() noexcept { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+// RAII shared (reader) lock over SharedMutex.
+class SBF_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) SBF_ACQUIRE_SHARED(mu)
+      : lock_(mu.mu_) {}
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+  ~ReaderMutexLock() SBF_RELEASE() = default;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+// RAII exclusive (writer) lock over SharedMutex.
+class SBF_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) SBF_ACQUIRE(mu) : lock_(mu.mu_) {}
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+  ~WriterMutexLock() SBF_RELEASE() = default;
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+// RAII exclusive lock over TWO SharedMutexes with std::scoped_lock's
+// deadlock-avoidance ordering (used by ConcurrentSbf::Merge, where the
+// two filters' shard locks have no fixed hierarchy).
+class SBF_SCOPED_CAPABILITY SharedMutexLockPair {
+ public:
+  SharedMutexLockPair(SharedMutex& a, SharedMutex& b) SBF_ACQUIRE(a, b)
+      : lock_(a.mu_, b.mu_) {}
+  SharedMutexLockPair(const SharedMutexLockPair&) = delete;
+  SharedMutexLockPair& operator=(const SharedMutexLockPair&) = delete;
+  ~SharedMutexLockPair() SBF_RELEASE() = default;
+
+ private:
+  std::scoped_lock<std::shared_mutex, std::shared_mutex> lock_;
+};
+
+}  // namespace util
+}  // namespace sbf
+
+#endif  // SBF_UTIL_THREAD_ANNOTATIONS_H_

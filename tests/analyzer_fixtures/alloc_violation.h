@@ -1,0 +1,46 @@
+// Seeded allocation-reachability violations for sbf_analyze.py
+// --self-test: this file plays the role of a kernel header whose entry
+// point reaches allocations two calls deep. Do not fix — the self-test
+// asserts both allocation sites are caught with a chain naming
+// KernelEntry.
+#ifndef SBF_TESTS_ANALYZER_FIXTURES_ALLOC_VIOLATION_H_
+#define SBF_TESTS_ANALYZER_FIXTURES_ALLOC_VIOLATION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+// Depth 2: the allocating std:: member call.
+inline void StashOverflow(std::vector<uint64_t>& out, uint64_t v) {
+  out.push_back(v);  // seeded: std member allocation
+}
+
+// Depth 2: raw operator new.
+inline uint64_t* GrabScratch(size_t n) {
+  return new uint64_t[n];  // seeded: operator new
+}
+
+// Depth 1: innocent-looking forwarding layer.
+inline void Forward(std::vector<uint64_t>& out, uint64_t v) {
+  StashOverflow(out, v);
+}
+
+// The "kernel entry point": allocation-free at a glance, allocating via
+// the call graph.
+inline uint64_t KernelEntry(std::vector<uint64_t>& out, const uint64_t* keys,
+                            size_t n) {
+  uint64_t acc = 0;
+  uint64_t* scratch = GrabScratch(n);
+  for (size_t i = 0; i < n; ++i) {
+    scratch[i] = keys[i] * 0x9e3779b97f4a7c15ull;
+    acc ^= scratch[i];
+    if ((scratch[i] & 7) == 0) Forward(out, scratch[i]);
+  }
+  delete[] scratch;
+  return acc;
+}
+
+}  // namespace fixture
+
+#endif  // SBF_TESTS_ANALYZER_FIXTURES_ALLOC_VIOLATION_H_

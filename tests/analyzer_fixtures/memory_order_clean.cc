@@ -1,0 +1,30 @@
+// False-positive canary for sbf_analyze.py's memory-order check: every
+// atomic op here spells its order, pairs its release with an acquire, and
+// stays off seq_cst. The self-test asserts ZERO findings on this file.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<uint64_t> counter{0};
+std::atomic<bool> ready{false};
+std::atomic<uint64_t> slot{0};
+
+void Producer(uint64_t v) {
+  slot.store(v, std::memory_order_relaxed);
+  // Publication: pairs with the acquire load in Consumer().
+  ready.store(true, std::memory_order_release);
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Consumer() {
+  if (!ready.load(std::memory_order_acquire)) return 0;
+  uint64_t expected = 0;
+  // Both orders explicit, including the failure side.
+  slot.compare_exchange_strong(expected, 1, std::memory_order_acq_rel,
+                               std::memory_order_acquire);
+  return expected + counter.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

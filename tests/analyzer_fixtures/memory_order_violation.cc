@@ -1,0 +1,34 @@
+// Seeded memory-order violations for sbf_analyze.py --self-test. Four
+// distinct bugs, one per check shape. Do not fix — the self-test asserts
+// each one is caught.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<uint64_t> gate{0};
+std::atomic<uint64_t> turns{0};
+
+uint64_t Broken() {
+  // Bug 1: implicit memory order (defaults to seq_cst silently).
+  gate.fetch_add(1);
+
+  // Bug 2: rogue seq_cst — (turns, load) is not on the allowlist.
+  uint64_t t = turns.load(std::memory_order_seq_cst);
+
+  // Bug 3: unpaired release — no acquire-or-stronger load of `gate`
+  // anywhere in this TU, so this publication synchronizes with nothing.
+  gate.store(t, std::memory_order_release);
+
+  // Bug 4: CAS spelling only the success order; the implicit failure
+  // order is derived and easy to get wrong — it must be explicit.
+  uint64_t expected = t;
+  turns.compare_exchange_strong(expected, t + 1, std::memory_order_acq_rel);
+
+  // Keeps `turns` pairing-clean (release write above is on `gate` only;
+  // turns has no release write), so exactly the four bugs above fire.
+  return turns.load(std::memory_order_acquire) + expected;
+}
+
+}  // namespace fixture

@@ -1,0 +1,51 @@
+// Seeded [[nodiscard]] coverage violation for sbf_analyze.py --self-test:
+// a public Status-returning function with no discard protection, next to
+// two covered controls. Do not fix — the self-test asserts exactly
+// Uncovered() is flagged.
+#ifndef SBF_TESTS_ANALYZER_FIXTURES_NODISCARD_VIOLATION_H_
+#define SBF_TESTS_ANALYZER_FIXTURES_NODISCARD_VIOLATION_H_
+
+namespace fixture {
+
+// Bare status type with NO class-level [[nodiscard]] (unlike the real
+// sbf::Status), so coverage must come from the functions.
+class Status {
+ public:
+  bool ok() const { return code_ == 0; }
+
+ private:
+  int code_ = 0;
+};
+
+// Class-level [[nodiscard]]: functions returning it are covered for free.
+class [[nodiscard]] CheckedStatus {
+ public:
+  bool ok() const { return code_ == 0; }
+
+ private:
+  int code_ = 0;
+};
+
+// Seeded violation: public, returns Status, nothing stops the caller from
+// dropping it.
+Status Uncovered();
+
+// Control 1: covered by the function attribute.
+[[nodiscard]] Status CoveredByFunction();
+
+// Control 2: covered by the returned class's attribute.
+CheckedStatus CoveredByClass();
+
+class Store {
+ public:
+  // Seeded violation: public method, same bug.
+  Status UncoveredMethod();
+
+ private:
+  // Not a violation: private methods may drop-check internally.
+  Status PrivateHelper();
+};
+
+}  // namespace fixture
+
+#endif  // SBF_TESTS_ANALYZER_FIXTURES_NODISCARD_VIOLATION_H_

@@ -1,0 +1,34 @@
+// Seeded -Wthread-safety violation for scripts/check_thread_safety.py:
+// a SBF_GUARDED_BY member mutated without holding its mutex, plus a
+// REQUIRES function called lock-free. This file must FAIL to compile
+// under clang -Wthread-safety -Werror=thread-safety; the gate asserts the
+// failure carries a thread-safety diagnostic. Do not fix.
+
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class Tally {
+ public:
+  void Add(uint64_t v) {
+    total_ += v;  // seeded: writes a guarded member without mu_
+  }
+
+  uint64_t Drain() SBF_REQUIRES(mu_) {
+    uint64_t t = total_;
+    total_ = 0;
+    return t;
+  }
+
+  uint64_t UnlockedDrain() {
+    return Drain();  // seeded: calls a REQUIRES(mu_) function lock-free
+  }
+
+ private:
+  sbf::util::Mutex mu_;
+  uint64_t total_ SBF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Seeded wire-ownership violations for sbf_analyze.py --self-test: raw
+// FILE* byte I/O in a translation unit that (per the self-test harness)
+// lives outside src/io/. The stdout write at the end must NOT be flagged —
+// console output is exempt, matching sbf_lint rule 1. Do not fix.
+
+#include <cstdio>
+
+namespace fixture {
+
+bool DumpBytes(const char* path, const unsigned char* data, unsigned n) {
+  FILE* f = std::fopen(path, "wb");  // seeded: fopen outside src/io/
+  if (f == nullptr) return false;
+  unsigned long wrote = std::fwrite(data, 1, n, f);  // seeded: fwrite
+  std::fclose(f);  // seeded: fclose
+  return wrote == n;
+}
+
+void Banner() {
+  // Exempt: console output, not wire I/O.
+  std::fwrite("sbf\n", 1, 4, stdout);
+}
+
+}  // namespace fixture
